@@ -1,0 +1,424 @@
+//! Simulated annealing — the operations-research baseline (extension).
+//!
+//! The related-work surveys the paper cites (Allahverdi et al. \[1,2,3\])
+//! document that practical setup-time scheduling is dominated by
+//! metaheuristics evaluated "through simulations, but without formal
+//! performance guarantees". This module supplies that comparator so the
+//! experiments can show where guarantee-free search lands relative to the
+//! paper's algorithms: a seeded Metropolis annealer over the same two move
+//! kinds as [`crate::local_search`] (single-job moves and batching-aware
+//! whole-class moves), with geometric cooling.
+//!
+//! Like every baseline in this workspace it is deterministic under a fixed
+//! seed and **never returns a schedule worse than its start** (the
+//! best-seen schedule is tracked and returned).
+//!
+//! ```
+//! use sst_algos::annealing::{anneal_uniform, AnnealConfig};
+//! use sst_algos::lpt::lpt_with_setups;
+//! use sst_core::instance::{Job, UniformInstance};
+//! use sst_core::schedule::uniform_makespan;
+//!
+//! let inst = UniformInstance::identical(
+//!     2,
+//!     vec![3],
+//!     vec![Job::new(0, 9), Job::new(0, 7), Job::new(0, 5)],
+//! ).unwrap();
+//! let start = lpt_with_setups(&inst);
+//! let res = anneal_uniform(&inst, &start, &AnnealConfig::default());
+//! let before = uniform_makespan(&inst, &start).unwrap();
+//! let after = uniform_makespan(&inst, &res.schedule).unwrap();
+//! assert!(after <= before);
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sst_core::instance::{is_finite, UniformInstance, UnrelatedInstance};
+use sst_core::ratio::Ratio;
+use sst_core::schedule::{unrelated_loads, uniform_loads, Schedule};
+
+/// Annealer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealConfig {
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature as a *fraction of the start makespan* (the
+    /// natural scale of the objective).
+    pub initial_temp_fraction: f64,
+    /// Geometric cooling multiplier applied every iteration.
+    pub cooling: f64,
+    /// Probability of proposing a whole-class move instead of a job move.
+    pub class_move_prob: f64,
+    /// RNG seed (the run is a pure function of instance, start and config).
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 20_000,
+            initial_temp_fraction: 0.2,
+            cooling: 0.9995,
+            class_move_prob: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best schedule seen (never worse than the start schedule).
+    pub schedule: Schedule,
+    /// Proposals accepted by the Metropolis criterion.
+    pub accepted: usize,
+    /// Accepted proposals that strictly improved the incumbent best.
+    pub improvements: usize,
+}
+
+/// Anneals a schedule on an unrelated instance.
+///
+/// # Panics
+/// Panics if `start` is not a valid schedule for `inst`.
+pub fn anneal_unrelated(
+    inst: &UnrelatedInstance,
+    start: &Schedule,
+    cfg: &AnnealConfig,
+) -> AnnealResult {
+    let mut loads = unrelated_loads(inst, start).expect("valid start schedule");
+    let m = inst.m();
+    let kk = inst.num_classes();
+    // count[i][k] — jobs of class k on machine i (for O(1) setup deltas).
+    let mut count = vec![vec![0u32; kk]; m];
+    for j in 0..inst.n() {
+        count[start.machine_of(j)][inst.class_of(j)] += 1;
+    }
+    let mut cur = start.clone();
+    let makespan = |loads: &[u64]| -> u64 { loads.iter().copied().max().unwrap_or(0) };
+    let mut cur_ms = makespan(&loads);
+    let mut best = cur.clone();
+    let mut best_ms = cur_ms;
+    let mut temp = cur_ms as f64 * cfg.initial_temp_fraction;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut accepted = 0usize;
+    let mut improvements = 0usize;
+    if inst.n() == 0 || m < 2 {
+        return AnnealResult { schedule: best, accepted, improvements };
+    }
+    for _ in 0..cfg.iterations {
+        let class_move = rng.gen::<f64>() < cfg.class_move_prob;
+        // Collect the set of jobs to move and the target machine.
+        let (jobs, from, to): (Vec<usize>, usize, usize) = if class_move {
+            let j0 = rng.gen_range(0..inst.n());
+            let from = cur.machine_of(j0);
+            let k = inst.class_of(j0);
+            let to = rng.gen_range(0..m);
+            if to == from || !is_finite(inst.setup(to, k)) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            let batch: Vec<usize> = (0..inst.n())
+                .filter(|&j| cur.machine_of(j) == from && inst.class_of(j) == k)
+                .collect();
+            if batch.iter().any(|&j| !is_finite(inst.ptime(to, j))) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            (batch, from, to)
+        } else {
+            let j = rng.gen_range(0..inst.n());
+            let from = cur.machine_of(j);
+            let to = rng.gen_range(0..m);
+            let k = inst.class_of(j);
+            if to == from || !is_finite(inst.ptime(to, j)) || !is_finite(inst.setup(to, k)) {
+                temp *= cfg.cooling;
+                continue;
+            }
+            (vec![j], from, to)
+        };
+        // Apply deltas.
+        let apply = |loads: &mut [u64],
+                     count: &mut [Vec<u32>],
+                     cur: &mut Schedule,
+                     jobs: &[usize],
+                     from: usize,
+                     to: usize,
+                     inst: &UnrelatedInstance| {
+            for &j in jobs {
+                let k = inst.class_of(j);
+                let p_from = inst.ptime(from, j);
+                let p_to = inst.ptime(to, j);
+                loads[from] -= p_from;
+                count[from][k] -= 1;
+                if count[from][k] == 0 {
+                    loads[from] -= inst.setup(from, k);
+                }
+                if count[to][k] == 0 {
+                    loads[to] += inst.setup(to, k);
+                }
+                count[to][k] += 1;
+                loads[to] += p_to;
+                cur.set(j, to);
+            }
+        };
+        apply(&mut loads, &mut count, &mut cur, &jobs, from, to, inst);
+        let new_ms = makespan(&loads);
+        let delta = new_ms as f64 - cur_ms as f64;
+        let accept = delta <= 0.0
+            || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+        if accept {
+            accepted += 1;
+            cur_ms = new_ms;
+            if new_ms < best_ms {
+                best_ms = new_ms;
+                best = cur.clone();
+                improvements += 1;
+            }
+        } else {
+            // Revert.
+            apply(&mut loads, &mut count, &mut cur, &jobs, to, from, inst);
+        }
+        temp *= cfg.cooling;
+    }
+    AnnealResult { schedule: best, accepted, improvements }
+}
+
+/// Anneals a schedule on a uniform instance (loads kept in exact work
+/// units; the makespan compares `work_i / v_i` as [`Ratio`]s).
+///
+/// # Panics
+/// Panics if `start` is not a valid schedule for `inst`.
+pub fn anneal_uniform(
+    inst: &UniformInstance,
+    start: &Schedule,
+    cfg: &AnnealConfig,
+) -> AnnealResult {
+    let mut work = uniform_loads(inst, start).expect("valid start schedule");
+    let m = inst.m();
+    let kk = inst.num_classes();
+    let mut count = vec![vec![0u32; kk]; m];
+    for j in 0..inst.n() {
+        count[start.machine_of(j)][inst.job(j).class] += 1;
+    }
+    let makespan = |work: &[u64]| -> Ratio {
+        work.iter()
+            .zip(inst.speeds())
+            .map(|(&w, &v)| Ratio::new(w, v))
+            .max()
+            .unwrap_or(Ratio::ZERO)
+    };
+    let mut cur = start.clone();
+    let mut cur_ms = makespan(&work);
+    let mut best = cur.clone();
+    let mut best_ms = cur_ms;
+    let mut temp = cur_ms.to_f64() * cfg.initial_temp_fraction;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut accepted = 0usize;
+    let mut improvements = 0usize;
+    if inst.n() == 0 || m < 2 {
+        return AnnealResult { schedule: best, accepted, improvements };
+    }
+    for _ in 0..cfg.iterations {
+        let class_move = rng.gen::<f64>() < cfg.class_move_prob;
+        let (jobs, from, to): (Vec<usize>, usize, usize) = if class_move {
+            let j0 = rng.gen_range(0..inst.n());
+            let from = cur.machine_of(j0);
+            let k = inst.job(j0).class;
+            let to = rng.gen_range(0..m);
+            if to == from {
+                temp *= cfg.cooling;
+                continue;
+            }
+            let batch: Vec<usize> = (0..inst.n())
+                .filter(|&j| cur.machine_of(j) == from && inst.job(j).class == k)
+                .collect();
+            (batch, from, to)
+        } else {
+            let j = rng.gen_range(0..inst.n());
+            let from = cur.machine_of(j);
+            let to = rng.gen_range(0..m);
+            if to == from {
+                temp *= cfg.cooling;
+                continue;
+            }
+            (vec![j], from, to)
+        };
+        let apply = |work: &mut [u64],
+                     count: &mut [Vec<u32>],
+                     cur: &mut Schedule,
+                     jobs: &[usize],
+                     from: usize,
+                     to: usize| {
+            for &j in jobs {
+                let job = inst.job(j);
+                work[from] -= job.size;
+                count[from][job.class] -= 1;
+                if count[from][job.class] == 0 {
+                    work[from] -= inst.setup(job.class);
+                }
+                if count[to][job.class] == 0 {
+                    work[to] += inst.setup(job.class);
+                }
+                count[to][job.class] += 1;
+                work[to] += job.size;
+                cur.set(j, to);
+            }
+        };
+        apply(&mut work, &mut count, &mut cur, &jobs, from, to);
+        let new_ms = makespan(&work);
+        let delta = new_ms.to_f64() - cur_ms.to_f64();
+        let accept = delta <= 0.0
+            || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+        if accept {
+            accepted += 1;
+            cur_ms = new_ms;
+            if new_ms < best_ms {
+                best_ms = new_ms;
+                best = cur.clone();
+                improvements += 1;
+            }
+        } else {
+            apply(&mut work, &mut count, &mut cur, &jobs, to, from);
+        }
+        temp *= cfg.cooling;
+    }
+    AnnealResult { schedule: best, accepted, improvements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::{Job, INF};
+    use sst_core::schedule::{unrelated_makespan, uniform_makespan};
+
+    fn cfg(seed: u64) -> AnnealConfig {
+        AnnealConfig { iterations: 5_000, seed, ..AnnealConfig::default() }
+    }
+
+    #[test]
+    fn never_worsens_uniform() {
+        let inst = UniformInstance::identical(
+            3,
+            vec![5, 2],
+            vec![Job::new(0, 7), Job::new(0, 3), Job::new(1, 9), Job::new(1, 1)],
+        )
+        .unwrap();
+        let start = Schedule::new(vec![0; 4]);
+        let before = uniform_makespan(&inst, &start).unwrap();
+        let res = anneal_uniform(&inst, &start, &cfg(42));
+        let after = uniform_makespan(&inst, &res.schedule).unwrap();
+        assert!(after <= before);
+        assert!(res.improvements > 0, "bad start must be improved");
+    }
+
+    #[test]
+    fn finds_optimum_on_tiny_uniform() {
+        // 2 machines, two classes: optimum splits the classes (12 / 13).
+        let inst = UniformInstance::identical(
+            2,
+            vec![10, 0],
+            vec![Job::new(0, 1), Job::new(0, 1), Job::new(1, 13)],
+        )
+        .unwrap();
+        let start = Schedule::new(vec![0, 1, 1]);
+        let res = anneal_uniform(&inst, &start, &cfg(7));
+        assert_eq!(
+            uniform_makespan(&inst, &res.schedule).unwrap(),
+            Ratio::new(13, 1)
+        );
+    }
+
+    #[test]
+    fn never_worsens_unrelated_and_respects_inf() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 1],
+            vec![vec![9, INF], vec![8, 2]],
+            vec![vec![1, 1], vec![1, 1]],
+        )
+        .unwrap();
+        let start = Schedule::new(vec![0, 0]);
+        let res = anneal_unrelated(&inst, &start, &cfg(3));
+        let ms = unrelated_makespan(&inst, &res.schedule)
+            .expect("annealer must keep the schedule valid");
+        assert!(ms <= unrelated_makespan(&inst, &start).unwrap());
+        assert_eq!(res.schedule.machine_of(0), 0, "INF machine must be avoided");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let inst = UnrelatedInstance::new(
+            3,
+            (0..12).map(|j| j % 3).collect(),
+            (0..12).map(|j| vec![1 + j as u64 % 7, 2 + j as u64 % 5, 3]).collect(),
+            vec![vec![2, 1, 3], vec![1, 2, 1], vec![3, 1, 2]],
+        )
+        .unwrap();
+        let start = Schedule::new((0..12).map(|j| j % 3).collect());
+        let a = anneal_unrelated(&inst, &start, &cfg(99));
+        let b = anneal_unrelated(&inst, &start, &cfg(99));
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.accepted, b.accepted);
+        // A different seed is allowed to find a different schedule, but both
+        // must be valid.
+        let c = anneal_unrelated(&inst, &start, &cfg(100));
+        unrelated_makespan(&inst, &c.schedule).unwrap();
+    }
+
+    #[test]
+    fn zero_iterations_returns_start() {
+        let inst = UniformInstance::identical(2, vec![1], vec![Job::new(0, 4)]).unwrap();
+        let start = Schedule::new(vec![0]);
+        let res = anneal_uniform(
+            &inst,
+            &start,
+            &AnnealConfig { iterations: 0, ..AnnealConfig::default() },
+        );
+        assert_eq!(res.schedule, start);
+        assert_eq!(res.accepted, 0);
+    }
+
+    #[test]
+    fn single_machine_is_noop() {
+        let inst = UniformInstance::identical(1, vec![2], vec![Job::new(0, 3)]).unwrap();
+        let start = Schedule::new(vec![0]);
+        let res = anneal_uniform(&inst, &start, &cfg(1));
+        assert_eq!(res.schedule, start);
+    }
+
+    #[test]
+    fn empty_instance_is_noop() {
+        let inst = UnrelatedInstance::new(2, vec![], vec![], vec![]).unwrap();
+        let res = anneal_unrelated(&inst, &Schedule::new(vec![]), &cfg(1));
+        assert_eq!(res.schedule.n(), 0);
+    }
+
+    #[test]
+    fn anneal_tracks_best_not_last() {
+        // With a hot temperature and many iterations the *current* state
+        // wanders; the returned schedule must still be the best seen.
+        let inst = UniformInstance::identical(
+            2,
+            vec![0],
+            vec![Job::new(0, 5), Job::new(0, 5), Job::new(0, 5), Job::new(0, 5)],
+        )
+        .unwrap();
+        let start = Schedule::new(vec![0, 0, 0, 0]);
+        let res = anneal_uniform(
+            &inst,
+            &start,
+            &AnnealConfig {
+                iterations: 10_000,
+                initial_temp_fraction: 2.0, // very hot
+                cooling: 1.0,               // never cools
+                class_move_prob: 0.0,
+                seed: 5,
+            },
+        );
+        // Best possible split is 10/10.
+        assert_eq!(
+            uniform_makespan(&inst, &res.schedule).unwrap(),
+            Ratio::new(10, 1)
+        );
+    }
+}

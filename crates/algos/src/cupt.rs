@@ -1,0 +1,181 @@
+//! The 3-approximation for unrelated machines with class-uniform processing
+//! times (Section 3.3.2, Theorem 3.11).
+//!
+//! Same LP as Section 3.3.1 but with exclusion rule (16)
+//! (`x̄_ik = 0` whenever `s_ik + p_ik > T`), and a different redistribution:
+//! for each fractional class `k` with a non-`Ẽ` machine `i⁻_k` carrying
+//! fraction `w`,
+//!
+//! * if `w > 1/2`: the **entire class** goes to `i⁻_k`
+//!   (`p̄ + s ≤ 2(w·p̄ + s) ≤ 2T` by the LP row), otherwise
+//! * drop `i⁻_k` and **double** the kept fractions
+//!   (`Σ kept ≥ 1/2` ⇒ doubled ≥ 1 covers the class; each machine's LP load
+//!   at most doubles to `2T`).
+//!
+//! The greedy pour then adds at most one setup plus one job per machine,
+//! `≤ T` by rule (16) — total `3T`.
+
+use crate::ra::{round_ra_class_uniform, solve_with_rule, ExclusionRule, RaFractional, RaResult};
+use sst_core::instance::UnrelatedInstance;
+use sst_core::schedule::Schedule;
+
+/// Rounds an LP solution under the Section 3.3.2 rule.
+pub fn round_cupt(inst: &UnrelatedInstance, frac: &RaFractional) -> Schedule {
+    // Transform the fractional solution per the theorem, then reuse the
+    // Section 3.3.1 pour (whole-class moves become integral assignments;
+    // doubling only changes slot sizes).
+    let kk = inst.num_classes();
+    let mut adjusted = RaFractional { xbar: vec![Vec::new(); kk], t: frac.t };
+    // Identify Ẽ exactly as the shared rounding will (fractional support).
+    let mut support_edges: Vec<(usize, usize)> = Vec::new();
+    let mut integral: Vec<bool> = vec![false; kk];
+    for (k, row) in frac.xbar.iter().enumerate() {
+        if row.iter().any(|&(_, v)| v >= 1.0 - 1e-6) {
+            integral[k] = true;
+        } else {
+            for &(i, _) in row {
+                support_edges.push((k, i));
+            }
+        }
+    }
+    let etilde = crate::pseudoforest::compute_etilde(&support_edges, kk, inst.m());
+    for (k, row) in frac.xbar.iter().enumerate() {
+        if integral[k] || row.is_empty() {
+            adjusted.xbar[k] = row.clone();
+            continue;
+        }
+        let removed = etilde.removed[k];
+        let w = removed
+            .and_then(|i| row.iter().find(|&&(ii, _)| ii == i))
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        if w > 0.5 {
+            // Whole class to i⁻_k.
+            adjusted.xbar[k] = vec![(removed.expect("w > 0 implies a removed machine"), 1.0)];
+        } else {
+            // Double every kept fraction; drop i⁻_k.
+            adjusted.xbar[k] = row
+                .iter()
+                .filter(|&&(i, _)| Some(i) != removed)
+                .map(|&(i, v)| (i, (2.0 * v).min(1.0)))
+                .collect();
+            // Doubling can push a fraction to ≥ 1: the shared rounding then
+            // treats the class as integral on that machine — consistent
+            // with the theorem (that machine can absorb the class).
+        }
+    }
+    round_ra_class_uniform(inst, &adjusted)
+}
+
+/// Theorem 3.11: 3-approximation for unrelated machines with class-uniform
+/// processing times.
+///
+/// # Panics
+/// Panics if processing times are not class-uniform.
+pub fn solve_class_uniform_ptimes(inst: &UnrelatedInstance) -> RaResult {
+    assert!(
+        inst.has_class_uniform_ptimes(),
+        "Theorem 3.11 requires class-uniform processing times"
+    );
+    solve_with_rule(inst, ExclusionRule::SetupPlusJob, round_cupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::INF;
+    use sst_core::schedule::unrelated_makespan;
+
+    /// Class-uniform processing times: per-class per-machine time matrix.
+    fn cupt_instance(
+        m: usize,
+        class_job_counts: Vec<usize>,
+        class_ptimes: Vec<Vec<u64>>, // [class][machine]
+        class_setups: Vec<Vec<u64>>, // [class][machine]
+    ) -> UnrelatedInstance {
+        let mut job_class = Vec::new();
+        let mut ptimes = Vec::new();
+        for (k, &cnt) in class_job_counts.iter().enumerate() {
+            for _ in 0..cnt {
+                job_class.push(k);
+                ptimes.push(class_ptimes[k].clone());
+            }
+        }
+        UnrelatedInstance::new(m, job_class, ptimes, class_setups).unwrap()
+    }
+
+    #[test]
+    fn three_approx_guarantee_holds() {
+        let inst = cupt_instance(
+            3,
+            vec![4, 3, 2],
+            vec![vec![3, 5, 9], vec![6, 2, 4], vec![1, 1, 1]],
+            vec![vec![2, 2, 2], vec![1, 4, 2], vec![3, 3, 3]],
+        );
+        assert!(inst.has_class_uniform_ptimes());
+        let res = solve_class_uniform_ptimes(&inst);
+        assert!(res.makespan <= 3 * res.t_star, "{} > 3·{}", res.makespan, res.t_star);
+        let exact = crate::exact::exact_unrelated(&inst, 1 << 22);
+        assert!(exact.complete);
+        assert!(res.t_star <= exact.makespan);
+        assert!(res.makespan <= 3 * exact.makespan);
+    }
+
+    #[test]
+    fn unrelated_speeds_steer_classes() {
+        // Class 0 fast on machine 0, class 1 fast on machine 1.
+        let inst = cupt_instance(
+            2,
+            vec![2, 2],
+            vec![vec![1, 10], vec![10, 1]],
+            vec![vec![1, 1], vec![1, 1]],
+        );
+        let res = solve_class_uniform_ptimes(&inst);
+        let ms = unrelated_makespan(&inst, &res.schedule).unwrap();
+        // Perfect split gives 2·1 + 1 = 3 per machine.
+        assert!(ms <= 9, "steering failed: {ms}");
+    }
+
+    #[test]
+    fn infinite_cells_respected() {
+        let inst = cupt_instance(
+            2,
+            vec![2, 1],
+            vec![vec![4, INF], vec![INF, 3]],
+            vec![vec![1, INF], vec![INF, 2]],
+        );
+        let res = solve_class_uniform_ptimes(&inst);
+        for j in inst.jobs_of_class(0) {
+            assert_eq!(res.schedule.machine_of(j), 0);
+        }
+        for j in inst.jobs_of_class(1) {
+            assert_eq!(res.schedule.machine_of(j), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class-uniform processing times")]
+    fn rejects_non_uniform_times() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 0],
+            vec![vec![1, 2], vec![2, 1]],
+            vec![vec![1, 1]],
+        )
+        .unwrap();
+        let _ = solve_class_uniform_ptimes(&inst);
+    }
+
+    #[test]
+    fn big_fractional_class_splits_within_three() {
+        let inst = cupt_instance(
+            2,
+            vec![10],
+            vec![vec![4, 4]],
+            vec![vec![3, 3]],
+        );
+        let res = solve_class_uniform_ptimes(&inst);
+        let exact = crate::exact::exact_unrelated(&inst, 1 << 22);
+        assert!(res.makespan <= 3 * exact.makespan);
+    }
+}

@@ -1,0 +1,340 @@
+//! Constant-factor algorithms for **identical** machines with setup classes
+//! — the predecessor setting of the paper (Mäcker et al. \[24\], improved to
+//! a PTAS/EPTAS in \[18\]/\[17\]).
+//!
+//! The paper's own algorithms subsume identical machines (they are uniform
+//! machines of speed 1), but the identical case admits simpler algorithms
+//! with *better constants*, and the experiments use them as the historical
+//! baseline the paper improves on:
+//!
+//! * [`wrap_identical`] — a one-pass wrap-around rule in the spirit of
+//!   \[24\]'s constant-factor algorithms, no makespan guessing. Provable
+//!   additive bound `makespan ≤ W/m + 2·s_max + p_max` (see below), hence a
+//!   4-approximation; measured far better on non-adversarial inputs.
+//! * [`batch_lpt_identical`] — Lemma 2.1's transformation specialized to
+//!   identical machines, where LPT guarantees `4/3 − 1/(3m)` instead of the
+//!   uniform `1 + 1/√3`; the lemma's tripling argument then yields factor
+//!   `3·(4/3) = 4` (vs `≈ 4.74` for general speeds).
+//!
+//! **Bound of the wrap rule.** Let `W = Σ_j p_j + Σ_{k nonempty} s_k`,
+//! `s_max = max_k s_k` (over nonempty classes), `p_max = max_j p_j`, and
+//! `C = (W + (m−1)·s_max)/m + s_max + p_max`. The rule walks the classes in
+//! one sequence and moves to the next machine exactly when adding the next
+//! item would push the current machine past `C`; a class split across the
+//! boundary re-pays its setup once per continuation machine, which is at
+//! most one extra setup per machine transition. If machine `m` were
+//! abandoned too, every abandoned machine would carry more than
+//! `C − (s_max + p_max) = (W + (m−1)s_max)/m`, so together more than
+//! `W + (m−1)·s_max` — everything there is, including all re-paid setups.
+//! Contradiction, so `m` machines suffice and the makespan is at most `C ≤
+//! W/m + 2·s_max + p_max`. Each of the three terms lower-bounds `|Opt|`
+//! (area bound; every nonempty class is set up somewhere; the machine of
+//! the largest job), giving factor 4.
+//!
+//! ```
+//! use sst_algos::identical::{wrap_capacity, wrap_identical};
+//! use sst_core::instance::{Job, UniformInstance};
+//! use sst_core::ratio::Ratio;
+//! use sst_core::schedule::uniform_makespan;
+//!
+//! let inst = UniformInstance::identical(
+//!     3,
+//!     vec![2, 5],
+//!     vec![Job::new(0, 4), Job::new(0, 6), Job::new(1, 3), Job::new(1, 8)],
+//! ).unwrap();
+//! let sched = wrap_identical(&inst);
+//! let ms = uniform_makespan(&inst, &sched).unwrap();
+//! assert!(ms <= Ratio::from_int(wrap_capacity(&inst)));
+//! ```
+
+use sst_core::instance::{ClassId, JobId, UniformInstance};
+use sst_core::schedule::Schedule;
+
+/// Approximation factor of [`wrap_identical`].
+pub const WRAP_FACTOR: f64 = 4.0;
+
+/// Approximation factor of [`batch_lpt_identical`] (`3 · 4/3`).
+pub const BATCH_LPT_IDENTICAL_FACTOR: f64 = 4.0;
+
+/// The explicit capacity `C = (W + (m−1)·s_max)/m + s_max + p_max` the wrap
+/// rule fills machines to (in size units; speeds are all 1). Returns 0 for
+/// empty instances.
+pub fn wrap_capacity(inst: &UniformInstance) -> u64 {
+    if inst.n() == 0 {
+        return 0;
+    }
+    let m = inst.m() as u64;
+    let w = inst.total_work_with_min_setups();
+    let s_max = inst
+        .nonempty_classes()
+        .iter()
+        .map(|&k| inst.setup(k))
+        .max()
+        .unwrap_or(0);
+    let p_max = (0..inst.n()).map(|j| inst.job(j).size).max().unwrap_or(0);
+    (w + (m - 1) * s_max).div_ceil(m) + s_max + p_max
+}
+
+/// One-pass wrap-around scheduling for identical machines (\[24\] spirit).
+///
+/// Classes are laid out in one sequence (class-id order, jobs in job-id
+/// order) and wrapped across machines at capacity [`wrap_capacity`]; a
+/// split class pays a fresh setup on each machine it touches.
+///
+/// # Panics
+/// Panics if the instance is not identical (`is_identical()` false) — the
+/// wrap analysis is speed-free; use the Lemma 2.1 LPT or the PTAS for
+/// general speeds.
+pub fn wrap_identical(inst: &UniformInstance) -> Schedule {
+    assert!(
+        inst.is_identical(),
+        "wrap_identical requires identical machines; use lpt_with_setups for uniform speeds"
+    );
+    let n = inst.n();
+    let mut assignment: Vec<usize> = vec![0; n];
+    if n == 0 {
+        return Schedule::new(assignment);
+    }
+    let cap = wrap_capacity(inst);
+    let m = inst.m();
+    let mut machine = 0usize;
+    let mut load: u64 = 0;
+    // (class, its jobs) in class-id order, jobs in job-id order.
+    let mut pending: Option<ClassId> = None; // class currently open on `machine`
+    let place = |j: JobId,
+                     k: ClassId,
+                     machine: &mut usize,
+                     load: &mut u64,
+                     pending: &mut Option<ClassId>| {
+        let p = inst.job(j).size;
+        let s = inst.setup(k);
+        // Cost of putting j here now: p, plus s if the class is not open.
+        let setup_due = if *pending == Some(k) { 0 } else { s };
+        if *machine + 1 < m && *load + setup_due + p > cap {
+            *machine += 1;
+            *load = 0;
+            *pending = None;
+        }
+        let setup_due = if *pending == Some(k) { 0 } else { s };
+        *load += setup_due + p;
+        *pending = Some(k);
+        j
+    };
+    for k in 0..inst.num_classes() {
+        for j in inst.jobs_of_class(k) {
+            let jj = place(j, k, &mut machine, &mut load, &mut pending);
+            assignment[jj] = machine;
+        }
+    }
+    Schedule::new(assignment)
+}
+
+/// Lemma 2.1's LPT transformation on identical machines: placeholder
+/// replacement for jobs smaller than their class's setup, classic LPT on
+/// the transformed jobs, greedy refill. Factor `3·(4/3 − 1/(3m)) < 4`.
+///
+/// This is [`crate::lpt::lpt_with_setups`] restricted to identical
+/// instances; the wrapper exists because the *guarantee* is different (the
+/// uniform LPT constant `1 + 1/√3` degrades the lemma to `≈ 4.74`).
+///
+/// # Panics
+/// Panics if the instance is not identical.
+pub fn batch_lpt_identical(inst: &UniformInstance) -> Schedule {
+    assert!(
+        inst.is_identical(),
+        "batch_lpt_identical requires identical machines"
+    );
+    crate::lpt::lpt_with_setups(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::bounds::uniform_lower_bound;
+    use sst_core::instance::Job;
+    use sst_core::ratio::Ratio;
+    use sst_core::schedule::uniform_makespan;
+
+    fn identical(m: usize, setups: Vec<u64>, jobs: Vec<Job>) -> UniformInstance {
+        UniformInstance::identical(m, setups, jobs).unwrap()
+    }
+
+    /// Checks both the factor-4 guarantee and the explicit additive bound.
+    fn check_wrap(inst: &UniformInstance) -> Ratio {
+        let sched = wrap_identical(inst);
+        let ms = uniform_makespan(inst, &sched).unwrap();
+        let cap = wrap_capacity(inst);
+        assert!(
+            ms <= Ratio::from_int(cap),
+            "wrap makespan {ms} exceeds its own capacity bound {cap}"
+        );
+        let lb = uniform_lower_bound(inst);
+        if !lb.is_zero() {
+            let ratio = ms.div(lb);
+            assert!(
+                ratio <= Ratio::new(4, 1),
+                "wrap ratio {ratio} exceeds the factor-4 guarantee"
+            );
+            return ratio;
+        }
+        Ratio::ZERO
+    }
+
+    #[test]
+    fn wrap_respects_bounds_on_mixed_instance() {
+        let inst = identical(
+            3,
+            vec![2, 5, 1],
+            vec![
+                Job::new(0, 4),
+                Job::new(0, 6),
+                Job::new(1, 3),
+                Job::new(1, 3),
+                Job::new(1, 9),
+                Job::new(2, 1),
+                Job::new(2, 1),
+            ],
+        );
+        check_wrap(&inst);
+    }
+
+    #[test]
+    fn wrap_single_machine_is_exact() {
+        let inst = identical(1, vec![3, 4], vec![Job::new(0, 5), Job::new(1, 2)]);
+        let sched = wrap_identical(&inst);
+        // One machine: 5+2 + setups 3+4 = 14 is the only (optimal) schedule.
+        assert_eq!(uniform_makespan(&inst, &sched).unwrap(), Ratio::from_int(14));
+    }
+
+    #[test]
+    fn wrap_splits_one_giant_class_across_machines() {
+        // One class of 12 unit jobs, setup 1, 4 machines: optimum is
+        // 1 + 3 = 4; the wrap must use several machines and re-pay setups.
+        let inst = identical(4, vec![1], (0..12).map(|_| Job::new(0, 1)).collect());
+        let sched = wrap_identical(&inst);
+        let ms = uniform_makespan(&inst, &sched).unwrap();
+        let machines_used: std::collections::BTreeSet<_> =
+            sched.assignment().iter().copied().collect();
+        assert!(machines_used.len() >= 2, "giant class should wrap");
+        assert!(ms <= Ratio::from_int(wrap_capacity(&inst)));
+        check_wrap(&inst);
+    }
+
+    #[test]
+    fn wrap_vs_exact_on_small_instances() {
+        // Deterministic small instances; compare against certified optima.
+        for (seed, m) in [(0u64, 2usize), (1, 3), (2, 3)] {
+            let jobs: Vec<Job> = (0..9)
+                .map(|j| {
+                    let x = (seed * 7919 + j * 104729) % 17;
+                    Job::new((j % 3) as usize, 1 + x)
+                })
+                .collect();
+            let inst = identical(m, vec![3, 1, 2], jobs);
+            let sched = wrap_identical(&inst);
+            let ms = uniform_makespan(&inst, &sched).unwrap();
+            let exact = crate::exact::exact_uniform(&inst, 1 << 22);
+            assert!(exact.complete);
+            let opt = exact.makespan;
+            assert!(
+                ms <= opt.mul_int(4),
+                "seed {seed}: wrap {ms} > 4·opt {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_lpt_identical_beats_factor_four_vs_exact() {
+        let inst = identical(
+            3,
+            vec![4, 2],
+            vec![
+                Job::new(0, 1),
+                Job::new(0, 2),
+                Job::new(0, 7),
+                Job::new(1, 5),
+                Job::new(1, 5),
+                Job::new(1, 1),
+            ],
+        );
+        let sched = batch_lpt_identical(&inst);
+        let ms = uniform_makespan(&inst, &sched).unwrap();
+        let exact = crate::exact::exact_uniform(&inst, 1 << 22);
+        assert!(exact.complete);
+        let opt = exact.makespan;
+        assert!(ms <= opt.mul_int(4), "batch-LPT {ms} > 4·opt {opt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical machines")]
+    fn wrap_rejects_uniform_speeds() {
+        let inst =
+            UniformInstance::new(vec![1, 2], vec![1], vec![Job::new(0, 3)]).unwrap();
+        let _ = wrap_identical(&inst);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical machines")]
+    fn batch_lpt_rejects_uniform_speeds() {
+        let inst =
+            UniformInstance::new(vec![1, 2], vec![1], vec![Job::new(0, 3)]).unwrap();
+        let _ = batch_lpt_identical(&inst);
+    }
+
+    #[test]
+    fn wrap_handles_empty_and_degenerate() {
+        let empty = identical(2, vec![1], vec![]);
+        let sched = wrap_identical(&empty);
+        assert_eq!(sched.n(), 0);
+        assert_eq!(wrap_capacity(&empty), 0);
+
+        let zeros = identical(2, vec![0], vec![Job::new(0, 0), Job::new(0, 0)]);
+        let sched = wrap_identical(&zeros);
+        assert_eq!(uniform_makespan(&zeros, &sched).unwrap(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn wrap_heavy_setups_batch_classes_together() {
+        // Setups dwarf jobs: splitting any class would be disastrous; the
+        // wrap's capacity is large enough to keep each class whole.
+        let inst = identical(
+            2,
+            vec![100, 100],
+            vec![
+                Job::new(0, 1),
+                Job::new(0, 1),
+                Job::new(1, 1),
+                Job::new(1, 1),
+            ],
+        );
+        let sched = wrap_identical(&inst);
+        // Each class must sit on one machine: makespan ≤ 204 either way,
+        // and the guarantee keeps us ≤ 4·opt (opt = 102).
+        let ms = uniform_makespan(&inst, &sched).unwrap();
+        assert!(ms <= Ratio::from_int(4 * 102));
+        // No class is split (each class's jobs share a machine).
+        for k in 0..2 {
+            let js = inst.jobs_of_class(k);
+            let hosts: std::collections::BTreeSet<_> =
+                js.iter().map(|&j| sched.machine_of(j)).collect();
+            assert_eq!(hosts.len(), 1, "class {k} split under huge setups");
+        }
+    }
+
+    #[test]
+    fn wrap_is_deterministic() {
+        let inst = identical(
+            3,
+            vec![2, 3],
+            (0..20).map(|j| Job::new(j % 2, 1 + (j as u64 * 13) % 9)).collect(),
+        );
+        assert_eq!(wrap_identical(&inst), wrap_identical(&inst));
+    }
+
+    #[test]
+    fn wrap_many_machines_few_jobs() {
+        let inst = identical(16, vec![5], vec![Job::new(0, 3)]);
+        let sched = wrap_identical(&inst);
+        assert_eq!(uniform_makespan(&inst, &sched).unwrap(), Ratio::from_int(8));
+    }
+}

@@ -1,0 +1,221 @@
+//! Greedy list-scheduling baselines.
+//!
+//! Every experiment needs comparators: the *setup-oblivious* baselines show
+//! why ignoring classes is catastrophic when setups dominate (experiment
+//! E8), and the *setup-aware* greedy provides incumbents for the exact
+//! branch-and-bound solvers.
+
+use sst_core::instance::{is_finite, UniformInstance, UnrelatedInstance, INF};
+use sst_core::ratio::Ratio;
+use sst_core::schedule::Schedule;
+
+/// Setup-oblivious LPT on uniform machines: classic LPT on the raw jobs
+/// (no batching); setups are whatever the resulting spread incurs. The
+/// natural "wrong" algorithm for this problem.
+pub fn oblivious_lpt_uniform(inst: &UniformInstance) -> Schedule {
+    crate::lpt::lpt_ignore_setups(inst)
+}
+
+/// Setup-aware greedy for uniform machines: jobs in non-increasing size
+/// order; each goes to the machine minimizing the resulting *completion
+/// ratio* `(load + p + (setup if class new there)) / v`.
+pub fn greedy_uniform(inst: &UniformInstance) -> Schedule {
+    let mut order: Vec<usize> = (0..inst.n()).collect();
+    order.sort_by(|&a, &b| inst.job(b).size.cmp(&inst.job(a).size));
+    let mut load = vec![0u64; inst.m()];
+    let mut has_class = vec![vec![false; inst.num_classes()]; inst.m()];
+    let mut assignment = vec![0usize; inst.n()];
+    for &j in &order {
+        let job = inst.job(j);
+        let best = (0..inst.m())
+            .min_by(|&a, &b| {
+                let cost = |i: usize| {
+                    let setup = if has_class[i][job.class] { 0 } else { inst.setup(job.class) };
+                    Ratio::new(load[i] + job.size + setup, inst.speed(i))
+                };
+                cost(a).cmp(&cost(b)).then(a.cmp(&b))
+            })
+            .expect("at least one machine");
+        if !has_class[best][job.class] {
+            has_class[best][job.class] = true;
+            load[best] += inst.setup(job.class);
+        }
+        load[best] += job.size;
+        assignment[j] = best;
+    }
+    Schedule::new(assignment)
+}
+
+/// Setup-aware greedy for unrelated machines: jobs ordered by decreasing
+/// best-case cost `min_i (p_ij + s_ik)`; each goes to the machine minimizing
+/// the resulting load (processing plus setup if its class is new there).
+/// Machines where the job or its setup is infinite are skipped; validity is
+/// guaranteed because instances reject jobs that can run nowhere.
+pub fn greedy_unrelated(inst: &UnrelatedInstance) -> Schedule {
+    let mut order: Vec<usize> = (0..inst.n()).collect();
+    order.sort_by_key(|&j| {
+        let best = (0..inst.m()).map(|i| inst.cost(i, j)).min().unwrap_or(INF);
+        std::cmp::Reverse(best)
+    });
+    let mut load = vec![0u64; inst.m()];
+    let mut has_class = vec![vec![false; inst.num_classes()]; inst.m()];
+    let mut assignment = vec![0usize; inst.n()];
+    for &j in &order {
+        let k = inst.class_of(j);
+        let mut best: Option<(u64, usize)> = None;
+        for i in 0..inst.m() {
+            let p = inst.ptime(i, j);
+            let s = inst.setup(i, k);
+            if !is_finite(p) || !is_finite(s) {
+                continue;
+            }
+            let setup = if has_class[i][k] { 0 } else { s };
+            let new_load = load[i].saturating_add(p).saturating_add(setup);
+            match best {
+                None => best = Some((new_load, i)),
+                Some((bl, _)) if new_load < bl => best = Some((new_load, i)),
+                _ => {}
+            }
+        }
+        let (_, i) = best.expect("instance validation guarantees a finite machine");
+        if !has_class[i][k] {
+            has_class[i][k] = true;
+            load[i] += inst.setup(i, k);
+        }
+        load[i] += inst.ptime(i, j);
+        assignment[j] = i;
+    }
+    Schedule::new(assignment)
+}
+
+/// Class-grouped greedy for unrelated machines: whole classes are placed
+/// atomically (never split), ordered by decreasing total workload, each on
+/// the machine minimizing the resulting load. A strong baseline when setups
+/// dominate, and pathological when one class holds most of the work.
+pub fn class_grouped_greedy_unrelated(inst: &UnrelatedInstance) -> Option<Schedule> {
+    let mut classes: Vec<usize> = inst.nonempty_classes();
+    // Order by decreasing best-case workload.
+    classes.sort_by_key(|&k| {
+        let best = (0..inst.m())
+            .map(|i| inst.class_workload(i, k).saturating_add(inst.setup(i, k)))
+            .min()
+            .unwrap_or(INF);
+        std::cmp::Reverse(best)
+    });
+    let mut load = vec![0u64; inst.m()];
+    let mut assignment = vec![0usize; inst.n()];
+    for &k in &classes {
+        let mut best: Option<(u64, usize)> = None;
+        for i in 0..inst.m() {
+            let w = inst.class_workload(i, k);
+            let s = inst.setup(i, k);
+            if !is_finite(w) || !is_finite(s) {
+                continue;
+            }
+            let new_load = load[i].saturating_add(w).saturating_add(s);
+            match best {
+                None => best = Some((new_load, i)),
+                Some((bl, _)) if new_load < bl => best = Some((new_load, i)),
+                _ => {}
+            }
+        }
+        // A class may be unplaceable atomically (no machine hosts *all* its
+        // jobs) even though the instance is schedulable job-by-job.
+        let (_, i) = best?;
+        load[i] = load[i]
+            .saturating_add(inst.class_workload(i, k))
+            .saturating_add(inst.setup(i, k));
+        for j in inst.jobs_of_class(k) {
+            assignment[j] = i;
+        }
+    }
+    Some(Schedule::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::Job;
+    use sst_core::schedule::{unrelated_makespan, uniform_makespan};
+
+    #[test]
+    fn lemma_2_1_batching_beats_oblivious_when_setups_dominate() {
+        // Two classes of 2 unit jobs each, setups 100, two machines. The
+        // optimum keeps each class on its own machine (102). Oblivious LPT
+        // interleaves the unit jobs and pays both setups on both machines
+        // (202). Myopic setup-aware greedy falls into the same trap — only
+        // the Lemma 2.1 batching transform avoids it.
+        let inst = UniformInstance::identical(
+            2,
+            vec![100, 100],
+            vec![Job::new(0, 1), Job::new(0, 1), Job::new(1, 1), Job::new(1, 1)],
+        )
+        .unwrap();
+        let obl = uniform_makespan(&inst, &oblivious_lpt_uniform(&inst)).unwrap();
+        let lpt = uniform_makespan(&inst, &crate::lpt::lpt_with_setups(&inst)).unwrap();
+        assert_eq!(obl, Ratio::new(202, 1));
+        assert_eq!(lpt, Ratio::new(102, 1));
+        assert!(lpt < obl);
+    }
+
+    #[test]
+    fn greedy_uniform_is_setup_aware_per_machine() {
+        // Single class, setup 3, jobs 5 and 5, two machines: greedy reaches
+        // the optimum (split, 8 = 5 + 3 per machine) and never does worse
+        // than serializing everything.
+        let inst = UniformInstance::identical(
+            2,
+            vec![3],
+            vec![Job::new(0, 5), Job::new(0, 5)],
+        )
+        .unwrap();
+        let grd = uniform_makespan(&inst, &greedy_uniform(&inst)).unwrap();
+        assert_eq!(grd, Ratio::new(8, 1));
+    }
+
+    #[test]
+    fn greedy_unrelated_avoids_infinite_cells() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 1],
+            vec![vec![INF, 3], vec![2, INF]],
+            vec![vec![1, 1], vec![1, 1]],
+        )
+        .unwrap();
+        let s = greedy_unrelated(&inst);
+        assert_eq!(s.machine_of(0), 1);
+        assert_eq!(s.machine_of(1), 0);
+        assert_eq!(unrelated_makespan(&inst, &s).unwrap(), 4);
+    }
+
+    #[test]
+    fn class_grouped_keeps_classes_together() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 0, 1, 1],
+            vec![vec![2, 2]; 4],
+            vec![vec![10, 10], vec![10, 10]],
+        )
+        .unwrap();
+        let s = class_grouped_greedy_unrelated(&inst).unwrap();
+        assert_eq!(s.machine_of(0), s.machine_of(1));
+        assert_eq!(s.machine_of(2), s.machine_of(3));
+        // Two classes, two machines → one class each: load 14.
+        assert_eq!(unrelated_makespan(&inst, &s).unwrap(), 14);
+    }
+
+    #[test]
+    fn class_grouped_returns_none_when_class_must_split() {
+        // Class 0 has jobs eligible on disjoint machines — cannot be atomic.
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 0],
+            vec![vec![1, INF], vec![INF, 1]],
+            vec![vec![1, 1]],
+        )
+        .unwrap();
+        assert!(class_grouped_greedy_unrelated(&inst).is_none());
+        // The job-level greedy still succeeds.
+        assert!(unrelated_makespan(&inst, &greedy_unrelated(&inst)).is_ok());
+    }
+}

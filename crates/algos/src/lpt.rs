@@ -1,0 +1,173 @@
+//! The LPT-based constant-factor approximation of Lemma 2.1.
+//!
+//! For uniformly related machines with setup times: replace, per class `k`,
+//! the jobs smaller than the setup size `s_k` by `⌈Σ/s_k⌉` placeholders of
+//! size `s_k`; run classic LPT ignoring classes and setups; then map the
+//! placeholders back and pay the setups. Kovács' bound for LPT on uniform
+//! machines (`1 + 1/√3`) gives an overall factor of `3(1 + 1/√3) ≈ 4.74`.
+//!
+//! This is the bootstrap for the dual-approximation searches (it brackets
+//! `|Opt|` within a constant factor in `O(n log n)` time) and experiment E1.
+
+use sst_core::batch::{map_schedule_back, replace_small_jobs};
+use sst_core::instance::UniformInstance;
+use sst_core::ratio::Ratio;
+use sst_core::schedule::{uniform_makespan, Schedule};
+
+/// The proven approximation factor of [`lpt_with_setups`]:
+/// `3·(1 + 1/√3)` ≈ 4.7320508. Exposed for tests and experiment tables.
+pub const LPT_FACTOR: f64 = 4.732050807568877;
+
+/// Classic LPT on uniform machines, ignoring classes and setups entirely:
+/// jobs sorted by non-increasing size, each assigned to the machine where it
+/// would *finish first* (`(load_i + p) / v_i` minimal; ties to the lower
+/// machine index). Returns the assignment. Exposed separately because the
+/// setup-oblivious baseline of experiment E8 uses it directly.
+pub fn lpt_ignore_setups(inst: &UniformInstance) -> Schedule {
+    let mut order: Vec<usize> = (0..inst.n()).collect();
+    // Stable sort keeps equal sizes in job-id order → deterministic.
+    order.sort_by(|&a, &b| inst.job(b).size.cmp(&inst.job(a).size));
+    let mut load = vec![0u64; inst.m()];
+    let mut assignment = vec![0usize; inst.n()];
+    for &j in &order {
+        let p = inst.job(j).size;
+        let best = (0..inst.m())
+            .min_by(|&a, &b| {
+                let fa = Ratio::new(load[a] + p, inst.speed(a));
+                let fb = Ratio::new(load[b] + p, inst.speed(b));
+                fa.cmp(&fb).then(a.cmp(&b))
+            })
+            .expect("at least one machine");
+        assignment[j] = best;
+        load[best] += p;
+    }
+    Schedule::new(assignment)
+}
+
+/// Lemma 2.1: the `≈ 4.74`-approximation for uniform machines with setup
+/// times. Returns the schedule for the *original* instance.
+pub fn lpt_with_setups(inst: &UniformInstance) -> Schedule {
+    // Classes with zero setup cannot be batched into positive-size
+    // placeholders; their jobs are never "smaller than the setup" anyway
+    // (sizes are ≥ 0 = s_k), so the threshold test below excludes them
+    // naturally (p < 0 is impossible).
+    let (transformed, map) = replace_small_jobs(
+        inst,
+        |k| inst.setup(k),
+        |k| inst.setup(k).max(1),
+    );
+    let sched_t = lpt_ignore_setups(&transformed);
+    map_schedule_back(&map, &transformed, &sched_t, inst)
+}
+
+/// Convenience: runs [`lpt_with_setups`] and returns the schedule together
+/// with its exact makespan.
+pub fn lpt_with_setups_makespan(inst: &UniformInstance) -> (Schedule, Ratio) {
+    let s = lpt_with_setups(inst);
+    let ms = uniform_makespan(inst, &s).expect("LPT produces a valid schedule");
+    (s, ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::bounds::uniform_lower_bound;
+    use sst_core::instance::Job;
+
+    #[test]
+    fn lpt_ignores_setups_classic_behaviour() {
+        // Identical machines, no classes to worry about: sizes 5,4,3,3 on
+        // 2 machines → LPT loads {5+3, 4+3}.
+        let inst = UniformInstance::identical(
+            2,
+            vec![0],
+            vec![Job::new(0, 5), Job::new(0, 4), Job::new(0, 3), Job::new(0, 3)],
+        )
+        .unwrap();
+        let s = lpt_ignore_setups(&inst);
+        let loads = sst_core::schedule::uniform_loads(&inst, &s).unwrap();
+        let mut l = loads.clone();
+        l.sort();
+        assert_eq!(l, vec![7, 8]);
+    }
+
+    #[test]
+    fn lpt_respects_speeds() {
+        // One fast machine (speed 10) and one slow (speed 1): everything
+        // should land on the fast machine for these sizes.
+        let inst = UniformInstance::new(
+            vec![10, 1],
+            vec![0],
+            vec![Job::new(0, 5), Job::new(0, 5), Job::new(0, 5)],
+        )
+        .unwrap();
+        let s = lpt_ignore_setups(&inst);
+        assert!(s.assignment().iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn small_jobs_of_a_class_get_batched() {
+        // 10 unit jobs of a class with setup 10 on 2 identical machines.
+        // Naively spreading them pays 2 setups; the transform batches them
+        // into one placeholder of size 10, keeping one setup.
+        let inst = UniformInstance::identical(
+            2,
+            vec![10],
+            (0..10).map(|_| Job::new(0, 1)).collect(),
+        )
+        .unwrap();
+        let s = lpt_with_setups(&inst);
+        let machines: std::collections::BTreeSet<usize> =
+            s.assignment().iter().copied().collect();
+        assert_eq!(machines.len(), 1, "batched jobs should share one machine");
+        let (_, ms) = lpt_with_setups_makespan(&inst);
+        assert_eq!(ms, Ratio::new(20, 1));
+    }
+
+    #[test]
+    fn ratio_stays_below_lemma_bound_on_stress_mix() {
+        // Deterministic stress mix of classes/sizes/speeds.
+        let jobs: Vec<Job> = (0..60)
+            .map(|x| Job::new(x % 7, 1 + ((x * x * 2654435761usize) % 97) as u64))
+            .collect();
+        let inst = UniformInstance::new(
+            vec![1, 2, 3, 5, 8],
+            vec![13, 1, 40, 7, 22, 5, 60],
+            jobs,
+        )
+        .unwrap();
+        let (_, ms) = lpt_with_setups_makespan(&inst);
+        let lb = uniform_lower_bound(&inst);
+        let ratio = ms.to_f64() / lb.to_f64();
+        assert!(
+            ratio <= LPT_FACTOR + 1e-9,
+            "LPT ratio {ratio} exceeds Lemma 2.1 bound {LPT_FACTOR}"
+        );
+    }
+
+    #[test]
+    fn zero_setup_classes_are_handled() {
+        let inst = UniformInstance::identical(
+            2,
+            vec![0, 3],
+            vec![Job::new(0, 4), Job::new(1, 1), Job::new(1, 1)],
+        )
+        .unwrap();
+        let (s, ms) = lpt_with_setups_makespan(&inst);
+        assert_eq!(s.n(), 3);
+        assert!(ms >= uniform_lower_bound(&inst));
+    }
+
+    #[test]
+    fn single_machine_everything_serial() {
+        let inst = UniformInstance::new(
+            vec![2],
+            vec![4, 6],
+            vec![Job::new(0, 3), Job::new(1, 5), Job::new(0, 1)],
+        )
+        .unwrap();
+        let (_, ms) = lpt_with_setups_makespan(&inst);
+        // All work + both setups on the single machine: (3+5+1+4+6)/2.
+        assert_eq!(ms, Ratio::new(19, 2));
+    }
+}

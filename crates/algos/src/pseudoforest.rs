@@ -1,0 +1,285 @@
+//! Pseudoforest rounding structure for LP-RelaxedRA (Sections 3.3.1/3.3.2).
+//!
+//! The support graph of a *basic* solution to LP-RelaxedRA — bipartite on
+//! (classes, machines) with an edge per strictly fractional `x̄_ik` — has at
+//! most one cycle per connected component (a pseudoforest; standard LP
+//! degeneracy argument: #fractional variables ≤ #tight constraints touching
+//! them). This module computes the edge set `Ẽ` of the paper with the two
+//! properties of Lemma 3.8:
+//!
+//! 1. every machine is incident to **at most one** `Ẽ`-edge, and
+//! 2. every class has **at most one** support edge outside `Ẽ`.
+//!
+//! Construction (following \[5\] as restated in the paper): break each
+//! component's unique cycle by deleting alternate edges (those leaving class
+//! nodes along a fixed direction), then root every resulting tree at its
+//! unique cycle-class (or an arbitrary class for acyclic components), direct
+//! edges away from the root, and drop all edges leaving machine nodes. The
+//! surviving class→machine edges form `Ẽ`.
+
+/// Result of the Ẽ computation for one LP support graph.
+#[derive(Debug, Clone)]
+pub struct Etilde {
+    /// `kept[k]` — machines `i` with `{i,k} ∈ Ẽ`, ascending.
+    pub kept: Vec<Vec<usize>>,
+    /// `removed[k]` — the at-most-one support machine of class `k` whose
+    /// edge is *not* in `Ẽ` (the paper's `i⁻_k`), if any.
+    pub removed: Vec<Option<usize>>,
+}
+
+/// Computes Ẽ from the fractional support edges `(class, machine)`.
+///
+/// `num_classes`/`num_machines` size the node universe; classes or machines
+/// without support edges simply yield empty rows.
+///
+/// # Panics
+/// Panics if some component is not a pseudotree (more than one independent
+/// cycle) — that would contradict the basic-solution property and indicates
+/// the caller passed a non-vertex LP solution.
+pub fn compute_etilde(
+    edges: &[(usize, usize)],
+    num_classes: usize,
+    num_machines: usize,
+) -> Etilde {
+    // Node ids: class k → k, machine i → num_classes + i.
+    let nn = num_classes + num_machines;
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nn]; // (neighbor, edge id)
+    for (e, &(k, i)) in edges.iter().enumerate() {
+        assert!(k < num_classes && i < num_machines, "edge out of range");
+        let u = k;
+        let v = num_classes + i;
+        adj[u].push((v, e));
+        adj[v].push((u, e));
+    }
+    let mut removed_edge = vec![false; edges.len()];
+    let mut in_etilde = vec![false; edges.len()];
+    let mut comp = vec![usize::MAX; nn];
+    let mut ncomp = 0usize;
+    for start in 0..nn {
+        if comp[start] != usize::MAX || adj[start].is_empty() {
+            continue;
+        }
+        // BFS to collect the component.
+        let mut nodes = vec![start];
+        comp[start] = ncomp;
+        let mut head = 0;
+        while head < nodes.len() {
+            let u = nodes[head];
+            head += 1;
+            for &(v, _) in &adj[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = ncomp;
+                    nodes.push(v);
+                }
+            }
+        }
+        ncomp += 1;
+        let n_edges = {
+            let mut cnt = 0usize;
+            for &u in &nodes {
+                cnt += adj[u].len();
+            }
+            cnt / 2
+        };
+        assert!(
+            n_edges <= nodes.len(),
+            "component has {n_edges} edges over {} nodes: not a pseudotree — \
+             the LP solution is not a vertex",
+            nodes.len()
+        );
+
+        // Find the unique cycle (if n_edges == nodes.len()) by stripping
+        // leaves; remaining nodes with residual degree 2 form the cycle.
+        let mut degree: std::collections::HashMap<usize, usize> =
+            nodes.iter().map(|&u| (u, adj[u].len())).collect();
+        let mut queue: Vec<usize> =
+            nodes.iter().copied().filter(|u| degree[u] == 1).collect();
+        let mut alive: std::collections::HashSet<usize> = nodes.iter().copied().collect();
+        while let Some(u) = queue.pop() {
+            if !alive.remove(&u) {
+                continue;
+            }
+            for &(v, _) in &adj[u] {
+                if alive.contains(&v) {
+                    let d = degree.get_mut(&v).expect("in component");
+                    *d -= 1;
+                    if *d == 1 {
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+        let has_cycle = !alive.is_empty();
+        let mut roots: Vec<usize> = Vec::new();
+        if has_cycle {
+            // Walk the cycle from a class node, deleting alternate edges
+            // starting with the edge leaving that class node.
+            let start_cls = *alive
+                .iter()
+                .find(|&&u| u < num_classes)
+                .expect("bipartite cycles alternate class/machine nodes");
+            let mut prev = usize::MAX;
+            let mut cur = start_cls;
+            let mut delete_this = true; // first edge leaves a class node
+            loop {
+                let (next, eid) = adj[cur]
+                    .iter()
+                    .copied()
+                    .find(|&(v, _)| alive.contains(&v) && v != prev)
+                    .expect("cycle nodes have two live cycle neighbours");
+                if delete_this {
+                    removed_edge[eid] = true;
+                }
+                delete_this = !delete_this;
+                prev = cur;
+                cur = next;
+                if cur == start_cls {
+                    break;
+                }
+                // `prev`-avoidance fails on 2-cycles, which cannot occur in a
+                // simple bipartite support graph.
+            }
+            // Roots: all cycle class nodes.
+            roots.extend(alive.iter().copied().filter(|&u| u < num_classes));
+        } else {
+            // Tree component: root at any class node (a component with
+            // edges always contains one end of each edge in the classes).
+            let root = nodes
+                .iter()
+                .copied()
+                .find(|&u| u < num_classes)
+                .expect("support edges touch a class");
+            roots.push(root);
+        }
+
+        // Orient the remaining forest away from the roots; keep only edges
+        // leaving class nodes.
+        let mut visited: std::collections::HashSet<usize> = roots.iter().copied().collect();
+        let mut stack = roots;
+        while let Some(u) = stack.pop() {
+            for &(v, eid) in &adj[u] {
+                if removed_edge[eid] || visited.contains(&v) {
+                    continue;
+                }
+                visited.insert(v);
+                if u < num_classes {
+                    in_etilde[eid] = true; // class → machine edge survives
+                }
+                stack.push(v);
+            }
+        }
+    }
+
+    let mut kept = vec![Vec::new(); num_classes];
+    let mut removed = vec![None; num_classes];
+    for (e, &(k, i)) in edges.iter().enumerate() {
+        if in_etilde[e] {
+            kept[k].push(i);
+        } else {
+            assert!(
+                removed[k].is_none(),
+                "class {k} lost two support edges — Lemma 3.8 violated"
+            );
+            removed[k] = Some(i);
+        }
+    }
+    for row in &mut kept {
+        row.sort_unstable();
+    }
+    let res = Etilde { kept, removed };
+    debug_assert!(res.machines_unique(num_machines));
+    res
+}
+
+impl Etilde {
+    /// Lemma 3.8 property 1: each machine appears in at most one kept row.
+    pub fn machines_unique(&self, num_machines: usize) -> bool {
+        let mut seen = vec![false; num_machines];
+        for row in &self.kept {
+            for &i in row {
+                if seen[i] {
+                    return false;
+                }
+                seen[i] = true;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_lemma_3_8(edges: &[(usize, usize)], kk: usize, mm: usize) -> Etilde {
+        let e = compute_etilde(edges, kk, mm);
+        assert!(e.machines_unique(mm), "a machine keeps two classes");
+        // Property 2 is structural: `removed` holds at most one entry per
+        // class by the panic in construction; also every support edge is
+        // accounted exactly once.
+        let mut count = 0usize;
+        for k in 0..kk {
+            count += e.kept[k].len() + usize::from(e.removed[k].is_some());
+        }
+        assert_eq!(count, edges.len());
+        e
+    }
+
+    #[test]
+    fn single_path_component() {
+        // k0 - m0 - k1 - m1 (a path): rooting at a class keeps class→machine
+        // edges on the directed-away orientation.
+        let edges = vec![(0, 0), (1, 0), (1, 1)];
+        let e = check_lemma_3_8(&edges, 2, 2);
+        // Each class keeps ≥ 1 edge (classes have ≥ 2 support edges in real
+        // LP solutions; here k0 has one — it may lose it or keep it, but the
+        // machine-uniqueness and accounting invariants must hold).
+        let total_kept: usize = e.kept.iter().map(|r| r.len()).sum();
+        assert!(total_kept >= 1);
+    }
+
+    #[test]
+    fn four_cycle() {
+        // k0 - m0 - k1 - m1 - k0: the unique cycle; each class must lose
+        // exactly one edge and keep exactly one, machines unique.
+        let edges = vec![(0, 0), (1, 0), (1, 1), (0, 1)];
+        let e = check_lemma_3_8(&edges, 2, 2);
+        for k in 0..2 {
+            assert_eq!(e.kept[k].len(), 1, "class {k} kept {:?}", e.kept[k]);
+            assert!(e.removed[k].is_some());
+        }
+    }
+
+    #[test]
+    fn cycle_with_pendant_trees() {
+        // Cycle k0-m0-k1-m1-k0 plus pendants m2 off k0 and k2 off m2.
+        let edges = vec![(0, 0), (1, 0), (1, 1), (0, 1), (0, 2), (2, 2)];
+        let e = check_lemma_3_8(&edges, 3, 3);
+        // m2 hangs under k0: the edge (0,2) is class→machine → kept; then
+        // (2,2) leaves machine m2 → removed.
+        assert!(e.kept[0].contains(&2));
+        assert_eq!(e.removed[2], Some(2));
+    }
+
+    #[test]
+    fn multiple_components() {
+        let edges = vec![(0, 0), (1, 1), (1, 2), (2, 3), (2, 4), (3, 4), (3, 3)];
+        check_lemma_3_8(&edges, 4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pseudotree")]
+    fn rejects_theta_graph() {
+        // Two independent cycles through k0/k1/m0/m1 + extra chord via k2:
+        // K4-like bipartite with 6 edges over 5 nodes.
+        let edges = vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)];
+        compute_etilde(&edges, 3, 2);
+    }
+
+    #[test]
+    fn empty_support() {
+        let e = compute_etilde(&[], 3, 2);
+        assert!(e.kept.iter().all(|r| r.is_empty()));
+        assert!(e.removed.iter().all(|r| r.is_none()));
+    }
+}

@@ -1,0 +1,378 @@
+//! LP-RelaxedRA and the 2-approximation for restricted assignment with
+//! class-uniform restrictions (Section 3.3.1, Theorem 3.10).
+//!
+//! The LP has one variable `x̄_ik` per (machine, class) — the *fraction of
+//! the class's workload* on the machine — with
+//!
+//! ```text
+//! (11)  Σ_k x̄_ik (p̄_ik + α_ik·s_ik) ≤ T    ∀ i
+//! (12)  Σ_i x̄_ik = 1                        ∀ k
+//! (13)  x̄ ≥ 0
+//! (14)  x̄_ik = 0   if s_ik > T  (or α undefined: p̄_ik > 0, s_ik ≥ T)
+//! ```
+//!
+//! where `p̄_ik` is the class workload and `α_ik = max(1, p̄_ik/(T−s_ik))`.
+//! Lemma 3.7: feasibility of ILP-RA at `T` implies feasibility here, so an
+//! infeasible LP certifies `T < |Opt|` and the bisection's accepted guess is
+//! a valid lower bound. Rounding: fix integral classes; compute `Ẽ` on the
+//! fractional support ([`crate::pseudoforest`]); move the workload of each
+//! class's at-most-one non-`Ẽ` machine `i⁻_k` onto a kept machine `i⁺_k`;
+//! greedily pour the class's jobs into the reserved slots with `i⁺_k` last
+//! (Lemma 3.9 bounds `i⁺_k` by `2T` and everyone else by `T` before the
+//! final per-machine overflow of one setup + one job ≤ `T`).
+
+use crate::pseudoforest::compute_etilde;
+use sst_core::bounds::{unrelated_lower_bound, unrelated_upper_bound};
+use sst_core::dual::{binary_search_u64, Decision};
+use sst_core::instance::{is_finite, UnrelatedInstance};
+use sst_core::schedule::{unrelated_makespan, Schedule};
+use sst_lp::{LpProblem, LpStatus, Relation, Sense};
+
+/// Which variable-exclusion rule the LP uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExclusionRule {
+    /// Equation (14): `x̄_ik = 0` if `s_ik > T` — the restricted-assignment
+    /// variant of Section 3.3.1.
+    SetupOnly,
+    /// Equation (16): `x̄_ik = 0` if `s_ik + p_ik > T` for the (class-
+    /// uniform) per-job time `p_ik` — the Section 3.3.2 variant.
+    SetupPlusJob,
+}
+
+/// A fractional class→machine distribution from LP-RelaxedRA.
+#[derive(Debug, Clone)]
+pub struct RaFractional {
+    /// `xbar[k]` — sparse `(machine, fraction)` rows, fractions in `(0,1]`.
+    pub xbar: Vec<Vec<(usize, f64)>>,
+    /// The guess the LP was solved at.
+    pub t: u64,
+}
+
+/// Solves LP-RelaxedRA at guess `t`; `None` means infeasible (certifying
+/// `t < |Opt|` via Lemma 3.7 — for `SetupPlusJob`, via its Eq-(16) analogue).
+pub fn solve_lp_relaxed_ra(
+    inst: &UnrelatedInstance,
+    t: u64,
+    rule: ExclusionRule,
+) -> Option<RaFractional> {
+    let m = inst.m();
+    let kk = inst.num_classes();
+    let classes: Vec<usize> = inst.nonempty_classes();
+    let mut lp = LpProblem::new(Sense::Min);
+    let mut var = vec![vec![None; m]; kk];
+    for &k in &classes {
+        for i in 0..m {
+            let s = inst.setup(i, k);
+            if !is_finite(s) || s > t {
+                continue;
+            }
+            let pbar = inst.class_workload(i, k);
+            if !is_finite(pbar) {
+                continue; // some job of k cannot run on i (restriction)
+            }
+            // α_ik = max(1, p̄/(T−s)); undefined (infinite) when p̄ > 0, s = T.
+            let alpha = if pbar == 0 {
+                1.0
+            } else if s == t {
+                continue;
+            } else {
+                1.0f64.max(pbar as f64 / (t - s) as f64)
+            };
+            match rule {
+                ExclusionRule::SetupOnly => {}
+                ExclusionRule::SetupPlusJob => {
+                    // Any job of the class (class-uniform times): exclusion
+                    // if s + p_ik > T.
+                    let per_job = inst
+                        .jobs_of_class(k)
+                        .first()
+                        .map(|&j| inst.ptime(i, j))
+                        .unwrap_or(0);
+                    if !is_finite(per_job) || s.saturating_add(per_job) > t {
+                        continue;
+                    }
+                }
+            }
+            // Objective: minimize total fractional load — a stabilizing
+            // tie-break (any feasible basic solution suffices for rounding).
+            let coeff = pbar as f64 + alpha * s as f64;
+            // No x̄ ≤ 1 row: (12) with x̄ ≥ 0 already implies it.
+            var[k][i] = Some((lp.add_var(coeff, None), coeff));
+        }
+    }
+    // (12) per nonempty class.
+    for &k in &classes {
+        let coeffs: Vec<_> = var[k].iter().flatten().map(|&(v, _)| (v, 1.0)).collect();
+        if coeffs.is_empty() {
+            return None; // class cannot be placed anywhere within T
+        }
+        lp.add_constraint(&coeffs, Relation::Eq, 1.0);
+    }
+    // (11) per machine.
+    for i in 0..m {
+        let coeffs: Vec<_> = (0..kk)
+            .filter_map(|k| var[k][i].map(|(v, c)| (v, c)))
+            .collect();
+        if !coeffs.is_empty() {
+            lp.add_constraint(&coeffs, Relation::Le, t as f64);
+        }
+    }
+    let sol = lp.solve();
+    match sol.status {
+        LpStatus::Optimal => {
+            let mut xbar = vec![Vec::new(); kk];
+            for (k, row) in var.iter().enumerate() {
+                for (i, slot) in row.iter().enumerate() {
+                    if let Some((v, _)) = slot {
+                        let val = sol.value(*v);
+                        if val > 1e-9 {
+                            xbar[k].push((i, val.min(1.0)));
+                        }
+                    }
+                }
+            }
+            Some(RaFractional { xbar, t })
+        }
+        LpStatus::Infeasible => None,
+        LpStatus::Unbounded => unreachable!("box-bounded feasibility LP"),
+    }
+}
+
+/// Integrality threshold: `x̄ ≥ 1 − ε` counts as a whole class on a machine.
+const INTEGRAL_TOL: f64 = 1e-6;
+
+/// Rounds an LP-RelaxedRA solution into a schedule (Section 3.3.1).
+pub fn round_ra_class_uniform(inst: &UnrelatedInstance, frac: &RaFractional) -> Schedule {
+    let kk = inst.num_classes();
+    let mut assignment = vec![usize::MAX; inst.n()];
+    // Split classes into integral and fractional parts.
+    let mut support_edges: Vec<(usize, usize)> = Vec::new();
+    let mut integral_home: Vec<Option<usize>> = vec![None; kk];
+    for (k, row) in frac.xbar.iter().enumerate() {
+        if let Some(&(i, _)) = row.iter().find(|&&(_, v)| v >= 1.0 - INTEGRAL_TOL) {
+            integral_home[k] = Some(i);
+        } else {
+            for &(i, _) in row {
+                support_edges.push((k, i));
+            }
+        }
+    }
+    let etilde = compute_etilde(&support_edges, kk, inst.m());
+
+    for k in 0..kk {
+        let jobs = inst.jobs_of_class(k);
+        if jobs.is_empty() {
+            continue;
+        }
+        if let Some(i) = integral_home[k] {
+            for j in jobs {
+                assignment[j] = i;
+            }
+            continue;
+        }
+        let value = |i: usize| -> f64 {
+            frac.xbar[k].iter().find(|&&(ii, _)| ii == i).map(|&(_, v)| v).unwrap_or(0.0)
+        };
+        let kept = &etilde.kept[k];
+        assert!(
+            !kept.is_empty(),
+            "fractional class {k} has ≥ 2 support edges and loses at most one"
+        );
+        // i⁺_k: a kept machine that absorbs the removed machine's share.
+        let i_plus = *kept.last().expect("non-empty");
+        let moved = etilde.removed[k].map(|i| value(i)).unwrap_or(0.0);
+        let pbar = inst.class_workload(i_plus, k) as f64;
+        // Reserved slot sizes; i⁺ ordered last (Lemma 3.9's ordering).
+        let mut order: Vec<(usize, f64)> = kept
+            .iter()
+            .filter(|&&i| i != i_plus)
+            .map(|&i| (i, value(i) * pbar))
+            .collect();
+        order.push((i_plus, (value(i_plus) + moved) * pbar));
+        // Greedy pour: current machine takes jobs while its reserved slot
+        // has room; the final machine takes whatever remains.
+        let mut it = jobs.into_iter();
+        let mut pending: Option<usize> = it.next();
+        for (idx, &(i, slot)) in order.iter().enumerate() {
+            let last = idx + 1 == order.len();
+            let mut used = 0.0f64;
+            while let Some(j) = pending {
+                if !last && used >= slot - 1e-9 {
+                    break;
+                }
+                assignment[j] = i;
+                used += inst.ptime(i, j) as f64;
+                pending = it.next();
+            }
+        }
+        assert!(pending.is_none(), "greedy pour placed every job");
+    }
+    debug_assert!(assignment.iter().all(|&i| i != usize::MAX));
+    Schedule::new(assignment)
+}
+
+/// Result of the bisection + rounding pipeline.
+#[derive(Debug, Clone)]
+pub struct RaResult {
+    /// The rounded schedule.
+    pub schedule: Schedule,
+    /// Its exact makespan.
+    pub makespan: u64,
+    /// Smallest LP-feasible guess — a certified lower bound on `|Opt|`.
+    pub t_star: u64,
+}
+
+/// Theorem 3.10: 2-approximation for restricted assignment with
+/// class-uniform restrictions.
+///
+/// # Panics
+/// Panics if the instance is not restricted assignment with class-uniform
+/// restrictions (the reduction of Section 3.2 shows general instances are
+/// `Ω(log n + log m)`-hard, so silently accepting them would be a lie).
+pub fn solve_ra_class_uniform(inst: &UnrelatedInstance) -> RaResult {
+    assert!(
+        inst.is_restricted_assignment(),
+        "Theorem 3.10 requires a restricted-assignment instance"
+    );
+    assert!(
+        inst.has_class_uniform_restrictions(),
+        "Theorem 3.10 requires class-uniform restrictions"
+    );
+    solve_with_rule(inst, ExclusionRule::SetupOnly, round_ra_class_uniform)
+}
+
+pub(crate) fn solve_with_rule(
+    inst: &UnrelatedInstance,
+    rule: ExclusionRule,
+    round: impl Fn(&UnrelatedInstance, &RaFractional) -> Schedule,
+) -> RaResult {
+    if inst.n() == 0 {
+        return RaResult { schedule: Schedule::new(vec![]), makespan: 0, t_star: 0 };
+    }
+    let lb = unrelated_lower_bound(inst).max(1);
+    let ub = unrelated_upper_bound(inst).max(lb);
+    let (t_star, frac) = binary_search_u64(lb, ub, |t| match solve_lp_relaxed_ra(inst, t, rule) {
+        Some(f) => Decision::Feasible(f),
+        None => Decision::Infeasible,
+    })
+    .expect("LP feasible at the greedy upper bound");
+    let schedule = round(inst, &frac);
+    let makespan = unrelated_makespan(inst, &schedule)
+        .expect("rounding assigns classes only to machines with finite workload and setup");
+    RaResult { schedule, makespan, t_star }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an RA instance with class-uniform restrictions.
+    fn ra_instance(
+        m: usize,
+        class_sizes: Vec<Vec<u64>>,       // class → job sizes
+        class_machines: Vec<Vec<usize>>,  // class → eligible machines
+        class_setups: Vec<u64>,
+    ) -> UnrelatedInstance {
+        let mut job_class = Vec::new();
+        let mut sizes = Vec::new();
+        let mut eligible = Vec::new();
+        for (k, js) in class_sizes.iter().enumerate() {
+            for &p in js {
+                job_class.push(k);
+                sizes.push(p);
+                eligible.push(class_machines[k].clone());
+            }
+        }
+        UnrelatedInstance::restricted_assignment(
+            m,
+            job_class,
+            sizes,
+            eligible,
+            class_setups,
+            Some(class_machines),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_approx_guarantee_holds() {
+        let inst = ra_instance(
+            3,
+            vec![vec![4, 4, 4], vec![6, 2], vec![5, 5, 5, 5]],
+            vec![vec![0, 1], vec![1, 2], vec![0, 1, 2]],
+            vec![2, 3, 1],
+        );
+        let res = solve_ra_class_uniform(&inst);
+        assert!(res.makespan <= 2 * res.t_star, "{} > 2·{}", res.makespan, res.t_star);
+        // And t_star really lower-bounds the optimum.
+        let exact = crate::exact::exact_unrelated(&inst, 1 << 22);
+        assert!(exact.complete);
+        assert!(res.t_star <= exact.makespan);
+        assert!(res.makespan <= 2 * exact.makespan);
+    }
+
+    #[test]
+    fn single_class_single_machine() {
+        let inst = ra_instance(1, vec![vec![3, 3]], vec![vec![0]], vec![5]);
+        let res = solve_ra_class_uniform(&inst);
+        assert_eq!(res.makespan, 11);
+        assert_eq!(res.t_star, 11);
+    }
+
+    #[test]
+    fn respects_restrictions() {
+        let inst = ra_instance(
+            2,
+            vec![vec![7, 7], vec![1]],
+            vec![vec![0], vec![0, 1]],
+            vec![1, 1],
+        );
+        let res = solve_ra_class_uniform(&inst);
+        for j in inst.jobs_of_class(0) {
+            assert_eq!(res.schedule.machine_of(j), 0, "class 0 is pinned to machine 0");
+        }
+    }
+
+    #[test]
+    fn fractional_split_rounds_within_two() {
+        // One big class over two machines forces a genuine fractional split.
+        let inst = ra_instance(
+            2,
+            vec![vec![5; 8]], // 40 units of work, setup 2, two machines
+            vec![vec![0, 1]],
+            vec![2],
+        );
+        let res = solve_ra_class_uniform(&inst);
+        assert!(res.makespan <= 2 * res.t_star);
+        // Optimum is 24 (4 jobs + setup each side = 22? 4·5+2 = 22) → check:
+        let exact = crate::exact::exact_unrelated(&inst, 1 << 22);
+        assert_eq!(exact.makespan, 22);
+        assert!(res.makespan <= 2 * exact.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "class-uniform")]
+    fn rejects_non_class_uniform() {
+        // Two jobs of one class with different eligible sets.
+        let inst = UnrelatedInstance::restricted_assignment(
+            2,
+            vec![0, 0],
+            vec![1, 1],
+            vec![vec![0], vec![1]],
+            vec![1],
+            None,
+        )
+        .unwrap();
+        let _ = solve_ra_class_uniform(&inst);
+    }
+
+    #[test]
+    fn zero_size_jobs_still_pay_setups() {
+        let inst = ra_instance(2, vec![vec![0, 0, 0]], vec![vec![0, 1]], vec![4]);
+        let res = solve_ra_class_uniform(&inst);
+        // All zero jobs end up on machines paying ≥ one setup of 4 — but a
+        // single machine suffices, so optimum is 4.
+        assert!(res.makespan >= 4);
+        assert!(res.makespan <= 2 * res.t_star);
+    }
+}

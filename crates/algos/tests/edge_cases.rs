@@ -1,0 +1,186 @@
+//! Edge cases that unit tests of the happy path tend to miss: degenerate
+//! shapes (single machine, single class, zero setups), forced assignments,
+//! and boundary parameters.
+
+use sst_algos::cupt::solve_class_uniform_ptimes;
+use sst_algos::exact::{exact_unrelated, exact_uniform};
+use sst_algos::lpt::lpt_with_setups_makespan;
+use sst_algos::multifit::multifit_uniform;
+use sst_algos::ptas::{ptas_uniform, PtasConfig};
+use sst_algos::ra::solve_ra_class_uniform;
+use sst_algos::rounding::{solve_unrelated_randomized, RoundingConfig};
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+use sst_core::ratio::Ratio;
+use sst_core::schedule::unrelated_makespan;
+
+#[test]
+fn single_job_single_machine_everyone_agrees() {
+    let inst = UniformInstance::new(vec![3], vec![4], vec![Job::new(0, 5)]).unwrap();
+    let expect = Ratio::new(9, 3);
+    assert_eq!(lpt_with_setups_makespan(&inst).1, expect);
+    assert_eq!(multifit_uniform(&inst, 8).makespan, expect);
+    assert_eq!(ptas_uniform(&inst, &PtasConfig::default()).makespan, expect);
+    assert_eq!(exact_uniform(&inst, 1 << 16).makespan, expect);
+}
+
+#[test]
+fn all_zero_setups_reduce_to_classic_scheduling() {
+    // With s_k = 0 the problem is plain Q||Cmax; all algorithms must agree
+    // with the exact optimum on this tiny instance: jobs 4,3,3 on speeds
+    // 2,1 → opt: {4,3}/2 = 3.5? or 4/2=2 & {3,3}/1=6... {4,3} on fast = 3.5,
+    // {3} slow = 3 → makespan 3.5.
+    let inst = UniformInstance::new(
+        vec![2, 1],
+        vec![0],
+        vec![Job::new(0, 4), Job::new(0, 3), Job::new(0, 3)],
+    )
+    .unwrap();
+    let exact = exact_uniform(&inst, 1 << 20);
+    assert!(exact.complete);
+    assert_eq!(exact.makespan, Ratio::new(7, 2));
+    let ptas = ptas_uniform(&inst, &PtasConfig { q: 4, node_limit: 10_000_000 });
+    assert!(ptas.makespan <= Ratio::new(7, 2).mul(Ratio::new(7, 4))); // (1+O(ε)) slack
+}
+
+#[test]
+fn one_class_per_job_maximum_fragmentation() {
+    // K = n: every job its own class — setups cannot be shared at all.
+    let inst = UniformInstance::identical(
+        2,
+        vec![2, 2, 2, 2],
+        (0..4).map(|k| Job::new(k, 3)).collect(),
+    )
+    .unwrap();
+    let exact = exact_uniform(&inst, 1 << 22);
+    assert!(exact.complete);
+    // Two jobs per machine: 2·(3+2) = 10.
+    assert_eq!(exact.makespan, Ratio::new(10, 1));
+    let (_, lpt) = lpt_with_setups_makespan(&inst);
+    assert!(lpt >= exact.makespan);
+}
+
+#[test]
+fn rounding_on_single_machine_is_exact() {
+    let inst = UnrelatedInstance::new(
+        1,
+        vec![0, 1],
+        vec![vec![4], vec![6]],
+        vec![vec![2], vec![3]],
+    )
+    .unwrap();
+    let res = solve_unrelated_randomized(&inst, &RoundingConfig::default());
+    assert_eq!(res.makespan, 15);
+    assert_eq!(res.t_star, 15);
+}
+
+#[test]
+fn ra_with_singleton_eligible_sets_is_forced() {
+    // Every class pinned to one machine: the LP is integral, the rounding
+    // must reproduce the forced assignment exactly.
+    let inst = UnrelatedInstance::restricted_assignment(
+        3,
+        vec![0, 0, 1, 2],
+        vec![5, 5, 7, 2],
+        vec![vec![0], vec![0], vec![1], vec![2]],
+        vec![1, 1, 1],
+        Some(vec![vec![0], vec![1], vec![2]]),
+    )
+    .unwrap();
+    let res = solve_ra_class_uniform(&inst);
+    assert_eq!(res.schedule.machine_of(0), 0);
+    assert_eq!(res.schedule.machine_of(2), 1);
+    assert_eq!(res.schedule.machine_of(3), 2);
+    // Forced optimum: machine 0 carries 5+5+1 = 11.
+    assert_eq!(res.makespan, 11);
+    assert_eq!(res.t_star, 11);
+}
+
+#[test]
+fn cupt_with_one_job_classes_matches_exact() {
+    // Each class has exactly one job → "class-uniform" trivially; compare
+    // against exact on a small instance.
+    let inst = UnrelatedInstance::new(
+        2,
+        vec![0, 1, 2],
+        vec![vec![3, 6], vec![6, 3], vec![4, 4]],
+        vec![vec![1, 2], vec![2, 1], vec![1, 1]],
+    )
+    .unwrap();
+    assert!(inst.has_class_uniform_ptimes());
+    let res = solve_class_uniform_ptimes(&inst);
+    let exact = exact_unrelated(&inst, 1 << 20);
+    assert!(exact.complete);
+    assert!(res.makespan <= 3 * exact.makespan);
+    assert!(res.t_star <= exact.makespan);
+}
+
+#[test]
+fn huge_speed_ratios_survive_simplification() {
+    // v_max/v_min = 10^6 exercises machine pruning and the group machinery
+    // with many groups.
+    let inst = UniformInstance::new(
+        vec![1, 1_000, 1_000_000],
+        vec![10],
+        vec![Job::new(0, 1_000_000), Job::new(0, 500), Job::new(0, 1)],
+    )
+    .unwrap();
+    let (_, lpt) = lpt_with_setups_makespan(&inst);
+    let res = ptas_uniform(&inst, &PtasConfig { q: 2, node_limit: 10_000_000 });
+    assert!(res.makespan <= lpt);
+    // Nothing sensible runs on the speed-1 machine here.
+    let lb = sst_core::bounds::uniform_lower_bound(&inst);
+    assert!(res.makespan >= lb);
+}
+
+#[test]
+fn setup_larger_than_every_job_still_schedules() {
+    let inst = UniformInstance::identical(
+        3,
+        vec![1000],
+        (0..9).map(|_| Job::new(0, 1)).collect(),
+    )
+    .unwrap();
+    let exact = exact_uniform(&inst, 1 << 22);
+    assert!(exact.complete);
+    // Setups are paid *in parallel*: 3 jobs + one setup per machine (1003)
+    // beats one serial batch (1009).
+    assert_eq!(exact.makespan, Ratio::new(1003, 1));
+    let (_, lpt) = lpt_with_setups_makespan(&inst);
+    assert!(lpt.to_f64() <= 4.7321 * exact.makespan.to_f64());
+}
+
+#[test]
+fn inf_heavy_unrelated_instances_stay_schedulable() {
+    // Ring eligibility: job j runs only on machines j mod m and (j+1) mod m.
+    let m = 4;
+    let n = 8;
+    let ptimes: Vec<Vec<u64>> = (0..n)
+        .map(|j| {
+            (0..m)
+                .map(|i| if i == j % m || i == (j + 1) % m { 3 } else { INF })
+                .collect()
+        })
+        .collect();
+    let inst =
+        UnrelatedInstance::new(m, vec![0; n], ptimes, vec![vec![1; m]]).unwrap();
+    let res = solve_unrelated_randomized(&inst, &RoundingConfig::default());
+    assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
+    let exact = exact_unrelated(&inst, 1 << 22);
+    assert!(exact.complete);
+    // Perfect balance: 2 jobs + setup per machine = 7.
+    assert_eq!(exact.makespan, 7);
+}
+
+#[test]
+fn multifit_handles_zero_setup_classes() {
+    let inst = UniformInstance::new(
+        vec![2, 2],
+        vec![0, 5],
+        vec![Job::new(0, 6), Job::new(1, 6), Job::new(0, 2)],
+    )
+    .unwrap();
+    let res = multifit_uniform(&inst, 8);
+    let exact = exact_uniform(&inst, 1 << 20);
+    assert!(res.makespan >= exact.makespan);
+    assert!(res.makespan <= sst_core::bounds::uniform_upper_bound(&inst));
+}

@@ -1,0 +1,152 @@
+//! Property tests for the extension modules: splittable schedules,
+//! identical-machine algorithms, simulated annealing, and the
+//! configuration-LP bound chain.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_algos::annealing::{anneal_uniform, anneal_unrelated, AnnealConfig};
+use sst_algos::configlp::{config_lp_lower_bound, ConfigLpLimits};
+use sst_algos::identical::{wrap_capacity, wrap_identical};
+use sst_algos::list::{greedy_unrelated, greedy_uniform};
+use sst_algos::lp_relax::lp_makespan_lower_bound;
+use sst_algos::splittable::solve_splittable_ra_class_uniform;
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
+use sst_core::ratio::Ratio;
+use sst_core::schedule::{unrelated_makespan, uniform_makespan};
+
+/// Strategy: a restricted-assignment instance with class-uniform
+/// restrictions (each class gets a nonempty machine subset).
+fn ra_cu_instance() -> impl Strategy<Value = UnrelatedInstance> {
+    (
+        2usize..5,                         // m
+        vec((0usize..3, 1u64..15), 2..9),  // jobs (class raw, size)
+        vec((1u64..8, 0usize..7), 3),      // per class: (setup, machine-mask raw)
+    )
+        .prop_map(|(m, jobs, class_info)| {
+            let kk = class_info.len();
+            let job_class: Vec<usize> = jobs.iter().map(|&(c, _)| c % kk).collect();
+            let sizes: Vec<u64> = jobs.iter().map(|&(_, p)| p).collect();
+            let class_machines: Vec<Vec<usize>> = class_info
+                .iter()
+                .map(|&(_, raw)| {
+                    let mask = (raw % ((1 << m) - 1)) + 1; // nonempty
+                    (0..m).filter(|&i| mask & (1 << i) != 0).collect()
+                })
+                .collect();
+            let class_setups: Vec<u64> = class_info.iter().map(|&(s, _)| s).collect();
+            let eligible: Vec<Vec<usize>> =
+                job_class.iter().map(|&k| class_machines[k].clone()).collect();
+            UnrelatedInstance::restricted_assignment(
+                m,
+                job_class,
+                sizes,
+                eligible,
+                class_setups,
+                Some(class_machines),
+            )
+            .expect("nonempty machine sets keep every job schedulable")
+        })
+}
+
+fn identical_instance() -> impl Strategy<Value = UniformInstance> {
+    (
+        1usize..5,
+        vec(0u64..=25, 1..=4),
+        vec((0usize..4, 0u64..=30), 1..=14),
+    )
+        .prop_map(|(m, setups, raw)| {
+            let k = setups.len();
+            let jobs: Vec<Job> = raw.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            UniformInstance::identical(m, setups, jobs).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn splittable_schedules_always_validate_and_certify(inst in ra_cu_instance()) {
+        let res = solve_splittable_ra_class_uniform(&inst);
+        prop_assert_eq!(res.schedule.validate(&inst), Ok(()));
+        prop_assert!(
+            res.makespan <= 2.0 * res.t_star as f64 + 1e-6,
+            "split {} > 2·{}", res.makespan, res.t_star
+        );
+        // Machine loads recompute to the reported makespan.
+        let max = res
+            .schedule
+            .machine_loads(&inst)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        prop_assert!((max - res.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_t_star_lower_bounds_integral_optimum(inst in ra_cu_instance()) {
+        prop_assume!(inst.n() <= 7); // keep B&B quick
+        let res = solve_splittable_ra_class_uniform(&inst);
+        let exact = sst_algos::exact::exact_unrelated(&inst, 1 << 22);
+        prop_assume!(exact.complete);
+        prop_assert!(res.t_star <= exact.makespan,
+            "split T*={} above integral Opt={}", res.t_star, exact.makespan);
+    }
+
+    #[test]
+    fn wrap_never_exceeds_capacity_or_factor_four(inst in identical_instance()) {
+        let sched = wrap_identical(&inst);
+        let ms = uniform_makespan(&inst, &sched).expect("valid");
+        prop_assert!(ms <= Ratio::from_int(wrap_capacity(&inst)));
+        let lb = sst_core::bounds::uniform_lower_bound(&inst);
+        if !lb.is_zero() {
+            prop_assert!(ms.div(lb) <= Ratio::new(4, 1),
+                "wrap ratio {} breaks factor 4", ms.div(lb));
+        }
+    }
+
+    #[test]
+    fn annealing_uniform_never_worsens_any_start(
+        inst in identical_instance(),
+        seed in 0u64..500,
+    ) {
+        let start = greedy_uniform(&inst);
+        let before = uniform_makespan(&inst, &start).expect("valid");
+        let res = anneal_uniform(
+            &inst,
+            &start,
+            &AnnealConfig { iterations: 800, seed, ..AnnealConfig::default() },
+        );
+        let after = uniform_makespan(&inst, &res.schedule).expect("stays valid");
+        prop_assert!(after <= before, "{after} > {before}");
+    }
+
+    #[test]
+    fn annealing_unrelated_preserves_validity(
+        inst in ra_cu_instance(),
+        seed in 0u64..500,
+    ) {
+        let start = greedy_unrelated(&inst);
+        let before = unrelated_makespan(&inst, &start).expect("valid");
+        let res = anneal_unrelated(
+            &inst,
+            &start,
+            &AnnealConfig { iterations: 800, seed, ..AnnealConfig::default() },
+        );
+        let after = unrelated_makespan(&inst, &res.schedule)
+            .expect("annealer must respect INF cells");
+        prop_assert!(after <= before);
+    }
+
+    #[test]
+    fn bound_chain_monotone_on_random_instances(inst in ra_cu_instance()) {
+        prop_assume!(inst.n() <= 7);
+        let comb = sst_core::bounds::unrelated_lower_bound(&inst);
+        let assign = lp_makespan_lower_bound(&inst);
+        let config = config_lp_lower_bound(&inst, &ConfigLpLimits::default());
+        let exact = sst_algos::exact::exact_unrelated(&inst, 1 << 22);
+        prop_assume!(exact.complete);
+        prop_assert!(comb <= assign + 1, "comb {comb} > assign {assign}+1");
+        prop_assert!(assign <= config + 1, "assign {assign} > config {config}+1");
+        prop_assert!(config <= exact.makespan,
+            "config {config} > Opt {}", exact.makespan);
+    }
+}

@@ -1,0 +1,40 @@
+//! E8 runtime: the greedy baselines and the exact branch-and-bound
+//! (sequential vs parallel incumbent sharing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sst_algos::exact::{exact_unrelated, exact_unrelated_parallel};
+use sst_algos::list::{class_grouped_greedy_unrelated, greedy_unrelated};
+use sst_gen::UnrelatedParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    let big = sst_gen::unrelated(&UnrelatedParams {
+        n: 500,
+        m: 16,
+        k: 40,
+        seed: 3,
+        ..Default::default()
+    });
+    g.bench_function("greedy_unrelated_500x16", |b| b.iter(|| greedy_unrelated(&big)));
+    g.bench_function("class_grouped_500x16", |b| {
+        b.iter(|| class_grouped_greedy_unrelated(&big))
+    });
+    let small = sst_gen::unrelated(&UnrelatedParams {
+        n: 11,
+        m: 3,
+        k: 4,
+        seed: 9,
+        ..Default::default()
+    });
+    g.bench_function("exact_bnb_seq_11x3", |b| {
+        b.iter(|| exact_unrelated(&small, 1 << 26))
+    });
+    g.bench_function("exact_bnb_par4_11x3", |b| {
+        b.iter(|| exact_unrelated_parallel(&small, 1 << 26, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

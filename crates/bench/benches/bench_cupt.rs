@@ -1,0 +1,23 @@
+//! E6 runtime: the class-uniform-processing-times 3-approximation
+//! (Theorem 3.11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::cupt::solve_class_uniform_ptimes;
+use sst_gen::SetupWeight;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cupt_theorem_3_11");
+    g.sample_size(10);
+    for (n, m, k) in [(40usize, 5usize, 6usize), (120, 8, 12)] {
+        let inst = sst_gen::class_uniform_ptimes(n, m, k, (1, 30), SetupWeight::Moderate, 5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}x{k}")),
+            &inst,
+            |b, inst| b.iter(|| solve_class_uniform_ptimes(inst)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

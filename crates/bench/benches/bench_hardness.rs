@@ -1,0 +1,27 @@
+//! E4 runtime: the GF(2) gap family, the Theorem 3.5 reduction, and the
+//! set-cover solvers it leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sst_setcover::{exact_cover, gf2_gap_instance, greedy_cover, reduce};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hardness_theorem_3_5");
+    g.sample_size(10);
+    for k in [3u32, 4, 5] {
+        let sc = gf2_gap_instance(k);
+        g.bench_with_input(BenchmarkId::new("greedy_cover", k), &sc, |b, sc| {
+            b.iter(|| greedy_cover(sc))
+        });
+        g.bench_with_input(BenchmarkId::new("reduction", k), &sc, |b, sc| {
+            b.iter(|| reduce(sc, 2, &mut StdRng::seed_from_u64(1)))
+        });
+    }
+    let sc4 = gf2_gap_instance(4);
+    g.bench_function("exact_cover_k4", |b| b.iter(|| exact_cover(&sc4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E10 runtime: identical-machines algorithms. The wrap rule is a single
+//! O(n log n) pass; batch-LPT adds the placeholder transform; annealing
+//! scales linearly in its iteration budget (ablation over iterations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::annealing::{anneal_uniform, AnnealConfig};
+use sst_algos::identical::{batch_lpt_identical, wrap_identical};
+use sst_gen::{SetupWeight, SpeedProfile, UniformParams};
+
+fn instance(n: usize, seed: u64) -> sst_core::UniformInstance {
+    sst_gen::uniform(&UniformParams {
+        n,
+        m: 8,
+        k: 16,
+        setups: SetupWeight::Moderate,
+        speeds: SpeedProfile::Identical,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("identical_machines_24");
+    g.sample_size(20);
+    for n in [100usize, 1000, 5000] {
+        let inst = instance(n, 5);
+        g.bench_with_input(BenchmarkId::new("wrap", n), &inst, |b, inst| {
+            b.iter(|| wrap_identical(inst))
+        });
+        g.bench_with_input(BenchmarkId::new("batch_lpt", n), &inst, |b, inst| {
+            b.iter(|| batch_lpt_identical(inst))
+        });
+    }
+    g.finish();
+
+    // Annealing iteration ablation at fixed size: time should scale
+    // linearly and quality is measured by E10 (quality is criterion-blind).
+    let mut g = c.benchmark_group("annealing_iterations");
+    g.sample_size(10);
+    let inst = instance(200, 9);
+    let start = batch_lpt_identical(&inst);
+    for iters in [1_000usize, 10_000, 40_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            b.iter(|| {
+                anneal_uniform(
+                    &inst,
+                    &start,
+                    &AnnealConfig { iterations: iters, seed: 3, ..AnnealConfig::default() },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

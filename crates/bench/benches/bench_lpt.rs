@@ -1,0 +1,29 @@
+//! E1 runtime: LPT with setup batching (Lemma 2.1) across instance sizes.
+//! The paper claims O(n log n); criterion verifies the near-linear scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::lpt::lpt_with_setups;
+use sst_gen::{SetupWeight, SpeedProfile, UniformParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lpt_lemma_2_1");
+    g.sample_size(20);
+    for n in [100usize, 1000, 5000] {
+        let inst = sst_gen::uniform(&UniformParams {
+            n,
+            m: n / 20,
+            k: n / 10,
+            size_range: (1, 1000),
+            speeds: SpeedProfile::UniformRandom { lo: 1, hi: 16 },
+            setups: SetupWeight::Moderate,
+            seed: 42,
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| lpt_with_setups(inst))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

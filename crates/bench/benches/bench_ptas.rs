@@ -1,0 +1,30 @@
+//! E2 runtime: the PTAS decision procedure and full pipeline vs ε.
+//! The paper claims (nmK)^{poly(1/ε)}; the measured blow-up in 1/ε is the
+//! reproducible shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::ptas::{ptas_uniform, PtasConfig};
+use sst_gen::{SetupWeight, SpeedProfile, UniformParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptas_section_2");
+    g.sample_size(10);
+    let inst = sst_gen::uniform(&UniformParams {
+        n: 10,
+        m: 3,
+        k: 3,
+        size_range: (1, 25),
+        speeds: SpeedProfile::UniformRandom { lo: 1, hi: 4 },
+        setups: SetupWeight::Moderate,
+        seed: 301,
+    });
+    for q in [2u64, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("eps", format!("1_{q}")), &q, |b, &q| {
+            b.iter(|| ptas_uniform(&inst, &PtasConfig { q, node_limit: 30_000_000 }))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

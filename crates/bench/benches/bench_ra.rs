@@ -1,0 +1,23 @@
+//! E5 runtime: LP-RelaxedRA + pseudoforest rounding (Theorem 3.10). Note
+//! the LP is per-class, not per-job — solving it is fast even for large n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::ra::solve_ra_class_uniform;
+use sst_gen::SetupWeight;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ra_theorem_3_10");
+    g.sample_size(10);
+    for (n, m, k) in [(40usize, 6usize, 7usize), (120, 10, 15)] {
+        let inst = sst_gen::ra_class_uniform(n, m, k, 3, (1, 40), SetupWeight::Moderate, 5);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}x{k}")),
+            &inst,
+            |b, inst| b.iter(|| solve_ra_class_uniform(inst)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 runtime: LP relaxation solve and the full randomized-rounding
+//! pipeline (Theorem 3.3) across instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::lp_relax::solve_ilp_um_relaxation;
+use sst_algos::rounding::{solve_unrelated_randomized, RoundingConfig};
+use sst_core::bounds::unrelated_upper_bound;
+use sst_gen::UnrelatedParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rounding_theorem_3_3");
+    g.sample_size(10);
+    for (n, m) in [(20usize, 4usize), (40, 6)] {
+        let inst = sst_gen::unrelated(&UnrelatedParams {
+            n,
+            m,
+            k: n / 5,
+            seed: 7,
+            ..Default::default()
+        });
+        let ub = unrelated_upper_bound(&inst);
+        g.bench_with_input(
+            BenchmarkId::new("lp_solve", format!("{n}x{m}")),
+            &inst,
+            |b, inst| b.iter(|| solve_ilp_um_relaxation(inst, ub)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_pipeline", format!("{n}x{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| solve_unrelated_randomized(inst, &RoundingConfig { c: 2.0, seed: 1 }))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E9 runtime: the splittable 2-approximation (LP-RelaxedRA + Lemma 3.9
+//! move, no job pour). Compared against the non-splittable Theorem 3.10
+//! pipeline on identical inputs — the delta is exactly the greedy pour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::ra::solve_ra_class_uniform;
+use sst_algos::splittable::solve_splittable_ra_class_uniform;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("splittable_correa_5");
+    g.sample_size(10);
+    for (k, m, jpc) in [(4usize, 6usize, 12usize), (8, 10, 20)] {
+        let inst = sst_gen::splittable_stress(k, m, jpc, 5);
+        g.bench_with_input(
+            BenchmarkId::new("split", format!("{k}x{m}x{jpc}")),
+            &inst,
+            |b, inst| b.iter(|| solve_splittable_ra_class_uniform(inst)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("unsplit", format!("{k}x{m}x{jpc}")),
+            &inst,
+            |b, inst| b.iter(|| solve_ra_class_uniform(inst)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Minimal dependency-free argument parsing for the `sst` binary.
+//!
+//! Grammar: `sst <command> [positional…] [--flag value]…`. Flags always take
+//! exactly one value (booleans are expressed by presence-checked flags with
+//! the value `true|false` omitted — we have none so far). Unknown flags are
+//! an error, not a warning: a typo silently ignored is how experiments go
+//! irreproducible.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// First token (the subcommand).
+    pub command: String,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` pairs.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses raw tokens (without the program name).
+pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
+    let mut it = tokens.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| ArgError("missing command; try `sst help`".into()))?
+        .clone();
+    let mut positional = Vec::new();
+    let mut flags = BTreeMap::new();
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{name} requires a value")))?;
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("flag --{name} given twice")));
+            }
+        } else {
+            positional.push(tok.clone());
+        }
+    }
+    Ok(Args { command, positional, flags })
+}
+
+impl Args {
+    /// The `idx`-th positional argument or an error naming it.
+    pub fn pos(&self, idx: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional
+            .get(idx)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError(format!("missing <{name}> argument")))
+    }
+
+    /// An optional flag value.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// A flag parsed into `T`, with a default.
+    pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{name}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// Errors on any flag not in `known` (reproducibility guard).
+    pub fn reject_unknown_flags(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key}; known: {}",
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_flags() {
+        let a = parse(&toks(&["solve", "inst.json", "--algo", "lpt", "--seed", "7"])).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.positional, vec!["inst.json"]);
+        assert_eq!(a.flag("algo"), Some("lpt"));
+        assert_eq!(a.flag_parse::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.flag_parse::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(&toks(&["solve", "--algo"])).is_err());
+        assert!(parse(&toks(&["solve", "--a", "1", "--a", "2"])).is_err());
+        assert!(parse(&toks(&[])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let a = parse(&toks(&["info", "x.json", "--typo", "yes"])).unwrap();
+        assert!(a.reject_unknown_flags(&["seed"]).is_err());
+        assert!(a.reject_unknown_flags(&["typo"]).is_ok());
+    }
+
+    #[test]
+    fn flag_parse_error_messages_name_the_flag() {
+        let a = parse(&toks(&["x", "--n", "abc"])).unwrap();
+        let err = a.flag_parse::<u64>("n", 0).unwrap_err();
+        assert!(err.0.contains("--n"));
+    }
+}

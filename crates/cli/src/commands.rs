@@ -1,0 +1,860 @@
+//! The `sst` subcommands, factored as library functions returning their
+//! output as a `String` so tests drive them without a subprocess.
+
+use crate::args::{ArgError, Args};
+use sst_algos::cupt::solve_class_uniform_ptimes;
+use sst_algos::exact::{exact_unrelated, exact_uniform};
+use sst_algos::list::{greedy_unrelated, greedy_uniform};
+use sst_algos::local_search::{improve_unrelated, improve_uniform};
+use sst_algos::lpt::lpt_with_setups_makespan;
+use sst_algos::ptas::{ptas_uniform, PtasConfig};
+use sst_algos::ra::solve_ra_class_uniform;
+use sst_algos::rounding::{solve_unrelated_randomized, RoundingConfig};
+use rayon::prelude::*;
+use sst_core::bounds::{uniform_lower_bound, unrelated_lower_bound};
+use sst_core::io;
+use sst_core::schedule::{unrelated_makespan, uniform_makespan, Schedule};
+use sst_core::timeline::{render_gantt, render_gantt_svg, Timeline};
+use sst_gen::{SetupWeight, SpeedProfile, UniformParams, UnrelatedParams};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+impl From<io::IoError> for CliError {
+    fn from(e: io::IoError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Either kind of instance, as loaded from disk.
+pub enum AnyInstance {
+    /// Uniformly related machines.
+    Uniform(sst_core::UniformInstance),
+    /// Unrelated machines (including restricted assignment).
+    Unrelated(sst_core::UnrelatedInstance),
+}
+
+/// Loads an instance file, sniffing its `kind` field.
+pub fn load_instance(path: &str) -> Result<AnyInstance, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    if text.contains("\"kind\": \"uniform\"") || text.contains("\"kind\":\"uniform\"") {
+        Ok(AnyInstance::Uniform(io::uniform_from_json(&text)?))
+    } else {
+        Ok(AnyInstance::Unrelated(io::unrelated_from_json(&text)?))
+    }
+}
+
+/// `sst help` — the usage text.
+pub fn help() -> String {
+    "sst — scheduling with setup times (Jansen, Maack, Mäcker 2019)
+
+USAGE
+  sst generate <family> --out FILE [--n N] [--m M] [--k K] [--seed S]
+               [--setups light|moderate|heavy]
+      families: uniform | identical | unrelated | ra | cupt |
+                production-line | compute-cluster | print-shop | ci-build-farm
+  sst solve <instance.json> --algo ALGO [--q Q] [--seed S] [--out sched.json]
+            [--polish steps]
+      algos (uniform):   lpt | ptas | greedy | exact
+      algos (unrelated): rounding | ra2 | cupt3 | greedy | exact
+  sst evaluate <instance.json> <schedule.json>
+  sst gantt <instance.json> <schedule.json> [--width W] [--svg FILE]
+  sst info <instance.json>
+  sst bound <instance.json> [--max-t T]
+      lower-bound chain: combinatorial / assignment-LP / configuration-LP
+  sst compare <instance.json> [--seed S] [--q Q] [--nodes N]
+  sst sweep --family uniform|identical|unrelated|ra|cupt --algo ALGO
+            [--n-list 20,40,80] [--m M] [--k K] [--seeds S] [--setups W]
+      prints one CSV row per (n, seed), computed in parallel
+  sst help
+"
+    .to_string()
+}
+
+/// `sst generate` — writes an instance JSON and reports its shape.
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["out", "n", "m", "k", "seed", "setups", "eligible"])?;
+    let family = args.pos(0, "family")?;
+    let out = args
+        .flag("out")
+        .ok_or_else(|| CliError("--out FILE is required".into()))?;
+    let n: usize = args.flag_parse("n", 40)?;
+    let m: usize = args.flag_parse("m", 5)?;
+    let k: usize = args.flag_parse("k", 6)?;
+    let seed: u64 = args.flag_parse("seed", 1)?;
+    let setups = match args.flag("setups").unwrap_or("moderate") {
+        "light" => SetupWeight::Light,
+        "moderate" => SetupWeight::Moderate,
+        "heavy" => SetupWeight::Heavy,
+        other => return Err(CliError(format!("unknown --setups '{other}'"))),
+    };
+    let json = match family {
+        "uniform" => io::uniform_to_json(&sst_gen::uniform(&UniformParams {
+            n,
+            m,
+            k,
+            setups,
+            seed,
+            ..Default::default()
+        })),
+        "identical" => io::uniform_to_json(&sst_gen::uniform(&UniformParams {
+            n,
+            m,
+            k,
+            setups,
+            seed,
+            speeds: SpeedProfile::Identical,
+            ..Default::default()
+        })),
+        "unrelated" => io::unrelated_to_json(&sst_gen::unrelated(&UnrelatedParams {
+            n,
+            m,
+            k,
+            setups,
+            seed,
+            ..Default::default()
+        })),
+        "ra" => {
+            let eligible: usize = args.flag_parse("eligible", 3)?;
+            io::unrelated_to_json(&sst_gen::ra_class_uniform(
+                n,
+                m,
+                k,
+                eligible,
+                (1, 40),
+                setups,
+                seed,
+            ))
+        }
+        "cupt" => io::unrelated_to_json(&sst_gen::class_uniform_ptimes(
+            n,
+            m,
+            k,
+            (1, 40),
+            setups,
+            seed,
+        )),
+        "production-line" => {
+            io::uniform_to_json(&sst_gen::scenarios::production_line(n, m, k, seed))
+        }
+        "compute-cluster" => {
+            io::unrelated_to_json(&sst_gen::scenarios::compute_cluster(n, m, k, seed))
+        }
+        "print-shop" => io::unrelated_to_json(&sst_gen::scenarios::print_shop(n, m, k, seed)),
+        "ci-build-farm" => {
+            io::unrelated_to_json(&sst_gen::scenarios::ci_build_farm(n, m, k, seed))
+        }
+        other => return Err(CliError(format!("unknown family '{other}'; see `sst help`"))),
+    };
+    std::fs::write(out, &json)?;
+    Ok(format!("wrote {family} instance (n={n}, m={m}, K={k}, seed={seed}) to {out}"))
+}
+
+/// `sst solve` — runs an algorithm and reports/persists the schedule.
+pub fn solve(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["algo", "q", "seed", "out", "polish", "nodes"])?;
+    let path = args.pos(0, "instance.json")?;
+    let algo = args.flag("algo").unwrap_or("auto");
+    let seed: u64 = args.flag_parse("seed", 1)?;
+    let polish: usize = args.flag_parse("polish", 0)?;
+    let nodes: u64 = args.flag_parse("nodes", 1 << 24)?;
+    let mut out = String::new();
+    let schedule: Schedule;
+    match load_instance(path)? {
+        AnyInstance::Uniform(inst) => {
+            let lb = uniform_lower_bound(&inst);
+            let algo = if algo == "auto" { "lpt" } else { algo };
+            let (sched, label) = match algo {
+                "lpt" => {
+                    let (s, _) = lpt_with_setups_makespan(&inst);
+                    (s, "LPT (Lemma 2.1, ≤4.74·Opt)".to_string())
+                }
+                "ptas" => {
+                    let q: u64 = args.flag_parse("q", 4)?;
+                    let res = ptas_uniform(&inst, &PtasConfig { q, node_limit: nodes });
+                    (res.schedule, format!("PTAS (Section 2, ε=1/{q})"))
+                }
+                "greedy" => (greedy_uniform(&inst), "setup-aware greedy".to_string()),
+                "exact" => {
+                    let res = exact_uniform(&inst, nodes);
+                    let tag = if res.complete { "exact (certified)" } else { "exact (node-capped)" };
+                    (res.schedule, tag.to_string())
+                }
+                other => {
+                    return Err(CliError(format!("algo '{other}' not valid for uniform instances")))
+                }
+            };
+            let sched = if polish > 0 {
+                let r = improve_uniform(&inst, &sched, polish);
+                out.push_str(&format!("local search applied {} moves\n", r.moves));
+                r.schedule
+            } else {
+                sched
+            };
+            let ms = uniform_makespan(&inst, &sched)
+                .map_err(|e| CliError(format!("produced schedule invalid: {e}")))?;
+            out.push_str(&format!(
+                "{label}\nmakespan: {ms}\nlower bound: {lb}\ncertified ratio ≤ {:.3}\n",
+                ms.to_f64() / lb.to_f64().max(f64::MIN_POSITIVE)
+            ));
+            schedule = sched;
+        }
+        AnyInstance::Unrelated(inst) => {
+            let lb = unrelated_lower_bound(&inst);
+            let algo = if algo == "auto" { "rounding" } else { algo };
+            let (sched, label, cert): (Schedule, String, Option<u64>) = match algo {
+                "rounding" => {
+                    let res = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed });
+                    (res.schedule, "randomized rounding (Thm 3.3)".into(), Some(res.t_star))
+                }
+                "ra2" => {
+                    let res = solve_ra_class_uniform(&inst);
+                    (res.schedule, "RA 2-approximation (Thm 3.10)".into(), Some(res.t_star))
+                }
+                "cupt3" => {
+                    let res = solve_class_uniform_ptimes(&inst);
+                    (res.schedule, "CUPT 3-approximation (Thm 3.11)".into(), Some(res.t_star))
+                }
+                "greedy" => (greedy_unrelated(&inst), "setup-aware greedy".into(), None),
+                "exact" => {
+                    let res = exact_unrelated(&inst, nodes);
+                    let tag = if res.complete { "exact (certified)" } else { "exact (node-capped)" };
+                    (res.schedule, tag.into(), None)
+                }
+                other => {
+                    return Err(CliError(format!(
+                        "algo '{other}' not valid for unrelated instances"
+                    )))
+                }
+            };
+            let sched = if polish > 0 {
+                let r = improve_unrelated(&inst, &sched, polish);
+                out.push_str(&format!("local search applied {} moves\n", r.moves));
+                r.schedule
+            } else {
+                sched
+            };
+            let ms = unrelated_makespan(&inst, &sched)
+                .map_err(|e| CliError(format!("produced schedule invalid: {e}")))?;
+            out.push_str(&format!("{label}\nmakespan: {ms}\nlower bound: {lb}\n"));
+            if let Some(t_star) = cert {
+                out.push_str(&format!(
+                    "LP-certified bound T* = {t_star} → ratio ≤ {:.3}\n",
+                    ms as f64 / t_star.max(1) as f64
+                ));
+            }
+            schedule = sched;
+        }
+    }
+    if let Some(out_path) = args.flag("out") {
+        std::fs::write(out_path, io::schedule_to_json(&schedule))?;
+        out.push_str(&format!("schedule written to {out_path}\n"));
+    }
+    Ok(out)
+}
+
+/// `sst evaluate` — loads instance + schedule and prints exact loads.
+pub fn evaluate(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let inst_path = args.pos(0, "instance.json")?;
+    let sched_path = args.pos(1, "schedule.json")?;
+    let sched = io::schedule_from_json(&std::fs::read_to_string(sched_path)?)?;
+    match load_instance(inst_path)? {
+        AnyInstance::Uniform(inst) => {
+            let loads = sst_core::schedule::uniform_loads(&inst, &sched)
+                .map_err(|e| CliError(format!("invalid schedule: {e}")))?;
+            let ms = uniform_makespan(&inst, &sched).expect("loads computed");
+            let mut out = format!("makespan: {ms}\n");
+            for (i, w) in loads.iter().enumerate() {
+                out.push_str(&format!(
+                    "machine {i}: work {w}, speed {}, time {}\n",
+                    inst.speed(i),
+                    sst_core::Ratio::new(*w.max(&0), inst.speed(i))
+                ));
+            }
+            Ok(out)
+        }
+        AnyInstance::Unrelated(inst) => {
+            let loads = sst_core::schedule::unrelated_loads(&inst, &sched)
+                .map_err(|e| CliError(format!("invalid schedule: {e}")))?;
+            let ms = loads.iter().copied().max().unwrap_or(0);
+            let mut out = format!("makespan: {ms}\n");
+            for (i, l) in loads.iter().enumerate() {
+                out.push_str(&format!("machine {i}: load {l}\n"));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// `sst info` — instance statistics and bounds.
+pub fn info(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let path = args.pos(0, "instance.json")?;
+    match load_instance(path)? {
+        AnyInstance::Uniform(inst) => Ok(format!(
+            "kind: uniform\nn: {}\nm: {}\nK: {}\nspeeds: {:?}\ntotal work (jobs+min setups): {}\nlower bound: {}\n{}\n",
+            inst.n(),
+            inst.m(),
+            inst.num_classes(),
+            inst.speeds(),
+            inst.total_work_with_min_setups(),
+            uniform_lower_bound(&inst),
+            sst_core::stats::uniform_stats(&inst),
+        )),
+        AnyInstance::Unrelated(inst) => {
+            let mut out = format!(
+                "kind: unrelated\nn: {}\nm: {}\nK: {}\nlower bound: {}\n",
+                inst.n(),
+                inst.m(),
+                inst.num_classes(),
+                unrelated_lower_bound(&inst),
+            );
+            out.push_str(&format!(
+                "restricted assignment: {}\nclass-uniform restrictions: {}\nclass-uniform ptimes: {}\n",
+                inst.is_restricted_assignment(),
+                inst.has_class_uniform_restrictions(),
+                inst.has_class_uniform_ptimes(),
+            ));
+            out.push_str(&format!("{}\n", sst_core::stats::unrelated_stats(&inst)));
+            Ok(out)
+        }
+    }
+}
+
+/// `sst compare` — runs every algorithm applicable to the instance and
+/// prints a ranked comparison (the CLI face of experiment E8).
+pub fn compare(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["seed", "q", "nodes"])?;
+    let path = args.pos(0, "instance.json")?;
+    let seed: u64 = args.flag_parse("seed", 1)?;
+    let nodes: u64 = args.flag_parse("nodes", 1 << 22)?;
+    let mut rows: Vec<(String, f64, String)> = Vec::new();
+    match load_instance(path)? {
+        AnyInstance::Uniform(inst) => {
+            let lb = uniform_lower_bound(&inst).to_f64();
+            let (_, lpt) = lpt_with_setups_makespan(&inst);
+            rows.push(("lpt (Lemma 2.1)".into(), lpt.to_f64(), "≤4.74·Opt".into()));
+            let q: u64 = args.flag_parse("q", 4)?;
+            let p = ptas_uniform(&inst, &PtasConfig { q, node_limit: nodes });
+            rows.push((format!("ptas ε=1/{q}"), p.makespan.to_f64(), "≤(1+O(ε))·Opt".into()));
+            let grd = uniform_makespan(&inst, &greedy_uniform(&inst)).expect("valid");
+            rows.push(("greedy".into(), grd.to_f64(), "no guarantee".into()));
+            let mf = sst_algos::multifit::multifit_uniform(&inst, 8);
+            rows.push(("multifit/ffd".into(), mf.makespan.to_f64(), "no guarantee".into()));
+            if inst.n() <= 14 {
+                let e = exact_uniform(&inst, nodes);
+                let tag = if e.complete { "optimum" } else { "incumbent" };
+                rows.push(("exact b&b".into(), e.makespan.to_f64(), tag.into()));
+            }
+            rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut out = format!("lower bound: {lb:.3}
+");
+            for (name, ms, tag) in rows {
+                out.push_str(&format!("{name:<16} {ms:>12.3}  ({tag})
+"));
+            }
+            Ok(out)
+        }
+        AnyInstance::Unrelated(inst) => {
+            let lb = unrelated_lower_bound(&inst);
+            let rr = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed });
+            rows.push((
+                "rounding (Thm 3.3)".into(),
+                rr.makespan as f64,
+                format!("T*={}", rr.t_star),
+            ));
+            if inst.is_restricted_assignment() && inst.has_class_uniform_restrictions() {
+                let r = solve_ra_class_uniform(&inst);
+                rows.push((
+                    "ra2 (Thm 3.10)".into(),
+                    r.makespan as f64,
+                    format!("≤2·T*={}", 2 * r.t_star),
+                ));
+            }
+            if inst.has_class_uniform_ptimes() {
+                let r = solve_class_uniform_ptimes(&inst);
+                rows.push((
+                    "cupt3 (Thm 3.11)".into(),
+                    r.makespan as f64,
+                    format!("≤3·T*={}", 3 * r.t_star),
+                ));
+            }
+            let grd = unrelated_makespan(&inst, &greedy_unrelated(&inst)).expect("valid");
+            rows.push(("greedy".into(), grd as f64, "no guarantee".into()));
+            if inst.n() <= 14 {
+                let e = exact_unrelated(&inst, nodes);
+                let tag = if e.complete { "optimum" } else { "incumbent" };
+                rows.push(("exact b&b".into(), e.makespan as f64, tag.into()));
+            }
+            rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut out = format!("lower bound: {lb}
+");
+            for (name, ms, tag) in rows {
+                out.push_str(&format!("{name:<20} {ms:>12.0}  ({tag})
+"));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// `sst gantt` — renders a schedule as an ASCII Gantt chart (setups `#`,
+/// jobs by class digit; all rows share one time scale).
+pub fn gantt(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["width", "svg"])?;
+    let inst_path = args.pos(0, "instance.json")?;
+    let sched_path = args.pos(1, "schedule.json")?;
+    let width: usize = args.flag_parse("width", 60)?;
+    let sched = io::schedule_from_json(&std::fs::read_to_string(sched_path)?)?;
+    let (mut out, svg) = match load_instance(inst_path)? {
+        AnyInstance::Uniform(inst) => {
+            let tl = Timeline::from_uniform(&inst, &sched)
+                .map_err(|e| CliError(format!("invalid schedule: {e}")))?;
+            tl.validate().map_err(|e| CliError(format!("timeline invariant broken: {e}")))?;
+            let chart = render_gantt(&tl, |j| inst.job(j).class, width);
+            let svg = render_gantt_svg(&tl, |j| inst.job(j).class, 800);
+            (format!("{chart}makespan: {}\n", tl.makespan()), svg)
+        }
+        AnyInstance::Unrelated(inst) => {
+            let tl = Timeline::from_unrelated(&inst, &sched)
+                .map_err(|e| CliError(format!("invalid schedule: {e}")))?;
+            tl.validate().map_err(|e| CliError(format!("timeline invariant broken: {e}")))?;
+            let chart = render_gantt(&tl, |j| inst.class_of(j), width);
+            let svg = render_gantt_svg(&tl, |j| inst.class_of(j), 800);
+            (format!("{chart}makespan: {}\n", tl.makespan()), svg)
+        }
+    };
+    if let Some(path) = args.flag("svg") {
+        std::fs::write(path, svg)?;
+        out.push_str(&format!("svg written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `sst sweep` — runs one algorithm over an (n × seed) grid of generated
+/// instances in parallel (rayon) and prints a CSV of makespans and
+/// certified ratios. The rows are sorted, so the output is deterministic
+/// regardless of thread scheduling.
+pub fn sweep(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["family", "algo", "n-list", "m", "k", "seeds", "setups", "q"])?;
+    let family = args.flag("family").unwrap_or("uniform").to_string();
+    let algo = args.flag("algo").unwrap_or("auto").to_string();
+    let m: usize = args.flag_parse("m", 5)?;
+    let k: usize = args.flag_parse("k", 6)?;
+    let seeds: u64 = args.flag_parse("seeds", 3)?;
+    let q: u64 = args.flag_parse("q", 4)?;
+    let setups = match args.flag("setups").unwrap_or("moderate") {
+        "light" => SetupWeight::Light,
+        "moderate" => SetupWeight::Moderate,
+        "heavy" => SetupWeight::Heavy,
+        other => return Err(CliError(format!("unknown --setups '{other}'"))),
+    };
+    let n_list: Vec<usize> = args
+        .flag("n-list")
+        .unwrap_or("20,40,80")
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|_| CliError(format!("bad n '{t}'"))))
+        .collect::<Result<_, _>>()?;
+    let grid: Vec<(usize, u64)> =
+        n_list.iter().flat_map(|&n| (0..seeds).map(move |s| (n, s))).collect();
+
+    #[derive(Debug)]
+    struct Row {
+        n: usize,
+        seed: u64,
+        makespan: f64,
+        bound: f64,
+    }
+    let run_one = |&(n, seed): &(usize, u64)| -> Result<Row, CliError> {
+        match family.as_str() {
+            "uniform" | "identical" => {
+                let speeds = if family == "identical" {
+                    SpeedProfile::Identical
+                } else {
+                    SpeedProfile::UniformRandom { lo: 1, hi: 8 }
+                };
+                let inst = sst_gen::uniform(&UniformParams {
+                    n,
+                    m,
+                    k,
+                    setups,
+                    seed,
+                    speeds,
+                    ..Default::default()
+                });
+                let algo = if algo == "auto" { "lpt" } else { algo.as_str() };
+                let sched = match algo {
+                    "lpt" => lpt_with_setups_makespan(&inst).0,
+                    "ptas" => ptas_uniform(&inst, &PtasConfig { q, node_limit: 1 << 22 }).schedule,
+                    "greedy" => greedy_uniform(&inst),
+                    "wrap" if family == "identical" => sst_algos::identical::wrap_identical(&inst),
+                    other => {
+                        return Err(CliError(format!("algo '{other}' not valid for {family}")))
+                    }
+                };
+                let ms = uniform_makespan(&inst, &sched)
+                    .map_err(|e| CliError(e.to_string()))?
+                    .to_f64();
+                Ok(Row { n, seed, makespan: ms, bound: uniform_lower_bound(&inst).to_f64() })
+            }
+            "unrelated" | "ra" | "cupt" => {
+                let inst = match family.as_str() {
+                    "unrelated" => sst_gen::unrelated(&UnrelatedParams {
+                        n,
+                        m,
+                        k,
+                        setups,
+                        seed,
+                        ..Default::default()
+                    }),
+                    "ra" => sst_gen::ra_class_uniform(n, m, k, (m / 2).max(2), (1, 40), setups, seed),
+                    _ => sst_gen::class_uniform_ptimes(n, m, k, (1, 40), setups, seed),
+                };
+                let algo = if algo == "auto" { "rounding" } else { algo.as_str() };
+                let (sched, bound) = match algo {
+                    "rounding" => {
+                        let r = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed });
+                        (r.schedule, r.t_star as f64)
+                    }
+                    "ra2" if family == "ra" => {
+                        let r = solve_ra_class_uniform(&inst);
+                        (r.schedule, r.t_star as f64)
+                    }
+                    "cupt3" if family == "cupt" => {
+                        let r = solve_class_uniform_ptimes(&inst);
+                        (r.schedule, r.t_star as f64)
+                    }
+                    "greedy" => {
+                        (greedy_unrelated(&inst), unrelated_lower_bound(&inst) as f64)
+                    }
+                    other => {
+                        return Err(CliError(format!("algo '{other}' not valid for {family}")))
+                    }
+                };
+                let ms = unrelated_makespan(&inst, &sched)
+                    .map_err(|e| CliError(e.to_string()))? as f64;
+                Ok(Row { n, seed, makespan: ms, bound })
+            }
+            other => Err(CliError(format!("unknown family '{other}'"))),
+        }
+    };
+    let mut rows: Vec<Row> = grid
+        .par_iter()
+        .map(run_one)
+        .collect::<Result<Vec<_>, _>>()?;
+    rows.sort_by_key(|r| (r.n, r.seed));
+    let mut out = String::from("family,algo,n,m,k,seed,makespan,bound,ratio\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{family},{algo},{},{m},{k},{},{:.3},{:.3},{:.3}\n",
+            r.n,
+            r.seed,
+            r.makespan,
+            r.bound,
+            r.makespan / r.bound.max(f64::MIN_POSITIVE)
+        ));
+    }
+    Ok(out)
+}
+
+/// `sst bound` — prints the lower-bound chain for an unrelated instance:
+/// combinatorial ≤ assignment-LP `T*` (Section 3.1) ≤ configuration-LP
+/// (the stronger relaxation of the restricted-assignment lineage). The
+/// configuration LP needs `n ≤ 64`; larger instances report the first two.
+pub fn bound(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["max-t"])?;
+    let path = args.pos(0, "instance.json")?;
+    let max_t: u64 = args.flag_parse("max-t", 1 << 13)?;
+    match load_instance(path)? {
+        AnyInstance::Uniform(inst) => Ok(format!(
+            "kind: uniform\ncombinatorial lower bound: {}\n(LP bounds apply to unrelated instances; uniform bounds are exact rationals)\n",
+            uniform_lower_bound(&inst)
+        )),
+        AnyInstance::Unrelated(inst) => {
+            let comb = unrelated_lower_bound(&inst);
+            let assign = sst_algos::lp_relax::lp_makespan_lower_bound(&inst);
+            let mut out = format!(
+                "kind: unrelated\ncombinatorial lower bound: {comb}\nassignment-LP T* (Sec 3.1): {assign}\n"
+            );
+            if inst.n() <= 64 {
+                let limits = sst_algos::configlp::ConfigLpLimits {
+                    max_t,
+                    ..Default::default()
+                };
+                let config = sst_algos::configlp::config_lp_lower_bound(&inst, &limits);
+                out.push_str(&format!("configuration-LP bound:     {config}\n"));
+            } else {
+                out.push_str("configuration-LP bound:     skipped (n > 64)\n");
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(help()),
+        "generate" => generate(args),
+        "solve" => solve(args),
+        "evaluate" => evaluate(args),
+        "gantt" => gantt(args),
+        "info" => info(args),
+        "bound" => bound(args),
+        "compare" => compare(args),
+        "sweep" => sweep(args),
+        other => Err(CliError(format!("unknown command '{other}'; see `sst help`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("sst-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_solve_evaluate_roundtrip_uniform() {
+        let inst_path = tmp("u.json");
+        let sched_path = tmp("u_sched.json");
+        let g = run(&parse(&toks(&[
+            "generate", "uniform", "--out", &inst_path, "--n", "12", "--m", "3", "--seed", "5",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(g.contains("n=12"));
+        let s = run(&parse(&toks(&[
+            "solve", &inst_path, "--algo", "lpt", "--out", &sched_path,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(s.contains("makespan:"), "{s}");
+        let e = run(&parse(&toks(&["evaluate", &inst_path, &sched_path])).unwrap()).unwrap();
+        assert!(e.contains("machine 0:"));
+    }
+
+    #[test]
+    fn generate_solve_unrelated_with_certificate() {
+        let inst_path = tmp("r.json");
+        run(&parse(&toks(&[
+            "generate", "ra", "--out", &inst_path, "--n", "16", "--m", "3", "--seed", "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        let s = run(&parse(&toks(&["solve", &inst_path, "--algo", "ra2"])).unwrap()).unwrap();
+        assert!(s.contains("T* ="), "{s}");
+    }
+
+    #[test]
+    fn info_reports_model_checks() {
+        let inst_path = tmp("c.json");
+        run(&parse(&toks(&["generate", "cupt", "--out", &inst_path, "--n", "10"])).unwrap())
+            .unwrap();
+        let i = run(&parse(&toks(&["info", &inst_path])).unwrap()).unwrap();
+        assert!(i.contains("class-uniform ptimes: true"), "{i}");
+    }
+
+    #[test]
+    fn polish_never_reports_invalid() {
+        let inst_path = tmp("p.json");
+        run(&parse(&toks(&[
+            "generate", "uniform", "--out", &inst_path, "--n", "15", "--setups", "heavy",
+        ]))
+        .unwrap())
+        .unwrap();
+        let s = run(&parse(&toks(&[
+            "solve", &inst_path, "--algo", "greedy", "--polish", "50",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(s.contains("makespan:"));
+    }
+
+    #[test]
+    fn compare_ranks_algorithms() {
+        let inst_path = tmp("cmp.json");
+        run(&parse(&toks(&[
+            "generate", "uniform", "--out", &inst_path, "--n", "10", "--m", "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        let c = run(&parse(&toks(&["compare", &inst_path])).unwrap()).unwrap();
+        assert!(c.contains("lpt"), "{c}");
+        assert!(c.contains("optimum") || c.contains("incumbent"), "{c}");
+        // Ranked: first listed makespan ≤ last listed.
+        let values: Vec<f64> = c
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{c}");
+    }
+
+    #[test]
+    fn bound_prints_monotone_chain() {
+        let inst_path = tmp("b.json");
+        run(&parse(&toks(&[
+            "generate", "unrelated", "--out", &inst_path, "--n", "9", "--m", "3", "--seed", "6",
+        ]))
+        .unwrap())
+        .unwrap();
+        let b = run(&parse(&toks(&["bound", &inst_path])).unwrap()).unwrap();
+        let grab = |tag: &str| -> u64 {
+            b.lines()
+                .find(|l| l.contains(tag))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("missing {tag} in {b}"))
+        };
+        let comb = grab("combinatorial");
+        let assign = grab("assignment-LP");
+        let config = grab("configuration-LP");
+        assert!(comb <= assign && assign <= config + 1, "{b}");
+    }
+
+    #[test]
+    fn bound_uniform_reports_combinatorial_only() {
+        let inst_path = tmp("b_u.json");
+        run(&parse(&toks(&["generate", "uniform", "--out", &inst_path, "--n", "8"])).unwrap())
+            .unwrap();
+        let b = run(&parse(&toks(&["bound", &inst_path])).unwrap()).unwrap();
+        assert!(b.contains("kind: uniform"), "{b}");
+    }
+
+    #[test]
+    fn gantt_renders_both_kinds() {
+        let u_path = tmp("g_u.json");
+        let u_sched = tmp("g_u_sched.json");
+        run(&parse(&toks(&[
+            "generate", "uniform", "--out", &u_path, "--n", "8", "--m", "2", "--seed", "4",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&["solve", &u_path, "--algo", "lpt", "--out", &u_sched])).unwrap())
+            .unwrap();
+        let g = run(&parse(&toks(&["gantt", &u_path, &u_sched, "--width", "40"])).unwrap())
+            .unwrap();
+        assert!(g.contains("m0"), "{g}");
+        assert!(g.contains("makespan:"), "{g}");
+        assert!(g.contains('#'), "setups must render: {g}");
+
+        let r_path = tmp("g_r.json");
+        let r_sched = tmp("g_r_sched.json");
+        run(&parse(&toks(&[
+            "generate", "unrelated", "--out", &r_path, "--n", "10", "--m", "3", "--seed", "4",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&["solve", &r_path, "--algo", "greedy", "--out", &r_sched])).unwrap())
+            .unwrap();
+        let g = run(&parse(&toks(&["gantt", &r_path, &r_sched])).unwrap()).unwrap();
+        assert!(g.contains("<- makespan"), "{g}");
+    }
+
+    #[test]
+    fn gantt_rejects_mismatched_schedule() {
+        let a_path = tmp("g_a.json");
+        let b_path = tmp("g_b.json");
+        let b_sched = tmp("g_b_sched.json");
+        run(&parse(&toks(&["generate", "uniform", "--out", &a_path, "--n", "6"])).unwrap())
+            .unwrap();
+        run(&parse(&toks(&["generate", "uniform", "--out", &b_path, "--n", "9"])).unwrap())
+            .unwrap();
+        run(&parse(&toks(&["solve", &b_path, "--algo", "lpt", "--out", &b_sched])).unwrap())
+            .unwrap();
+        assert!(run(&parse(&toks(&["gantt", &a_path, &b_sched])).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sweep_produces_sorted_csv() {
+        let c = run(&parse(&toks(&[
+            "sweep", "--family", "uniform", "--algo", "lpt", "--n-list", "10,20", "--m", "3",
+            "--seeds", "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "family,algo,n,m,k,seed,makespan,bound,ratio");
+        assert_eq!(lines.len(), 1 + 2 * 2, "{c}");
+        // Deterministic despite parallel execution.
+        let c2 = run(&parse(&toks(&[
+            "sweep", "--family", "uniform", "--algo", "lpt", "--n-list", "10,20", "--m", "3",
+            "--seeds", "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert_eq!(c, c2);
+        // Ratios parse and stay under the Lemma 2.1 guarantee.
+        for line in &lines[1..] {
+            let ratio: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(ratio < 4.74, "{line}");
+        }
+    }
+
+    #[test]
+    fn sweep_ra_family_with_certified_bound() {
+        let c = run(&parse(&toks(&[
+            "sweep", "--family", "ra", "--algo", "ra2", "--n-list", "12", "--m", "3",
+            "--seeds", "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        for line in c.lines().skip(1) {
+            let ratio: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(ratio <= 2.0 + 1e-9, "Theorem 3.10 bound violated: {line}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        assert!(run(&parse(&toks(&["sweep", "--family", "nope"])).unwrap()).is_err());
+        assert!(run(
+            &parse(&toks(&["sweep", "--family", "uniform", "--n-list", "5,x"])).unwrap()
+        )
+        .is_err());
+        assert!(run(
+            &parse(&toks(&["sweep", "--family", "uniform", "--algo", "cupt3"])).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_bad_algo_error_cleanly() {
+        assert!(run(&parse(&toks(&["frobnicate"])).unwrap()).is_err());
+        let inst_path = tmp("u2.json");
+        run(&parse(&toks(&["generate", "uniform", "--out", &inst_path])).unwrap()).unwrap();
+        let err = run(&parse(&toks(&["solve", &inst_path, "--algo", "rounding"])).unwrap());
+        assert!(err.is_err(), "rounding must be rejected for uniform instances");
+    }
+}

@@ -1,0 +1,11 @@
+//! # sst-cli — command-line interface for the setup-scheduling workspace
+//!
+//! `sst generate | solve | evaluate | info` over the JSON instance format
+//! of `sst-core::io`. All logic lives in [`commands`] as testable library
+//! functions; `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

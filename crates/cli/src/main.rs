@@ -1,0 +1,20 @@
+//! Thin shell around [`sst_cli::commands::run`].
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match sst_cli::args::parse(&tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", sst_cli::commands::help());
+            std::process::exit(2);
+        }
+    };
+    match sst_cli::commands::run(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Fluent builders for instances.
+//!
+//! The positional constructors ([`UniformInstance::new`],
+//! [`UnrelatedInstance::new`]) are exact mirrors of the paper's notation,
+//! which is right for the algorithms but awkward for application code that
+//! thinks in terms of "machines", "job families" and "jobs". The builders
+//! let a downstream user assemble instances incrementally, with class
+//! handles instead of raw indices:
+//!
+//! ```
+//! use sst_core::builder::UniformBuilder;
+//!
+//! let mut b = UniformBuilder::new();
+//! b.machine(2).machine(1);                   // speeds
+//! let paint = b.class(3);                    // setup size 3
+//! let weld = b.class(5);
+//! b.job(paint, 4).job(weld, 6).job(paint, 2);
+//! let inst = b.build().unwrap();
+//! assert_eq!(inst.n(), 3);
+//! assert_eq!(inst.m(), 2);
+//! assert_eq!(inst.setup(paint.id()), 3);
+//! ```
+
+use crate::error::InstanceError;
+use crate::instance::{ClassId, Job, UniformInstance, UnrelatedInstance, INF};
+
+/// Typed handle to a class added through a builder; prevents mixing up raw
+/// class indices with job or machine indices at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassHandle(ClassId);
+
+impl ClassHandle {
+    /// The underlying class id in the built instance.
+    pub fn id(self) -> ClassId {
+        self.0
+    }
+}
+
+/// Incremental builder for [`UniformInstance`]s.
+#[derive(Debug, Clone, Default)]
+pub struct UniformBuilder {
+    speeds: Vec<u64>,
+    setups: Vec<u64>,
+    jobs: Vec<Job>,
+}
+
+impl UniformBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a machine with the given speed.
+    pub fn machine(&mut self, speed: u64) -> &mut Self {
+        self.speeds.push(speed);
+        self
+    }
+
+    /// Adds `count` identical machines of the given speed.
+    pub fn machines(&mut self, count: usize, speed: u64) -> &mut Self {
+        self.speeds.extend(std::iter::repeat_n(speed, count));
+        self
+    }
+
+    /// Declares a setup class with the given setup size.
+    pub fn class(&mut self, setup: u64) -> ClassHandle {
+        self.setups.push(setup);
+        ClassHandle(self.setups.len() - 1)
+    }
+
+    /// Adds one job of the given class and size.
+    pub fn job(&mut self, class: ClassHandle, size: u64) -> &mut Self {
+        self.jobs.push(Job::new(class.0, size));
+        self
+    }
+
+    /// Adds a batch of jobs of one class.
+    pub fn jobs(&mut self, class: ClassHandle, sizes: &[u64]) -> &mut Self {
+        self.jobs.extend(sizes.iter().map(|&p| Job::new(class.0, p)));
+        self
+    }
+
+    /// Validates and builds the instance.
+    pub fn build(&self) -> Result<UniformInstance, InstanceError> {
+        UniformInstance::new(self.speeds.clone(), self.setups.clone(), self.jobs.clone())
+    }
+}
+
+/// Incremental builder for [`UnrelatedInstance`]s. Machines are declared
+/// first; jobs and classes then provide their per-machine time rows (or
+/// eligibility lists for restricted assignment).
+#[derive(Debug, Clone, Default)]
+pub struct UnrelatedBuilder {
+    m: usize,
+    setups: Vec<Vec<u64>>,
+    job_class: Vec<ClassId>,
+    ptimes: Vec<Vec<u64>>,
+}
+
+impl UnrelatedBuilder {
+    /// A builder for `m` machines.
+    pub fn new(m: usize) -> Self {
+        UnrelatedBuilder { m, ..Default::default() }
+    }
+
+    /// Declares a class with per-machine setup times (`row.len()` must be
+    /// `m`; use [`INF`] for machines that cannot host the class).
+    ///
+    /// # Panics
+    /// Panics if the row length differs from `m`.
+    pub fn class(&mut self, setup_row: Vec<u64>) -> ClassHandle {
+        assert_eq!(setup_row.len(), self.m, "setup row must cover every machine");
+        self.setups.push(setup_row);
+        ClassHandle(self.setups.len() - 1)
+    }
+
+    /// Declares a class with the same setup time everywhere.
+    pub fn class_uniform_setup(&mut self, setup: u64) -> ClassHandle {
+        self.setups.push(vec![setup; self.m]);
+        ClassHandle(self.setups.len() - 1)
+    }
+
+    /// Adds a job with per-machine processing times.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from `m`.
+    pub fn job(&mut self, class: ClassHandle, ptime_row: Vec<u64>) -> &mut Self {
+        assert_eq!(ptime_row.len(), self.m, "ptime row must cover every machine");
+        self.job_class.push(class.0);
+        self.ptimes.push(ptime_row);
+        self
+    }
+
+    /// Adds a restricted-assignment job: size `p` on the listed machines,
+    /// [`INF`] elsewhere.
+    pub fn job_restricted(
+        &mut self,
+        class: ClassHandle,
+        p: u64,
+        eligible: &[usize],
+    ) -> &mut Self {
+        let mut row = vec![INF; self.m];
+        for &i in eligible {
+            row[i] = p;
+        }
+        self.job_class.push(class.0);
+        self.ptimes.push(row);
+        self
+    }
+
+    /// Validates and builds the instance.
+    pub fn build(&self) -> Result<UnrelatedInstance, InstanceError> {
+        UnrelatedInstance::new(
+            self.m,
+            self.job_class.clone(),
+            self.ptimes.clone(),
+            self.setups.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_builder_matches_direct_construction() {
+        let mut b = UniformBuilder::new();
+        b.machines(2, 1).machine(4);
+        let a = b.class(3);
+        let c = b.class(5);
+        b.jobs(a, &[4, 2]).job(c, 6);
+        let built = b.build().unwrap();
+        let direct = UniformInstance::new(
+            vec![1, 1, 4],
+            vec![3, 5],
+            vec![Job::new(0, 4), Job::new(0, 2), Job::new(1, 6)],
+        )
+        .unwrap();
+        assert_eq!(built, direct);
+    }
+
+    #[test]
+    fn uniform_builder_propagates_validation() {
+        let mut b = UniformBuilder::new();
+        b.machine(0);
+        let k = b.class(1);
+        b.job(k, 1);
+        assert!(matches!(b.build(), Err(InstanceError::ZeroSpeed { machine: 0 })));
+        assert!(matches!(UniformBuilder::new().build(), Err(InstanceError::NoMachines)));
+    }
+
+    #[test]
+    fn unrelated_builder_full_rows() {
+        let mut b = UnrelatedBuilder::new(2);
+        let k = b.class(vec![1, 2]);
+        b.job(k, vec![3, 9]).job(k, vec![5, 5]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.setup(1, k.id()), 2);
+        assert_eq!(inst.ptime(0, 0), 3);
+    }
+
+    #[test]
+    fn unrelated_builder_restricted_jobs() {
+        let mut b = UnrelatedBuilder::new(3);
+        let k = b.class_uniform_setup(2);
+        b.job_restricted(k, 7, &[0, 2]);
+        let inst = b.build().unwrap();
+        assert!(inst.is_restricted_assignment());
+        assert_eq!(inst.ptime(1, 0), INF);
+        assert_eq!(inst.eligible_machines(0), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every machine")]
+    fn unrelated_builder_rejects_short_rows() {
+        let mut b = UnrelatedBuilder::new(3);
+        b.class(vec![1, 2]);
+    }
+
+    #[test]
+    fn unrelated_builder_detects_unschedulable() {
+        let mut b = UnrelatedBuilder::new(1);
+        let k = b.class(vec![INF]);
+        b.job(k, vec![5]); // finite p but infinite setup → unschedulable
+        assert!(matches!(b.build(), Err(InstanceError::UnschedulableJob { job: 0 })));
+    }
+}

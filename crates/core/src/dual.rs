@@ -1,0 +1,179 @@
+//! The dual approximation framework of Hochbaum–Shmoys (Section 1.1.1).
+//!
+//! An α-relaxed decision procedure, given a makespan guess `T`, either
+//! produces a schedule of makespan ≤ α·T or correctly reports that no
+//! schedule of makespan ≤ T exists. Binary search over `T` then yields an
+//! α-approximation. Two search drivers are provided: an integer bisection
+//! for unrelated machines (all loads integral) and a geometric-grid search
+//! over rationals for uniform machines (PTAS-style `(1+ε)` grids).
+
+use crate::ratio::Ratio;
+
+/// Outcome of a relaxed decision procedure at guess `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision<S> {
+    /// A schedule with makespan at most `α·T` was found.
+    Feasible(S),
+    /// Certified: no schedule with makespan at most `T` exists.
+    Infeasible,
+}
+
+impl<S> Decision<S> {
+    /// True for [`Decision::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Decision::Feasible(_))
+    }
+}
+
+/// Integer bisection: smallest `T ∈ [lo, hi]` whose decision is feasible,
+/// along with that decision's witness. Requires monotonicity (feasible at
+/// `T` implies feasible at every `T' ≥ T`), which every decision procedure
+/// in this workspace satisfies. Returns `None` if even `hi` is infeasible.
+pub fn binary_search_u64<S>(
+    mut lo: u64,
+    mut hi: u64,
+    mut decide: impl FnMut(u64) -> Decision<S>,
+) -> Option<(u64, S)> {
+    debug_assert!(lo <= hi);
+    let mut best = match decide(hi) {
+        Decision::Feasible(s) => (hi, s),
+        Decision::Infeasible => return None,
+    };
+    // Invariant: `best` holds a feasible guess ≤ hi; everything below `lo`
+    // is either unexplored or infeasible.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match decide(mid) {
+            Decision::Feasible(s) => {
+                best = (mid, s);
+                hi = mid;
+            }
+            Decision::Infeasible => lo = mid + 1,
+        }
+    }
+    Some(best)
+}
+
+/// Geometric-grid search for uniform machines: examines guesses
+/// `T_i = lb·(1+ε)^i` for `i = 0, 1, …` until `T_i ≥ ub` (always including a
+/// final guess ≥ `ub`) and returns the witness of the smallest feasible grid
+/// point, found by bisection over the exponent. `one_plus_eps` must be > 1.
+///
+/// If the decision procedure is exact-at-`T` (accepts iff some schedule of
+/// makespan ≤ `T` exists and returns one of makespan ≤ α·T), the returned
+/// schedule has makespan at most `α·(1+ε)·|Opt|` whenever `lb ≤ |Opt| ≤ ub`.
+pub fn geometric_search<S>(
+    lb: Ratio,
+    ub: Ratio,
+    one_plus_eps: Ratio,
+    mut decide: impl FnMut(Ratio) -> Decision<S>,
+) -> Option<(Ratio, S)> {
+    assert!(one_plus_eps > Ratio::ONE, "grid factor must exceed 1");
+    assert!(!lb.is_zero(), "geometric grid needs a positive lower bound");
+    // Number of grid points: smallest `g` with lb·f^g ≥ ub.
+    let mut g = 0u32;
+    let mut t = lb;
+    while t < ub {
+        t = t.mul(one_plus_eps);
+        g += 1;
+        assert!(g < 10_000, "geometric grid unreasonably fine: lb={lb}, ub={ub}");
+    }
+    // Bisect over exponents 0..=g, maintaining: `hi_exp` feasible.
+    let guess = |e: u32| lb.mul(one_plus_eps.pow(e));
+    let mut lo_exp = 0u32;
+    let mut hi_exp = g;
+    let mut best = match decide(guess(g)) {
+        Decision::Feasible(s) => (guess(g), s),
+        Decision::Infeasible => return None,
+    };
+    while lo_exp < hi_exp {
+        let mid = lo_exp + (hi_exp - lo_exp) / 2;
+        match decide(guess(mid)) {
+            Decision::Feasible(s) => {
+                best = (guess(mid), s);
+                hi_exp = mid;
+            }
+            Decision::Infeasible => lo_exp = mid + 1,
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_search_finds_threshold() {
+        // Feasible iff T >= 37; witness is T itself.
+        let res = binary_search_u64(0, 1000, |t| {
+            if t >= 37 {
+                Decision::Feasible(t)
+            } else {
+                Decision::Infeasible
+            }
+        });
+        assert_eq!(res, Some((37, 37)));
+    }
+
+    #[test]
+    fn binary_search_infeasible_everywhere() {
+        let res: Option<(u64, ())> = binary_search_u64(0, 10, |_| Decision::Infeasible);
+        assert_eq!(res, None);
+    }
+
+    #[test]
+    fn binary_search_all_feasible_returns_lo() {
+        let res = binary_search_u64(5, 10, |t| Decision::Feasible(t));
+        assert_eq!(res, Some((5, 5)));
+    }
+
+    #[test]
+    fn binary_search_counts_log_many_calls() {
+        let mut calls = 0;
+        binary_search_u64(0, 1 << 20, |t| {
+            calls += 1;
+            if t >= 12345 {
+                Decision::Feasible(())
+            } else {
+                Decision::Infeasible
+            }
+        });
+        assert!(calls <= 22, "expected ~log2 calls, got {calls}");
+    }
+
+    #[test]
+    fn geometric_search_brackets_threshold() {
+        // Feasible iff T >= 10. Grid from 1 with factor 3/2. The search must
+        // return the smallest feasible grid point: 1·(3/2)^6 = 11.39…
+        let threshold = Ratio::new(10, 1);
+        let res = geometric_search(
+            Ratio::ONE,
+            Ratio::new(100, 1),
+            Ratio::new(3, 2),
+            |t| {
+                if t >= threshold {
+                    Decision::Feasible(t)
+                } else {
+                    Decision::Infeasible
+                }
+            },
+        )
+        .unwrap();
+        let expect = Ratio::new(3, 2).pow(6);
+        assert_eq!(res.0, expect);
+        // Smallest feasible grid point is within factor 3/2 of the threshold.
+        assert!(res.0 < threshold.mul(Ratio::new(3, 2)));
+    }
+
+    #[test]
+    fn geometric_search_none_when_ub_infeasible() {
+        let res: Option<(Ratio, ())> = geometric_search(
+            Ratio::ONE,
+            Ratio::new(8, 1),
+            Ratio::new(2, 1),
+            |_| Decision::Infeasible,
+        );
+        assert!(res.is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised while constructing instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// A job references a class id `>= num_classes`.
+    ClassOutOfRange {
+        /// Offending job id.
+        job: usize,
+        /// Class id the job referenced.
+        class: usize,
+        /// Number of classes in the instance.
+        num_classes: usize,
+    },
+    /// A uniform machine has speed zero.
+    ZeroSpeed {
+        /// Offending machine id.
+        machine: usize,
+    },
+    /// A matrix row has the wrong number of entries.
+    DimensionMismatch {
+        /// Which input vector was malformed.
+        what: &'static str,
+        /// Expected entry count.
+        expected: usize,
+        /// Actual entry count.
+        got: usize,
+    },
+    /// The instance has no machines.
+    NoMachines,
+    /// A job cannot run anywhere: `p_ij + s_ik = ∞` on every machine.
+    UnschedulableJob {
+        /// Offending job id.
+        job: usize,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::ClassOutOfRange { job, class, num_classes } => write!(
+                f,
+                "job {job} references class {class} but the instance has only {num_classes} classes"
+            ),
+            InstanceError::ZeroSpeed { machine } => {
+                write!(f, "machine {machine} has speed 0 (speeds must be positive)")
+            }
+            InstanceError::DimensionMismatch { what, expected, got } => {
+                write!(f, "{what}: expected {expected} entries, got {got}")
+            }
+            InstanceError::NoMachines => write!(f, "instance has no machines"),
+            InstanceError::UnschedulableJob { job } => {
+                write!(f, "job {job} has infinite processing time on every machine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// Errors raised while evaluating or validating schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Assignment vector length differs from the number of jobs.
+    WrongLength {
+        /// Number of jobs in the instance.
+        expected: usize,
+        /// Number of jobs the schedule covers.
+        got: usize,
+    },
+    /// A job is assigned to a machine id `>= m`.
+    MachineOutOfRange {
+        /// Offending job id.
+        job: usize,
+        /// Machine id the job was assigned to.
+        machine: usize,
+        /// Number of machines in the instance.
+        m: usize,
+    },
+    /// A job is assigned to a machine where its processing time is infinite.
+    InfiniteProcessingTime {
+        /// Offending job id.
+        job: usize,
+        /// Machine the job was assigned to.
+        machine: usize,
+    },
+    /// A class is set up on a machine where its setup time is infinite.
+    InfiniteSetup {
+        /// Offending class id.
+        class: usize,
+        /// Machine the class was placed on.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongLength { expected, got } => {
+                write!(f, "schedule assigns {got} jobs but the instance has {expected}")
+            }
+            ScheduleError::MachineOutOfRange { job, machine, m } => {
+                write!(f, "job {job} assigned to machine {machine}, but m = {m}")
+            }
+            ScheduleError::InfiniteProcessingTime { job, machine } => {
+                write!(f, "job {job} assigned to machine {machine} where p_ij = ∞")
+            }
+            ScheduleError::InfiniteSetup { class, machine } => {
+                write!(f, "class {class} set up on machine {machine} where s_ik = ∞")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}

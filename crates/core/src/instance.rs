@@ -1,0 +1,594 @@
+//! Instance model: jobs, setup classes and the three machine environments of
+//! the paper (uniformly related, unrelated, restricted assignment).
+//!
+//! Terminology follows Section 1.1 of the paper. A job `j` has a *size* `p_j`
+//! and belongs to exactly one class `k_j`; a class `k` has a *setup size*
+//! `s_k` (uniform case) or machine-dependent setup times `s_ik` (unrelated
+//! case). "Size" is the machine-independent quantity; the *processing time*
+//! on a uniform machine `i` is `p_j / v_i`.
+
+use crate::error::InstanceError;
+use crate::ratio::Ratio;
+
+/// Index of a job in `0..n`.
+pub type JobId = usize;
+/// Index of a machine in `0..m`.
+pub type MachineId = usize;
+/// Index of a setup class in `0..K`.
+pub type ClassId = usize;
+
+/// Sentinel for an infinite processing/setup time (restricted assignment and
+/// unrelated instances). Finite times must stay strictly below this value.
+pub const INF: u64 = u64::MAX;
+
+/// Returns true for finite time values.
+#[inline]
+pub fn is_finite(t: u64) -> bool {
+    t != INF
+}
+
+/// A job of a uniformly-related-machines instance: a size and a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// Setup class of the job (`k_j`).
+    pub class: ClassId,
+    /// Machine-independent size (`p_j`).
+    pub size: u64,
+}
+
+impl Job {
+    #[inline]
+    /// Creates a job of class `class` with size `size`.
+    pub fn new(class: ClassId, size: u64) -> Job {
+        Job { class, size }
+    }
+}
+
+/// An instance of scheduling with setup times on **uniformly related
+/// machines**: machine `i` has speed `v_i`, job `j` takes `p_j / v_i` time,
+/// a setup for class `k` takes `s_k / v_i` time.
+///
+/// Identical machines are the special case of all speeds equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformInstance {
+    speeds: Vec<u64>,
+    setups: Vec<u64>,
+    jobs: Vec<Job>,
+}
+
+impl UniformInstance {
+    /// Builds and validates an instance.
+    pub fn new(speeds: Vec<u64>, setups: Vec<u64>, jobs: Vec<Job>) -> Result<Self, InstanceError> {
+        if speeds.is_empty() {
+            return Err(InstanceError::NoMachines);
+        }
+        if let Some(i) = speeds.iter().position(|&v| v == 0) {
+            return Err(InstanceError::ZeroSpeed { machine: i });
+        }
+        for (j, job) in jobs.iter().enumerate() {
+            if job.class >= setups.len() {
+                return Err(InstanceError::ClassOutOfRange {
+                    job: j,
+                    class: job.class,
+                    num_classes: setups.len(),
+                });
+            }
+        }
+        Ok(UniformInstance { speeds, setups, jobs })
+    }
+
+    /// Identical machines: `m` machines of speed 1.
+    pub fn identical(m: usize, setups: Vec<u64>, jobs: Vec<Job>) -> Result<Self, InstanceError> {
+        UniformInstance::new(vec![1; m], setups, jobs)
+    }
+
+    #[inline]
+    /// Number of jobs `n`.
+    pub fn n(&self) -> usize {
+        self.jobs.len()
+    }
+
+    #[inline]
+    /// Number of machines `m`.
+    pub fn m(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Number of setup classes `K`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.setups.len()
+    }
+
+    #[inline]
+    /// Job `j`.
+    pub fn job(&self, j: JobId) -> Job {
+        self.jobs[j]
+    }
+
+    #[inline]
+    /// All jobs, indexed by [`JobId`].
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    #[inline]
+    /// Speed `v_i` of machine `i`.
+    pub fn speed(&self, i: MachineId) -> u64 {
+        self.speeds[i]
+    }
+
+    #[inline]
+    /// All machine speeds, indexed by [`MachineId`].
+    pub fn speeds(&self) -> &[u64] {
+        &self.speeds
+    }
+
+    /// Setup size `s_k` of class `k`.
+    #[inline]
+    pub fn setup(&self, k: ClassId) -> u64 {
+        self.setups[k]
+    }
+
+    #[inline]
+    /// All setup sizes, indexed by [`ClassId`].
+    pub fn setups(&self) -> &[u64] {
+        &self.setups
+    }
+
+    /// Processing time of job `j` on machine `i` as an exact rational.
+    #[inline]
+    pub fn ptime(&self, i: MachineId, j: JobId) -> Ratio {
+        Ratio::new(self.jobs[j].size, self.speeds[i])
+    }
+
+    /// Jobs of class `k`, in job-id order.
+    pub fn jobs_of_class(&self, k: ClassId) -> Vec<JobId> {
+        (0..self.n()).filter(|&j| self.jobs[j].class == k).collect()
+    }
+
+    /// Classes that actually contain at least one job.
+    pub fn nonempty_classes(&self) -> Vec<ClassId> {
+        let mut present = vec![false; self.num_classes()];
+        for job in &self.jobs {
+            present[job.class] = true;
+        }
+        (0..self.num_classes()).filter(|&k| present[k]).collect()
+    }
+
+    /// Total job size `Σ_j p_j`.
+    pub fn total_job_size(&self) -> u64 {
+        self.jobs.iter().map(|j| j.size).sum()
+    }
+
+    /// `Σ_j p_j + Σ_{k nonempty} s_k` — minimum total work any schedule pays.
+    pub fn total_work_with_min_setups(&self) -> u64 {
+        let setups: u64 = self.nonempty_classes().iter().map(|&k| self.setups[k]).sum();
+        self.total_job_size() + setups
+    }
+
+
+    /// Sum of all machine speeds.
+    pub fn total_speed(&self) -> u64 {
+        self.speeds.iter().sum()
+    }
+
+
+    /// Fastest machine speed `v_max`.
+    pub fn max_speed(&self) -> u64 {
+        *self.speeds.iter().max().expect("non-empty by construction")
+    }
+
+
+    /// Slowest machine speed `v_min`.
+    pub fn min_speed(&self) -> u64 {
+        *self.speeds.iter().min().expect("non-empty by construction")
+    }
+
+
+    /// True iff all machines have equal speed.
+    pub fn is_identical(&self) -> bool {
+        self.speeds.iter().all(|&v| v == self.speeds[0])
+    }
+
+    /// Scales every job and setup size by `factor` (used by the
+    /// simplification pipeline so that rounded sizes stay integral).
+    pub fn scale_sizes(&self, factor: u64) -> UniformInstance {
+        UniformInstance {
+            speeds: self.speeds.clone(),
+            setups: self.setups.iter().map(|&s| s * factor).collect(),
+            jobs: self.jobs.iter().map(|&j| Job::new(j.class, j.size * factor)).collect(),
+        }
+    }
+}
+
+/// An instance of scheduling with setup times on **unrelated machines**:
+/// arbitrary processing times `p_ij` and setup times `s_ik`, either of which
+/// may be [`INF`] (restricted assignment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnrelatedInstance {
+    m: usize,
+    job_class: Vec<ClassId>,
+    /// `ptimes[j][i] = p_ij` (row per job).
+    ptimes: Vec<Vec<u64>>,
+    /// `setups[k][i] = s_ik` (row per class).
+    setups: Vec<Vec<u64>>,
+}
+
+impl UnrelatedInstance {
+    /// Builds and validates an instance.
+    ///
+    /// `ptimes[j][i]` is the processing time of job `j` on machine `i`;
+    /// `setups[k][i]` is the setup time of class `k` on machine `i`.
+    pub fn new(
+        m: usize,
+        job_class: Vec<ClassId>,
+        ptimes: Vec<Vec<u64>>,
+        setups: Vec<Vec<u64>>,
+    ) -> Result<Self, InstanceError> {
+        if m == 0 {
+            return Err(InstanceError::NoMachines);
+        }
+        if ptimes.len() != job_class.len() {
+            return Err(InstanceError::DimensionMismatch {
+                what: "ptimes rows",
+                expected: job_class.len(),
+                got: ptimes.len(),
+            });
+        }
+        for (j, row) in ptimes.iter().enumerate() {
+            if row.len() != m {
+                return Err(InstanceError::DimensionMismatch {
+                    what: "ptimes columns",
+                    expected: m,
+                    got: row.len(),
+                });
+            }
+            if row.iter().all(|&p| !is_finite(p)) {
+                return Err(InstanceError::UnschedulableJob { job: j });
+            }
+        }
+        for (k, row) in setups.iter().enumerate() {
+            if row.len() != m {
+                return Err(InstanceError::DimensionMismatch {
+                    what: "setup columns",
+                    expected: m,
+                    got: row.len(),
+                });
+            }
+            let _ = k;
+        }
+        for (j, &k) in job_class.iter().enumerate() {
+            if k >= setups.len() {
+                return Err(InstanceError::ClassOutOfRange {
+                    job: j,
+                    class: k,
+                    num_classes: setups.len(),
+                });
+            }
+        }
+        let inst = UnrelatedInstance { m, job_class, ptimes, setups };
+        for j in 0..inst.n() {
+            if (0..m).all(|i| !is_finite(inst.cost(i, j))) {
+                return Err(InstanceError::UnschedulableJob { job: j });
+            }
+        }
+        Ok(inst)
+    }
+
+    /// Restricted assignment: job `j` has size `sizes[j]` on every machine in
+    /// `eligible[j]` and `∞` elsewhere; class `k` has setup `class_setups[k]`
+    /// on every machine in `class_machines[k]` and `∞` elsewhere (pass
+    /// `None` to allow a class everywhere).
+    pub fn restricted_assignment(
+        m: usize,
+        job_class: Vec<ClassId>,
+        sizes: Vec<u64>,
+        eligible: Vec<Vec<MachineId>>,
+        class_setups: Vec<u64>,
+        class_machines: Option<Vec<Vec<MachineId>>>,
+    ) -> Result<Self, InstanceError> {
+        if sizes.len() != job_class.len() || eligible.len() != job_class.len() {
+            return Err(InstanceError::DimensionMismatch {
+                what: "restricted assignment job vectors",
+                expected: job_class.len(),
+                got: sizes.len().min(eligible.len()),
+            });
+        }
+        let mut ptimes = vec![vec![INF; m]; job_class.len()];
+        for (j, elig) in eligible.iter().enumerate() {
+            for &i in elig {
+                ptimes[j][i] = sizes[j];
+            }
+        }
+        let mut setups = vec![vec![INF; m]; class_setups.len()];
+        match &class_machines {
+            Some(rows) => {
+                for (k, row) in rows.iter().enumerate() {
+                    for &i in row {
+                        setups[k][i] = class_setups[k];
+                    }
+                }
+            }
+            None => {
+                for (k, s) in class_setups.iter().enumerate() {
+                    setups[k] = vec![*s; m];
+                }
+            }
+        }
+        UnrelatedInstance::new(m, job_class, ptimes, setups)
+    }
+
+    #[inline]
+    /// Number of jobs `n`.
+    pub fn n(&self) -> usize {
+        self.job_class.len()
+    }
+
+    #[inline]
+    /// Number of machines `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    /// Number of setup classes `K`.
+    pub fn num_classes(&self) -> usize {
+        self.setups.len()
+    }
+
+    /// Class `k_j` of job `j`.
+    #[inline]
+    pub fn class_of(&self, j: JobId) -> ClassId {
+        self.job_class[j]
+    }
+
+    /// Processing time `p_ij` (possibly [`INF`]).
+    #[inline]
+    pub fn ptime(&self, i: MachineId, j: JobId) -> u64 {
+        self.ptimes[j][i]
+    }
+
+    /// Setup time `s_ik` (possibly [`INF`]).
+    #[inline]
+    pub fn setup(&self, i: MachineId, k: ClassId) -> u64 {
+        self.setups[k][i]
+    }
+
+    /// `p_ij + s_{i,k_j}`, saturating at [`INF`]: the cost of running `j` on
+    /// an otherwise-empty machine `i`.
+    #[inline]
+    pub fn cost(&self, i: MachineId, j: JobId) -> u64 {
+        let p = self.ptime(i, j);
+        let s = self.setup(i, self.job_class[j]);
+        if !is_finite(p) || !is_finite(s) {
+            INF
+        } else {
+            p.saturating_add(s)
+        }
+    }
+
+    /// Jobs of class `k`, in job-id order.
+    pub fn jobs_of_class(&self, k: ClassId) -> Vec<JobId> {
+        (0..self.n()).filter(|&j| self.job_class[j] == k).collect()
+    }
+
+    /// Classes with at least one job.
+    pub fn nonempty_classes(&self) -> Vec<ClassId> {
+        let mut present = vec![false; self.num_classes()];
+        for &k in &self.job_class {
+            present[k] = true;
+        }
+        (0..self.num_classes()).filter(|&k| present[k]).collect()
+    }
+
+    /// Machines on which job `j` can run with finite `p_ij` *and* finite
+    /// setup for its class.
+    pub fn eligible_machines(&self, j: JobId) -> Vec<MachineId> {
+        (0..self.m).filter(|&i| is_finite(self.cost(i, j))).collect()
+    }
+
+    /// True iff the instance is a restricted-assignment instance: each job's
+    /// finite processing times are all equal.
+    pub fn is_restricted_assignment(&self) -> bool {
+        self.ptimes.iter().all(|row| {
+            let mut finite = row.iter().copied().filter(|&p| is_finite(p));
+            match finite.next() {
+                None => true,
+                Some(first) => finite.all(|p| p == first),
+            }
+        })
+    }
+
+    /// True iff the restrictions are class-uniform (Section 3.3.1): all jobs
+    /// of a class have the same set of machines with finite `p_ij`.
+    pub fn has_class_uniform_restrictions(&self) -> bool {
+        for k in 0..self.num_classes() {
+            let jobs = self.jobs_of_class(k);
+            if jobs.len() < 2 {
+                continue;
+            }
+            let sig = |j: JobId| -> Vec<bool> {
+                (0..self.m).map(|i| is_finite(self.ptime(i, j))).collect()
+            };
+            let first = sig(jobs[0]);
+            if jobs[1..].iter().any(|&j| sig(j) != first) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True iff processing times are class-uniform (Section 3.3.2):
+    /// `k_j = k_{j'}` implies `p_ij = p_ij'` on every machine.
+    pub fn has_class_uniform_ptimes(&self) -> bool {
+        for k in 0..self.num_classes() {
+            let jobs = self.jobs_of_class(k);
+            for w in jobs.windows(2) {
+                if (0..self.m).any(|i| self.ptime(i, w[0]) != self.ptime(i, w[1])) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total workload of class `k` on machine `i` — `p̄_ik = Σ_{j: k_j=k} p_ij`
+    /// if every job of the class is finite on `i`, otherwise [`INF`]
+    /// (Section 3.3.1 notation).
+    pub fn class_workload(&self, i: MachineId, k: ClassId) -> u64 {
+        let mut sum: u64 = 0;
+        for j in self.jobs_of_class(k) {
+            let p = self.ptime(i, j);
+            if !is_finite(p) {
+                return INF;
+            }
+            sum = sum.saturating_add(p);
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_uniform() -> UniformInstance {
+        UniformInstance::new(
+            vec![2, 1],
+            vec![3, 5],
+            vec![Job::new(0, 4), Job::new(1, 6), Job::new(0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_accessors() {
+        let inst = small_uniform();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.m(), 2);
+        assert_eq!(inst.num_classes(), 2);
+        assert_eq!(inst.ptime(0, 1), Ratio::new(6, 2));
+        assert_eq!(inst.jobs_of_class(0), vec![0, 2]);
+        assert_eq!(inst.total_job_size(), 12);
+        assert_eq!(inst.total_work_with_min_setups(), 12 + 3 + 5);
+        assert_eq!(inst.total_speed(), 3);
+        assert!(!inst.is_identical());
+    }
+
+    #[test]
+    fn uniform_rejects_bad_input() {
+        assert_eq!(
+            UniformInstance::new(vec![], vec![1], vec![]),
+            Err(InstanceError::NoMachines)
+        );
+        assert_eq!(
+            UniformInstance::new(vec![1, 0], vec![1], vec![]),
+            Err(InstanceError::ZeroSpeed { machine: 1 })
+        );
+        assert!(matches!(
+            UniformInstance::new(vec![1], vec![1], vec![Job::new(3, 1)]),
+            Err(InstanceError::ClassOutOfRange { job: 0, class: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn nonempty_classes_skips_empty() {
+        let inst =
+            UniformInstance::new(vec![1], vec![1, 2, 3], vec![Job::new(2, 5)]).unwrap();
+        assert_eq!(inst.nonempty_classes(), vec![2]);
+        assert_eq!(inst.total_work_with_min_setups(), 5 + 3);
+    }
+
+    #[test]
+    fn identical_constructor() {
+        let inst = UniformInstance::identical(4, vec![2], vec![Job::new(0, 7)]).unwrap();
+        assert!(inst.is_identical());
+        assert_eq!(inst.m(), 4);
+    }
+
+    #[test]
+    fn scale_sizes_scales_jobs_and_setups() {
+        let inst = small_uniform().scale_sizes(3);
+        assert_eq!(inst.job(0).size, 12);
+        assert_eq!(inst.setup(1), 15);
+        assert_eq!(inst.speed(0), 2); // speeds untouched
+    }
+
+    fn small_unrelated() -> UnrelatedInstance {
+        UnrelatedInstance::new(
+            2,
+            vec![0, 0, 1],
+            vec![vec![3, 9], vec![INF, 4], vec![5, 5]],
+            vec![vec![1, 2], vec![7, INF]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unrelated_accessors() {
+        let inst = small_unrelated();
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.m(), 2);
+        assert_eq!(inst.ptime(1, 0), 9);
+        assert_eq!(inst.cost(0, 0), 4);
+        assert_eq!(inst.cost(0, 1), INF); // infinite ptime
+        assert_eq!(inst.cost(1, 2), INF); // infinite setup
+        assert_eq!(inst.eligible_machines(2), vec![0]);
+    }
+
+    #[test]
+    fn unrelated_rejects_unschedulable() {
+        // Job 0 finite nowhere once setups are considered.
+        let err = UnrelatedInstance::new(
+            1,
+            vec![0],
+            vec![vec![5]],
+            vec![vec![INF]],
+        );
+        assert_eq!(err, Err(InstanceError::UnschedulableJob { job: 0 }));
+    }
+
+    #[test]
+    fn restricted_assignment_builder() {
+        let inst = UnrelatedInstance::restricted_assignment(
+            3,
+            vec![0, 0, 1],
+            vec![4, 6, 2],
+            vec![vec![0, 1], vec![0, 1], vec![2]],
+            vec![1, 1],
+            None,
+        )
+        .unwrap();
+        assert!(inst.is_restricted_assignment());
+        assert!(inst.has_class_uniform_restrictions());
+        assert_eq!(inst.ptime(2, 0), INF);
+        assert_eq!(inst.ptime(0, 0), 4);
+    }
+
+    #[test]
+    fn class_uniform_checks() {
+        let inst = small_unrelated();
+        // jobs 0 and 1 share class 0 but differ on machine 0 (3 vs INF).
+        assert!(!inst.has_class_uniform_ptimes());
+        assert!(!inst.has_class_uniform_restrictions());
+
+        let cu = UnrelatedInstance::new(
+            2,
+            vec![0, 0],
+            vec![vec![3, 9], vec![3, 9]],
+            vec![vec![1, 1]],
+        )
+        .unwrap();
+        assert!(cu.has_class_uniform_ptimes());
+        assert!(cu.has_class_uniform_restrictions());
+    }
+
+    #[test]
+    fn class_workload_saturates_to_inf() {
+        let inst = small_unrelated();
+        assert_eq!(inst.class_workload(0, 0), INF); // job 1 infinite on machine 0
+        assert_eq!(inst.class_workload(1, 0), 13);
+        assert_eq!(inst.class_workload(0, 1), 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! JSON import/export of instances and schedules (feature `serde`).
+//!
+//! Deserialization re-validates through the normal constructors, so a
+//! hand-edited or corrupted file can never produce an invalid in-memory
+//! instance. The format is a direct, versioned mirror of the model:
+//!
+//! ```json
+//! { "version": 1, "kind": "uniform",
+//!   "speeds": [2, 1], "setups": [3, 5],
+//!   "jobs": [{ "class": 0, "size": 4 }] }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::InstanceError;
+use crate::instance::{Job, UniformInstance, UnrelatedInstance};
+use crate::schedule::Schedule;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct JobData {
+    class: usize,
+    size: u64,
+}
+
+/// Serializable mirror of [`UniformInstance`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct UniformInstanceData {
+    version: u32,
+    kind: String,
+    speeds: Vec<u64>,
+    setups: Vec<u64>,
+    jobs: Vec<JobData>,
+}
+
+/// Serializable mirror of [`UnrelatedInstance`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct UnrelatedInstanceData {
+    version: u32,
+    kind: String,
+    m: usize,
+    job_class: Vec<usize>,
+    /// `u64::MAX` encodes `∞`, matching the in-memory sentinel.
+    ptimes: Vec<Vec<u64>>,
+    setups: Vec<Vec<u64>>,
+}
+
+/// Errors of the I/O layer.
+#[derive(Debug)]
+pub enum IoError {
+    /// The JSON was syntactically invalid or of the wrong shape.
+    Json(serde_json::Error),
+    /// The decoded data failed instance validation.
+    Invalid(InstanceError),
+    /// Unknown `version` or `kind` field.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Invalid(e) => write!(f, "invalid instance: {e}"),
+            IoError::Format(s) => write!(f, "format error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Serializes a uniform instance to pretty JSON.
+pub fn uniform_to_json(inst: &UniformInstance) -> String {
+    let data = UniformInstanceData {
+        version: FORMAT_VERSION,
+        kind: "uniform".into(),
+        speeds: inst.speeds().to_vec(),
+        setups: inst.setups().to_vec(),
+        jobs: inst.jobs().iter().map(|j| JobData { class: j.class, size: j.size }).collect(),
+    };
+    serde_json::to_string_pretty(&data).expect("plain data serializes")
+}
+
+/// Parses and validates a uniform instance from JSON.
+pub fn uniform_from_json(text: &str) -> Result<UniformInstance, IoError> {
+    let data: UniformInstanceData = serde_json::from_str(text).map_err(IoError::Json)?;
+    if data.version != FORMAT_VERSION {
+        return Err(IoError::Format(format!("unsupported version {}", data.version)));
+    }
+    if data.kind != "uniform" {
+        return Err(IoError::Format(format!("expected kind 'uniform', got '{}'", data.kind)));
+    }
+    UniformInstance::new(
+        data.speeds,
+        data.setups,
+        data.jobs.into_iter().map(|j| Job::new(j.class, j.size)).collect(),
+    )
+    .map_err(IoError::Invalid)
+}
+
+/// Serializes an unrelated instance to pretty JSON.
+pub fn unrelated_to_json(inst: &UnrelatedInstance) -> String {
+    let data = UnrelatedInstanceData {
+        version: FORMAT_VERSION,
+        kind: "unrelated".into(),
+        m: inst.m(),
+        job_class: (0..inst.n()).map(|j| inst.class_of(j)).collect(),
+        ptimes: (0..inst.n())
+            .map(|j| (0..inst.m()).map(|i| inst.ptime(i, j)).collect())
+            .collect(),
+        setups: (0..inst.num_classes())
+            .map(|k| (0..inst.m()).map(|i| inst.setup(i, k)).collect())
+            .collect(),
+    };
+    serde_json::to_string_pretty(&data).expect("plain data serializes")
+}
+
+/// Parses and validates an unrelated instance from JSON.
+pub fn unrelated_from_json(text: &str) -> Result<UnrelatedInstance, IoError> {
+    let data: UnrelatedInstanceData = serde_json::from_str(text).map_err(IoError::Json)?;
+    if data.version != FORMAT_VERSION {
+        return Err(IoError::Format(format!("unsupported version {}", data.version)));
+    }
+    if data.kind != "unrelated" {
+        return Err(IoError::Format(format!(
+            "expected kind 'unrelated', got '{}'",
+            data.kind
+        )));
+    }
+    UnrelatedInstance::new(data.m, data.job_class, data.ptimes, data.setups)
+        .map_err(IoError::Invalid)
+}
+
+/// Serializes a schedule (assignment vector) to JSON.
+pub fn schedule_to_json(sched: &Schedule) -> String {
+    serde_json::to_string(&sched.assignment().to_vec()).expect("plain data serializes")
+}
+
+/// Parses a schedule from JSON. Validation against an instance happens at
+/// evaluation time ([`crate::schedule::uniform_loads`] etc.).
+pub fn schedule_from_json(text: &str) -> Result<Schedule, IoError> {
+    let v: Vec<usize> = serde_json::from_str(text).map_err(IoError::Json)?;
+    Ok(Schedule::new(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::INF;
+
+    #[test]
+    fn uniform_roundtrip() {
+        let inst = UniformInstance::new(
+            vec![2, 1],
+            vec![3, 5],
+            vec![Job::new(0, 4), Job::new(1, 6)],
+        )
+        .unwrap();
+        let json = uniform_to_json(&inst);
+        let back = uniform_from_json(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn unrelated_roundtrip_with_infinities() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 1],
+            vec![vec![3, INF], vec![INF, 4]],
+            vec![vec![1, 1], vec![2, 2]],
+        )
+        .unwrap();
+        let json = unrelated_to_json(&inst);
+        let back = unrelated_from_json(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn corrupted_data_is_rejected_not_trusted() {
+        // Speed 0 fails validation even though the JSON parses.
+        let bad = r#"{"version":1,"kind":"uniform","speeds":[0],"setups":[],"jobs":[]}"#;
+        assert!(matches!(uniform_from_json(bad), Err(IoError::Invalid(_))));
+        // Wrong kind.
+        let wrong = r#"{"version":1,"kind":"unrelated","speeds":[1],"setups":[],"jobs":[]}"#;
+        assert!(matches!(uniform_from_json(wrong), Err(IoError::Format(_))));
+        // Future version.
+        let future = r#"{"version":9,"kind":"uniform","speeds":[1],"setups":[],"jobs":[]}"#;
+        assert!(matches!(uniform_from_json(future), Err(IoError::Format(_))));
+        // Garbage.
+        assert!(matches!(uniform_from_json("{nope"), Err(IoError::Json(_))));
+    }
+
+    #[test]
+    fn schedule_roundtrip() {
+        let s = Schedule::new(vec![0, 2, 1]);
+        let json = schedule_to_json(&s);
+        assert_eq!(schedule_from_json(&json).unwrap(), s);
+    }
+}

@@ -1,0 +1,221 @@
+//! Descriptive statistics of instances: the quantities that predict which
+//! algorithm (and which guarantee) is the right tool.
+//!
+//! The experiments of EXPERIMENTS.md show behaviour switching on a few
+//! structural measures — setup weight relative to job work (E8/E10), class
+//! population skew, machine heterogeneity (E7), eligibility density (E5).
+//! This module computes them once, uniformly, for both machine models;
+//! `sst info` prints them.
+
+use crate::instance::{is_finite, UniformInstance, UnrelatedInstance};
+
+/// Summary statistics of a uniform instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformStats {
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub m: usize,
+    /// Number of classes with at least one job.
+    pub nonempty_classes: usize,
+    /// Total job size `Σ p_j`.
+    pub total_job_size: u64,
+    /// `Σ_{k nonempty} s_k / max(1, Σ p_j)` — how much of the mandatory
+    /// work is setups. `> 1` means setups dominate (batching decides).
+    pub setup_to_work: f64,
+    /// `v_max / v_min` — speed spread (1 = identical machines).
+    pub speed_spread: f64,
+    /// Largest share of jobs held by a single class, in `[1/K, 1]`.
+    pub class_concentration: f64,
+    /// Mean jobs per nonempty class.
+    pub mean_class_population: f64,
+}
+
+/// Computes [`UniformStats`]. Zero-job instances give zeroed ratios.
+pub fn uniform_stats(inst: &UniformInstance) -> UniformStats {
+    let nonempty = inst.nonempty_classes();
+    let total = inst.total_job_size();
+    let setups: u64 = nonempty.iter().map(|&k| inst.setup(k)).sum();
+    let mut pop = vec![0usize; inst.num_classes()];
+    for j in 0..inst.n() {
+        pop[inst.job(j).class] += 1;
+    }
+    let max_pop = pop.iter().copied().max().unwrap_or(0);
+    UniformStats {
+        n: inst.n(),
+        m: inst.m(),
+        nonempty_classes: nonempty.len(),
+        total_job_size: total,
+        setup_to_work: setups as f64 / total.max(1) as f64,
+        speed_spread: inst.max_speed() as f64 / inst.min_speed() as f64,
+        class_concentration: if inst.n() == 0 {
+            0.0
+        } else {
+            max_pop as f64 / inst.n() as f64
+        },
+        mean_class_population: if nonempty.is_empty() {
+            0.0
+        } else {
+            inst.n() as f64 / nonempty.len() as f64
+        },
+    }
+}
+
+/// Summary statistics of an unrelated instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnrelatedStats {
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub m: usize,
+    /// Number of classes with at least one job.
+    pub nonempty_classes: usize,
+    /// Fraction of finite `(j, i)` processing-time cells, in `(0, 1]`.
+    pub density: f64,
+    /// Mean eligible machines per job.
+    pub mean_eligibility: f64,
+    /// Max over finite rows of `max p_ij / min p_ij` — how "unrelated" the
+    /// matrix really is (1 on restricted-assignment instances).
+    pub heterogeneity: f64,
+    /// Mean over machines of `Σ_k s_ik (finite) / Σ_j p_ij (finite)`.
+    pub setup_to_work: f64,
+    /// Whether the three special-case structures hold (restricted
+    /// assignment, class-uniform restrictions, class-uniform times).
+    pub structure: (bool, bool, bool),
+}
+
+/// Computes [`UnrelatedStats`].
+pub fn unrelated_stats(inst: &UnrelatedInstance) -> UnrelatedStats {
+    let n = inst.n();
+    let m = inst.m();
+    let mut finite_cells = 0usize;
+    let mut elig_sum = 0usize;
+    let mut hetero: f64 = 1.0;
+    for j in 0..n {
+        let row: Vec<u64> =
+            (0..m).map(|i| inst.ptime(i, j)).filter(|&p| is_finite(p)).collect();
+        finite_cells += row.len();
+        elig_sum += inst.eligible_machines(j).len();
+        if let (Some(&max), Some(&min)) = (row.iter().max(), row.iter().min()) {
+            if min > 0 {
+                hetero = hetero.max(max as f64 / min as f64);
+            }
+        }
+    }
+    let mut setup_ratio = 0.0f64;
+    for i in 0..m {
+        let s: u64 = (0..inst.num_classes())
+            .map(|k| inst.setup(i, k))
+            .filter(|&s| is_finite(s))
+            .sum();
+        let p: u64 = (0..n).map(|j| inst.ptime(i, j)).filter(|&p| is_finite(p)).sum();
+        setup_ratio += s as f64 / p.max(1) as f64;
+    }
+    UnrelatedStats {
+        n,
+        m,
+        nonempty_classes: inst.nonempty_classes().len(),
+        density: if n == 0 { 1.0 } else { finite_cells as f64 / (n * m) as f64 },
+        mean_eligibility: if n == 0 { 0.0 } else { elig_sum as f64 / n as f64 },
+        heterogeneity: hetero,
+        setup_to_work: if m == 0 { 0.0 } else { setup_ratio / m as f64 },
+        structure: (
+            inst.is_restricted_assignment(),
+            inst.has_class_uniform_restrictions(),
+            inst.has_class_uniform_ptimes(),
+        ),
+    }
+}
+
+impl std::fmt::Display for UniformStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "jobs/machines/classes: {}/{}/{}", self.n, self.m, self.nonempty_classes)?;
+        writeln!(f, "total job size:        {}", self.total_job_size)?;
+        writeln!(f, "setup-to-work ratio:   {:.3}", self.setup_to_work)?;
+        writeln!(f, "speed spread:          {:.2}", self.speed_spread)?;
+        writeln!(f, "class concentration:   {:.3}", self.class_concentration)?;
+        write!(f, "mean class population: {:.2}", self.mean_class_population)
+    }
+}
+
+impl std::fmt::Display for UnrelatedStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "jobs/machines/classes: {}/{}/{}", self.n, self.m, self.nonempty_classes)?;
+        writeln!(f, "matrix density:        {:.3}", self.density)?;
+        writeln!(f, "mean eligibility:      {:.2}", self.mean_eligibility)?;
+        writeln!(f, "heterogeneity:         {:.2}", self.heterogeneity)?;
+        writeln!(f, "setup-to-work ratio:   {:.3}", self.setup_to_work)?;
+        let (ra, cur, cupt) = self.structure;
+        write!(
+            f,
+            "structure:             restricted={ra}, class-uniform-restr={cur}, class-uniform-ptimes={cupt}"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Job, INF};
+
+    #[test]
+    fn uniform_stats_basic() {
+        let inst = UniformInstance::new(
+            vec![1, 4],
+            vec![10, 5, 99],
+            vec![Job::new(0, 10), Job::new(0, 10), Job::new(1, 20)],
+        )
+        .unwrap();
+        let s = uniform_stats(&inst);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.nonempty_classes, 2); // class 2 empty → its setup not counted
+        assert_eq!(s.total_job_size, 40);
+        assert!((s.setup_to_work - 15.0 / 40.0).abs() < 1e-12);
+        assert!((s.speed_spread - 4.0).abs() < 1e-12);
+        assert!((s.class_concentration - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_class_population - 1.5).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("setup-to-work ratio:   0.375"), "{text}");
+    }
+
+    #[test]
+    fn uniform_stats_empty_instance() {
+        let inst = UniformInstance::new(vec![2], vec![3], vec![]).unwrap();
+        let s = uniform_stats(&inst);
+        assert_eq!(s.setup_to_work, 0.0);
+        assert_eq!(s.class_concentration, 0.0);
+        assert_eq!(s.mean_class_population, 0.0);
+    }
+
+    #[test]
+    fn unrelated_stats_density_and_structure() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 1],
+            vec![vec![4, INF], vec![6, 6]],
+            vec![vec![1, 1], vec![2, 2]],
+        )
+        .unwrap();
+        let s = unrelated_stats(&inst);
+        assert!((s.density - 0.75).abs() < 1e-12);
+        assert!((s.mean_eligibility - 1.5).abs() < 1e-12);
+        assert!((s.heterogeneity - 1.0).abs() < 1e-12); // finite rows constant
+        assert!(s.structure.0, "finite ptimes per job are constant → RA");
+        let text = s.to_string();
+        assert!(text.contains("restricted=true"), "{text}");
+    }
+
+    #[test]
+    fn unrelated_heterogeneity_detects_spread() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0],
+            vec![vec![2, 10]],
+            vec![vec![1, 1]],
+        )
+        .unwrap();
+        let s = unrelated_stats(&inst);
+        assert!((s.heterogeneity - 5.0).abs() < 1e-12);
+        assert!(!s.structure.0);
+    }
+}

@@ -1,0 +1,684 @@
+//! Explicit batched timelines: from an assignment `σ : J → M` to concrete
+//! start/end times for every setup and every job.
+//!
+//! The paper's load formula (Section 1.1) "reflects problems where a machine
+//! processes all jobs belonging to the same class in a batch (a contiguous
+//! time interval) and before switching [...] has to perform a setup". This
+//! module makes that reading executable: it lays the batches out on the time
+//! axis, validates the batching invariants, and renders ASCII Gantt charts.
+//!
+//! Times are generic over [`TimeUnit`] so that uniform instances get exact
+//! rational timelines ([`Ratio`]; a machine of speed `v` runs a size-`p` job
+//! in `p/v` time) while unrelated instances stay in integer ticks (`u64`).
+//!
+//! ```
+//! use sst_core::{UniformInstance, Job, Schedule};
+//! use sst_core::timeline::Timeline;
+//!
+//! let inst = UniformInstance::new(
+//!     vec![2, 1],
+//!     vec![3, 5],
+//!     vec![Job::new(0, 4), Job::new(1, 6), Job::new(0, 2)],
+//! ).unwrap();
+//! let sched = Schedule::new(vec![0, 1, 0]);
+//! let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+//! assert_eq!(tl.makespan(), sst_core::Ratio::new(11, 1)); // machine 1: 5+6
+//! tl.validate().unwrap();
+//! ```
+
+use std::fmt;
+
+use crate::error::ScheduleError;
+use crate::instance::{is_finite, ClassId, JobId, MachineId, UniformInstance, UnrelatedInstance};
+use crate::ratio::Ratio;
+use crate::schedule::Schedule;
+
+/// Arithmetic a timeline needs from its time type: a zero, addition and a
+/// float view for rendering. Implemented for `u64` (unrelated instances)
+/// and [`Ratio`] (uniform instances, exact).
+pub trait TimeUnit: Copy + Ord + fmt::Display {
+    /// The additive identity (time origin).
+    fn zero() -> Self;
+    /// `self + rhs` (must not overflow for valid instances).
+    fn plus(self, rhs: Self) -> Self;
+    /// Lossy float view, used only for proportional rendering.
+    fn as_f64(self) -> f64;
+}
+
+impl TimeUnit for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn plus(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl TimeUnit for Ratio {
+    fn zero() -> Self {
+        Ratio::ZERO
+    }
+    fn plus(self, rhs: Self) -> Self {
+        self.add(rhs)
+    }
+    fn as_f64(self) -> f64 {
+        self.to_f64()
+    }
+}
+
+/// What occupies a slice of machine time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// The machine performs the setup of a class.
+    Setup(ClassId),
+    /// The machine processes a job.
+    Job(JobId),
+}
+
+/// One contiguous occupied interval `[start, end)` on a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot<T> {
+    /// Start time of the interval.
+    pub start: T,
+    /// End time of the interval (`start + duration`).
+    pub end: T,
+    /// What happens during the interval.
+    pub what: Span,
+}
+
+/// The timeline of a single machine: slots packed back-to-back from time 0,
+/// grouped into class batches, each batch led by its setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineTimeline<T> {
+    /// The machine this timeline belongs to.
+    pub machine: MachineId,
+    /// Occupied slots in time order (contiguous, no idle gaps).
+    pub slots: Vec<Slot<T>>,
+}
+
+impl<T: TimeUnit> MachineTimeline<T> {
+    /// Completion time of the machine (end of its last slot, or 0).
+    pub fn finish(&self) -> T {
+        self.slots.last().map_or(T::zero(), |s| s.end)
+    }
+
+    /// Class batches in time order: `(class, slots of the batch incl. setup)`.
+    pub fn batches(&self) -> Vec<(ClassId, &[Slot<T>])> {
+        let mut out = Vec::new();
+        let mut begin = 0usize;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Span::Setup(k) = slot.what {
+                if idx > begin {
+                    // close the previous batch
+                    if let Span::Setup(prev) = self.slots[begin].what {
+                        out.push((prev, &self.slots[begin..idx]));
+                    }
+                }
+                begin = idx;
+                let _ = k;
+            }
+        }
+        if begin < self.slots.len() {
+            if let Span::Setup(k) = self.slots[begin].what {
+                out.push((k, &self.slots[begin..]));
+            }
+        }
+        out
+    }
+}
+
+/// A full timeline: one [`MachineTimeline`] per machine.
+///
+/// Construct with [`Timeline::from_uniform`] or [`Timeline::from_unrelated`];
+/// both lay out each machine's classes in first-job-id order, each class as
+/// one batch (setup first, then its jobs in job-id order), with no idle time.
+/// Any makespan-optimal ordering is batch-per-class, so this canonical order
+/// realizes exactly the load formula of Section 1.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline<T> {
+    machines: Vec<MachineTimeline<T>>,
+    n_jobs: usize,
+}
+
+impl<T: TimeUnit> Timeline<T> {
+    /// Per-machine timelines, indexed by machine id.
+    pub fn machines(&self) -> &[MachineTimeline<T>] {
+        &self.machines
+    }
+
+    /// Number of jobs placed on the timeline.
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+
+    /// The makespan: the latest finish time over all machines.
+    pub fn makespan(&self) -> T {
+        self.machines
+            .iter()
+            .map(|m| m.finish())
+            .max()
+            .unwrap_or_else(T::zero)
+    }
+
+    /// Start time of job `j`, if it appears on the timeline.
+    pub fn start_of(&self, j: JobId) -> Option<T> {
+        for m in &self.machines {
+            for slot in &m.slots {
+                if slot.what == Span::Job(j) {
+                    return Some(slot.start);
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks the batching invariants the construction promises:
+    ///
+    /// 1. slots are contiguous from time 0 (no idle, no overlap);
+    /// 2. every batch starts with a setup, and no class has two batches on
+    ///    the same machine;
+    /// 3. every job id in `0..n` appears exactly once across all machines.
+    pub fn validate(&self) -> Result<(), TimelineError> {
+        let mut seen_job = vec![false; self.n_jobs];
+        for m in &self.machines {
+            let mut clock = T::zero();
+            let mut seen_class: Vec<ClassId> = Vec::new();
+            let mut in_batch = false;
+            for slot in &m.slots {
+                if slot.start != clock {
+                    return Err(TimelineError::GapOrOverlap { machine: m.machine });
+                }
+                if slot.end < slot.start {
+                    return Err(TimelineError::NegativeDuration { machine: m.machine });
+                }
+                clock = slot.end;
+                match slot.what {
+                    Span::Setup(k) => {
+                        if seen_class.contains(&k) {
+                            return Err(TimelineError::SplitBatch { machine: m.machine, class: k });
+                        }
+                        seen_class.push(k);
+                        in_batch = true;
+                    }
+                    Span::Job(j) => {
+                        if !in_batch {
+                            return Err(TimelineError::JobBeforeSetup { machine: m.machine, job: j });
+                        }
+                        if j >= self.n_jobs || seen_job[j] {
+                            return Err(TimelineError::JobMultiplicity { job: j });
+                        }
+                        seen_job[j] = true;
+                    }
+                }
+            }
+        }
+        if let Some(j) = seen_job.iter().position(|&s| !s) {
+            return Err(TimelineError::JobMultiplicity { job: j });
+        }
+        Ok(())
+    }
+}
+
+impl Timeline<Ratio> {
+    /// Lays out a schedule on a uniform instance as an exact rational
+    /// timeline. Fails with the same errors as schedule evaluation.
+    pub fn from_uniform(
+        inst: &UniformInstance,
+        sched: &Schedule,
+    ) -> Result<Timeline<Ratio>, ScheduleError> {
+        // Reuse the evaluator for shape validation.
+        crate::schedule::uniform_loads(inst, sched)?;
+        let mut machines = Vec::with_capacity(inst.m());
+        let by_machine = sched.by_machine(inst.m());
+        for (i, jobs) in by_machine.iter().enumerate() {
+            let v = inst.speed(i);
+            let mut slots = Vec::new();
+            let mut clock = Ratio::ZERO;
+            for (k, batch_jobs) in batch_order(jobs, |j| inst.job(j).class) {
+                let end = clock.add(Ratio::new(inst.setup(k), v));
+                slots.push(Slot { start: clock, end, what: Span::Setup(k) });
+                clock = end;
+                for &j in &batch_jobs {
+                    let end = clock.add(Ratio::new(inst.job(j).size, v));
+                    slots.push(Slot { start: clock, end, what: Span::Job(j) });
+                    clock = end;
+                }
+            }
+            machines.push(MachineTimeline { machine: i, slots });
+        }
+        Ok(Timeline { machines, n_jobs: inst.n() })
+    }
+}
+
+impl Timeline<u64> {
+    /// Lays out a schedule on an unrelated instance as an integer timeline.
+    /// Fails if any assigned job or required setup is infinite.
+    pub fn from_unrelated(
+        inst: &UnrelatedInstance,
+        sched: &Schedule,
+    ) -> Result<Timeline<u64>, ScheduleError> {
+        crate::schedule::unrelated_loads(inst, sched)?;
+        let mut machines = Vec::with_capacity(inst.m());
+        let by_machine = sched.by_machine(inst.m());
+        for (i, jobs) in by_machine.iter().enumerate() {
+            let mut slots = Vec::new();
+            let mut clock: u64 = 0;
+            for (k, batch_jobs) in batch_order(jobs, |j| inst.class_of(j)) {
+                let s = inst.setup(i, k);
+                debug_assert!(is_finite(s), "checked by unrelated_loads");
+                let end = clock + s;
+                slots.push(Slot { start: clock, end, what: Span::Setup(k) });
+                clock = end;
+                for &j in &batch_jobs {
+                    let end = clock + inst.ptime(i, j);
+                    slots.push(Slot { start: clock, end, what: Span::Job(j) });
+                    clock = end;
+                }
+            }
+            machines.push(MachineTimeline { machine: i, slots });
+        }
+        Ok(Timeline { machines, n_jobs: inst.n() })
+    }
+}
+
+/// Groups a machine's jobs (job-id order) into class batches in order of
+/// first appearance; within a batch, jobs keep job-id order.
+fn batch_order(jobs: &[JobId], class_of: impl Fn(JobId) -> ClassId) -> Vec<(ClassId, Vec<JobId>)> {
+    let mut batches: Vec<(ClassId, Vec<JobId>)> = Vec::new();
+    for &j in jobs {
+        let k = class_of(j);
+        match batches.iter_mut().find(|(c, _)| *c == k) {
+            Some((_, v)) => v.push(j),
+            None => batches.push((k, vec![j])),
+        }
+    }
+    batches
+}
+
+/// Violations of the batching invariants (see [`Timeline::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// Slots on a machine are not contiguous from time 0.
+    GapOrOverlap {
+        /// Offending machine.
+        machine: MachineId,
+    },
+    /// A slot ends before it starts.
+    NegativeDuration {
+        /// Offending machine.
+        machine: MachineId,
+    },
+    /// A class has two batches on the same machine.
+    SplitBatch {
+        /// Offending machine.
+        machine: MachineId,
+        /// The class that was set up twice.
+        class: ClassId,
+    },
+    /// A job slot appears before any setup on its machine.
+    JobBeforeSetup {
+        /// Offending machine.
+        machine: MachineId,
+        /// The job that ran without a preceding setup.
+        job: JobId,
+    },
+    /// A job is missing, duplicated, or out of range.
+    JobMultiplicity {
+        /// Offending job id.
+        job: JobId,
+    },
+}
+
+impl fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimelineError::GapOrOverlap { machine } => {
+                write!(f, "machine {machine}: slots not contiguous from time 0")
+            }
+            TimelineError::NegativeDuration { machine } => {
+                write!(f, "machine {machine}: slot with end < start")
+            }
+            TimelineError::SplitBatch { machine, class } => {
+                write!(f, "machine {machine}: class {class} set up twice")
+            }
+            TimelineError::JobBeforeSetup { machine, job } => {
+                write!(f, "machine {machine}: job {job} scheduled before any setup")
+            }
+            TimelineError::JobMultiplicity { job } => {
+                write!(f, "job {job} missing or duplicated on the timeline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// Renders a timeline as an ASCII Gantt chart, `width` columns wide.
+///
+/// Setups render as `#`, jobs as the last digit of their class id (so
+/// batches of one class form visually uniform blocks); `.` is idle tail.
+/// Every machine row is scaled by the same factor (global makespan ↦
+/// `width` columns), so rows are directly comparable.
+///
+/// ```text
+/// m0 |###000001111......| 13
+/// m1 |##22222222222#####| 18  <- makespan
+/// ```
+pub fn render_gantt<T: TimeUnit>(
+    tl: &Timeline<T>,
+    class_of_job: impl Fn(JobId) -> ClassId,
+    width: usize,
+) -> String {
+    let width = width.max(8);
+    let horizon = tl.makespan().as_f64();
+    let makespan = tl.makespan();
+    let scale = if horizon > 0.0 { width as f64 / horizon } else { 0.0 };
+    let mut out = String::new();
+    for m in tl.machines() {
+        let mut row = vec!['.'; width];
+        for slot in &m.slots {
+            let a = (slot.start.as_f64() * scale).floor() as usize;
+            let b = ((slot.end.as_f64() * scale).ceil() as usize).min(width);
+            let ch = match slot.what {
+                Span::Setup(_) => '#',
+                Span::Job(j) => {
+                    let k = class_of_job(j);
+                    char::from_digit((k % 10) as u32, 10).unwrap_or('?')
+                }
+            };
+            for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
+                *cell = ch;
+            }
+        }
+        let finish = m.finish();
+        let marker = if !m.slots.is_empty() && finish == makespan { "  <- makespan" } else { "" };
+        let bar: String = row.into_iter().collect();
+        out.push_str(&format!("m{:<3}|{}| {}{}\n", m.machine, bar, finish, marker));
+    }
+    out
+}
+
+/// Renders a timeline as a standalone SVG document (no dependencies; plain
+/// string assembly). Setups draw as gray blocks, jobs as class-colored
+/// blocks (golden-angle hue per class id), one row per machine, with a
+/// dashed line marking the makespan.
+pub fn render_gantt_svg<T: TimeUnit>(
+    tl: &Timeline<T>,
+    class_of_job: impl Fn(JobId) -> ClassId,
+    width_px: u32,
+) -> String {
+    let width_px = width_px.max(100);
+    let row_h = 24u32;
+    let pad = 4u32;
+    let label_w = 48u32;
+    let rows = tl.machines().len() as u32;
+    let height = rows * (row_h + pad) + pad + 18;
+    let horizon = tl.makespan().as_f64().max(f64::MIN_POSITIVE);
+    let scale = (width_px - label_w - 8) as f64 / horizon;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    for (r, m) in tl.machines().iter().enumerate() {
+        let y = pad + r as u32 * (row_h + pad);
+        svg.push_str(&format!(
+            "  <text x=\"2\" y=\"{}\" fill=\"#333\">m{}</text>\n",
+            y + row_h / 2 + 4,
+            m.machine
+        ));
+        for slot in &m.slots {
+            let x = label_w as f64 + slot.start.as_f64() * scale;
+            let w = ((slot.end.as_f64() - slot.start.as_f64()) * scale).max(0.5);
+            let (fill, title) = match slot.what {
+                Span::Setup(k) => ("#9e9e9e".to_string(), format!("setup class {k}")),
+                Span::Job(j) => {
+                    let k = class_of_job(j);
+                    // Golden-angle hue spacing keeps adjacent classes apart.
+                    let hue = (k as f64 * 137.508) % 360.0;
+                    (format!("hsl({hue:.0},65%,60%)"), format!("job {j} (class {k})"))
+                }
+            };
+            svg.push_str(&format!(
+                "  <rect x=\"{x:.1}\" y=\"{y}\" width=\"{w:.1}\" height=\"{row_h}\" \
+                 fill=\"{fill}\" stroke=\"#444\" stroke-width=\"0.5\">\
+                 <title>{title}</title></rect>\n"
+            ));
+        }
+    }
+    // Makespan marker and axis label.
+    let x_end = label_w as f64 + horizon * scale;
+    svg.push_str(&format!(
+        "  <line x1=\"{x_end:.1}\" y1=\"0\" x2=\"{x_end:.1}\" y2=\"{}\" \
+         stroke=\"#d32f2f\" stroke-dasharray=\"4 3\"/>\n",
+        height - 16
+    ));
+    svg.push_str(&format!(
+        "  <text x=\"{:.1}\" y=\"{}\" fill=\"#d32f2f\" text-anchor=\"end\">makespan {}</text>\n",
+        x_end,
+        height - 4,
+        tl.makespan()
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Job, INF};
+    use crate::schedule::{uniform_makespan, unrelated_makespan};
+
+    fn uniform() -> UniformInstance {
+        UniformInstance::new(
+            vec![2, 1],
+            vec![3, 5],
+            vec![Job::new(0, 4), Job::new(1, 6), Job::new(0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_timeline_matches_makespan_evaluator() {
+        let inst = uniform();
+        for assignment in [vec![0, 0, 0], vec![0, 1, 0], vec![1, 0, 1], vec![0, 1, 1]] {
+            let sched = Schedule::new(assignment);
+            let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+            tl.validate().unwrap();
+            assert_eq!(tl.makespan(), uniform_makespan(&inst, &sched).unwrap());
+        }
+    }
+
+    #[test]
+    fn uniform_timeline_slot_structure() {
+        let inst = uniform();
+        let sched = Schedule::new(vec![0, 1, 0]);
+        let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+        // Machine 0 (speed 2): setup0 [0, 3/2), job0 [3/2, 7/2), job2 [7/2, 9/2).
+        let m0 = &tl.machines()[0];
+        assert_eq!(m0.slots.len(), 3);
+        assert_eq!(m0.slots[0].what, Span::Setup(0));
+        assert_eq!(m0.slots[0].end, Ratio::new(3, 2));
+        assert_eq!(m0.slots[1].what, Span::Job(0));
+        assert_eq!(m0.slots[2].what, Span::Job(2));
+        assert_eq!(m0.finish(), Ratio::new(9, 2));
+        // Machine 1 (speed 1): setup1 [0,5), job1 [5,11).
+        let m1 = &tl.machines()[1];
+        assert_eq!(m1.finish(), Ratio::new(11, 1));
+        assert_eq!(tl.start_of(1), Some(Ratio::new(5, 1)));
+        assert_eq!(tl.start_of(99), None);
+    }
+
+    #[test]
+    fn batches_group_by_class_in_first_seen_order() {
+        let inst = UniformInstance::new(
+            vec![1],
+            vec![1, 1],
+            vec![Job::new(1, 2), Job::new(0, 2), Job::new(1, 2)],
+        )
+        .unwrap();
+        let sched = Schedule::new(vec![0, 0, 0]);
+        let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+        let batches = tl.machines()[0].batches();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].0, 1); // class 1 seen first (job 0)
+        assert_eq!(batches[0].1.len(), 3); // setup + jobs 0 and 2
+        assert_eq!(batches[1].0, 0);
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn unrelated_timeline_matches_makespan_evaluator() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 0, 1],
+            vec![vec![3, 9], vec![INF, 4], vec![5, 5]],
+            vec![vec![1, 2], vec![7, INF]],
+        )
+        .unwrap();
+        let sched = Schedule::new(vec![0, 1, 0]);
+        let tl = Timeline::from_unrelated(&inst, &sched).unwrap();
+        tl.validate().unwrap();
+        assert_eq!(tl.makespan(), unrelated_makespan(&inst, &sched).unwrap());
+        // Infinite assignment propagates the evaluator's error.
+        let bad = Schedule::new(vec![0, 0, 0]);
+        assert!(Timeline::from_unrelated(&inst, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_machines_have_empty_timelines() {
+        let inst = uniform();
+        let sched = Schedule::new(vec![0, 0, 0]);
+        let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+        assert!(tl.machines()[1].slots.is_empty());
+        assert_eq!(tl.machines()[1].finish(), Ratio::ZERO);
+        tl.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_gap() {
+        let tl = Timeline {
+            machines: vec![MachineTimeline {
+                machine: 0,
+                slots: vec![
+                    Slot { start: 1u64, end: 2, what: Span::Setup(0) },
+                    Slot { start: 2, end: 3, what: Span::Job(0) },
+                ],
+            }],
+            n_jobs: 1,
+        };
+        assert_eq!(tl.validate(), Err(TimelineError::GapOrOverlap { machine: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_job_before_setup() {
+        let tl = Timeline {
+            machines: vec![MachineTimeline {
+                machine: 0,
+                slots: vec![Slot { start: 0u64, end: 3, what: Span::Job(0) }],
+            }],
+            n_jobs: 1,
+        };
+        assert_eq!(
+            tl.validate(),
+            Err(TimelineError::JobBeforeSetup { machine: 0, job: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_split_batch_and_duplicates() {
+        let split = Timeline {
+            machines: vec![MachineTimeline {
+                machine: 0,
+                slots: vec![
+                    Slot { start: 0u64, end: 1, what: Span::Setup(0) },
+                    Slot { start: 1, end: 2, what: Span::Job(0) },
+                    Slot { start: 2, end: 3, what: Span::Setup(0) },
+                ],
+            }],
+            n_jobs: 1,
+        };
+        assert_eq!(
+            split.validate(),
+            Err(TimelineError::SplitBatch { machine: 0, class: 0 })
+        );
+
+        let dup = Timeline {
+            machines: vec![MachineTimeline {
+                machine: 0,
+                slots: vec![
+                    Slot { start: 0u64, end: 1, what: Span::Setup(0) },
+                    Slot { start: 1, end: 2, what: Span::Job(0) },
+                    Slot { start: 2, end: 3, what: Span::Job(0) },
+                ],
+            }],
+            n_jobs: 1,
+        };
+        assert_eq!(dup.validate(), Err(TimelineError::JobMultiplicity { job: 0 }));
+    }
+
+    #[test]
+    fn validate_detects_missing_job() {
+        let tl: Timeline<u64> = Timeline {
+            machines: vec![MachineTimeline { machine: 0, slots: vec![] }],
+            n_jobs: 1,
+        };
+        assert_eq!(tl.validate(), Err(TimelineError::JobMultiplicity { job: 0 }));
+    }
+
+    #[test]
+    fn gantt_render_shape() {
+        let inst = uniform();
+        let sched = Schedule::new(vec![0, 1, 0]);
+        let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+        let chart = render_gantt(&tl, |j| inst.job(j).class, 22);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("m0  |"));
+        assert!(lines[0].contains('#'), "setup block missing: {chart}");
+        assert!(lines[0].contains('0'), "class-0 job block missing: {chart}");
+        assert!(lines[1].contains("<- makespan"), "makespan marker: {chart}");
+        // Machine 0 finishes at 9/2 < 11, so its row must have idle tail.
+        assert!(lines[0].contains('.'), "idle tail missing: {chart}");
+    }
+
+    #[test]
+    fn svg_render_structure() {
+        let inst = uniform();
+        let sched = Schedule::new(vec![0, 1, 0]);
+        let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+        let svg = render_gantt_svg(&tl, |j| inst.job(j).class, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per slot: m0 has 3 slots, m1 has 2.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        // Setups are gray; jobs carry class hues; makespan marker present.
+        assert!(svg.contains("#9e9e9e"));
+        assert!(svg.contains("hsl("));
+        assert!(svg.contains("makespan"));
+        // Titles identify jobs for hover inspection.
+        assert!(svg.contains("<title>job 1 (class 1)</title>"));
+    }
+
+    #[test]
+    fn svg_render_empty_timeline_is_wellformed() {
+        let inst = UniformInstance::new(vec![1, 1], vec![1], vec![]).unwrap();
+        let tl = Timeline::from_uniform(&inst, &Schedule::new(vec![])).unwrap();
+        let svg = render_gantt_svg(&tl, |_| 0, 50);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 0);
+        assert_eq!(svg.matches("<text").count(), 3); // 2 labels + makespan
+    }
+
+    #[test]
+    fn gantt_render_handles_empty_and_zero() {
+        let inst = UniformInstance::new(vec![1], vec![0], vec![]).unwrap();
+        let sched = Schedule::new(vec![]);
+        let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+        let chart = render_gantt(&tl, |_| 0, 10);
+        assert!(chart.starts_with("m0  |"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the exact arithmetic and the speed-group machinery.
+
+use proptest::prelude::*;
+use sst_core::groups::{geometric_speed_buckets, SpeedGroups};
+use sst_core::instance::{Job, UniformInstance};
+use sst_core::ratio::Ratio;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ratio_field_laws_sampled(
+        (a, b) in (1u64..1_000_000, 1u64..1_000_000),
+        (c, d) in (1u64..1_000_000, 1u64..1_000_000),
+        (e, f) in (1u64..1_000, 1u64..1_000),
+    ) {
+        let x = Ratio::new(a, b);
+        let y = Ratio::new(c, d);
+        let z = Ratio::new(e, f);
+        prop_assert_eq!(x.add(y), y.add(x));
+        prop_assert_eq!(x.mul(y), y.mul(x));
+        prop_assert_eq!(x.add(y).add(z), x.add(y.add(z)));
+        prop_assert_eq!(x.mul(y).mul(z), x.mul(y.mul(z)));
+        // Distributivity.
+        prop_assert_eq!(x.mul(y.add(z)), x.mul(y).add(x.mul(z)));
+        // Sub/add inverse.
+        prop_assert_eq!(x.add(y).checked_sub(y), Some(x));
+        // Division inverse.
+        prop_assert_eq!(x.mul(y).div(y), x);
+    }
+
+    #[test]
+    fn ratio_ordering_total_and_consistent(
+        (a, b) in (0u64..1_000_000, 1u64..1_000_000),
+        (c, d) in (0u64..1_000_000, 1u64..1_000_000),
+    ) {
+        let x = Ratio::new(a, b);
+        let y = Ratio::new(c, d);
+        // Exact cross-multiplication ground truth.
+        let truth = (a as u128 * d as u128).cmp(&(c as u128 * b as u128));
+        prop_assert_eq!(x.cmp(&y), truth);
+        prop_assert_eq!(y.cmp(&x), truth.reverse());
+        // floor ≤ value ≤ ceil.
+        prop_assert!(Ratio::from_int(x.floor()) <= x);
+        prop_assert!(x <= Ratio::from_int(x.ceil()));
+    }
+
+    #[test]
+    fn every_speed_in_exactly_two_groups(
+        speeds in proptest::collection::vec(1u64..100_000, 1..12),
+        q_exp in 1u32..3,
+        t_num in 1u64..1000,
+        t_den in 1u64..1000,
+    ) {
+        let q = 2u64.pow(q_exp);
+        let inst = UniformInstance::new(
+            speeds.clone(),
+            vec![1],
+            vec![Job::new(0, 1)],
+        ).unwrap();
+        let t = Ratio::new(t_num, t_den);
+        let groups = SpeedGroups::new(&inst, q, t);
+        let g_max = groups.max_group();
+        let mut counts = vec![0usize; speeds.len()];
+        for g in 0..=g_max {
+            for i in groups.machines_of_group(g) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, 2, "machine {} (speed {}) in {} groups", i, speeds[i], c);
+        }
+    }
+
+    #[test]
+    fn native_group_contains_big_speed_interval(
+        p in 1u64..1_000_000,
+        v_min in 1u64..1000,
+        q_exp in 1u32..3,
+    ) {
+        let q = 2u64.pow(q_exp);
+        let inst = UniformInstance::new(
+            vec![v_min, v_min * 8],
+            vec![1],
+            vec![Job::new(0, 1)],
+        ).unwrap();
+        let groups = SpeedGroups::new(&inst, q, Ratio::ONE);
+        let g = groups.native_group(p).expect("p > 0");
+        // [p, q·p] ⊆ [v_min·q^{3(g-1)}, v_min·q^{3(g+1)}) in exact arithmetic.
+        let q3 = (q * q * q) as u128;
+        let lo_ok = {
+            // v̌_g ≤ p: v_min·q^{3(g-1)} ≤ p
+            let e = g - 1;
+            if e >= 0 {
+                let mut bound = v_min as u128;
+                let mut fits = true;
+                for _ in 0..e { bound = match bound.checked_mul(q3) { Some(b) => b, None => { fits = false; break; } }; }
+                !fits || bound <= p as u128
+            } else {
+                true // v̌ shrinks below 1 ≤ p
+            }
+        };
+        prop_assert!(lo_ok, "p={p} below v̌_g for g={g}");
+        let hi_ok = {
+            // q·p < v̂_g = v_min·q^{3(g+1)}
+            let e = g + 1;
+            if e >= 0 {
+                let mut bound = v_min as u128;
+                let mut overflow = false;
+                for _ in 0..e { bound = match bound.checked_mul(q3) { Some(b) => b, None => { overflow = true; break; } }; }
+                overflow || (q as u128 * p as u128) < bound
+            } else {
+                false
+            }
+        };
+        prop_assert!(hi_ok, "q·p={} not below v̂_g for g={g}", q * p);
+    }
+
+    #[test]
+    fn geometric_buckets_partition_by_factor(
+        speeds in proptest::collection::vec(1u64..100_000, 2..16),
+        q_exp in 1u32..4,
+    ) {
+        let q = 2u64.pow(q_exp);
+        let buckets = geometric_speed_buckets(&speeds, q);
+        for i in 0..speeds.len() {
+            for j in 0..speeds.len() {
+                if buckets[i] == buckets[j] {
+                    let (lo, hi) = (speeds[i].min(speeds[j]), speeds[i].max(speeds[j]));
+                    // Same bucket ⇒ ratio < (1+ε)·(1+fp-slop).
+                    prop_assert!(
+                        (hi as f64) / (lo as f64) < (1.0 + 1.0 / q as f64) * (1.0 + 1e-9),
+                        "speeds {lo},{hi} share bucket {}", buckets[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+mod dual_search {
+    use proptest::prelude::*;
+    use sst_core::dual::{binary_search_u64, geometric_search, Decision};
+    use sst_core::ratio::Ratio;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// For any monotone oracle, the bisection returns exactly the
+        /// threshold (clamped into the search interval).
+        #[test]
+        fn bisection_finds_exact_threshold(
+            threshold in 0u64..10_000,
+            lo in 0u64..5_000,
+            span in 1u64..20_000,
+        ) {
+            let hi = lo + span;
+            let res = binary_search_u64(lo, hi, |t| {
+                if t >= threshold { Decision::Feasible(t) } else { Decision::Infeasible }
+            });
+            if threshold > hi {
+                prop_assert_eq!(res, None);
+            } else {
+                let expect = threshold.max(lo);
+                prop_assert_eq!(res, Some((expect, expect)));
+            }
+        }
+
+        /// The geometric search returns a feasible grid point within one
+        /// grid factor of the true threshold.
+        #[test]
+        fn geometric_search_is_grid_tight(
+            thr_num in 1u64..500,
+            eps_num in 1u64..4u64,
+        ) {
+            let threshold = Ratio::new(thr_num, 3);
+            let factor = Ratio::new(4 + eps_num, 4); // 5/4 .. 7/4
+            let lb = Ratio::new(1, 3);
+            let ub = Ratio::new(600, 1);
+            let res = geometric_search(lb, ub, factor, |t| {
+                if t >= threshold { Decision::Feasible(t) } else { Decision::Infeasible }
+            }).expect("ub is above every threshold in range");
+            prop_assert!(res.0 >= threshold);
+            // One grid step below the result must be infeasible (or below lb):
+            prop_assert!(
+                res.0.div(factor) < threshold || res.0 == lb,
+                "result {} not grid-tight for threshold {}", res.0, threshold
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the timeline layer: on arbitrary valid schedules, the
+//! laid-out timeline must satisfy every batching invariant and agree with
+//! the load-formula evaluator of `sst_core::schedule` exactly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+use sst_core::schedule::{unrelated_makespan, uniform_makespan, Schedule};
+use sst_core::timeline::{render_gantt, Span, Timeline};
+
+fn uniform_case() -> impl Strategy<Value = (UniformInstance, Schedule)> {
+    (
+        vec(1u64..=6, 1..=4),
+        vec(0u64..=20, 1..=4),
+        vec((0usize..4, 0u64..=30), 0..=12),
+    )
+        .prop_flat_map(|(speeds, setups, raw_jobs)| {
+            let m = speeds.len();
+            let k = setups.len();
+            let jobs: Vec<Job> =
+                raw_jobs.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            let n = jobs.len();
+            let inst =
+                UniformInstance::new(speeds, setups, jobs).expect("valid instance");
+            (Just(inst), vec(0usize..m, n..=n))
+        })
+        .prop_map(|(inst, asg)| (inst, Schedule::new(asg)))
+}
+
+fn unrelated_case() -> impl Strategy<Value = (UnrelatedInstance, Schedule)> {
+    (
+        1usize..=4,                           // m
+        vec(0usize..3, 1..=10),               // classes (k = 3)
+        vec(vec(1u64..=25, 4), 3),            // setup rows padded to m below
+        proptest::num::u64::ANY,              // seed for ptimes
+    )
+        .prop_map(|(m, job_class, setup_rows, seed)| {
+            let n = job_class.len();
+            // Deterministic ptimes with occasional INF but machine 0 finite.
+            let ptimes: Vec<Vec<u64>> = (0..n)
+                .map(|j| {
+                    (0..m)
+                        .map(|i| {
+                            let h = seed
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add((j * 31 + i * 17) as u64);
+                            if i != 0 && h % 5 == 0 {
+                                INF
+                            } else {
+                                1 + (h >> 33) % 20
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let setups: Vec<Vec<u64>> = setup_rows
+                .into_iter()
+                .map(|row| (0..m).map(|i| row[i % row.len()]).collect())
+                .collect();
+            let inst = UnrelatedInstance::new(m, job_class, ptimes, setups)
+                .expect("machine 0 is always finite");
+            // Schedule everything on machine 0 unless another finite
+            // machine is available by the hash.
+            let asg: Vec<usize> = (0..n)
+                .map(|j| {
+                    let cand = (seed.wrapping_add(j as u64 * 97) % m as u64) as usize;
+                    if inst.ptime(cand, j) != INF {
+                        cand
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            (inst, Schedule::new(asg))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn uniform_timeline_validates_and_matches_evaluator(
+        (inst, sched) in uniform_case()
+    ) {
+        let tl = Timeline::from_uniform(&inst, &sched).expect("valid schedule");
+        prop_assert_eq!(tl.validate(), Ok(()));
+        prop_assert_eq!(tl.makespan(), uniform_makespan(&inst, &sched).expect("valid"));
+        // Per machine: finish time equals work/speed of the evaluator.
+        let loads = sst_core::schedule::uniform_loads(&inst, &sched).expect("valid");
+        for (i, mt) in tl.machines().iter().enumerate() {
+            prop_assert_eq!(
+                mt.finish(),
+                sst_core::Ratio::new(loads[i], inst.speed(i)),
+                "machine {} finish mismatch", i
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_timeline_slots_account_every_job_once(
+        (inst, sched) in uniform_case()
+    ) {
+        let tl = Timeline::from_uniform(&inst, &sched).expect("valid schedule");
+        let mut seen = vec![0usize; inst.n()];
+        for mt in tl.machines() {
+            for slot in &mt.slots {
+                if let Span::Job(j) = slot.what {
+                    seen[j] += 1;
+                    // The job sits on the machine the schedule says.
+                    prop_assert_eq!(sched.machine_of(j), mt.machine);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn uniform_batches_pay_each_class_once(
+        (inst, sched) in uniform_case()
+    ) {
+        let tl = Timeline::from_uniform(&inst, &sched).expect("valid schedule");
+        for mt in tl.machines() {
+            let setups = mt.slots.iter().filter(|s| matches!(s.what, Span::Setup(_))).count();
+            let classes: std::collections::BTreeSet<usize> = mt
+                .slots
+                .iter()
+                .filter_map(|s| match s.what {
+                    Span::Job(j) => Some(inst.job(j).class),
+                    Span::Setup(_) => None,
+                })
+                .collect();
+            prop_assert_eq!(setups, classes.len(), "machine {}", mt.machine);
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_machines_for_any_schedule(
+        (inst, sched) in uniform_case()
+    ) {
+        let tl = Timeline::from_uniform(&inst, &sched).expect("valid schedule");
+        let chart = render_gantt(&tl, |j| inst.job(j).class, 30);
+        prop_assert_eq!(chart.lines().count(), inst.m());
+        for line in chart.lines() {
+            prop_assert!(line.contains('|'), "row shape: {}", line);
+        }
+    }
+
+    #[test]
+    fn unrelated_timeline_validates_and_matches_evaluator(
+        (inst, sched) in unrelated_case()
+    ) {
+        let tl = Timeline::from_unrelated(&inst, &sched).expect("valid by construction");
+        prop_assert_eq!(tl.validate(), Ok(()));
+        prop_assert_eq!(
+            tl.makespan(),
+            unrelated_makespan(&inst, &sched).expect("valid")
+        );
+    }
+
+    #[test]
+    fn unrelated_start_times_are_consistent(
+        (inst, sched) in unrelated_case()
+    ) {
+        let tl = Timeline::from_unrelated(&inst, &sched).expect("valid");
+        // Every job has a start time, and job slots have the advertised
+        // duration p_ij.
+        for mt in tl.machines() {
+            for slot in &mt.slots {
+                if let Span::Job(j) = slot.what {
+                    prop_assert_eq!(tl.start_of(j), Some(slot.start));
+                    prop_assert_eq!(slot.end - slot.start, inst.ptime(mt.machine, j));
+                }
+            }
+        }
+    }
+}

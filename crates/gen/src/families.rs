@@ -1,0 +1,245 @@
+//! Additional structured instance families (extension of the base
+//! generators): Zipf-skewed class populations, a correlation dial between
+//! identical and fully unrelated machines, and heavy-class stress inputs
+//! for the splittable model.
+//!
+//! All families are deterministic functions of their parameters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
+
+use crate::SetupWeight;
+
+/// Draws a class id from a Zipf(`theta`) distribution over `k` classes
+/// using the inverse-CDF on precomputed cumulative weights.
+fn zipf_index(cum: &[f64], rng: &mut StdRng) -> usize {
+    let x: f64 = rng.gen::<f64>() * cum.last().copied().unwrap_or(1.0);
+    match cum.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+        Ok(i) | Err(i) => i.min(cum.len() - 1),
+    }
+}
+
+fn zipf_cumulative(k: usize, theta: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for i in 1..=k {
+        acc += 1.0 / (i as f64).powf(theta);
+        cum.push(acc);
+    }
+    cum
+}
+
+/// Parameters of the Zipf-skewed uniform family: class populations follow a
+/// Zipf law (`theta = 0` → uniform spread, `theta ≥ 1.5` → one or two giant
+/// classes plus a long tail of rare classes). Production systems look like
+/// this: a small number of staple products dominate the order book while
+/// exotic variants each appear a handful of times — exactly the regime
+/// where per-class setups and batching decisions matter most.
+#[derive(Debug, Clone)]
+pub struct ZipfParams {
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub m: usize,
+    /// Number of classes.
+    pub k: usize,
+    /// Zipf exponent (`0.0` = uniform class popularity).
+    pub theta: f64,
+    /// Job size range.
+    pub size_range: (u64, u64),
+    /// Machine speeds drawn uniformly from this range.
+    pub speed_range: (u64, u64),
+    /// Setup weight relative to job sizes.
+    pub setups: SetupWeight,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfParams {
+    fn default() -> Self {
+        ZipfParams {
+            n: 60,
+            m: 6,
+            k: 12,
+            theta: 1.2,
+            size_range: (1, 100),
+            speed_range: (1, 4),
+            setups: SetupWeight::Moderate,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a uniform instance with Zipf-skewed class popularity.
+pub fn uniform_zipf(params: &ZipfParams) -> UniformInstance {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let (lo, hi) = params.size_range;
+    let (vlo, vhi) = params.speed_range;
+    let speeds: Vec<u64> =
+        (0..params.m).map(|_| rng.gen_range(vlo.max(1)..=vhi.max(vlo.max(1)))).collect();
+    let mean = (lo + hi) / 2;
+    let (slo, shi) = params.setups.range(mean);
+    let setups: Vec<u64> = (0..params.k).map(|_| rng.gen_range(slo..=shi)).collect();
+    let cum = zipf_cumulative(params.k.max(1), params.theta);
+    let jobs: Vec<Job> = (0..params.n)
+        .map(|_| Job::new(zipf_index(&cum, &mut rng), rng.gen_range(lo..=hi)))
+        .collect();
+    UniformInstance::new(speeds, setups, jobs).expect("generator produces valid instances")
+}
+
+/// Generates an unrelated instance whose machine relatedness is dialed by
+/// `correlation_pct ∈ [0, 100]`: each processing time is the blend
+/// `p_ij = (ρ·b_j + (100−ρ)·u_ij)/100` of a machine-independent job effect
+/// `b_j` and an independent per-cell draw `u_ij` from the same range. At
+/// `ρ = 100` all machines agree on every job (identical machines written as
+/// an unrelated matrix); at `ρ = 0` the matrix is fully unrelated. Setups
+/// blend the same way per class. Useful for measuring *where between the
+/// two machine models* an algorithm's behaviour changes.
+pub fn correlated_unrelated(
+    n: usize,
+    m: usize,
+    k: usize,
+    correlation_pct: u32,
+    size_range: (u64, u64),
+    setups: SetupWeight,
+    seed: u64,
+) -> UnrelatedInstance {
+    let rho = correlation_pct.min(100) as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo, hi) = size_range;
+    let mean = (lo + hi) / 2;
+    let blend = |rng: &mut StdRng, base: u64, lo: u64, hi: u64| -> u64 {
+        let indep = rng.gen_range(lo..=hi);
+        ((rho * base + (100 - rho) * indep) / 100).max(1)
+    };
+    let job_effect: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    let ptimes: Vec<Vec<u64>> = (0..n)
+        .map(|j| (0..m).map(|_| blend(&mut rng, job_effect[j], lo, hi)).collect())
+        .collect();
+    let (slo, shi) = setups.range(mean);
+    let setup_effect: Vec<u64> = (0..k).map(|_| rng.gen_range(slo..=shi)).collect();
+    let setup_rows: Vec<Vec<u64>> = (0..k)
+        .map(|kk| (0..m).map(|_| blend(&mut rng, setup_effect[kk], slo, shi)).collect())
+        .collect();
+    let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k.max(1))).collect();
+    UnrelatedInstance::new(m, job_class, ptimes, setup_rows)
+        .expect("all cells finite — every job runnable")
+}
+
+/// A stress family for the splittable model: `k` classes, each a block of
+/// jobs whose combined workload is several times the per-machine fair
+/// share, eligible on a random majority of the `m` machines (class-uniform
+/// restrictions, so both Theorem 3.10 and the splittable 2-approximation
+/// accept it). Splitting such classes is *necessary* — any unsplit class
+/// overloads its machine by design.
+pub fn splittable_stress(
+    k: usize,
+    m: usize,
+    jobs_per_class: usize,
+    seed: u64,
+) -> UnrelatedInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut job_class = Vec::new();
+    let mut sizes = Vec::new();
+    let mut eligible = Vec::new();
+    let mut class_machines = Vec::with_capacity(k);
+    let mut class_setups = Vec::with_capacity(k);
+    for kk in 0..k {
+        // Eligible on a random ⌈2m/3⌉-subset.
+        let e = m.div_ceil(3).max(1).max(2 * m / 3);
+        let mut ms: Vec<usize> = (0..m).collect();
+        for i in (1..ms.len()).rev() {
+            ms.swap(i, rng.gen_range(0..=i));
+        }
+        ms.truncate(e.min(m));
+        ms.sort_unstable();
+        class_machines.push(ms.clone());
+        class_setups.push(rng.gen_range(2..=6));
+        for _ in 0..jobs_per_class {
+            job_class.push(kk);
+            // Workload per class ≈ jobs_per_class·mean ≫ fair share.
+            sizes.push(rng.gen_range(8..=16));
+            eligible.push(ms.clone());
+        }
+    }
+    UnrelatedInstance::restricted_assignment(
+        m,
+        job_class,
+        sizes,
+        eligible,
+        class_setups,
+        Some(class_machines),
+    )
+    .expect("valid restricted-assignment instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skews() {
+        let p = ZipfParams { theta: 2.0, n: 400, k: 10, ..Default::default() };
+        let a = uniform_zipf(&p);
+        let b = uniform_zipf(&p);
+        assert_eq!(a, b);
+        // Heavy skew: the most popular class holds a clear plurality.
+        let mut counts = vec![0usize; a.num_classes()];
+        for j in 0..a.n() {
+            counts[a.job(j).class] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min_nonzero = counts.iter().copied().filter(|&c| c > 0).min().unwrap();
+        assert!(
+            max >= 5 * min_nonzero.max(1),
+            "theta=2 should skew populations: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let p = ZipfParams { theta: 0.0, n: 1000, k: 5, ..Default::default() };
+        let inst = uniform_zipf(&p);
+        let mut counts = vec![0usize; 5];
+        for j in 0..inst.n() {
+            counts[inst.job(j).class] += 1;
+        }
+        for &c in &counts {
+            assert!((120..=280).contains(&c), "uniform spread expected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn correlation_extremes() {
+        // ρ = 100: every row of the matrix is constant (identical machines).
+        let ident = correlated_unrelated(20, 4, 3, 100, (1, 50), SetupWeight::Light, 3);
+        for j in 0..ident.n() {
+            let p0 = ident.ptime(0, j);
+            assert!((0..4).all(|i| ident.ptime(i, j) == p0), "rows must be constant");
+        }
+        // ρ = 0: rows genuinely vary (overwhelmingly likely at this size).
+        let unrel = correlated_unrelated(20, 4, 3, 0, (1, 50), SetupWeight::Light, 3);
+        let varies = (0..unrel.n())
+            .any(|j| (1..4).any(|i| unrel.ptime(i, j) != unrel.ptime(0, j)));
+        assert!(varies);
+    }
+
+    #[test]
+    fn correlation_is_deterministic() {
+        let a = correlated_unrelated(15, 3, 4, 50, (1, 30), SetupWeight::Moderate, 9);
+        let b = correlated_unrelated(15, 3, 4, 50, (1, 30), SetupWeight::Moderate, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn splittable_stress_satisfies_model_checks() {
+        let inst = splittable_stress(4, 6, 10, 11);
+        assert!(inst.is_restricted_assignment());
+        assert!(inst.has_class_uniform_restrictions());
+        assert_eq!(inst.n(), 40);
+        // Class workloads really exceed the fair share m⁻¹·total.
+        let i0 = inst.eligible_machines(0)[0];
+        assert!(inst.class_workload(i0, 0) >= 8 * 10);
+    }
+}

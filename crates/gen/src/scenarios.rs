@@ -1,0 +1,186 @@
+//! Scenario generators mirroring the paper's motivating applications
+//! (Section 1: production systems with changeover times; computer systems
+//! with data-transfer setups).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
+
+/// A production line: a few product families (classes) with **heavy
+/// changeover times** (cleaning, recalibration) on machines of mixed
+/// generations (uniform speeds). Typical shape: `K ≪ n`, setups ≈ 5–20×
+/// the mean job, a handful of speed tiers.
+pub fn production_line(n: usize, m: usize, families: usize, seed: u64) -> UniformInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Machine generations: old (1×), mainstream (2×), new (4×).
+    let speeds: Vec<u64> = (0..m).map(|i| 1u64 << (i % 3)).collect();
+    // Changeovers: heavy, family-dependent.
+    let setups: Vec<u64> = (0..families).map(|_| rng.gen_range(200..=800)).collect();
+    // Lot sizes: clustered around a family-typical size.
+    let family_size: Vec<u64> = (0..families).map(|_| rng.gen_range(20..=60)).collect();
+    let jobs: Vec<Job> = (0..n)
+        .map(|_| {
+            let f = rng.gen_range(0..families.max(1));
+            let wobble = rng.gen_range(80..=120);
+            Job::new(f, (family_size[f] * wobble / 100).max(1))
+        })
+        .collect();
+    UniformInstance::new(speeds, setups, jobs).expect("valid scenario")
+}
+
+/// A compute cluster where a job's class is the **dataset** it needs: the
+/// setup is the transfer time of the dataset to the node, which depends on
+/// the node's network attachment (unrelated setups), while compute times
+/// depend on node hardware (unrelated processing). Many classes, light to
+/// moderate setups.
+pub fn compute_cluster(n: usize, m: usize, datasets: usize, seed: u64) -> UnrelatedInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Node compute tiers and network tiers are independent.
+    let cpu: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+    let net: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=3)).collect();
+    let dataset_mb: Vec<u64> = (0..datasets).map(|_| rng.gen_range(5..=50)).collect();
+    let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..datasets.max(1))).collect();
+    let base: Vec<u64> = (0..n).map(|_| rng.gen_range(10..=80)).collect();
+    // Per-cell noise (cache behaviour, co-location effects) makes the
+    // matrix genuinely unrelated rather than separable.
+    let ptimes: Vec<Vec<u64>> = (0..n)
+        .map(|j| {
+            (0..m)
+                .map(|i| {
+                    let noise = rng.gen_range(80..=120);
+                    (base[j] * cpu[i] * noise / 100).max(1)
+                })
+                .collect()
+        })
+        .collect();
+    let setups: Vec<Vec<u64>> = (0..datasets)
+        .map(|d| (0..m).map(|i| (dataset_mb[d] * net[i]).max(1)).collect())
+        .collect();
+    UnrelatedInstance::new(m, job_class, ptimes, setups).expect("valid scenario")
+}
+
+/// A print shop (restricted assignment with class-uniform restrictions):
+/// each paper stock (class) can only run on the presses that support it,
+/// and mounting a stock takes a stock-dependent setup.
+pub fn print_shop(n: usize, presses: usize, stocks: usize, seed: u64) -> UnrelatedInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let class_machines: Vec<Vec<usize>> = (0..stocks)
+        .map(|_| {
+            let cnt = rng.gen_range(1..=presses.max(1));
+            let mut ms: Vec<usize> = (0..presses).collect();
+            for i in (1..ms.len()).rev() {
+                ms.swap(i, rng.gen_range(0..=i));
+            }
+            ms.truncate(cnt);
+            ms.sort_unstable();
+            ms
+        })
+        .collect();
+    let class_setups: Vec<u64> = (0..stocks).map(|_| rng.gen_range(15..=60)).collect();
+    let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..stocks.max(1))).collect();
+    let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=30)).collect();
+    let eligible: Vec<Vec<usize>> =
+        job_class.iter().map(|&k| class_machines[k].clone()).collect();
+    UnrelatedInstance::restricted_assignment(
+        presses,
+        job_class,
+        sizes,
+        eligible,
+        class_setups,
+        Some(class_machines),
+    )
+    .expect("valid scenario")
+}
+
+/// A CI build farm: a job's class is the **container image** its build
+/// needs. Nodes with the image already in their local cache pay **zero
+/// setup**; cold nodes pay the image pull, scaled by their network tier —
+/// the machine-dependent setup structure (`s_ik` with genuine zeros) that
+/// separates the unrelated model from the uniform one. Build times are
+/// near-uniform across nodes (same CPU generation) with small noise, so the
+/// instances sit close to — but not inside — the class-uniform-times
+/// special case of Theorem 3.11.
+pub fn ci_build_farm(n: usize, nodes: usize, images: usize, seed: u64) -> UnrelatedInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net: Vec<u64> = (0..nodes).map(|_| rng.gen_range(1..=3)).collect();
+    let image_mb: Vec<u64> = (0..images).map(|_| rng.gen_range(20..=120)).collect();
+    // Each node has a warm cache of a random ~third of the images.
+    let warm: Vec<Vec<bool>> = (0..nodes)
+        .map(|_| (0..images).map(|_| rng.gen_range(0..3) == 0).collect())
+        .collect();
+    let setups: Vec<Vec<u64>> = (0..images)
+        .map(|d| {
+            (0..nodes)
+                .map(|i| if warm[i][d] { 0 } else { image_mb[d] * net[i] / 10 })
+                .collect()
+        })
+        .collect();
+    let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..images.max(1))).collect();
+    let ptimes: Vec<Vec<u64>> = (0..n)
+        .map(|_| {
+            let base = rng.gen_range(10..=90);
+            (0..nodes).map(|_| base * rng.gen_range(95..=105) / 100).collect()
+        })
+        .collect();
+    UnrelatedInstance::new(nodes, job_class, ptimes, setups).expect("valid scenario")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_build_farm_has_zero_setup_cells_and_stays_valid() {
+        let inst = ci_build_farm(40, 6, 9, 13);
+        assert_eq!(inst.n(), 40);
+        let mut zeros = 0usize;
+        let mut positives = 0usize;
+        for k in 0..inst.num_classes() {
+            for i in 0..inst.m() {
+                if inst.setup(i, k) == 0 {
+                    zeros += 1;
+                } else {
+                    positives += 1;
+                }
+            }
+        }
+        assert!(zeros > 0, "warm caches must produce zero setups");
+        assert!(positives > 0, "cold pulls must cost something");
+        // Deterministic.
+        assert_eq!(ci_build_farm(40, 6, 9, 13), inst);
+    }
+
+    #[test]
+    fn production_line_is_setup_heavy() {
+        let inst = production_line(60, 6, 4, 11);
+        let mean_size =
+            inst.total_job_size() / inst.n() as u64;
+        let min_setup = (0..inst.num_classes()).map(|k| inst.setup(k)).min().unwrap();
+        assert!(min_setup >= 3 * mean_size, "changeovers should dominate lots");
+    }
+
+    #[test]
+    fn compute_cluster_valid_and_unrelated() {
+        let inst = compute_cluster(50, 8, 12, 3);
+        assert_eq!(inst.n(), 50);
+        assert_eq!(inst.m(), 8);
+        // Cross-machine times genuinely differ (unrelated, not uniform).
+        let mut differs = false;
+        for j in 0..inst.n() {
+            let r0 = inst.ptime(0, j) as f64 / inst.ptime(1, j) as f64;
+            let r1 = inst.ptime(0, (j + 1) % inst.n()) as f64
+                / inst.ptime(1, (j + 1) % inst.n()) as f64;
+            if (r0 - r1).abs() > 1e-12 {
+                differs = true;
+            }
+        }
+        assert!(differs, "per-cell noise must break separability");
+    }
+
+    #[test]
+    fn print_shop_matches_theorem_3_10_model() {
+        let inst = print_shop(40, 5, 7, 17);
+        assert!(inst.is_restricted_assignment());
+        assert!(inst.has_class_uniform_restrictions());
+    }
+}

@@ -1,0 +1,80 @@
+//! Shape contracts of the scenario generators: each scenario promises the
+//! structural properties its docstring advertises, across sizes and seeds.
+
+use proptest::prelude::*;
+use sst_gen::scenarios::{ci_build_farm, compute_cluster, print_shop, production_line};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn production_line_shape(
+        n in 4usize..80,
+        m in 1usize..10,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let inst = production_line(n, m, k, seed);
+        prop_assert_eq!(inst.n(), n);
+        prop_assert_eq!(inst.m(), m);
+        prop_assert_eq!(inst.num_classes(), k);
+        // Speeds come from the three-generation ladder {1, 2, 4}.
+        for &v in inst.speeds() {
+            prop_assert!(v == 1 || v == 2 || v == 4);
+        }
+        // Changeover-heavy: every setup dwarfs the mean lot size.
+        let mean = (inst.total_job_size() / n.max(1) as u64).max(1);
+        for kk in 0..k {
+            prop_assert!(inst.setup(kk) >= 2 * mean, "setups must be heavy");
+        }
+    }
+
+    #[test]
+    fn compute_cluster_shape(
+        n in 4usize..60,
+        m in 2usize..8,
+        d in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let inst = compute_cluster(n, m, d, seed);
+        prop_assert_eq!(inst.n(), n);
+        // Fully dense: every job runs anywhere (transfers, not exclusions).
+        for j in 0..inst.n() {
+            prop_assert_eq!(inst.eligible_machines(j).len(), m);
+        }
+    }
+
+    #[test]
+    fn print_shop_always_matches_theorem_3_10(
+        n in 4usize..60,
+        presses in 1usize..8,
+        stocks in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let inst = print_shop(n, presses, stocks, seed);
+        prop_assert!(inst.is_restricted_assignment());
+        prop_assert!(inst.has_class_uniform_restrictions());
+        // Every job is schedulable despite the restrictions.
+        for j in 0..inst.n() {
+            prop_assert!(!inst.eligible_machines(j).is_empty());
+        }
+    }
+
+    #[test]
+    fn ci_build_farm_setups_machine_dependent(
+        n in 4usize..60,
+        nodes in 2usize..8,
+        images in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let inst = ci_build_farm(n, nodes, images, seed);
+        prop_assert_eq!(inst.n(), n);
+        // Processing times near-uniform: within ±10% across nodes per job.
+        for j in 0..inst.n() {
+            let times: Vec<u64> = (0..nodes).map(|i| inst.ptime(i, j)).collect();
+            let max = *times.iter().max().unwrap() as f64;
+            let min = *times.iter().min().unwrap() as f64;
+            prop_assert!(max <= 1.25 * min, "ptime spread too wide: {:?}", times);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Independent optimality certificates for simplex solutions.
+//!
+//! The dual approximation framework leans on LP values as *lower bounds* on
+//! the optimal makespan (`T*` in E3/E5/E6), so a silently wrong LP answer
+//! would corrupt every measured ratio downstream. This module re-derives,
+//! from nothing but the original problem data and the returned
+//! primal/dual vectors, the three facts that together prove optimality:
+//!
+//! 1. **primal feasibility** — every constraint row holds at `x`;
+//! 2. **dual feasibility** — the multipliers have the right signs and all
+//!    reduced costs `c_j − Σ_r y_r a_rj` have the right sign;
+//! 3. **strong duality** — `c·x = y·b` (equivalently, complementary
+//!    slackness holds everywhere).
+//!
+//! The checks use only `O(nnz)` arithmetic independent of the solver's
+//! tableau, so they certify the solver rather than re-run it.
+//!
+//! ```
+//! use sst_lp::{certify, LpProblem, Relation, Sense};
+//!
+//! // max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+//! let mut lp = LpProblem::new(Sense::Max);
+//! let x = lp.add_var(3.0, Some(4.0));
+//! let y = lp.add_var(5.0, None);
+//! lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+//! lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+//! let sol = lp.solve();
+//! let cert = certify(&lp, &sol, 1e-6).expect("optimal vertex certifies");
+//! assert!(cert.duality_gap <= 1e-6);
+//! ```
+
+use crate::model::{LpProblem, LpResult, LpStatus, Relation, Sense};
+
+/// Maximum violation magnitudes found while checking a solution; all three
+/// are `≤ tol` iff [`certify`] returned `Ok`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Certificate {
+    /// Largest violation of any primal constraint (0 if none).
+    pub primal_violation: f64,
+    /// Largest dual sign/reduced-cost violation (0 if none).
+    pub dual_violation: f64,
+    /// `|c·x − y·b|`, the duality gap.
+    pub duality_gap: f64,
+}
+
+/// Why a certificate was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertifyError {
+    /// The result is not [`LpStatus::Optimal`]; nothing to certify.
+    NotOptimal,
+    /// The primal/dual vectors have the wrong length for the problem.
+    ShapeMismatch,
+    /// A check exceeded the tolerance.
+    Violation(Certificate),
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifyError::NotOptimal => write!(f, "solution status is not Optimal"),
+            CertifyError::ShapeMismatch => {
+                write!(f, "primal/dual vector lengths do not match the problem")
+            }
+            CertifyError::Violation(c) => write!(
+                f,
+                "certificate refused: primal {:.3e}, dual {:.3e}, gap {:.3e}",
+                c.primal_violation, c.dual_violation, c.duality_gap
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Certifies that `sol` is an optimal solution of `lp` up to `tol`.
+///
+/// Returns the measured violation magnitudes on success; refuses with
+/// [`CertifyError::Violation`] (carrying the same magnitudes) otherwise.
+/// `tol` is an absolute tolerance; scale it with the magnitude of your
+/// coefficients (the scheduling LPs in this workspace normalize by the
+/// makespan guess, so [`crate::TOL`]`·100` is comfortable there).
+pub fn certify(lp: &LpProblem, sol: &LpResult, tol: f64) -> Result<Certificate, CertifyError> {
+    if sol.status != LpStatus::Optimal {
+        return Err(CertifyError::NotOptimal);
+    }
+    if sol.values.len() != lp.num_vars() || sol.duals.len() != lp.num_rows() {
+        return Err(CertifyError::ShapeMismatch);
+    }
+    let x = &sol.values;
+    let y = &sol.duals;
+    let rows = lp.rows();
+    let c = lp.objective_coeffs();
+    let sense = lp.sense();
+
+    // 1. Primal feasibility (x ≥ 0 is part of it).
+    let mut primal: f64 = 0.0;
+    for &v in x {
+        primal = primal.max(-v);
+    }
+    let mut ydotb = 0.0;
+    for (r, row) in rows.iter().enumerate() {
+        let lhs: f64 = row.coeffs.iter().map(|&(v, a)| a * x[v]).sum();
+        let viol = match row.rel {
+            Relation::Le => lhs - row.rhs,
+            Relation::Ge => row.rhs - lhs,
+            Relation::Eq => (lhs - row.rhs).abs(),
+        };
+        primal = primal.max(viol);
+        ydotb += y[r] * row.rhs;
+    }
+
+    // 2. Dual feasibility. For Min: y ≤ 0 on ≤-rows, y ≥ 0 on ≥-rows and
+    // reduced costs ≥ 0; for Max everything flips. `dir` maps both cases
+    // onto "≥ 0 after multiplication".
+    let dir = match sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    let mut dual: f64 = 0.0;
+    for (r, row) in rows.iter().enumerate() {
+        match row.rel {
+            Relation::Le => dual = dual.max(dir * y[r]),
+            Relation::Ge => dual = dual.max(-dir * y[r]),
+            Relation::Eq => {}
+        }
+    }
+    let mut reduced = vec![0.0f64; x.len()];
+    for (r, row) in rows.iter().enumerate() {
+        for &(v, a) in &row.coeffs {
+            reduced[v] += y[r] * a;
+        }
+    }
+    for (j, acc) in reduced.iter().enumerate() {
+        let rc = c[j] - acc;
+        // Min: rc ≥ 0 required; Max: rc ≤ 0 required. Complementary
+        // slackness (x_j > 0 ⇒ rc_j = 0) needs no separate check: together
+        // with feasibility on both sides it is equivalent to a zero duality
+        // gap, which check 3 measures directly.
+        dual = dual.max(-dir * rc);
+        let _ = x[j];
+    }
+
+    // 3. Strong duality.
+    let cx: f64 = c.iter().zip(x).map(|(cc, xx)| cc * xx).sum();
+    let gap = (cx - ydotb).abs();
+
+    let cert = Certificate { primal_violation: primal.max(0.0), dual_violation: dual.max(0.0), duality_gap: gap };
+    if cert.primal_violation <= tol && cert.dual_violation <= tol && cert.duality_gap <= tol {
+        Ok(cert)
+    } else {
+        Err(CertifyError::Violation(cert))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpProblem, Relation, Sense};
+
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn certifies_textbook_max() {
+        let mut lp = LpProblem::new(Sense::Max);
+        let x = lp.add_var(3.0, Some(4.0));
+        let y = lp.add_var(5.0, None);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let sol = lp.solve();
+        let cert = certify(&lp, &sol, TOL).expect("optimal vertex must certify");
+        assert!(cert.duality_gap <= TOL);
+    }
+
+    #[test]
+    fn certifies_min_with_mixed_relations() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(2.0, None);
+        let y = lp.add_var(3.0, None);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 8.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 4.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // x=7, y=3 → 23
+        assert!((sol.objective - 23.0).abs() < 1e-6);
+        certify(&lp, &sol, TOL).expect("must certify");
+    }
+
+    #[test]
+    fn certifies_negative_rhs_normalization() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, Some(5.0));
+        let y = lp.add_var(1.0, Some(5.0));
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, -2.0);
+        let sol = lp.solve();
+        certify(&lp, &sol, TOL).expect("flipped-row duals must still certify");
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strong_duality_value_matches() {
+        let mut lp = LpProblem::new(Sense::Max);
+        let x = lp.add_var(1.0, Some(1.0));
+        let y = lp.add_var(2.0, Some(1.0));
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 1.5);
+        let sol = lp.solve();
+        // y=1, x=0.5 → 2.5
+        assert!((sol.objective - 2.5).abs() < 1e-6);
+        let ydotb: f64 = sol
+            .duals
+            .iter()
+            .zip([1.0, 1.0, 1.5]) // ub(x)=1, ub(y)=1, then the ≤ row
+            .map(|(d, b)| d * b)
+            .sum();
+        assert!((ydotb - sol.objective).abs() < 1e-6, "{ydotb}");
+        certify(&lp, &sol, TOL).unwrap();
+    }
+
+    #[test]
+    fn refuses_tampered_primal() {
+        let mut lp = LpProblem::new(Sense::Max);
+        let x = lp.add_var(1.0, Some(2.0));
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        let mut sol = lp.solve();
+        sol.values[0] = 5.0; // violates both rows
+        match certify(&lp, &sol, TOL) {
+            Err(CertifyError::Violation(c)) => assert!(c.primal_violation > 1.0),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refuses_tampered_duals() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, None);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 3.0);
+        let mut sol = lp.solve();
+        sol.duals[0] = -1.0; // wrong sign for a ≥ row under Min
+        assert!(matches!(certify(&lp, &sol, TOL), Err(CertifyError::Violation(_))));
+    }
+
+    #[test]
+    fn refuses_non_optimal_status() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, None);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        let sol = lp.solve();
+        assert_eq!(certify(&lp, &sol, TOL), Err(CertifyError::NotOptimal));
+    }
+
+    #[test]
+    fn refuses_shape_mismatch() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, None);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let mut sol = lp.solve();
+        sol.duals.pop();
+        assert_eq!(certify(&lp, &sol, TOL), Err(CertifyError::ShapeMismatch));
+    }
+
+    #[test]
+    fn certifies_degenerate_beale() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x1 = lp.add_var(-0.75, None);
+        let x2 = lp.add_var(150.0, None);
+        let x3 = lp.add_var(-0.02, None);
+        let x4 = lp.add_var(6.0, None);
+        lp.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve();
+        certify(&lp, &sol, 1e-5).expect("degenerate optimum still certifies");
+    }
+
+    #[test]
+    fn certifies_scheduling_shaped_lp() {
+        // Miniature ILP-UM relaxation: 3 jobs × 2 machines, 2 classes.
+        let p = [[2.0, 4.0], [3.0, 1.0], [2.0, 2.0]];
+        let class_of = [0usize, 1, 0];
+        let s = [[1.0, 2.0], [2.0, 1.0]];
+        let t = 5.0;
+        let mut lp = LpProblem::new(Sense::Min);
+        let xv: Vec<Vec<_>> = (0..3)
+            .map(|j| (0..2).map(|i| lp.add_var(p[j][i], Some(1.0))).collect())
+            .collect();
+        let yv: Vec<Vec<_>> = (0..2)
+            .map(|k| (0..2).map(|i| lp.add_var(s[k][i], Some(1.0))).collect())
+            .collect();
+        for j in 0..3 {
+            lp.add_constraint(&[(xv[j][0], 1.0), (xv[j][1], 1.0)], Relation::Eq, 1.0);
+        }
+        for i in 0..2 {
+            let mut load: Vec<_> = (0..3).map(|j| (xv[j][i], p[j][i])).collect();
+            load.extend((0..2).map(|k| (yv[k][i], s[k][i])));
+            lp.add_constraint(&load, Relation::Le, t);
+            for j in 0..3 {
+                lp.add_constraint(
+                    &[(yv[class_of[j]][i], 1.0), (xv[j][i], -1.0)],
+                    Relation::Ge,
+                    0.0,
+                );
+            }
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        certify(&lp, &sol, 1e-5).expect("scheduling LP certifies");
+    }
+}

@@ -1,0 +1,162 @@
+//! Export of [`LpProblem`]s in the classic CPLEX-LP text format.
+//!
+//! The scheduling LPs this workspace builds (ILP-UM relaxation,
+//! LP-RelaxedRA, the configuration-LP master) are easiest to debug by
+//! inspecting them in a standard format that external tools (`lp_solve`,
+//! CBC, Gurobi, `glpsol`) can ingest directly — both for eyeballing a
+//! wrong bound and for cross-checking this workspace's simplex against an
+//! independent solver.
+//!
+//! ```
+//! use sst_lp::{LpProblem, Relation, Sense};
+//!
+//! let mut lp = LpProblem::new(Sense::Max);
+//! let x = lp.add_var(3.0, Some(4.0));
+//! let y = lp.add_var(5.0, None);
+//! lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+//! let text = lp.to_lp_format();
+//! assert!(text.contains("Maximize"));
+//! assert!(text.contains("3 x0 + 2 x1 <= 18"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::model::{LpProblem, Relation, Sense};
+
+/// Formats a coefficient: integers print bare, others with full precision.
+fn coef(c: f64) -> String {
+    if c == c.trunc() && c.abs() < 1e15 {
+        format!("{}", c as i64)
+    } else {
+        format!("{c}")
+    }
+}
+
+fn term_list(out: &mut String, coeffs: &[(usize, f64)]) {
+    let mut first = true;
+    for &(v, c) in coeffs {
+        if c == 0.0 {
+            continue;
+        }
+        if first {
+            if c < 0.0 {
+                let _ = write!(out, "- ");
+            }
+            first = false;
+        } else if c < 0.0 {
+            let _ = write!(out, " - ");
+        } else {
+            let _ = write!(out, " + ");
+        }
+        let a = c.abs();
+        if a == 1.0 {
+            let _ = write!(out, "x{v}");
+        } else {
+            let _ = write!(out, "{} x{v}", coef(a));
+        }
+    }
+    if first {
+        let _ = write!(out, "0");
+    }
+}
+
+impl LpProblem {
+    /// Renders the program in CPLEX-LP text format. Variables are named
+    /// `x0, x1, …` in [`crate::VarId`] order; upper-bound rows added by
+    /// [`LpProblem::add_var`] appear in the `Bounds` section instead of as
+    /// constraint rows.
+    pub fn to_lp_format(&self) -> String {
+        let mut out = String::new();
+        out.push_str(match self.sense() {
+            Sense::Min => "Minimize\n obj: ",
+            Sense::Max => "Maximize\n obj: ",
+        });
+        let obj: Vec<(usize, f64)> = self
+            .objective_coeffs()
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| (v, c))
+            .collect();
+        term_list(&mut out, &obj);
+        out.push_str("\nSubject To\n");
+        let mut bounds: Vec<(usize, f64)> = Vec::new();
+        let mut cnum = 0usize;
+        for row in self.rows() {
+            // Recognize pure upper-bound rows (x_v ≤ u) and divert them.
+            if row.rel == Relation::Le && row.coeffs.len() == 1 && row.coeffs[0].1 == 1.0 {
+                bounds.push((row.coeffs[0].0, row.rhs));
+                continue;
+            }
+            let _ = write!(out, " c{cnum}: ");
+            cnum += 1;
+            term_list(&mut out, &row.coeffs);
+            let rel = match row.rel {
+                Relation::Le => "<=",
+                Relation::Ge => ">=",
+                Relation::Eq => "=",
+            };
+            let _ = writeln!(out, " {} {}", rel, coef(row.rhs));
+        }
+        if !bounds.is_empty() {
+            out.push_str("Bounds\n");
+            for (v, u) in bounds {
+                let _ = writeln!(out, " 0 <= x{v} <= {}", coef(u));
+            }
+        }
+        out.push_str("End\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpProblem, Relation, Sense};
+
+    #[test]
+    fn textbook_problem_renders() {
+        let mut lp = LpProblem::new(Sense::Max);
+        let x = lp.add_var(3.0, Some(4.0));
+        let y = lp.add_var(5.0, None);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let text = lp.to_lp_format();
+        assert!(text.starts_with("Maximize\n obj: 3 x0 + 5 x1\n"));
+        assert!(text.contains(" c0: 2 x1 <= 12\n"), "{text}");
+        assert!(text.contains(" c1: 3 x0 + 2 x1 <= 18\n"), "{text}");
+        assert!(text.contains("Bounds\n 0 <= x0 <= 4\n"), "{text}");
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn negative_coefficients_and_relations() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, None);
+        let y = lp.add_var(-2.5, None);
+        lp.add_constraint(&[(x, -1.0), (y, 1.0)], Relation::Ge, -3.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        let text = lp.to_lp_format();
+        assert!(text.contains("Minimize"), "{text}");
+        assert!(text.contains("obj: x0 - 2.5 x1"), "{text}");
+        assert!(text.contains("c0: - x0 + x1 >= -3"), "{text}");
+        assert!(text.contains("c1: x0 - x1 = 0"), "{text}");
+    }
+
+    #[test]
+    fn empty_objective_and_rows() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let _ = lp.add_var(0.0, None);
+        let text = lp.to_lp_format();
+        assert!(text.contains("obj: 0\n"), "{text}");
+        assert!(text.contains("Subject To\nEnd\n") || text.contains("Subject To\n"), "{text}");
+    }
+
+    #[test]
+    fn unit_coefficients_print_bare() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, None);
+        let y = lp.add_var(1.0, None);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        let text = lp.to_lp_format();
+        assert!(text.contains(" c0: x0 + x1 >= 2\n"), "{text}");
+    }
+}

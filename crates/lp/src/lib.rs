@@ -1,0 +1,211 @@
+//! # sst-lp — a self-contained dense simplex LP solver
+//!
+//! Substrate for the LP-based algorithms of the paper: the relaxation of
+//! ILP-UM (Section 3.1, randomized rounding) and LP-RelaxedRA
+//! (Sections 3.3.1/3.3.2, pseudoforest roundings). The reproduction bands
+//! flag LP-solver crates as the thin spot of a Rust build, so this
+//! workspace ships its own: a two-phase primal dense simplex with Dantzig
+//! pricing, Bland's-rule anti-cycling, and — crucially for the roundings —
+//! **basic (vertex) optimal solutions**, whose support graphs on
+//! class-machine bipartite LPs are pseudoforests.
+//!
+//! ```
+//! use sst_lp::{LpProblem, LpStatus, Relation, Sense};
+//!
+//! // max x + 2y  s.t. x + y ≤ 4, y ≤ 3, x,y ≥ 0
+//! let mut lp = LpProblem::new(Sense::Max);
+//! let x = lp.add_var(1.0, None);
+//! let y = lp.add_var(2.0, Some(3.0));
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! let sol = lp.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 7.0).abs() < 1e-9); // x=1, y=3
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod certify;
+mod format;
+mod model;
+mod simplex;
+
+pub use certify::{certify, Certificate, CertifyError};
+pub use model::{LpProblem, LpResult, LpStatus, Relation, Sense, VarId};
+pub use simplex::TOL;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_max_problem() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut lp = LpProblem::new(Sense::Max);
+        let x = lp.add_var(3.0, Some(4.0));
+        let y = lp.add_var(5.0, None);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+    }
+
+    #[test]
+    fn min_with_ge_constraints_uses_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → (10, 0), objective 20.
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(2.0, None);
+        let y = lp.add_var(3.0, None);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 20.0);
+        assert_close(sol.value(x), 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 6, x - y = 0 → x = y = 2, obj 4.
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, None);
+        let y = lp.add_var(1.0, None);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 6.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 4.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, None);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LpProblem::new(Sense::Max);
+        let x = lp.add_var(1.0, None);
+        let y = lp.add_var(0.0, None);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y ≤ -2 with x,y ∈ [0,5]: feasible, e.g. (0, 2). min x + y = 2.
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(1.0, Some(5.0));
+        let y = lp.add_var(1.0, Some(5.0));
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, -2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn degenerate_cycling_candidate_terminates() {
+        // Beale's classic cycling example (cycles under naive Dantzig
+        // without anti-cycling). Known optimum: objective -0.05.
+        let mut lp = LpProblem::new(Sense::Min);
+        let x1 = lp.add_var(-0.75, None);
+        let x2 = lp.add_var(150.0, None);
+        let x3 = lp.add_var(-0.02, None);
+        let x4 = lp.add_var(6.0, None);
+        lp.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -0.05);
+    }
+
+    #[test]
+    fn feasibility_only_program() {
+        // Zero objective: phase 1 decides feasibility; phase 2 is trivial.
+        let mut lp = LpProblem::new(Sense::Min);
+        let x = lp.add_var(0.0, Some(1.0));
+        let y = lp.add_var(0.0, Some(1.0));
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 1.5);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.value(x) + sol.value(y), 1.5);
+        assert!(sol.value(x) <= 1.0 + 1e-9 && sol.value(y) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase1() {
+        // x + y = 2 twice (redundant row leaves an artificial basic at 0).
+        let mut lp = LpProblem::new(Sense::Max);
+        let x = lp.add_var(1.0, None);
+        let y = lp.add_var(0.0, None);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.value(x), 2.0);
+    }
+
+    #[test]
+    fn assignment_lp_vertices_are_integral() {
+        // 2 jobs × 2 machines assignment LP with unique integral optimum;
+        // a *basic* solution must return 0/1 values (total unimodularity).
+        let costs = [[1.0, 5.0], [5.0, 1.0]];
+        let mut lp = LpProblem::new(Sense::Min);
+        let x: Vec<Vec<VarId>> = (0..2)
+            .map(|j| (0..2).map(|i| lp.add_var(costs[j][i], Some(1.0))).collect())
+            .collect();
+        for row in &x {
+            lp.add_constraint(&[(row[0], 1.0), (row[1], 1.0)], Relation::Eq, 1.0);
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0);
+        for row in &x {
+            for &v in row {
+                let val = sol.value(v);
+                assert!(
+                    val.abs() < 1e-6 || (val - 1.0).abs() < 1e-6,
+                    "non-vertex value {val}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moderately_sized_structured_lp() {
+        // 40 vars, rolling-window capacity rows: max Σ x_i, window(4) ≤ 2.
+        let mut lp = LpProblem::new(Sense::Max);
+        let xs: Vec<VarId> = (0..40).map(|_| lp.add_var(1.0, Some(1.0))).collect();
+        for w in xs.windows(4) {
+            let coeffs: Vec<(VarId, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+            lp.add_constraint(&coeffs, Relation::Le, 2.0);
+        }
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 20.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Dense two-phase primal simplex on the full tableau.
+//!
+//! Chosen over a revised/sparse implementation deliberately: the scheduling
+//! LPs of the paper (ILP-UM relaxation, LP-RelaxedRA) are small-to-medium
+//! (≤ a few thousand rows), dense arithmetic is cache-friendly at that size,
+//! and the full tableau makes the basic-solution (vertex) structure — which
+//! the pseudoforest roundings depend on — directly inspectable and easy to
+//! test. Anti-cycling: Dantzig pricing normally, switching to Bland's rule
+//! after a run of degenerate pivots (Bland's rule terminates finitely).
+
+use crate::model::{Relation, Row};
+
+/// Feasibility/optimality tolerance. Scheduling inputs are integers scaled
+/// into `[0, ~1e9]`; 1e-7 absolute keeps pivoting stable across the sizes
+/// the experiments use while staying far below any meaningful quantity.
+pub const TOL: f64 = 1e-7;
+
+/// Tolerance for pivot element magnitude (tighter, to avoid dividing by
+/// near-zero entries).
+const PIVOT_TOL: f64 = 1e-9;
+
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGENERATE_SWITCH: usize = 40;
+
+/// Hard iteration cap; hitting it indicates a numerical pathology rather
+/// than a large instance, so we panic with context instead of silently
+/// looping or returning a wrong answer.
+const MAX_ITERS: usize = 2_000_000;
+
+pub(crate) enum SimplexOutcome {
+    Optimal { values: Vec<f64>, objective: f64, duals: Vec<f64> },
+    Infeasible,
+    Unbounded,
+}
+
+struct Tableau {
+    /// Number of constraint rows.
+    m: usize,
+    /// Number of columns excluding the RHS column.
+    n: usize,
+    /// `(m + 1) × (n + 1)` row-major; row `m` is the objective row, column
+    /// `n` is the RHS.
+    a: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Columns that may enter the basis (artificials are locked out in
+    /// phase 2).
+    allowed: Vec<bool>,
+    /// Scratch copy of the normalized pivot row — lets the elimination loop
+    /// run over disjoint `chunks_exact_mut` rows (no aliasing, no index
+    /// arithmetic, vectorizable).
+    scratch: Vec<f64>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.n + 1) + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * (self.n + 1) + c]
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.n + 1;
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > PIVOT_TOL);
+        let inv = 1.0 / piv;
+        {
+            let r = &mut self.a[row * w..(row + 1) * w];
+            for v in r.iter_mut() {
+                *v *= inv;
+            }
+            r[col] = 1.0;
+        }
+        // Snapshot the normalized pivot row so the elimination pass can run
+        // over disjoint mutable row chunks.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.a[row * w..(row + 1) * w]);
+        let pivot_row = std::mem::take(&mut self.scratch);
+        for (r, chunk) in self.a.chunks_exact_mut(w).enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = chunk[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (v, &p) in chunk.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            // Clamp the eliminated entry exactly to zero to stop error
+            // accumulation in this column.
+            chunk[col] = 0.0;
+        }
+        self.scratch = pivot_row;
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop on the current objective row (minimization).
+    /// Returns `false` if unbounded.
+    fn optimize(&mut self) -> bool {
+        let mut degenerate_run = 0usize;
+        for iter in 0..MAX_ITERS {
+            let bland = degenerate_run >= DEGENERATE_SWITCH;
+            // Entering column: most negative reduced cost (Dantzig) or the
+            // first negative one (Bland).
+            let mut entering: Option<usize> = None;
+            let mut best = -TOL;
+            for c in 0..self.n {
+                if !self.allowed[c] {
+                    continue;
+                }
+                let rc = self.at(self.m, c);
+                if rc < best {
+                    entering = Some(c);
+                    if bland {
+                        break;
+                    }
+                    best = rc;
+                }
+            }
+            let Some(col) = entering else {
+                return true; // optimal
+            };
+            // Ratio test: min rhs/coef over rows with positive coefficient;
+            // ties broken by smallest basic variable index (needed for
+            // Bland's rule termination guarantee).
+            let mut leaving: Option<(usize, f64)> = None;
+            for r in 0..self.m {
+                let coef = self.at(r, col);
+                if coef > PIVOT_TOL {
+                    let ratio = self.at(r, self.n) / coef;
+                    match leaving {
+                        None => leaving = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - PIVOT_TOL
+                                || (ratio < lratio + PIVOT_TOL
+                                    && self.basis[r] < self.basis[lr])
+                            {
+                                leaving = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, ratio)) = leaving else {
+                return false; // unbounded direction
+            };
+            degenerate_run = if ratio.abs() <= PIVOT_TOL { degenerate_run + 1 } else { 0 };
+            self.pivot(row, col);
+            let _ = iter;
+        }
+        panic!(
+            "simplex exceeded {MAX_ITERS} iterations ({} rows × {} cols): numerical pathology",
+            self.m, self.n
+        );
+    }
+}
+
+/// Solves `min c·x  s.t. rows, x ≥ 0` via the two-phase method.
+pub(crate) fn solve_standard(nv: usize, c: &[f64], rows: &[Row]) -> SimplexOutcome {
+    let m = rows.len();
+    // Column layout: structural 0..nv | slack/surplus | artificial.
+    // Count auxiliary columns.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for row in rows {
+        // Normalize to rhs ≥ 0 first (flip relation when negating).
+        let rel = effective_relation(row);
+        match rel {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+    }
+    let n = nv + n_slack + n_art;
+    let w = n + 1;
+    let mut a = vec![0.0f64; (m + 1) * w];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_cursor = nv;
+    let mut art_cursor = nv + n_slack;
+    let mut artificial_cols: Vec<usize> = Vec::with_capacity(n_art);
+    // Per row: (column whose phase-2 reduced cost reveals the dual, sign s
+    // with y_row = s · objrow[col]). The unit column e_r (slack of a ≤ row
+    // or the artificial of ≥/= rows) has reduced cost 0 − yᵀe_r = −y_r; a
+    // row that was sign-flipped during normalization negates once more.
+    let mut dual_probe: Vec<(usize, f64)> = Vec::with_capacity(m);
+
+    for (r, row) in rows.iter().enumerate() {
+        let flip = row.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(v, coef) in &row.coeffs {
+            a[r * w + v] = sign * coef;
+        }
+        a[r * w + n] = sign * row.rhs;
+        match effective_relation(row) {
+            Relation::Le => {
+                a[r * w + slack_cursor] = 1.0;
+                basis[r] = slack_cursor;
+                dual_probe.push((slack_cursor, -sign));
+                slack_cursor += 1;
+            }
+            Relation::Ge => {
+                a[r * w + slack_cursor] = -1.0; // surplus
+                slack_cursor += 1;
+                a[r * w + art_cursor] = 1.0;
+                basis[r] = art_cursor;
+                dual_probe.push((art_cursor, -sign));
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+            Relation::Eq => {
+                a[r * w + art_cursor] = 1.0;
+                basis[r] = art_cursor;
+                dual_probe.push((art_cursor, -sign));
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau { m, n, a, basis, allowed: vec![true; n], scratch: Vec::new() };
+
+    // ---- Phase 1 ----
+    if !artificial_cols.is_empty() {
+        // Objective: minimize sum of artificials. Reduced costs: start from
+        // e_art and subtract the rows whose basic variable is artificial.
+        for &c in &artificial_cols {
+            *t.at_mut(m, c) = 1.0;
+        }
+        for r in 0..m {
+            if artificial_cols.contains(&t.basis[r]) {
+                for col in 0..w {
+                    let v = t.at(r, col);
+                    *t.at_mut(m, col) -= v;
+                }
+            }
+        }
+        let bounded = t.optimize();
+        debug_assert!(bounded, "phase-1 objective is bounded below by 0");
+        let phase1_obj = -t.at(m, n); // objective row stores -z
+        if phase1_obj > 1e-6 {
+            return SimplexOutcome::Infeasible;
+        }
+        // Drive remaining basic artificials (at value 0) out of the basis
+        // where possible; redundant rows keep their artificial locked at 0.
+        for r in 0..m {
+            if artificial_cols.contains(&t.basis[r]) {
+                if let Some(col) =
+                    (0..nv + n_slack).find(|&c2| t.at(r, c2).abs() > 1e-6)
+                {
+                    t.pivot(r, col);
+                }
+            }
+        }
+        for &c in &artificial_cols {
+            t.allowed[c] = false;
+        }
+    }
+
+    // ---- Phase 2 ----
+    // Objective row: reduced costs of c w.r.t. the current basis.
+    let w = t.n + 1;
+    for col in 0..w {
+        t.a[m * w + col] = 0.0;
+    }
+    for (v, &coef) in c.iter().enumerate() {
+        t.a[m * w + v] = coef;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        let cost = if b < nv { c[b] } else { 0.0 };
+        if cost != 0.0 {
+            for col in 0..w {
+                let v = t.at(r, col);
+                *t.at_mut(m, col) -= cost * v;
+            }
+        }
+    }
+    if !t.optimize() {
+        return SimplexOutcome::Unbounded;
+    }
+
+    // Extract the basic solution.
+    let mut values = vec![0.0f64; nv];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < nv {
+            // Numerical noise can leave a tiny negative; clamp for callers.
+            values[b] = t.at(r, t.n).max(0.0);
+        }
+    }
+    let objective: f64 = values.iter().zip(c).map(|(x, cc)| x * cc).sum();
+    // Duals from the phase-2 objective row (see `dual_probe` above). The
+    // probe columns are maintained through every pivot, so this is the
+    // simplex multiplier vector y = c_B B⁻¹ of the final basis.
+    let duals: Vec<f64> =
+        dual_probe.iter().map(|&(col, s)| s * t.at(m, col)).collect();
+    SimplexOutcome::Optimal { values, objective, duals }
+}
+
+/// Relation after normalizing the row to a non-negative RHS.
+fn effective_relation(row: &Row) -> Relation {
+    if row.rhs < 0.0 {
+        match row.rel {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        }
+    } else {
+        row.rel
+    }
+}

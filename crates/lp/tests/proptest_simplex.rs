@@ -1,0 +1,96 @@
+//! Property tests for the simplex solver: solutions of randomly generated
+//! feasible programs are feasible and no worse than the known witness.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_lp::{LpProblem, LpStatus, Relation, Sense};
+
+const TOL: f64 = 1e-5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Construct max-problems that are feasible by design: pick a witness
+    /// point x₀ ∈ [0,3]^d, random non-negative constraint rows a, and set
+    /// each rhs to a·x₀ + slack. The solver must report Optimal, return a
+    /// feasible point, and achieve objective ≥ c·x₀.
+    #[test]
+    fn solves_random_feasible_max_programs(
+        dim in 2usize..6,
+        rows in 1usize..6,
+        obj_raw in vec(0u32..10, 6),
+        a_raw in vec(vec(0u32..5, 6), 6),
+        x0_raw in vec(0u32..4, 6),
+        slack_raw in vec(0u32..5, 6),
+    ) {
+        let obj: Vec<f64> = obj_raw.iter().take(dim).map(|&v| v as f64).collect();
+        let x0: Vec<f64> = x0_raw.iter().take(dim).map(|&v| v as f64).collect();
+        let mut lp = LpProblem::new(Sense::Max);
+        let vars: Vec<_> = obj.iter().map(|&c| lp.add_var(c, Some(5.0))).collect();
+        prop_assume!(x0.iter().all(|&v| v <= 5.0));
+        let mut a_rows: Vec<Vec<f64>> = Vec::new();
+        for r in 0..rows.min(a_raw.len()) {
+            let row: Vec<f64> = a_raw[r].iter().take(dim).map(|&v| v as f64).collect();
+            let rhs: f64 = row.iter().zip(&x0).map(|(a, x)| a * x).sum::<f64>()
+                + slack_raw[r % slack_raw.len()] as f64;
+            let coeffs: Vec<_> = vars.iter().zip(&row).map(|(&v, &c)| (v, c)).collect();
+            lp.add_constraint(&coeffs, Relation::Le, rhs);
+            a_rows.push(row);
+        }
+        let sol = lp.solve();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        // Feasibility of the returned point.
+        for (r, row) in a_rows.iter().enumerate() {
+            let lhs: f64 = row.iter().zip(&sol.values).map(|(a, x)| a * x).sum();
+            let rhs: f64 = row.iter().zip(&x0).map(|(a, x)| a * x).sum::<f64>()
+                + slack_raw[r % slack_raw.len()] as f64;
+            prop_assert!(lhs <= rhs + TOL, "row {r}: {lhs} > {rhs}");
+        }
+        for &x in &sol.values {
+            prop_assert!((-TOL..=5.0 + TOL).contains(&x));
+        }
+        // Optimality relative to the witness.
+        let witness_obj: f64 = obj.iter().zip(&x0).map(|(c, x)| c * x).sum();
+        prop_assert!(sol.objective >= witness_obj - TOL,
+            "objective {} below witness {witness_obj}", sol.objective);
+    }
+
+    /// Equality-constrained transport problems: Σx_j = total must hold
+    /// exactly in the returned solution.
+    #[test]
+    fn equality_rows_hold_exactly(
+        dim in 2usize..5,
+        total in 1u32..8,
+        obj_raw in vec(1u32..9, 5),
+    ) {
+        let mut lp = LpProblem::new(Sense::Min);
+        let vars: Vec<_> = obj_raw.iter().take(dim)
+            .map(|&c| lp.add_var(c as f64, None)).collect();
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&coeffs, Relation::Eq, total as f64);
+        let sol = lp.solve();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        let sum: f64 = sol.values.iter().sum();
+        prop_assert!((sum - total as f64).abs() < TOL);
+        // The optimum puts everything on the cheapest variable.
+        let cheapest = obj_raw.iter().take(dim).min().copied().unwrap() as f64;
+        prop_assert!((sol.objective - cheapest * total as f64).abs() < TOL);
+    }
+
+    /// Infeasibility detection: box [0,1] with a demand > dim is infeasible;
+    /// demand ≤ dim is feasible. The classifier must match exactly.
+    #[test]
+    fn feasibility_threshold_detection(dim in 1usize..6, demand_times_2 in 0u32..16) {
+        let demand = demand_times_2 as f64 / 2.0;
+        let mut lp = LpProblem::new(Sense::Min);
+        let vars: Vec<_> = (0..dim).map(|_| lp.add_var(0.0, Some(1.0))).collect();
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&coeffs, Relation::Ge, demand);
+        let sol = lp.solve();
+        if demand <= dim as f64 + 1e-12 {
+            prop_assert_eq!(sol.status, LpStatus::Optimal);
+        } else {
+            prop_assert_eq!(sol.status, LpStatus::Infeasible);
+        }
+    }
+}

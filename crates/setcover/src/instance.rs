@@ -1,0 +1,102 @@
+//! Set cover instances.
+
+/// A set cover instance: a universe `{0, …, n_elements-1}` and a family of
+/// subsets. The goal is a minimum-cardinality subfamily whose union is the
+/// universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCoverInstance {
+    n_elements: usize,
+    /// Each set as a sorted, deduplicated list of element ids.
+    sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// Builds an instance, normalizing each set (sorted, deduplicated).
+    ///
+    /// # Panics
+    /// Panics if a set references an element `≥ n_elements`.
+    pub fn new(n_elements: usize, sets: Vec<Vec<usize>>) -> SetCoverInstance {
+        let sets = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                if let Some(&max) = s.last() {
+                    assert!(max < n_elements, "set references element {max} ≥ {n_elements}");
+                }
+                s
+            })
+            .collect();
+        SetCoverInstance { n_elements, sets }
+    }
+
+    /// Universe size `N`.
+    pub fn n_elements(&self) -> usize {
+        self.n_elements
+    }
+
+    /// Number of sets `m`.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The elements of set `s` (sorted).
+    pub fn set(&self, s: usize) -> &[usize] {
+        &self.sets[s]
+    }
+
+    /// All sets.
+    pub fn sets(&self) -> &[Vec<usize>] {
+        &self.sets
+    }
+
+    /// True iff set `s` contains element `e`.
+    pub fn contains(&self, s: usize, e: usize) -> bool {
+        self.sets[s].binary_search(&e).is_ok()
+    }
+
+    /// True iff the chosen set indices cover the whole universe.
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        let mut covered = vec![false; self.n_elements];
+        for &s in chosen {
+            for &e in &self.sets[s] {
+                covered[e] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// True iff the instance admits any cover at all.
+    pub fn is_coverable(&self) -> bool {
+        self.is_cover(&(0..self.num_sets()).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_sets() {
+        let inst = SetCoverInstance::new(4, vec![vec![2, 0, 2], vec![1, 3]]);
+        assert_eq!(inst.set(0), &[0, 2]);
+        assert!(inst.contains(0, 2));
+        assert!(!inst.contains(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "references element")]
+    fn rejects_out_of_range() {
+        SetCoverInstance::new(2, vec![vec![5]]);
+    }
+
+    #[test]
+    fn cover_checks() {
+        let inst = SetCoverInstance::new(3, vec![vec![0, 1], vec![2], vec![0]]);
+        assert!(inst.is_cover(&[0, 1]));
+        assert!(!inst.is_cover(&[0, 2]));
+        assert!(inst.is_coverable());
+        let bad = SetCoverInstance::new(3, vec![vec![0, 1]]);
+        assert!(!bad.is_coverable());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the set cover substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sst_setcover::{exact_cover, greedy_cover, reduce, schedule_from_cover, SetCoverInstance};
+
+/// Strategy: a random coverable instance (a partition cover is always
+/// inserted, so coverability is guaranteed).
+fn coverable_instance() -> impl Strategy<Value = SetCoverInstance> {
+    (2usize..8, vec(vec(0usize..8, 0..6), 1..6)).prop_map(|(n, extra)| {
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        // Guaranteed cover: two halves.
+        sets.push((0..n / 2).collect());
+        sets.push((n / 2..n).collect());
+        for raw in extra {
+            let s: Vec<usize> = raw.into_iter().map(|e| e % n).collect();
+            if !s.is_empty() {
+                sets.push(s);
+            }
+        }
+        SetCoverInstance::new(n, sets)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_returns_covers(inst in coverable_instance()) {
+        let g = greedy_cover(&inst).expect("coverable by construction");
+        prop_assert!(inst.is_cover(&g));
+    }
+
+    #[test]
+    fn exact_is_minimal_among_samples(inst in coverable_instance()) {
+        let e = exact_cover(&inst).expect("coverable");
+        prop_assert!(inst.is_cover(&e));
+        let g = greedy_cover(&inst).expect("coverable");
+        prop_assert!(e.len() <= g.len());
+        // No single set strictly contained in the exact cover can be
+        // dropped (minimality certificate).
+        for drop in 0..e.len() {
+            let rest: Vec<usize> = e.iter().enumerate()
+                .filter(|&(i, _)| i != drop).map(|(_, &s)| s).collect();
+            prop_assert!(!inst.is_cover(&rest), "cover not minimal");
+        }
+    }
+
+    #[test]
+    fn reduction_schedules_from_any_cover_are_valid(
+        inst in coverable_instance(),
+        seed in 0u64..500,
+    ) {
+        let cover = greedy_cover(&inst).expect("coverable");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let red = reduce(&inst, cover.len().max(1), &mut rng);
+        let sched = schedule_from_cover(&inst, &red, &cover);
+        let ms = sst_core::schedule::unrelated_makespan(&red.instance, &sched);
+        prop_assert!(ms.is_ok());
+        // Makespan counts setups only (all job sizes are 0).
+        let setups = sst_core::schedule::setups_per_machine(&red.instance, &sched);
+        prop_assert_eq!(ms.unwrap(), *setups.iter().max().unwrap() as u64);
+    }
+}

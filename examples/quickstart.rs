@@ -1,0 +1,71 @@
+//! Quickstart: build an instance, run every algorithm that applies, and
+//! compare against the certified lower bound.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use setup_scheduling::prelude::*;
+
+fn main() {
+    // A small uniform-machines instance: three machines of speeds 4/2/1,
+    // three setup classes (setup sizes 6, 3, 9), ten jobs.
+    let inst = UniformInstance::new(
+        vec![4, 2, 1],
+        vec![6, 3, 9],
+        vec![
+            Job::new(0, 10),
+            Job::new(0, 4),
+            Job::new(1, 7),
+            Job::new(1, 7),
+            Job::new(2, 12),
+            Job::new(2, 2),
+            Job::new(0, 5),
+            Job::new(1, 1),
+            Job::new(2, 8),
+            Job::new(0, 3),
+        ],
+    )
+    .expect("valid instance");
+
+    let lb = uniform_lower_bound(&inst);
+    println!("instance: n={} m={} K={}", inst.n(), inst.m(), inst.num_classes());
+    println!("certified lower bound      : {lb}");
+
+    // Lemma 2.1 — the O(n log n) constant-factor approximation.
+    let (lpt_sched, lpt_ms) = lpt_with_setups_makespan(&inst);
+    println!(
+        "LPT with setups (Lemma 2.1): {lpt_ms}  (ratio ≤ {:.2} guaranteed: {LPT_FACTOR:.2})",
+        lpt_ms.to_f64() / lb.to_f64()
+    );
+
+    // Section 2 — the PTAS at ε = 1/2 and ε = 1/4.
+    for q in [2u64, 4] {
+        let res = ptas_uniform(&inst, &PtasConfig { q, node_limit: 5_000_000 });
+        println!(
+            "PTAS ε=1/{q}                 : {}  (accepted guess {})",
+            res.makespan, res.t_star
+        );
+    }
+
+    // Ground truth for this small instance.
+    let exact = exact_uniform(&inst, 1 << 24);
+    println!(
+        "exact optimum (B&B)        : {}  ({} nodes, complete={})",
+        exact.makespan, exact.nodes, exact.complete
+    );
+
+    // Where did LPT put things?
+    println!("\nLPT schedule by machine:");
+    for i in 0..inst.m() {
+        let jobs = lpt_sched.jobs_on(i);
+        let loads = uniform_loads(&inst, &lpt_sched).expect("valid");
+        println!(
+            "  machine {i} (speed {}): jobs {:?}, work {} → time {}",
+            inst.speed(i),
+            jobs,
+            loads[i],
+            Ratio::new(loads[i].max(1), inst.speed(i))
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! A machine workshop, end to end: generate a changeover-heavy production
+//! instance, schedule it four ways (setup-oblivious LPT, Lemma 2.1 LPT,
+//! the wrap rule for identical machines, simulated annealing), and render
+//! each schedule as an ASCII Gantt chart on a shared time scale.
+//!
+//! The charts make the paper's core point visible: the oblivious baseline
+//! scatters classes across machines and drowns in `#` setup blocks, while
+//! the batching-aware algorithms consolidate classes.
+//!
+//! ```sh
+//! cargo run --release --example workshop_gantt
+//! ```
+
+use setup_scheduling::algos::list::oblivious_lpt_uniform;
+use setup_scheduling::gen::{uniform_zipf, ZipfParams};
+use setup_scheduling::prelude::*;
+
+fn show(title: &str, inst: &UniformInstance, sched: &Schedule) -> f64 {
+    let tl = Timeline::from_uniform(inst, sched).expect("valid schedule");
+    tl.validate().expect("batching invariants");
+    let ms = tl.makespan();
+    println!("\n== {title} (makespan {ms}) ==");
+    print!("{}", render_gantt(&tl, |j| inst.job(j).class, 64));
+    ms.to_f64()
+}
+
+fn main() {
+    // A small workshop: 5 identical lathes, 24 jobs, Zipf-skewed part
+    // families (two staples + a tail of exotic parts), heavy changeovers.
+    let inst = uniform_zipf(&ZipfParams {
+        n: 24,
+        m: 5,
+        k: 6,
+        theta: 1.3,
+        size_range: (2, 20),
+        speed_range: (1, 1), // identical machines
+        setups: setup_scheduling::gen::SetupWeight::Heavy,
+        seed: 20260611,
+    });
+    println!(
+        "workshop: n={} jobs, m={} machines, K={} part families",
+        inst.n(),
+        inst.m(),
+        inst.num_classes()
+    );
+    println!("legend: # = changeover (setup), digits = job of that class, . = idle");
+
+    let oblivious = oblivious_lpt_uniform(&inst);
+    let ms_oblivious = show("setup-oblivious LPT (baseline)", &inst, &oblivious);
+
+    let (lemma21, _) = lpt_with_setups_makespan(&inst);
+    let ms_lemma21 = show("Lemma 2.1 LPT (≤4.74·Opt)", &inst, &lemma21);
+
+    let wrapped = wrap_identical(&inst);
+    let ms_wrap = show("wrap rule ([24] lineage, ≤4·Opt)", &inst, &wrapped);
+
+    let annealed = anneal_uniform(
+        &inst,
+        &lemma21,
+        &AnnealConfig { iterations: 30_000, seed: 7, ..AnnealConfig::default() },
+    );
+    let ms_sa = show("simulated annealing (no guarantee)", &inst, &annealed.schedule);
+
+    let lb = uniform_lower_bound(&inst).to_f64();
+    println!("\nsummary (lower bound {lb:.1}):");
+    for (name, ms) in [
+        ("oblivious LPT", ms_oblivious),
+        ("Lemma 2.1 LPT", ms_lemma21),
+        ("wrap rule", ms_wrap),
+        ("annealed", ms_sa),
+    ] {
+        println!("  {name:<16} {ms:>8.1}  (≤ {:.2}× lower bound)", ms / lb);
+    }
+    assert!(ms_sa <= ms_lemma21, "annealing never worsens its start");
+}

@@ -1,0 +1,164 @@
+//! Algorithm-vs-algorithm consistency matrix: on shared instances, every
+//! algorithm's output is valid, ordered sensibly against the exact optimum,
+//! and the extensions (MULTIFIT, local search) never violate their
+//! contracts.
+
+use setup_scheduling::algos::exact::exact_uniform;
+use setup_scheduling::algos::list::greedy_uniform;
+use setup_scheduling::algos::local_search::improve_uniform;
+use setup_scheduling::algos::lpt::lpt_with_setups_makespan;
+use setup_scheduling::algos::multifit::multifit_uniform;
+use setup_scheduling::algos::ptas::{ptas_uniform, PtasConfig};
+use setup_scheduling::gen::{self, SetupWeight, SpeedProfile, UniformParams};
+use setup_scheduling::prelude::*;
+
+fn family(seed: u64, setups: SetupWeight) -> UniformInstance {
+    gen::uniform(&UniformParams {
+        n: 11,
+        m: 3,
+        k: 4,
+        size_range: (1, 25),
+        speeds: SpeedProfile::UniformRandom { lo: 1, hi: 4 },
+        setups,
+        seed,
+    })
+}
+
+#[test]
+fn all_uniform_algorithms_dominate_exact_and_respect_bounds() {
+    for (seed, setups) in [
+        (1u64, SetupWeight::Light),
+        (2, SetupWeight::Moderate),
+        (3, SetupWeight::Heavy),
+    ] {
+        let inst = family(seed, setups);
+        let exact = exact_uniform(&inst, 1 << 25);
+        assert!(exact.complete, "reference optimum must certify");
+        let opt = exact.makespan;
+
+        let (_, lpt) = lpt_with_setups_makespan(&inst);
+        let grd = uniform_makespan(&inst, &greedy_uniform(&inst)).unwrap();
+        let mf = multifit_uniform(&inst, 8).makespan;
+        let ptas = ptas_uniform(&inst, &PtasConfig { q: 4, node_limit: 20_000_000 }).makespan;
+
+        for (name, ms) in [("lpt", lpt), ("greedy", grd), ("multifit", mf), ("ptas", ptas)] {
+            assert!(
+                ms >= opt,
+                "{name} beat the certified optimum on seed {seed}: {ms} < {opt}"
+            );
+        }
+        // Guaranteed algorithms respect their factors vs the true optimum.
+        assert!(lpt.to_f64() <= 4.7321 * opt.to_f64() * (1.0 + 1e-12));
+        assert!(ptas.to_f64() <= 1.75 * opt.to_f64() * (1.0 + 1e-12));
+    }
+}
+
+#[test]
+fn local_search_only_improves_every_start() {
+    let inst = family(9, SetupWeight::Moderate);
+    for start in [
+        Schedule::new(vec![0; inst.n()]),
+        greedy_uniform(&inst),
+        lpt_with_setups_makespan(&inst).0,
+    ] {
+        let before = uniform_makespan(&inst, &start).unwrap();
+        let res = improve_uniform(&inst, &start, 200);
+        let after = uniform_makespan(&inst, &res.schedule).unwrap();
+        assert!(after <= before);
+    }
+}
+
+#[test]
+fn multifit_is_competitive_with_lpt_on_batching_instances() {
+    // Heavy setups: MULTIFIT's batch-first phase should match or beat the
+    // placeholder transform on most seeds; assert it's never catastrophic
+    // (within 2× of LPT across the sweep).
+    for seed in 0..6u64 {
+        let inst = family(100 + seed, SetupWeight::Heavy);
+        let (_, lpt) = lpt_with_setups_makespan(&inst);
+        let mf = multifit_uniform(&inst, 8).makespan;
+        assert!(
+            mf.to_f64() <= 2.0 * lpt.to_f64(),
+            "seed {seed}: multifit {mf} vs lpt {lpt}"
+        );
+    }
+}
+
+#[test]
+fn identical_algorithms_join_the_matrix() {
+    // On identical machines every uniform algorithm plus the [24]-lineage
+    // pair must dominate the certified optimum and respect factor 4.
+    for seed in [5u64, 6, 7] {
+        let inst = gen::uniform(&UniformParams {
+            n: 10,
+            m: 3,
+            k: 4,
+            size_range: (1, 25),
+            speeds: SpeedProfile::Identical,
+            setups: SetupWeight::Moderate,
+            seed,
+        });
+        let exact = exact_uniform(&inst, 1 << 25);
+        assert!(exact.complete);
+        let opt = exact.makespan;
+        let wrap = uniform_makespan(&inst, &wrap_identical(&inst)).unwrap();
+        let blpt = uniform_makespan(&inst, &batch_lpt_identical(&inst)).unwrap();
+        for (name, ms) in [("wrap", wrap), ("batch-lpt", blpt)] {
+            assert!(ms >= opt, "{name} beat the optimum on seed {seed}");
+            assert!(
+                ms.to_f64() <= 4.0 * opt.to_f64() * (1.0 + 1e-12),
+                "{name} broke factor 4 on seed {seed}: {ms} vs opt {opt}"
+            );
+        }
+        // Annealing started from the better of the two only improves.
+        let start = if wrap <= blpt { wrap_identical(&inst) } else { batch_lpt_identical(&inst) };
+        let sa = anneal_uniform(&inst, &start, &AnnealConfig::default());
+        let after = uniform_makespan(&inst, &sa.schedule).unwrap();
+        assert!(after >= opt && after <= wrap.min(blpt));
+    }
+}
+
+#[test]
+fn unrelated_matrix_with_config_lp_floor() {
+    // Every unrelated algorithm sits between the configuration-LP bound
+    // and its own guarantee envelope.
+    let inst = gen::class_uniform_ptimes(10, 3, 3, (1, 15), SetupWeight::Moderate, 31);
+    let exact = exact_unrelated(&inst, 1 << 25);
+    assert!(exact.complete);
+    let opt = exact.makespan;
+    let floor = config_lp_lower_bound(&inst, &ConfigLpLimits::default());
+    assert!(floor <= opt);
+    let rr = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed: 1 });
+    let cupt = solve_class_uniform_ptimes(&inst);
+    assert!(rr.makespan >= opt && cupt.makespan >= opt);
+    assert!(cupt.makespan <= 3 * cupt.t_star);
+    assert!(rr.t_star <= opt && cupt.t_star <= opt);
+}
+
+#[test]
+fn ptas_inflation_ablation_tighter_is_not_worse() {
+    use setup_scheduling::algos::ptas::decide_uniform_with_inflation;
+    use setup_scheduling::core::dual::Decision;
+    let inst = family(42, SetupWeight::Moderate);
+    let lb = setup_scheduling::core::bounds::uniform_lower_bound(&inst);
+    let t = lb.mul_int(2);
+    let cfg = PtasConfig { q: 2, node_limit: 10_000_000 };
+    let mut results = Vec::new();
+    for e in [1u32, 3, 5] {
+        if let Decision::Feasible(s) = decide_uniform_with_inflation(&inst, t, &cfg, e) {
+            results.push((e, uniform_makespan(&inst, &s).unwrap()));
+        }
+    }
+    // e = 5 must accept wherever e = 1 accepts (capacity only grows).
+    assert!(
+        results.iter().any(|&(e, _)| e == 5) || results.is_empty(),
+        "full inflation rejected while a tighter level accepted"
+    );
+    // Where the tightest level succeeds, its schedule respects the smaller
+    // capacity, so its makespan cannot exceed the loosest level's envelope.
+    if results.len() >= 2 {
+        let first = results.first().unwrap().1;
+        let last = results.last().unwrap().1;
+        assert!(first.to_f64() <= last.to_f64() * (1.5f64).powi(4) + 1e-9);
+    }
+}

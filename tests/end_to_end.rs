@@ -1,0 +1,145 @@
+//! End-to-end pipelines across crates: generators → algorithms → exact
+//! evaluation, asserting each paper guarantee on concrete seeds.
+
+use setup_scheduling::algos::cupt::solve_class_uniform_ptimes;
+use setup_scheduling::algos::exact::{exact_unrelated, exact_uniform};
+use setup_scheduling::algos::lpt::{lpt_with_setups_makespan, LPT_FACTOR};
+use setup_scheduling::algos::ptas::{ptas_uniform, PtasConfig};
+use setup_scheduling::algos::ra::solve_ra_class_uniform;
+use setup_scheduling::algos::rounding::{solve_unrelated_randomized, RoundingConfig};
+use setup_scheduling::gen::{self, SetupWeight, SpeedProfile, UniformParams, UnrelatedParams};
+use setup_scheduling::prelude::*;
+
+#[test]
+fn uniform_pipeline_lpt_vs_exact() {
+    for seed in 0..5u64 {
+        let inst = gen::uniform(&UniformParams {
+            n: 10,
+            m: 3,
+            k: 3,
+            size_range: (1, 30),
+            speeds: SpeedProfile::UniformRandom { lo: 1, hi: 4 },
+            setups: SetupWeight::Moderate,
+            seed,
+        });
+        let (sched, ms) = lpt_with_setups_makespan(&inst);
+        assert_eq!(uniform_makespan(&inst, &sched).unwrap(), ms);
+        let exact = exact_uniform(&inst, 1 << 24);
+        assert!(exact.complete, "seed {seed}: exact search must finish");
+        assert!(exact.makespan <= ms, "exact beats any approximation");
+        let ratio = ms.to_f64() / exact.makespan.to_f64();
+        assert!(ratio <= LPT_FACTOR + 1e-9, "seed {seed}: LPT ratio {ratio}");
+    }
+}
+
+#[test]
+fn uniform_pipeline_ptas_beats_lemma_bound() {
+    for seed in 0..3u64 {
+        let inst = gen::uniform(&UniformParams {
+            n: 9,
+            m: 3,
+            k: 3,
+            size_range: (1, 20),
+            speeds: SpeedProfile::UniformRandom { lo: 1, hi: 4 },
+            setups: SetupWeight::Light,
+            seed: 40 + seed,
+        });
+        let res = ptas_uniform(&inst, &PtasConfig { q: 4, node_limit: 20_000_000 });
+        let exact = exact_uniform(&inst, 1 << 24);
+        assert!(exact.complete);
+        let ratio = res.makespan.to_f64() / exact.makespan.to_f64();
+        // ε = 1/4 with the lemmas' constants: comfortably under 1.75 in
+        // practice on these sizes.
+        assert!(ratio <= 1.75, "seed {seed}: PTAS ratio {ratio}");
+    }
+}
+
+#[test]
+fn unrelated_pipeline_rounding_certified() {
+    for seed in 0..3u64 {
+        let inst = gen::unrelated(&UnrelatedParams {
+            n: 24,
+            m: 4,
+            k: 5,
+            seed: 60 + seed,
+            ..Default::default()
+        });
+        let res = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed });
+        // Schedule must be valid and match its reported makespan.
+        assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
+        // T* certifies a lower bound: verify against exact on this size.
+        let exact = exact_unrelated(&inst, 1 << 26);
+        if exact.complete {
+            assert!(res.t_star <= exact.makespan, "seed {seed}: T* not a lower bound");
+        }
+        // The log-envelope with a generous constant.
+        let envelope = ((inst.n() as f64).ln() + (inst.m() as f64).ln()) * 8.0;
+        assert!(
+            (res.makespan as f64) <= envelope * res.t_star as f64,
+            "seed {seed}: ratio {} vs envelope {envelope}",
+            res.makespan as f64 / res.t_star as f64
+        );
+    }
+}
+
+#[test]
+fn ra_pipeline_two_approx() {
+    for seed in 0..4u64 {
+        let inst = gen::ra_class_uniform(30, 5, 6, 3, (1, 30), SetupWeight::Moderate, 80 + seed);
+        let res = solve_ra_class_uniform(&inst);
+        assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
+        assert!(
+            res.makespan <= 2 * res.t_star,
+            "seed {seed}: {} > 2·{}",
+            res.makespan,
+            res.t_star
+        );
+    }
+}
+
+#[test]
+fn cupt_pipeline_three_approx() {
+    for seed in 0..4u64 {
+        let inst = gen::class_uniform_ptimes(30, 5, 5, (1, 25), SetupWeight::Moderate, 90 + seed);
+        let res = solve_class_uniform_ptimes(&inst);
+        assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
+        assert!(
+            res.makespan <= 3 * res.t_star,
+            "seed {seed}: {} > 3·{}",
+            res.makespan,
+            res.t_star
+        );
+    }
+}
+
+#[test]
+fn scenarios_run_through_their_algorithms() {
+    let line = gen::scenarios::production_line(40, 6, 4, 1);
+    let (s, ms) = lpt_with_setups_makespan(&line);
+    assert_eq!(s.n(), 40);
+    assert!(ms > Ratio::ZERO);
+
+    let cluster = gen::scenarios::compute_cluster(24, 4, 6, 1);
+    let res = solve_unrelated_randomized(&cluster, &RoundingConfig::default());
+    assert!(res.makespan >= res.t_star);
+
+    let shop = gen::scenarios::print_shop(24, 4, 5, 1);
+    let res = solve_ra_class_uniform(&shop);
+    assert!(res.makespan <= 2 * res.t_star);
+}
+
+#[test]
+fn cross_algorithm_consistency_on_shared_instance() {
+    // One RA-with-class-uniform-restrictions instance is ALSO a valid
+    // unrelated instance: the Theorem 3.3 pipeline must apply too, and both
+    // must respect the same exact optimum.
+    let inst = gen::ra_class_uniform(14, 3, 3, 2, (1, 15), SetupWeight::Moderate, 123);
+    let ra = solve_ra_class_uniform(&inst);
+    let rr = solve_unrelated_randomized(&inst, &RoundingConfig::default());
+    let exact = exact_unrelated(&inst, 1 << 26);
+    assert!(exact.complete);
+    assert!(exact.makespan <= ra.makespan);
+    assert!(exact.makespan <= rr.makespan);
+    assert!(ra.t_star <= exact.makespan);
+    assert!(rr.t_star <= exact.makespan);
+}

@@ -1,0 +1,92 @@
+//! Integration tests for the hardness pipeline (Section 3.2): GF(2) gap
+//! family → Theorem 3.5 reduction → scheduling instance, with the gap
+//! shape asserted end to end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setup_scheduling::prelude::*;
+use setup_scheduling::setcover::{
+    exact_cover, gf2_basis_cover, gf2_fractional_optimum, gf2_gap_instance,
+    gf2_integral_optimum, greedy_cover, reduce, reduction_makespan_lower_bound,
+    schedule_from_cover,
+};
+
+#[test]
+fn gap_grows_with_k_end_to_end() {
+    let mut last_gap = 0.0f64;
+    for k in [2u32, 3, 4, 5] {
+        let sc = gf2_gap_instance(k);
+        let t = gf2_fractional_optimum(k).ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let red = reduce(&sc, t, &mut rng);
+        let lb = reduction_makespan_lower_bound(&red, gf2_integral_optimum(k));
+        let frac = red.num_classes as f64 * gf2_fractional_optimum(k) / red.instance.m() as f64;
+        let gap = lb as f64 / frac;
+        assert!(
+            gap >= last_gap - 0.35,
+            "k={k}: gap {gap} fell well below previous {last_gap}"
+        );
+        last_gap = gap;
+    }
+    // Across the sweep the gap must have grown substantially (Θ(log N)).
+    assert!(last_gap >= 2.0, "final gap {last_gap} too small for k=5");
+}
+
+#[test]
+fn yes_certificate_is_valid_and_respects_lower_bound() {
+    for k in [3u32, 4] {
+        let sc = gf2_gap_instance(k);
+        let cover = gf2_basis_cover(k);
+        let mut rng = StdRng::seed_from_u64(100 + k as u64);
+        let red = reduce(&sc, 2, &mut rng);
+        let sched = schedule_from_cover(&sc, &red, &cover);
+        let ms = unrelated_makespan(&red.instance, &sched).expect("valid schedule");
+        let lb = reduction_makespan_lower_bound(&red, gf2_integral_optimum(k));
+        assert!(ms >= lb);
+        // Concentration: the proof gives O((K/m)·|cover| + log m) whp; allow
+        // a wide constant for these small m.
+        let expect = red.num_classes as f64 * cover.len() as f64 / red.instance.m() as f64;
+        let bound = 2.0 * expect + 2.0 * (red.instance.m() as f64).log2() + 2.0;
+        assert!(
+            (ms as f64) <= bound,
+            "k={k}: yes-schedule {ms} above concentration bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn greedy_cover_is_logarithmically_close_on_gap_family() {
+    for k in [2u32, 3, 4] {
+        let sc = gf2_gap_instance(k);
+        let g = greedy_cover(&sc).expect("coverable");
+        let opt = gf2_integral_optimum(k);
+        assert!(sc.is_cover(&g));
+        // H_N bound, checked concretely.
+        let hn: f64 = (1..=sc.n_elements()).map(|i| 1.0 / i as f64).sum();
+        assert!(g.len() as f64 <= hn * opt as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn exact_cover_certifies_the_family() {
+    for k in [2u32, 3] {
+        let sc = gf2_gap_instance(k);
+        assert_eq!(exact_cover(&sc).expect("coverable").len(), k as usize);
+    }
+}
+
+#[test]
+fn reduced_instances_feed_the_unrelated_algorithms() {
+    // The reduction output is a legal restricted-assignment instance; the
+    // Theorem 3.3 pipeline runs on it unchanged.
+    use setup_scheduling::algos::rounding::{solve_unrelated_randomized, RoundingConfig};
+    let sc = gf2_gap_instance(3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let red = reduce(&sc, 2, &mut rng);
+    let res = solve_unrelated_randomized(&red.instance, &RoundingConfig { c: 2.0, seed: 1 });
+    assert_eq!(unrelated_makespan(&red.instance, &res.schedule).unwrap(), res.makespan);
+    // All sizes are 0 and setups 1, so the makespan counts setups: at least
+    // the averaging bound must show up in any schedule we produce.
+    let lb = reduction_makespan_lower_bound(&red, gf2_integral_optimum(3));
+    assert!(res.makespan >= lb);
+}

@@ -1,0 +1,208 @@
+//! Cross-crate integration tests for the extension modules: timelines,
+//! splittable schedules, identical-machine algorithms, annealing, and the
+//! set cover LP — exercised together through the façade crate the way a
+//! downstream user would.
+
+use setup_scheduling::algos::identical::wrap_capacity;
+use setup_scheduling::algos::local_search::improve_uniform;
+use setup_scheduling::gen::scenarios::production_line;
+use setup_scheduling::gen::{
+    correlated_unrelated, splittable_stress, uniform_zipf, SetupWeight, ZipfParams,
+};
+use setup_scheduling::prelude::*;
+use setup_scheduling::setcover::{
+    greedy_cover, lp_cover, randomized_rounding_cover, SetCoverInstance,
+};
+
+#[test]
+fn every_uniform_algorithm_agrees_with_its_timeline() {
+    // One instance, four algorithms: the timeline layer must agree with
+    // the evaluator for each of them.
+    let inst = uniform_zipf(&ZipfParams {
+        n: 30,
+        m: 4,
+        k: 6,
+        theta: 1.0,
+        speed_range: (1, 1),
+        ..Default::default()
+    });
+    let schedules = vec![
+        lpt_with_setups(&inst),
+        wrap_identical(&inst),
+        batch_lpt_identical(&inst),
+        anneal_uniform(&inst, &lpt_with_setups(&inst), &AnnealConfig::default()).schedule,
+    ];
+    for sched in schedules {
+        let tl = Timeline::from_uniform(&inst, &sched).expect("valid schedule");
+        tl.validate().expect("batching invariants");
+        assert_eq!(tl.makespan(), uniform_makespan(&inst, &sched).expect("valid"));
+    }
+}
+
+#[test]
+fn split_vs_unsplit_vs_exact_sandwich() {
+    // T*(split LP) ≤ split optimum ≤ integral optimum ≤ unsplit rounding,
+    // and the measured split makespan sits within 2·T*.
+    let inst = splittable_stress(3, 4, 6, 42);
+    let split = solve_splittable_ra_class_uniform(&inst);
+    let unsplit = solve_ra_class_uniform(&inst);
+    let exact = exact_unrelated(&inst, 1 << 24);
+    assert!(exact.complete, "exact reference must finish at this size");
+    assert!(split.t_star as f64 <= exact.makespan as f64 + 1e-9);
+    assert!(split.makespan <= 2.0 * split.t_star as f64 + 1e-6);
+    assert!(unsplit.makespan <= 2 * unsplit.t_star);
+    assert!(unsplit.t_star <= exact.makespan);
+}
+
+#[test]
+fn annealing_as_post_optimizer_never_hurts_any_start() {
+    let inst = production_line(40, 5, 8, 3);
+    for (name, start) in [
+        ("lpt", lpt_with_setups(&inst)),
+        ("greedy", setup_scheduling::algos::list::greedy_uniform(&inst)),
+    ] {
+        let before = uniform_makespan(&inst, &start).unwrap();
+        let res = anneal_uniform(
+            &inst,
+            &start,
+            &AnnealConfig { iterations: 8_000, seed: 1, ..AnnealConfig::default() },
+        );
+        let after = uniform_makespan(&inst, &res.schedule).unwrap();
+        assert!(after <= before, "{name}: annealing worsened {before} → {after}");
+    }
+}
+
+#[test]
+fn annealing_and_descent_agree_on_validity() {
+    let inst = production_line(30, 4, 6, 9);
+    let start = setup_scheduling::algos::list::greedy_uniform(&inst);
+    let descended = improve_uniform(&inst, &start, 200).schedule;
+    let annealed = anneal_uniform(&inst, &descended, &AnnealConfig::default()).schedule;
+    let tl = Timeline::from_uniform(&inst, &annealed).expect("valid");
+    tl.validate().expect("still a batched schedule");
+}
+
+#[test]
+fn wrap_capacity_bound_holds_across_zipf_skews() {
+    for theta in [0.0, 0.8, 1.6] {
+        for seed in 0..4u64 {
+            let inst = uniform_zipf(&ZipfParams {
+                n: 60,
+                m: 6,
+                k: 10,
+                theta,
+                speed_range: (1, 1),
+                setups: SetupWeight::Heavy,
+                seed,
+                ..Default::default()
+            });
+            let sched = wrap_identical(&inst);
+            let ms = uniform_makespan(&inst, &sched).unwrap();
+            assert!(
+                ms <= Ratio::from_int(wrap_capacity(&inst)),
+                "theta {theta} seed {seed}: {ms} > {}",
+                wrap_capacity(&inst)
+            );
+        }
+    }
+}
+
+#[test]
+fn correlation_dial_interpolates_algorithm_choice() {
+    // At ρ = 100 the unrelated matrix is secretly identical machines: the
+    // randomized rounding and the greedy should both behave; at ρ = 0 the
+    // rounding's certified bound still holds. This is a smoke test that
+    // the dial produces valid instances across its range.
+    for rho in [0u32, 50, 100] {
+        let inst = correlated_unrelated(24, 4, 5, rho, (1, 30), SetupWeight::Moderate, 4);
+        let res = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed: 9 });
+        let env = (inst.n() as f64).ln() + (inst.m() as f64).ln();
+        assert!(
+            (res.makespan as f64) <= res.t_star as f64 * (2.0 * env + 4.0),
+            "rho {rho}: makespan {} far above envelope (T*={})",
+            res.makespan,
+            res.t_star
+        );
+    }
+}
+
+#[test]
+fn setcover_lp_chain_greedy_vs_rounding_vs_fractional() {
+    // Fractional ≤ exact ≤ greedy ≤ H_N · exact, rounding covers.
+    let inst = SetCoverInstance::new(
+        8,
+        vec![
+            vec![0, 1, 2],
+            vec![2, 3],
+            vec![3, 4, 5],
+            vec![5, 6],
+            vec![6, 7, 0],
+            vec![1, 4, 7],
+        ],
+    );
+    let frac = lp_cover(&inst).expect("coverable");
+    let greedy = greedy_cover(&inst).expect("coverable");
+    assert!(frac.value <= greedy.len() as f64 + 1e-9);
+    let rounded = randomized_rounding_cover(&inst, 2.0, 11).expect("coverable");
+    assert!(inst.is_cover(&rounded));
+    let h8: f64 = (1..=8).map(|i| 1.0 / i as f64).sum();
+    assert!(greedy.len() as f64 <= h8 * frac.value + 1.0);
+}
+
+#[test]
+fn splittable_shares_render_consistent_machine_loads() {
+    let inst = splittable_stress(4, 6, 10, 7);
+    let res = solve_splittable_ra_class_uniform(&inst);
+    let loads = res.schedule.machine_loads(&inst);
+    let max = loads.iter().copied().fold(0.0, f64::max);
+    assert!((max - res.makespan).abs() < 1e-9);
+    // Every share's machine is eligible for its class.
+    for (k, row) in res.schedule.shares().iter().enumerate() {
+        for share in row {
+            assert!(
+                inst.class_workload(share.machine, k) != INF,
+                "class {k} share on ineligible machine {}",
+                share.machine
+            );
+        }
+    }
+}
+
+#[test]
+fn ci_build_farm_zero_setups_favor_warm_nodes() {
+    // The scenario's point: warm caches (s_ik = 0) make machine choice
+    // matter beyond processing times. The rounding pipeline must exploit
+    // them and still certify against T*.
+    let inst = setup_scheduling::gen::scenarios::ci_build_farm(30, 5, 8, 21);
+    let stats = setup_scheduling::core::stats::unrelated_stats(&inst);
+    assert_eq!(stats.n, 30);
+    assert!(stats.density > 0.999, "farm matrices are dense");
+    let res = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed: 2 });
+    let ms = unrelated_makespan(&inst, &res.schedule).unwrap();
+    assert_eq!(ms, res.makespan);
+    assert!(res.t_star <= res.makespan);
+}
+
+#[test]
+fn stats_predict_the_e8_story() {
+    // Heavy-setup instances must show a larger setup-to-work ratio than
+    // light ones — the statistic the E8/E10 ablations pivot on.
+    use setup_scheduling::core::stats::uniform_stats;
+    use setup_scheduling::gen::{SetupWeight, UniformParams};
+    let light = uniform_stats(&setup_scheduling::gen::uniform(&UniformParams {
+        setups: SetupWeight::Light,
+        seed: 8,
+        ..Default::default()
+    }));
+    let heavy = uniform_stats(&setup_scheduling::gen::uniform(&UniformParams {
+        setups: SetupWeight::Heavy,
+        seed: 8,
+        ..Default::default()
+    }));
+    assert!(
+        heavy.setup_to_work > 4.0 * light.setup_to_work,
+        "heavy {} vs light {}",
+        heavy.setup_to_work,
+        light.setup_to_work
+    );
+}

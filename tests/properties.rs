@@ -1,0 +1,127 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setup_scheduling::algos::exact::exact_uniform;
+use setup_scheduling::algos::list::greedy_uniform;
+use setup_scheduling::algos::lpt::{lpt_with_setups, LPT_FACTOR};
+use setup_scheduling::core::batch::{map_schedule_back, replace_small_jobs};
+use setup_scheduling::core::bounds::{uniform_lower_bound, uniform_upper_bound};
+use setup_scheduling::core::simplify::{galvez_round, simplify};
+use setup_scheduling::prelude::*;
+
+/// Strategy: a small but structurally varied uniform instance.
+fn uniform_instance() -> impl Strategy<Value = UniformInstance> {
+    (
+        vec(1u64..=8, 1..=4),           // speeds
+        vec(0u64..=30, 1..=4),          // setups (zero allowed)
+        vec((0usize..4, 0u64..=40), 1..=12), // (class idx raw, size)
+    )
+        .prop_map(|(speeds, setups, raw_jobs)| {
+            let k = setups.len();
+            let jobs: Vec<Job> =
+                raw_jobs.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            UniformInstance::new(speeds, setups, jobs).expect("strategy builds valid instances")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lpt_schedule_is_valid_and_bounded(inst in uniform_instance()) {
+        let sched = lpt_with_setups(&inst);
+        let ms = uniform_makespan(&inst, &sched).expect("valid schedule");
+        let lb = uniform_lower_bound(&inst);
+        let ub = uniform_upper_bound(&inst);
+        prop_assert!(ms >= lb);
+        // Lemma 2.1 against the lower bound (a valid certification because
+        // lb ≤ Opt).
+        if !lb.is_zero() {
+            prop_assert!(
+                ms.to_f64() <= LPT_FACTOR * lb.to_f64() * (1.0 + 1e-12),
+                "ratio {} exceeds Lemma 2.1", ms.to_f64() / lb.to_f64()
+            );
+        }
+        // LPT never does worse than serializing everything on the fastest
+        // machine… up to one placeholder rounding per class. Check the safe
+        // direction only: ms is finite and ≥ lb, ub is ≥ lb.
+        prop_assert!(ub >= lb);
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_optimum(inst in uniform_instance()) {
+        prop_assume!(inst.n() <= 9); // keep B&B fast
+        let exact = exact_uniform(&inst, 1 << 22);
+        prop_assume!(exact.complete);
+        let lb = uniform_lower_bound(&inst);
+        let ub = uniform_upper_bound(&inst);
+        prop_assert!(lb <= exact.makespan, "lb {lb} > opt {}", exact.makespan);
+        prop_assert!(exact.makespan <= ub, "opt {} > ub {ub}", exact.makespan);
+        // Greedy is an upper bound on the optimum.
+        let grd = uniform_makespan(&inst, &greedy_uniform(&inst)).expect("valid");
+        prop_assert!(exact.makespan <= grd);
+    }
+
+    #[test]
+    fn placeholder_roundtrip_covers_all_jobs(inst in uniform_instance()) {
+        let (t, map) = replace_small_jobs(&inst, |k| inst.setup(k), |k| inst.setup(k).max(1));
+        // Round-trip any schedule of the transformed instance.
+        let sched_t = Schedule::new((0..t.n()).map(|j| j % inst.m()).collect());
+        let back = map_schedule_back(&map, &t, &sched_t, &inst);
+        prop_assert_eq!(back.n(), inst.n());
+        // Every job lands on a real machine and the schedule evaluates.
+        let ms = uniform_makespan(&inst, &back);
+        prop_assert!(ms.is_ok());
+    }
+
+    #[test]
+    fn galvez_round_is_monotone_bounded_idempotent(t in 0u64..100_000, q in 1u32..4) {
+        let q = 2u64.pow(q); // 2, 4, 8
+        let r = galvez_round(t, q);
+        prop_assert!(r >= t);
+        prop_assert!(r as u128 * q as u128 <= t.max(1) as u128 * (q + 1) as u128);
+        prop_assert_eq!(galvez_round(r, q), r);
+        if t > 0 {
+            prop_assert!(galvez_round(t - 1, q) <= r);
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_schedulability(inst in uniform_instance()) {
+        prop_assume!(inst.n() >= 1);
+        let lb = uniform_lower_bound(&inst);
+        prop_assume!(!lb.is_zero());
+        let t = lb.mul_int(3);
+        let s = simplify(&inst, t, 2);
+        // The simplified instance is well-formed and its sizes are scaled.
+        prop_assert_eq!(s.scale, 4);
+        prop_assert!(s.instance.m() >= 1);
+        // Any schedule of the simplified instance lifts to a valid schedule
+        // of the original.
+        let trivial = Schedule::new(vec![0; s.instance.n()]);
+        let lifted = s.lift_schedule(&trivial, &inst);
+        prop_assert!(uniform_makespan(&inst, &lifted).is_ok());
+    }
+
+    #[test]
+    fn schedule_evaluation_matches_manual_account(inst in uniform_instance()) {
+        // Independent re-computation of the load definition of Section 1.1.
+        let sched = Schedule::new((0..inst.n()).map(|j| j % inst.m()).collect());
+        let loads = uniform_loads(&inst, &sched).expect("valid");
+        for i in 0..inst.m() {
+            let mut work = 0u64;
+            let mut classes: Vec<usize> = Vec::new();
+            for j in 0..inst.n() {
+                if j % inst.m() == i {
+                    work += inst.job(j).size;
+                    if !classes.contains(&inst.job(j).class) {
+                        classes.push(inst.job(j).class);
+                    }
+                }
+            }
+            let setups: u64 = classes.iter().map(|&k| inst.setup(k)).sum();
+            prop_assert_eq!(loads[i], work + setups);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Failure injection: degenerate and adversarially malformed inputs must
+//! produce typed errors or valid schedules — never panics (other than the
+//! documented precondition panics) and never silently wrong loads.
+
+use setup_scheduling::core::error::ScheduleError;
+use setup_scheduling::core::timeline::TimelineError;
+use setup_scheduling::gen::{SetupWeight, UnrelatedParams};
+use setup_scheduling::prelude::*;
+
+#[test]
+fn zero_size_jobs_everywhere() {
+    // All-zero jobs still pay setups; every algorithm must keep loads exact.
+    let inst = UniformInstance::identical(
+        3,
+        vec![7, 3],
+        vec![Job::new(0, 0), Job::new(0, 0), Job::new(1, 0)],
+    )
+    .unwrap();
+    let sched = lpt_with_setups(&inst);
+    let ms = uniform_makespan(&inst, &sched).unwrap();
+    assert!(ms >= Ratio::new(3, 1), "setups must be paid: {ms}");
+    let tl = Timeline::from_uniform(&inst, &sched).unwrap();
+    tl.validate().unwrap();
+}
+
+#[test]
+fn zero_setup_classes_behave_like_classic_scheduling() {
+    let inst = UniformInstance::identical(
+        2,
+        vec![0],
+        vec![Job::new(0, 5), Job::new(0, 5), Job::new(0, 5), Job::new(0, 5)],
+    )
+    .unwrap();
+    let exact = exact_uniform(&inst, 1 << 20);
+    assert_eq!(exact.makespan, Ratio::new(10, 1));
+    let (_, lpt) = lpt_with_setups_makespan(&inst);
+    assert_eq!(lpt, Ratio::new(10, 1));
+}
+
+#[test]
+fn empty_classes_cost_nothing() {
+    // Classes 1 and 2 have no jobs: no algorithm may pay their setups.
+    let inst = UniformInstance::identical(
+        2,
+        vec![1, 1_000_000, 1_000_000],
+        vec![Job::new(0, 4), Job::new(0, 4)],
+    )
+    .unwrap();
+    let (_, ms) = lpt_with_setups_makespan(&inst);
+    assert!(ms <= Ratio::new(10, 1), "phantom setup paid: {ms}");
+    let w = wrap_identical(&inst);
+    assert!(uniform_makespan(&inst, &w).unwrap() <= Ratio::new(10, 1));
+}
+
+#[test]
+fn inf_heavy_unrelated_instances_stay_schedulable() {
+    // 70% infinite cells: generators guarantee feasibility; the rounding
+    // pipeline must return a valid schedule and certified T*.
+    let inst = setup_scheduling::gen::unrelated(&UnrelatedParams {
+        n: 30,
+        m: 5,
+        k: 6,
+        inf_pct: 70,
+        setups: SetupWeight::Moderate,
+        seed: 13,
+        ..Default::default()
+    });
+    let res = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed: 1 });
+    let ms = unrelated_makespan(&inst, &res.schedule).expect("must be valid despite INF maze");
+    assert_eq!(ms, res.makespan);
+    let tl = Timeline::from_unrelated(&inst, &res.schedule).unwrap();
+    tl.validate().unwrap();
+}
+
+#[test]
+fn schedule_evaluator_rejects_all_malformed_shapes() {
+    let inst = UniformInstance::identical(2, vec![1], vec![Job::new(0, 3)]).unwrap();
+    assert!(matches!(
+        uniform_loads(&inst, &Schedule::new(vec![])),
+        Err(ScheduleError::WrongLength { .. })
+    ));
+    assert!(matches!(
+        uniform_loads(&inst, &Schedule::new(vec![9])),
+        Err(ScheduleError::MachineOutOfRange { .. })
+    ));
+    // Timeline propagates the same failures instead of laying out garbage.
+    assert!(Timeline::from_uniform(&inst, &Schedule::new(vec![9])).is_err());
+}
+
+#[test]
+fn unrelated_inf_assignment_is_a_typed_error_not_a_big_number() {
+    let inst = UnrelatedInstance::new(
+        2,
+        vec![0],
+        vec![vec![INF, 3]],
+        vec![vec![1, 1]],
+    )
+    .unwrap();
+    let bad = Schedule::new(vec![0]);
+    assert!(matches!(
+        unrelated_loads(&inst, &bad),
+        Err(ScheduleError::InfiniteProcessingTime { job: 0, machine: 0 })
+    ));
+    assert!(Timeline::from_unrelated(&inst, &bad).is_err());
+}
+
+#[test]
+fn timeline_error_messages_name_the_culprit() {
+    // A timeline built by the constructors always validates…
+    let tl = Timeline::from_unrelated(
+        &UnrelatedInstance::new(1, vec![0], vec![vec![2]], vec![vec![1]]).unwrap(),
+        &Schedule::new(vec![0]),
+    )
+    .unwrap();
+    assert_eq!(tl.validate(), Ok(()));
+    // …and the error variants (reachable only through in-crate tampering,
+    // covered by sst-core's unit tests) carry actionable positions.
+    let err = TimelineError::SplitBatch { machine: 3, class: 7 };
+    assert!(err.to_string().contains("machine 3"));
+    assert!(err.to_string().contains("class 7"));
+    let err = TimelineError::JobBeforeSetup { machine: 1, job: 9 };
+    assert!(err.to_string().contains("job 9"));
+}
+
+#[test]
+fn annealer_survives_hostile_configs() {
+    let inst = UniformInstance::identical(2, vec![1], vec![Job::new(0, 4)]).unwrap();
+    let start = Schedule::new(vec![0]);
+    for cfg in [
+        AnnealConfig { iterations: 1, initial_temp_fraction: 0.0, ..Default::default() },
+        AnnealConfig { iterations: 100, cooling: 0.0, ..Default::default() },
+        AnnealConfig { iterations: 100, class_move_prob: 1.0, ..Default::default() },
+    ] {
+        let res = anneal_uniform(&inst, &start, &cfg);
+        uniform_makespan(&inst, &res.schedule).expect("always valid");
+    }
+}
+
+#[test]
+fn splittable_solver_handles_degenerate_classes() {
+    // A class whose every job has size zero still needs a setup share.
+    let inst = UnrelatedInstance::restricted_assignment(
+        2,
+        vec![0, 1],
+        vec![0, 9],
+        vec![vec![0, 1], vec![0, 1]],
+        vec![4, 1],
+        None,
+    )
+    .unwrap();
+    let res = solve_splittable_ra_class_uniform(&inst);
+    res.schedule.validate(&inst).unwrap();
+    assert!(res.makespan >= 4.0 - 1e-9, "zero-size class still pays setup somewhere");
+}
+
+#[test]
+fn single_machine_everything_collapses_gracefully() {
+    let inst = UniformInstance::new(vec![3], vec![2, 5], vec![Job::new(0, 6), Job::new(1, 9)])
+        .unwrap();
+    let (s1, m1) = lpt_with_setups_makespan(&inst);
+    let exact = exact_uniform(&inst, 1 << 16);
+    assert_eq!(m1, exact.makespan, "single machine: every algorithm is exact");
+    assert_eq!(s1.assignment(), &[0, 0]);
+    assert_eq!(m1, Ratio::new(22, 3));
+}
