@@ -9,6 +9,12 @@
 //! kinds as [`crate::local_search`] (single-job moves and batching-aware
 //! whole-class moves), with geometric cooling.
 //!
+//! Moves are proposed and evaluated through [`sst_core::tracker`]: a
+//! proposal is scored in `O(log m)` (`O(B + log m)` for unrelated class
+//! moves) *before* being applied, so rejected proposals cost no
+//! apply-and-revert round trip and the per-iteration makespan is a tracker
+//! query instead of an `O(m)` scan.
+//!
 //! Like every baseline in this workspace it is deterministic under a fixed
 //! seed and **never returns a schedule worse than its start** (the
 //! best-seen schedule is tracked and returned).
@@ -33,9 +39,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sst_core::instance::{is_finite, UniformInstance, UnrelatedInstance};
-use sst_core::ratio::Ratio;
-use sst_core::schedule::{unrelated_loads, uniform_loads, Schedule};
+use sst_core::instance::{UniformInstance, UnrelatedInstance};
+use sst_core::schedule::Schedule;
+use sst_core::tracker::{UniformLoadTracker, UnrelatedLoadTracker};
 
 /// Annealer parameters.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +82,12 @@ pub struct AnnealResult {
     pub improvements: usize,
 }
 
+/// A proposed move, shared by both environments.
+enum Proposal {
+    Job(usize, usize),
+    Class(usize, usize, usize),
+}
+
 /// Anneals a schedule on an unrelated instance.
 ///
 /// # Panics
@@ -85,18 +97,10 @@ pub fn anneal_unrelated(
     start: &Schedule,
     cfg: &AnnealConfig,
 ) -> AnnealResult {
-    let mut loads = unrelated_loads(inst, start).expect("valid start schedule");
+    let mut tracker = UnrelatedLoadTracker::new(inst, start).expect("valid start schedule");
     let m = inst.m();
-    let kk = inst.num_classes();
-    // count[i][k] — jobs of class k on machine i (for O(1) setup deltas).
-    let mut count = vec![vec![0u32; kk]; m];
-    for j in 0..inst.n() {
-        count[start.machine_of(j)][inst.class_of(j)] += 1;
-    }
-    let mut cur = start.clone();
-    let makespan = |loads: &[u64]| -> u64 { loads.iter().copied().max().unwrap_or(0) };
-    let mut cur_ms = makespan(&loads);
-    let mut best = cur.clone();
+    let mut cur_ms = tracker.makespan();
+    let mut best = start.clone();
     let mut best_ms = cur_ms;
     let mut temp = cur_ms as f64 * cfg.initial_temp_fraction;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -107,76 +111,41 @@ pub fn anneal_unrelated(
     }
     for _ in 0..cfg.iterations {
         let class_move = rng.gen::<f64>() < cfg.class_move_prob;
-        // Collect the set of jobs to move and the target machine.
-        let (jobs, from, to): (Vec<usize>, usize, usize) = if class_move {
-            let j0 = rng.gen_range(0..inst.n());
-            let from = cur.machine_of(j0);
-            let k = inst.class_of(j0);
-            let to = rng.gen_range(0..m);
-            if to == from || !is_finite(inst.setup(to, k)) {
-                temp *= cfg.cooling;
-                continue;
-            }
-            let batch: Vec<usize> = (0..inst.n())
-                .filter(|&j| cur.machine_of(j) == from && inst.class_of(j) == k)
-                .collect();
-            if batch.iter().any(|&j| !is_finite(inst.ptime(to, j))) {
-                temp *= cfg.cooling;
-                continue;
-            }
-            (batch, from, to)
-        } else {
-            let j = rng.gen_range(0..inst.n());
-            let from = cur.machine_of(j);
-            let to = rng.gen_range(0..m);
+        let j = rng.gen_range(0..inst.n());
+        let from = tracker.machine_of(j);
+        let to = rng.gen_range(0..m);
+        let (proposal, new_ms) = if class_move {
             let k = inst.class_of(j);
-            if to == from || !is_finite(inst.ptime(to, j)) || !is_finite(inst.setup(to, k)) {
-                temp *= cfg.cooling;
-                continue;
+            match tracker.eval_class_move(from, k, to) {
+                Some(ms) => (Proposal::Class(from, k, to), ms),
+                None => {
+                    temp *= cfg.cooling;
+                    continue;
+                }
             }
-            (vec![j], from, to)
-        };
-        // Apply deltas.
-        let apply = |loads: &mut [u64],
-                     count: &mut [Vec<u32>],
-                     cur: &mut Schedule,
-                     jobs: &[usize],
-                     from: usize,
-                     to: usize,
-                     inst: &UnrelatedInstance| {
-            for &j in jobs {
-                let k = inst.class_of(j);
-                let p_from = inst.ptime(from, j);
-                let p_to = inst.ptime(to, j);
-                loads[from] -= p_from;
-                count[from][k] -= 1;
-                if count[from][k] == 0 {
-                    loads[from] -= inst.setup(from, k);
+        } else {
+            match tracker.eval_job_move(j, to) {
+                Some(ms) => (Proposal::Job(j, to), ms),
+                None => {
+                    temp *= cfg.cooling;
+                    continue;
                 }
-                if count[to][k] == 0 {
-                    loads[to] += inst.setup(to, k);
-                }
-                count[to][k] += 1;
-                loads[to] += p_to;
-                cur.set(j, to);
             }
         };
-        apply(&mut loads, &mut count, &mut cur, &jobs, from, to, inst);
-        let new_ms = makespan(&loads);
         let delta = new_ms as f64 - cur_ms as f64;
-        let accept = delta <= 0.0
-            || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+        let accept = delta <= 0.0 || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
         if accept {
+            match proposal {
+                Proposal::Job(j, to) => tracker.apply_job_move(j, to),
+                Proposal::Class(from, k, to) => tracker.apply_class_move(from, k, to),
+            }
             accepted += 1;
             cur_ms = new_ms;
             if new_ms < best_ms {
                 best_ms = new_ms;
-                best = cur.clone();
+                best = tracker.schedule();
                 improvements += 1;
             }
-        } else {
-            // Revert.
-            apply(&mut loads, &mut count, &mut cur, &jobs, to, from, inst);
         }
         temp *= cfg.cooling;
     }
@@ -184,7 +153,7 @@ pub fn anneal_unrelated(
 }
 
 /// Anneals a schedule on a uniform instance (loads kept in exact work
-/// units; the makespan compares `work_i / v_i` as [`Ratio`]s).
+/// units; makespans compare `work_i / v_i` as [`sst_core::Ratio`]s).
 ///
 /// # Panics
 /// Panics if `start` is not a valid schedule for `inst`.
@@ -193,23 +162,10 @@ pub fn anneal_uniform(
     start: &Schedule,
     cfg: &AnnealConfig,
 ) -> AnnealResult {
-    let mut work = uniform_loads(inst, start).expect("valid start schedule");
+    let mut tracker = UniformLoadTracker::new(inst, start).expect("valid start schedule");
     let m = inst.m();
-    let kk = inst.num_classes();
-    let mut count = vec![vec![0u32; kk]; m];
-    for j in 0..inst.n() {
-        count[start.machine_of(j)][inst.job(j).class] += 1;
-    }
-    let makespan = |work: &[u64]| -> Ratio {
-        work.iter()
-            .zip(inst.speeds())
-            .map(|(&w, &v)| Ratio::new(w, v))
-            .max()
-            .unwrap_or(Ratio::ZERO)
-    };
-    let mut cur = start.clone();
-    let mut cur_ms = makespan(&work);
-    let mut best = cur.clone();
+    let mut cur_ms = tracker.makespan();
+    let mut best = start.clone();
     let mut best_ms = cur_ms;
     let mut temp = cur_ms.to_f64() * cfg.initial_temp_fraction;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -220,65 +176,41 @@ pub fn anneal_uniform(
     }
     for _ in 0..cfg.iterations {
         let class_move = rng.gen::<f64>() < cfg.class_move_prob;
-        let (jobs, from, to): (Vec<usize>, usize, usize) = if class_move {
-            let j0 = rng.gen_range(0..inst.n());
-            let from = cur.machine_of(j0);
-            let k = inst.job(j0).class;
-            let to = rng.gen_range(0..m);
-            if to == from {
-                temp *= cfg.cooling;
-                continue;
+        let j = rng.gen_range(0..inst.n());
+        let from = tracker.machine_of(j);
+        let to = rng.gen_range(0..m);
+        let (proposal, new_ms) = if class_move {
+            let k = inst.job(j).class;
+            match tracker.eval_class_move(from, k, to) {
+                Some(ms) => (Proposal::Class(from, k, to), ms),
+                None => {
+                    temp *= cfg.cooling;
+                    continue;
+                }
             }
-            let batch: Vec<usize> = (0..inst.n())
-                .filter(|&j| cur.machine_of(j) == from && inst.job(j).class == k)
-                .collect();
-            (batch, from, to)
         } else {
-            let j = rng.gen_range(0..inst.n());
-            let from = cur.machine_of(j);
-            let to = rng.gen_range(0..m);
-            if to == from {
-                temp *= cfg.cooling;
-                continue;
-            }
-            (vec![j], from, to)
-        };
-        let apply = |work: &mut [u64],
-                     count: &mut [Vec<u32>],
-                     cur: &mut Schedule,
-                     jobs: &[usize],
-                     from: usize,
-                     to: usize| {
-            for &j in jobs {
-                let job = inst.job(j);
-                work[from] -= job.size;
-                count[from][job.class] -= 1;
-                if count[from][job.class] == 0 {
-                    work[from] -= inst.setup(job.class);
+            match tracker.eval_job_move(j, to) {
+                Some(ms) => (Proposal::Job(j, to), ms),
+                None => {
+                    temp *= cfg.cooling;
+                    continue;
                 }
-                if count[to][job.class] == 0 {
-                    work[to] += inst.setup(job.class);
-                }
-                count[to][job.class] += 1;
-                work[to] += job.size;
-                cur.set(j, to);
             }
         };
-        apply(&mut work, &mut count, &mut cur, &jobs, from, to);
-        let new_ms = makespan(&work);
         let delta = new_ms.to_f64() - cur_ms.to_f64();
-        let accept = delta <= 0.0
-            || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+        let accept = delta <= 0.0 || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
         if accept {
+            match proposal {
+                Proposal::Job(j, to) => tracker.apply_job_move(j, to),
+                Proposal::Class(from, k, to) => tracker.apply_class_move(from, k, to),
+            }
             accepted += 1;
             cur_ms = new_ms;
             if new_ms < best_ms {
                 best_ms = new_ms;
-                best = cur.clone();
+                best = tracker.schedule();
                 improvements += 1;
             }
-        } else {
-            apply(&mut work, &mut count, &mut cur, &jobs, to, from);
         }
         temp *= cfg.cooling;
     }
@@ -289,7 +221,8 @@ pub fn anneal_uniform(
 mod tests {
     use super::*;
     use sst_core::instance::{Job, INF};
-    use sst_core::schedule::{unrelated_makespan, uniform_makespan};
+    use sst_core::ratio::Ratio;
+    use sst_core::schedule::{uniform_makespan, unrelated_makespan};
 
     fn cfg(seed: u64) -> AnnealConfig {
         AnnealConfig { iterations: 5_000, seed, ..AnnealConfig::default() }
@@ -322,10 +255,7 @@ mod tests {
         .unwrap();
         let start = Schedule::new(vec![0, 1, 1]);
         let res = anneal_uniform(&inst, &start, &cfg(7));
-        assert_eq!(
-            uniform_makespan(&inst, &res.schedule).unwrap(),
-            Ratio::new(13, 1)
-        );
+        assert_eq!(uniform_makespan(&inst, &res.schedule).unwrap(), Ratio::new(13, 1));
     }
 
     #[test]
@@ -416,9 +346,6 @@ mod tests {
             },
         );
         // Best possible split is 10/10.
-        assert_eq!(
-            uniform_makespan(&inst, &res.schedule).unwrap(),
-            Ratio::new(10, 1)
-        );
+        assert_eq!(uniform_makespan(&inst, &res.schedule).unwrap(), Ratio::new(10, 1));
     }
 }

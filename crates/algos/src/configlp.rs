@@ -171,8 +171,7 @@ pub fn config_lp_feasible(
         }
         // Duals: rows were added as [slack ub ×n][job eq ×n][machine le …].
         let job_dual = |j: usize| sol.duals[n + j];
-        let machine_dual =
-            |i: usize| machine_row[i].map(|r| sol.duals[n + n + r]).unwrap_or(0.0);
+        let machine_dual = |i: usize| machine_row[i].map(|r| sol.duals[n + n + r]).unwrap_or(0.0);
 
         // Pricing: per machine, maximize Σ_{j∈S} y_j over T-feasible S.
         // Enter any column with Σ y_j > −z_i (reduced cost < 0).
@@ -215,14 +214,15 @@ fn best_configuration(
     let tt = t as usize;
     let mut val = vec![0.0f64; tt + 1];
     let mut mask = vec![0u64; tt + 1];
-    for k in inst.nonempty_classes() {
+    for &k in inst.nonempty_classes() {
         let s = inst.setup(i, k);
         if !is_finite(s) || s > t {
             continue;
         }
         let jobs: Vec<usize> = inst
             .jobs_of_class(k)
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&j| {
                 let p = inst.ptime(i, j);
                 is_finite(p) && s + p <= t && dual(j) > 1e-9
@@ -236,10 +236,8 @@ fn best_configuration(
         let s_us = s as usize;
         let mut tval = vec![f64::NEG_INFINITY; tt + 1];
         let mut tmask = vec![0u64; tt + 1];
-        for b in s_us..=tt {
-            tval[b] = val[b - s_us];
-            tmask[b] = mask[b - s_us];
-        }
+        tval[s_us..=tt].copy_from_slice(&val[..=tt - s_us]);
+        tmask[s_us..=tt].copy_from_slice(&mask[..=tt - s_us]);
         for &j in &jobs {
             let p = inst.ptime(i, j) as usize;
             let y = dual(j);
@@ -309,13 +307,9 @@ mod tests {
         // (15 work + one setup). The configuration LP knows some machine
         // runs two whole jobs: bound = 22 = Opt. This is exactly the
         // integrality slack Corollary 3.4 blames on ILP-UM.
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0, 0, 0],
-            vec![vec![10, 10]; 3],
-            vec![vec![2, 2]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(2, vec![0, 0, 0], vec![vec![10, 10]; 3], vec![vec![2, 2]])
+                .unwrap();
         let weak = lp_makespan_lower_bound(&inst);
         let strong = config_lp_lower_bound(&inst, &limits());
         assert!(weak <= 17, "assignment LP splits job counts: T* = {weak}");
@@ -351,8 +345,9 @@ mod tests {
         };
         let ptimes: Vec<Vec<u64>> =
             (0..n).map(|j| (0..m).map(|i| h(j as u64, i as u64)).collect()).collect();
-        let setups: Vec<Vec<u64>> =
-            (0..k).map(|kk| (0..m).map(|i| h(kk as u64 + 50, i as u64) / 2 + 1).collect()).collect();
+        let setups: Vec<Vec<u64>> = (0..k)
+            .map(|kk| (0..m).map(|i| h(kk as u64 + 50, i as u64) / 2 + 1).collect())
+            .collect();
         let classes: Vec<usize> = (0..n).map(|j| j % k).collect();
         UnrelatedInstance::new(m, classes, ptimes, setups).unwrap()
     }
@@ -361,21 +356,12 @@ mod tests {
     fn feasible_at_greedy_upper_bound() {
         let inst = sst_gen_like(9);
         let ub = sst_core::bounds::unrelated_upper_bound(&inst);
-        assert_eq!(
-            config_lp_feasible(&inst, ub, &limits()),
-            ConfigFeasibility::Feasible
-        );
+        assert_eq!(config_lp_feasible(&inst, ub, &limits()), ConfigFeasibility::Feasible);
     }
 
     #[test]
     fn infeasible_below_single_job_floor() {
-        let inst = UnrelatedInstance::new(
-            1,
-            vec![0],
-            vec![vec![10]],
-            vec![vec![5]],
-        )
-        .unwrap();
+        let inst = UnrelatedInstance::new(1, vec![0], vec![vec![10]], vec![vec![5]]).unwrap();
         assert_eq!(config_lp_feasible(&inst, 14, &limits()), ConfigFeasibility::Infeasible);
         assert_eq!(config_lp_feasible(&inst, 15, &limits()), ConfigFeasibility::Feasible);
         assert_eq!(config_lp_lower_bound(&inst, &limits()), 15);
@@ -385,26 +371,17 @@ mod tests {
     fn setup_shared_within_configuration() {
         // Two jobs of one class (sizes 5, 5, setup 4) on one machine: a
         // single configuration holds both for T = 14 (= 4+5+5), not 18.
-        let inst = UnrelatedInstance::new(
-            1,
-            vec![0, 0],
-            vec![vec![5], vec![5]],
-            vec![vec![4]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(1, vec![0, 0], vec![vec![5], vec![5]], vec![vec![4]]).unwrap();
         assert_eq!(config_lp_lower_bound(&inst, &limits()), 14);
     }
 
     #[test]
     fn respects_inf_cells() {
         // Job 1 only runs on machine 1; configurations must respect it.
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0, 0],
-            vec![vec![6, 6], vec![INF, 6]],
-            vec![vec![1, 1]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(2, vec![0, 0], vec![vec![6, 6], vec![INF, 6]], vec![vec![1, 1]])
+                .unwrap();
         let bound = config_lp_lower_bound(&inst, &limits());
         // Opt: job1 → m1 (7), job0 → m0 (7) → 7.
         assert_eq!(bound, 7);
@@ -412,13 +389,7 @@ mod tests {
 
     #[test]
     fn unknown_on_oversized_guesses_stays_sound() {
-        let inst = UnrelatedInstance::new(
-            1,
-            vec![0],
-            vec![vec![100_000]],
-            vec![vec![1]],
-        )
-        .unwrap();
+        let inst = UnrelatedInstance::new(1, vec![0], vec![vec![100_000]], vec![vec![1]]).unwrap();
         let tight = ConfigLpLimits { max_t: 64, ..ConfigLpLimits::default() };
         // Every queried guess is over the DP cap → Unknown → bisection
         // collapses to the combinatorial lower bound. Sound, just weak.
@@ -437,13 +408,7 @@ mod tests {
     #[should_panic(expected = "n ≤ 64")]
     fn rejects_oversized_instances() {
         let n = 65;
-        let inst = UnrelatedInstance::new(
-            1,
-            vec![0; n],
-            vec![vec![1]; n],
-            vec![vec![1]],
-        )
-        .unwrap();
+        let inst = UnrelatedInstance::new(1, vec![0; n], vec![vec![1]; n], vec![vec![1]]).unwrap();
         let _ = config_lp_feasible(&inst, 100, &limits());
     }
 }

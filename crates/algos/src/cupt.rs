@@ -145,10 +145,10 @@ mod tests {
             vec![vec![1, INF], vec![INF, 2]],
         );
         let res = solve_class_uniform_ptimes(&inst);
-        for j in inst.jobs_of_class(0) {
+        for &j in inst.jobs_of_class(0) {
             assert_eq!(res.schedule.machine_of(j), 0);
         }
-        for j in inst.jobs_of_class(1) {
+        for &j in inst.jobs_of_class(1) {
             assert_eq!(res.schedule.machine_of(j), 1);
         }
     }
@@ -156,24 +156,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "class-uniform processing times")]
     fn rejects_non_uniform_times() {
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0, 0],
-            vec![vec![1, 2], vec![2, 1]],
-            vec![vec![1, 1]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(2, vec![0, 0], vec![vec![1, 2], vec![2, 1]], vec![vec![1, 1]])
+                .unwrap();
         let _ = solve_class_uniform_ptimes(&inst);
     }
 
     #[test]
     fn big_fractional_class_splits_within_three() {
-        let inst = cupt_instance(
-            2,
-            vec![10],
-            vec![vec![4, 4]],
-            vec![vec![3, 3]],
-        );
+        let inst = cupt_instance(2, vec![10], vec![vec![4, 4]], vec![vec![3, 3]]);
         let res = solve_class_uniform_ptimes(&inst);
         let exact = crate::exact::exact_unrelated(&inst, 1 << 22);
         assert!(res.makespan <= 3 * exact.makespan);

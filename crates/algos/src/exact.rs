@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use sst_core::instance::{is_finite, UniformInstance, UnrelatedInstance};
 use sst_core::ratio::Ratio;
-use sst_core::schedule::{unrelated_makespan, uniform_makespan, Schedule};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
 
 /// Result of an exact search.
 #[derive(Debug, Clone)]
@@ -47,10 +47,15 @@ pub fn exact_uniform(inst: &UniformInstance, node_limit: u64) -> ExactResult<Rat
     let incumbent_sched = crate::list::greedy_uniform(inst);
     let incumbent = uniform_makespan(inst, &incumbent_sched).expect("greedy is valid");
     if inst.n() == 0 {
-        return ExactResult { makespan: Ratio::ZERO, schedule: incumbent_sched, nodes: 0, complete: true };
+        return ExactResult {
+            makespan: Ratio::ZERO,
+            schedule: incumbent_sched,
+            nodes: 0,
+            complete: true,
+        };
     }
     let mut order: Vec<usize> = (0..inst.n()).collect();
-    order.sort_by(|&a, &b| inst.job(b).size.cmp(&inst.job(a).size));
+    order.sort_by_key(|&a| std::cmp::Reverse(inst.job(a).size));
 
     struct Ctx<'a> {
         inst: &'a UniformInstance,
@@ -111,7 +116,7 @@ pub fn exact_uniform(inst: &UniformInstance, node_limit: u64) -> ExactResult<Rat
             }
             cands.push((finish, i, setup));
         }
-        cands.sort_by(|a, b| a.0.cmp(&b.0));
+        cands.sort_by_key(|c| c.0);
         for (_, i, setup) in cands {
             // Re-check against the (possibly improved) incumbent.
             if Ratio::new(c.loads[i] + job.size + setup, c.inst.speed(i)) >= c.best {
@@ -156,7 +161,7 @@ pub fn exact_uniform(inst: &UniformInstance, node_limit: u64) -> ExactResult<Rat
 /// (setups excluded — a conservative but always-valid area bound).
 fn suffix_sums(inst: &UniformInstance) -> Vec<u64> {
     let mut order: Vec<usize> = (0..inst.n()).collect();
-    order.sort_by(|&a, &b| inst.job(b).size.cmp(&inst.job(a).size));
+    order.sort_by_key(|&a| std::cmp::Reverse(inst.job(a).size));
     let mut suffix = vec![0u64; inst.n() + 1];
     for d in (0..inst.n()).rev() {
         suffix[d] = suffix[d + 1] + inst.job(order[d]).size;
@@ -384,12 +389,8 @@ mod tests {
     fn exact_uniform_tiny_known_optimum() {
         // 2 identical machines, one class with setup 2, jobs 3 and 3:
         // split: each machine 3+2=5; together: 6+2=8 on one. Opt = 5.
-        let inst = UniformInstance::identical(
-            2,
-            vec![2],
-            vec![Job::new(0, 3), Job::new(0, 3)],
-        )
-        .unwrap();
+        let inst =
+            UniformInstance::identical(2, vec![2], vec![Job::new(0, 3), Job::new(0, 3)]).unwrap();
         let res = exact_uniform(&inst, 1 << 20);
         assert!(res.complete);
         assert_eq!(res.makespan, Ratio::new(5, 1));
@@ -427,12 +428,9 @@ mod tests {
         // Speeds 3 and 1; jobs 6 and 3 of separate zero-setup classes:
         // both on fast: 9/3 = 3; split 6/3=2 & 3/1=3 → 3; or 3 on fast, 6 slow: 6.
         // Opt = 3.
-        let inst = UniformInstance::new(
-            vec![3, 1],
-            vec![0, 0],
-            vec![Job::new(0, 6), Job::new(1, 3)],
-        )
-        .unwrap();
+        let inst =
+            UniformInstance::new(vec![3, 1], vec![0, 0], vec![Job::new(0, 6), Job::new(1, 3)])
+                .unwrap();
         let res = exact_uniform(&inst, 1 << 20);
         assert_eq!(res.makespan, Ratio::new(3, 1));
     }
@@ -481,9 +479,7 @@ mod tests {
         let mut classes = Vec::new();
         for j in 0..n {
             classes.push(j % 3);
-            ptimes.push(
-                (0..m).map(|i| 1 + ((j * 7 + i * 13 + j * i) % 11) as u64).collect(),
-            );
+            ptimes.push((0..m).map(|i| 1 + ((j * 7 + i * 13 + j * i) % 11) as u64).collect());
         }
         let setups = vec![vec![3; m], vec![5; m], vec![2; m]];
         let inst = UnrelatedInstance::new(m, classes, ptimes, setups).unwrap();
@@ -491,10 +487,7 @@ mod tests {
         let par = exact_unrelated_parallel(&inst, 1 << 24, 4);
         assert!(seq.complete && par.complete);
         assert_eq!(seq.makespan, par.makespan);
-        assert_eq!(
-            unrelated_makespan(&inst, &par.schedule).unwrap(),
-            par.makespan
-        );
+        assert_eq!(unrelated_makespan(&inst, &par.schedule).unwrap(), par.makespan);
     }
 
     #[test]

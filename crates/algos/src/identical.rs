@@ -65,12 +65,7 @@ pub fn wrap_capacity(inst: &UniformInstance) -> u64 {
     }
     let m = inst.m() as u64;
     let w = inst.total_work_with_min_setups();
-    let s_max = inst
-        .nonempty_classes()
-        .iter()
-        .map(|&k| inst.setup(k))
-        .max()
-        .unwrap_or(0);
+    let s_max = inst.nonempty_classes().iter().map(|&k| inst.setup(k)).max().unwrap_or(0);
     let p_max = (0..inst.n()).map(|j| inst.job(j).size).max().unwrap_or(0);
     (w + (m - 1) * s_max).div_ceil(m) + s_max + p_max
 }
@@ -102,10 +97,10 @@ pub fn wrap_identical(inst: &UniformInstance) -> Schedule {
     // (class, its jobs) in class-id order, jobs in job-id order.
     let mut pending: Option<ClassId> = None; // class currently open on `machine`
     let place = |j: JobId,
-                     k: ClassId,
-                     machine: &mut usize,
-                     load: &mut u64,
-                     pending: &mut Option<ClassId>| {
+                 k: ClassId,
+                 machine: &mut usize,
+                 load: &mut u64,
+                 pending: &mut Option<ClassId>| {
         let p = inst.job(j).size;
         let s = inst.setup(k);
         // Cost of putting j here now: p, plus s if the class is not open.
@@ -121,7 +116,7 @@ pub fn wrap_identical(inst: &UniformInstance) -> Schedule {
         j
     };
     for k in 0..inst.num_classes() {
-        for j in inst.jobs_of_class(k) {
+        for &j in inst.jobs_of_class(k) {
             let jj = place(j, k, &mut machine, &mut load, &mut pending);
             assignment[jj] = machine;
         }
@@ -140,10 +135,7 @@ pub fn wrap_identical(inst: &UniformInstance) -> Schedule {
 /// # Panics
 /// Panics if the instance is not identical.
 pub fn batch_lpt_identical(inst: &UniformInstance) -> Schedule {
-    assert!(
-        inst.is_identical(),
-        "batch_lpt_identical requires identical machines"
-    );
+    assert!(inst.is_identical(), "batch_lpt_identical requires identical machines");
     crate::lpt::lpt_with_setups(inst)
 }
 
@@ -171,10 +163,7 @@ mod tests {
         let lb = uniform_lower_bound(inst);
         if !lb.is_zero() {
             let ratio = ms.div(lb);
-            assert!(
-                ratio <= Ratio::new(4, 1),
-                "wrap ratio {ratio} exceeds the factor-4 guarantee"
-            );
+            assert!(ratio <= Ratio::new(4, 1), "wrap ratio {ratio} exceeds the factor-4 guarantee");
             return ratio;
         }
         Ratio::ZERO
@@ -236,10 +225,7 @@ mod tests {
             let exact = crate::exact::exact_uniform(&inst, 1 << 22);
             assert!(exact.complete);
             let opt = exact.makespan;
-            assert!(
-                ms <= opt.mul_int(4),
-                "seed {seed}: wrap {ms} > 4·opt {opt}"
-            );
+            assert!(ms <= opt.mul_int(4), "seed {seed}: wrap {ms} > 4·opt {opt}");
         }
     }
 
@@ -268,16 +254,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "identical machines")]
     fn wrap_rejects_uniform_speeds() {
-        let inst =
-            UniformInstance::new(vec![1, 2], vec![1], vec![Job::new(0, 3)]).unwrap();
+        let inst = UniformInstance::new(vec![1, 2], vec![1], vec![Job::new(0, 3)]).unwrap();
         let _ = wrap_identical(&inst);
     }
 
     #[test]
     #[should_panic(expected = "identical machines")]
     fn batch_lpt_rejects_uniform_speeds() {
-        let inst =
-            UniformInstance::new(vec![1, 2], vec![1], vec![Job::new(0, 3)]).unwrap();
+        let inst = UniformInstance::new(vec![1, 2], vec![1], vec![Job::new(0, 3)]).unwrap();
         let _ = batch_lpt_identical(&inst);
     }
 
@@ -300,12 +284,7 @@ mod tests {
         let inst = identical(
             2,
             vec![100, 100],
-            vec![
-                Job::new(0, 1),
-                Job::new(0, 1),
-                Job::new(1, 1),
-                Job::new(1, 1),
-            ],
+            vec![Job::new(0, 1), Job::new(0, 1), Job::new(1, 1), Job::new(1, 1)],
         );
         let sched = wrap_identical(&inst);
         // Each class must sit on one machine: makespan ≤ 204 either way,

@@ -42,7 +42,7 @@ pub mod rounding;
 pub mod splittable;
 
 pub use cupt::solve_class_uniform_ptimes;
-pub use exact::{exact_unrelated, exact_unrelated_parallel, exact_uniform, ExactResult};
+pub use exact::{exact_uniform, exact_unrelated, exact_unrelated_parallel, ExactResult};
 pub use lpt::{lpt_with_setups, lpt_with_setups_makespan, LPT_FACTOR};
 pub use ra::{solve_ra_class_uniform, RaResult};
 pub use rounding::{solve_unrelated_randomized, RoundingConfig, RoundingResult};

@@ -21,7 +21,7 @@ pub fn oblivious_lpt_uniform(inst: &UniformInstance) -> Schedule {
 /// ratio* `(load + p + (setup if class new there)) / v`.
 pub fn greedy_uniform(inst: &UniformInstance) -> Schedule {
     let mut order: Vec<usize> = (0..inst.n()).collect();
-    order.sort_by(|&a, &b| inst.job(b).size.cmp(&inst.job(a).size));
+    order.sort_by_key(|&a| std::cmp::Reverse(inst.job(a).size));
     let mut load = vec![0u64; inst.m()];
     let mut has_class = vec![vec![false; inst.num_classes()]; inst.m()];
     let mut assignment = vec![0usize; inst.n()];
@@ -93,7 +93,7 @@ pub fn greedy_unrelated(inst: &UnrelatedInstance) -> Schedule {
 /// the machine minimizing the resulting load. A strong baseline when setups
 /// dominate, and pathological when one class holds most of the work.
 pub fn class_grouped_greedy_unrelated(inst: &UnrelatedInstance) -> Option<Schedule> {
-    let mut classes: Vec<usize> = inst.nonempty_classes();
+    let mut classes: Vec<usize> = inst.nonempty_classes().to_vec();
     // Order by decreasing best-case workload.
     classes.sort_by_key(|&k| {
         let best = (0..inst.m())
@@ -122,10 +122,9 @@ pub fn class_grouped_greedy_unrelated(inst: &UnrelatedInstance) -> Option<Schedu
         // A class may be unplaceable atomically (no machine hosts *all* its
         // jobs) even though the instance is schedulable job-by-job.
         let (_, i) = best?;
-        load[i] = load[i]
-            .saturating_add(inst.class_workload(i, k))
-            .saturating_add(inst.setup(i, k));
-        for j in inst.jobs_of_class(k) {
+        load[i] =
+            load[i].saturating_add(inst.class_workload(i, k)).saturating_add(inst.setup(i, k));
+        for &j in inst.jobs_of_class(k) {
             assignment[j] = i;
         }
     }
@@ -136,7 +135,7 @@ pub fn class_grouped_greedy_unrelated(inst: &UnrelatedInstance) -> Option<Schedu
 mod tests {
     use super::*;
     use sst_core::instance::Job;
-    use sst_core::schedule::{unrelated_makespan, uniform_makespan};
+    use sst_core::schedule::{uniform_makespan, unrelated_makespan};
 
     #[test]
     fn lemma_2_1_batching_beats_oblivious_when_setups_dominate() {
@@ -163,12 +162,8 @@ mod tests {
         // Single class, setup 3, jobs 5 and 5, two machines: greedy reaches
         // the optimum (split, 8 = 5 + 3 per machine) and never does worse
         // than serializing everything.
-        let inst = UniformInstance::identical(
-            2,
-            vec![3],
-            vec![Job::new(0, 5), Job::new(0, 5)],
-        )
-        .unwrap();
+        let inst =
+            UniformInstance::identical(2, vec![3], vec![Job::new(0, 5), Job::new(0, 5)]).unwrap();
         let grd = uniform_makespan(&inst, &greedy_uniform(&inst)).unwrap();
         assert_eq!(grd, Ratio::new(8, 1));
     }

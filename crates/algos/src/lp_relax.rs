@@ -224,12 +224,8 @@ mod tests {
             for j in 0..inst.n() {
                 let k = inst.class_of(j);
                 for &(i, xv) in &f.x[j] {
-                    let yv = f
-                        .y[k]
-                        .iter()
-                        .find(|&&(ii, _)| ii == i)
-                        .map(|&(_, v)| v)
-                        .unwrap_or(0.0);
+                    let yv =
+                        f.y[k].iter().find(|&&(ii, _)| ii == i).map(|&(_, v)| v).unwrap_or(0.0);
                     assert!(yv + 1e-6 >= xv, "y_({i},{k})={yv} < x_({i},{j})={xv}");
                 }
             }
@@ -241,13 +237,8 @@ mod tests {
     #[test]
     fn respects_rule_5_pruning() {
         // Machine 1 infinite for job 0; T small prunes machine 0 too → infeasible.
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0],
-            vec![vec![10, INF]],
-            vec![vec![0, 0]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(2, vec![0], vec![vec![10, INF]], vec![vec![0, 0]]).unwrap();
         assert!(matches!(solve_ilp_um_relaxation(&inst, 9), LpRelaxOutcome::Infeasible));
         assert!(matches!(solve_ilp_um_relaxation(&inst, 10), LpRelaxOutcome::Feasible(_)));
         assert_eq!(lp_makespan_lower_bound(&inst), 10);

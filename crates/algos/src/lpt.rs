@@ -26,7 +26,7 @@ pub const LPT_FACTOR: f64 = 4.732050807568877;
 pub fn lpt_ignore_setups(inst: &UniformInstance) -> Schedule {
     let mut order: Vec<usize> = (0..inst.n()).collect();
     // Stable sort keeps equal sizes in job-id order → deterministic.
-    order.sort_by(|&a, &b| inst.job(b).size.cmp(&inst.job(a).size));
+    order.sort_by_key(|&a| std::cmp::Reverse(inst.job(a).size));
     let mut load = vec![0u64; inst.m()];
     let mut assignment = vec![0usize; inst.n()];
     for &j in &order {
@@ -51,11 +51,7 @@ pub fn lpt_with_setups(inst: &UniformInstance) -> Schedule {
     // placeholders; their jobs are never "smaller than the setup" anyway
     // (sizes are ≥ 0 = s_k), so the threshold test below excludes them
     // naturally (p < 0 is impossible).
-    let (transformed, map) = replace_small_jobs(
-        inst,
-        |k| inst.setup(k),
-        |k| inst.setup(k).max(1),
-    );
+    let (transformed, map) = replace_small_jobs(inst, |k| inst.setup(k), |k| inst.setup(k).max(1));
     let sched_t = lpt_ignore_setups(&transformed);
     map_schedule_back(&map, &transformed, &sched_t, inst)
 }
@@ -110,15 +106,11 @@ mod tests {
         // 10 unit jobs of a class with setup 10 on 2 identical machines.
         // Naively spreading them pays 2 setups; the transform batches them
         // into one placeholder of size 10, keeping one setup.
-        let inst = UniformInstance::identical(
-            2,
-            vec![10],
-            (0..10).map(|_| Job::new(0, 1)).collect(),
-        )
-        .unwrap();
+        let inst =
+            UniformInstance::identical(2, vec![10], (0..10).map(|_| Job::new(0, 1)).collect())
+                .unwrap();
         let s = lpt_with_setups(&inst);
-        let machines: std::collections::BTreeSet<usize> =
-            s.assignment().iter().copied().collect();
+        let machines: std::collections::BTreeSet<usize> = s.assignment().iter().copied().collect();
         assert_eq!(machines.len(), 1, "batched jobs should share one machine");
         let (_, ms) = lpt_with_setups_makespan(&inst);
         assert_eq!(ms, Ratio::new(20, 1));
@@ -127,15 +119,10 @@ mod tests {
     #[test]
     fn ratio_stays_below_lemma_bound_on_stress_mix() {
         // Deterministic stress mix of classes/sizes/speeds.
-        let jobs: Vec<Job> = (0..60)
-            .map(|x| Job::new(x % 7, 1 + ((x * x * 2654435761usize) % 97) as u64))
-            .collect();
-        let inst = UniformInstance::new(
-            vec![1, 2, 3, 5, 8],
-            vec![13, 1, 40, 7, 22, 5, 60],
-            jobs,
-        )
-        .unwrap();
+        let jobs: Vec<Job> =
+            (0..60).map(|x| Job::new(x % 7, 1 + ((x * x * 2654435761usize) % 97) as u64)).collect();
+        let inst =
+            UniformInstance::new(vec![1, 2, 3, 5, 8], vec![13, 1, 40, 7, 22, 5, 60], jobs).unwrap();
         let (_, ms) = lpt_with_setups_makespan(&inst);
         let lb = uniform_lower_bound(&inst);
         let ratio = ms.to_f64() / lb.to_f64();

@@ -67,9 +67,8 @@ fn lst_decide(inst: &UnrelatedInstance, t: u64) -> Decision<Schedule> {
         lp.add_constraint(&coeffs, Relation::Eq, 1.0);
     }
     for i in 0..m {
-        let coeffs: Vec<_> = (0..n)
-            .filter_map(|j| xvar[j][i].map(|v| (v, inst.ptime(i, j) as f64)))
-            .collect();
+        let coeffs: Vec<_> =
+            (0..n).filter_map(|j| xvar[j][i].map(|v| (v, inst.ptime(i, j) as f64))).collect();
         if !coeffs.is_empty() {
             lp.add_constraint(&coeffs, Relation::Le, t as f64);
         }
@@ -106,9 +105,8 @@ fn lst_decide(inst: &UnrelatedInstance, t: u64) -> Decision<Schedule> {
         if *slot == usize::MAX {
             // Each fractional job keeps ≥ 1 edge; machines are unique among
             // kept edges, so any choice leaves ≤ 1 extra job per machine.
-            *slot = *etilde.kept[j]
-                .first()
-                .expect("fractional jobs keep at least one support edge");
+            *slot =
+                *etilde.kept[j].first().expect("fractional jobs keep at least one support edge");
         }
     }
     Decision::Feasible(Schedule::new(assignment))
@@ -129,11 +127,7 @@ pub fn lst_ignore_setups(inst: &UnrelatedInstance) -> LstResult {
     // Bounds for the *setup-free* problem.
     let lb = (0..inst.n())
         .map(|j| {
-            (0..inst.m())
-                .map(|i| inst.ptime(i, j))
-                .filter(|&p| is_finite(p))
-                .min()
-                .unwrap_or(0)
+            (0..inst.m()).map(|i| inst.ptime(i, j)).filter(|&p| is_finite(p)).min().unwrap_or(0)
         })
         .max()
         .unwrap_or(0);
@@ -201,13 +195,8 @@ mod tests {
         // splits the jobs (balanced, no-setup view), paying the setup twice;
         // the setup-aware optimum batches.
         let n = 8;
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0; n],
-            vec![vec![1, 1]; n],
-            vec![vec![100, 100]],
-        )
-        .unwrap();
+        let inst = UnrelatedInstance::new(2, vec![0; n], vec![vec![1, 1]; n], vec![vec![100, 100]])
+            .unwrap();
         let res = lst_ignore_setups(&inst);
         let exact = crate::exact::exact_unrelated(&inst, 1 << 22);
         assert!(exact.complete);
@@ -226,13 +215,8 @@ mod tests {
         // Force fractionality: 3 identical jobs on 2 identical machines at
         // the threshold guess. After rounding, each machine carries at most
         // ⌈3/2⌉ + 1 jobs worth ≤ 2t of processing.
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0, 0, 0],
-            vec![vec![2, 2]; 3],
-            vec![vec![0, 0]],
-        )
-        .unwrap();
+        let inst = UnrelatedInstance::new(2, vec![0, 0, 0], vec![vec![2, 2]; 3], vec![vec![0, 0]])
+            .unwrap();
         let res = lst_ignore_setups(&inst);
         assert!(res.makespan_no_setups <= 2 * res.t_star.max(1));
         assert!(res.makespan_no_setups <= 6);

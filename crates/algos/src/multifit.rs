@@ -45,20 +45,17 @@ pub fn ffd_decide(inst: &UniformInstance, t: Ratio) -> Decision<Schedule> {
     // Phase 1: whole classes as batches, largest batch first.
     let mut batches: Vec<(u64, usize, Vec<usize>)> = inst
         .nonempty_classes()
-        .into_iter()
-        .map(|k| {
-            let jobs = inst.jobs_of_class(k);
-            let size: u64 =
-                jobs.iter().map(|&j| inst.job(j).size).sum::<u64>() + inst.setup(k);
+        .iter()
+        .map(|&k| {
+            let jobs = inst.jobs_of_class(k).to_vec();
+            let size: u64 = jobs.iter().map(|&j| inst.job(j).size).sum::<u64>() + inst.setup(k);
             (size, k, jobs)
         })
         .collect();
     batches.sort_by_key(|&(size, _, _)| std::cmp::Reverse(size));
     let mut split_queue: Vec<(usize, Vec<usize>)> = Vec::new();
     for (size, k, jobs) in batches {
-        let slot = order.iter().copied().find(|&i| {
-            Ratio::from_int(used[i] + size) <= cap[i]
-        });
+        let slot = order.iter().copied().find(|&i| Ratio::from_int(used[i] + size) <= cap[i]);
         match slot {
             Some(i) => {
                 used[i] += size;
@@ -120,12 +117,11 @@ pub fn multifit_uniform(inst: &UniformInstance, grid_q: u64) -> MultifitResult {
             // ub is the everything-on-the-fastest-machine bound; FFD accepts
             // it by construction, so this branch is unreachable for valid
             // instances — but degrade gracefully anyway.
-            let sched = Schedule::new(vec![
-                (0..inst.m())
-                    .max_by_key(|&i| inst.speed(i))
-                    .expect("non-empty");
-                inst.n()
-            ]);
+            let sched =
+                Schedule::new(vec![
+                    (0..inst.m()).max_by_key(|&i| inst.speed(i)).expect("non-empty");
+                    inst.n()
+                ]);
             let makespan = uniform_makespan(inst, &sched).expect("valid");
             MultifitResult { schedule: sched, makespan, t_star: ub }
         }
@@ -153,12 +149,8 @@ mod tests {
     #[test]
     fn splits_oversized_classes() {
         // One class whose batch exceeds any machine at the optimum guess.
-        let inst = UniformInstance::identical(
-            2,
-            vec![2],
-            vec![Job::new(0, 10), Job::new(0, 10)],
-        )
-        .unwrap();
+        let inst =
+            UniformInstance::identical(2, vec![2], vec![Job::new(0, 10), Job::new(0, 10)]).unwrap();
         let res = multifit_uniform(&inst, 8);
         // Split: 10+2 per machine = 12. Batched: 22. FFD must split.
         assert_eq!(res.makespan, Ratio::new(12, 1));
@@ -184,12 +176,9 @@ mod tests {
 
     #[test]
     fn respects_speed_order() {
-        let inst = UniformInstance::new(
-            vec![1, 100],
-            vec![0],
-            vec![Job::new(0, 50), Job::new(0, 50)],
-        )
-        .unwrap();
+        let inst =
+            UniformInstance::new(vec![1, 100], vec![0], vec![Job::new(0, 50), Job::new(0, 50)])
+                .unwrap();
         let res = multifit_uniform(&inst, 8);
         // Everything on the fast machine: 100/100 = 1.
         assert_eq!(res.makespan, Ratio::new(1, 1));

@@ -36,11 +36,7 @@ pub struct Etilde {
 /// Panics if some component is not a pseudotree (more than one independent
 /// cycle) — that would contradict the basic-solution property and indicates
 /// the caller passed a non-vertex LP solution.
-pub fn compute_etilde(
-    edges: &[(usize, usize)],
-    num_classes: usize,
-    num_machines: usize,
-) -> Etilde {
+pub fn compute_etilde(edges: &[(usize, usize)], num_classes: usize, num_machines: usize) -> Etilde {
     // Node ids: class k → k, machine i → num_classes + i.
     let nn = num_classes + num_machines;
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nn]; // (neighbor, edge id)
@@ -92,8 +88,7 @@ pub fn compute_etilde(
         // leaves; remaining nodes with residual degree 2 form the cycle.
         let mut degree: std::collections::HashMap<usize, usize> =
             nodes.iter().map(|&u| (u, adj[u].len())).collect();
-        let mut queue: Vec<usize> =
-            nodes.iter().copied().filter(|u| degree[u] == 1).collect();
+        let mut queue: Vec<usize> = nodes.iter().copied().filter(|u| degree[u] == 1).collect();
         let mut alive: std::collections::HashSet<usize> = nodes.iter().copied().collect();
         while let Some(u) = queue.pop() {
             if !alive.remove(&u) {
@@ -176,10 +171,7 @@ pub fn compute_etilde(
         if in_etilde[e] {
             kept[k].push(i);
         } else {
-            assert!(
-                removed[k].is_none(),
-                "class {k} lost two support edges — Lemma 3.8 violated"
-            );
+            assert!(removed[k].is_none(), "class {k} lost two support edges — Lemma 3.8 violated");
             removed[k] = Some(i);
         }
     }

@@ -157,10 +157,10 @@ fn prepare(inst: &UniformInstance, t: Ratio, q: u64, inflation_exp: u32) -> Opti
     for (g, (core_by_class, mut fringe)) in per_group {
         let mut v = Vec::new();
         for (_k, mut jobs) in core_by_class {
-            jobs.sort_by(|a, b| b.size.cmp(&a.size));
+            jobs.sort_by_key(|j| std::cmp::Reverse(j.size));
             v.extend(jobs);
         }
-        fringe.sort_by(|a, b| b.size.cmp(&a.size));
+        fringe.sort_by_key(|j| std::cmp::Reverse(j.size));
         v.extend(fringe);
         items_by_group.insert(g, v);
     }
@@ -257,8 +257,8 @@ impl Search<'_> {
         let item = self.prep.items_by_group[&g][idx].clone();
         let setup = item.core_class.map(|k| self.prep.simp.instance.setup(k)).unwrap_or(0);
         // Flags describe the current class only: reset at class boundaries.
-        let boundary = idx == 0
-            || self.prep.items_by_group[&g][idx - 1].core_class != item.core_class;
+        let boundary =
+            idx == 0 || self.prep.items_by_group[&g][idx - 1].core_class != item.core_class;
         let saved_flags = if boundary { Some(self.flags.clone()) } else { None };
         if boundary {
             self.flags.iter_mut().for_each(|f| *f = false);
@@ -439,11 +439,8 @@ fn convert(prep: &Prep, outcome: &RelaxedOutcome) -> Schedule {
     for g in 0..=g_max {
         // Pools feeding this group's fill: F_{g−2}, plus everything below
         // −1 when g = 0.
-        let feeding: Vec<i64> = if g == 0 {
-            pools.keys().copied().filter(|&x| x <= -2).collect()
-        } else {
-            vec![g - 2]
-        };
+        let feeding: Vec<i64> =
+            if g == 0 { pools.keys().copied().filter(|&x| x <= -2).collect() } else { vec![g - 2] };
         for fg in feeding {
             if let Some(pool) = pools.remove(&fg) {
                 for (k, jobs) in pool.core {
@@ -607,8 +604,7 @@ mod tests {
     #[test]
     fn identical_machines_no_setups_reaches_near_optimum() {
         // 4 jobs of size 5 on 2 machines: optimum 10.
-        let inst =
-            UniformInstance::identical(2, vec![0], vec![Job::new(0, 5); 4]).unwrap();
+        let inst = UniformInstance::identical(2, vec![0], vec![Job::new(0, 5); 4]).unwrap();
         let res = ptas_uniform(&inst, &cfg());
         let exact = crate::exact::exact_uniform(&inst, 1 << 22);
         assert!(exact.complete);
@@ -637,13 +633,7 @@ mod tests {
         let inst = UniformInstance::new(
             vec![1, 2, 8],
             vec![2, 5],
-            vec![
-                Job::new(0, 16),
-                Job::new(0, 2),
-                Job::new(1, 10),
-                Job::new(1, 5),
-                Job::new(0, 1),
-            ],
+            vec![Job::new(0, 16), Job::new(0, 2), Job::new(1, 10), Job::new(1, 5), Job::new(0, 1)],
         )
         .unwrap();
         let res = ptas_uniform(&inst, &cfg());
@@ -707,9 +697,7 @@ mod tests {
 
     #[test]
     fn produces_valid_schedules_on_stress_mix() {
-        let jobs: Vec<Job> = (0..12)
-            .map(|x| Job::new(x % 3, 1 + ((x * 37) % 23) as u64))
-            .collect();
+        let jobs: Vec<Job> = (0..12).map(|x| Job::new(x % 3, 1 + ((x * 37) % 23) as u64)).collect();
         let inst = UniformInstance::new(vec![1, 4, 16], vec![6, 2, 11], jobs).unwrap();
         let res = ptas_uniform(&inst, &cfg());
         assert_eq!(res.schedule.n(), inst.n());

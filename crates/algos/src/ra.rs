@@ -57,7 +57,7 @@ pub fn solve_lp_relaxed_ra(
 ) -> Option<RaFractional> {
     let m = inst.m();
     let kk = inst.num_classes();
-    let classes: Vec<usize> = inst.nonempty_classes();
+    let classes: Vec<usize> = inst.nonempty_classes().to_vec();
     let mut lp = LpProblem::new(Sense::Min);
     let mut var = vec![vec![None; m]; kk];
     for &k in &classes {
@@ -83,11 +83,8 @@ pub fn solve_lp_relaxed_ra(
                 ExclusionRule::SetupPlusJob => {
                     // Any job of the class (class-uniform times): exclusion
                     // if s + p_ik > T.
-                    let per_job = inst
-                        .jobs_of_class(k)
-                        .first()
-                        .map(|&j| inst.ptime(i, j))
-                        .unwrap_or(0);
+                    let per_job =
+                        inst.jobs_of_class(k).first().map(|&j| inst.ptime(i, j)).unwrap_or(0);
                     if !is_finite(per_job) || s.saturating_add(per_job) > t {
                         continue;
                     }
@@ -110,9 +107,7 @@ pub fn solve_lp_relaxed_ra(
     }
     // (11) per machine.
     for i in 0..m {
-        let coeffs: Vec<_> = (0..kk)
-            .filter_map(|k| var[k][i].map(|(v, c)| (v, c)))
-            .collect();
+        let coeffs: Vec<_> = (0..kk).filter_map(|k| var[k][i]).collect();
         if !coeffs.is_empty() {
             lp.add_constraint(&coeffs, Relation::Le, t as f64);
         }
@@ -165,7 +160,7 @@ pub fn round_ra_class_uniform(inst: &UnrelatedInstance, frac: &RaFractional) -> 
             continue;
         }
         if let Some(i) = integral_home[k] {
-            for j in jobs {
+            for &j in jobs {
                 assignment[j] = i;
             }
             continue;
@@ -180,18 +175,15 @@ pub fn round_ra_class_uniform(inst: &UnrelatedInstance, frac: &RaFractional) -> 
         );
         // i⁺_k: a kept machine that absorbs the removed machine's share.
         let i_plus = *kept.last().expect("non-empty");
-        let moved = etilde.removed[k].map(|i| value(i)).unwrap_or(0.0);
+        let moved = etilde.removed[k].map(&value).unwrap_or(0.0);
         let pbar = inst.class_workload(i_plus, k) as f64;
         // Reserved slot sizes; i⁺ ordered last (Lemma 3.9's ordering).
-        let mut order: Vec<(usize, f64)> = kept
-            .iter()
-            .filter(|&&i| i != i_plus)
-            .map(|&i| (i, value(i) * pbar))
-            .collect();
+        let mut order: Vec<(usize, f64)> =
+            kept.iter().filter(|&&i| i != i_plus).map(|&i| (i, value(i) * pbar)).collect();
         order.push((i_plus, (value(i_plus) + moved) * pbar));
         // Greedy pour: current machine takes jobs while its reserved slot
         // has room; the final machine takes whatever remains.
-        let mut it = jobs.into_iter();
+        let mut it = jobs.iter().copied();
         let mut pending: Option<usize> = it.next();
         for (idx, &(i, slot)) in order.iter().enumerate() {
             let last = idx + 1 == order.len();
@@ -269,8 +261,8 @@ mod tests {
     /// Builds an RA instance with class-uniform restrictions.
     fn ra_instance(
         m: usize,
-        class_sizes: Vec<Vec<u64>>,       // class → job sizes
-        class_machines: Vec<Vec<usize>>,  // class → eligible machines
+        class_sizes: Vec<Vec<u64>>,      // class → job sizes
+        class_machines: Vec<Vec<usize>>, // class → eligible machines
         class_setups: Vec<u64>,
     ) -> UnrelatedInstance {
         let mut job_class = Vec::new();
@@ -321,14 +313,9 @@ mod tests {
 
     #[test]
     fn respects_restrictions() {
-        let inst = ra_instance(
-            2,
-            vec![vec![7, 7], vec![1]],
-            vec![vec![0], vec![0, 1]],
-            vec![1, 1],
-        );
+        let inst = ra_instance(2, vec![vec![7, 7], vec![1]], vec![vec![0], vec![0, 1]], vec![1, 1]);
         let res = solve_ra_class_uniform(&inst);
-        for j in inst.jobs_of_class(0) {
+        for &j in inst.jobs_of_class(0) {
             assert_eq!(res.schedule.machine_of(j), 0, "class 0 is pinned to machine 0");
         }
     }

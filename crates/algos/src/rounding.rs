@@ -87,11 +87,8 @@ pub fn round_fractional(
                     if assigned[j].is_some() {
                         continue; // keep-first (step 4)
                     }
-                    let xij = frac.x[j]
-                        .iter()
-                        .find(|&&(ii, _)| ii == i)
-                        .map(|&(_, v)| v)
-                        .unwrap_or(0.0);
+                    let xij =
+                        frac.x[j].iter().find(|&&(ii, _)| ii == i).map(|&(_, v)| v).unwrap_or(0.0);
                     if xij <= 0.0 {
                         continue;
                     }
@@ -117,10 +114,7 @@ pub fn round_fractional(
             assigned[j] = Some(i);
         }
     }
-    (
-        Schedule::new(assigned.into_iter().map(|a| a.expect("all assigned")).collect()),
-        fallback,
-    )
+    (Schedule::new(assigned.into_iter().map(|a| a.expect("all assigned")).collect()), fallback)
 }
 
 /// Best-of-R rounding: repeats [`round_fractional`] with derived seeds and
@@ -262,10 +256,11 @@ mod tests {
         })
         .unwrap();
         let cfg = RoundingConfig { c: 2.0, seed: 1 };
-        let (s1, _) = round_fractional(&inst, &frac, &RoundingConfig {
-            c: 2.0,
-            seed: cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
-        });
+        let (s1, _) = round_fractional(
+            &inst,
+            &frac,
+            &RoundingConfig { c: 2.0, seed: cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15) },
+        );
         let ms1 = unrelated_makespan(&inst, &s1).unwrap();
         let (_, best) = round_fractional_best_of(&inst, &frac, &cfg, 5);
         assert!(best <= ms1);

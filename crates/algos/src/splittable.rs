@@ -281,7 +281,7 @@ fn solve_split(
 pub fn splittable_lower_bound(inst: &UnrelatedInstance) -> u64 {
     let m = inst.m() as u64;
     let mut lb = 0u64;
-    for k in inst.nonempty_classes() {
+    for &k in inst.nonempty_classes() {
         let per_class = (0..inst.m())
             .filter_map(|i| {
                 let s = inst.setup(i, k);
@@ -305,7 +305,11 @@ pub fn splittable_lower_bound(inst: &UnrelatedInstance) -> u64 {
 const INTEGRAL_TOL: f64 = 1e-6;
 
 /// Splits the fractional support into integral homes and Ẽ structure.
-fn split_support(frac: &RaFractional, kk: usize, m: usize) -> (Vec<Option<usize>>, crate::pseudoforest::Etilde) {
+fn split_support(
+    frac: &RaFractional,
+    kk: usize,
+    m: usize,
+) -> (Vec<Option<usize>>, crate::pseudoforest::Etilde) {
     let mut support_edges: Vec<(usize, usize)> = Vec::new();
     let mut integral_home: Vec<Option<usize>> = vec![None; kk];
     for (k, row) in frac.xbar.iter().enumerate() {
@@ -341,7 +345,7 @@ fn round_split_move(inst: &UnrelatedInstance, frac: &RaFractional) -> SplitSched
         let kept = &etilde.kept[k];
         assert!(!kept.is_empty(), "fractional class keeps at least one support edge");
         let i_plus = *kept.last().expect("non-empty");
-        let moved = etilde.removed[k].map(|i| value(i)).unwrap_or(0.0);
+        let moved = etilde.removed[k].map(&value).unwrap_or(0.0);
         let mut total = 0.0;
         for &i in kept {
             let f = value(i) + if i == i_plus { moved } else { 0.0 };
@@ -372,7 +376,7 @@ fn round_split_double(inst: &UnrelatedInstance, frac: &RaFractional) -> SplitSch
         let value = |i: usize| -> f64 {
             frac.xbar[k].iter().find(|&&(ii, _)| ii == i).map(|&(_, v)| v).unwrap_or(0.0)
         };
-        let removed_share = etilde.removed[k].map(|i| value(i)).unwrap_or(0.0);
+        let removed_share = etilde.removed[k].map(&value).unwrap_or(0.0);
         if removed_share > 0.5 {
             let i_minus = etilde.removed[k].expect("share > 0 implies a removed machine");
             shares[k].push(SplitShare { machine: i_minus, fraction: 1.0 });
@@ -456,10 +460,7 @@ mod tests {
     fn validation_catches_bad_sum_and_bad_machine() {
         let inst = ra_instance(2, vec![vec![4]], vec![vec![0]], vec![2]);
         let short = SplitSchedule::new(vec![vec![SplitShare { machine: 0, fraction: 0.5 }]]);
-        assert!(matches!(
-            short.validate(&inst),
-            Err(SplitError::BadFractionSum { class: 0, .. })
-        ));
+        assert!(matches!(short.validate(&inst), Err(SplitError::BadFractionSum { class: 0, .. })));
         // machine 1 is ineligible (workload ∞ there).
         let wrong = SplitSchedule::new(vec![vec![SplitShare { machine: 1, fraction: 1.0 }]]);
         assert!(matches!(
@@ -532,13 +533,7 @@ mod tests {
         let inst = UnrelatedInstance::new(
             3,
             vec![0, 0, 1, 1, 2],
-            vec![
-                vec![4, 6, 8],
-                vec![4, 6, 8],
-                vec![9, 3, 5],
-                vec![9, 3, 5],
-                vec![2, 7, 4],
-            ],
+            vec![vec![4, 6, 8], vec![4, 6, 8], vec![9, 3, 5], vec![9, 3, 5], vec![2, 7, 4]],
             vec![vec![1, 2, 3], vec![2, 1, 2], vec![3, 3, 1]],
         )
         .unwrap();
@@ -557,12 +552,7 @@ mod tests {
     fn integral_lp_solutions_stay_integral() {
         // Classes pinned to disjoint machines: LP must be integral and the
         // split schedule puts each class wholly on its machine.
-        let inst = ra_instance(
-            2,
-            vec![vec![5, 5], vec![3, 3]],
-            vec![vec![0], vec![1]],
-            vec![1, 1],
-        );
+        let inst = ra_instance(2, vec![vec![5, 5], vec![3, 3]], vec![vec![0], vec![1]], vec![1, 1]);
         let res = solve_splittable_ra_class_uniform(&inst);
         assert_eq!(res.schedule.split_degree(0), 1);
         assert_eq!(res.schedule.split_degree(1), 1);
@@ -582,13 +572,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "class-uniform processing times")]
     fn cupt_split_rejects_non_uniform() {
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0, 0],
-            vec![vec![1, 2], vec![2, 1]],
-            vec![vec![1, 1]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(2, vec![0, 0], vec![vec![1, 2], vec![2, 1]], vec![vec![1, 1]])
+                .unwrap();
         let _ = solve_splittable_class_uniform_ptimes(&inst);
     }
 
@@ -604,13 +590,9 @@ mod tests {
 
     #[test]
     fn inf_setup_machines_never_receive_shares() {
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0, 0],
-            vec![vec![5, 5], vec![5, 5]],
-            vec![vec![2, INF]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(2, vec![0, 0], vec![vec![5, 5], vec![5, 5]], vec![vec![2, INF]])
+                .unwrap();
         assert!(inst.has_class_uniform_ptimes());
         let res = solve_splittable_class_uniform_ptimes(&inst);
         for share in res.schedule.shares_of(0) {

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use sst_algos::exact::{exact_uniform, exact_unrelated};
 use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
 use sst_core::ratio::Ratio;
-use sst_core::schedule::{unrelated_makespan, uniform_makespan, Schedule};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
 
 fn brute_force_uniform(inst: &UniformInstance) -> Ratio {
     let n = inst.n();
@@ -50,25 +50,18 @@ fn brute_force_unrelated(inst: &UnrelatedInstance) -> u64 {
 }
 
 fn tiny_uniform() -> impl Strategy<Value = UniformInstance> {
-    (
-        vec(1u64..=4, 1..=3),
-        vec(0u64..=10, 1..=3),
-        vec((0usize..3, 0u64..=12), 1..=6),
-    )
-        .prop_map(|(speeds, setups, raw)| {
+    (vec(1u64..=4, 1..=3), vec(0u64..=10, 1..=3), vec((0usize..3, 0u64..=12), 1..=6)).prop_map(
+        |(speeds, setups, raw)| {
             let k = setups.len();
             let jobs: Vec<Job> = raw.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
             UniformInstance::new(speeds, setups, jobs).expect("valid")
-        })
+        },
+    )
 }
 
 fn tiny_unrelated() -> impl Strategy<Value = UnrelatedInstance> {
-    (
-        1usize..=3,
-        vec((0usize..2, 1u64..=10), 1..=6),
-        vec(vec(0u64..=6, 3), 2),
-    )
-        .prop_map(|(m, raw, setup_rows)| {
+    (1usize..=3, vec((0usize..2, 1u64..=10), 1..=6), vec(vec(0u64..=6, 3), 2)).prop_map(
+        |(m, raw, setup_rows)| {
             let job_class: Vec<usize> = raw.iter().map(|&(c, _)| c % 2).collect();
             let ptimes: Vec<Vec<u64>> = raw
                 .iter()
@@ -80,7 +73,8 @@ fn tiny_unrelated() -> impl Strategy<Value = UnrelatedInstance> {
                 .map(|row| (0..m).map(|i| row[i % row.len()]).collect())
                 .collect();
             UnrelatedInstance::new(m, job_class, ptimes, setups).expect("valid")
-        })
+        },
+    )
 }
 
 proptest! {

@@ -3,7 +3,7 @@
 //! and boundary parameters.
 
 use sst_algos::cupt::solve_class_uniform_ptimes;
-use sst_algos::exact::{exact_unrelated, exact_uniform};
+use sst_algos::exact::{exact_uniform, exact_unrelated};
 use sst_algos::lpt::lpt_with_setups_makespan;
 use sst_algos::multifit::multifit_uniform;
 use sst_algos::ptas::{ptas_uniform, PtasConfig};
@@ -45,12 +45,9 @@ fn all_zero_setups_reduce_to_classic_scheduling() {
 #[test]
 fn one_class_per_job_maximum_fragmentation() {
     // K = n: every job its own class — setups cannot be shared at all.
-    let inst = UniformInstance::identical(
-        2,
-        vec![2, 2, 2, 2],
-        (0..4).map(|k| Job::new(k, 3)).collect(),
-    )
-    .unwrap();
+    let inst =
+        UniformInstance::identical(2, vec![2, 2, 2, 2], (0..4).map(|k| Job::new(k, 3)).collect())
+            .unwrap();
     let exact = exact_uniform(&inst, 1 << 22);
     assert!(exact.complete);
     // Two jobs per machine: 2·(3+2) = 10.
@@ -61,13 +58,9 @@ fn one_class_per_job_maximum_fragmentation() {
 
 #[test]
 fn rounding_on_single_machine_is_exact() {
-    let inst = UnrelatedInstance::new(
-        1,
-        vec![0, 1],
-        vec![vec![4], vec![6]],
-        vec![vec![2], vec![3]],
-    )
-    .unwrap();
+    let inst =
+        UnrelatedInstance::new(1, vec![0, 1], vec![vec![4], vec![6]], vec![vec![2], vec![3]])
+            .unwrap();
     let res = solve_unrelated_randomized(&inst, &RoundingConfig::default());
     assert_eq!(res.makespan, 15);
     assert_eq!(res.t_star, 15);
@@ -134,12 +127,8 @@ fn huge_speed_ratios_survive_simplification() {
 
 #[test]
 fn setup_larger_than_every_job_still_schedules() {
-    let inst = UniformInstance::identical(
-        3,
-        vec![1000],
-        (0..9).map(|_| Job::new(0, 1)).collect(),
-    )
-    .unwrap();
+    let inst = UniformInstance::identical(3, vec![1000], (0..9).map(|_| Job::new(0, 1)).collect())
+        .unwrap();
     let exact = exact_uniform(&inst, 1 << 22);
     assert!(exact.complete);
     // Setups are paid *in parallel*: 3 jobs + one setup per machine (1003)
@@ -155,14 +144,9 @@ fn inf_heavy_unrelated_instances_stay_schedulable() {
     let m = 4;
     let n = 8;
     let ptimes: Vec<Vec<u64>> = (0..n)
-        .map(|j| {
-            (0..m)
-                .map(|i| if i == j % m || i == (j + 1) % m { 3 } else { INF })
-                .collect()
-        })
+        .map(|j| (0..m).map(|i| if i == j % m || i == (j + 1) % m { 3 } else { INF }).collect())
         .collect();
-    let inst =
-        UnrelatedInstance::new(m, vec![0; n], ptimes, vec![vec![1; m]]).unwrap();
+    let inst = UnrelatedInstance::new(m, vec![0; n], ptimes, vec![vec![1; m]]).unwrap();
     let res = solve_unrelated_randomized(&inst, &RoundingConfig::default());
     assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
     let exact = exact_unrelated(&inst, 1 << 22);

@@ -13,8 +13,8 @@ use sst_core::schedule::unrelated_makespan;
 /// Strategy: a random *pseudoforest* bipartite support graph, built as a
 /// random forest plus at most one extra edge per component.
 fn pseudoforest_edges() -> impl Strategy<Value = (Vec<(usize, usize)>, usize, usize)> {
-    (2usize..6, 2usize..6, vec((0usize..100, 0usize..100), 0..12), proptest::bool::ANY)
-        .prop_map(|(kk, mm, raw, add_cycle)| {
+    (2usize..6, 2usize..6, vec((0usize..100, 0usize..100), 0..12), proptest::bool::ANY).prop_map(
+        |(kk, mm, raw, add_cycle)| {
             // Build a random spanning structure: attach node t (in BFS order
             // over the bipartite node sequence) to a random earlier node of
             // the other side.
@@ -47,14 +47,15 @@ fn pseudoforest_edges() -> impl Strategy<Value = (Vec<(usize, usize)>, usize, us
             edges.sort_unstable();
             edges.dedup();
             (edges, kk, mm)
-        })
+        },
+    )
 }
 
 fn small_unrelated() -> impl Strategy<Value = UnrelatedInstance> {
     (
-        2usize..4,                         // m
-        vec((0usize..3, 1u64..20), 3..8),  // (class raw, base size)
-        vec(1u64..8, 3),                   // setups per class
+        2usize..4,                        // m
+        vec((0usize..3, 1u64..20), 3..8), // (class raw, base size)
+        vec(1u64..8, 3),                  // setups per class
     )
         .prop_map(|(m, jobs, setups)| {
             let kk = setups.len();

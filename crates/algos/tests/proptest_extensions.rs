@@ -7,20 +7,20 @@ use proptest::prelude::*;
 use sst_algos::annealing::{anneal_uniform, anneal_unrelated, AnnealConfig};
 use sst_algos::configlp::{config_lp_lower_bound, ConfigLpLimits};
 use sst_algos::identical::{wrap_capacity, wrap_identical};
-use sst_algos::list::{greedy_unrelated, greedy_uniform};
+use sst_algos::list::{greedy_uniform, greedy_unrelated};
 use sst_algos::lp_relax::lp_makespan_lower_bound;
 use sst_algos::splittable::solve_splittable_ra_class_uniform;
 use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
 use sst_core::ratio::Ratio;
-use sst_core::schedule::{unrelated_makespan, uniform_makespan};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan};
 
 /// Strategy: a restricted-assignment instance with class-uniform
 /// restrictions (each class gets a nonempty machine subset).
 fn ra_cu_instance() -> impl Strategy<Value = UnrelatedInstance> {
     (
-        2usize..5,                         // m
-        vec((0usize..3, 1u64..15), 2..9),  // jobs (class raw, size)
-        vec((1u64..8, 0usize..7), 3),      // per class: (setup, machine-mask raw)
+        2usize..5,                        // m
+        vec((0usize..3, 1u64..15), 2..9), // jobs (class raw, size)
+        vec((1u64..8, 0usize..7), 3),     // per class: (setup, machine-mask raw)
     )
         .prop_map(|(m, jobs, class_info)| {
             let kk = class_info.len();
@@ -49,16 +49,13 @@ fn ra_cu_instance() -> impl Strategy<Value = UnrelatedInstance> {
 }
 
 fn identical_instance() -> impl Strategy<Value = UniformInstance> {
-    (
-        1usize..5,
-        vec(0u64..=25, 1..=4),
-        vec((0usize..4, 0u64..=30), 1..=14),
-    )
-        .prop_map(|(m, setups, raw)| {
+    (1usize..5, vec(0u64..=25, 1..=4), vec((0usize..4, 0u64..=30), 1..=14)).prop_map(
+        |(m, setups, raw)| {
             let k = setups.len();
             let jobs: Vec<Job> = raw.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
             UniformInstance::identical(m, setups, jobs).expect("valid")
-        })
+        },
+    )
 }
 
 proptest! {

@@ -17,19 +17,10 @@ fn bench(c: &mut Criterion) {
         ..Default::default()
     });
     g.bench_function("greedy_unrelated_500x16", |b| b.iter(|| greedy_unrelated(&big)));
-    g.bench_function("class_grouped_500x16", |b| {
-        b.iter(|| class_grouped_greedy_unrelated(&big))
-    });
-    let small = sst_gen::unrelated(&UnrelatedParams {
-        n: 11,
-        m: 3,
-        k: 4,
-        seed: 9,
-        ..Default::default()
-    });
-    g.bench_function("exact_bnb_seq_11x3", |b| {
-        b.iter(|| exact_unrelated(&small, 1 << 26))
-    });
+    g.bench_function("class_grouped_500x16", |b| b.iter(|| class_grouped_greedy_unrelated(&big)));
+    let small =
+        sst_gen::unrelated(&UnrelatedParams { n: 11, m: 3, k: 4, seed: 9, ..Default::default() });
+    g.bench_function("exact_bnb_seq_11x3", |b| b.iter(|| exact_unrelated(&small, 1 << 26)));
     g.bench_function("exact_bnb_par4_11x3", |b| {
         b.iter(|| exact_unrelated_parallel(&small, 1 << 26, 4))
     });

@@ -1,0 +1,50 @@
+//! Incremental (tracker-based) vs. full-recompute local-search descent.
+//!
+//! The acceptance bar for the tracker subsystem: on a generated n=2000,
+//! m=50, K=100 unrelated instance the incremental descent must be ≥ 10×
+//! faster than the historical full-recompute baseline. Both variants run
+//! the same neighborhood (job moves + whole-class moves off the
+//! bottleneck) from the same greedy start.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sst_algos::list::greedy_unrelated;
+use sst_algos::local_search::{improve_unrelated, improve_unrelated_full_recompute};
+use sst_gen::{SetupWeight, UnrelatedParams};
+
+fn params(n: usize, m: usize, k: usize) -> UnrelatedParams {
+    UnrelatedParams {
+        n,
+        m,
+        k,
+        size_range: (1, 1000),
+        machine_effect_quarters: (2, 12),
+        noise_pct: 25,
+        setups: SetupWeight::Moderate,
+        inf_pct: 0,
+        seed: 42,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_search_descent");
+    g.sample_size(10);
+    for &(n, m, k) in &[(200usize, 10usize, 20usize), (2000, 50, 100)] {
+        let inst = sst_gen::unrelated(&params(n, m, k));
+        let start = greedy_unrelated(&inst);
+        let label = format!("{n}x{m}x{k}");
+        g.bench_with_input(
+            BenchmarkId::new("incremental", &label),
+            &(&inst, &start),
+            |b, (inst, start)| b.iter(|| improve_unrelated(inst, start, 10_000)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_recompute", &label),
+            &(&inst, &start),
+            |b, (inst, start)| b.iter(|| improve_unrelated_full_recompute(inst, start, 10_000)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,19 +11,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("rounding_theorem_3_3");
     g.sample_size(10);
     for (n, m) in [(20usize, 4usize), (40, 6)] {
-        let inst = sst_gen::unrelated(&UnrelatedParams {
-            n,
-            m,
-            k: n / 5,
-            seed: 7,
-            ..Default::default()
-        });
+        let inst =
+            sst_gen::unrelated(&UnrelatedParams { n, m, k: n / 5, seed: 7, ..Default::default() });
         let ub = unrelated_upper_bound(&inst);
-        g.bench_with_input(
-            BenchmarkId::new("lp_solve", format!("{n}x{m}")),
-            &inst,
-            |b, inst| b.iter(|| solve_ilp_um_relaxation(inst, ub)),
-        );
+        g.bench_with_input(BenchmarkId::new("lp_solve", format!("{n}x{m}")), &inst, |b, inst| {
+            b.iter(|| solve_ilp_um_relaxation(inst, ub))
+        });
         g.bench_with_input(
             BenchmarkId::new("full_pipeline", format!("{n}x{m}")),
             &inst,

@@ -20,7 +20,7 @@ use sst_algos::rounding::{solve_unrelated_randomized, RoundingConfig};
 use sst_core::bounds::uniform_lower_bound;
 use sst_core::groups::SpeedGroups;
 use sst_core::ratio::Ratio;
-use sst_core::schedule::{unrelated_makespan, uniform_makespan};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan};
 use sst_gen::{SetupWeight, SpeedProfile, UniformParams, UnrelatedParams};
 
 /// A generic table: header + rows of cells, pretty-printable.
@@ -232,11 +232,8 @@ pub fn e2_ptas(quick: bool) -> Table {
 /// E3 — Theorem 3.3: rounding ratio grows at most like `log n + log m`;
 /// includes the `c`-parameter ablation.
 pub fn e3_rounding(quick: bool) -> Table {
-    let grid: Vec<(usize, usize)> = if quick {
-        vec![(20, 4), (40, 6)]
-    } else {
-        vec![(20, 4), (40, 6), (80, 8), (120, 10)]
-    };
+    let grid: Vec<(usize, usize)> =
+        if quick { vec![(20, 4), (40, 6)] } else { vec![(20, 4), (40, 6), (80, 8), (120, 10)] };
     let mut rows: Vec<Vec<String>> = grid
         .par_iter()
         .map(|&(n, m)| {
@@ -310,7 +307,14 @@ pub fn e3_rounding(quick: bool) -> Table {
         title: "Randomized rounding on unrelated machines (Theorem 3.3)",
         claim: "makespan = O(T*·(log n + log m)) whp; T* is the LP lower bound",
         header: vec![
-            "n", "m", "c", "mean-ratio", "worst-ratio", "ln n+ln m", "worst/env", "fallbacks",
+            "n",
+            "m",
+            "c",
+            "mean-ratio",
+            "worst-ratio",
+            "ln n+ln m",
+            "worst/env",
+            "fallbacks",
         ],
         rows,
     }
@@ -322,8 +326,8 @@ pub fn e4_hardness(quick: bool) -> Table {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sst_setcover::{
-        gf2_basis_cover, gf2_fractional_optimum, gf2_gap_instance, gf2_integral_optimum,
-        reduce, reduction_makespan_lower_bound, schedule_from_cover,
+        gf2_basis_cover, gf2_fractional_optimum, gf2_gap_instance, gf2_integral_optimum, reduce,
+        reduction_makespan_lower_bound, schedule_from_cover,
     };
     let ks: Vec<u32> = if quick { vec![2, 3, 4] } else { vec![2, 3, 4, 5, 6] };
     let rows = ks
@@ -366,15 +370,8 @@ pub fn e5_ra(quick: bool) -> Table {
     let mut rows: Vec<Vec<String>> = (0..seeds)
         .into_par_iter()
         .map(|seed| {
-            let inst = sst_gen::ra_class_uniform(
-                40,
-                6,
-                7,
-                3,
-                (1, 40),
-                SetupWeight::Moderate,
-                1300 + seed,
-            );
+            let inst =
+                sst_gen::ra_class_uniform(40, 6, 7, 3, (1, 40), SetupWeight::Moderate, 1300 + seed);
             let res = solve_ra_class_uniform(&inst);
             vec![
                 format!("40×6 (s{seed})"),
@@ -488,10 +485,10 @@ pub fn e7_groups(_quick: bool) -> Table {
             let total: usize = sizes.iter().sum();
             assert_eq!(total, 2 * inst.m(), "each machine counted twice");
             // Core groups of the classes (Remark: every class has one).
-            let core_groups: Vec<i64> = (0..inst.num_classes())
-                .filter_map(|k| groups.core_group(inst.setup(k)))
-                .collect();
-            let span = core_groups.iter().max().unwrap_or(&0) - core_groups.iter().min().unwrap_or(&0);
+            let core_groups: Vec<i64> =
+                (0..inst.num_classes()).filter_map(|k| groups.core_group(inst.setup(k))).collect();
+            let span =
+                core_groups.iter().max().unwrap_or(&0) - core_groups.iter().min().unwrap_or(&0);
             vec![
                 (*name).to_string(),
                 inst.m().to_string(),
@@ -530,9 +527,7 @@ pub fn e8_baselines(quick: bool) -> Table {
                 ..Default::default()
             });
             let lb = uniform_lower_bound(&inst).to_f64();
-            obl += uniform_makespan(&inst, &oblivious_lpt_uniform(&inst))
-                .expect("valid")
-                .to_f64()
+            obl += uniform_makespan(&inst, &oblivious_lpt_uniform(&inst)).expect("valid").to_f64()
                 / lb;
             lpt += lpt_with_setups_makespan(&inst).1.to_f64() / lb;
         }
@@ -593,10 +588,8 @@ pub fn e9_splittable(quick: bool) -> Table {
             let split = solve_splittable_ra_class_uniform(&inst);
             assert!(split.makespan <= 2.0 * split.t_star as f64 + 1e-6, "2T* violated");
             split.schedule.validate(&inst).expect("split invariants");
-            let degree = (0..inst.num_classes())
-                .map(|k| split.schedule.split_degree(k))
-                .max()
-                .unwrap_or(0);
+            let degree =
+                (0..inst.num_classes()).map(|k| split.schedule.split_degree(k)).max().unwrap_or(0);
             vec![
                 format!("ra-stress (s{seed})"),
                 split.t_star.to_string(),
@@ -615,10 +608,8 @@ pub fn e9_splittable(quick: bool) -> Table {
         let split = solve_splittable_class_uniform_ptimes(&inst);
         assert!(split.makespan <= 3.0 * split.t_star as f64 + 1e-6, "3T* violated");
         split.schedule.validate(&inst).expect("split invariants");
-        let degree = (0..inst.num_classes())
-            .map(|k| split.schedule.split_degree(k))
-            .max()
-            .unwrap_or(0);
+        let degree =
+            (0..inst.num_classes()).map(|k| split.schedule.split_degree(k)).max().unwrap_or(0);
         rows.push(vec![
             format!("cupt (s{seed})"),
             split.t_star.to_string(),
@@ -664,10 +655,9 @@ pub fn e10_identical(quick: bool) -> Table {
                     ..Default::default()
                 });
                 let lb = uniform_lower_bound(&inst).to_f64();
-                obl += uniform_makespan(&inst, &oblivious_lpt_uniform(&inst))
-                    .expect("valid")
-                    .to_f64()
-                    / lb;
+                obl +=
+                    uniform_makespan(&inst, &oblivious_lpt_uniform(&inst)).expect("valid").to_f64()
+                        / lb;
                 let wrapped = wrap_identical(&inst);
                 let wms = uniform_makespan(&inst, &wrapped).expect("valid");
                 assert!(
@@ -840,16 +830,21 @@ mod tests {
             rows: vec![vec!["1".into(), "x\\y".into()], vec!["2".into(), "z".into()]],
         };
         let json = tables_to_json(&[t]);
-        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-        assert_eq!(v[0]["id"], "EX");
-        assert_eq!(v[0]["rows"][0][1], "x\\y");
-        assert_eq!(v[0]["title"], "demo \"quoted\"");
+        use sst_core::io::json::JsonValue;
+        let v = sst_core::io::json::parse(&json).expect("valid JSON");
+        let JsonValue::Array(tables) = v else { panic!("expected array") };
+        let JsonValue::Object(table) = &tables[0] else { panic!("expected object") };
+        assert_eq!(table["id"], JsonValue::Str("EX".into()));
+        assert_eq!(table["title"], JsonValue::Str("demo \"quoted\"".into()));
+        let JsonValue::Array(rows) = &table["rows"] else { panic!("expected rows array") };
+        let JsonValue::Array(row0) = &rows[0] else { panic!("expected row array") };
+        assert_eq!(row0[1], JsonValue::Str("x\\y".into()));
     }
 
     #[test]
     fn tables_to_json_empty() {
         let json = tables_to_json(&[]);
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert!(v.as_array().unwrap().is_empty());
+        let v = sst_core::io::json::parse(&json).unwrap();
+        assert_eq!(v, sst_core::io::json::JsonValue::Array(vec![]));
     }
 }

@@ -4,8 +4,7 @@
 //! before it breaks a published table.
 
 use sst_bench::{
-    e1_lpt, e10_identical, e11_bounds, e4_hardness, e5_ra, e6_cupt, e7_groups, e9_splittable,
-    Table,
+    e10_identical, e11_bounds, e1_lpt, e4_hardness, e5_ra, e6_cupt, e7_groups, e9_splittable, Table,
 };
 
 fn cell_f64(t: &Table, row: usize, col: usize) -> f64 {
@@ -53,7 +52,7 @@ fn e5_and_e6_respect_their_bounds() {
 fn e7_group_accounting() {
     let t = e7_groups(true);
     assert_eq!(t.rows.len(), 4); // four speed profiles
-    // #groups column is a positive integer everywhere.
+                                 // #groups column is a positive integer everywhere.
     let g_col = t.header.iter().position(|&h| h == "#groups").unwrap();
     for row in &t.rows {
         let g: usize = row[g_col].parse().unwrap();

@@ -34,17 +34,14 @@ impl std::error::Error for ArgError {}
 /// Parses raw tokens (without the program name).
 pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
     let mut it = tokens.iter();
-    let command = it
-        .next()
-        .ok_or_else(|| ArgError("missing command; try `sst help`".into()))?
-        .clone();
+    let command =
+        it.next().ok_or_else(|| ArgError("missing command; try `sst help`".into()))?.clone();
     let mut positional = Vec::new();
     let mut flags = BTreeMap::new();
     while let Some(tok) = it.next() {
         if let Some(name) = tok.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{name} requires a value")))?;
+            let value =
+                it.next().ok_or_else(|| ArgError(format!("flag --{name} requires a value")))?;
             if flags.insert(name.to_string(), value.clone()).is_some() {
                 return Err(ArgError(format!("flag --{name} given twice")));
             }
@@ -73,9 +70,9 @@ impl Args {
     pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ArgError(format!("flag --{name}: cannot parse '{raw}'"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse '{raw}'")))
+            }
         }
     }
 
@@ -83,10 +80,7 @@ impl Args {
     pub fn reject_unknown_flags(&self, known: &[&str]) -> Result<(), ArgError> {
         for key in self.flags.keys() {
             if !known.contains(&key.as_str()) {
-                return Err(ArgError(format!(
-                    "unknown flag --{key}; known: {}",
-                    known.join(", ")
-                )));
+                return Err(ArgError(format!("unknown flag --{key}; known: {}", known.join(", "))));
             }
         }
         Ok(())

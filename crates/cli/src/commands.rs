@@ -2,18 +2,18 @@
 //! output as a `String` so tests drive them without a subprocess.
 
 use crate::args::{ArgError, Args};
+use rayon::prelude::*;
 use sst_algos::cupt::solve_class_uniform_ptimes;
-use sst_algos::exact::{exact_unrelated, exact_uniform};
-use sst_algos::list::{greedy_unrelated, greedy_uniform};
-use sst_algos::local_search::{improve_unrelated, improve_uniform};
+use sst_algos::exact::{exact_uniform, exact_unrelated};
+use sst_algos::list::{greedy_uniform, greedy_unrelated};
+use sst_algos::local_search::{improve_uniform, improve_unrelated};
 use sst_algos::lpt::lpt_with_setups_makespan;
 use sst_algos::ptas::{ptas_uniform, PtasConfig};
 use sst_algos::ra::solve_ra_class_uniform;
 use sst_algos::rounding::{solve_unrelated_randomized, RoundingConfig};
-use rayon::prelude::*;
 use sst_core::bounds::{uniform_lower_bound, unrelated_lower_bound};
 use sst_core::io;
-use sst_core::schedule::{unrelated_makespan, uniform_makespan, Schedule};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
 use sst_core::timeline::{render_gantt, render_gantt_svg, Timeline};
 use sst_gen::{SetupWeight, SpeedProfile, UniformParams, UnrelatedParams};
 
@@ -96,9 +96,7 @@ USAGE
 pub fn generate(args: &Args) -> Result<String, CliError> {
     args.reject_unknown_flags(&["out", "n", "m", "k", "seed", "setups", "eligible"])?;
     let family = args.pos(0, "family")?;
-    let out = args
-        .flag("out")
-        .ok_or_else(|| CliError("--out FILE is required".into()))?;
+    let out = args.flag("out").ok_or_else(|| CliError("--out FILE is required".into()))?;
     let n: usize = args.flag_parse("n", 40)?;
     let m: usize = args.flag_parse("m", 5)?;
     let k: usize = args.flag_parse("k", 6)?;
@@ -147,14 +145,9 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
                 seed,
             ))
         }
-        "cupt" => io::unrelated_to_json(&sst_gen::class_uniform_ptimes(
-            n,
-            m,
-            k,
-            (1, 40),
-            setups,
-            seed,
-        )),
+        "cupt" => {
+            io::unrelated_to_json(&sst_gen::class_uniform_ptimes(n, m, k, (1, 40), setups, seed))
+        }
         "production-line" => {
             io::uniform_to_json(&sst_gen::scenarios::production_line(n, m, k, seed))
         }
@@ -162,9 +155,7 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
             io::unrelated_to_json(&sst_gen::scenarios::compute_cluster(n, m, k, seed))
         }
         "print-shop" => io::unrelated_to_json(&sst_gen::scenarios::print_shop(n, m, k, seed)),
-        "ci-build-farm" => {
-            io::unrelated_to_json(&sst_gen::scenarios::ci_build_farm(n, m, k, seed))
-        }
+        "ci-build-farm" => io::unrelated_to_json(&sst_gen::scenarios::ci_build_farm(n, m, k, seed)),
         other => return Err(CliError(format!("unknown family '{other}'; see `sst help`"))),
     };
     std::fs::write(out, &json)?;
@@ -180,8 +171,7 @@ pub fn solve(args: &Args) -> Result<String, CliError> {
     let polish: usize = args.flag_parse("polish", 0)?;
     let nodes: u64 = args.flag_parse("nodes", 1 << 24)?;
     let mut out = String::new();
-    let schedule: Schedule;
-    match load_instance(path)? {
+    let schedule: Schedule = match load_instance(path)? {
         AnyInstance::Uniform(inst) => {
             let lb = uniform_lower_bound(&inst);
             let algo = if algo == "auto" { "lpt" } else { algo };
@@ -198,7 +188,8 @@ pub fn solve(args: &Args) -> Result<String, CliError> {
                 "greedy" => (greedy_uniform(&inst), "setup-aware greedy".to_string()),
                 "exact" => {
                     let res = exact_uniform(&inst, nodes);
-                    let tag = if res.complete { "exact (certified)" } else { "exact (node-capped)" };
+                    let tag =
+                        if res.complete { "exact (certified)" } else { "exact (node-capped)" };
                     (res.schedule, tag.to_string())
                 }
                 other => {
@@ -218,7 +209,7 @@ pub fn solve(args: &Args) -> Result<String, CliError> {
                 "{label}\nmakespan: {ms}\nlower bound: {lb}\ncertified ratio ≤ {:.3}\n",
                 ms.to_f64() / lb.to_f64().max(f64::MIN_POSITIVE)
             ));
-            schedule = sched;
+            sched
         }
         AnyInstance::Unrelated(inst) => {
             let lb = unrelated_lower_bound(&inst);
@@ -239,7 +230,8 @@ pub fn solve(args: &Args) -> Result<String, CliError> {
                 "greedy" => (greedy_unrelated(&inst), "setup-aware greedy".into(), None),
                 "exact" => {
                     let res = exact_unrelated(&inst, nodes);
-                    let tag = if res.complete { "exact (certified)" } else { "exact (node-capped)" };
+                    let tag =
+                        if res.complete { "exact (certified)" } else { "exact (node-capped)" };
                     (res.schedule, tag.into(), None)
                 }
                 other => {
@@ -264,9 +256,9 @@ pub fn solve(args: &Args) -> Result<String, CliError> {
                     ms as f64 / t_star.max(1) as f64
                 ));
             }
-            schedule = sched;
+            sched
         }
-    }
+    };
     if let Some(out_path) = args.flag("out") {
         std::fs::write(out_path, io::schedule_to_json(&schedule))?;
         out.push_str(&format!("schedule written to {out_path}\n"));
@@ -369,11 +361,15 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
                 rows.push(("exact b&b".into(), e.makespan.to_f64(), tag.into()));
             }
             rows.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut out = format!("lower bound: {lb:.3}
-");
+            let mut out = format!(
+                "lower bound: {lb:.3}
+"
+            );
             for (name, ms, tag) in rows {
-                out.push_str(&format!("{name:<16} {ms:>12.3}  ({tag})
-"));
+                out.push_str(&format!(
+                    "{name:<16} {ms:>12.3}  ({tag})
+"
+                ));
             }
             Ok(out)
         }
@@ -409,11 +405,15 @@ pub fn compare(args: &Args) -> Result<String, CliError> {
                 rows.push(("exact b&b".into(), e.makespan as f64, tag.into()));
             }
             rows.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut out = format!("lower bound: {lb}
-");
+            let mut out = format!(
+                "lower bound: {lb}
+"
+            );
             for (name, ms, tag) in rows {
-                out.push_str(&format!("{name:<20} {ms:>12.0}  ({tag})
-"));
+                out.push_str(&format!(
+                    "{name:<20} {ms:>12.0}  ({tag})
+"
+                ));
             }
             Ok(out)
         }
@@ -514,9 +514,8 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
                         return Err(CliError(format!("algo '{other}' not valid for {family}")))
                     }
                 };
-                let ms = uniform_makespan(&inst, &sched)
-                    .map_err(|e| CliError(e.to_string()))?
-                    .to_f64();
+                let ms =
+                    uniform_makespan(&inst, &sched).map_err(|e| CliError(e.to_string()))?.to_f64();
                 Ok(Row { n, seed, makespan: ms, bound: uniform_lower_bound(&inst).to_f64() })
             }
             "unrelated" | "ra" | "cupt" => {
@@ -529,7 +528,9 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
                         seed,
                         ..Default::default()
                     }),
-                    "ra" => sst_gen::ra_class_uniform(n, m, k, (m / 2).max(2), (1, 40), setups, seed),
+                    "ra" => {
+                        sst_gen::ra_class_uniform(n, m, k, (m / 2).max(2), (1, 40), setups, seed)
+                    }
                     _ => sst_gen::class_uniform_ptimes(n, m, k, (1, 40), setups, seed),
                 };
                 let algo = if algo == "auto" { "rounding" } else { algo.as_str() };
@@ -546,24 +547,19 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
                         let r = solve_class_uniform_ptimes(&inst);
                         (r.schedule, r.t_star as f64)
                     }
-                    "greedy" => {
-                        (greedy_unrelated(&inst), unrelated_lower_bound(&inst) as f64)
-                    }
+                    "greedy" => (greedy_unrelated(&inst), unrelated_lower_bound(&inst) as f64),
                     other => {
                         return Err(CliError(format!("algo '{other}' not valid for {family}")))
                     }
                 };
-                let ms = unrelated_makespan(&inst, &sched)
-                    .map_err(|e| CliError(e.to_string()))? as f64;
+                let ms =
+                    unrelated_makespan(&inst, &sched).map_err(|e| CliError(e.to_string()))? as f64;
                 Ok(Row { n, seed, makespan: ms, bound })
             }
             other => Err(CliError(format!("unknown family '{other}'"))),
         }
     };
-    let mut rows: Vec<Row> = grid
-        .par_iter()
-        .map(run_one)
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut rows: Vec<Row> = grid.par_iter().map(run_one).collect::<Result<Vec<_>, _>>()?;
     rows.sort_by_key(|r| (r.n, r.seed));
     let mut out = String::from("family,algo,n,m,k,seed,makespan,bound,ratio\n");
     for r in rows {
@@ -654,11 +650,10 @@ mod tests {
         .unwrap())
         .unwrap();
         assert!(g.contains("n=12"));
-        let s = run(&parse(&toks(&[
-            "solve", &inst_path, "--algo", "lpt", "--out", &sched_path,
-        ]))
-        .unwrap())
-        .unwrap();
+        let s =
+            run(&parse(&toks(&["solve", &inst_path, "--algo", "lpt", "--out", &sched_path]))
+                .unwrap())
+            .unwrap();
         assert!(s.contains("makespan:"), "{s}");
         let e = run(&parse(&toks(&["evaluate", &inst_path, &sched_path])).unwrap()).unwrap();
         assert!(e.contains("machine 0:"));
@@ -693,31 +688,25 @@ mod tests {
         ]))
         .unwrap())
         .unwrap();
-        let s = run(&parse(&toks(&[
-            "solve", &inst_path, "--algo", "greedy", "--polish", "50",
-        ]))
-        .unwrap())
-        .unwrap();
+        let s =
+            run(&parse(&toks(&["solve", &inst_path, "--algo", "greedy", "--polish", "50"]))
+                .unwrap())
+            .unwrap();
         assert!(s.contains("makespan:"));
     }
 
     #[test]
     fn compare_ranks_algorithms() {
         let inst_path = tmp("cmp.json");
-        run(&parse(&toks(&[
-            "generate", "uniform", "--out", &inst_path, "--n", "10", "--m", "3",
-        ]))
-        .unwrap())
+        run(&parse(&toks(&["generate", "uniform", "--out", &inst_path, "--n", "10", "--m", "3"]))
+            .unwrap())
         .unwrap();
         let c = run(&parse(&toks(&["compare", &inst_path])).unwrap()).unwrap();
         assert!(c.contains("lpt"), "{c}");
         assert!(c.contains("optimum") || c.contains("incumbent"), "{c}");
         // Ranked: first listed makespan ≤ last listed.
-        let values: Vec<f64> = c
-            .lines()
-            .skip(1)
-            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
-            .collect();
+        let values: Vec<f64> =
+            c.lines().skip(1).filter_map(|l| l.split_whitespace().nth(1)?.parse().ok()).collect();
         assert!(values.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{c}");
     }
 
@@ -725,7 +714,16 @@ mod tests {
     fn bound_prints_monotone_chain() {
         let inst_path = tmp("b.json");
         run(&parse(&toks(&[
-            "generate", "unrelated", "--out", &inst_path, "--n", "9", "--m", "3", "--seed", "6",
+            "generate",
+            "unrelated",
+            "--out",
+            &inst_path,
+            "--n",
+            "9",
+            "--m",
+            "3",
+            "--seed",
+            "6",
         ]))
         .unwrap())
         .unwrap();
@@ -763,8 +761,8 @@ mod tests {
         .unwrap();
         run(&parse(&toks(&["solve", &u_path, "--algo", "lpt", "--out", &u_sched])).unwrap())
             .unwrap();
-        let g = run(&parse(&toks(&["gantt", &u_path, &u_sched, "--width", "40"])).unwrap())
-            .unwrap();
+        let g =
+            run(&parse(&toks(&["gantt", &u_path, &u_sched, "--width", "40"])).unwrap()).unwrap();
         assert!(g.contains("m0"), "{g}");
         assert!(g.contains("makespan:"), "{g}");
         assert!(g.contains('#'), "setups must render: {g}");
@@ -772,7 +770,16 @@ mod tests {
         let r_path = tmp("g_r.json");
         let r_sched = tmp("g_r_sched.json");
         run(&parse(&toks(&[
-            "generate", "unrelated", "--out", &r_path, "--n", "10", "--m", "3", "--seed", "4",
+            "generate",
+            "unrelated",
+            "--out",
+            &r_path,
+            "--n",
+            "10",
+            "--m",
+            "3",
+            "--seed",
+            "4",
         ]))
         .unwrap())
         .unwrap();
@@ -825,8 +832,8 @@ mod tests {
     #[test]
     fn sweep_ra_family_with_certified_bound() {
         let c = run(&parse(&toks(&[
-            "sweep", "--family", "ra", "--algo", "ra2", "--n-list", "12", "--m", "3",
-            "--seeds", "2",
+            "sweep", "--family", "ra", "--algo", "ra2", "--n-list", "12", "--m", "3", "--seeds",
+            "2",
         ]))
         .unwrap())
         .unwrap();
@@ -839,14 +846,10 @@ mod tests {
     #[test]
     fn sweep_rejects_bad_input() {
         assert!(run(&parse(&toks(&["sweep", "--family", "nope"])).unwrap()).is_err());
-        assert!(run(
-            &parse(&toks(&["sweep", "--family", "uniform", "--n-list", "5,x"])).unwrap()
-        )
-        .is_err());
-        assert!(run(
-            &parse(&toks(&["sweep", "--family", "uniform", "--algo", "cupt3"])).unwrap()
-        )
-        .is_err());
+        assert!(run(&parse(&toks(&["sweep", "--family", "uniform", "--n-list", "5,x"])).unwrap())
+            .is_err());
+        assert!(run(&parse(&toks(&["sweep", "--family", "uniform", "--algo", "cupt3"])).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the `par_iter().map(..).collect()` / `into_par_iter().map(..).collect()`
+//! shape on top of `std::thread::scope`: the input is split into one
+//! contiguous chunk per available core, each chunk is mapped on its own
+//! thread, and results are reassembled in input order. No work stealing —
+//! good enough for the embarrassingly parallel seed sweeps in `sst-bench`.
+
+use std::num::NonZeroUsize;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// An eager "parallel iterator": the items to process, in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// Result of [`ParIter::map`]; consumed by [`ParMap::collect`] / [`ParMap::sum`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    fn run(self) -> Vec<U> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let threads = num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        // Consume the Vec into per-thread chunks, keeping index order.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        {
+            let mut it = items.into_iter();
+            loop {
+                let piece: Vec<T> = it.by_ref().take(chunk).collect();
+                if piece.is_empty() {
+                    break;
+                }
+                chunks.push(piece);
+            }
+        }
+        let f = &f;
+        let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|piece| scope.spawn(move || piece.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Collects the mapped values, preserving input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Collections buildable from an ordered `Vec` of mapped results.
+pub trait FromParallel<U> {
+    /// Builds the collection from already-ordered items.
+    fn from_ordered_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallel<U> for Vec<U> {
+    fn from_ordered_vec(v: Vec<U>) -> Vec<U> {
+        v
+    }
+}
+
+impl<U, E, C: FromParallel<U>> FromParallel<Result<U, E>> for Result<C, E> {
+    fn from_ordered_vec(v: Vec<Result<U, E>>) -> Result<C, E> {
+        let mut ok = Vec::with_capacity(v.len());
+        for item in v {
+            ok.push(item?);
+        }
+        Ok(C::from_ordered_vec(ok))
+    }
+}
+
+/// `into_par_iter()`, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send + Copy> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` on borrowed slices/vecs.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    //! Mirrors `rayon::prelude`.
+    pub use crate::{FromParallel, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let squares: Vec<u64> = v.into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[999], 999 * 999);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

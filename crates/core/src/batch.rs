@@ -33,12 +33,10 @@ impl PlaceholderMap {
         self.kept.get(j_new).copied()
     }
 
-
     /// Number of kept (non-placeholder) jobs in the transformed instance.
     pub fn num_kept(&self) -> usize {
         self.kept.len()
     }
-
 
     /// Original job ids removed from class `k` (ascending).
     pub fn removed_of_class(&self, k: ClassId) -> &[JobId] {
@@ -85,16 +83,9 @@ pub fn replace_small_jobs(
             kept_jobs.push(Job::new(k, u));
         }
     }
-    let new_inst = UniformInstance::new(
-        inst.speeds().to_vec(),
-        inst.setups().to_vec(),
-        kept_jobs,
-    )
-    .expect("transformed instance inherits validity");
-    (
-        new_inst,
-        PlaceholderMap { kept, removed, unit: unit_used, original_n: inst.n() },
-    )
+    let new_inst = UniformInstance::new(inst.speeds().to_vec(), inst.setups().to_vec(), kept_jobs)
+        .expect("transformed instance inherits validity");
+    (new_inst, PlaceholderMap { kept, removed, unit: unit_used, original_n: inst.n() })
 }
 
 /// Maps a schedule of the transformed instance back to the original
@@ -129,12 +120,8 @@ pub fn map_schedule_back(
         if map.removed[k].is_empty() {
             continue;
         }
-        let bins: Vec<(MachineId, u64)> =
-            capacity[k].iter().map(|(&i, &c)| (i, c)).collect();
-        assert!(
-            !bins.is_empty(),
-            "class {k} has removed jobs but no placeholder was scheduled"
-        );
+        let bins: Vec<(MachineId, u64)> = capacity[k].iter().map(|(&i, &c)| (i, c)).collect();
+        assert!(!bins.is_empty(), "class {k} has removed jobs but no placeholder was scheduled");
         let mut bin = 0usize;
         let mut used: u64 = 0;
         for &j in &map.removed[k] {
@@ -220,12 +207,9 @@ mod tests {
     #[test]
     fn back_mapping_splits_across_multiple_placeholder_hosts() {
         // 6 small unit jobs, unit 2 → 3 placeholders; place them on 3 machines.
-        let original = UniformInstance::new(
-            vec![1, 1, 1],
-            vec![2],
-            (0..6).map(|_| Job::new(0, 1)).collect(),
-        )
-        .unwrap();
+        let original =
+            UniformInstance::new(vec![1, 1, 1], vec![2], (0..6).map(|_| Job::new(0, 1)).collect())
+                .unwrap();
         let (t, map) = replace_small_jobs(&original, |_| 2, |_| 2);
         assert_eq!(t.n(), 3);
         let sched_t = Schedule::new(vec![0, 1, 2]);

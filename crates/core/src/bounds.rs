@@ -114,12 +114,7 @@ mod tests {
 
     #[test]
     fn uniform_single_job_bound_dominates_when_one_giant_job() {
-        let inst = UniformInstance::new(
-            vec![1, 1, 1, 1],
-            vec![2],
-            vec![Job::new(0, 100)],
-        )
-        .unwrap();
+        let inst = UniformInstance::new(vec![1, 1, 1, 1], vec![2], vec![Job::new(0, 100)]).unwrap();
         // area bound: 102/4; single-job: 102/1.
         assert_eq!(uniform_lower_bound(&inst), Ratio::new(102, 1));
     }
@@ -148,13 +143,9 @@ mod tests {
 
     #[test]
     fn area_reject_is_conservative() {
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0, 0],
-            vec![vec![4, 4], vec![4, 4]],
-            vec![vec![0, 0]],
-        )
-        .unwrap();
+        let inst =
+            UnrelatedInstance::new(2, vec![0, 0], vec![vec![4, 4], vec![4, 4]], vec![vec![0, 0]])
+                .unwrap();
         // T = 4: each job takes 4 somewhere, total 8 = m*T → not rejected.
         assert!(!unrelated_area_reject(&inst, 4));
         // T = 3: no machine can fit any job (p=4 > 3) → rejected.

@@ -133,12 +133,7 @@ impl UnrelatedBuilder {
 
     /// Adds a restricted-assignment job: size `p` on the listed machines,
     /// [`INF`] elsewhere.
-    pub fn job_restricted(
-        &mut self,
-        class: ClassHandle,
-        p: u64,
-        eligible: &[usize],
-    ) -> &mut Self {
+    pub fn job_restricted(&mut self, class: ClassHandle, p: u64, eligible: &[usize]) -> &mut Self {
         let mut row = vec![INF; self.m];
         for &i in eligible {
             row[i] = p;

@@ -70,27 +70,31 @@ pub fn geometric_search<S>(
 ) -> Option<(Ratio, S)> {
     assert!(one_plus_eps > Ratio::ONE, "grid factor must exceed 1");
     assert!(!lb.is_zero(), "geometric grid needs a positive lower bound");
-    // Number of grid points: smallest `g` with lb·f^g ≥ ub.
-    let mut g = 0u32;
+    // Materialize the grid: points[e] ≈ lb·f^e, built by repeated
+    // multiplication with round-up fallback ([`Ratio::mul_rounding_up`]) —
+    // the exact point can be unrepresentable in u64/u64 (e.g. 5³⁴/4³⁴) even
+    // when its value is tiny. Rounding up keeps monotone coverage and only
+    // ever *raises* a grid point by < 2⁻³², so the (1+ε) guarantee holds.
+    let mut points = vec![lb];
     let mut t = lb;
     while t < ub {
-        t = t.mul(one_plus_eps);
-        g += 1;
-        assert!(g < 10_000, "geometric grid unreasonably fine: lb={lb}, ub={ub}");
+        t = t.mul_rounding_up(one_plus_eps);
+        points.push(t);
+        assert!(points.len() < 10_000, "geometric grid unreasonably fine: lb={lb}, ub={ub}");
     }
     // Bisect over exponents 0..=g, maintaining: `hi_exp` feasible.
-    let guess = |e: u32| lb.mul(one_plus_eps.pow(e));
-    let mut lo_exp = 0u32;
+    let g = points.len() - 1;
+    let mut lo_exp = 0usize;
     let mut hi_exp = g;
-    let mut best = match decide(guess(g)) {
-        Decision::Feasible(s) => (guess(g), s),
+    let mut best = match decide(points[g]) {
+        Decision::Feasible(s) => (points[g], s),
         Decision::Infeasible => return None,
     };
     while lo_exp < hi_exp {
         let mid = lo_exp + (hi_exp - lo_exp) / 2;
-        match decide(guess(mid)) {
+        match decide(points[mid]) {
             Decision::Feasible(s) => {
-                best = (guess(mid), s);
+                best = (points[mid], s);
                 hi_exp = mid;
             }
             Decision::Infeasible => lo_exp = mid + 1,
@@ -124,7 +128,7 @@ mod tests {
 
     #[test]
     fn binary_search_all_feasible_returns_lo() {
-        let res = binary_search_u64(5, 10, |t| Decision::Feasible(t));
+        let res = binary_search_u64(5, 10, Decision::Feasible);
         assert_eq!(res, Some((5, 5)));
     }
 
@@ -147,18 +151,13 @@ mod tests {
         // Feasible iff T >= 10. Grid from 1 with factor 3/2. The search must
         // return the smallest feasible grid point: 1·(3/2)^6 = 11.39…
         let threshold = Ratio::new(10, 1);
-        let res = geometric_search(
-            Ratio::ONE,
-            Ratio::new(100, 1),
-            Ratio::new(3, 2),
-            |t| {
-                if t >= threshold {
-                    Decision::Feasible(t)
-                } else {
-                    Decision::Infeasible
-                }
-            },
-        )
+        let res = geometric_search(Ratio::ONE, Ratio::new(100, 1), Ratio::new(3, 2), |t| {
+            if t >= threshold {
+                Decision::Feasible(t)
+            } else {
+                Decision::Infeasible
+            }
+        })
         .unwrap();
         let expect = Ratio::new(3, 2).pow(6);
         assert_eq!(res.0, expect);
@@ -168,12 +167,10 @@ mod tests {
 
     #[test]
     fn geometric_search_none_when_ub_infeasible() {
-        let res: Option<(Ratio, ())> = geometric_search(
-            Ratio::ONE,
-            Ratio::new(8, 1),
-            Ratio::new(2, 1),
-            |_| Decision::Infeasible,
-        );
+        let res: Option<(Ratio, ())> =
+            geometric_search(Ratio::ONE, Ratio::new(8, 1), Ratio::new(2, 1), |_| {
+                Decision::Infeasible
+            });
         assert!(res.is_none());
     }
 }

@@ -428,8 +428,7 @@ mod tests {
         let b = geometric_speed_buckets(&speeds, 2);
         // Equal speeds share buckets; order by speed gives non-decreasing buckets.
         assert_eq!(b[0], b[1]);
-        let mut pairs: Vec<(u64, u32)> =
-            speeds.iter().copied().zip(b.iter().copied()).collect();
+        let mut pairs: Vec<(u64, u32)> = speeds.iter().copied().zip(b.iter().copied()).collect();
         pairs.sort();
         for w in pairs.windows(2) {
             assert!(w[0].1 <= w[1].1);

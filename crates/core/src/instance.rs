@@ -6,6 +6,18 @@
 //! `s_k` (uniform case) or machine-dependent setup times `s_ik` (unrelated
 //! case). "Size" is the machine-independent quantity; the *processing time*
 //! on a uniform machine `i` is `p_j / v_i`.
+//!
+//! ## Memory layout
+//!
+//! [`UnrelatedInstance`] stores `p_ij` and `s_ik` as **row-major flat
+//! buffers** (`ptimes[j * m + i]`, `setups[k * m + i]`) rather than nested
+//! `Vec<Vec<u64>>`: one allocation per matrix, contiguous rows, and `O(1)`
+//! `#[inline]` accessors with no pointer chase per row. Both instance types
+//! additionally precompute index tables at construction —
+//! [`UnrelatedInstance::jobs_of_class`], [`UnrelatedInstance::nonempty_classes`]
+//! and [`UnrelatedInstance::eligible_machines`] return borrowed slices
+//! instead of allocating a fresh `Vec` per call, which keeps the search
+//! heuristics' inner loops allocation-free.
 
 use crate::error::InstanceError;
 use crate::ratio::Ratio;
@@ -25,6 +37,41 @@ pub const INF: u64 = u64::MAX;
 #[inline]
 pub fn is_finite(t: u64) -> bool {
     t != INF
+}
+
+/// CSR-style grouping of job ids by class: `jobs[offsets[k]..offsets[k + 1]]`
+/// lists the jobs of class `k` in job-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ClassIndex {
+    offsets: Vec<usize>,
+    jobs: Vec<JobId>,
+    nonempty: Vec<ClassId>,
+}
+
+impl ClassIndex {
+    fn build(num_classes: usize, classes: impl Iterator<Item = ClassId> + Clone) -> ClassIndex {
+        let mut counts = vec![0usize; num_classes + 1];
+        for k in classes.clone() {
+            counts[k + 1] += 1;
+        }
+        for k in 0..num_classes {
+            counts[k + 1] += counts[k];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut jobs = vec![0usize; offsets[num_classes]];
+        for (j, k) in classes.enumerate() {
+            jobs[cursor[k]] = j;
+            cursor[k] += 1;
+        }
+        let nonempty = (0..num_classes).filter(|&k| offsets[k + 1] > offsets[k]).collect();
+        ClassIndex { offsets, jobs, nonempty }
+    }
+
+    #[inline]
+    fn of(&self, k: ClassId) -> &[JobId] {
+        &self.jobs[self.offsets[k]..self.offsets[k + 1]]
+    }
 }
 
 /// A job of a uniformly-related-machines instance: a size and a class.
@@ -54,6 +101,7 @@ pub struct UniformInstance {
     speeds: Vec<u64>,
     setups: Vec<u64>,
     jobs: Vec<Job>,
+    by_class: ClassIndex,
 }
 
 impl UniformInstance {
@@ -74,7 +122,8 @@ impl UniformInstance {
                 });
             }
         }
-        Ok(UniformInstance { speeds, setups, jobs })
+        let by_class = ClassIndex::build(setups.len(), jobs.iter().map(|j| j.class));
+        Ok(UniformInstance { speeds, setups, jobs, by_class })
     }
 
     /// Identical machines: `m` machines of speed 1.
@@ -142,18 +191,16 @@ impl UniformInstance {
         Ratio::new(self.jobs[j].size, self.speeds[i])
     }
 
-    /// Jobs of class `k`, in job-id order.
-    pub fn jobs_of_class(&self, k: ClassId) -> Vec<JobId> {
-        (0..self.n()).filter(|&j| self.jobs[j].class == k).collect()
+    /// Jobs of class `k`, in job-id order (precomputed; no allocation).
+    #[inline]
+    pub fn jobs_of_class(&self, k: ClassId) -> &[JobId] {
+        self.by_class.of(k)
     }
 
-    /// Classes that actually contain at least one job.
-    pub fn nonempty_classes(&self) -> Vec<ClassId> {
-        let mut present = vec![false; self.num_classes()];
-        for job in &self.jobs {
-            present[job.class] = true;
-        }
-        (0..self.num_classes()).filter(|&k| present[k]).collect()
+    /// Classes that actually contain at least one job (precomputed).
+    #[inline]
+    pub fn nonempty_classes(&self) -> &[ClassId] {
+        &self.by_class.nonempty
     }
 
     /// Total job size `Σ_j p_j`.
@@ -167,24 +214,20 @@ impl UniformInstance {
         self.total_job_size() + setups
     }
 
-
     /// Sum of all machine speeds.
     pub fn total_speed(&self) -> u64 {
         self.speeds.iter().sum()
     }
-
 
     /// Fastest machine speed `v_max`.
     pub fn max_speed(&self) -> u64 {
         *self.speeds.iter().max().expect("non-empty by construction")
     }
 
-
     /// Slowest machine speed `v_min`.
     pub fn min_speed(&self) -> u64 {
         *self.speeds.iter().min().expect("non-empty by construction")
     }
-
 
     /// True iff all machines have equal speed.
     pub fn is_identical(&self) -> bool {
@@ -198,6 +241,7 @@ impl UniformInstance {
             speeds: self.speeds.clone(),
             setups: self.setups.iter().map(|&s| s * factor).collect(),
             jobs: self.jobs.iter().map(|&j| Job::new(j.class, j.size * factor)).collect(),
+            by_class: self.by_class.clone(),
         }
     }
 }
@@ -205,14 +249,22 @@ impl UniformInstance {
 /// An instance of scheduling with setup times on **unrelated machines**:
 /// arbitrary processing times `p_ij` and setup times `s_ik`, either of which
 /// may be [`INF`] (restricted assignment).
+///
+/// Both matrices are stored as row-major flat buffers — `p_ij` at
+/// `ptimes[j * m + i]`, `s_ik` at `setups[k * m + i]` — and class/eligibility
+/// index tables are precomputed at construction (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnrelatedInstance {
     m: usize,
     job_class: Vec<ClassId>,
-    /// `ptimes[j][i] = p_ij` (row per job).
-    ptimes: Vec<Vec<u64>>,
-    /// `setups[k][i] = s_ik` (row per class).
-    setups: Vec<Vec<u64>>,
+    /// `ptimes[j * m + i] = p_ij` (row per job).
+    ptimes: Vec<u64>,
+    /// `setups[k * m + i] = s_ik` (row per class).
+    setups: Vec<u64>,
+    by_class: ClassIndex,
+    /// CSR: machines with finite `cost(i, j)`, grouped by job.
+    elig_offsets: Vec<usize>,
+    elig_machines: Vec<MachineId>,
 }
 
 impl UnrelatedInstance {
@@ -248,7 +300,7 @@ impl UnrelatedInstance {
                 return Err(InstanceError::UnschedulableJob { job: j });
             }
         }
-        for (k, row) in setups.iter().enumerate() {
+        for row in setups.iter() {
             if row.len() != m {
                 return Err(InstanceError::DimensionMismatch {
                     what: "setup columns",
@@ -256,7 +308,6 @@ impl UnrelatedInstance {
                     got: row.len(),
                 });
             }
-            let _ = k;
         }
         for (j, &k) in job_class.iter().enumerate() {
             if k >= setups.len() {
@@ -267,12 +318,75 @@ impl UnrelatedInstance {
                 });
             }
         }
-        let inst = UnrelatedInstance { m, job_class, ptimes, setups };
-        for j in 0..inst.n() {
-            if (0..m).all(|i| !is_finite(inst.cost(i, j))) {
-                return Err(InstanceError::UnschedulableJob { job: j });
+        Self::from_flat(
+            m,
+            job_class,
+            ptimes.into_iter().flatten().collect(),
+            setups.into_iter().flatten().collect(),
+        )
+    }
+
+    /// Builds and validates an instance from row-major flat matrices
+    /// (`ptimes[j * m + i]`, `setups[k * m + i]`). This is the
+    /// allocation-minimal constructor; [`UnrelatedInstance::new`] forwards
+    /// to it after flattening.
+    pub fn from_flat(
+        m: usize,
+        job_class: Vec<ClassId>,
+        ptimes: Vec<u64>,
+        setups: Vec<u64>,
+    ) -> Result<Self, InstanceError> {
+        if m == 0 {
+            return Err(InstanceError::NoMachines);
+        }
+        let n = job_class.len();
+        if ptimes.len() != n * m {
+            return Err(InstanceError::DimensionMismatch {
+                what: "flat ptimes length",
+                expected: n * m,
+                got: ptimes.len(),
+            });
+        }
+        if !setups.len().is_multiple_of(m) {
+            return Err(InstanceError::DimensionMismatch {
+                what: "flat setups length",
+                expected: (setups.len() / m + 1) * m,
+                got: setups.len(),
+            });
+        }
+        let num_classes = setups.len() / m;
+        for (j, &k) in job_class.iter().enumerate() {
+            if k >= num_classes {
+                return Err(InstanceError::ClassOutOfRange { job: j, class: k, num_classes });
             }
         }
+        let by_class = ClassIndex::build(num_classes, job_class.iter().copied());
+        let mut inst = UnrelatedInstance {
+            m,
+            job_class,
+            ptimes,
+            setups,
+            by_class,
+            elig_offsets: Vec::new(),
+            elig_machines: Vec::new(),
+        };
+        // Eligibility index: machines with finite p_ij AND finite s_{i,k_j}.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut machines = Vec::new();
+        offsets.push(0);
+        for j in 0..n {
+            for i in 0..m {
+                if is_finite(inst.cost(i, j)) {
+                    machines.push(i);
+                }
+            }
+            if machines.len() == *offsets.last().expect("non-empty") {
+                return Err(InstanceError::UnschedulableJob { job: j });
+            }
+            offsets.push(machines.len());
+        }
+        inst.elig_offsets = offsets;
+        inst.elig_machines = machines;
         Ok(inst)
     }
 
@@ -295,28 +409,28 @@ impl UnrelatedInstance {
                 got: sizes.len().min(eligible.len()),
             });
         }
-        let mut ptimes = vec![vec![INF; m]; job_class.len()];
+        let mut ptimes = vec![INF; job_class.len() * m];
         for (j, elig) in eligible.iter().enumerate() {
             for &i in elig {
-                ptimes[j][i] = sizes[j];
+                ptimes[j * m + i] = sizes[j];
             }
         }
-        let mut setups = vec![vec![INF; m]; class_setups.len()];
+        let mut setups = vec![INF; class_setups.len() * m];
         match &class_machines {
             Some(rows) => {
                 for (k, row) in rows.iter().enumerate() {
                     for &i in row {
-                        setups[k][i] = class_setups[k];
+                        setups[k * m + i] = class_setups[k];
                     }
                 }
             }
             None => {
                 for (k, s) in class_setups.iter().enumerate() {
-                    setups[k] = vec![*s; m];
+                    setups[k * m..(k + 1) * m].fill(*s);
                 }
             }
         }
-        UnrelatedInstance::new(m, job_class, ptimes, setups)
+        UnrelatedInstance::from_flat(m, job_class, ptimes, setups)
     }
 
     #[inline]
@@ -334,7 +448,7 @@ impl UnrelatedInstance {
     #[inline]
     /// Number of setup classes `K`.
     pub fn num_classes(&self) -> usize {
-        self.setups.len()
+        self.setups.len() / self.m
     }
 
     /// Class `k_j` of job `j`.
@@ -343,16 +457,34 @@ impl UnrelatedInstance {
         self.job_class[j]
     }
 
+    /// Classes of all jobs, indexed by [`JobId`].
+    #[inline]
+    pub fn job_classes(&self) -> &[ClassId] {
+        &self.job_class
+    }
+
     /// Processing time `p_ij` (possibly [`INF`]).
     #[inline]
     pub fn ptime(&self, i: MachineId, j: JobId) -> u64 {
-        self.ptimes[j][i]
+        self.ptimes[j * self.m + i]
+    }
+
+    /// Row `j` of the processing-time matrix: `p_ij` for all machines `i`.
+    #[inline]
+    pub fn ptimes_row(&self, j: JobId) -> &[u64] {
+        &self.ptimes[j * self.m..(j + 1) * self.m]
     }
 
     /// Setup time `s_ik` (possibly [`INF`]).
     #[inline]
     pub fn setup(&self, i: MachineId, k: ClassId) -> u64 {
-        self.setups[k][i]
+        self.setups[k * self.m + i]
+    }
+
+    /// Row `k` of the setup-time matrix: `s_ik` for all machines `i`.
+    #[inline]
+    pub fn setups_row(&self, k: ClassId) -> &[u64] {
+        &self.setups[k * self.m..(k + 1) * self.m]
     }
 
     /// `p_ij + s_{i,k_j}`, saturating at [`INF`]: the cost of running `j` on
@@ -368,31 +500,30 @@ impl UnrelatedInstance {
         }
     }
 
-    /// Jobs of class `k`, in job-id order.
-    pub fn jobs_of_class(&self, k: ClassId) -> Vec<JobId> {
-        (0..self.n()).filter(|&j| self.job_class[j] == k).collect()
+    /// Jobs of class `k`, in job-id order (precomputed; no allocation).
+    #[inline]
+    pub fn jobs_of_class(&self, k: ClassId) -> &[JobId] {
+        self.by_class.of(k)
     }
 
-    /// Classes with at least one job.
-    pub fn nonempty_classes(&self) -> Vec<ClassId> {
-        let mut present = vec![false; self.num_classes()];
-        for &k in &self.job_class {
-            present[k] = true;
-        }
-        (0..self.num_classes()).filter(|&k| present[k]).collect()
+    /// Classes with at least one job (precomputed).
+    #[inline]
+    pub fn nonempty_classes(&self) -> &[ClassId] {
+        &self.by_class.nonempty
     }
 
     /// Machines on which job `j` can run with finite `p_ij` *and* finite
-    /// setup for its class.
-    pub fn eligible_machines(&self, j: JobId) -> Vec<MachineId> {
-        (0..self.m).filter(|&i| is_finite(self.cost(i, j))).collect()
+    /// setup for its class (precomputed; no allocation).
+    #[inline]
+    pub fn eligible_machines(&self, j: JobId) -> &[MachineId] {
+        &self.elig_machines[self.elig_offsets[j]..self.elig_offsets[j + 1]]
     }
 
     /// True iff the instance is a restricted-assignment instance: each job's
     /// finite processing times are all equal.
     pub fn is_restricted_assignment(&self) -> bool {
-        self.ptimes.iter().all(|row| {
-            let mut finite = row.iter().copied().filter(|&p| is_finite(p));
+        (0..self.n()).all(|j| {
+            let mut finite = self.ptimes_row(j).iter().copied().filter(|&p| is_finite(p));
             match finite.next() {
                 None => true,
                 Some(first) => finite.all(|p| p == first),
@@ -425,7 +556,7 @@ impl UnrelatedInstance {
         for k in 0..self.num_classes() {
             let jobs = self.jobs_of_class(k);
             for w in jobs.windows(2) {
-                if (0..self.m).any(|i| self.ptime(i, w[0]) != self.ptime(i, w[1])) {
+                if self.ptimes_row(w[0]) != self.ptimes_row(w[1]) {
                     return false;
                 }
             }
@@ -438,7 +569,7 @@ impl UnrelatedInstance {
     /// (Section 3.3.1 notation).
     pub fn class_workload(&self, i: MachineId, k: ClassId) -> u64 {
         let mut sum: u64 = 0;
-        for j in self.jobs_of_class(k) {
+        for &j in self.jobs_of_class(k) {
             let p = self.ptime(i, j);
             if !is_finite(p) {
                 return INF;
@@ -478,10 +609,7 @@ mod tests {
 
     #[test]
     fn uniform_rejects_bad_input() {
-        assert_eq!(
-            UniformInstance::new(vec![], vec![1], vec![]),
-            Err(InstanceError::NoMachines)
-        );
+        assert_eq!(UniformInstance::new(vec![], vec![1], vec![]), Err(InstanceError::NoMachines));
         assert_eq!(
             UniformInstance::new(vec![1, 0], vec![1], vec![]),
             Err(InstanceError::ZeroSpeed { machine: 1 })
@@ -494,8 +622,7 @@ mod tests {
 
     #[test]
     fn nonempty_classes_skips_empty() {
-        let inst =
-            UniformInstance::new(vec![1], vec![1, 2, 3], vec![Job::new(2, 5)]).unwrap();
+        let inst = UniformInstance::new(vec![1], vec![1, 2, 3], vec![Job::new(2, 5)]).unwrap();
         assert_eq!(inst.nonempty_classes(), vec![2]);
         assert_eq!(inst.total_work_with_min_setups(), 5 + 3);
     }
@@ -538,14 +665,37 @@ mod tests {
     }
 
     #[test]
+    fn flat_rows_match_cell_accessors() {
+        let inst = small_unrelated();
+        for j in 0..inst.n() {
+            for (i, &cell) in inst.ptimes_row(j).iter().enumerate() {
+                assert_eq!(cell, inst.ptime(i, j));
+            }
+        }
+        for k in 0..inst.num_classes() {
+            for (i, &cell) in inst.setups_row(k).iter().enumerate() {
+                assert_eq!(cell, inst.setup(i, k));
+            }
+        }
+    }
+
+    #[test]
+    fn from_flat_matches_nested_constructor() {
+        let nested = small_unrelated();
+        let flat = UnrelatedInstance::from_flat(
+            2,
+            vec![0, 0, 1],
+            vec![3, 9, INF, 4, 5, 5],
+            vec![1, 2, 7, INF],
+        )
+        .unwrap();
+        assert_eq!(nested, flat);
+    }
+
+    #[test]
     fn unrelated_rejects_unschedulable() {
         // Job 0 finite nowhere once setups are considered.
-        let err = UnrelatedInstance::new(
-            1,
-            vec![0],
-            vec![vec![5]],
-            vec![vec![INF]],
-        );
+        let err = UnrelatedInstance::new(1, vec![0], vec![vec![5]], vec![vec![INF]]);
         assert_eq!(err, Err(InstanceError::UnschedulableJob { job: 0 }));
     }
 
@@ -573,13 +723,9 @@ mod tests {
         assert!(!inst.has_class_uniform_ptimes());
         assert!(!inst.has_class_uniform_restrictions());
 
-        let cu = UnrelatedInstance::new(
-            2,
-            vec![0, 0],
-            vec![vec![3, 9], vec![3, 9]],
-            vec![vec![1, 1]],
-        )
-        .unwrap();
+        let cu =
+            UnrelatedInstance::new(2, vec![0, 0], vec![vec![3, 9], vec![3, 9]], vec![vec![1, 1]])
+                .unwrap();
         assert!(cu.has_class_uniform_ptimes());
         assert!(cu.has_class_uniform_restrictions());
     }

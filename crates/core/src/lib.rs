@@ -22,7 +22,9 @@
 //!   [`simplify`];
 //! * speed groups and core/fringe classification (Figure 1) — [`groups`];
 //! * placeholder replacement for small jobs (Lemmas 2.1/2.3) — [`batch`];
-//! * explicit batched timelines and ASCII Gantt charts — [`timeline`].
+//! * explicit batched timelines and ASCII Gantt charts — [`timeline`];
+//! * incremental load tracking with `O(1)`/`O(log m)` move evaluation for
+//!   the search heuristics — [`tracker`].
 //!
 //! Algorithms live in `sst-algos`; the LP solver in `sst-lp`; generators in
 //! `sst-gen`; the SetCover substrate in `sst-setcover`.
@@ -44,8 +46,10 @@ pub mod schedule;
 pub mod simplify;
 pub mod stats;
 pub mod timeline;
+pub mod tracker;
 
 pub use error::{InstanceError, ScheduleError};
 pub use instance::{ClassId, Job, JobId, MachineId, UniformInstance, UnrelatedInstance, INF};
 pub use ratio::Ratio;
 pub use schedule::Schedule;
+pub use tracker::{UniformLoadTracker, UnrelatedLoadTracker};

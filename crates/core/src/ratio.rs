@@ -79,6 +79,53 @@ impl Ratio {
         Ratio { num: n as u64, den: d as u64 }
     }
 
+    /// Like [`Ratio::from_u128`], but returns `None` instead of panicking
+    /// when the reduced fraction does not fit `u64/u64`.
+    fn try_from_u128(num: u128, den: u128) -> Option<Ratio> {
+        assert!(den != 0, "Ratio denominator must be non-zero");
+        if num == 0 {
+            return Some(Ratio::ZERO);
+        }
+        let g = gcd128(num, den);
+        let (n, d) = (num / g, den / g);
+        if n <= u64::MAX as u128 && d <= u64::MAX as u128 {
+            Some(Ratio { num: n as u64, den: d as u64 })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest ratio `≥ self` whose denominator is at most `max_den`
+    /// (identity when `den ≤ max_den` already). Rounds *up*, never down.
+    pub fn round_up_to_den(self, max_den: u64) -> Ratio {
+        assert!(max_den > 0, "max_den must be positive");
+        if self.den <= max_den {
+            return self;
+        }
+        // ceil(num·max_den / den) / max_den ≥ num/den; num·max_den fits u128.
+        let scaled = self.num as u128 * max_den as u128;
+        let num = scaled.div_ceil(self.den as u128);
+        Ratio::from_u128(num, max_den as u128)
+    }
+
+    /// Multiplication for geometric grids: exact whenever the reduced exact
+    /// product fits `u64/u64`; otherwise `self` is first rounded **up** to a
+    /// denominator ≤ 2³² (an absolute error below 2⁻³²) and the product is
+    /// taken exactly from there. The result is always `≥ self · rhs` and
+    /// `≤ round_up_to_den(self) · rhs`, preserving the monotone-coverage
+    /// property geometric search needs even when the exact grid point (e.g.
+    /// `5³⁴/4³⁴`) is unrepresentable.
+    pub fn mul_rounding_up(self, rhs: Ratio) -> Ratio {
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1) as u128 * (rhs.num / g2) as u128;
+        let den = (self.den / g2) as u128 * (rhs.den / g1) as u128;
+        if let Some(exact) = Ratio::try_from_u128(num, den) {
+            return exact;
+        }
+        self.round_up_to_den(1 << 32).mul(rhs)
+    }
+
     #[inline]
     /// The integer `v` as a rational `v/1`.
     pub fn from_int(v: u64) -> Ratio {

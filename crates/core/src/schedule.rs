@@ -78,19 +78,57 @@ impl Schedule {
 pub fn uniform_loads(inst: &UniformInstance, sched: &Schedule) -> Result<Vec<u64>, ScheduleError> {
     sched.validate_shape(inst.n(), inst.m())?;
     let mut work = vec![0u64; inst.m()];
-    // classes_seen[i * K + k] would be wasteful for sparse classes; a small
-    // per-machine sorted Vec of seen classes is enough at these scales.
-    let mut seen: Vec<Vec<usize>> = vec![Vec::new(); inst.m()];
+    let mut seen = SeenScratch::new(inst.m(), inst.num_classes(), inst.n());
     for j in 0..inst.n() {
         let i = sched.machine_of(j);
         let job = inst.job(j);
         work[i] += job.size;
-        if let Err(pos) = seen[i].binary_search(&job.class) {
-            seen[i].insert(pos, job.class);
+        if seen.first_sight(i, job.class) {
             work[i] += inst.setup(job.class);
         }
     }
     Ok(work)
+}
+
+/// Per-(machine, class) "seen" set for the full-recompute paths. Dense
+/// `m × K` bitmap — one allocation, O(1) queries — when that stays
+/// proportional to the input size; per-machine sorted Vecs otherwise, so a
+/// sparse instance (huge `m·K`, few jobs) never allocates beyond
+/// O(n + m). Kept private to this module — incremental callers should use
+/// [`crate::tracker`] instead.
+enum SeenScratch {
+    Dense { num_classes: usize, seen: Vec<bool> },
+    Sparse(Vec<Vec<usize>>),
+}
+
+impl SeenScratch {
+    fn new(m: usize, num_classes: usize, n: usize) -> SeenScratch {
+        // At most one bitmap byte per 8 input words (plus slack for tiny
+        // instances): past that, the dense table no longer pays for itself.
+        let budget = (8 * (n + m)).max(1 << 12);
+        if m.saturating_mul(num_classes) <= budget {
+            SeenScratch::Dense { num_classes, seen: vec![false; m * num_classes] }
+        } else {
+            SeenScratch::Sparse(vec![Vec::new(); m])
+        }
+    }
+
+    /// Marks `(machine, class)` and returns true iff it was unseen before.
+    #[inline]
+    fn first_sight(&mut self, i: MachineId, k: usize) -> bool {
+        match self {
+            SeenScratch::Dense { num_classes, seen } => {
+                !std::mem::replace(&mut seen[i * *num_classes + k], true)
+            }
+            SeenScratch::Sparse(per_machine) => match per_machine[i].binary_search(&k) {
+                Ok(_) => false,
+                Err(pos) => {
+                    per_machine[i].insert(pos, k);
+                    true
+                }
+            },
+        }
+    }
 }
 
 /// Exact makespan of a schedule on a uniform instance:
@@ -113,7 +151,7 @@ pub fn unrelated_loads(
 ) -> Result<Vec<u64>, ScheduleError> {
     sched.validate_shape(inst.n(), inst.m())?;
     let mut load = vec![0u64; inst.m()];
-    let mut seen: Vec<Vec<usize>> = vec![Vec::new(); inst.m()];
+    let mut seen = SeenScratch::new(inst.m(), inst.num_classes(), inst.n());
     for j in 0..inst.n() {
         let i = sched.machine_of(j);
         let p = inst.ptime(i, j);
@@ -122,8 +160,7 @@ pub fn unrelated_loads(
         }
         load[i] = load[i].saturating_add(p);
         let k = inst.class_of(j);
-        if let Err(pos) = seen[i].binary_search(&k) {
-            seen[i].insert(pos, k);
+        if seen.first_sight(i, k) {
             let s = inst.setup(i, k);
             if !is_finite(s) {
                 return Err(ScheduleError::InfiniteSetup { class: k, machine: i });
@@ -135,22 +172,26 @@ pub fn unrelated_loads(
 }
 
 /// Exact makespan of a schedule on an unrelated instance.
-pub fn unrelated_makespan(inst: &UnrelatedInstance, sched: &Schedule) -> Result<u64, ScheduleError> {
+pub fn unrelated_makespan(
+    inst: &UnrelatedInstance,
+    sched: &Schedule,
+) -> Result<u64, ScheduleError> {
     Ok(unrelated_loads(inst, sched)?.into_iter().max().unwrap_or(0))
 }
 
 /// Number of setups each machine pays under `sched` (unrelated instance):
 /// the number of distinct classes present per machine.
 pub fn setups_per_machine(inst: &UnrelatedInstance, sched: &Schedule) -> Vec<usize> {
-    let mut seen: Vec<Vec<usize>> = vec![Vec::new(); inst.m()];
+    let mut seen = SeenScratch::new(inst.m(), inst.num_classes(), inst.n());
+    let mut counts = vec![0usize; inst.m()];
     for j in 0..inst.n() {
         let i = sched.machine_of(j);
         let k = inst.class_of(j);
-        if let Err(pos) = seen[i].binary_search(&k) {
-            seen[i].insert(pos, k);
+        if seen.first_sight(i, k) {
+            counts[i] += 1;
         }
     }
-    seen.into_iter().map(|v| v.len()).collect()
+    counts
 }
 
 /// Makespan of an unrelated schedule treating infinite entries as [`INF`]
@@ -192,10 +233,7 @@ mod tests {
         let loads = uniform_loads(&inst(), &s).unwrap();
         // machine 0: 4 + setup 3 = 7; machine 1: 6 + 2 + setups 5 + 3 = 16.
         assert_eq!(loads, vec![7, 16]);
-        assert_eq!(
-            uniform_makespan(&inst(), &s).unwrap(),
-            Ratio::new(16, 1)
-        );
+        assert_eq!(uniform_makespan(&inst(), &s).unwrap(), Ratio::new(16, 1));
     }
 
     #[test]
@@ -240,6 +278,26 @@ mod tests {
             unrelated_loads(&inst, &bad_s),
             Err(ScheduleError::InfiniteSetup { class: 1, machine: 1 })
         ));
+    }
+
+    #[test]
+    fn sparse_scratch_handles_huge_class_count() {
+        // m·K far beyond the dense-bitmap budget: the sparse path must give
+        // the same answer without allocating m·K memory.
+        let kk = 3_000_000usize;
+        let mut setups = vec![0u64; kk];
+        setups[0] = 3;
+        setups[kk - 1] = 5;
+        let inst = UniformInstance::new(
+            vec![1; 64],
+            setups,
+            vec![Job::new(0, 4), Job::new(kk - 1, 6), Job::new(0, 2)],
+        )
+        .unwrap();
+        let s = Schedule::new(vec![0, 0, 0]);
+        let loads = uniform_loads(&inst, &s).unwrap();
+        assert_eq!(loads[0], 4 + 6 + 2 + 3 + 5);
+        assert_eq!(uniform_makespan(&inst, &s).unwrap(), Ratio::new(20, 1));
     }
 
     #[test]

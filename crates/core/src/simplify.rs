@@ -72,27 +72,19 @@ pub fn simplify(inst: &UniformInstance, t: Ratio, q: u64) -> Simplified {
     let v_max = inst.max_speed();
     // Keep machine i iff v_i ≥ ε·v_max/m ⟺ v_i·q·m ≥ v_max.
     let m = inst.m() as u64;
-    let kept_machines: Vec<MachineId> = (0..inst.m())
-        .filter(|&i| inst.speed(i) * q * m >= v_max)
-        .collect();
+    let kept_machines: Vec<MachineId> =
+        (0..inst.m()).filter(|&i| inst.speed(i) * q * m >= v_max).collect();
     assert!(!kept_machines.is_empty(), "fastest machine always survives pruning");
     let speeds: Vec<u64> = kept_machines.iter().map(|&i| inst.speed(i)).collect();
     let v_min = *speeds.iter().min().expect("non-empty");
 
     // Scaled sizes; lift anything below ε·v_min·T/(n+K) (in scaled units:
     // q²·v_min·T / (q·(n+K)) = q·v_min·T/(n+K)).
-    let lift_to = if n + kk == 0 {
-        0
-    } else {
-        Ratio::from_int(q * v_min).mul(t).div_int(n + kk).ceil()
-    };
-    let lifted_jobs: Vec<Job> = inst
-        .jobs()
-        .iter()
-        .map(|j| Job::new(j.class, (j.size * scale).max(lift_to)))
-        .collect();
-    let lifted_setups: Vec<u64> =
-        inst.setups().iter().map(|&s| (s * scale).max(lift_to)).collect();
+    let lift_to =
+        if n + kk == 0 { 0 } else { Ratio::from_int(q * v_min).mul(t).div_int(n + kk).ceil() };
+    let lifted_jobs: Vec<Job> =
+        inst.jobs().iter().map(|j| Job::new(j.class, (j.size * scale).max(lift_to))).collect();
+    let lifted_setups: Vec<u64> = inst.setups().iter().map(|&s| (s * scale).max(lift_to)).collect();
     let mid = UniformInstance::new(speeds, lifted_setups, lifted_jobs)
         .expect("step-1 instance inherits validity");
 
@@ -113,9 +105,8 @@ pub fn simplify(inst: &UniformInstance, t: Ratio, q: u64) -> Simplified {
     let rounded_jobs: Vec<Job> =
         replaced.jobs().iter().map(|j| Job::new(j.class, round(j.size))).collect();
     let rounded_setups: Vec<u64> = replaced.setups().iter().map(|&s| round(s)).collect();
-    let instance =
-        UniformInstance::new(replaced.speeds().to_vec(), rounded_setups, rounded_jobs)
-            .expect("step-3 instance inherits validity");
+    let instance = UniformInstance::new(replaced.speeds().to_vec(), rounded_setups, rounded_jobs)
+        .expect("step-3 instance inherits validity");
 
     let t_scaled = t.mul_int(scale);
     let one_plus_eps = Ratio::new(q + 1, q);
@@ -224,12 +215,7 @@ mod tests {
     #[test]
     fn simplify_prunes_genuinely_slow_machines() {
         // v_max = 100, m = 3, q = 2: keep v ≥ 100/(2·3) → v ≥ 17.
-        let inst = UniformInstance::new(
-            vec![100, 20, 10],
-            vec![1],
-            vec![Job::new(0, 5)],
-        )
-        .unwrap();
+        let inst = UniformInstance::new(vec![100, 20, 10], vec![1], vec![Job::new(0, 5)]).unwrap();
         let s = simplify(&inst, Ratio::ONE, 2);
         assert_eq!(s.kept_machines, vec![0, 1]);
     }
@@ -264,10 +250,7 @@ mod tests {
         // Lemma chain backwards: original makespan ≤ (1+ε)·scaled/q²
         // (placeholder refill may overflow by one object per class/machine).
         let bound = ms3.div_int(s.scale).mul(Ratio::new(q + 1, q).pow(2));
-        assert!(
-            ms0 <= bound,
-            "back-mapped makespan {ms0} exceeds lemma bound {bound}"
-        );
+        assert!(ms0 <= bound, "back-mapped makespan {ms0} exceeds lemma bound {bound}");
     }
 
     #[test]

@@ -48,11 +48,7 @@ pub fn uniform_stats(inst: &UniformInstance) -> UniformStats {
         total_job_size: total,
         setup_to_work: setups as f64 / total.max(1) as f64,
         speed_spread: inst.max_speed() as f64 / inst.min_speed() as f64,
-        class_concentration: if inst.n() == 0 {
-            0.0
-        } else {
-            max_pop as f64 / inst.n() as f64
-        },
+        class_concentration: if inst.n() == 0 { 0.0 } else { max_pop as f64 / inst.n() as f64 },
         mean_class_population: if nonempty.is_empty() {
             0.0
         } else {
@@ -92,8 +88,7 @@ pub fn unrelated_stats(inst: &UnrelatedInstance) -> UnrelatedStats {
     let mut elig_sum = 0usize;
     let mut hetero: f64 = 1.0;
     for j in 0..n {
-        let row: Vec<u64> =
-            (0..m).map(|i| inst.ptime(i, j)).filter(|&p| is_finite(p)).collect();
+        let row: Vec<u64> = (0..m).map(|i| inst.ptime(i, j)).filter(|&p| is_finite(p)).collect();
         finite_cells += row.len();
         elig_sum += inst.eligible_machines(j).len();
         if let (Some(&max), Some(&min)) = (row.iter().max(), row.iter().min()) {
@@ -104,10 +99,8 @@ pub fn unrelated_stats(inst: &UnrelatedInstance) -> UnrelatedStats {
     }
     let mut setup_ratio = 0.0f64;
     for i in 0..m {
-        let s: u64 = (0..inst.num_classes())
-            .map(|k| inst.setup(i, k))
-            .filter(|&s| is_finite(s))
-            .sum();
+        let s: u64 =
+            (0..inst.num_classes()).map(|k| inst.setup(i, k)).filter(|&s| is_finite(s)).sum();
         let p: u64 = (0..n).map(|j| inst.ptime(i, j)).filter(|&p| is_finite(p)).sum();
         setup_ratio += s as f64 / p.max(1) as f64;
     }
@@ -207,13 +200,7 @@ mod tests {
 
     #[test]
     fn unrelated_heterogeneity_detects_spread() {
-        let inst = UnrelatedInstance::new(
-            2,
-            vec![0],
-            vec![vec![2, 10]],
-            vec![vec![1, 1]],
-        )
-        .unwrap();
+        let inst = UnrelatedInstance::new(2, vec![0], vec![vec![2, 10]], vec![vec![1, 1]]).unwrap();
         let s = unrelated_stats(&inst);
         assert!((s.heterogeneity - 5.0).abs() < 1e-12);
         assert!(!s.structure.0);

@@ -156,11 +156,7 @@ impl<T: TimeUnit> Timeline<T> {
 
     /// The makespan: the latest finish time over all machines.
     pub fn makespan(&self) -> T {
-        self.machines
-            .iter()
-            .map(|m| m.finish())
-            .max()
-            .unwrap_or_else(T::zero)
+        self.machines.iter().map(|m| m.finish()).max().unwrap_or_else(T::zero)
     }
 
     /// Start time of job `j`, if it appears on the timeline.
@@ -205,7 +201,10 @@ impl<T: TimeUnit> Timeline<T> {
                     }
                     Span::Job(j) => {
                         if !in_batch {
-                            return Err(TimelineError::JobBeforeSetup { machine: m.machine, job: j });
+                            return Err(TimelineError::JobBeforeSetup {
+                                machine: m.machine,
+                                job: j,
+                            });
                         }
                         if j >= self.n_jobs || seen_job[j] {
                             return Err(TimelineError::JobMultiplicity { job: j });
@@ -582,10 +581,7 @@ mod tests {
             }],
             n_jobs: 1,
         };
-        assert_eq!(
-            tl.validate(),
-            Err(TimelineError::JobBeforeSetup { machine: 0, job: 0 })
-        );
+        assert_eq!(tl.validate(), Err(TimelineError::JobBeforeSetup { machine: 0, job: 0 }));
     }
 
     #[test]
@@ -601,10 +597,7 @@ mod tests {
             }],
             n_jobs: 1,
         };
-        assert_eq!(
-            split.validate(),
-            Err(TimelineError::SplitBatch { machine: 0, class: 0 })
-        );
+        assert_eq!(split.validate(), Err(TimelineError::SplitBatch { machine: 0, class: 0 }));
 
         let dup = Timeline {
             machines: vec![MachineTimeline {
@@ -622,10 +615,8 @@ mod tests {
 
     #[test]
     fn validate_detects_missing_job() {
-        let tl: Timeline<u64> = Timeline {
-            machines: vec![MachineTimeline { machine: 0, slots: vec![] }],
-            n_jobs: 1,
-        };
+        let tl: Timeline<u64> =
+            Timeline { machines: vec![MachineTimeline { machine: 0, slots: vec![] }], n_jobs: 1 };
         assert_eq!(tl.validate(), Err(TimelineError::JobMultiplicity { job: 0 }));
     }
 

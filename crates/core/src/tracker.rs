@@ -1,0 +1,771 @@
+//! Incremental load tracking: `O(1)`/`O(log m)` move evaluation for search
+//! heuristics.
+//!
+//! The full-recompute evaluators in [`crate::schedule`] walk all `n` jobs
+//! for every makespan query, which makes one local-search sweep
+//! `O(n² · m)`. The trackers in this module maintain, per machine:
+//!
+//! * the current **load** (time units; work units in the uniform case),
+//! * a per-machine × per-class **job count** (so a move knows in `O(1)`
+//!   whether it adds a setup on the target / removes one from the source),
+//! * the per-machine × per-class **processing-time sum** (whole-class moves
+//!   know the departing work in `O(1)`),
+//! * the **job list** per (machine, class) slot (swap-remove `O(1)`
+//!   membership; enumerating a batch costs its size, not `n`),
+//!
+//! plus one ordered **load multiset** over machines, so the makespan — and
+//! the makespan *after a hypothetical move* — is an `O(log m)` query
+//! instead of an `O(n)` recompute.
+//!
+//! ## Complexity
+//!
+//! | operation | [`UniformLoadTracker`] | [`UnrelatedLoadTracker`] |
+//! |---|---|---|
+//! | `new` | `O(n + m + K)` | `O(n + m + K)` |
+//! | `makespan` | `O(1)`* | `O(1)`* |
+//! | `eval_job_move` | `O(log m)` | `O(log m)` |
+//! | `apply_job_move` | `O(log m)` | `O(log m)` |
+//! | `eval_class_move` | `O(log m)` | `O(B + log m)` |
+//! | `apply_class_move` | `O(B + log m)` | `O(B + log m)` |
+//!
+//! `B` = number of jobs of the moved class on the source machine. (*) the
+//! multiset keeps its maximum at the back of a B-tree; the query touches
+//! `O(log m)` nodes but performs no recomputation. The unrelated
+//! `eval_class_move` pays `O(B)` because the arriving work
+//! `Σ_{j∈batch} p_{to,j}` depends on both endpoints and cannot be cached
+//! for all machine pairs in `o(m²K)` space; the uniform case needs no such
+//! sum — sizes are machine-independent, so the cached per-slot size sum is
+//! the answer on both ends.
+//!
+//! Loads are tracked with plain (non-saturating) arithmetic; instances whose
+//! total work approaches `u64::MAX` are outside the tracker's contract (the
+//! full evaluators saturate instead). All candidate moves must be *feasible*
+//! — finite processing and setup times on the target — and the `eval_*`
+//! methods return `None` otherwise, so a tracked schedule can never become
+//! invalid.
+//!
+//! ```
+//! use sst_core::instance::{Job, UniformInstance};
+//! use sst_core::schedule::Schedule;
+//! use sst_core::tracker::UniformLoadTracker;
+//!
+//! let inst = UniformInstance::identical(
+//!     2,
+//!     vec![1],
+//!     vec![Job::new(0, 4), Job::new(0, 6)],
+//! ).unwrap();
+//! let mut t = UniformLoadTracker::new(&inst, &Schedule::new(vec![0, 0])).unwrap();
+//! // Moving job 1 to machine 1 pays a second setup but halves the bottleneck.
+//! let new_ms = t.eval_job_move(1, 1).unwrap();
+//! assert!(new_ms < t.makespan());
+//! t.apply_job_move(1, 1);
+//! assert_eq!(t.makespan(), new_ms);
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::error::ScheduleError;
+use crate::instance::{is_finite, ClassId, JobId, MachineId, UniformInstance, UnrelatedInstance};
+use crate::ratio::Ratio;
+use crate::schedule::Schedule;
+
+/// Ordered multiset of per-machine load keys with `O(log m)` insert/remove
+/// and max queries that can *exclude* up to two current entries (the two
+/// endpoints of a hypothetical move).
+#[derive(Debug, Clone)]
+struct LoadMultiset<K: Ord + Copy> {
+    map: BTreeMap<K, u32>,
+}
+
+impl<K: Ord + Copy> LoadMultiset<K> {
+    fn new() -> Self {
+        LoadMultiset { map: BTreeMap::new() }
+    }
+
+    fn insert(&mut self, key: K) {
+        *self.map.entry(key).or_insert(0) += 1;
+    }
+
+    fn remove(&mut self, key: K) {
+        match self.map.get_mut(&key) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.map.remove(&key);
+            }
+            None => unreachable!("LoadMultiset::remove of absent key"),
+        }
+    }
+
+    fn max(&self) -> Option<K> {
+        self.map.keys().next_back().copied()
+    }
+
+    /// Maximum after conceptually removing one occurrence per entry of
+    /// `excluded`. Walks at most `excluded.len() + 1` keys from the back.
+    fn max_excluding(&self, excluded: &[K]) -> Option<K> {
+        for (&key, &count) in self.map.iter().rev() {
+            let skip = excluded.iter().filter(|&&e| e == key).count() as u32;
+            if count > skip {
+                return Some(key);
+            }
+        }
+        None
+    }
+}
+
+/// One (machine, class) slot: the jobs of that class currently on that
+/// machine, in arbitrary but deterministic order (swap-remove).
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    jobs: Vec<JobId>,
+}
+
+/// Shared per-(machine × class) bookkeeping for both environments.
+#[derive(Debug, Clone)]
+struct SlotTable {
+    num_classes: usize,
+    /// `slots[i * K + k]` — jobs of class `k` on machine `i`.
+    slots: Vec<Slot>,
+    /// `pos[j]` — index of job `j` inside its slot's `jobs` vector.
+    pos: Vec<u32>,
+    /// `ptime_sum[i * K + k]` — Σ processing time (or size) of the slot.
+    ptime_sum: Vec<u64>,
+}
+
+impl SlotTable {
+    fn new(m: usize, num_classes: usize, n: usize) -> Self {
+        SlotTable {
+            num_classes,
+            slots: vec![Slot::default(); m * num_classes],
+            pos: vec![0; n],
+            ptime_sum: vec![0; m * num_classes],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: MachineId, k: ClassId) -> usize {
+        i * self.num_classes + k
+    }
+
+    #[inline]
+    fn count(&self, i: MachineId, k: ClassId) -> usize {
+        self.slots[self.idx(i, k)].jobs.len()
+    }
+
+    #[inline]
+    fn jobs(&self, i: MachineId, k: ClassId) -> &[JobId] {
+        &self.slots[self.idx(i, k)].jobs
+    }
+
+    #[inline]
+    fn ptime_sum(&self, i: MachineId, k: ClassId) -> u64 {
+        self.ptime_sum[self.idx(i, k)]
+    }
+
+    fn push(&mut self, i: MachineId, k: ClassId, j: JobId, p: u64) {
+        let idx = self.idx(i, k);
+        self.pos[j] = self.slots[idx].jobs.len() as u32;
+        self.slots[idx].jobs.push(j);
+        self.ptime_sum[idx] += p;
+    }
+
+    fn remove(&mut self, i: MachineId, k: ClassId, j: JobId, p: u64) {
+        let idx = self.idx(i, k);
+        let at = self.pos[j] as usize;
+        let jobs = &mut self.slots[idx].jobs;
+        let last = jobs.pop().expect("slot not empty");
+        if last != j {
+            jobs[at] = last;
+            self.pos[last] = at as u32;
+        }
+        self.ptime_sum[idx] -= p;
+    }
+
+    /// Moves the whole slot `(from, k)` onto `(to, k)`. `arriving` is the
+    /// processing-time sum of the batch measured on `to`.
+    fn drain_slot(&mut self, from: MachineId, k: ClassId, to: MachineId, arriving: u64) {
+        let from_idx = self.idx(from, k);
+        let to_idx = self.idx(to, k);
+        let batch = std::mem::take(&mut self.slots[from_idx].jobs);
+        let base = self.slots[to_idx].jobs.len();
+        for (off, &j) in batch.iter().enumerate() {
+            self.pos[j] = (base + off) as u32;
+        }
+        self.slots[to_idx].jobs.extend_from_slice(&batch);
+        // Reuse the drained allocation so steady-state churn allocates
+        // nothing.
+        self.slots[from_idx].jobs = batch;
+        self.slots[from_idx].jobs.clear();
+        self.ptime_sum[to_idx] += arriving;
+        self.ptime_sum[from_idx] = 0;
+    }
+}
+
+fn validate_shape(assignment: &[MachineId], n: usize, m: usize) -> Result<(), ScheduleError> {
+    if assignment.len() != n {
+        return Err(ScheduleError::WrongLength { expected: n, got: assignment.len() });
+    }
+    for (j, &i) in assignment.iter().enumerate() {
+        if i >= m {
+            return Err(ScheduleError::MachineOutOfRange { job: j, machine: i, m });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Unrelated machines
+// ---------------------------------------------------------------------------
+
+/// Incremental load tracker for [`UnrelatedInstance`] schedules.
+///
+/// See the [module docs](self) for the data structures and complexity table.
+#[derive(Debug, Clone)]
+pub struct UnrelatedLoadTracker<'a> {
+    inst: &'a UnrelatedInstance,
+    assignment: Vec<MachineId>,
+    loads: Vec<u64>,
+    table: SlotTable,
+    multiset: LoadMultiset<u64>,
+}
+
+impl<'a> UnrelatedLoadTracker<'a> {
+    /// Builds the tracker from a valid schedule in `O(n + m + K)`.
+    ///
+    /// Fails (like [`crate::schedule::unrelated_loads`]) if the schedule has
+    /// the wrong shape or assigns a job/setup where its time is infinite.
+    pub fn new(inst: &'a UnrelatedInstance, sched: &Schedule) -> Result<Self, ScheduleError> {
+        let (n, m, kk) = (inst.n(), inst.m(), inst.num_classes());
+        validate_shape(sched.assignment(), n, m)?;
+        let assignment = sched.assignment().to_vec();
+        let mut loads = vec![0u64; m];
+        let mut table = SlotTable::new(m, kk, n);
+        for (j, &i) in assignment.iter().enumerate() {
+            let p = inst.ptime(i, j);
+            if !is_finite(p) {
+                return Err(ScheduleError::InfiniteProcessingTime { job: j, machine: i });
+            }
+            let k = inst.class_of(j);
+            if table.count(i, k) == 0 {
+                let s = inst.setup(i, k);
+                if !is_finite(s) {
+                    return Err(ScheduleError::InfiniteSetup { class: k, machine: i });
+                }
+                loads[i] += s;
+            }
+            loads[i] += p;
+            table.push(i, k, j, p);
+        }
+        let mut multiset = LoadMultiset::new();
+        for &l in &loads {
+            multiset.insert(l);
+        }
+        Ok(UnrelatedLoadTracker { inst, assignment, loads, table, multiset })
+    }
+
+    /// The instance this tracker evaluates against.
+    #[inline]
+    pub fn instance(&self) -> &'a UnrelatedInstance {
+        self.inst
+    }
+
+    /// Current per-machine loads (time units).
+    #[inline]
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Current makespan.
+    #[inline]
+    pub fn makespan(&self) -> u64 {
+        self.multiset.max().unwrap_or(0)
+    }
+
+    /// Machine currently holding job `j`.
+    #[inline]
+    pub fn machine_of(&self, j: JobId) -> MachineId {
+        self.assignment[j]
+    }
+
+    /// Number of class-`k` jobs on machine `i`.
+    #[inline]
+    pub fn count(&self, i: MachineId, k: ClassId) -> usize {
+        self.table.count(i, k)
+    }
+
+    /// Jobs of class `k` on machine `i` (deterministic order, no allocation).
+    #[inline]
+    pub fn jobs_of_class_on(&self, i: MachineId, k: ClassId) -> &[JobId] {
+        self.table.jobs(i, k)
+    }
+
+    /// A machine attaining the current makespan (`O(m)` scan).
+    pub fn bottleneck(&self) -> MachineId {
+        let max = self.makespan();
+        self.loads.iter().position(|&l| l == max).expect("non-empty by construction")
+    }
+
+    /// The tracked assignment as a [`Schedule`].
+    pub fn schedule(&self) -> Schedule {
+        Schedule::new(self.assignment.clone())
+    }
+
+    /// New `(load_from, load_to)` if job `j` moved to `to`; `None` when the
+    /// move is a no-op or infeasible (infinite time on `to`).
+    #[inline]
+    fn job_move_loads(&self, j: JobId, to: MachineId) -> Option<(u64, u64)> {
+        let from = self.assignment[j];
+        if from == to {
+            return None;
+        }
+        let p_to = self.inst.ptime(to, j);
+        if !is_finite(p_to) {
+            return None;
+        }
+        let k = self.inst.class_of(j);
+        let s_to = self.inst.setup(to, k);
+        if !is_finite(s_to) {
+            return None;
+        }
+        let p_from = self.inst.ptime(from, j);
+        let mut new_from = self.loads[from] - p_from;
+        if self.table.count(from, k) == 1 {
+            new_from -= self.inst.setup(from, k);
+        }
+        let mut new_to = self.loads[to] + p_to;
+        if self.table.count(to, k) == 0 {
+            new_to += s_to;
+        }
+        Some((new_from, new_to))
+    }
+
+    /// Makespan after moving job `j` to machine `to`, in `O(log m)`, without
+    /// mutating anything. `None` if the move is a no-op or infeasible.
+    pub fn eval_job_move(&self, j: JobId, to: MachineId) -> Option<u64> {
+        let from = self.assignment[j];
+        let (new_from, new_to) = self.job_move_loads(j, to)?;
+        let rest = self.multiset.max_excluding(&[self.loads[from], self.loads[to]]).unwrap_or(0);
+        Some(rest.max(new_from).max(new_to))
+    }
+
+    /// Applies a feasible job move in `O(log m)`.
+    ///
+    /// # Panics
+    /// Panics if the move is a no-op or infeasible (check with
+    /// [`Self::eval_job_move`] first).
+    pub fn apply_job_move(&mut self, j: JobId, to: MachineId) {
+        let from = self.assignment[j];
+        let (new_from, new_to) =
+            self.job_move_loads(j, to).expect("apply_job_move: infeasible or no-op move");
+        let k = self.inst.class_of(j);
+        self.table.remove(from, k, j, self.inst.ptime(from, j));
+        self.table.push(to, k, j, self.inst.ptime(to, j));
+        self.multiset.remove(self.loads[from]);
+        self.multiset.remove(self.loads[to]);
+        self.multiset.insert(new_from);
+        self.multiset.insert(new_to);
+        self.loads[from] = new_from;
+        self.loads[to] = new_to;
+        self.assignment[j] = to;
+    }
+
+    /// New `(load_from, load_to, arriving_sum)` for a whole-class move;
+    /// `None` when empty, no-op or infeasible. `O(B)` for the arriving sum.
+    fn class_move_loads(
+        &self,
+        from: MachineId,
+        k: ClassId,
+        to: MachineId,
+    ) -> Option<(u64, u64, u64)> {
+        if from == to || self.table.count(from, k) == 0 {
+            return None;
+        }
+        let s_to = self.inst.setup(to, k);
+        if !is_finite(s_to) {
+            return None;
+        }
+        let mut arriving = 0u64;
+        for &j in self.table.jobs(from, k) {
+            let p = self.inst.ptime(to, j);
+            if !is_finite(p) {
+                return None;
+            }
+            arriving += p;
+        }
+        let departing = self.table.ptime_sum(from, k) + self.inst.setup(from, k);
+        let new_from = self.loads[from] - departing;
+        let mut new_to = self.loads[to] + arriving;
+        if self.table.count(to, k) == 0 {
+            new_to += s_to;
+        }
+        Some((new_from, new_to, arriving))
+    }
+
+    /// Makespan after migrating *all* class-`k` jobs on `from` to `to`, in
+    /// `O(B + log m)` where `B` is the batch size. `None` if the batch is
+    /// empty, the move is a no-op, or any time on `to` is infinite.
+    pub fn eval_class_move(&self, from: MachineId, k: ClassId, to: MachineId) -> Option<u64> {
+        let (new_from, new_to, _) = self.class_move_loads(from, k, to)?;
+        let rest = self.multiset.max_excluding(&[self.loads[from], self.loads[to]]).unwrap_or(0);
+        Some(rest.max(new_from).max(new_to))
+    }
+
+    /// Applies a feasible whole-class move in `O(B + log m)`.
+    ///
+    /// # Panics
+    /// Panics if the move is empty, a no-op, or infeasible (check with
+    /// [`Self::eval_class_move`] first).
+    pub fn apply_class_move(&mut self, from: MachineId, k: ClassId, to: MachineId) {
+        let (new_from, new_to, arriving) = self
+            .class_move_loads(from, k, to)
+            .expect("apply_class_move: infeasible, empty or no-op move");
+        for &j in self.table.jobs(from, k) {
+            debug_assert_eq!(self.assignment[j], from);
+        }
+        let batch_start = self.table.count(to, k);
+        self.table.drain_slot(from, k, to, arriving);
+        for &j in &self.table.jobs(to, k)[batch_start..] {
+            self.assignment[j] = to;
+        }
+        self.multiset.remove(self.loads[from]);
+        self.multiset.remove(self.loads[to]);
+        self.multiset.insert(new_from);
+        self.multiset.insert(new_to);
+        self.loads[from] = new_from;
+        self.loads[to] = new_to;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniformly related machines
+// ---------------------------------------------------------------------------
+
+/// Incremental load tracker for [`UniformInstance`] schedules.
+///
+/// Loads are tracked in *work* units (`Σ p_j + Σ s_k`, as in
+/// [`crate::schedule::uniform_loads`]); the makespan multiset is keyed by the
+/// exact [`Ratio`] `work_i / v_i`. Because job sizes are
+/// machine-independent, *both* `eval_class_move` and `eval_job_move` are
+/// `O(log m)` — the departing size sum equals the arriving one.
+#[derive(Debug, Clone)]
+pub struct UniformLoadTracker<'a> {
+    inst: &'a UniformInstance,
+    assignment: Vec<MachineId>,
+    /// Work units per machine.
+    work: Vec<u64>,
+    table: SlotTable,
+    multiset: LoadMultiset<Ratio>,
+}
+
+impl<'a> UniformLoadTracker<'a> {
+    /// Builds the tracker from a valid schedule in `O(n + m + K)`.
+    pub fn new(inst: &'a UniformInstance, sched: &Schedule) -> Result<Self, ScheduleError> {
+        let (n, m, kk) = (inst.n(), inst.m(), inst.num_classes());
+        validate_shape(sched.assignment(), n, m)?;
+        let assignment = sched.assignment().to_vec();
+        let mut work = vec![0u64; m];
+        let mut table = SlotTable::new(m, kk, n);
+        for (j, &i) in assignment.iter().enumerate() {
+            let job = inst.job(j);
+            if table.count(i, job.class) == 0 {
+                work[i] += inst.setup(job.class);
+            }
+            work[i] += job.size;
+            table.push(i, job.class, j, job.size);
+        }
+        let mut multiset = LoadMultiset::new();
+        for (i, &w) in work.iter().enumerate() {
+            multiset.insert(Ratio::new(w, inst.speed(i)));
+        }
+        Ok(UniformLoadTracker { inst, assignment, work, table, multiset })
+    }
+
+    /// The instance this tracker evaluates against.
+    #[inline]
+    pub fn instance(&self) -> &'a UniformInstance {
+        self.inst
+    }
+
+    /// Current per-machine loads in work units (divide by `v_i` for time).
+    #[inline]
+    pub fn work(&self) -> &[u64] {
+        &self.work
+    }
+
+    /// Current makespan (`max_i work_i / v_i`).
+    #[inline]
+    pub fn makespan(&self) -> Ratio {
+        self.multiset.max().unwrap_or(Ratio::ZERO)
+    }
+
+    /// Machine currently holding job `j`.
+    #[inline]
+    pub fn machine_of(&self, j: JobId) -> MachineId {
+        self.assignment[j]
+    }
+
+    /// Number of class-`k` jobs on machine `i`.
+    #[inline]
+    pub fn count(&self, i: MachineId, k: ClassId) -> usize {
+        self.table.count(i, k)
+    }
+
+    /// Jobs of class `k` on machine `i` (deterministic order, no allocation).
+    #[inline]
+    pub fn jobs_of_class_on(&self, i: MachineId, k: ClassId) -> &[JobId] {
+        self.table.jobs(i, k)
+    }
+
+    /// A machine attaining the current makespan (`O(m)` scan).
+    pub fn bottleneck(&self) -> MachineId {
+        let max = self.makespan();
+        (0..self.inst.m())
+            .find(|&i| Ratio::new(self.work[i], self.inst.speed(i)) == max)
+            .expect("non-empty by construction")
+    }
+
+    /// The tracked assignment as a [`Schedule`].
+    pub fn schedule(&self) -> Schedule {
+        Schedule::new(self.assignment.clone())
+    }
+
+    #[inline]
+    fn key(&self, i: MachineId, w: u64) -> Ratio {
+        Ratio::new(w, self.inst.speed(i))
+    }
+
+    /// New `(work_from, work_to)` if job `j` moved to `to`; `None` on no-op.
+    #[inline]
+    fn job_move_work(&self, j: JobId, to: MachineId) -> Option<(u64, u64)> {
+        let from = self.assignment[j];
+        if from == to {
+            return None;
+        }
+        let job = self.inst.job(j);
+        let mut new_from = self.work[from] - job.size;
+        if self.table.count(from, job.class) == 1 {
+            new_from -= self.inst.setup(job.class);
+        }
+        let mut new_to = self.work[to] + job.size;
+        if self.table.count(to, job.class) == 0 {
+            new_to += self.inst.setup(job.class);
+        }
+        Some((new_from, new_to))
+    }
+
+    /// Makespan after moving job `j` to machine `to`, in `O(log m)`.
+    /// `None` if the move is a no-op.
+    pub fn eval_job_move(&self, j: JobId, to: MachineId) -> Option<Ratio> {
+        let from = self.assignment[j];
+        let (new_from, new_to) = self.job_move_work(j, to)?;
+        let rest = self
+            .multiset
+            .max_excluding(&[self.key(from, self.work[from]), self.key(to, self.work[to])])
+            .unwrap_or(Ratio::ZERO);
+        Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
+    }
+
+    /// Applies a job move in `O(log m)`.
+    ///
+    /// # Panics
+    /// Panics if the move is a no-op.
+    pub fn apply_job_move(&mut self, j: JobId, to: MachineId) {
+        let from = self.assignment[j];
+        let (new_from, new_to) = self.job_move_work(j, to).expect("apply_job_move: no-op move");
+        let job = self.inst.job(j);
+        self.table.remove(from, job.class, j, job.size);
+        self.table.push(to, job.class, j, job.size);
+        self.multiset.remove(self.key(from, self.work[from]));
+        self.multiset.remove(self.key(to, self.work[to]));
+        self.multiset.insert(self.key(from, new_from));
+        self.multiset.insert(self.key(to, new_to));
+        self.work[from] = new_from;
+        self.work[to] = new_to;
+        self.assignment[j] = to;
+    }
+
+    /// New `(work_from, work_to, moved_size_sum)` for a whole-class move.
+    fn class_move_work(
+        &self,
+        from: MachineId,
+        k: ClassId,
+        to: MachineId,
+    ) -> Option<(u64, u64, u64)> {
+        if from == to || self.table.count(from, k) == 0 {
+            return None;
+        }
+        let moved = self.table.ptime_sum(from, k);
+        let s = self.inst.setup(k);
+        let new_from = self.work[from] - moved - s;
+        let mut new_to = self.work[to] + moved;
+        if self.table.count(to, k) == 0 {
+            new_to += s;
+        }
+        Some((new_from, new_to, moved))
+    }
+
+    /// Makespan after migrating *all* class-`k` jobs on `from` to `to`, in
+    /// `O(log m)` (sizes are machine-independent, so the cached size sum
+    /// serves both endpoints). `None` if the batch is empty or the move is a
+    /// no-op.
+    pub fn eval_class_move(&self, from: MachineId, k: ClassId, to: MachineId) -> Option<Ratio> {
+        let (new_from, new_to, _) = self.class_move_work(from, k, to)?;
+        let rest = self
+            .multiset
+            .max_excluding(&[self.key(from, self.work[from]), self.key(to, self.work[to])])
+            .unwrap_or(Ratio::ZERO);
+        Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
+    }
+
+    /// Applies a whole-class move in `O(B + log m)`.
+    ///
+    /// # Panics
+    /// Panics if the batch is empty or the move is a no-op.
+    pub fn apply_class_move(&mut self, from: MachineId, k: ClassId, to: MachineId) {
+        let (new_from, new_to, moved) =
+            self.class_move_work(from, k, to).expect("apply_class_move: empty or no-op move");
+        let batch_start = self.table.count(to, k);
+        self.table.drain_slot(from, k, to, moved);
+        for &j in &self.table.jobs(to, k)[batch_start..] {
+            self.assignment[j] = to;
+        }
+        self.multiset.remove(self.key(from, self.work[from]));
+        self.multiset.remove(self.key(to, self.work[to]));
+        self.multiset.insert(self.key(from, new_from));
+        self.multiset.insert(self.key(to, new_to));
+        self.work[from] = new_from;
+        self.work[to] = new_to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Job, INF};
+    use crate::schedule::{uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan};
+
+    fn unrelated_fixture() -> UnrelatedInstance {
+        UnrelatedInstance::new(
+            2,
+            vec![0, 0, 1],
+            vec![vec![3, 9], vec![INF, 4], vec![5, 5]],
+            vec![vec![1, 2], vec![7, INF]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_full_recompute_unrelated() {
+        let inst = unrelated_fixture();
+        let sched = Schedule::new(vec![0, 1, 0]);
+        let t = UnrelatedLoadTracker::new(&inst, &sched).unwrap();
+        assert_eq!(t.loads(), &unrelated_loads(&inst, &sched).unwrap()[..]);
+        assert_eq!(t.makespan(), unrelated_makespan(&inst, &sched).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_schedules_like_full_recompute() {
+        let inst = unrelated_fixture();
+        // Job 1 has p = INF on machine 0.
+        let bad = Schedule::new(vec![0, 0, 0]);
+        assert_eq!(
+            UnrelatedLoadTracker::new(&inst, &bad).unwrap_err(),
+            unrelated_loads(&inst, &bad).unwrap_err()
+        );
+        // Class 1 has s = INF on machine 1.
+        let bad_setup = Schedule::new(vec![0, 1, 1]);
+        assert_eq!(
+            UnrelatedLoadTracker::new(&inst, &bad_setup).unwrap_err(),
+            unrelated_loads(&inst, &bad_setup).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn job_move_eval_matches_apply_and_recompute() {
+        let inst = unrelated_fixture();
+        let mut t = UnrelatedLoadTracker::new(&inst, &Schedule::new(vec![0, 1, 0])).unwrap();
+        // Move job 2 (class 1) from machine 0 to machine 1? setup INF → None.
+        assert_eq!(t.eval_job_move(2, 1), None);
+        // Move job 0 (class 0) to machine 1.
+        let predicted = t.eval_job_move(0, 1).unwrap();
+        t.apply_job_move(0, 1);
+        let sched = t.schedule();
+        assert_eq!(t.makespan(), predicted);
+        assert_eq!(t.makespan(), unrelated_makespan(&inst, &sched).unwrap());
+        assert_eq!(t.loads(), &unrelated_loads(&inst, &sched).unwrap()[..]);
+    }
+
+    #[test]
+    fn infeasible_and_noop_moves_are_none() {
+        let inst = unrelated_fixture();
+        let t = UnrelatedLoadTracker::new(&inst, &Schedule::new(vec![0, 1, 0])).unwrap();
+        assert_eq!(t.eval_job_move(0, 0), None, "no-op");
+        assert_eq!(t.eval_job_move(1, 0), None, "INF ptime");
+        assert_eq!(t.eval_class_move(0, 1, 1), None, "INF setup on target");
+        assert_eq!(t.eval_class_move(1, 1, 0), None, "empty batch");
+        assert_eq!(t.eval_class_move(0, 0, 0), None, "no-op class move");
+    }
+
+    #[test]
+    fn class_move_merges_batches() {
+        let inst = unrelated_fixture();
+        // Machine 0: job 0 (class 0); machine 1: jobs 1 (class 0), 2 is on 0.
+        let mut t = UnrelatedLoadTracker::new(&inst, &Schedule::new(vec![0, 1, 0])).unwrap();
+        let predicted = t.eval_class_move(1, 0, 0);
+        // Batch {job 1} has p = INF on machine 0 → infeasible.
+        assert_eq!(predicted, None);
+        // Move class 0 off machine 0 instead (job 0 → machine 1).
+        let predicted = t.eval_class_move(0, 0, 1).unwrap();
+        t.apply_class_move(0, 0, 1);
+        assert_eq!(t.makespan(), predicted);
+        let sched = t.schedule();
+        assert_eq!(t.loads(), &unrelated_loads(&inst, &sched).unwrap()[..]);
+        assert_eq!(t.count(1, 0), 2);
+        assert_eq!(t.count(0, 0), 0);
+        assert_eq!(t.machine_of(0), 1);
+    }
+
+    #[test]
+    fn uniform_tracker_matches_full_recompute() {
+        let inst = UniformInstance::new(
+            vec![2, 1],
+            vec![3, 5],
+            vec![Job::new(0, 4), Job::new(1, 6), Job::new(0, 2)],
+        )
+        .unwrap();
+        let sched = Schedule::new(vec![0, 1, 1]);
+        let mut t = UniformLoadTracker::new(&inst, &sched).unwrap();
+        assert_eq!(t.work(), &uniform_loads(&inst, &sched).unwrap()[..]);
+        assert_eq!(t.makespan(), uniform_makespan(&inst, &sched).unwrap());
+
+        let predicted = t.eval_job_move(2, 0).unwrap();
+        t.apply_job_move(2, 0);
+        assert_eq!(t.makespan(), predicted);
+        let now = t.schedule();
+        assert_eq!(t.work(), &uniform_loads(&inst, &now).unwrap()[..]);
+        assert_eq!(t.makespan(), uniform_makespan(&inst, &now).unwrap());
+
+        // Whole-class move: class 0 = {0, 2} on machine 0 → machine 1.
+        let predicted = t.eval_class_move(0, 0, 1).unwrap();
+        t.apply_class_move(0, 0, 1);
+        assert_eq!(t.makespan(), predicted);
+        let now = t.schedule();
+        assert_eq!(t.work(), &uniform_loads(&inst, &now).unwrap()[..]);
+    }
+
+    #[test]
+    fn bottleneck_attains_makespan() {
+        let inst =
+            UniformInstance::identical(3, vec![1], vec![Job::new(0, 9), Job::new(0, 2)]).unwrap();
+        let t = UniformLoadTracker::new(&inst, &Schedule::new(vec![0, 1])).unwrap();
+        assert_eq!(t.bottleneck(), 0);
+        assert_eq!(t.makespan(), Ratio::new(10, 1));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = UnrelatedInstance::new(2, vec![], vec![], vec![]).unwrap();
+        let t = UnrelatedLoadTracker::new(&inst, &Schedule::new(vec![])).unwrap();
+        assert_eq!(t.makespan(), 0);
+    }
+}

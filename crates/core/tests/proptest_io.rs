@@ -8,17 +8,13 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
 use sst_core::io::{
-    schedule_from_json, schedule_to_json, unrelated_from_json, unrelated_to_json,
-    uniform_from_json, uniform_to_json,
+    schedule_from_json, schedule_to_json, uniform_from_json, uniform_to_json, unrelated_from_json,
+    unrelated_to_json,
 };
 use sst_core::schedule::Schedule;
 
 fn uniform_instance() -> impl Strategy<Value = UniformInstance> {
-    (
-        vec(1u64..=1000, 1..=6),
-        vec(0u64..=1000, 1..=5),
-        vec((0usize..5, 0u64..=10_000), 0..=20),
-    )
+    (vec(1u64..=1000, 1..=6), vec(0u64..=1000, 1..=5), vec((0usize..5, 0u64..=10_000), 0..=20))
         .prop_map(|(speeds, setups, raw)| {
             let k = setups.len();
             let jobs: Vec<Job> = raw.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
@@ -27,12 +23,8 @@ fn uniform_instance() -> impl Strategy<Value = UniformInstance> {
 }
 
 fn unrelated_instance() -> impl Strategy<Value = UnrelatedInstance> {
-    (
-        1usize..=4,
-        vec((0usize..3, 1u64..=100, 0u8..8), 1..=10),
-        vec(vec(0u64..=50, 4), 3),
-    )
-        .prop_map(|(m, raw, setup_rows)| {
+    (1usize..=4, vec((0usize..3, 1u64..=100, 0u8..8), 1..=10), vec(vec(0u64..=50, 4), 3)).prop_map(
+        |(m, raw, setup_rows)| {
             let ptimes: Vec<Vec<u64>> = raw
                 .iter()
                 .map(|&(_, p, mask)| {
@@ -54,7 +46,8 @@ fn unrelated_instance() -> impl Strategy<Value = UnrelatedInstance> {
                 .map(|row| (0..m).map(|i| row[i % row.len()]).collect())
                 .collect();
             UnrelatedInstance::new(m, classes, ptimes, setups).expect("valid")
-        })
+        },
+    )
 }
 
 proptest! {

@@ -5,23 +5,17 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
-use sst_core::schedule::{unrelated_makespan, uniform_makespan, Schedule};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
 use sst_core::timeline::{render_gantt, Span, Timeline};
 
 fn uniform_case() -> impl Strategy<Value = (UniformInstance, Schedule)> {
-    (
-        vec(1u64..=6, 1..=4),
-        vec(0u64..=20, 1..=4),
-        vec((0usize..4, 0u64..=30), 0..=12),
-    )
+    (vec(1u64..=6, 1..=4), vec(0u64..=20, 1..=4), vec((0usize..4, 0u64..=30), 0..=12))
         .prop_flat_map(|(speeds, setups, raw_jobs)| {
             let m = speeds.len();
             let k = setups.len();
-            let jobs: Vec<Job> =
-                raw_jobs.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            let jobs: Vec<Job> = raw_jobs.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
             let n = jobs.len();
-            let inst =
-                UniformInstance::new(speeds, setups, jobs).expect("valid instance");
+            let inst = UniformInstance::new(speeds, setups, jobs).expect("valid instance");
             (Just(inst), vec(0usize..m, n..=n))
         })
         .prop_map(|(inst, asg)| (inst, Schedule::new(asg)))
@@ -29,10 +23,10 @@ fn uniform_case() -> impl Strategy<Value = (UniformInstance, Schedule)> {
 
 fn unrelated_case() -> impl Strategy<Value = (UnrelatedInstance, Schedule)> {
     (
-        1usize..=4,                           // m
-        vec(0usize..3, 1..=10),               // classes (k = 3)
-        vec(vec(1u64..=25, 4), 3),            // setup rows padded to m below
-        proptest::num::u64::ANY,              // seed for ptimes
+        1usize..=4,                // m
+        vec(0usize..3, 1..=10),    // classes (k = 3)
+        vec(vec(1u64..=25, 4), 3), // setup rows padded to m below
+        proptest::num::u64::ANY,   // seed for ptimes
     )
         .prop_map(|(m, job_class, setup_rows, seed)| {
             let n = job_class.len();

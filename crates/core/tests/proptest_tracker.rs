@@ -1,0 +1,215 @@
+//! Differential property tests: the incremental [`sst_core::tracker`]
+//! trackers must agree **bit-identically** with the full-recompute
+//! evaluators in [`sst_core::schedule`] after arbitrary sequences of job
+//! and whole-class moves — loads, makespan and the evaluated makespan of
+//! every candidate move.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+use sst_core::ratio::Ratio;
+use sst_core::schedule::{
+    uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan, Schedule,
+};
+use sst_core::tracker::{UniformLoadTracker, UnrelatedLoadTracker};
+
+/// A random but valid unrelated instance: every cell finite except a
+/// deterministic sprinkle of INFs that never makes a job unschedulable.
+fn unrelated_instance() -> impl Strategy<Value = UnrelatedInstance> {
+    (2usize..5, 1usize..5, vec((0usize..100, 1u64..500, 0u64..30), 1..40)).prop_map(
+        |(m, k, raw)| {
+            let n = raw.len();
+            let job_class: Vec<usize> = raw.iter().map(|&(c, _, _)| c % k).collect();
+            let ptimes: Vec<Vec<u64>> = raw
+                .iter()
+                .enumerate()
+                .map(|(j, &(_, p, inf_mask))| {
+                    (0..m)
+                        .map(|i| {
+                            // Knock out some cells, but never machine j % m,
+                            // so each job keeps at least one finite machine.
+                            if i != j % m && (inf_mask >> i) & 1 == 1 {
+                                INF
+                            } else {
+                                p + (i as u64) * 7 % 90
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let setups: Vec<Vec<u64>> =
+                (0..k).map(|kk| (0..m).map(|i| 1 + ((kk + i) as u64 % 40)).collect()).collect();
+            let _ = n;
+            UnrelatedInstance::new(m, job_class, ptimes, setups).expect("constructed valid")
+        },
+    )
+}
+
+fn uniform_instance() -> impl Strategy<Value = UniformInstance> {
+    (vec(1u64..50, 2..5), vec(0u64..100, 1..5), vec((0usize..100, 1u64..500), 1..40)).prop_map(
+        |(speeds, setups, raw)| {
+            let k = setups.len();
+            let jobs: Vec<Job> = raw.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            UniformInstance::new(speeds, setups, jobs).expect("constructed valid")
+        },
+    )
+}
+
+/// Replays `moves` on the tracker, checking every state against the
+/// full-recompute oracle. Each move item is (job, target, class_move).
+fn check_unrelated(
+    inst: &UnrelatedInstance,
+    moves: &[(usize, usize, bool)],
+) -> Result<(), TestCaseError> {
+    // Start: every job on its first eligible machine.
+    let start = Schedule::new((0..inst.n()).map(|j| inst.eligible_machines(j)[0]).collect());
+    let mut tracker = UnrelatedLoadTracker::new(inst, &start).expect("valid start");
+    for &(raw_j, raw_i, class_move) in moves {
+        let j = raw_j % inst.n();
+        let to = raw_i % inst.m();
+        if class_move {
+            let from = tracker.machine_of(j);
+            let k = inst.class_of(j);
+            if let Some(predicted) = tracker.eval_class_move(from, k, to) {
+                tracker.apply_class_move(from, k, to);
+                prop_assert_eq!(tracker.makespan(), predicted);
+            }
+        } else if let Some(predicted) = tracker.eval_job_move(j, to) {
+            tracker.apply_job_move(j, to);
+            prop_assert_eq!(tracker.makespan(), predicted);
+        }
+        // Bit-identical agreement with the O(n) oracle, every step.
+        let sched = tracker.schedule();
+        let oracle_loads = unrelated_loads(inst, &sched).expect("tracker kept schedule valid");
+        prop_assert_eq!(tracker.loads(), &oracle_loads[..]);
+        prop_assert_eq!(tracker.makespan(), unrelated_makespan(inst, &sched).expect("valid"));
+    }
+    // Every candidate job move the tracker evaluates must equal the oracle
+    // makespan of the hypothetically moved schedule.
+    let sched = tracker.schedule();
+    for j in 0..inst.n().min(8) {
+        for to in 0..inst.m() {
+            if let Some(predicted) = tracker.eval_job_move(j, to) {
+                let mut probe = sched.clone();
+                probe.set(j, to);
+                prop_assert_eq!(
+                    predicted,
+                    unrelated_makespan(inst, &probe).expect("eval said feasible"),
+                    "eval_job_move({}, {}) disagrees with oracle",
+                    j,
+                    to
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_uniform(
+    inst: &UniformInstance,
+    moves: &[(usize, usize, bool)],
+) -> Result<(), TestCaseError> {
+    let start = Schedule::new((0..inst.n()).map(|j| j % inst.m()).collect());
+    let mut tracker = UniformLoadTracker::new(inst, &start).expect("valid start");
+    for &(raw_j, raw_i, class_move) in moves {
+        let j = raw_j % inst.n();
+        let to = raw_i % inst.m();
+        if class_move {
+            let from = tracker.machine_of(j);
+            let k = inst.job(j).class;
+            if let Some(predicted) = tracker.eval_class_move(from, k, to) {
+                tracker.apply_class_move(from, k, to);
+                prop_assert_eq!(tracker.makespan(), predicted);
+            }
+        } else if let Some(predicted) = tracker.eval_job_move(j, to) {
+            tracker.apply_job_move(j, to);
+            prop_assert_eq!(tracker.makespan(), predicted);
+        }
+        let sched = tracker.schedule();
+        let oracle = uniform_loads(inst, &sched).expect("valid");
+        prop_assert_eq!(tracker.work(), &oracle[..]);
+        prop_assert_eq!(tracker.makespan(), uniform_makespan(inst, &sched).expect("valid"));
+    }
+    let sched = tracker.schedule();
+    for j in 0..inst.n().min(8) {
+        for to in 0..inst.m() {
+            if let Some(predicted) = tracker.eval_job_move(j, to) {
+                let mut probe = sched.clone();
+                probe.set(j, to);
+                prop_assert_eq!(
+                    predicted,
+                    uniform_makespan(inst, &probe).expect("valid"),
+                    "eval_job_move({}, {}) disagrees with oracle",
+                    j,
+                    to
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn unrelated_tracker_matches_oracle_after_move_sequences(
+        inst in unrelated_instance(),
+        moves in vec((0usize..1000, 0usize..1000, proptest::bool::ANY), 0..60),
+    ) {
+        check_unrelated(&inst, &moves)?;
+    }
+
+    #[test]
+    fn uniform_tracker_matches_oracle_after_move_sequences(
+        inst in uniform_instance(),
+        moves in vec((0usize..1000, 0usize..1000, proptest::bool::ANY), 0..60),
+    ) {
+        check_uniform(&inst, &moves)?;
+    }
+
+    #[test]
+    fn tracker_construction_matches_loads_exactly(
+        inst in unrelated_instance(),
+        seed in 0usize..1000,
+    ) {
+        // An arbitrary eligible start assignment.
+        let assignment: Vec<usize> = (0..inst.n())
+            .map(|j| {
+                let elig = inst.eligible_machines(j);
+                elig[(j + seed) % elig.len()]
+            })
+            .collect();
+        let sched = Schedule::new(assignment);
+        let tracker = UnrelatedLoadTracker::new(&inst, &sched).expect("eligible start");
+        prop_assert_eq!(
+            tracker.loads(),
+            &unrelated_loads(&inst, &sched).expect("valid")[..]
+        );
+        let max = tracker.makespan();
+        prop_assert_eq!(max, unrelated_makespan(&inst, &sched).expect("valid"));
+        prop_assert_eq!(tracker.loads()[tracker.bottleneck()], max);
+    }
+
+    #[test]
+    fn uniform_class_move_is_exact_ratio(
+        inst in uniform_instance(),
+        from_seed in 0usize..100,
+        to_seed in 0usize..100,
+    ) {
+        // Everything on one machine, then one whole-class move: the
+        // makespan must be the exact Ratio the oracle computes.
+        let from = from_seed % inst.m();
+        let to = to_seed % inst.m();
+        let start = Schedule::new(vec![from; inst.n()]);
+        let mut tracker = UniformLoadTracker::new(&inst, &start).expect("valid");
+        let k = inst.job(0).class;
+        if let Some(predicted) = tracker.eval_class_move(from, k, to) {
+            tracker.apply_class_move(from, k, to);
+            prop_assert_eq!(predicted, tracker.makespan());
+            let oracle = uniform_makespan(&inst, &tracker.schedule()).expect("valid");
+            prop_assert_eq!(predicted, oracle);
+            prop_assert!(predicted >= Ratio::ZERO);
+        }
+    }
+}

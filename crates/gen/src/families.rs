@@ -114,9 +114,8 @@ pub fn correlated_unrelated(
         ((rho * base + (100 - rho) * indep) / 100).max(1)
     };
     let job_effect: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
-    let ptimes: Vec<Vec<u64>> = (0..n)
-        .map(|j| (0..m).map(|_| blend(&mut rng, job_effect[j], lo, hi)).collect())
-        .collect();
+    let ptimes: Vec<Vec<u64>> =
+        (0..n).map(|j| (0..m).map(|_| blend(&mut rng, job_effect[j], lo, hi)).collect()).collect();
     let (slo, shi) = setups.range(mean);
     let setup_effect: Vec<u64> = (0..k).map(|_| rng.gen_range(slo..=shi)).collect();
     let setup_rows: Vec<Vec<u64>> = (0..k)
@@ -191,10 +190,7 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min_nonzero = counts.iter().copied().filter(|&c| c > 0).min().unwrap();
-        assert!(
-            max >= 5 * min_nonzero.max(1),
-            "theta=2 should skew populations: {counts:?}"
-        );
+        assert!(max >= 5 * min_nonzero.max(1), "theta=2 should skew populations: {counts:?}");
     }
 
     #[test]
@@ -220,8 +216,7 @@ mod tests {
         }
         // ρ = 0: rows genuinely vary (overwhelmingly likely at this size).
         let unrel = correlated_unrelated(20, 4, 3, 0, (1, 50), SetupWeight::Light, 3);
-        let varies = (0..unrel.n())
-            .any(|j| (1..4).any(|i| unrel.ptime(i, j) != unrel.ptime(0, j)));
+        let varies = (0..unrel.n()).any(|j| (1..4).any(|i| unrel.ptime(i, j) != unrel.ptime(0, j)));
         assert!(varies);
     }
 

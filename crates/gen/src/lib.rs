@@ -114,12 +114,12 @@ fn speeds_for(profile: SpeedProfile, m: usize, rng: &mut StdRng) -> Vec<u64> {
         SpeedProfile::UniformRandom { lo, hi } => {
             (0..m).map(|_| rng.gen_range(lo.max(1)..=hi.max(lo.max(1)))).collect()
         }
-        SpeedProfile::GeometricSpread { base, tiers } => (0..m)
-            .map(|i| base.max(2).pow(i as u32 % tiers.max(1)))
-            .collect(),
-        SpeedProfile::Bimodal { slow, fast, fast_per_8 } => (0..m)
-            .map(|i| if (i % 8) < fast_per_8 as usize { fast } else { slow.max(1) })
-            .collect(),
+        SpeedProfile::GeometricSpread { base, tiers } => {
+            (0..m).map(|i| base.max(2).pow(i as u32 % tiers.max(1))).collect()
+        }
+        SpeedProfile::Bimodal { slow, fast, fast_per_8 } => {
+            (0..m).map(|i| if (i % 8) < fast_per_8 as usize { fast } else { slow.max(1) }).collect()
+        }
     }
 }
 
@@ -286,13 +286,11 @@ pub fn class_uniform_ptimes(
     let mut rng = StdRng::seed_from_u64(seed);
     let (lo, hi) = size_range;
     let mean = (lo + hi) / 2;
-    let class_rows: Vec<Vec<u64>> = (0..k)
-        .map(|_| (0..m).map(|_| rng.gen_range(lo..=hi)).collect())
-        .collect();
+    let class_rows: Vec<Vec<u64>> =
+        (0..k).map(|_| (0..m).map(|_| rng.gen_range(lo..=hi)).collect()).collect();
     let (slo, shi) = setups.range(mean);
-    let class_setups: Vec<Vec<u64>> = (0..k)
-        .map(|_| (0..m).map(|_| rng.gen_range(slo..=shi)).collect())
-        .collect();
+    let class_setups: Vec<Vec<u64>> =
+        (0..k).map(|_| (0..m).map(|_| rng.gen_range(slo..=shi)).collect()).collect();
     let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k.max(1))).collect();
     let ptimes: Vec<Vec<u64>> = job_class.iter().map(|&kj| class_rows[kj].clone()).collect();
     UnrelatedInstance::new(m, job_class, ptimes, class_setups)
@@ -346,11 +344,8 @@ mod tests {
         assert_eq!(speeds_for(SpeedProfile::Identical, 3, &mut rng), vec![1, 1, 1]);
         let g = speeds_for(SpeedProfile::GeometricSpread { base: 4, tiers: 3 }, 5, &mut rng);
         assert_eq!(g, vec![1, 4, 16, 1, 4]);
-        let b = speeds_for(
-            SpeedProfile::Bimodal { slow: 1, fast: 10, fast_per_8: 2 },
-            10,
-            &mut rng,
-        );
+        let b =
+            speeds_for(SpeedProfile::Bimodal { slow: 1, fast: 10, fast_per_8: 2 }, 10, &mut rng);
         assert_eq!(b.iter().filter(|&&v| v == 10).count(), 4); // idx 0,1,8,9
     }
 

@@ -53,9 +53,8 @@ pub fn compute_cluster(n: usize, m: usize, datasets: usize, seed: u64) -> Unrela
                 .collect()
         })
         .collect();
-    let setups: Vec<Vec<u64>> = (0..datasets)
-        .map(|d| (0..m).map(|i| (dataset_mb[d] * net[i]).max(1)).collect())
-        .collect();
+    let setups: Vec<Vec<u64>> =
+        (0..datasets).map(|d| (0..m).map(|i| (dataset_mb[d] * net[i]).max(1)).collect()).collect();
     UnrelatedInstance::new(m, job_class, ptimes, setups).expect("valid scenario")
 }
 
@@ -79,8 +78,7 @@ pub fn print_shop(n: usize, presses: usize, stocks: usize, seed: u64) -> Unrelat
     let class_setups: Vec<u64> = (0..stocks).map(|_| rng.gen_range(15..=60)).collect();
     let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..stocks.max(1))).collect();
     let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=30)).collect();
-    let eligible: Vec<Vec<usize>> =
-        job_class.iter().map(|&k| class_machines[k].clone()).collect();
+    let eligible: Vec<Vec<usize>> = job_class.iter().map(|&k| class_machines[k].clone()).collect();
     UnrelatedInstance::restricted_assignment(
         presses,
         job_class,
@@ -105,14 +103,11 @@ pub fn ci_build_farm(n: usize, nodes: usize, images: usize, seed: u64) -> Unrela
     let net: Vec<u64> = (0..nodes).map(|_| rng.gen_range(1..=3)).collect();
     let image_mb: Vec<u64> = (0..images).map(|_| rng.gen_range(20..=120)).collect();
     // Each node has a warm cache of a random ~third of the images.
-    let warm: Vec<Vec<bool>> = (0..nodes)
-        .map(|_| (0..images).map(|_| rng.gen_range(0..3) == 0).collect())
-        .collect();
+    let warm: Vec<Vec<bool>> =
+        (0..nodes).map(|_| (0..images).map(|_| rng.gen_range(0..3) == 0).collect()).collect();
     let setups: Vec<Vec<u64>> = (0..images)
         .map(|d| {
-            (0..nodes)
-                .map(|i| if warm[i][d] { 0 } else { image_mb[d] * net[i] / 10 })
-                .collect()
+            (0..nodes).map(|i| if warm[i][d] { 0 } else { image_mb[d] * net[i] / 10 }).collect()
         })
         .collect();
     let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..images.max(1))).collect();
@@ -153,8 +148,7 @@ mod tests {
     #[test]
     fn production_line_is_setup_heavy() {
         let inst = production_line(60, 6, 4, 11);
-        let mean_size =
-            inst.total_job_size() / inst.n() as u64;
+        let mean_size = inst.total_job_size() / inst.n() as u64;
         let min_setup = (0..inst.num_classes()).map(|k| inst.setup(k)).min().unwrap();
         assert!(min_setup >= 3 * mean_size, "changeovers should dominate lots");
     }
@@ -168,8 +162,8 @@ mod tests {
         let mut differs = false;
         for j in 0..inst.n() {
             let r0 = inst.ptime(0, j) as f64 / inst.ptime(1, j) as f64;
-            let r1 = inst.ptime(0, (j + 1) % inst.n()) as f64
-                / inst.ptime(1, (j + 1) % inst.n()) as f64;
+            let r1 =
+                inst.ptime(0, (j + 1) % inst.n()) as f64 / inst.ptime(1, (j + 1) % inst.n()) as f64;
             if (r0 - r1).abs() > 1e-12 {
                 differs = true;
             }

@@ -144,7 +144,11 @@ pub fn certify(lp: &LpProblem, sol: &LpResult, tol: f64) -> Result<Certificate, 
     let cx: f64 = c.iter().zip(x).map(|(cc, xx)| cc * xx).sum();
     let gap = (cx - ydotb).abs();
 
-    let cert = Certificate { primal_violation: primal.max(0.0), dual_violation: dual.max(0.0), duality_gap: gap };
+    let cert = Certificate {
+        primal_violation: primal.max(0.0),
+        dual_violation: dual.max(0.0),
+        duality_gap: gap,
+    };
     if cert.primal_violation <= tol && cert.dual_violation <= tol && cert.duality_gap <= tol {
         Ok(cert)
     } else {
@@ -266,16 +270,8 @@ mod tests {
         let x2 = lp.add_var(150.0, None);
         let x3 = lp.add_var(-0.02, None);
         let x4 = lp.add_var(6.0, None);
-        lp.add_constraint(
-            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
-            Relation::Le,
-            0.0,
-        );
-        lp.add_constraint(
-            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
-            Relation::Le,
-            0.0,
-        );
+        lp.add_constraint(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Relation::Le, 0.0);
         lp.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
         let sol = lp.solve();
         certify(&lp, &sol, 1e-5).expect("degenerate optimum still certifies");
@@ -289,12 +285,10 @@ mod tests {
         let s = [[1.0, 2.0], [2.0, 1.0]];
         let t = 5.0;
         let mut lp = LpProblem::new(Sense::Min);
-        let xv: Vec<Vec<_>> = (0..3)
-            .map(|j| (0..2).map(|i| lp.add_var(p[j][i], Some(1.0))).collect())
-            .collect();
-        let yv: Vec<Vec<_>> = (0..2)
-            .map(|k| (0..2).map(|i| lp.add_var(s[k][i], Some(1.0))).collect())
-            .collect();
+        let xv: Vec<Vec<_>> =
+            (0..3).map(|j| (0..2).map(|i| lp.add_var(p[j][i], Some(1.0))).collect()).collect();
+        let yv: Vec<Vec<_>> =
+            (0..2).map(|k| (0..2).map(|i| lp.add_var(s[k][i], Some(1.0))).collect()).collect();
         for j in 0..3 {
             lp.add_constraint(&[(xv[j][0], 1.0), (xv[j][1], 1.0)], Relation::Eq, 1.0);
         }

@@ -71,12 +71,8 @@ impl LpProblem {
             Sense::Min => "Minimize\n obj: ",
             Sense::Max => "Maximize\n obj: ",
         });
-        let obj: Vec<(usize, f64)> = self
-            .objective_coeffs()
-            .iter()
-            .enumerate()
-            .map(|(v, &c)| (v, c))
-            .collect();
+        let obj: Vec<(usize, f64)> =
+            self.objective_coeffs().iter().enumerate().map(|(v, &c)| (v, c)).collect();
         term_list(&mut out, &obj);
         out.push_str("\nSubject To\n");
         let mut bounds: Vec<(usize, f64)> = Vec::new();

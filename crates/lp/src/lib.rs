@@ -126,16 +126,8 @@ mod tests {
         let x2 = lp.add_var(150.0, None);
         let x3 = lp.add_var(-0.02, None);
         let x4 = lp.add_var(6.0, None);
-        lp.add_constraint(
-            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
-            Relation::Le,
-            0.0,
-        );
-        lp.add_constraint(
-            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
-            Relation::Le,
-            0.0,
-        );
+        lp.add_constraint(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Relation::Le, 0.0);
         lp.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
         let sol = lp.solve();
         assert_eq!(sol.status, LpStatus::Optimal);
@@ -175,9 +167,8 @@ mod tests {
         // a *basic* solution must return 0/1 values (total unimodularity).
         let costs = [[1.0, 5.0], [5.0, 1.0]];
         let mut lp = LpProblem::new(Sense::Min);
-        let x: Vec<Vec<VarId>> = (0..2)
-            .map(|j| (0..2).map(|i| lp.add_var(costs[j][i], Some(1.0))).collect())
-            .collect();
+        let x: Vec<Vec<VarId>> =
+            (0..2).map(|j| (0..2).map(|i| lp.add_var(costs[j][i], Some(1.0))).collect()).collect();
         for row in &x {
             lp.add_constraint(&[(row[0], 1.0), (row[1], 1.0)], Relation::Eq, 1.0);
         }
@@ -187,10 +178,7 @@ mod tests {
         for row in &x {
             for &v in row {
                 let val = sol.value(v);
-                assert!(
-                    val.abs() < 1e-6 || (val - 1.0).abs() < 1e-6,
-                    "non-vertex value {val}"
-                );
+                assert!(val.abs() < 1e-6 || (val - 1.0).abs() < 1e-6, "non-vertex value {val}");
             }
         }
     }

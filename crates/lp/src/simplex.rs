@@ -138,8 +138,7 @@ impl Tableau {
                         None => leaving = Some((r, ratio)),
                         Some((lr, lratio)) => {
                             if ratio < lratio - PIVOT_TOL
-                                || (ratio < lratio + PIVOT_TOL
-                                    && self.basis[r] < self.basis[lr])
+                                || (ratio < lratio + PIVOT_TOL && self.basis[r] < self.basis[lr])
                             {
                                 leaving = Some((r, ratio));
                             }
@@ -253,9 +252,7 @@ pub(crate) fn solve_standard(nv: usize, c: &[f64], rows: &[Row]) -> SimplexOutco
         // where possible; redundant rows keep their artificial locked at 0.
         for r in 0..m {
             if artificial_cols.contains(&t.basis[r]) {
-                if let Some(col) =
-                    (0..nv + n_slack).find(|&c2| t.at(r, c2).abs() > 1e-6)
-                {
+                if let Some(col) = (0..nv + n_slack).find(|&c2| t.at(r, c2).abs() > 1e-6) {
                     t.pivot(r, col);
                 }
             }
@@ -301,8 +298,7 @@ pub(crate) fn solve_standard(nv: usize, c: &[f64], rows: &[Row]) -> SimplexOutco
     // Duals from the phase-2 objective row (see `dual_probe` above). The
     // probe columns are maintained through every pivot, so this is the
     // simplex multiplier vector y = c_B B⁻¹ of the final basis.
-    let duals: Vec<f64> =
-        dual_probe.iter().map(|&(col, s)| s * t.at(m, col)).collect();
+    let duals: Vec<f64> = dual_probe.iter().map(|&(col, s)| s * t.at(m, col)).collect();
     SimplexOutcome::Optimal { values, objective, duals }
 }
 

@@ -12,16 +12,12 @@ use sst_lp::{certify, CertifyError, LpProblem, LpStatus, Relation, Sense};
 fn random_lp() -> impl Strategy<Value = LpProblem> {
     (
         vec((0.0f64..10.0, 1.0f64..5.0), 1..=6), // (objective, upper bound)
-        vec(
-            (vec(0.0f64..3.0, 6), 0usize..3, 0.5f64..8.0),
-            0..=6,
-        ),
+        vec((vec(0.0f64..3.0, 6), 0usize..3, 0.5f64..8.0), 0..=6),
         prop_oneof![Just(Sense::Min), Just(Sense::Max)],
     )
         .prop_map(|(vars, rows, sense)| {
             let mut lp = LpProblem::new(sense);
-            let ids: Vec<_> =
-                vars.iter().map(|&(c, u)| lp.add_var(c, Some(u))).collect();
+            let ids: Vec<_> = vars.iter().map(|&(c, u)| lp.add_var(c, Some(u))).collect();
             for (coeffs, rel, rhs) in rows {
                 let terms: Vec<_> = ids
                     .iter()
@@ -39,13 +35,10 @@ fn random_lp() -> impl Strategy<Value = LpProblem> {
                 };
                 // Keep Ge/Eq rows satisfiable inside the box: scale the RHS
                 // below the row's max attainable value.
-                let max_lhs: f64 = terms
-                    .iter()
-                    .map(|&(v, c)| c * vars[v.index()].1)
-                    .sum();
+                let max_lhs: f64 = terms.iter().map(|&(v, c)| c * vars[v.index()].1).sum();
                 let rhs = match relation {
                     Relation::Le => rhs,
-                    _ => (rhs / 8.0) * max_lhs.min(1.0).max(0.0),
+                    _ => (rhs / 8.0) * max_lhs.clamp(0.0, 1.0),
                 };
                 lp.add_constraint(&terms, relation, rhs);
             }

@@ -47,10 +47,8 @@ pub fn lp_cover(inst: &SetCoverInstance) -> Option<FractionalCover> {
     let mut lp = LpProblem::new(Sense::Min);
     let vars: Vec<_> = (0..inst.num_sets()).map(|_| lp.add_var(1.0, Some(1.0))).collect();
     for e in 0..inst.n_elements() {
-        let coeffs: Vec<_> = (0..inst.num_sets())
-            .filter(|&s| inst.contains(s, e))
-            .map(|s| (vars[s], 1.0))
-            .collect();
+        let coeffs: Vec<_> =
+            (0..inst.num_sets()).filter(|&s| inst.contains(s, e)).map(|s| (vars[s], 1.0)).collect();
         debug_assert!(!coeffs.is_empty(), "coverable instance");
         lp.add_constraint(&coeffs, Relation::Ge, 1.0);
     }
@@ -68,11 +66,7 @@ pub fn lp_cover(inst: &SetCoverInstance) -> Option<FractionalCover> {
 ///
 /// Expected size ≤ `⌈c·ln N⌉ · Opt_f + o(1)` for `c ≥ 1`; the repair set is
 /// empty with probability `≥ 1 − N^{1−c}`.
-pub fn randomized_rounding_cover(
-    inst: &SetCoverInstance,
-    c: f64,
-    seed: u64,
-) -> Option<Vec<usize>> {
+pub fn randomized_rounding_cover(inst: &SetCoverInstance, c: f64, seed: u64) -> Option<Vec<usize>> {
     let frac = lp_cover(inst)?;
     let n = inst.n_elements().max(2);
     let rounds = ((c * (n as f64).ln()).ceil() as usize).max(1);
@@ -85,8 +79,7 @@ pub fn randomized_rounding_cover(
             }
         }
     }
-    let mut picked: Vec<usize> =
-        (0..inst.num_sets()).filter(|&s| chosen[s]).collect();
+    let mut picked: Vec<usize> = (0..inst.num_sets()).filter(|&s| chosen[s]).collect();
     if !inst.is_cover(&picked) {
         // Greedy repair on the residual universe: keep what we have and
         // cover the rest (rare for c ≥ 1; certain to terminate because the
@@ -97,8 +90,7 @@ pub fn randomized_rounding_cover(
                 covered[e] = true;
             }
         }
-        let residual: Vec<usize> =
-            (0..inst.n_elements()).filter(|&e| !covered[e]).collect();
+        let residual: Vec<usize> = (0..inst.n_elements()).filter(|&e| !covered[e]).collect();
         let remap: std::collections::HashMap<usize, usize> =
             residual.iter().enumerate().map(|(new, &old)| (old, new)).collect();
         let sets: Vec<Vec<usize>> = inst
@@ -134,9 +126,7 @@ pub fn frequency_rounding_cover(inst: &SetCoverInstance) -> Option<(Vec<usize>, 
     }
     let f = freq.into_iter().max().unwrap_or(0).max(1);
     let threshold = 1.0 / f as f64 - 1e-9;
-    let picked: Vec<usize> = (0..inst.num_sets())
-        .filter(|&s| frac.x[s] >= threshold)
-        .collect();
+    let picked: Vec<usize> = (0..inst.num_sets()).filter(|&s| frac.x[s] >= threshold).collect();
     debug_assert!(inst.is_cover(&picked), "frequency rounding must cover");
     Some((picked, f))
 }
@@ -151,13 +141,7 @@ mod tests {
         // 6 elements, overlapping triples.
         SetCoverInstance::new(
             6,
-            vec![
-                vec![0, 1, 2],
-                vec![2, 3, 4],
-                vec![4, 5, 0],
-                vec![1, 3, 5],
-                vec![0, 3],
-            ],
+            vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 0], vec![1, 3, 5], vec![0, 3]],
         )
     }
 
@@ -228,11 +212,8 @@ mod tests {
             let frac = lp_cover(&inst).unwrap();
             assert!(frac.value < 2.0 + 1e-6, "k={k}: LP value {}", frac.value);
             assert_eq!(gf2_integral_optimum(k), k as usize);
-            let opt = if k <= 3 {
-                exact_cover(&inst).unwrap().len()
-            } else {
-                gf2_integral_optimum(k)
-            };
+            let opt =
+                if k <= 3 { exact_cover(&inst).unwrap().len() } else { gf2_integral_optimum(k) };
             assert_eq!(opt, k as usize);
             let gap = opt as f64 / frac.value;
             assert!(gap >= k as f64 / 2.0 - 1e-6);

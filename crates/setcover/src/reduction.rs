@@ -79,11 +79,7 @@ pub fn reduce(sc: &SetCoverInstance, t: usize, rng: &mut impl Rng) -> Reduction 
 /// and send each job (k, e) to the open machine playing a covering set.
 ///
 /// Panics if `cover` is not actually a cover.
-pub fn schedule_from_cover(
-    sc: &SetCoverInstance,
-    red: &Reduction,
-    cover: &[usize],
-) -> Schedule {
+pub fn schedule_from_cover(sc: &SetCoverInstance, red: &Reduction, cover: &[usize]) -> Schedule {
     assert!(sc.is_cover(cover), "schedule_from_cover requires a genuine cover");
     let n_el = sc.n_elements();
     let m = sc.num_sets();
@@ -106,11 +102,7 @@ pub fn schedule_from_cover(
             machine_of_set[s] = i;
         }
         for e in 0..n_el {
-            let s = cover
-                .iter()
-                .copied()
-                .find(|&s| sc.contains(s, e))
-                .expect("cover covers e");
+            let s = cover.iter().copied().find(|&s| sc.contains(s, e)).expect("cover covers e");
             debug_assert!(in_cover[s]);
             assignment[k * n_el + e] = machine_of_set[s];
         }

@@ -98,10 +98,7 @@ mod tests {
     use super::*;
 
     fn triple() -> SetCoverInstance {
-        SetCoverInstance::new(
-            5,
-            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4], vec![1]],
-        )
+        SetCoverInstance::new(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4], vec![1]])
     }
 
     #[test]

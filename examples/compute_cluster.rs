@@ -23,8 +23,8 @@ fn main() {
         let inst = compute_cluster(36, 5, 8, seed);
         let res = solve_unrelated_randomized(&inst, &RoundingConfig { c: 2.0, seed });
         let greedy = unrelated_makespan(&inst, &greedy_unrelated(&inst)).expect("valid");
-        let by_class = class_grouped_greedy_unrelated(&inst)
-            .and_then(|s| unrelated_makespan(&inst, &s).ok());
+        let by_class =
+            class_grouped_greedy_unrelated(&inst).and_then(|s| unrelated_makespan(&inst, &s).ok());
         println!(
             "{:<6} {:>8} {:>8} {:>10} {:>10} {:>8.2}",
             seed,
@@ -35,8 +35,7 @@ fn main() {
             res.makespan as f64 / res.t_star as f64,
         );
         // Theorem 3.3's envelope, with a generous constant for small n:
-        let envelope =
-            ((inst.n() as f64).ln() + (inst.m() as f64).ln()) * 8.0 * res.t_star as f64;
+        let envelope = ((inst.n() as f64).ln() + (inst.m() as f64).ln()) * 8.0 * res.t_star as f64;
         assert!((res.makespan as f64) <= envelope.max(res.t_star as f64 * 4.0));
     }
     println!("\n'T*(LP)' is the smallest guess at which the ILP-UM relaxation is");

@@ -11,8 +11,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use setup_scheduling::prelude::*;
 use setup_scheduling::setcover::{
-    gf2_basis_cover, gf2_fractional_optimum, gf2_gap_instance, gf2_integral_optimum,
-    reduce, reduction_makespan_lower_bound, schedule_from_cover,
+    gf2_basis_cover, gf2_fractional_optimum, gf2_gap_instance, gf2_integral_optimum, reduce,
+    reduction_makespan_lower_bound, schedule_from_cover,
 };
 
 fn main() {
@@ -30,8 +30,8 @@ fn main() {
         // Yes-certificate: the proof's schedule built from the size-k cover.
         let sched = schedule_from_cover(&sc, &red, &gf2_basis_cover(k));
         let yes = unrelated_makespan(&red.instance, &sched).expect("valid");
-        let gap = lb as f64 / (red.num_classes as f64 * gf2_fractional_optimum(k)
-            / red.instance.m() as f64);
+        let gap = lb as f64
+            / (red.num_classes as f64 * gf2_fractional_optimum(k) / red.instance.m() as f64);
         println!(
             "{:<4} {:>6} {:>8} {:>12} {:>12} {:>12.2} {:>8.2}",
             k,

@@ -13,7 +13,10 @@ use setup_scheduling::gen::scenarios::production_line;
 use setup_scheduling::prelude::*;
 
 fn main() {
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12} {:>8}", "seed", "oblivious", "greedy", "lemma2.1", "lower-bound", "obl/lpt");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "seed", "oblivious", "greedy", "lemma2.1", "lower-bound", "obl/lpt"
+    );
     for seed in 1..=8u64 {
         let inst = production_line(80, 8, 5, seed);
         let lb = uniform_lower_bound(&inst);

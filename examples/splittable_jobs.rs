@@ -40,10 +40,8 @@ fn main() {
         );
         split.schedule.validate(&inst).expect("split schedule invariants");
 
-        let max_degree = (0..inst.num_classes())
-            .map(|k| split.schedule.split_degree(k))
-            .max()
-            .unwrap_or(0);
+        let max_degree =
+            (0..inst.num_classes()).map(|k| split.schedule.split_degree(k)).max().unwrap_or(0);
         println!(
             "{:<6} {:>6} {:>12} {:>12.1} {:>10.2} {:>10}",
             seed,

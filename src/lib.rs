@@ -53,7 +53,7 @@ pub mod prelude {
     pub use sst_algos::annealing::{anneal_uniform, anneal_unrelated, AnnealConfig};
     pub use sst_algos::configlp::{config_lp_lower_bound, ConfigLpLimits};
     pub use sst_algos::cupt::solve_class_uniform_ptimes;
-    pub use sst_algos::exact::{exact_unrelated, exact_unrelated_parallel, exact_uniform};
+    pub use sst_algos::exact::{exact_uniform, exact_unrelated, exact_unrelated_parallel};
     pub use sst_algos::identical::{batch_lpt_identical, wrap_identical};
     pub use sst_algos::lpt::{lpt_with_setups, lpt_with_setups_makespan, LPT_FACTOR};
     pub use sst_algos::ptas::{ptas_uniform, PtasConfig};
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
     pub use sst_core::ratio::Ratio;
     pub use sst_core::schedule::{
-        unrelated_loads, unrelated_makespan, uniform_loads, uniform_makespan, Schedule,
+        uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan, Schedule,
     };
     pub use sst_core::timeline::{render_gantt, render_gantt_svg, Timeline};
 }

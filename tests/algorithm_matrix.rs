@@ -26,11 +26,9 @@ fn family(seed: u64, setups: SetupWeight) -> UniformInstance {
 
 #[test]
 fn all_uniform_algorithms_dominate_exact_and_respect_bounds() {
-    for (seed, setups) in [
-        (1u64, SetupWeight::Light),
-        (2, SetupWeight::Moderate),
-        (3, SetupWeight::Heavy),
-    ] {
+    for (seed, setups) in
+        [(1u64, SetupWeight::Light), (2, SetupWeight::Moderate), (3, SetupWeight::Heavy)]
+    {
         let inst = family(seed, setups);
         let exact = exact_uniform(&inst, 1 << 25);
         assert!(exact.complete, "reference optimum must certify");
@@ -42,10 +40,7 @@ fn all_uniform_algorithms_dominate_exact_and_respect_bounds() {
         let ptas = ptas_uniform(&inst, &PtasConfig { q: 4, node_limit: 20_000_000 }).makespan;
 
         for (name, ms) in [("lpt", lpt), ("greedy", grd), ("multifit", mf), ("ptas", ptas)] {
-            assert!(
-                ms >= opt,
-                "{name} beat the certified optimum on seed {seed}: {ms} < {opt}"
-            );
+            assert!(ms >= opt, "{name} beat the certified optimum on seed {seed}: {ms} < {opt}");
         }
         // Guaranteed algorithms respect their factors vs the true optimum.
         assert!(lpt.to_f64() <= 4.7321 * opt.to_f64() * (1.0 + 1e-12));
@@ -56,11 +51,9 @@ fn all_uniform_algorithms_dominate_exact_and_respect_bounds() {
 #[test]
 fn local_search_only_improves_every_start() {
     let inst = family(9, SetupWeight::Moderate);
-    for start in [
-        Schedule::new(vec![0; inst.n()]),
-        greedy_uniform(&inst),
-        lpt_with_setups_makespan(&inst).0,
-    ] {
+    for start in
+        [Schedule::new(vec![0; inst.n()]), greedy_uniform(&inst), lpt_with_setups_makespan(&inst).0]
+    {
         let before = uniform_makespan(&inst, &start).unwrap();
         let res = improve_uniform(&inst, &start, 200);
         let after = uniform_makespan(&inst, &res.schedule).unwrap();
@@ -77,10 +70,7 @@ fn multifit_is_competitive_with_lpt_on_batching_instances() {
         let inst = family(100 + seed, SetupWeight::Heavy);
         let (_, lpt) = lpt_with_setups_makespan(&inst);
         let mf = multifit_uniform(&inst, 8).makespan;
-        assert!(
-            mf.to_f64() <= 2.0 * lpt.to_f64(),
-            "seed {seed}: multifit {mf} vs lpt {lpt}"
-        );
+        assert!(mf.to_f64() <= 2.0 * lpt.to_f64(), "seed {seed}: multifit {mf} vs lpt {lpt}");
     }
 }
 

@@ -82,10 +82,7 @@ fn setcover_reduction_is_rng_deterministic() {
     let b = reduce(&sc, 2, &mut r2);
     assert_eq!(a.instance, b.instance);
     // Rounding covers too.
-    assert_eq!(
-        randomized_rounding_cover(&sc, 2.0, 8),
-        randomized_rounding_cover(&sc, 2.0, 8)
-    );
+    assert_eq!(randomized_rounding_cover(&sc, 2.0, 8), randomized_rounding_cover(&sc, 2.0, 8));
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! evaluation, asserting each paper guarantee on concrete seeds.
 
 use setup_scheduling::algos::cupt::solve_class_uniform_ptimes;
-use setup_scheduling::algos::exact::{exact_unrelated, exact_uniform};
+use setup_scheduling::algos::exact::{exact_uniform, exact_unrelated};
 use setup_scheduling::algos::lpt::{lpt_with_setups_makespan, LPT_FACTOR};
 use setup_scheduling::algos::ptas::{ptas_uniform, PtasConfig};
 use setup_scheduling::algos::ra::solve_ra_class_uniform;
@@ -88,12 +88,7 @@ fn ra_pipeline_two_approx() {
         let inst = gen::ra_class_uniform(30, 5, 6, 3, (1, 30), SetupWeight::Moderate, 80 + seed);
         let res = solve_ra_class_uniform(&inst);
         assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
-        assert!(
-            res.makespan <= 2 * res.t_star,
-            "seed {seed}: {} > 2·{}",
-            res.makespan,
-            res.t_star
-        );
+        assert!(res.makespan <= 2 * res.t_star, "seed {seed}: {} > 2·{}", res.makespan, res.t_star);
     }
 }
 
@@ -103,12 +98,7 @@ fn cupt_pipeline_three_approx() {
         let inst = gen::class_uniform_ptimes(30, 5, 5, (1, 25), SetupWeight::Moderate, 90 + seed);
         let res = solve_class_uniform_ptimes(&inst);
         assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
-        assert!(
-            res.makespan <= 3 * res.t_star,
-            "seed {seed}: {} > 3·{}",
-            res.makespan,
-            res.t_star
-        );
+        assert!(res.makespan <= 3 * res.t_star, "seed {seed}: {} > 3·{}", res.makespan, res.t_star);
     }
 }
 

@@ -6,9 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use setup_scheduling::prelude::*;
 use setup_scheduling::setcover::{
-    exact_cover, gf2_basis_cover, gf2_fractional_optimum, gf2_gap_instance,
-    gf2_integral_optimum, greedy_cover, reduce, reduction_makespan_lower_bound,
-    schedule_from_cover,
+    exact_cover, gf2_basis_cover, gf2_fractional_optimum, gf2_gap_instance, gf2_integral_optimum,
+    greedy_cover, reduce, reduction_makespan_lower_bound, schedule_from_cover,
 };
 
 #[test]
@@ -22,10 +21,7 @@ fn gap_grows_with_k_end_to_end() {
         let lb = reduction_makespan_lower_bound(&red, gf2_integral_optimum(k));
         let frac = red.num_classes as f64 * gf2_fractional_optimum(k) / red.instance.m() as f64;
         let gap = lb as f64 / frac;
-        assert!(
-            gap >= last_gap - 0.35,
-            "k={k}: gap {gap} fell well below previous {last_gap}"
-        );
+        assert!(gap >= last_gap - 0.35, "k={k}: gap {gap} fell well below previous {last_gap}");
         last_gap = gap;
     }
     // Across the sweep the gap must have grown substantially (Θ(log N)).
@@ -47,10 +43,7 @@ fn yes_certificate_is_valid_and_respects_lower_bound() {
         // a wide constant for these small m.
         let expect = red.num_classes as f64 * cover.len() as f64 / red.instance.m() as f64;
         let bound = 2.0 * expect + 2.0 * (red.instance.m() as f64).log2() + 2.0;
-        assert!(
-            (ms as f64) <= bound,
-            "k={k}: yes-schedule {ms} above concentration bound {bound}"
-        );
+        assert!((ms as f64) <= bound, "k={k}: yes-schedule {ms} above concentration bound {bound}");
     }
 }
 

@@ -131,14 +131,7 @@ fn setcover_lp_chain_greedy_vs_rounding_vs_fractional() {
     // Fractional ≤ exact ≤ greedy ≤ H_N · exact, rounding covers.
     let inst = SetCoverInstance::new(
         8,
-        vec![
-            vec![0, 1, 2],
-            vec![2, 3],
-            vec![3, 4, 5],
-            vec![5, 6],
-            vec![6, 7, 0],
-            vec![1, 4, 7],
-        ],
+        vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![5, 6], vec![6, 7, 0], vec![1, 4, 7]],
     );
     let frac = lp_cover(&inst).expect("coverable");
     let greedy = greedy_cover(&inst).expect("coverable");

@@ -13,14 +13,13 @@ use setup_scheduling::prelude::*;
 /// Strategy: a small but structurally varied uniform instance.
 fn uniform_instance() -> impl Strategy<Value = UniformInstance> {
     (
-        vec(1u64..=8, 1..=4),           // speeds
-        vec(0u64..=30, 1..=4),          // setups (zero allowed)
+        vec(1u64..=8, 1..=4),                // speeds
+        vec(0u64..=30, 1..=4),               // setups (zero allowed)
         vec((0usize..4, 0u64..=40), 1..=12), // (class idx raw, size)
     )
         .prop_map(|(speeds, setups, raw_jobs)| {
             let k = setups.len();
-            let jobs: Vec<Job> =
-                raw_jobs.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            let jobs: Vec<Job> = raw_jobs.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
             UniformInstance::new(speeds, setups, jobs).expect("strategy builds valid instances")
         })
 }

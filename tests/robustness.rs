@@ -89,13 +89,7 @@ fn schedule_evaluator_rejects_all_malformed_shapes() {
 
 #[test]
 fn unrelated_inf_assignment_is_a_typed_error_not_a_big_number() {
-    let inst = UnrelatedInstance::new(
-        2,
-        vec![0],
-        vec![vec![INF, 3]],
-        vec![vec![1, 1]],
-    )
-    .unwrap();
+    let inst = UnrelatedInstance::new(2, vec![0], vec![vec![INF, 3]], vec![vec![1, 1]]).unwrap();
     let bad = Schedule::new(vec![0]);
     assert!(matches!(
         unrelated_loads(&inst, &bad),
@@ -155,8 +149,8 @@ fn splittable_solver_handles_degenerate_classes() {
 
 #[test]
 fn single_machine_everything_collapses_gracefully() {
-    let inst = UniformInstance::new(vec![3], vec![2, 5], vec![Job::new(0, 6), Job::new(1, 9)])
-        .unwrap();
+    let inst =
+        UniformInstance::new(vec![3], vec![2, 5], vec![Job::new(0, 6), Job::new(1, 9)]).unwrap();
     let (s1, m1) = lpt_with_setups_makespan(&inst);
     let exact = exact_uniform(&inst, 1 << 16);
     assert_eq!(m1, exact.makespan, "single machine: every algorithm is exact");
