@@ -39,9 +39,14 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sst_core::cancel::CancelToken;
 use sst_core::instance::{UniformInstance, UnrelatedInstance};
 use sst_core::schedule::Schedule;
 use sst_core::tracker::{UniformLoadTracker, UnrelatedLoadTracker};
+
+/// Proposals between deadline polls (each proposal is an `O(log m)`
+/// tracker evaluation, so one interval is a few microseconds).
+const CANCEL_CHECK_MASK: usize = 0xFF;
 
 /// Annealer parameters.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +102,19 @@ pub fn anneal_unrelated(
     start: &Schedule,
     cfg: &AnnealConfig,
 ) -> AnnealResult {
+    anneal_unrelated_budgeted(inst, start, cfg, &CancelToken::new())
+}
+
+/// [`anneal_unrelated`] with cooperative cancellation: the proposal loop
+/// polls `cancel` every few hundred iterations and returns the best
+/// schedule seen so far (the annealer tracks best-seen, so early exit never
+/// degrades the start).
+pub fn anneal_unrelated_budgeted(
+    inst: &UnrelatedInstance,
+    start: &Schedule,
+    cfg: &AnnealConfig,
+    cancel: &CancelToken,
+) -> AnnealResult {
     let mut tracker = UnrelatedLoadTracker::new(inst, start).expect("valid start schedule");
     let m = inst.m();
     let mut cur_ms = tracker.makespan();
@@ -109,7 +127,10 @@ pub fn anneal_unrelated(
     if inst.n() == 0 || m < 2 {
         return AnnealResult { schedule: best, accepted, improvements };
     }
-    for _ in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
+        if it & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
+            break;
+        }
         let class_move = rng.gen::<f64>() < cfg.class_move_prob;
         let j = rng.gen_range(0..inst.n());
         let from = tracker.machine_of(j);
@@ -162,6 +183,17 @@ pub fn anneal_uniform(
     start: &Schedule,
     cfg: &AnnealConfig,
 ) -> AnnealResult {
+    anneal_uniform_budgeted(inst, start, cfg, &CancelToken::new())
+}
+
+/// [`anneal_uniform`] with cooperative cancellation (see
+/// [`anneal_unrelated_budgeted`]).
+pub fn anneal_uniform_budgeted(
+    inst: &UniformInstance,
+    start: &Schedule,
+    cfg: &AnnealConfig,
+    cancel: &CancelToken,
+) -> AnnealResult {
     let mut tracker = UniformLoadTracker::new(inst, start).expect("valid start schedule");
     let m = inst.m();
     let mut cur_ms = tracker.makespan();
@@ -174,7 +206,10 @@ pub fn anneal_uniform(
     if inst.n() == 0 || m < 2 {
         return AnnealResult { schedule: best, accepted, improvements };
     }
-    for _ in 0..cfg.iterations {
+    for it in 0..cfg.iterations {
+        if it & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
+            break;
+        }
         let class_move = rng.gen::<f64>() < cfg.class_move_prob;
         let j = rng.gen_range(0..inst.n());
         let from = tracker.machine_of(j);
@@ -321,6 +356,22 @@ mod tests {
         let inst = UnrelatedInstance::new(2, vec![], vec![], vec![]).unwrap();
         let res = anneal_unrelated(&inst, &Schedule::new(vec![]), &cfg(1));
         assert_eq!(res.schedule.n(), 0);
+    }
+
+    #[test]
+    fn cancelled_annealer_returns_start() {
+        let inst = UniformInstance::identical(
+            2,
+            vec![1],
+            vec![Job::new(0, 4), Job::new(0, 6), Job::new(0, 2)],
+        )
+        .unwrap();
+        let start = Schedule::new(vec![0, 0, 0]);
+        let token = CancelToken::new();
+        token.cancel();
+        let res = anneal_uniform_budgeted(&inst, &start, &cfg(9), &token);
+        assert_eq!(res.schedule, start, "pre-cancelled run proposes nothing");
+        assert_eq!(res.accepted, 0);
     }
 
     #[test]

@@ -20,9 +20,14 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sst_core::cancel::CancelToken;
 use sst_core::instance::{is_finite, UniformInstance, UnrelatedInstance};
 use sst_core::ratio::Ratio;
 use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
+
+/// Nodes between deadline polls — cancellation overshoots by at most this
+/// many node expansions.
+const CANCEL_CHECK_MASK: u64 = 0x3FF;
 
 /// Result of an exact search.
 #[derive(Debug, Clone)]
@@ -43,6 +48,17 @@ const MAX_CLASSES: usize = 128;
 /// the incumbent is returned with `complete = false` (still a valid upper
 /// bound). Intended for small instances (`n ≲ 15`).
 pub fn exact_uniform(inst: &UniformInstance, node_limit: u64) -> ExactResult<Ratio> {
+    exact_uniform_budgeted(inst, node_limit, &CancelToken::new())
+}
+
+/// [`exact_uniform`] with cooperative cancellation: the search polls
+/// `cancel` every few hundred nodes and, once cancelled, returns the
+/// current incumbent with `complete = false` — an anytime upper bound.
+pub fn exact_uniform_budgeted(
+    inst: &UniformInstance,
+    node_limit: u64,
+    cancel: &CancelToken,
+) -> ExactResult<Ratio> {
     assert!(inst.num_classes() <= MAX_CLASSES, "exact solver supports K ≤ 128");
     let incumbent_sched = crate::list::greedy_uniform(inst);
     let incumbent = uniform_makespan(inst, &incumbent_sched).expect("greedy is valid");
@@ -69,10 +85,16 @@ pub fn exact_uniform(inst: &UniformInstance, node_limit: u64) -> ExactResult<Rat
         total_speed: u64,
         nodes: u64,
         node_limit: u64,
+        cancel: &'a CancelToken,
+        stopped: bool,
     }
 
     fn dfs(c: &mut Ctx<'_>, depth: usize, assigned_work: u64) {
-        if c.nodes >= c.node_limit {
+        if c.nodes >= c.node_limit || c.stopped {
+            return;
+        }
+        if c.nodes & CANCEL_CHECK_MASK == 0 && c.cancel.is_cancelled() {
+            c.stopped = true;
             return;
         }
         c.nodes += 1;
@@ -146,9 +168,11 @@ pub fn exact_uniform(inst: &UniformInstance, node_limit: u64) -> ExactResult<Rat
         total_speed: inst.total_speed(),
         nodes: 0,
         node_limit,
+        cancel,
+        stopped: false,
     };
     dfs(&mut ctx, 0, 0);
-    let complete = ctx.nodes < node_limit;
+    let complete = ctx.nodes < node_limit && !ctx.stopped;
     ExactResult {
         makespan: ctx.best,
         schedule: Schedule::new(ctx.best_sched),
@@ -171,6 +195,28 @@ fn suffix_sums(inst: &UniformInstance) -> Vec<u64> {
 
 /// Exact unrelated-machines optimum by sequential branch-and-bound.
 pub fn exact_unrelated(inst: &UnrelatedInstance, node_limit: u64) -> ExactResult<u64> {
+    exact_unrelated_budgeted(inst, node_limit, &CancelToken::new(), None)
+}
+
+/// [`exact_unrelated`] with cooperative cancellation and an optional
+/// externally shared incumbent bound.
+///
+/// `shared_best` is the cross-seeding hook used by the portfolio racer:
+/// makespans published there by *other* solvers tighten this search's
+/// pruning bound (relaxed loads, as in [`exact_unrelated_parallel`]), and
+/// improvements found here are published back via `fetch_min`. Because the
+/// externally seeded bound can be smaller than anything this search ever
+/// attains, the returned `makespan` is always recomputed from the returned
+/// schedule — the pair stays consistent even when the bound came from
+/// elsewhere. `complete = true` then certifies "no schedule strictly better
+/// than the final bound exists", which is the optimality certificate
+/// whenever the bound was attained by a published schedule.
+pub fn exact_unrelated_budgeted(
+    inst: &UnrelatedInstance,
+    node_limit: u64,
+    cancel: &CancelToken,
+    shared_best: Option<&AtomicU64>,
+) -> ExactResult<u64> {
     assert!(inst.num_classes() <= MAX_CLASSES, "exact solver supports K ≤ 128");
     let incumbent_sched = crate::list::greedy_unrelated(inst);
     let incumbent = unrelated_makespan(inst, &incumbent_sched).expect("greedy is valid");
@@ -188,16 +234,15 @@ pub fn exact_unrelated(inst: &UnrelatedInstance, node_limit: u64) -> ExactResult
         masks: vec![0; inst.m()],
         nodes: 0,
         node_limit,
-        shared_best: None,
+        shared_best,
+        cancel,
+        stopped: false,
     };
     unrel_dfs(&mut ctx, 0);
-    let complete = ctx.nodes < node_limit;
-    ExactResult {
-        makespan: ctx.best,
-        schedule: Schedule::new(ctx.best_sched),
-        nodes: ctx.nodes,
-        complete,
-    }
+    let complete = ctx.nodes < node_limit && !ctx.stopped;
+    let schedule = Schedule::new(ctx.best_sched);
+    let makespan = unrelated_makespan(inst, &schedule).expect("incumbents are valid");
+    ExactResult { makespan, schedule, nodes: ctx.nodes, complete }
 }
 
 /// Jobs ordered by decreasing best-case cost — branching on constrained
@@ -221,14 +266,20 @@ struct UnrelCtx<'a> {
     masks: Vec<u128>,
     nodes: u64,
     node_limit: u64,
-    /// In the parallel solver, the fleet-wide incumbent. Relaxed ordering is
-    /// sufficient: the value is only a pruning hint; correctness never
-    /// depends on seeing the latest write.
+    /// In the parallel solver and the portfolio racer, the fleet-wide
+    /// incumbent. Relaxed ordering is sufficient: the value is only a
+    /// pruning hint; correctness never depends on seeing the latest write.
     shared_best: Option<&'a AtomicU64>,
+    cancel: &'a CancelToken,
+    stopped: bool,
 }
 
 fn unrel_dfs(c: &mut UnrelCtx<'_>, depth: usize) {
-    if c.nodes >= c.node_limit {
+    if c.nodes >= c.node_limit || c.stopped {
+        return;
+    }
+    if c.nodes & CANCEL_CHECK_MASK == 0 && c.cancel.is_cancelled() {
+        c.stopped = true;
         return;
     }
     c.nodes += 1;
@@ -303,11 +354,22 @@ pub fn exact_unrelated_parallel(
     node_limit: u64,
     threads: usize,
 ) -> ExactResult<u64> {
+    exact_unrelated_parallel_budgeted(inst, node_limit, threads, &CancelToken::new())
+}
+
+/// [`exact_unrelated_parallel`] with cooperative cancellation: all workers
+/// poll the same token and unwind within one check interval.
+pub fn exact_unrelated_parallel_budgeted(
+    inst: &UnrelatedInstance,
+    node_limit: u64,
+    threads: usize,
+    cancel: &CancelToken,
+) -> ExactResult<u64> {
     assert!(inst.num_classes() <= MAX_CLASSES, "exact solver supports K ≤ 128");
     let incumbent_sched = crate::list::greedy_unrelated(inst);
     let incumbent = unrelated_makespan(inst, &incumbent_sched).expect("greedy is valid");
     if inst.n() == 0 || threads <= 1 {
-        return exact_unrelated(inst, node_limit);
+        return exact_unrelated_budgeted(inst, node_limit, cancel, None);
     }
     let order = unrelated_order(inst);
     let j0 = order[0];
@@ -345,6 +407,8 @@ pub fn exact_unrelated_parallel(
                         nodes: 0,
                         node_limit,
                         shared_best: Some(global_best),
+                        cancel,
+                        stopped: false,
                     };
                     // Apply the fixed first-level decision.
                     let p = inst.ptime(i0, j0);
@@ -355,7 +419,7 @@ pub fn exact_unrelated_parallel(
                     let before = ctx.best;
                     unrel_dfs(&mut ctx, 1);
                     total_nodes.fetch_add(ctx.nodes, Ordering::Relaxed);
-                    if ctx.nodes >= node_limit {
+                    if ctx.nodes >= node_limit || ctx.stopped {
                         completed.store(0, Ordering::Relaxed);
                     }
                     if ctx.best < before && !ctx.best_sched.is_empty() {
@@ -510,5 +574,44 @@ mod tests {
         let res = exact_uniform(&inst, 100);
         assert!(res.complete);
         assert_eq!(res.makespan, Ratio::ZERO);
+    }
+
+    #[test]
+    fn cancelled_search_returns_valid_incumbent() {
+        let inst = UniformInstance::identical(
+            2,
+            vec![1],
+            (0..14).map(|x| Job::new(0, 1 + (x % 5) as u64)).collect(),
+        )
+        .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let res = exact_uniform_budgeted(&inst, u64::MAX >> 1, &token);
+        assert!(!res.complete, "a cancelled search must not claim optimality");
+        assert_eq!(uniform_makespan(&inst, &res.schedule).unwrap(), res.makespan);
+        assert!(res.nodes <= 1, "pre-cancelled token must stop immediately");
+    }
+
+    #[test]
+    fn shared_bound_keeps_result_consistent() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 1, 0],
+            vec![vec![4, 2], vec![3, 3], vec![1, 5]],
+            vec![vec![1, 2], vec![2, 1]],
+        )
+        .unwrap();
+        // An absurdly tight external bound prunes everything; the returned
+        // (makespan, schedule) pair must still agree with each other.
+        let shared = AtomicU64::new(0);
+        let res = exact_unrelated_budgeted(&inst, 1 << 16, &CancelToken::new(), Some(&shared));
+        assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
+        // A loose external bound must not block the true optimum.
+        let shared = AtomicU64::new(u64::MAX);
+        let res = exact_unrelated_budgeted(&inst, 1 << 20, &CancelToken::new(), Some(&shared));
+        assert!(res.complete);
+        assert_eq!(res.makespan, exact_unrelated(&inst, 1 << 20).makespan);
+        // Improvements are published back for other racers to prune with.
+        assert_eq!(shared.load(Ordering::Relaxed), res.makespan);
     }
 }

@@ -23,12 +23,18 @@
 //! — they are the differential-test oracle and the benchmark baseline, not
 //! an API anyone should pick for speed.
 
+use sst_core::cancel::CancelToken;
 use sst_core::instance::{is_finite, UniformInstance, UnrelatedInstance};
 use sst_core::ratio::Ratio;
 use sst_core::schedule::{
     uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan, Schedule,
 };
 use sst_core::tracker::{UniformLoadTracker, UnrelatedLoadTracker};
+
+/// Candidate evaluations between deadline polls: one check interval of the
+/// anytime contract (each evaluation is `O(log m)`, so an interval is a few
+/// microseconds).
+const CANCEL_CHECK_MASK: u64 = 0xFFF;
 
 /// Outcome of a descent run.
 #[derive(Debug, Clone)]
@@ -47,9 +53,23 @@ pub fn improve_uniform(
     start: &Schedule,
     max_moves: usize,
 ) -> LocalSearchResult {
+    improve_uniform_budgeted(inst, start, max_moves, &CancelToken::new())
+}
+
+/// [`improve_uniform`] with cooperative cancellation: the sweep polls
+/// `cancel` every few thousand candidate evaluations and returns the
+/// best-so-far schedule (the descent is anytime by construction — every
+/// accepted move only improves the makespan).
+pub fn improve_uniform_budgeted(
+    inst: &UniformInstance,
+    start: &Schedule,
+    max_moves: usize,
+    cancel: &CancelToken,
+) -> LocalSearchResult {
     let mut tracker = UniformLoadTracker::new(inst, start).expect("valid input schedule");
     let mut best = tracker.makespan();
     let mut moves = 0usize;
+    let mut evals = 0u64;
     'outer: while moves < max_moves {
         let bottleneck = tracker.bottleneck();
         // Job moves: try moving any job off the current bottleneck machine.
@@ -57,6 +77,10 @@ pub fn improve_uniform(
             for idx in 0..tracker.count(bottleneck, k) {
                 let j = tracker.jobs_of_class_on(bottleneck, k)[idx];
                 for i in 0..inst.m() {
+                    evals += 1;
+                    if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
+                        break 'outer;
+                    }
                     if let Some(ms) = tracker.eval_job_move(j, i) {
                         if ms < best {
                             tracker.apply_job_move(j, i);
@@ -71,6 +95,10 @@ pub fn improve_uniform(
         // Class moves off the bottleneck.
         for k in 0..inst.num_classes() {
             for i in 0..inst.m() {
+                evals += 1;
+                if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
+                    break 'outer;
+                }
                 if let Some(ms) = tracker.eval_class_move(bottleneck, k, i) {
                     if ms < best {
                         tracker.apply_class_move(bottleneck, k, i);
@@ -94,15 +122,31 @@ pub fn improve_unrelated(
     start: &Schedule,
     max_moves: usize,
 ) -> LocalSearchResult {
+    improve_unrelated_budgeted(inst, start, max_moves, &CancelToken::new())
+}
+
+/// [`improve_unrelated`] with cooperative cancellation (see
+/// [`improve_uniform_budgeted`]).
+pub fn improve_unrelated_budgeted(
+    inst: &UnrelatedInstance,
+    start: &Schedule,
+    max_moves: usize,
+    cancel: &CancelToken,
+) -> LocalSearchResult {
     let mut tracker = UnrelatedLoadTracker::new(inst, start).expect("valid input schedule");
     let mut best = tracker.makespan();
     let mut moves = 0usize;
+    let mut evals = 0u64;
     'outer: while moves < max_moves {
         let bottleneck = tracker.bottleneck();
         for k in 0..inst.num_classes() {
             for idx in 0..tracker.count(bottleneck, k) {
                 let j = tracker.jobs_of_class_on(bottleneck, k)[idx];
                 for i in 0..inst.m() {
+                    evals += 1;
+                    if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
+                        break 'outer;
+                    }
                     if let Some(ms) = tracker.eval_job_move(j, i) {
                         if ms < best {
                             tracker.apply_job_move(j, i);
@@ -116,6 +160,10 @@ pub fn improve_unrelated(
         }
         for k in 0..inst.num_classes() {
             for i in 0..inst.m() {
+                evals += 1;
+                if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
+                    break 'outer;
+                }
                 if let Some(ms) = tracker.eval_class_move(bottleneck, k, i) {
                     if ms < best {
                         tracker.apply_class_move(bottleneck, k, i);
@@ -361,5 +409,22 @@ mod tests {
         assert!(slow_ms <= start_ms);
         let refine_fast = improve_uniform_full_recompute(&inst, &fast.schedule, 1000);
         assert_eq!(refine_fast.moves, 0, "incremental result must be a local optimum");
+    }
+
+    #[test]
+    fn cancelled_descent_never_worsens() {
+        let inst = UniformInstance::identical(
+            3,
+            vec![5, 2],
+            vec![Job::new(0, 7), Job::new(0, 3), Job::new(1, 9), Job::new(1, 1)],
+        )
+        .unwrap();
+        let start = Schedule::new(vec![0; 4]);
+        let token = sst_core::cancel::CancelToken::new();
+        token.cancel();
+        let res = improve_uniform_budgeted(&inst, &start, 1000, &token);
+        let before = uniform_makespan(&inst, &start).unwrap();
+        let after = uniform_makespan(&inst, &res.schedule).unwrap();
+        assert!(after <= before, "anytime return must not degrade the start");
     }
 }

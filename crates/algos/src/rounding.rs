@@ -24,7 +24,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::lp_relax::{solve_ilp_um_relaxation, FractionalAssignment, LpRelaxOutcome};
 use sst_core::bounds::{unrelated_lower_bound, unrelated_upper_bound};
-use sst_core::dual::{binary_search_u64, Decision};
+use sst_core::cancel::CancelToken;
+use sst_core::dual::{binary_search_u64_budgeted, BudgetedSearch, Decision};
 use sst_core::instance::{is_finite, UnrelatedInstance};
 use sst_core::schedule::{unrelated_makespan, Schedule};
 
@@ -64,6 +65,18 @@ pub fn round_fractional(
     frac: &FractionalAssignment,
     cfg: &RoundingConfig,
 ) -> (Schedule, usize) {
+    round_fractional_budgeted(inst, frac, cfg, &CancelToken::new())
+}
+
+/// [`round_fractional`] with cooperative cancellation: the repetition loop
+/// stops once `cancel` fires and the step-3 fallback places whatever is
+/// still unassigned, so a valid schedule is always produced.
+pub fn round_fractional_budgeted(
+    inst: &UnrelatedInstance,
+    frac: &FractionalAssignment,
+    cfg: &RoundingConfig,
+    cancel: &CancelToken,
+) -> (Schedule, usize) {
     let n = inst.n();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let iterations = ((cfg.c * (n.max(2) as f64).ln()).ceil() as usize).max(1);
@@ -75,7 +88,7 @@ pub fn round_fractional(
     }
     let mut remaining = n;
     for _ in 0..iterations {
-        if remaining == 0 {
+        if remaining == 0 || cancel.is_cancelled() {
             break;
         }
         for (k, yk) in frac.y.iter().enumerate() {
@@ -150,6 +163,23 @@ pub fn solve_unrelated_randomized(
     inst: &UnrelatedInstance,
     cfg: &RoundingConfig,
 ) -> RoundingResult {
+    solve_unrelated_randomized_budgeted(inst, cfg, &CancelToken::new())
+}
+
+/// [`solve_unrelated_randomized`] with cooperative cancellation.
+///
+/// The token is polled between LP solves (the bisection's natural check
+/// interval — an individual simplex run is not interruptible) and inside
+/// the rounding loop. On early exit the best *feasible* fractional solution
+/// seen so far is rounded; if none exists yet, the setup-aware greedy
+/// schedule is returned. In all cases the reported `t_star` is the certified
+/// invariant of the bisection — every `T < t_star` is known infeasible — so
+/// it remains a true lower bound on the optimum even when cancelled.
+pub fn solve_unrelated_randomized_budgeted(
+    inst: &UnrelatedInstance,
+    cfg: &RoundingConfig,
+    cancel: &CancelToken,
+) -> RoundingResult {
     if inst.n() == 0 {
         return RoundingResult {
             schedule: Schedule::new(vec![]),
@@ -160,12 +190,24 @@ pub fn solve_unrelated_randomized(
     }
     let lb = unrelated_lower_bound(inst);
     let ub = unrelated_upper_bound(inst);
-    let (t_star, frac) = binary_search_u64(lb, ub, |t| match solve_ilp_um_relaxation(inst, t) {
-        LpRelaxOutcome::Feasible(f) => Decision::Feasible(f),
-        LpRelaxOutcome::Infeasible => Decision::Infeasible,
-    })
-    .expect("LP feasible at the greedy upper bound");
-    let (schedule, fallback_jobs) = round_fractional(inst, &frac, cfg);
+    let search =
+        binary_search_u64_budgeted(lb, ub, cancel, |t| match solve_ilp_um_relaxation(inst, t) {
+            LpRelaxOutcome::Feasible(f) => Decision::Feasible(f),
+            LpRelaxOutcome::Infeasible => Decision::Infeasible,
+        });
+    let (t_star, frac) = match search {
+        BudgetedSearch::Converged(t, f) => (t, Some(f)),
+        BudgetedSearch::Cancelled { lower_bound, best } => (lower_bound, best.map(|(_, f)| f)),
+        // Only reachable uncancelled — a broken relaxation or upper bound
+        // must fail loudly, not degrade quietly to the greedy fallback.
+        BudgetedSearch::Infeasible => panic!("LP feasible at the greedy upper bound"),
+    };
+    let (schedule, fallback_jobs) = match &frac {
+        Some(frac) => round_fractional_budgeted(inst, frac, cfg, cancel),
+        // Cancelled before any feasible probe: fall back to the greedy
+        // schedule (the same incumbent the exact solvers start from).
+        None => (crate::list::greedy_unrelated(inst), inst.n()),
+    };
     let makespan = unrelated_makespan(inst, &schedule)
         .expect("rounding assigns only along finite x-variables or finite fallbacks");
     RoundingResult { schedule, makespan, t_star, fallback_jobs }
@@ -174,6 +216,7 @@ pub fn solve_unrelated_randomized(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sst_core::dual::{binary_search_u64, Decision};
     use sst_core::instance::INF;
 
     fn pseudo_random_instance(n: usize, m: usize, kk: usize, seed: u64) -> UnrelatedInstance {
@@ -264,6 +307,29 @@ mod tests {
         let ms1 = unrelated_makespan(&inst, &s1).unwrap();
         let (_, best) = round_fractional_best_of(&inst, &frac, &cfg, 5);
         assert!(best <= ms1);
+    }
+
+    #[test]
+    fn cancelled_rounding_still_returns_valid_schedule_and_true_bound() {
+        let inst = pseudo_random_instance(18, 3, 4, 13);
+        let token = CancelToken::new();
+        token.cancel();
+        let res = solve_unrelated_randomized_budgeted(&inst, &RoundingConfig::default(), &token);
+        // Greedy fallback: valid, and t_star stays a certified lower bound.
+        assert_eq!(unrelated_makespan(&inst, &res.schedule).unwrap(), res.makespan);
+        let full = solve_unrelated_randomized(&inst, &RoundingConfig::default());
+        assert!(res.t_star <= full.t_star, "cancelled bound may be weaker, never wrong");
+        assert!(res.t_star <= res.makespan);
+    }
+
+    #[test]
+    fn budgeted_equals_plain_when_never_cancelled() {
+        let inst = pseudo_random_instance(16, 3, 4, 29);
+        let cfg = RoundingConfig { c: 2.0, seed: 4 };
+        let plain = solve_unrelated_randomized(&inst, &cfg);
+        let budgeted = solve_unrelated_randomized_budgeted(&inst, &cfg, &CancelToken::new());
+        assert_eq!(plain.schedule, budgeted.schedule);
+        assert_eq!(plain.t_star, budgeted.t_star);
     }
 
     #[test]

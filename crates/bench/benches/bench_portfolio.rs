@@ -1,0 +1,168 @@
+//! Portfolio racing vs. single fixed solvers — quality and latency smoke.
+//!
+//! For each `crates/gen` scenario family this harness runs every selected
+//! solver *alone to completion* (no deadline, so each run is a
+//! deterministic function of the seed), plus the top-3 wall-clock race,
+//! averaged over seeds, and prints a quality table (mean makespan; lower
+//! is better). It enforces two regression floors that fail the CI smoke
+//! job fast — both deterministic, so the gate cannot flake on a loaded
+//! runner:
+//!
+//! 1. the race never loses to the setup-aware greedy baseline on any
+//!    family (structural: the racer publishes greedy before any member
+//!    starts and only replaces it with strict improvements), and
+//! 2. on at least one family the *per-instance best member* strictly
+//!    beats the best single fixed member's average — the winner-diversity
+//!    property the racing executor exists to exploit (the race takes the
+//!    per-instance minimum), computed from the deterministic completed
+//!    single runs.
+//!
+//! The wall-clock race column is printed for the ROADMAP table (and its
+//! observed wins/ties against the best single member), but is not gated —
+//! under CPU contention a deadline race can tie a solo run without any
+//! code regression.
+//!
+//! A small criterion group also tracks race latency so scheduling-path
+//! slowdowns show up next to the tracker benches.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sst_core::cancel::CancelToken;
+use sst_portfolio::race::Incumbent;
+use sst_portfolio::{extract_features, race, select, ProblemInstance, RaceConfig, SolveContext};
+
+const SEEDS: u64 = 10;
+const BUDGET: Duration = Duration::from_millis(60);
+
+fn family(name: &str, seed: u64) -> ProblemInstance {
+    match name {
+        "production-line" => {
+            ProblemInstance::Uniform(sst_gen::scenarios::production_line(40, 5, 4, seed))
+        }
+        "compute-cluster" => {
+            ProblemInstance::Unrelated(sst_gen::scenarios::compute_cluster(40, 5, 8, seed))
+        }
+        "print-shop" => ProblemInstance::Unrelated(sst_gen::scenarios::print_shop(36, 4, 5, seed)),
+        "unrelated-correlated" => {
+            ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams {
+                n: 48,
+                m: 5,
+                k: 6,
+                seed,
+                ..Default::default()
+            }))
+        }
+        other => panic!("unknown family {other}"),
+    }
+}
+
+const FAMILIES: [&str; 4] =
+    ["production-line", "compute-cluster", "print-shop", "unrelated-correlated"];
+
+/// Runs one solver alone to natural completion (fresh incumbent, no
+/// deadline — bounded by the solver's own deterministic caps: annealing
+/// iterations, descent local optimum, full LP bisection). The result is a
+/// pure function of (instance, seed).
+fn run_single(inst: &ProblemInstance, name: &str, seed: u64) -> Option<f64> {
+    let feat = extract_features(inst);
+    let solver = select(&feat).into_iter().find(|s| s.name() == name)?;
+    let incumbent = Incumbent::new();
+    let cancel = CancelToken::new();
+    let ctx = SolveContext { cancel: &cancel, seed, incumbent: &incumbent };
+    solver.solve(inst, &ctx).map(|out| out.cost.to_f64())
+}
+
+/// Prints the quality table and returns whether the per-instance best
+/// member (the quantity the race approximates) strictly beats the best
+/// single fixed member on at least one family. Panics (hard floor) if the
+/// wall-clock race ever loses to greedy.
+fn quality_table() -> bool {
+    let mut any_diversity_win = false;
+    println!(
+        "\nportfolio quality (mean makespan over {SEEDS} seeds; singles to completion, race at {BUDGET:?}):"
+    );
+    for fam in FAMILIES {
+        // The single solvers compared: whatever the selector ranks for this
+        // family, each run alone, vs. their per-instance best and the race.
+        let member_names: Vec<&'static str> = {
+            let feat = extract_features(&family(fam, 0));
+            select(&feat).iter().map(|s| s.name()).collect()
+        };
+        let mut race_sum = 0.0;
+        let mut greedy_sum = 0.0;
+        let mut oracle_sum = 0.0;
+        let mut member_sums: Vec<(String, f64, u64)> =
+            member_names.iter().map(|n| (n.to_string(), 0.0, 0u64)).collect();
+        for seed in 0..SEEDS {
+            let inst = family(fam, seed);
+            let res = race(&inst, &RaceConfig { top_k: 3, budget: BUDGET, seed });
+            race_sum += res.cost.to_f64();
+            greedy_sum += inst.greedy().cost.to_f64();
+            let mut per_instance_best = f64::INFINITY;
+            for (name, sum, cnt) in member_sums.iter_mut() {
+                if let Some(ms) = run_single(&inst, name, seed) {
+                    *sum += ms;
+                    *cnt += 1;
+                    per_instance_best = per_instance_best.min(ms);
+                }
+            }
+            oracle_sum += per_instance_best;
+        }
+        let race_avg = race_sum / SEEDS as f64;
+        let greedy_avg = greedy_sum / SEEDS as f64;
+        let oracle_avg = oracle_sum / SEEDS as f64;
+        let mut best_single = f64::INFINITY;
+        let mut best_name = "-";
+        print!("  {fam:<22} race {race_avg:>9.1}  best-member {oracle_avg:>9.1}");
+        for (name, sum, cnt) in &member_sums {
+            if *cnt == SEEDS {
+                let avg = sum / SEEDS as f64;
+                print!("  {name} {avg:.1}");
+                if avg < best_single {
+                    best_single = avg;
+                    best_name = name;
+                }
+            }
+        }
+        println!();
+        println!(
+            "  {:<22} best single: {best_name} {best_single:.1} → diversity {}, race {}",
+            "",
+            if oracle_avg < best_single - 1e-9 { "WINS" } else { "ties" },
+            if race_avg < best_single - 1e-9 {
+                "WINS"
+            } else if race_avg <= best_single + 1e-9 {
+                "ties"
+            } else {
+                "behind"
+            }
+        );
+        assert!(
+            race_avg <= greedy_avg + 1e-9,
+            "{fam}: race ({race_avg}) must never lose to greedy ({greedy_avg})"
+        );
+        if oracle_avg < best_single - 1e-9 {
+            any_diversity_win = true;
+        }
+    }
+    any_diversity_win
+}
+
+fn bench(c: &mut Criterion) {
+    assert!(
+        quality_table(),
+        "per-instance winner diversity vanished: on every family one fixed solver \
+         dominates all seeds, so the racing portfolio adds nothing"
+    );
+    let mut g = c.benchmark_group("portfolio_race");
+    g.sample_size(10);
+    let inst = family("compute-cluster", 42);
+    g.bench_function("race_top3_compute_cluster_40x5", |b| {
+        b.iter(|| race(&inst, &RaceConfig { top_k: 3, budget: BUDGET, seed: 42 }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -87,9 +87,53 @@ USAGE
   sst sweep --family uniform|identical|unrelated|ra|cupt --algo ALGO
             [--n-list 20,40,80] [--m M] [--k K] [--seeds S] [--setups W]
       prints one CSV row per (n, seed), computed in parallel
+  sst serve [--tcp HOST:PORT] [--shards N] [--top-k K] [--budget-ms MS]
+            [--seed S]
+      solver-portfolio service speaking NDJSON: one request object per
+      line ({\"id\": .., \"instance\": {..}, \"budget_ms\": ..}), one
+      response per line; {\"metrics\": true} returns running latency
+      percentiles. Default reads stdin until EOF; --tcp serves every
+      connection concurrently and prints the bound address first.
   sst help
 "
     .to_string()
+}
+
+/// `sst serve` — the portfolio service (see `sst_portfolio::service`).
+/// Stdin mode returns the final metrics summary as its output; TCP mode
+/// runs until killed.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["tcp", "shards", "top-k", "budget-ms", "seed"])?;
+    let cfg = sst_portfolio::service::ServeConfig {
+        shards: args.flag_parse("shards", 4usize)?.max(1),
+        top_k: args.flag_parse("top-k", 3usize)?.max(1),
+        budget_ms: args.flag_parse("budget-ms", 200u64)?,
+        seed: args.flag_parse("seed", 1u64)?,
+    };
+    match args.flag("tcp") {
+        Some(addr) => {
+            sst_portfolio::service::serve_tcp(cfg, addr)
+                .map_err(|e| CliError(format!("serve: {e}")))?;
+            Ok(String::new())
+        }
+        None => {
+            let m = sst_portfolio::service::serve_stdin(cfg);
+            // Responses stream to stdout as NDJSON; the human-readable
+            // summary goes to stderr so stdout stays machine-parseable.
+            eprintln!(
+                "served {} requests ({} errors) in {} ms — {:.1} req/s, latency µs p50/p90/p99 = {}/{}/{} (mean {})",
+                m.count,
+                m.errors,
+                m.uptime_ms,
+                m.rps_x1000 as f64 / 1000.0,
+                m.p50_us,
+                m.p90_us,
+                m.p99_us,
+                m.mean_us,
+            );
+            Ok(String::new())
+        }
+    }
 }
 
 /// `sst generate` — writes an instance JSON and reports its shape.
@@ -621,6 +665,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "bound" => bound(args),
         "compare" => compare(args),
         "sweep" => sweep(args),
+        "serve" => serve(args),
         other => Err(CliError(format!("unknown command '{other}'; see `sst help`"))),
     }
 }

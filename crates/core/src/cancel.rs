@@ -1,0 +1,117 @@
+//! Cooperative cancellation: a shared flag + optional deadline that turns
+//! every solver into an *anytime* solver.
+//!
+//! The portfolio service races several solvers against a per-request time
+//! budget; when the budget expires each solver must return its best-so-far
+//! answer instead of running to completion. The contract is cooperative:
+//! hot loops poll [`CancelToken::is_cancelled`] every few hundred to few
+//! thousand iterations (one "check interval"), so a cancelled solver
+//! overshoots its deadline by at most one interval — never by an unbounded
+//! amount.
+//!
+//! A token is cheap to clone (one `Arc`); `is_cancelled` is a relaxed
+//! atomic load plus, when a deadline is set, one `Instant::now()` call —
+//! callers amortize that by checking every [`SUGGESTED_CHECK_INTERVAL`]
+//! iterations rather than every iteration.
+//!
+//! ```
+//! use sst_core::cancel::CancelToken;
+//!
+//! let token = CancelToken::new();
+//! assert!(!token.is_cancelled());
+//! token.cancel();
+//! assert!(token.is_cancelled());
+//!
+//! // Deadline-based tokens expire on their own.
+//! let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+//! assert!(expired.is_cancelled());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in loop iterations) hot loops are expected to poll the token.
+/// A power of two so the check compiles to a mask test.
+pub const SUGGESTED_CHECK_INTERVAL: u64 = 1024;
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    /// Immutable after construction; `None` means "no deadline".
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation token: explicit [`CancelToken::cancel`] or an
+/// optional construction-time deadline, whichever fires first.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`Self::cancel`].
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that auto-cancels `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::at(Instant::now() + budget)
+    }
+
+    /// A token that auto-cancels at `deadline`.
+    pub fn at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: Some(deadline) }),
+        }
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`Self::cancel`] was called or the deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set; zero
+    /// once it passed). Lets callers size internal budgets — e.g. splitting
+    /// the remainder between an LP solve and the rounding loop.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live_and_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        assert_eq!(a.remaining(), None);
+        a.cancel();
+        assert!(b.is_cancelled(), "cancel must propagate to clones");
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3599));
+    }
+}

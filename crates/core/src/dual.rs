@@ -7,6 +7,7 @@
 //! for unrelated machines (all loads integral) and a geometric-grid search
 //! over rationals for uniform machines (PTAS-style `(1+ε)` grids).
 
+use crate::cancel::CancelToken;
 use crate::ratio::Ratio;
 
 /// Outcome of a relaxed decision procedure at guess `T`.
@@ -25,33 +26,88 @@ impl<S> Decision<S> {
     }
 }
 
+/// Outcome of [`binary_search_u64_budgeted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetedSearch<S> {
+    /// Uncancelled convergence: the smallest feasible `T` with its witness.
+    Converged(u64, S),
+    /// The token fired mid-search. `lower_bound` is still certified (every
+    /// probed `T < lower_bound` was infeasible, and the initial `lo` was a
+    /// valid bound by assumption); `best` is the cheapest feasible witness
+    /// seen so far, if any.
+    Cancelled {
+        /// Certified bound: no `T < lower_bound` is feasible.
+        lower_bound: u64,
+        /// Cheapest feasible `(T, witness)` probed before cancellation.
+        best: Option<(u64, S)>,
+    },
+    /// The whole range `[lo, hi]` is infeasible (search exhausted).
+    Infeasible,
+}
+
 /// Integer bisection: smallest `T ∈ [lo, hi]` whose decision is feasible,
 /// along with that decision's witness. Requires monotonicity (feasible at
 /// `T` implies feasible at every `T' ≥ T`), which every decision procedure
 /// in this workspace satisfies. Returns `None` if even `hi` is infeasible.
 pub fn binary_search_u64<S>(
+    lo: u64,
+    hi: u64,
+    decide: impl FnMut(u64) -> Decision<S>,
+) -> Option<(u64, S)> {
+    match binary_search_u64_budgeted(lo, hi, &CancelToken::new(), decide) {
+        BudgetedSearch::Converged(t, s) => Some((t, s)),
+        BudgetedSearch::Infeasible => None,
+        BudgetedSearch::Cancelled { .. } => unreachable!("a fresh token never cancels"),
+    }
+}
+
+/// [`binary_search_u64`] with cooperative cancellation, polled between
+/// probes (one decision call is the check interval — an individual probe,
+/// e.g. an LP solve, is not interruptible). The single implementation
+/// behind both drivers.
+pub fn binary_search_u64_budgeted<S>(
     mut lo: u64,
     mut hi: u64,
+    cancel: &CancelToken,
     mut decide: impl FnMut(u64) -> Decision<S>,
-) -> Option<(u64, S)> {
+) -> BudgetedSearch<S> {
     debug_assert!(lo <= hi);
-    let mut best = match decide(hi) {
-        Decision::Feasible(s) => (hi, s),
-        Decision::Infeasible => return None,
-    };
-    // Invariant: `best` holds a feasible guess ≤ hi; everything below `lo`
-    // is either unexplored or infeasible.
+    // Invariants: every probed `T < lo` was infeasible; `best`, when set,
+    // holds the smallest feasible probe, which always equals the current
+    // `hi` (hi only shrinks onto feasible probes).
+    let mut best: Option<(u64, S)> = None;
     while lo < hi {
+        if cancel.is_cancelled() {
+            return BudgetedSearch::Cancelled { lower_bound: lo, best };
+        }
         let mid = lo + (hi - lo) / 2;
         match decide(mid) {
             Decision::Feasible(s) => {
-                best = (mid, s);
+                best = Some((mid, s));
                 hi = mid;
             }
             Decision::Infeasible => lo = mid + 1,
         }
     }
-    Some(best)
+    match best {
+        Some((t, s)) => {
+            debug_assert_eq!(t, lo);
+            BudgetedSearch::Converged(t, s)
+        }
+        None => {
+            // `lo == hi` was never probed: the range was a single point
+            // from the start, or every probe was infeasible. One settle
+            // probe decides — skipped under cancellation so no new work
+            // starts after the deadline.
+            if cancel.is_cancelled() {
+                return BudgetedSearch::Cancelled { lower_bound: lo, best: None };
+            }
+            match decide(lo) {
+                Decision::Feasible(s) => BudgetedSearch::Converged(lo, s),
+                Decision::Infeasible => BudgetedSearch::Infeasible,
+            }
+        }
+    }
 }
 
 /// Geometric-grid search for uniform machines: examines guesses
@@ -144,6 +200,48 @@ mod tests {
             }
         });
         assert!(calls <= 22, "expected ~log2 calls, got {calls}");
+    }
+
+    #[test]
+    fn budgeted_search_cancels_with_certified_bound() {
+        let token = CancelToken::new();
+        token.cancel();
+        // Pre-cancelled: no probe runs, the initial lo is the bound.
+        let res = binary_search_u64_budgeted(5, 1000, &token, |_: u64| -> Decision<u64> {
+            panic!("no probe may run after cancellation")
+        });
+        assert_eq!(res, BudgetedSearch::Cancelled { lower_bound: 5, best: None });
+        // Cancel after two probes: the bound reflects the probes made.
+        let token = CancelToken::new();
+        let mut probes = 0;
+        let res = binary_search_u64_budgeted(0, 1000, &token, |t| {
+            probes += 1;
+            if probes == 2 {
+                token.cancel();
+            }
+            if t >= 600 {
+                Decision::Feasible(t)
+            } else {
+                Decision::Infeasible
+            }
+        });
+        let BudgetedSearch::Cancelled { lower_bound, best } = res else {
+            panic!("expected cancellation, got {res:?}");
+        };
+        assert!(lower_bound <= 600, "bound must stay certified");
+        if let Some((t, _)) = best {
+            assert!(t >= 600, "witness must be genuinely feasible");
+        }
+    }
+
+    #[test]
+    fn budgeted_search_single_point_range() {
+        let never = CancelToken::new();
+        let res = binary_search_u64_budgeted(7, 7, &never, Decision::Feasible);
+        assert_eq!(res, BudgetedSearch::Converged(7, 7));
+        let res: BudgetedSearch<()> =
+            binary_search_u64_budgeted(7, 7, &never, |_| Decision::Infeasible);
+        assert_eq!(res, BudgetedSearch::Infeasible);
     }
 
     #[test]

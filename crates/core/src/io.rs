@@ -401,34 +401,61 @@ fn check_header(
     Ok(())
 }
 
-/// Serializes a uniform instance to pretty JSON.
-pub fn uniform_to_json(inst: &UniformInstance) -> String {
+/// Shared field-by-field writer behind the pretty and NDJSON encodings —
+/// one copy of the schema per instance kind, so a field change cannot
+/// silently diverge between the two formats.
+fn uniform_json(inst: &UniformInstance, pretty: bool) -> String {
+    use std::fmt::Write as _;
+    let (open, sep, pad) = if pretty { ("{\n  ", ",\n  ", " ") } else { ("{", ", ", "") };
     let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
-    out.push_str("  \"kind\": \"uniform\",\n");
-    out.push_str("  \"speeds\": ");
+    let _ = write!(out, "{open}\"version\": {FORMAT_VERSION}{sep}\"kind\": \"uniform\"{sep}");
+    out.push_str("\"speeds\": ");
     json::write_u64_array(&mut out, inst.speeds());
-    out.push_str(",\n  \"setups\": ");
+    out.push_str(sep);
+    out.push_str("\"setups\": ");
     json::write_u64_array(&mut out, inst.setups());
-    out.push_str(",\n  \"jobs\": [");
+    out.push_str(sep);
+    out.push_str("\"jobs\": [");
     for (j, job) in inst.jobs().iter().enumerate() {
         if j > 0 {
             out.push(',');
+            if !pretty {
+                out.push(' ');
+            }
         }
-        out.push_str(&format!("\n    {{ \"class\": {}, \"size\": {} }}", job.class, job.size));
+        if pretty {
+            out.push_str("\n    ");
+        }
+        let _ = write!(out, "{{{pad}\"class\": {}, \"size\": {}{pad}}}", job.class, job.size);
     }
-    if inst.n() > 0 {
+    if pretty && inst.n() > 0 {
         out.push_str("\n  ");
     }
-    out.push_str("]\n}");
+    out.push_str(if pretty { "]\n}" } else { "]}" });
     out
+}
+
+/// Serializes a uniform instance to pretty JSON.
+pub fn uniform_to_json(inst: &UniformInstance) -> String {
+    uniform_json(inst, true)
+}
+
+/// Serializes a uniform instance to one compact JSON line (same schema as
+/// [`uniform_to_json`], no newlines) — the NDJSON building block.
+pub fn uniform_to_json_line(inst: &UniformInstance) -> String {
+    uniform_json(inst, false)
 }
 
 /// Parses and validates a uniform instance from JSON.
 pub fn uniform_from_json(text: &str) -> Result<UniformInstance, IoError> {
     let value = json::parse(text).map_err(IoError::Json)?;
-    let map = extract::object(&value)?;
+    uniform_from_value(&value)
+}
+
+/// Parses and validates a uniform instance from an already-parsed
+/// [`JsonValue`] (e.g. a sub-object of a larger request envelope).
+pub fn uniform_from_value(value: &JsonValue) -> Result<UniformInstance, IoError> {
+    let map = extract::object(value)?;
     check_header(map, "uniform")?;
     let speeds = extract::u64_vec(extract::field(map, "speeds")?, "speeds")?;
     let setups = extract::u64_vec(extract::field(map, "setups")?, "setups")?;
@@ -446,45 +473,66 @@ pub fn uniform_from_json(text: &str) -> Result<UniformInstance, IoError> {
     UniformInstance::new(speeds, setups, jobs).map_err(IoError::Invalid)
 }
 
+/// Shared writer behind [`unrelated_to_json`] / [`unrelated_to_json_line`]
+/// (see [`uniform_json`]).
+fn unrelated_json(inst: &UnrelatedInstance, pretty: bool) -> String {
+    use std::fmt::Write as _;
+    let (open, sep) = if pretty { ("{\n  ", ",\n  ") } else { ("{", ", ") };
+    let mut out = String::new();
+    let _ = write!(out, "{open}\"version\": {FORMAT_VERSION}{sep}\"kind\": \"unrelated\"{sep}");
+    let _ = write!(out, "\"m\": {}{sep}", inst.m());
+    out.push_str("\"job_class\": ");
+    json::write_usize_array(&mut out, inst.job_classes());
+    out.push_str(sep);
+    let matrix = |out: &mut String, name: &str, rows: &[&[u64]]| {
+        let _ = write!(out, "\"{name}\": [");
+        for (r, row) in rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+                if !pretty {
+                    out.push(' ');
+                }
+            }
+            if pretty {
+                out.push_str("\n    ");
+            }
+            json::write_u64_array(out, row);
+        }
+        if pretty && !rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+    };
+    let ptimes: Vec<&[u64]> = (0..inst.n()).map(|j| inst.ptimes_row(j)).collect();
+    matrix(&mut out, "ptimes", &ptimes);
+    out.push_str(sep);
+    let setups: Vec<&[u64]> = (0..inst.num_classes()).map(|k| inst.setups_row(k)).collect();
+    matrix(&mut out, "setups", &setups);
+    out.push_str(if pretty { "\n}" } else { "}" });
+    out
+}
+
 /// Serializes an unrelated instance to pretty JSON.
 pub fn unrelated_to_json(inst: &UnrelatedInstance) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"version\": {FORMAT_VERSION},\n"));
-    out.push_str("  \"kind\": \"unrelated\",\n");
-    out.push_str(&format!("  \"m\": {},\n", inst.m()));
-    out.push_str("  \"job_class\": ");
-    json::write_usize_array(&mut out, inst.job_classes());
-    out.push_str(",\n  \"ptimes\": [");
-    for j in 0..inst.n() {
-        if j > 0 {
-            out.push(',');
-        }
-        out.push_str("\n    ");
-        json::write_u64_array(&mut out, inst.ptimes_row(j));
-    }
-    if inst.n() > 0 {
-        out.push_str("\n  ");
-    }
-    out.push_str("],\n  \"setups\": [");
-    for k in 0..inst.num_classes() {
-        if k > 0 {
-            out.push(',');
-        }
-        out.push_str("\n    ");
-        json::write_u64_array(&mut out, inst.setups_row(k));
-    }
-    if inst.num_classes() > 0 {
-        out.push_str("\n  ");
-    }
-    out.push_str("]\n}");
-    out
+    unrelated_json(inst, true)
+}
+
+/// Serializes an unrelated instance to one compact JSON line (same schema
+/// as [`unrelated_to_json`], no newlines) — the NDJSON building block.
+pub fn unrelated_to_json_line(inst: &UnrelatedInstance) -> String {
+    unrelated_json(inst, false)
 }
 
 /// Parses and validates an unrelated instance from JSON.
 pub fn unrelated_from_json(text: &str) -> Result<UnrelatedInstance, IoError> {
     let value = json::parse(text).map_err(IoError::Json)?;
-    let map = extract::object(&value)?;
+    unrelated_from_value(&value)
+}
+
+/// Parses and validates an unrelated instance from an already-parsed
+/// [`JsonValue`].
+pub fn unrelated_from_value(value: &JsonValue) -> Result<UnrelatedInstance, IoError> {
+    let map = extract::object(value)?;
     check_header(map, "unrelated")?;
     let m = extract::uint(extract::field(map, "m")?, "m")?;
     let m = usize::try_from(m).map_err(|_| IoError::Json("m out of range".to_string()))?;
@@ -505,7 +553,12 @@ pub fn schedule_to_json(sched: &Schedule) -> String {
 /// evaluation time ([`crate::schedule::uniform_loads`] etc.).
 pub fn schedule_from_json(text: &str) -> Result<Schedule, IoError> {
     let value = json::parse(text).map_err(IoError::Json)?;
-    let v = extract::usize_vec(&value, "schedule")?;
+    schedule_from_value(&value)
+}
+
+/// Parses a schedule from an already-parsed [`JsonValue`].
+pub fn schedule_from_value(value: &JsonValue) -> Result<Schedule, IoError> {
+    let v = extract::usize_vec(value, "schedule")?;
     Ok(Schedule::new(v))
 }
 
@@ -551,6 +604,25 @@ mod tests {
         assert!(matches!(uniform_from_json(future), Err(IoError::Format(_))));
         // Garbage.
         assert!(matches!(uniform_from_json("{nope"), Err(IoError::Json(_))));
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_parses_back() {
+        let u = UniformInstance::new(vec![2, 1], vec![3, 5], vec![Job::new(0, 4), Job::new(1, 6)])
+            .unwrap();
+        let line = uniform_to_json_line(&u);
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(uniform_from_json(&line).unwrap(), u);
+        let r = UnrelatedInstance::new(
+            2,
+            vec![0, 1],
+            vec![vec![3, INF], vec![INF, 4]],
+            vec![vec![1, 1], vec![2, 2]],
+        )
+        .unwrap();
+        let line = unrelated_to_json_line(&r);
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(unrelated_from_json(&line).unwrap(), r);
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! * placeholder replacement for small jobs (Lemmas 2.1/2.3) — [`batch`];
 //! * explicit batched timelines and ASCII Gantt charts — [`timeline`];
 //! * incremental load tracking with `O(1)`/`O(log m)` move evaluation for
-//!   the search heuristics — [`tracker`].
+//!   the search heuristics — [`tracker`];
+//! * cooperative cancellation tokens (deadline + flag) that make every
+//!   solver an anytime solver — [`cancel`].
 //!
 //! Algorithms live in `sst-algos`; the LP solver in `sst-lp`; generators in
 //! `sst-gen`; the SetCover substrate in `sst-setcover`.
@@ -35,6 +37,7 @@
 pub mod batch;
 pub mod bounds;
 pub mod builder;
+pub mod cancel;
 pub mod dual;
 pub mod error;
 pub mod groups;
@@ -48,6 +51,7 @@ pub mod stats;
 pub mod timeline;
 pub mod tracker;
 
+pub use cancel::CancelToken;
 pub use error::{InstanceError, ScheduleError};
 pub use instance::{ClassId, Job, JobId, MachineId, UniformInstance, UnrelatedInstance, INF};
 pub use ratio::Ratio;

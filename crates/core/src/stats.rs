@@ -5,9 +5,87 @@
 //! structural measures — setup weight relative to job work (E8/E10), class
 //! population skew, machine heterogeneity (E7), eligibility density (E5).
 //! This module computes them once, uniformly, for both machine models;
-//! `sst info` prints them.
+//! `sst info` prints them. It also hosts the *service-side* statistics: a
+//! fixed-size log-bucketed [`LatencyHistogram`] that the `sst serve` worker
+//! pool uses for running throughput/latency percentiles.
 
 use crate::instance::{is_finite, UniformInstance, UnrelatedInstance};
+
+/// A constant-space latency histogram with power-of-two buckets.
+///
+/// Bucket `b` counts samples `v` with `⌊log₂ v⌋ = b` (bucket 0 also takes
+/// `v = 0`), so any percentile is reported with at most 2× relative error —
+/// the right trade for a hot server path: `record` is a couple of
+/// arithmetic instructions, the struct is one cache line of counters, and
+/// no allocation ever happens. Units are whatever the caller records
+/// (`sst serve` records microseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile (`q` in `[0, 1]`),
+    /// capped at the observed maximum; 0 when empty. `percentile(0.5)` is
+    /// the median, `percentile(0.99)` the p99.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
 
 /// Summary statistics of a uniform instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,6 +274,35 @@ mod tests {
         assert!(s.structure.0, "finite ptimes per job are constant → RA");
         let text = s.to_string();
         assert!(text.contains("restricted=true"), "{text}");
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bracket_truth() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        assert_eq!(h.max(), 1000);
+        // True p50 = 500; log₂ buckets promise ≤ 2× relative error.
+        let p50 = h.percentile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 = {p99} (capped at max)");
+        assert!(h.percentile(1.0) == 1000);
+    }
+
+    #[test]
+    fn latency_histogram_edge_cases() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut h = LatencyHistogram::new();
+        h.record(0); // value 0 lands in bucket 0
+        h.record(u64::MAX); // top bucket must not overflow the bound
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(1.0), u64::MAX);
     }
 
     #[test]

@@ -62,54 +62,58 @@
 //! assert_eq!(t.makespan(), new_ms);
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use crate::error::ScheduleError;
 use crate::instance::{is_finite, ClassId, JobId, MachineId, UniformInstance, UnrelatedInstance};
 use crate::ratio::Ratio;
 use crate::schedule::Schedule;
 
-/// Ordered multiset of per-machine load keys with `O(log m)` insert/remove
-/// and max queries that can *exclude* up to two current entries (the two
-/// endpoints of a hypothetical move).
+/// Ordered set of per-machine `(load key, machine id)` entries with
+/// `O(log m)` insert/remove, max queries that can *exclude* up to two
+/// current entries (the two endpoints of a hypothetical move), and — because
+/// every entry carries its machine id — an `O(log m)` argmax: the machine
+/// attaining the maximum falls out of the same lookup that answers the
+/// makespan, closing the ROADMAP item about the `O(m)` `bottleneck()` scan.
+///
+/// Entries are unique (one per machine), so this is a plain `BTreeSet`
+/// rather than a counted multiset; ties on the load key order by machine id,
+/// making `max()` deterministically the *highest-numbered* machine among the
+/// tied ones.
 #[derive(Debug, Clone)]
 struct LoadMultiset<K: Ord + Copy> {
-    map: BTreeMap<K, u32>,
+    set: BTreeSet<(K, u32)>,
 }
 
 impl<K: Ord + Copy> LoadMultiset<K> {
     fn new() -> Self {
-        LoadMultiset { map: BTreeMap::new() }
+        LoadMultiset { set: BTreeSet::new() }
     }
 
-    fn insert(&mut self, key: K) {
-        *self.map.entry(key).or_insert(0) += 1;
+    fn insert(&mut self, key: K, machine: MachineId) {
+        let fresh = self.set.insert((key, machine as u32));
+        debug_assert!(fresh, "LoadMultiset::insert of duplicate machine entry");
     }
 
-    fn remove(&mut self, key: K) {
-        match self.map.get_mut(&key) {
-            Some(c) if *c > 1 => *c -= 1,
-            Some(_) => {
-                self.map.remove(&key);
-            }
-            None => unreachable!("LoadMultiset::remove of absent key"),
-        }
+    fn remove(&mut self, key: K, machine: MachineId) {
+        let found = self.set.remove(&(key, machine as u32));
+        debug_assert!(found, "LoadMultiset::remove of absent entry");
     }
 
-    fn max(&self) -> Option<K> {
-        self.map.keys().next_back().copied()
+    /// The maximum `(load, machine)` entry, in `O(log m)`.
+    fn max_entry(&self) -> Option<(K, MachineId)> {
+        self.set.iter().next_back().map(|&(k, i)| (k, i as MachineId))
     }
 
-    /// Maximum after conceptually removing one occurrence per entry of
-    /// `excluded`. Walks at most `excluded.len() + 1` keys from the back.
-    fn max_excluding(&self, excluded: &[K]) -> Option<K> {
-        for (&key, &count) in self.map.iter().rev() {
-            let skip = excluded.iter().filter(|&&e| e == key).count() as u32;
-            if count > skip {
-                return Some(key);
-            }
-        }
-        None
+    /// Maximum load key after conceptually removing the entries of the
+    /// machines in `excluded`. Walks at most `excluded.len() + 1` entries
+    /// from the back.
+    fn max_excluding(&self, excluded: &[MachineId]) -> Option<K> {
+        self.set
+            .iter()
+            .rev()
+            .find(|&&(_, i)| !excluded.contains(&(i as MachineId)))
+            .map(|&(k, _)| k)
     }
 }
 
@@ -257,8 +261,8 @@ impl<'a> UnrelatedLoadTracker<'a> {
             table.push(i, k, j, p);
         }
         let mut multiset = LoadMultiset::new();
-        for &l in &loads {
-            multiset.insert(l);
+        for (i, &l) in loads.iter().enumerate() {
+            multiset.insert(l, i);
         }
         Ok(UnrelatedLoadTracker { inst, assignment, loads, table, multiset })
     }
@@ -278,7 +282,7 @@ impl<'a> UnrelatedLoadTracker<'a> {
     /// Current makespan.
     #[inline]
     pub fn makespan(&self) -> u64 {
-        self.multiset.max().unwrap_or(0)
+        self.multiset.max_entry().map(|(l, _)| l).unwrap_or(0)
     }
 
     /// Machine currently holding job `j`.
@@ -299,10 +303,11 @@ impl<'a> UnrelatedLoadTracker<'a> {
         self.table.jobs(i, k)
     }
 
-    /// A machine attaining the current makespan (`O(m)` scan).
+    /// A machine attaining the current makespan, in `O(log m)` (the load
+    /// multiset carries machine ids, so the argmax is the same B-tree probe
+    /// as the max).
     pub fn bottleneck(&self) -> MachineId {
-        let max = self.makespan();
-        self.loads.iter().position(|&l| l == max).expect("non-empty by construction")
+        self.multiset.max_entry().expect("non-empty by construction").1
     }
 
     /// The tracked assignment as a [`Schedule`].
@@ -344,7 +349,7 @@ impl<'a> UnrelatedLoadTracker<'a> {
     pub fn eval_job_move(&self, j: JobId, to: MachineId) -> Option<u64> {
         let from = self.assignment[j];
         let (new_from, new_to) = self.job_move_loads(j, to)?;
-        let rest = self.multiset.max_excluding(&[self.loads[from], self.loads[to]]).unwrap_or(0);
+        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(0);
         Some(rest.max(new_from).max(new_to))
     }
 
@@ -360,10 +365,10 @@ impl<'a> UnrelatedLoadTracker<'a> {
         let k = self.inst.class_of(j);
         self.table.remove(from, k, j, self.inst.ptime(from, j));
         self.table.push(to, k, j, self.inst.ptime(to, j));
-        self.multiset.remove(self.loads[from]);
-        self.multiset.remove(self.loads[to]);
-        self.multiset.insert(new_from);
-        self.multiset.insert(new_to);
+        self.multiset.remove(self.loads[from], from);
+        self.multiset.remove(self.loads[to], to);
+        self.multiset.insert(new_from, from);
+        self.multiset.insert(new_to, to);
         self.loads[from] = new_from;
         self.loads[to] = new_to;
         self.assignment[j] = to;
@@ -406,7 +411,7 @@ impl<'a> UnrelatedLoadTracker<'a> {
     /// empty, the move is a no-op, or any time on `to` is infinite.
     pub fn eval_class_move(&self, from: MachineId, k: ClassId, to: MachineId) -> Option<u64> {
         let (new_from, new_to, _) = self.class_move_loads(from, k, to)?;
-        let rest = self.multiset.max_excluding(&[self.loads[from], self.loads[to]]).unwrap_or(0);
+        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(0);
         Some(rest.max(new_from).max(new_to))
     }
 
@@ -427,10 +432,10 @@ impl<'a> UnrelatedLoadTracker<'a> {
         for &j in &self.table.jobs(to, k)[batch_start..] {
             self.assignment[j] = to;
         }
-        self.multiset.remove(self.loads[from]);
-        self.multiset.remove(self.loads[to]);
-        self.multiset.insert(new_from);
-        self.multiset.insert(new_to);
+        self.multiset.remove(self.loads[from], from);
+        self.multiset.remove(self.loads[to], to);
+        self.multiset.insert(new_from, from);
+        self.multiset.insert(new_to, to);
         self.loads[from] = new_from;
         self.loads[to] = new_to;
     }
@@ -475,7 +480,7 @@ impl<'a> UniformLoadTracker<'a> {
         }
         let mut multiset = LoadMultiset::new();
         for (i, &w) in work.iter().enumerate() {
-            multiset.insert(Ratio::new(w, inst.speed(i)));
+            multiset.insert(Ratio::new(w, inst.speed(i)), i);
         }
         Ok(UniformLoadTracker { inst, assignment, work, table, multiset })
     }
@@ -495,7 +500,7 @@ impl<'a> UniformLoadTracker<'a> {
     /// Current makespan (`max_i work_i / v_i`).
     #[inline]
     pub fn makespan(&self) -> Ratio {
-        self.multiset.max().unwrap_or(Ratio::ZERO)
+        self.multiset.max_entry().map(|(l, _)| l).unwrap_or(Ratio::ZERO)
     }
 
     /// Machine currently holding job `j`.
@@ -516,12 +521,10 @@ impl<'a> UniformLoadTracker<'a> {
         self.table.jobs(i, k)
     }
 
-    /// A machine attaining the current makespan (`O(m)` scan).
+    /// A machine attaining the current makespan, in `O(log m)` (see
+    /// [`UnrelatedLoadTracker::bottleneck`]).
     pub fn bottleneck(&self) -> MachineId {
-        let max = self.makespan();
-        (0..self.inst.m())
-            .find(|&i| Ratio::new(self.work[i], self.inst.speed(i)) == max)
-            .expect("non-empty by construction")
+        self.multiset.max_entry().expect("non-empty by construction").1
     }
 
     /// The tracked assignment as a [`Schedule`].
@@ -558,10 +561,7 @@ impl<'a> UniformLoadTracker<'a> {
     pub fn eval_job_move(&self, j: JobId, to: MachineId) -> Option<Ratio> {
         let from = self.assignment[j];
         let (new_from, new_to) = self.job_move_work(j, to)?;
-        let rest = self
-            .multiset
-            .max_excluding(&[self.key(from, self.work[from]), self.key(to, self.work[to])])
-            .unwrap_or(Ratio::ZERO);
+        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(Ratio::ZERO);
         Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
     }
 
@@ -575,10 +575,10 @@ impl<'a> UniformLoadTracker<'a> {
         let job = self.inst.job(j);
         self.table.remove(from, job.class, j, job.size);
         self.table.push(to, job.class, j, job.size);
-        self.multiset.remove(self.key(from, self.work[from]));
-        self.multiset.remove(self.key(to, self.work[to]));
-        self.multiset.insert(self.key(from, new_from));
-        self.multiset.insert(self.key(to, new_to));
+        self.multiset.remove(self.key(from, self.work[from]), from);
+        self.multiset.remove(self.key(to, self.work[to]), to);
+        self.multiset.insert(self.key(from, new_from), from);
+        self.multiset.insert(self.key(to, new_to), to);
         self.work[from] = new_from;
         self.work[to] = new_to;
         self.assignment[j] = to;
@@ -610,10 +610,7 @@ impl<'a> UniformLoadTracker<'a> {
     /// no-op.
     pub fn eval_class_move(&self, from: MachineId, k: ClassId, to: MachineId) -> Option<Ratio> {
         let (new_from, new_to, _) = self.class_move_work(from, k, to)?;
-        let rest = self
-            .multiset
-            .max_excluding(&[self.key(from, self.work[from]), self.key(to, self.work[to])])
-            .unwrap_or(Ratio::ZERO);
+        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(Ratio::ZERO);
         Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
     }
 
@@ -629,10 +626,10 @@ impl<'a> UniformLoadTracker<'a> {
         for &j in &self.table.jobs(to, k)[batch_start..] {
             self.assignment[j] = to;
         }
-        self.multiset.remove(self.key(from, self.work[from]));
-        self.multiset.remove(self.key(to, self.work[to]));
-        self.multiset.insert(self.key(from, new_from));
-        self.multiset.insert(self.key(to, new_to));
+        self.multiset.remove(self.key(from, self.work[from]), from);
+        self.multiset.remove(self.key(to, self.work[to]), to);
+        self.multiset.insert(self.key(from, new_from), from);
+        self.multiset.insert(self.key(to, new_to), to);
         self.work[from] = new_from;
         self.work[to] = new_to;
     }

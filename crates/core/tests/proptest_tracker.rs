@@ -83,6 +83,11 @@ fn check_unrelated(
         let oracle_loads = unrelated_loads(inst, &sched).expect("tracker kept schedule valid");
         prop_assert_eq!(tracker.loads(), &oracle_loads[..]);
         prop_assert_eq!(tracker.makespan(), unrelated_makespan(inst, &sched).expect("valid"));
+        // The O(log m) bottleneck must name a machine the oracle agrees
+        // attains the maximum load.
+        let b = tracker.bottleneck();
+        let oracle_max = oracle_loads.iter().copied().max().expect("m >= 1");
+        prop_assert_eq!(oracle_loads[b], oracle_max, "bottleneck() machine not an argmax");
     }
     // Every candidate job move the tracker evaluates must equal the oracle
     // makespan of the hypothetically moved schedule.
@@ -129,6 +134,14 @@ fn check_uniform(
         let oracle = uniform_loads(inst, &sched).expect("valid");
         prop_assert_eq!(tracker.work(), &oracle[..]);
         prop_assert_eq!(tracker.makespan(), uniform_makespan(inst, &sched).expect("valid"));
+        // O(log m) bottleneck pinned to the oracle: its work/speed ratio
+        // must equal the oracle makespan exactly.
+        let b = tracker.bottleneck();
+        prop_assert_eq!(
+            Ratio::new(oracle[b], inst.speed(b)),
+            uniform_makespan(inst, &sched).expect("valid"),
+            "bottleneck() machine not an argmax"
+        );
     }
     let sched = tracker.schedule();
     for j in 0..inst.n().min(8) {

@@ -1,0 +1,126 @@
+//! Instance feature extraction — the selector's input.
+//!
+//! A thin, model-agnostic view over [`sst_core::stats`]: the handful of
+//! structural measures the experiments showed to predict which algorithm
+//! wins — size, setup weight relative to job work, machine skew (speed
+//! spread or matrix heterogeneity), eligibility density, class skew, and
+//! the three special-case structure flags of Section 3.
+
+use sst_core::stats::{uniform_stats, unrelated_stats};
+
+use crate::solver::ProblemInstance;
+
+/// Structural features of an instance, uniform across both machine models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Features {
+    /// True for uniformly related machines, false for unrelated.
+    pub uniform: bool,
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of machines.
+    pub m: usize,
+    /// Number of classes with at least one job.
+    pub classes: usize,
+    /// Mandatory setup work relative to job work (`> 1`: setups dominate,
+    /// batching decides everything).
+    pub setup_to_work: f64,
+    /// Machine skew: `v_max / v_min` (uniform) or the worst per-job
+    /// `max p_ij / min p_ij` over finite rows (unrelated). 1 = identical.
+    pub skew: f64,
+    /// Mean fraction of machines a job may run on (1.0 when dense).
+    pub eligibility: f64,
+    /// Largest share of jobs held by one class, in `[1/K, 1]`.
+    pub class_concentration: f64,
+    /// Restricted assignment (finite cells constant per job).
+    pub restricted: bool,
+    /// Class-uniform restrictions (Section 3.3.1 model).
+    pub class_uniform_restrictions: bool,
+    /// Class-uniform processing times (Section 3.3.2 model).
+    pub class_uniform_ptimes: bool,
+}
+
+/// Computes [`Features`] in one pass over the instance statistics.
+pub fn extract_features(inst: &ProblemInstance) -> Features {
+    match inst {
+        ProblemInstance::Uniform(u) => {
+            let s = uniform_stats(u);
+            Features {
+                uniform: true,
+                n: s.n,
+                m: s.m,
+                classes: s.nonempty_classes,
+                setup_to_work: s.setup_to_work,
+                skew: s.speed_spread,
+                eligibility: 1.0,
+                class_concentration: s.class_concentration,
+                restricted: false,
+                class_uniform_restrictions: false,
+                class_uniform_ptimes: false,
+            }
+        }
+        ProblemInstance::Unrelated(r) => {
+            let s = unrelated_stats(r);
+            let mut pop = vec![0usize; r.num_classes()];
+            for j in 0..r.n() {
+                pop[r.class_of(j)] += 1;
+            }
+            let max_pop = pop.iter().copied().max().unwrap_or(0);
+            let (restricted, cur, cupt) = s.structure;
+            Features {
+                uniform: false,
+                n: s.n,
+                m: s.m,
+                classes: s.nonempty_classes,
+                setup_to_work: s.setup_to_work,
+                skew: s.heterogeneity,
+                eligibility: if s.m == 0 { 1.0 } else { s.mean_eligibility / s.m as f64 },
+                class_concentration: if s.n == 0 { 0.0 } else { max_pop as f64 / s.n as f64 },
+                restricted,
+                class_uniform_restrictions: cur,
+                class_uniform_ptimes: cupt,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+
+    #[test]
+    fn uniform_features() {
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::new(
+                vec![1, 4],
+                vec![10, 5],
+                vec![Job::new(0, 10), Job::new(0, 10), Job::new(1, 20)],
+            )
+            .unwrap(),
+        );
+        let f = extract_features(&inst);
+        assert!(f.uniform);
+        assert_eq!((f.n, f.m, f.classes), (3, 2, 2));
+        assert!((f.skew - 4.0).abs() < 1e-12);
+        assert!((f.eligibility - 1.0).abs() < 1e-12);
+        assert!((f.class_concentration - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_structure_flags_flow_through() {
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                2,
+                vec![0, 1],
+                vec![vec![4, INF], vec![6, 6]],
+                vec![vec![1, 1], vec![2, 2]],
+            )
+            .unwrap(),
+        );
+        let f = extract_features(&inst);
+        assert!(!f.uniform);
+        assert!(f.restricted);
+        assert!((f.eligibility - 0.75).abs() < 1e-12);
+        assert!((f.class_concentration - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! # sst-portfolio — the solver portfolio service
+//!
+//! The paper positions its algorithms as a toolbox keyed to instance
+//! structure: LPT and the PTAS for uniform machines, randomized LP rounding
+//! for general unrelated machines, the 2- and 3-approximations for the
+//! class-uniform special cases, plus the exact and search baselines. This
+//! crate turns that toolbox into a *service*, in four layers:
+//!
+//! 1. **[`solver`]** — one [`Solver`](solver::Solver) trait over every
+//!    algorithm in `sst-algos`, all cancellable through
+//!    [`sst_core::cancel::CancelToken`], so each is an *anytime* solver
+//!    under a deadline;
+//! 2. **[`features`] + [`select`]** — a structural feature extractor
+//!    (size, setup weight, speed skew, eligibility density, the three
+//!    special-case structure flags) and a rule-based selector mapping
+//!    features to a ranked portfolio;
+//! 3. **[`race`]** — a racing executor running the top-k portfolio members
+//!    concurrently with a cross-seeded incumbent: the best-known makespan
+//!    prunes the branch-and-bound and warm-starts the search heuristics;
+//! 4. **[`protocol`] + [`service`]** — an NDJSON request/response codec and
+//!    a sharded worker pool serving it over stdin or TCP with running
+//!    throughput/latency percentile metrics
+//!    ([`sst_core::stats::LatencyHistogram`]).
+//!
+//! The `sst serve` CLI command is a thin shell around [`service`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod features;
+pub mod protocol;
+pub mod race;
+pub mod select;
+pub mod service;
+pub mod solver;
+
+pub use features::{extract_features, Features};
+pub use race::{race, Incumbent, RaceConfig, RaceResult, SolverReport};
+pub use select::select;
+pub use solver::{Cost, Outcome, ProblemInstance, SolveContext, Solver};

@@ -1,0 +1,475 @@
+//! The NDJSON request/response codec of `sst serve`.
+//!
+//! One JSON object per line, both directions. Requests embed an instance
+//! in the same schema the `sst` file format uses (see [`sst_core::io`]);
+//! responses carry the winning assignment, its exact makespan, and
+//! per-solver attribution. A uniform-machines makespan is an exact
+//! rational and serializes as `{"num": N, "den": D}`; an unrelated
+//! makespan is a plain integer.
+//!
+//! Request:
+//!
+//! ```json
+//! {"id": 7, "budget_ms": 50, "top_k": 3, "seed": 1,
+//!  "instance": {"version": 1, "kind": "uniform", "speeds": [2, 1],
+//!               "setups": [3], "jobs": [{"class": 0, "size": 4}]}}
+//! ```
+//!
+//! Response:
+//!
+//! ```json
+//! {"id": 7, "status": "ok", "kind": "uniform", "solver": "lpt",
+//!  "micros": 184, "makespan": {"num": 7, "den": 2}, "assignment": [0],
+//!  "solvers": [{"name": "lpt", "makespan": {"num": 7, "den": 2},
+//!               "micros": 90, "completed": true}]}
+//! ```
+//!
+//! The line `{"metrics": true}` asks the service for its running
+//! throughput/latency summary (`"status": "metrics"`). Parse errors come
+//! back as `"status": "error"` lines; the connection stays usable.
+
+use std::fmt::Write as _;
+
+use sst_core::io::json::{self, JsonValue};
+use sst_core::io::{self, IoError};
+use sst_core::ratio::Ratio;
+use sst_core::schedule::Schedule;
+
+use crate::solver::{Cost, ProblemInstance};
+
+/// A solve request: one instance plus racing knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The instance to schedule.
+    pub instance: ProblemInstance,
+    /// Per-request deadline in milliseconds (service default when absent).
+    pub budget_ms: Option<u64>,
+    /// Portfolio members raced concurrently (service default when absent).
+    pub top_k: Option<usize>,
+    /// Seed for the randomized members (service default when absent).
+    pub seed: Option<u64>,
+}
+
+/// Anything a client may send on one line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A solve request (boxed: an instance is hundreds of bytes, the
+    /// metrics probe is zero).
+    Solve(Box<Request>),
+    /// `{"metrics": true}` — ask for the running metrics summary.
+    Metrics,
+}
+
+/// Per-solver attribution inside an OK response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverLine {
+    /// Solver name.
+    pub name: String,
+    /// Cost it achieved (`None` when it declined or failed).
+    pub makespan: Option<Cost>,
+    /// Wall-clock microseconds it ran.
+    pub micros: u64,
+    /// Whether it ran to natural completion.
+    pub completed: bool,
+}
+
+/// Running service metrics (all integers so the codec stays exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSummary {
+    /// Requests answered OK.
+    pub count: u64,
+    /// Requests answered with an error line.
+    pub errors: u64,
+    /// Service uptime in milliseconds.
+    pub uptime_ms: u64,
+    /// Throughput in requests per second, scaled by 1000.
+    pub rps_x1000: u64,
+    /// Latency percentiles/mean in microseconds (log₂-bucket upper bounds).
+    pub p50_us: u64,
+    /// 90th percentile latency (µs).
+    pub p90_us: u64,
+    /// 99th percentile latency (µs).
+    pub p99_us: u64,
+    /// Mean latency (µs, rounded).
+    pub mean_us: u64,
+}
+
+/// A response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful solve.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// `"uniform"` or `"unrelated"`.
+        kind: String,
+        /// Winning solver name.
+        solver: String,
+        /// Total race wall-clock in microseconds.
+        micros: u64,
+        /// Exact makespan of [`Response::Ok::assignment`].
+        makespan: Cost,
+        /// Machine of each job.
+        assignment: Vec<usize>,
+        /// Per-raced-solver attribution.
+        solvers: Vec<SolverLine>,
+    },
+    /// The request could not be served.
+    Error {
+        /// Echoed id when the request parsed far enough to have one.
+        id: Option<u64>,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Metrics summary (reply to `{"metrics": true}`).
+    Metrics(MetricsSummary),
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_cost(out: &mut String, cost: &Cost) {
+    match cost {
+        Cost::Time(t) => {
+            let _ = write!(out, "{t}");
+        }
+        Cost::Frac(r) => {
+            let _ = write!(out, "{{\"num\": {}, \"den\": {}}}", r.numer(), r.denom());
+        }
+    }
+}
+
+fn cost_from_value(v: &JsonValue) -> Result<Cost, IoError> {
+    match v {
+        JsonValue::Uint(t) => Ok(Cost::Time(*t)),
+        JsonValue::Object(map) => {
+            let num = match map.get("num") {
+                Some(JsonValue::Uint(n)) => *n,
+                _ => return Err(IoError::Json("makespan.num must be an integer".into())),
+            };
+            let den = match map.get("den") {
+                Some(JsonValue::Uint(d)) if *d > 0 => *d,
+                _ => return Err(IoError::Json("makespan.den must be a positive integer".into())),
+            };
+            Ok(Cost::Frac(Ratio::new(num, den)))
+        }
+        _ => Err(IoError::Json("makespan must be an integer or {num, den}".into())),
+    }
+}
+
+/// Serializes a request to one NDJSON line.
+pub fn request_to_json(req: &Request) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"id\": {}", req.id);
+    if let Some(b) = req.budget_ms {
+        let _ = write!(out, ", \"budget_ms\": {b}");
+    }
+    if let Some(k) = req.top_k {
+        let _ = write!(out, ", \"top_k\": {k}");
+    }
+    if let Some(s) = req.seed {
+        let _ = write!(out, ", \"seed\": {s}");
+    }
+    out.push_str(", \"instance\": ");
+    out.push_str(&match &req.instance {
+        ProblemInstance::Uniform(u) => io::uniform_to_json_line(u),
+        ProblemInstance::Unrelated(r) => io::unrelated_to_json_line(r),
+    });
+    out.push('}');
+    out
+}
+
+fn opt_uint(
+    map: &std::collections::BTreeMap<String, JsonValue>,
+    k: &str,
+) -> Result<Option<u64>, IoError> {
+    match map.get(k) {
+        None => Ok(None),
+        Some(JsonValue::Uint(v)) => Ok(Some(*v)),
+        Some(_) => Err(IoError::Json(format!("field '{k}' must be an unsigned integer"))),
+    }
+}
+
+/// Parses one incoming NDJSON line (request or metrics probe).
+pub fn parse_incoming(line: &str) -> Result<Incoming, IoError> {
+    let value = json::parse(line).map_err(IoError::Json)?;
+    let map = match &value {
+        JsonValue::Object(map) => map,
+        _ => return Err(IoError::Json("request must be a JSON object".into())),
+    };
+    if let Some(JsonValue::Bool(true)) = map.get("metrics") {
+        return Ok(Incoming::Metrics);
+    }
+    let id = opt_uint(map, "id")?.ok_or_else(|| IoError::Json("missing field 'id'".into()))?;
+    let inst_value =
+        map.get("instance").ok_or_else(|| IoError::Json("missing field 'instance'".into()))?;
+    let kind = match inst_value {
+        JsonValue::Object(m) => match m.get("kind") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            _ => return Err(IoError::Json("instance.kind must be a string".into())),
+        },
+        _ => return Err(IoError::Json("field 'instance' must be an object".into())),
+    };
+    let instance = match kind.as_str() {
+        "uniform" => ProblemInstance::Uniform(io::uniform_from_value(inst_value)?),
+        "unrelated" => ProblemInstance::Unrelated(io::unrelated_from_value(inst_value)?),
+        other => return Err(IoError::Format(format!("unknown instance kind '{other}'"))),
+    };
+    Ok(Incoming::Solve(Box::new(Request {
+        id,
+        instance,
+        budget_ms: opt_uint(map, "budget_ms")?,
+        top_k: opt_uint(map, "top_k")?.map(|k| k as usize),
+        seed: opt_uint(map, "seed")?,
+    })))
+}
+
+/// Best-effort id extraction from a request line that failed full parsing
+/// (bad instance, missing fields, …): error responses echo the id when the
+/// line was at least a JSON object carrying one, so pipelined clients can
+/// correlate the failure. `None` for lines that never parsed that far.
+pub fn extract_request_id(line: &str) -> Option<u64> {
+    match json::parse(line).ok()? {
+        JsonValue::Object(map) => match map.get("id") {
+            Some(JsonValue::Uint(v)) => Some(*v),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Serializes a response to one NDJSON line.
+pub fn response_to_json(resp: &Response) -> String {
+    let mut out = String::new();
+    match resp {
+        Response::Ok { id, kind, solver, micros, makespan, assignment, solvers } => {
+            let _ = write!(
+                out,
+                "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"{kind}\", \"solver\": \"{}\", \"micros\": {micros}, \"makespan\": ",
+                escape_json(solver)
+            );
+            write_cost(&mut out, makespan);
+            out.push_str(", \"assignment\": ");
+            json::write_usize_array(&mut out, assignment);
+            out.push_str(", \"solvers\": [");
+            for (i, s) in solvers.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{{\"name\": \"{}\", \"makespan\": ", escape_json(&s.name));
+                match &s.makespan {
+                    Some(c) => write_cost(&mut out, c),
+                    None => out.push_str("null"),
+                }
+                let _ = write!(out, ", \"micros\": {}, \"completed\": {}}}", s.micros, s.completed);
+            }
+            out.push_str("]}");
+        }
+        Response::Error { id, message } => {
+            out.push('{');
+            if let Some(id) = id {
+                let _ = write!(out, "\"id\": {id}, ");
+            }
+            let _ =
+                write!(out, "\"status\": \"error\", \"message\": \"{}\"}}", escape_json(message));
+        }
+        Response::Metrics(m) => {
+            let _ = write!(
+                out,
+                "{{\"status\": \"metrics\", \"count\": {}, \"errors\": {}, \"uptime_ms\": {}, \"rps_x1000\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"mean_us\": {}}}",
+                m.count, m.errors, m.uptime_ms, m.rps_x1000, m.p50_us, m.p90_us, m.p99_us, m.mean_us
+            );
+        }
+    }
+    out
+}
+
+/// Parses one response line (the client half of the codec; the integration
+/// tests and any Rust client use this).
+pub fn parse_response(line: &str) -> Result<Response, IoError> {
+    let value = json::parse(line).map_err(IoError::Json)?;
+    let map = match &value {
+        JsonValue::Object(map) => map,
+        _ => return Err(IoError::Json("response must be a JSON object".into())),
+    };
+    let status = match map.get("status") {
+        Some(JsonValue::Str(s)) => s.as_str(),
+        _ => return Err(IoError::Json("missing field 'status'".into())),
+    };
+    match status {
+        "ok" => {
+            let id = opt_uint(map, "id")?.ok_or_else(|| IoError::Json("missing 'id'".into()))?;
+            let get_str = |k: &str| -> Result<String, IoError> {
+                match map.get(k) {
+                    Some(JsonValue::Str(s)) => Ok(s.clone()),
+                    _ => Err(IoError::Json(format!("missing string field '{k}'"))),
+                }
+            };
+            let kind = get_str("kind")?;
+            let solver = get_str("solver")?;
+            let micros =
+                opt_uint(map, "micros")?.ok_or_else(|| IoError::Json("missing 'micros'".into()))?;
+            let makespan = cost_from_value(
+                map.get("makespan").ok_or_else(|| IoError::Json("missing 'makespan'".into()))?,
+            )?;
+            let assignment = match map.get("assignment") {
+                Some(v) => io::schedule_from_value(v)
+                    .map(|s: Schedule| s.assignment().to_vec())
+                    .map_err(|_| IoError::Json("bad 'assignment'".into()))?,
+                None => return Err(IoError::Json("missing 'assignment'".into())),
+            };
+            let mut solvers = Vec::new();
+            if let Some(JsonValue::Array(items)) = map.get("solvers") {
+                for item in items {
+                    let m = match item {
+                        JsonValue::Object(m) => m,
+                        _ => return Err(IoError::Json("solvers[] must be objects".into())),
+                    };
+                    let name = match m.get("name") {
+                        Some(JsonValue::Str(s)) => s.clone(),
+                        _ => return Err(IoError::Json("solvers[].name missing".into())),
+                    };
+                    let makespan = match m.get("makespan") {
+                        None | Some(JsonValue::Null) => None,
+                        Some(v) => Some(cost_from_value(v)?),
+                    };
+                    let micros = opt_uint(m, "micros")?.unwrap_or(0);
+                    let completed = matches!(m.get("completed"), Some(JsonValue::Bool(true)));
+                    solvers.push(SolverLine { name, makespan, micros, completed });
+                }
+            }
+            Ok(Response::Ok { id, kind, solver, micros, makespan, assignment, solvers })
+        }
+        "error" => {
+            let message = match map.get("message") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                _ => return Err(IoError::Json("missing 'message'".into())),
+            };
+            Ok(Response::Error { id: opt_uint(map, "id")?, message })
+        }
+        "metrics" => {
+            let g = |k: &str| -> Result<u64, IoError> {
+                opt_uint(map, k)?.ok_or_else(|| IoError::Json(format!("missing '{k}'")))
+            };
+            Ok(Response::Metrics(MetricsSummary {
+                count: g("count")?,
+                errors: g("errors")?,
+                uptime_ms: g("uptime_ms")?,
+                rps_x1000: g("rps_x1000")?,
+                p50_us: g("p50_us")?,
+                p90_us: g("p90_us")?,
+                p99_us: g("p99_us")?,
+                mean_us: g("mean_us")?,
+            }))
+        }
+        other => Err(IoError::Format(format!("unknown status '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+
+    #[test]
+    fn request_roundtrip_both_kinds() {
+        let u = Request {
+            id: 7,
+            instance: ProblemInstance::Uniform(
+                UniformInstance::new(vec![2, 1], vec![3], vec![Job::new(0, 4)]).unwrap(),
+            ),
+            budget_ms: Some(50),
+            top_k: Some(3),
+            seed: None,
+        };
+        let line = request_to_json(&u);
+        assert!(!line.contains('\n'));
+        assert_eq!(parse_incoming(&line).unwrap(), Incoming::Solve(Box::new(u)));
+
+        let r = Request {
+            id: 9,
+            instance: ProblemInstance::Unrelated(
+                UnrelatedInstance::new(
+                    2,
+                    vec![0, 1],
+                    vec![vec![3, INF], vec![INF, 4]],
+                    vec![vec![1, 1], vec![2, 2]],
+                )
+                .unwrap(),
+            ),
+            budget_ms: None,
+            top_k: None,
+            seed: Some(11),
+        };
+        let line = request_to_json(&r);
+        assert_eq!(parse_incoming(&line).unwrap(), Incoming::Solve(Box::new(r)));
+    }
+
+    #[test]
+    fn metrics_probe_and_errors() {
+        assert_eq!(parse_incoming("{\"metrics\": true}").unwrap(), Incoming::Metrics);
+        assert!(parse_incoming("not json").is_err());
+        assert!(parse_incoming("{\"id\": 1}").is_err(), "missing instance");
+        assert!(parse_incoming("[1, 2]").is_err(), "non-object");
+    }
+
+    #[test]
+    fn response_roundtrip_with_rational_makespan() {
+        let resp = Response::Ok {
+            id: 3,
+            kind: "uniform".into(),
+            solver: "lpt".into(),
+            micros: 1234,
+            makespan: Cost::Frac(Ratio::new(7, 2)),
+            assignment: vec![0, 1, 0],
+            solvers: vec![
+                SolverLine {
+                    name: "lpt".into(),
+                    makespan: Some(Cost::Frac(Ratio::new(7, 2))),
+                    micros: 200,
+                    completed: true,
+                },
+                SolverLine { name: "anneal".into(), makespan: None, micros: 900, completed: false },
+            ],
+        };
+        let line = response_to_json(&resp);
+        assert!(!line.contains('\n'));
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_and_metrics_roundtrip() {
+        let e = Response::Error { id: Some(4), message: "bad \"instance\"\nline".into() };
+        assert_eq!(parse_response(&response_to_json(&e)).unwrap(), e);
+        let anon = Response::Error { id: None, message: "unparseable".into() };
+        assert_eq!(parse_response(&response_to_json(&anon)).unwrap(), anon);
+        let m = Response::Metrics(MetricsSummary {
+            count: 10,
+            errors: 1,
+            uptime_ms: 5000,
+            rps_x1000: 2000,
+            p50_us: 900,
+            p90_us: 1800,
+            p99_us: 2500,
+            mean_us: 1000,
+        });
+        assert_eq!(parse_response(&response_to_json(&m)).unwrap(), m);
+    }
+}

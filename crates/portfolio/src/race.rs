@@ -1,0 +1,257 @@
+//! The racing executor: top-k portfolio members run concurrently against a
+//! shared deadline, cross-seeding one incumbent.
+//!
+//! Cross-seeding is what makes a race more than k independent runs:
+//!
+//! * the setup-aware greedy baseline is published *before* any thread
+//!   starts, so the race can never return worse than greedy;
+//! * the best-known unrelated makespan lives in an `AtomicU64` that the
+//!   branch-and-bound reads as its pruning bound
+//!   ([`sst_algos::exact::exact_unrelated_budgeted`]) — a heuristic result
+//!   published early shrinks the exact search tree;
+//! * the search heuristics (local search, annealing) warm-start from the
+//!   incumbent *schedule* via [`Incumbent::snapshot`], descending from the
+//!   best point any member has reached instead of from scratch.
+//!
+//! Threads are plain `std::thread::scope` workers; the incumbent is a
+//! `parking_lot`-style mutex around the best `(schedule, cost, winner)`
+//! plus the atomic bound. Every member polls the request's
+//! [`CancelToken`], so the race returns within one check interval of the
+//! deadline with per-solver attribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sst_core::cancel::CancelToken;
+use sst_core::schedule::Schedule;
+
+use crate::features::extract_features;
+use crate::select::select;
+use crate::solver::{Cost, ProblemInstance, SolveContext};
+
+/// Knobs of one race.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceConfig {
+    /// How many ranked portfolio members run concurrently.
+    pub top_k: usize,
+    /// Wall-clock budget; the shared deadline of every member.
+    pub budget: Duration,
+    /// Base seed; each member gets `seed + slot` for diversity.
+    pub seed: u64,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        RaceConfig { top_k: 3, budget: Duration::from_millis(200), seed: 1 }
+    }
+}
+
+/// The shared incumbent of a race: best schedule/cost/author so far plus
+/// the atomic pruning bound for the unrelated branch-and-bound.
+pub struct Incumbent {
+    best: Mutex<Option<(Schedule, Cost, &'static str)>>,
+    bound: AtomicU64,
+}
+
+impl Default for Incumbent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Incumbent {
+    /// An empty incumbent (bound starts at `u64::MAX`).
+    pub fn new() -> Self {
+        Incumbent { best: Mutex::new(None), bound: AtomicU64::new(u64::MAX) }
+    }
+
+    /// Publishes a result; keeps it iff it strictly improves. Returns
+    /// whether it became the new incumbent.
+    pub fn offer(&self, name: &'static str, schedule: Schedule, cost: Cost) -> bool {
+        let mut guard = self.best.lock();
+        let improved = guard.as_ref().map(|(_, c, _)| cost.better_than(c)).unwrap_or(true);
+        if improved {
+            if let Cost::Time(t) = cost {
+                self.bound.fetch_min(t, Ordering::Relaxed);
+            }
+            *guard = Some((schedule, cost, name));
+        }
+        improved
+    }
+
+    /// A clone of the current best `(schedule, cost)` — the warm start of
+    /// the search heuristics.
+    pub fn snapshot(&self) -> Option<(Schedule, Cost)> {
+        self.best.lock().as_ref().map(|(s, c, _)| (s.clone(), *c))
+    }
+
+    /// The atomic makespan bound (unrelated machines) for B&B pruning.
+    pub fn bound(&self) -> &AtomicU64 {
+        &self.bound
+    }
+
+    fn into_best(self) -> Option<(Schedule, Cost, &'static str)> {
+        self.best.into_inner()
+    }
+}
+
+/// Attribution of one portfolio member's run.
+#[derive(Debug, Clone)]
+pub struct SolverReport {
+    /// Solver name.
+    pub name: &'static str,
+    /// Cost it achieved (`None` when it declined or failed).
+    pub cost: Option<Cost>,
+    /// Wall-clock microseconds it ran.
+    pub micros: u64,
+    /// Whether it ran to natural completion (vs. deadline/limit cutoff).
+    pub completed: bool,
+}
+
+/// Winner plus per-solver attribution of one race.
+#[derive(Debug, Clone)]
+pub struct RaceResult {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Its exact cost.
+    pub cost: Cost,
+    /// Name of the member that produced it (`"greedy-baseline"` when no
+    /// member beat the pre-published greedy floor).
+    pub winner: &'static str,
+    /// One report per raced member, in portfolio rank order.
+    pub reports: Vec<SolverReport>,
+    /// Total wall-clock microseconds of the race.
+    pub micros: u64,
+}
+
+/// Races the top-k selected solvers on `inst` under `cfg.budget`.
+pub fn race(inst: &ProblemInstance, cfg: &RaceConfig) -> RaceResult {
+    let t0 = Instant::now();
+    let feat = extract_features(inst);
+    let portfolio = select(&feat);
+    let k = cfg.top_k.clamp(1, portfolio.len());
+    let incumbent = Incumbent::new();
+    // The quality floor, published before any member starts.
+    let baseline = inst.greedy();
+    incumbent.offer("greedy-baseline", baseline.schedule, baseline.cost);
+    let cancel = CancelToken::with_deadline(cfg.budget);
+    let reports: Mutex<Vec<(usize, SolverReport)>> = Mutex::new(Vec::with_capacity(k));
+    std::thread::scope(|scope| {
+        for (slot, solver) in portfolio[..k].iter().enumerate() {
+            let incumbent = &incumbent;
+            let cancel = &cancel;
+            let reports = &reports;
+            let seed = cfg.seed.wrapping_add(slot as u64);
+            scope.spawn(move || {
+                let ctx = SolveContext { cancel, seed, incumbent };
+                let started = Instant::now();
+                let outcome = solver.solve(inst, &ctx);
+                let micros = started.elapsed().as_micros() as u64;
+                let report = match outcome {
+                    Some(out) => {
+                        let cost = out.cost;
+                        incumbent.offer(solver.name(), out.schedule, cost);
+                        SolverReport {
+                            name: solver.name(),
+                            cost: Some(cost),
+                            micros,
+                            completed: out.complete,
+                        }
+                    }
+                    None => {
+                        SolverReport { name: solver.name(), cost: None, micros, completed: false }
+                    }
+                };
+                reports.lock().push((slot, report));
+            });
+        }
+    });
+    let mut ordered = reports.into_inner();
+    ordered.sort_by_key(|&(slot, _)| slot);
+    let (schedule, cost, winner) = incumbent.into_best().expect("baseline guarantees an incumbent");
+    RaceResult {
+        schedule,
+        cost,
+        winner,
+        reports: ordered.into_iter().map(|(_, r)| r).collect(),
+        micros: t0.elapsed().as_micros() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
+
+    #[test]
+    fn race_never_loses_to_greedy_and_attributes_the_winner() {
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(
+                3,
+                vec![5, 2],
+                (0..12).map(|i| Job::new((i % 2) as usize, 1 + (i * 3) % 9)).collect(),
+            )
+            .unwrap(),
+        );
+        let res = race(&inst, &RaceConfig::default());
+        let greedy = inst.greedy();
+        assert!(
+            !greedy.cost.better_than(&res.cost),
+            "race ({}) must not lose to greedy ({})",
+            res.cost,
+            greedy.cost
+        );
+        assert!(!res.reports.is_empty());
+        assert!(
+            res.reports.iter().any(|r| r.name == res.winner) || res.winner == "greedy-baseline"
+        );
+        let reval = inst.evaluate(&res.schedule).expect("race schedule valid");
+        assert_eq!(reval, res.cost);
+    }
+
+    #[test]
+    fn tiny_unrelated_race_finds_the_optimum() {
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                2,
+                vec![0, 1, 0],
+                vec![vec![4, 2], vec![3, 3], vec![1, 5]],
+                vec![vec![1, 2], vec![2, 1]],
+            )
+            .unwrap(),
+        );
+        let res = race(&inst, &RaceConfig { top_k: 4, ..Default::default() });
+        // Known optimum 6 (brute-forced in the exact solver tests).
+        assert_eq!(res.cost, Cost::Time(6));
+    }
+
+    #[test]
+    fn expired_budget_still_returns_at_least_greedy() {
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                3,
+                (0..30).map(|j| j % 4).collect(),
+                (0..30).map(|j| vec![1 + j as u64 % 7, 2 + j as u64 % 5, 3]).collect(),
+                vec![vec![2, 1, 3], vec![1, 2, 1], vec![3, 1, 2], vec![2, 2, 2]],
+            )
+            .unwrap(),
+        );
+        let res = race(&inst, &RaceConfig { top_k: 3, budget: Duration::ZERO, seed: 5 });
+        let greedy = inst.greedy();
+        assert!(!greedy.cost.better_than(&res.cost));
+        assert_eq!(inst.evaluate(&res.schedule).unwrap(), res.cost);
+    }
+
+    #[test]
+    fn incumbent_bound_tracks_unrelated_offers() {
+        let inc = Incumbent::new();
+        assert!(inc.offer("a", Schedule::new(vec![0]), Cost::Time(10)));
+        assert!(!inc.offer("b", Schedule::new(vec![0]), Cost::Time(12)), "worse offer rejected");
+        assert!(inc.offer("c", Schedule::new(vec![0]), Cost::Time(7)));
+        assert_eq!(inc.bound().load(Ordering::Relaxed), 7);
+        let (_, cost, winner) = inc.into_best().unwrap();
+        assert_eq!(cost, Cost::Time(7));
+        assert_eq!(winner, "c");
+    }
+}

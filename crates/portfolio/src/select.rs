@@ -1,0 +1,144 @@
+//! Rule-based algorithm selection: features → ranked portfolio.
+//!
+//! The rules encode what the paper's theory and this repo's experiments
+//! say about which tool wins where:
+//!
+//! * tiny instances (`n ≤ 18`) — branch-and-bound can certify the optimum
+//!   within a race budget, so it leads;
+//! * class-uniform processing times — the 3-approximation of Theorem 3.11
+//!   applies and its LP bound certifies the result;
+//! * restricted assignment with class-uniform restrictions — the
+//!   2-approximation of Theorem 3.10 leads;
+//! * dense unrelated instances of moderate size — randomized LP rounding
+//!   (Theorem 3.3) is worth one simplex run;
+//! * uniform machines — LPT (Lemma 2.1) is the guaranteed fast start;
+//!   MULTIFIT ranks higher when setups dominate (its FFD core batches),
+//!   and the PTAS joins on small instances;
+//! * always — tracker-based local search and the annealer, which
+//!   warm-start from whatever the faster members already published.
+//!
+//! The racer takes the top-k of this ranking and runs them concurrently.
+
+use crate::features::Features;
+use crate::solver::{
+    AnnealSolver, Cupt3Solver, ExactSolver, GreedySolver, LocalSearchSolver, LptSolver,
+    MultifitSolver, PtasSolver, Ra2Solver, RoundingSolver, Solver,
+};
+
+static GREEDY: GreedySolver = GreedySolver;
+static LPT: LptSolver = LptSolver;
+static MULTIFIT: MultifitSolver = MultifitSolver;
+static PTAS: PtasSolver = PtasSolver { q: 4 };
+static ROUNDING: RoundingSolver = RoundingSolver;
+static RA2: Ra2Solver = Ra2Solver;
+static CUPT3: Cupt3Solver = Cupt3Solver;
+static EXACT: ExactSolver = ExactSolver;
+static LOCAL_SEARCH: LocalSearchSolver = LocalSearchSolver;
+static ANNEAL: AnnealSolver = AnnealSolver;
+
+static REGISTRY: [&dyn Solver; 10] =
+    [&GREEDY, &LPT, &MULTIFIT, &PTAS, &ROUNDING, &RA2, &CUPT3, &EXACT, &LOCAL_SEARCH, &ANNEAL];
+
+/// Every solver the portfolio knows, in no particular order.
+pub fn registry() -> &'static [&'static dyn Solver] {
+    &REGISTRY
+}
+
+/// Maps features to a ranked, non-empty portfolio of applicable solvers.
+/// The first entry is the selector's single-algorithm pick; a racer runs
+/// the first k concurrently.
+pub fn select(feat: &Features) -> Vec<&'static dyn Solver> {
+    let mut ranked: Vec<&'static dyn Solver> = Vec::new();
+    let mut push = |s: &'static dyn Solver| {
+        if s.supports(feat) && !ranked.iter().any(|r| std::ptr::eq(*r, s)) {
+            ranked.push(s);
+        }
+    };
+    // Certifiable optima first on tiny instances.
+    push(&EXACT);
+    if feat.uniform {
+        push(&LPT);
+        if feat.setup_to_work >= 1.0 {
+            // Setups dominate: the FFD batching core shines.
+            push(&MULTIFIT);
+        }
+        push(&LOCAL_SEARCH);
+        push(&PTAS);
+        push(&ANNEAL);
+        push(&MULTIFIT);
+    } else {
+        // Guaranteed special-case algorithms when the structure holds.
+        push(&CUPT3);
+        push(&RA2);
+        push(&LOCAL_SEARCH);
+        push(&ROUNDING);
+        push(&ANNEAL);
+    }
+    // The floor — also what the race baseline is measured against.
+    push(&GREEDY);
+    debug_assert!(!ranked.is_empty());
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_features;
+    use crate::solver::ProblemInstance;
+    use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
+
+    fn names(v: &[&'static dyn Solver]) -> Vec<&'static str> {
+        v.iter().map(|s| s.name()).collect()
+    }
+
+    #[test]
+    fn tiny_instances_lead_with_exact() {
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(2, vec![1], vec![Job::new(0, 3), Job::new(0, 4)]).unwrap(),
+        );
+        let ranked = select(&extract_features(&inst));
+        assert_eq!(ranked[0].name(), "exact");
+        assert!(names(&ranked).contains(&"lpt"));
+    }
+
+    #[test]
+    fn heavy_setups_promote_multifit() {
+        let jobs: Vec<Job> = (0..40).map(|i| Job::new(i % 3, 2)).collect();
+        let heavy = ProblemInstance::Uniform(
+            UniformInstance::identical(4, vec![500, 400, 600], jobs.clone()).unwrap(),
+        );
+        let light =
+            ProblemInstance::Uniform(UniformInstance::identical(4, vec![1, 1, 1], jobs).unwrap());
+        let rh = names(&select(&extract_features(&heavy)));
+        let rl = names(&select(&extract_features(&light)));
+        let pos = |v: &[&str], n: &str| v.iter().position(|x| *x == n).unwrap();
+        assert!(pos(&rh, "multifit") < pos(&rl, "multifit"), "heavy {rh:?} vs light {rl:?}");
+    }
+
+    #[test]
+    fn structure_flags_activate_guaranteed_solvers() {
+        // Class-uniform processing times → cupt3 ranked, ra2 not.
+        let rows = vec![vec![5, 7]; 30];
+        let classes: Vec<usize> = (0..30).map(|j| j % 2).collect();
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(2, classes, rows, vec![vec![2, 2], vec![3, 3]]).unwrap(),
+        );
+        let ranked = names(&select(&extract_features(&inst)));
+        assert!(ranked.contains(&"cupt3"), "{ranked:?}");
+    }
+
+    #[test]
+    fn every_selected_solver_supports_the_features_and_registry_is_superset() {
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(3, vec![2], (0..30).map(|i| Job::new(0, i + 1)).collect())
+                .unwrap(),
+        );
+        let feat = extract_features(&inst);
+        let ranked = select(&feat);
+        assert!(!ranked.is_empty());
+        for s in &ranked {
+            assert!(s.supports(&feat), "{} selected but unsupported", s.name());
+        }
+        assert!(ranked.len() <= registry().len());
+    }
+}

@@ -1,0 +1,397 @@
+//! The serve front end: a sharded worker pool speaking the NDJSON
+//! protocol over stdin or TCP.
+//!
+//! Requests are dispatched round-robin onto `shards` single-threaded
+//! queues; each shard worker parses, races the portfolio
+//! ([`crate::race`]), and writes the response line to the request's
+//! origin (stdout, or the originating TCP connection). Latency and
+//! throughput are tracked in a shared
+//! [`sst_core::stats::LatencyHistogram`]; the line `{"metrics": true}`
+//! returns the running summary, and [`Service::shutdown`] returns it for
+//! end-of-stream reporting.
+//!
+//! Concurrency shape: `shards` workers each run one race at a time, and a
+//! race spawns up to `top_k` solver threads, so peak solver parallelism is
+//! `shards × top_k`. Responses can interleave across shards — clients
+//! correlate by `id`, which is why the protocol requires one.
+
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sst_core::stats::LatencyHistogram;
+
+use crate::protocol::{
+    parse_incoming, response_to_json, Incoming, MetricsSummary, Response, SolverLine,
+};
+use crate::race::{race, RaceConfig};
+
+/// Service configuration (CLI flags of `sst serve`).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of shard workers (concurrent races).
+    pub shards: usize,
+    /// Default portfolio members raced per request.
+    pub top_k: usize,
+    /// Default per-request budget in milliseconds.
+    pub budget_ms: u64,
+    /// Default seed for the randomized solvers.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { shards: 4, top_k: 3, budget_ms: 200, seed: 1 }
+    }
+}
+
+/// Where a response line goes: shared, lockable, flushable.
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    line: String,
+    out: SharedWriter,
+}
+
+struct MetricsState {
+    hist: LatencyHistogram,
+    ok: u64,
+    errors: u64,
+    started: Instant,
+}
+
+impl MetricsState {
+    fn summary(&self) -> MetricsSummary {
+        let uptime = self.started.elapsed();
+        let uptime_ms = uptime.as_millis() as u64;
+        let served = self.ok + self.errors;
+        let rps_x1000 = if uptime.as_secs_f64() > 0.0 {
+            (served as f64 / uptime.as_secs_f64() * 1000.0) as u64
+        } else {
+            0
+        };
+        MetricsSummary {
+            count: self.ok,
+            errors: self.errors,
+            uptime_ms,
+            rps_x1000,
+            p50_us: self.hist.percentile(0.50),
+            p90_us: self.hist.percentile(0.90),
+            p99_us: self.hist.percentile(0.99),
+            mean_us: self.hist.mean().round() as u64,
+        }
+    }
+}
+
+/// A running worker pool. Dispatch lines in, responses come out on each
+/// job's [`SharedWriter`].
+pub struct Service {
+    senders: Vec<Mutex<mpsc::Sender<Job>>>,
+    next: AtomicUsize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    metrics: Arc<Mutex<MetricsState>>,
+}
+
+fn write_line(out: &SharedWriter, line: &str) {
+    let mut w = out.lock();
+    // A vanished client (closed connection) is not a service error.
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+fn handle_job(cfg: &ServeConfig, metrics: &Mutex<MetricsState>, job: Job) {
+    let line = job.line.trim();
+    if line.is_empty() {
+        return;
+    }
+    match parse_incoming(line) {
+        Ok(Incoming::Metrics) => {
+            let summary = metrics.lock().summary();
+            write_line(&job.out, &response_to_json(&Response::Metrics(summary)));
+        }
+        Ok(Incoming::Solve(req)) => {
+            let t0 = Instant::now();
+            let race_cfg = RaceConfig {
+                top_k: req.top_k.unwrap_or(cfg.top_k),
+                budget: Duration::from_millis(req.budget_ms.unwrap_or(cfg.budget_ms)),
+                seed: req.seed.unwrap_or(cfg.seed),
+            };
+            let result = race(&req.instance, &race_cfg);
+            let micros = t0.elapsed().as_micros() as u64;
+            let resp = Response::Ok {
+                id: req.id,
+                kind: req.instance.kind().to_string(),
+                solver: result.winner.to_string(),
+                micros,
+                makespan: result.cost,
+                assignment: result.schedule.assignment().to_vec(),
+                solvers: result
+                    .reports
+                    .into_iter()
+                    .map(|r| SolverLine {
+                        name: r.name.to_string(),
+                        makespan: r.cost,
+                        micros: r.micros,
+                        completed: r.completed,
+                    })
+                    .collect(),
+            };
+            {
+                let mut m = metrics.lock();
+                m.hist.record(micros);
+                m.ok += 1;
+            }
+            write_line(&job.out, &response_to_json(&resp));
+        }
+        Err(e) => {
+            metrics.lock().errors += 1;
+            // Echo the id when the line parsed far enough to carry one, so
+            // pipelined clients can tell which request failed.
+            let id = crate::protocol::extract_request_id(line);
+            let resp = Response::Error { id, message: e.to_string() };
+            write_line(&job.out, &response_to_json(&resp));
+        }
+    }
+}
+
+impl Service {
+    /// Starts `cfg.shards` workers.
+    pub fn start(cfg: ServeConfig) -> Service {
+        let shards = cfg.shards.max(1);
+        let metrics = Arc::new(Mutex::new(MetricsState {
+            hist: LatencyHistogram::new(),
+            ok: 0,
+            errors: 0,
+            started: Instant::now(),
+        }));
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let metrics = Arc::clone(&metrics);
+            workers.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    handle_job(&cfg, &metrics, job);
+                }
+            }));
+            senders.push(Mutex::new(tx));
+        }
+        Service { senders, next: AtomicUsize::new(0), workers, metrics }
+    }
+
+    /// Enqueues one request line; its response will be written to `out`.
+    /// Round-robin sharding keeps all workers busy under bursty load.
+    pub fn dispatch(&self, line: String, out: SharedWriter) {
+        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+        // A send only fails if the worker died; the job is then dropped —
+        // there is no meaningful recovery short of restarting the service.
+        let _ = self.senders[shard].lock().send(Job { line, out });
+    }
+
+    /// The running metrics summary.
+    pub fn metrics(&self) -> MetricsSummary {
+        self.metrics.lock().summary()
+    }
+
+    /// Closes the queues, drains in-flight work and returns final metrics.
+    pub fn shutdown(self) -> MetricsSummary {
+        drop(self.senders);
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let summary = self.metrics.lock().summary();
+        summary
+    }
+}
+
+/// Serves NDJSON requests from stdin to stdout until EOF; returns the
+/// final metrics summary.
+pub fn serve_stdin(cfg: ServeConfig) -> MetricsSummary {
+    let svc = Service::start(cfg);
+    let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        svc.dispatch(line, Arc::clone(&out));
+    }
+    svc.shutdown()
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`), announces
+/// `sst-serve listening on <addr>` on stdout, then serves every
+/// connection's NDJSON lines until the process is killed. All connections
+/// share one worker pool, so `shards` bounds concurrent races globally.
+pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    println!("sst-serve listening on {local}");
+    std::io::stdout().flush()?;
+    let svc = Arc::new(Service::start(cfg));
+    loop {
+        let (stream, _) = listener.accept()?;
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            let Ok(read_half) = stream.try_clone() else { return };
+            let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+            for line in std::io::BufReader::new(read_half).lines() {
+                let Ok(line) = line else { break };
+                svc.dispatch(line, Arc::clone(&out));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_response, request_to_json, Request};
+    use crate::solver::{Cost, ProblemInstance};
+    use sst_core::instance::{Job as CoreJob, UniformInstance, UnrelatedInstance};
+    use sst_core::schedule::Schedule;
+
+    /// A `Write` that appends into a shared buffer (NDJSON lines).
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn requests() -> Vec<Request> {
+        (0..8)
+            .map(|i| {
+                let instance = if i % 2 == 0 {
+                    ProblemInstance::Uniform(
+                        UniformInstance::identical(
+                            2,
+                            vec![3],
+                            (0..6).map(|x| CoreJob::new(0, 1 + (x + i) % 5)).collect(),
+                        )
+                        .unwrap(),
+                    )
+                } else {
+                    ProblemInstance::Unrelated(
+                        UnrelatedInstance::new(
+                            2,
+                            vec![0, 1, 0],
+                            vec![vec![4, 2], vec![3, 3], vec![1 + i, 5]],
+                            vec![vec![1, 2], vec![2, 1]],
+                        )
+                        .unwrap(),
+                    )
+                };
+                Request { id: i, instance, budget_ms: Some(50), top_k: Some(2), seed: Some(i) }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn service_answers_every_request_with_a_valid_schedule() {
+        let svc = Service::start(ServeConfig { shards: 3, ..Default::default() });
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let reqs = requests();
+        for req in &reqs {
+            let out: SharedWriter = Arc::new(Mutex::new(Box::new(Buf(Arc::clone(&buffer)))));
+            svc.dispatch(request_to_json(req), out);
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.count, reqs.len() as u64);
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let mut seen = vec![false; reqs.len()];
+        for line in text.lines() {
+            let resp = parse_response(line).expect("every line parses");
+            let Response::Ok { id, makespan, assignment, .. } = resp else {
+                panic!("unexpected response: {line}");
+            };
+            let req = &reqs[id as usize];
+            let cost = req.instance.evaluate(&Schedule::new(assignment)).expect("valid schedule");
+            assert_eq!(cost, makespan, "reported makespan must match the assignment");
+            // Quality floor: never worse than greedy.
+            let greedy = req.instance.greedy();
+            assert!(!greedy.cost.better_than(&cost));
+            seen[id as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every request answered: {seen:?}");
+    }
+
+    #[test]
+    fn bad_lines_produce_error_responses_and_count_as_errors() {
+        let svc = Service::start(ServeConfig { shards: 1, ..Default::default() });
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(Buf(Arc::clone(&buffer)))));
+        svc.dispatch("this is not json".into(), Arc::clone(&out));
+        svc.dispatch(String::new(), Arc::clone(&out)); // blank lines are ignored
+                                                       // Parses as JSON with an id, but the instance fails validation
+                                                       // (speed 0): the error must echo the id for correlation.
+        svc.dispatch(
+            "{\"id\": 41, \"instance\": {\"version\": 1, \"kind\": \"uniform\", \
+             \"speeds\": [0], \"setups\": [], \"jobs\": []}}"
+                .into(),
+            Arc::clone(&out),
+        );
+        svc.dispatch("{\"metrics\": true}".into(), out);
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 2);
+        assert_eq!(summary.count, 0);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let responses: Vec<Response> = text.lines().map(|l| parse_response(l).unwrap()).collect();
+        assert_eq!(responses.len(), 3, "{text}");
+        assert!(matches!(responses[0], Response::Error { id: None, .. }));
+        assert!(
+            matches!(responses[1], Response::Error { id: Some(41), .. }),
+            "id must be echoed on semi-parseable requests: {:?}",
+            responses[1]
+        );
+        assert!(matches!(responses[2], Response::Metrics(_)));
+    }
+
+    #[test]
+    fn per_request_budget_is_respected() {
+        // One slow-ish unrelated instance with a tiny budget: the response
+        // must come back quickly and still beat-or-tie greedy.
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                4,
+                (0..60).map(|j| j % 6).collect(),
+                (0..60)
+                    .map(|j| (0..4).map(|i| 1 + ((j * 7 + i * 13) % 23) as u64).collect())
+                    .collect(),
+                (0..6).map(|k| (0..4).map(|i| 1 + ((k + i) % 9) as u64).collect()).collect(),
+            )
+            .unwrap(),
+        );
+        let svc = Service::start(ServeConfig { shards: 1, ..Default::default() });
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(Buf(Arc::clone(&buffer)))));
+        let req = Request {
+            id: 0,
+            instance: inst.clone(),
+            budget_ms: Some(20),
+            top_k: Some(3),
+            seed: None,
+        };
+        let t0 = Instant::now();
+        svc.dispatch(request_to_json(&req), out);
+        svc.shutdown();
+        // Generous overshoot allowance: deadline + check intervals + joins.
+        assert!(
+            t0.elapsed() < Duration::from_millis(2000),
+            "budgeted request took {:?}",
+            t0.elapsed()
+        );
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let resp = parse_response(text.lines().next().unwrap()).unwrap();
+        let Response::Ok { makespan, assignment, .. } = resp else { panic!("{text}") };
+        let cost = inst.evaluate(&Schedule::new(assignment)).unwrap();
+        assert_eq!(cost, makespan);
+        assert!(matches!(cost, Cost::Time(_)));
+    }
+}

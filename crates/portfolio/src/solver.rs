@@ -1,0 +1,486 @@
+//! The unifying [`Solver`] trait and its implementations over `sst-algos`.
+//!
+//! A solver receives a [`ProblemInstance`] (either machine model), a
+//! [`SolveContext`] carrying the request's cancellation token, a seed and
+//! the shared race [`Incumbent`](crate::race::Incumbent), and returns an
+//! [`Outcome`] — a valid schedule plus its exactly evaluated [`Cost`].
+//! Every implementation is *anytime*: once the token fires it returns its
+//! best-so-far schedule within one check interval (the iterative solvers
+//! poll the token in their hot loops; the one-shot constructions are only
+//! offered by the selector at sizes where they complete in microseconds to
+//! a few milliseconds).
+
+use sst_algos::annealing::{anneal_uniform_budgeted, anneal_unrelated_budgeted, AnnealConfig};
+use sst_algos::cupt::solve_class_uniform_ptimes;
+use sst_algos::exact::{exact_uniform_budgeted, exact_unrelated_budgeted};
+use sst_algos::list::{greedy_uniform, greedy_unrelated};
+use sst_algos::local_search::{improve_uniform_budgeted, improve_unrelated_budgeted};
+use sst_algos::lpt::lpt_with_setups_makespan;
+use sst_algos::multifit::multifit_uniform;
+use sst_algos::ptas::{ptas_uniform, PtasConfig};
+use sst_algos::ra::solve_ra_class_uniform;
+use sst_algos::rounding::{solve_unrelated_randomized_budgeted, RoundingConfig};
+use sst_core::cancel::CancelToken;
+use sst_core::instance::{UniformInstance, UnrelatedInstance};
+use sst_core::ratio::Ratio;
+use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
+use sst_core::ScheduleError;
+
+use crate::features::Features;
+use crate::race::Incumbent;
+
+/// An instance of either machine model — the unit of work of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemInstance {
+    /// Uniformly related machines (speeds, class setups).
+    Uniform(UniformInstance),
+    /// Unrelated machines (full `p_ij` / `s_ik` matrices, `∞` allowed).
+    Unrelated(UnrelatedInstance),
+}
+
+impl ProblemInstance {
+    /// Number of jobs.
+    pub fn n(&self) -> usize {
+        match self {
+            ProblemInstance::Uniform(i) => i.n(),
+            ProblemInstance::Unrelated(i) => i.n(),
+        }
+    }
+
+    /// Number of machines.
+    pub fn m(&self) -> usize {
+        match self {
+            ProblemInstance::Uniform(i) => i.m(),
+            ProblemInstance::Unrelated(i) => i.m(),
+        }
+    }
+
+    /// `"uniform"` or `"unrelated"` — the protocol's `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProblemInstance::Uniform(_) => "uniform",
+            ProblemInstance::Unrelated(_) => "unrelated",
+        }
+    }
+
+    /// Exact cost of a schedule for this instance.
+    pub fn evaluate(&self, sched: &Schedule) -> Result<Cost, ScheduleError> {
+        match self {
+            ProblemInstance::Uniform(i) => uniform_makespan(i, sched).map(Cost::Frac),
+            ProblemInstance::Unrelated(i) => unrelated_makespan(i, sched).map(Cost::Time),
+        }
+    }
+
+    /// The setup-aware greedy baseline — cheap, always valid, and the
+    /// quality floor of every race.
+    pub fn greedy(&self) -> Outcome {
+        let schedule = match self {
+            ProblemInstance::Uniform(i) => greedy_uniform(i),
+            ProblemInstance::Unrelated(i) => greedy_unrelated(i),
+        };
+        let cost = self.evaluate(&schedule).expect("greedy schedules are valid");
+        Outcome { schedule, cost, complete: true }
+    }
+}
+
+/// A makespan in the model's native arithmetic: exact integer time for
+/// unrelated machines, an exact rational for uniform machines (where the
+/// makespan is `work / speed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cost {
+    /// Unrelated-machines makespan (time units).
+    Time(u64),
+    /// Uniform-machines makespan (`work / speed`).
+    Frac(Ratio),
+}
+
+impl Cost {
+    /// Lossy float view (display, cross-family comparisons).
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Cost::Time(t) => *t as f64,
+            Cost::Frac(r) => r.to_f64(),
+        }
+    }
+
+    /// Strict improvement test. Costs of the same variant compare exactly;
+    /// mixed variants (which never race each other) fall back to floats.
+    pub fn better_than(&self, other: &Cost) -> bool {
+        match (self, other) {
+            (Cost::Time(a), Cost::Time(b)) => a < b,
+            (Cost::Frac(a), Cost::Frac(b)) => a < b,
+            _ => self.to_f64() < other.to_f64(),
+        }
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cost::Time(t) => write!(f, "{t}"),
+            Cost::Frac(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// What a solver hands back: a valid schedule, its exact cost, and whether
+/// the solver ran to natural completion (vs. being cut off by the deadline
+/// or a node limit).
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The produced schedule (always valid for the instance).
+    pub schedule: Schedule,
+    /// Exactly evaluated makespan of [`Self::schedule`].
+    pub cost: Cost,
+    /// False when the deadline or a resource limit cut the run short.
+    pub complete: bool,
+}
+
+/// Per-run context shared by all solvers of one race.
+pub struct SolveContext<'a> {
+    /// Deadline/cancellation token of the request.
+    pub cancel: &'a CancelToken,
+    /// Seed for the randomized solvers (derived per portfolio slot).
+    pub seed: u64,
+    /// The race's shared incumbent: read it to warm-start, rely on the
+    /// racer to publish results back.
+    pub incumbent: &'a Incumbent,
+}
+
+/// A portfolio member: one algorithm, wrapped to be raceable.
+pub trait Solver: Sync {
+    /// Stable name used in responses and reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether this solver applies to (and is worth running on) an
+    /// instance with these features. `solve` on an unsupported instance
+    /// returns `None`.
+    fn supports(&self, feat: &Features) -> bool;
+
+    /// Runs the algorithm. Returns `None` when the instance is out of this
+    /// solver's domain; otherwise the schedule is valid and exactly costed.
+    fn solve(&self, inst: &ProblemInstance, ctx: &SolveContext<'_>) -> Option<Outcome>;
+}
+
+/// Node budget for the exact solvers inside a race: enough to close small
+/// instances, bounded so the cancel polls stay the effective limit.
+const EXACT_NODE_LIMIT: u64 = 1 << 26;
+
+/// Warm start for the search heuristics: the incumbent's schedule when one
+/// exists (cross-seeding), the setup-aware greedy otherwise.
+fn warm_start(inst: &ProblemInstance, ctx: &SolveContext<'_>) -> Schedule {
+    match ctx.incumbent.snapshot() {
+        Some((sched, _)) if sched.n() == inst.n() => sched,
+        _ => inst.greedy().schedule,
+    }
+}
+
+/// Setup-aware greedy (both models) — the portfolio's floor.
+pub struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn supports(&self, _feat: &Features) -> bool {
+        true
+    }
+
+    fn solve(&self, inst: &ProblemInstance, _ctx: &SolveContext<'_>) -> Option<Outcome> {
+        Some(inst.greedy())
+    }
+}
+
+/// LPT with batched setups (Lemma 2.1, uniform machines, ≤ 4.74·Opt).
+pub struct LptSolver;
+
+impl Solver for LptSolver {
+    fn name(&self) -> &'static str {
+        "lpt"
+    }
+
+    fn supports(&self, feat: &Features) -> bool {
+        feat.uniform
+    }
+
+    fn solve(&self, inst: &ProblemInstance, _ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let ProblemInstance::Uniform(u) = inst else { return None };
+        let (schedule, ms) = lpt_with_setups_makespan(u);
+        Some(Outcome { schedule, cost: Cost::Frac(ms), complete: true })
+    }
+}
+
+/// MULTIFIT/FFD (uniform machines) — strong when setups are heavy.
+pub struct MultifitSolver;
+
+impl Solver for MultifitSolver {
+    fn name(&self) -> &'static str {
+        "multifit"
+    }
+
+    fn supports(&self, feat: &Features) -> bool {
+        feat.uniform
+    }
+
+    fn solve(&self, inst: &ProblemInstance, _ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let ProblemInstance::Uniform(u) = inst else { return None };
+        let res = multifit_uniform(u, 8);
+        Some(Outcome { cost: Cost::Frac(res.makespan), schedule: res.schedule, complete: true })
+    }
+}
+
+/// The Section-2 PTAS (uniform machines). One-shot and superpolynomial in
+/// `1/ε`, so the selector only offers it on small instances.
+pub struct PtasSolver {
+    /// Precision `ε = 1/q`.
+    pub q: u64,
+}
+
+impl Solver for PtasSolver {
+    fn name(&self) -> &'static str {
+        "ptas"
+    }
+
+    fn supports(&self, feat: &Features) -> bool {
+        feat.uniform && feat.n <= 60 && feat.m <= 8
+    }
+
+    fn solve(&self, inst: &ProblemInstance, _ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let ProblemInstance::Uniform(u) = inst else { return None };
+        let res = ptas_uniform(u, &PtasConfig { q: self.q, node_limit: 1 << 22 });
+        let cost = Cost::Frac(res.makespan);
+        Some(Outcome { schedule: res.schedule, cost, complete: true })
+    }
+}
+
+/// Randomized LP rounding (Theorem 3.3, unrelated machines), budgeted:
+/// polls the token between LP solves and rounding iterations.
+pub struct RoundingSolver;
+
+impl Solver for RoundingSolver {
+    fn name(&self) -> &'static str {
+        "rounding"
+    }
+
+    fn supports(&self, feat: &Features) -> bool {
+        // The assignment LP has ~n·m variables; past this size one simplex
+        // run blows any interactive budget.
+        !feat.uniform && feat.n * feat.m <= 6_000
+    }
+
+    fn solve(&self, inst: &ProblemInstance, ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let ProblemInstance::Unrelated(r) = inst else { return None };
+        let cfg = RoundingConfig { c: 2.0, seed: ctx.seed };
+        let res = solve_unrelated_randomized_budgeted(r, &cfg, ctx.cancel);
+        Some(Outcome {
+            schedule: res.schedule,
+            cost: Cost::Time(res.makespan),
+            complete: !ctx.cancel.is_cancelled(),
+        })
+    }
+}
+
+/// RA 2-approximation (Theorem 3.10) — restricted assignment with
+/// class-uniform restrictions only.
+pub struct Ra2Solver;
+
+impl Solver for Ra2Solver {
+    fn name(&self) -> &'static str {
+        "ra2"
+    }
+
+    fn supports(&self, feat: &Features) -> bool {
+        !feat.uniform && feat.restricted && feat.class_uniform_restrictions
+    }
+
+    fn solve(&self, inst: &ProblemInstance, _ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let ProblemInstance::Unrelated(r) = inst else { return None };
+        if !(r.is_restricted_assignment() && r.has_class_uniform_restrictions()) {
+            return None;
+        }
+        let res = solve_ra_class_uniform(r);
+        Some(Outcome { schedule: res.schedule, cost: Cost::Time(res.makespan), complete: true })
+    }
+}
+
+/// CUPT 3-approximation (Theorem 3.11) — class-uniform processing times.
+pub struct Cupt3Solver;
+
+impl Solver for Cupt3Solver {
+    fn name(&self) -> &'static str {
+        "cupt3"
+    }
+
+    fn supports(&self, feat: &Features) -> bool {
+        !feat.uniform && feat.class_uniform_ptimes
+    }
+
+    fn solve(&self, inst: &ProblemInstance, _ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let ProblemInstance::Unrelated(r) = inst else { return None };
+        if !r.has_class_uniform_ptimes() {
+            return None;
+        }
+        let res = solve_class_uniform_ptimes(r);
+        Some(Outcome { schedule: res.schedule, cost: Cost::Time(res.makespan), complete: true })
+    }
+}
+
+/// Branch-and-bound (both models). In a race its pruning bound is
+/// cross-seeded from the incumbent (unrelated machines), so a good
+/// heuristic result published early shrinks this search's tree.
+pub struct ExactSolver;
+
+impl Solver for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn supports(&self, feat: &Features) -> bool {
+        feat.n <= 18
+    }
+
+    fn solve(&self, inst: &ProblemInstance, ctx: &SolveContext<'_>) -> Option<Outcome> {
+        match inst {
+            ProblemInstance::Uniform(u) => {
+                if u.num_classes() > 128 {
+                    return None;
+                }
+                let res = exact_uniform_budgeted(u, EXACT_NODE_LIMIT, ctx.cancel);
+                Some(Outcome {
+                    schedule: res.schedule,
+                    cost: Cost::Frac(res.makespan),
+                    complete: res.complete,
+                })
+            }
+            ProblemInstance::Unrelated(r) => {
+                if r.num_classes() > 128 {
+                    return None;
+                }
+                let res = exact_unrelated_budgeted(
+                    r,
+                    EXACT_NODE_LIMIT,
+                    ctx.cancel,
+                    Some(ctx.incumbent.bound()),
+                );
+                Some(Outcome {
+                    schedule: res.schedule,
+                    cost: Cost::Time(res.makespan),
+                    complete: res.complete,
+                })
+            }
+        }
+    }
+}
+
+/// Tracker-based descent (both models), warm-started from the race
+/// incumbent.
+pub struct LocalSearchSolver;
+
+impl Solver for LocalSearchSolver {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn supports(&self, _feat: &Features) -> bool {
+        true
+    }
+
+    fn solve(&self, inst: &ProblemInstance, ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let start = warm_start(inst, ctx);
+        let (schedule, done) = match inst {
+            ProblemInstance::Uniform(u) => {
+                let r = improve_uniform_budgeted(u, &start, usize::MAX, ctx.cancel);
+                (r.schedule, !ctx.cancel.is_cancelled())
+            }
+            ProblemInstance::Unrelated(r) => {
+                let res = improve_unrelated_budgeted(r, &start, usize::MAX, ctx.cancel);
+                (res.schedule, !ctx.cancel.is_cancelled())
+            }
+        };
+        let cost = inst.evaluate(&schedule).expect("descent keeps schedules valid");
+        Some(Outcome { schedule, cost, complete: done })
+    }
+}
+
+/// Seeded Metropolis annealer (both models), warm-started from the race
+/// incumbent; the deadline is its only stopping rule in a race.
+pub struct AnnealSolver;
+
+impl Solver for AnnealSolver {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn supports(&self, _feat: &Features) -> bool {
+        true
+    }
+
+    fn solve(&self, inst: &ProblemInstance, ctx: &SolveContext<'_>) -> Option<Outcome> {
+        let start = warm_start(inst, ctx);
+        let cfg = AnnealConfig { iterations: 400_000, seed: ctx.seed, ..AnnealConfig::default() };
+        let schedule = match inst {
+            ProblemInstance::Uniform(u) => {
+                anneal_uniform_budgeted(u, &start, &cfg, ctx.cancel).schedule
+            }
+            ProblemInstance::Unrelated(r) => {
+                anneal_unrelated_budgeted(r, &start, &cfg, ctx.cancel).schedule
+            }
+        };
+        let cost = inst.evaluate(&schedule).expect("annealer keeps schedules valid");
+        Some(Outcome { schedule, cost, complete: !ctx.cancel.is_cancelled() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_features;
+    use sst_core::instance::Job;
+
+    fn uniform_fixture() -> ProblemInstance {
+        ProblemInstance::Uniform(
+            UniformInstance::identical(
+                2,
+                vec![3, 1],
+                vec![Job::new(0, 5), Job::new(0, 4), Job::new(1, 7)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn every_supported_solver_returns_valid_costed_outcome() {
+        let inst = uniform_fixture();
+        let feat = extract_features(&inst);
+        let incumbent = Incumbent::new();
+        let token = CancelToken::new();
+        let ctx = SolveContext { cancel: &token, seed: 7, incumbent: &incumbent };
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(GreedySolver),
+            Box::new(LptSolver),
+            Box::new(MultifitSolver),
+            Box::new(PtasSolver { q: 4 }),
+            Box::new(ExactSolver),
+            Box::new(LocalSearchSolver),
+            Box::new(AnnealSolver),
+        ];
+        for s in &solvers {
+            assert!(s.supports(&feat), "{} should support the fixture", s.name());
+            let out = s.solve(&inst, &ctx).expect("supported solver must produce an outcome");
+            let reval = inst.evaluate(&out.schedule).expect("schedule must be valid");
+            assert_eq!(reval, out.cost, "{} misreported its cost", s.name());
+        }
+        // Unrelated-only solvers refuse the uniform instance.
+        assert!(RoundingSolver.solve(&inst, &ctx).is_none());
+        assert!(Ra2Solver.solve(&inst, &ctx).is_none());
+        assert!(Cupt3Solver.solve(&inst, &ctx).is_none());
+    }
+
+    #[test]
+    fn cost_ordering_is_exact_within_a_kind() {
+        assert!(Cost::Time(3).better_than(&Cost::Time(4)));
+        assert!(!Cost::Time(4).better_than(&Cost::Time(4)));
+        assert!(Cost::Frac(Ratio::new(1, 3)).better_than(&Cost::Frac(Ratio::new(1, 2))));
+    }
+}

@@ -1,0 +1,152 @@
+//! Round-trip property tests for the NDJSON codec: arbitrary instances →
+//! serialize → parse → identical, for requests and responses alike. The
+//! codec reuses `sst_core::io`'s hand-rolled JSON layer, so this doubles
+//! as a fuzz of that parser on machine-generated input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+use sst_core::ratio::Ratio;
+use sst_portfolio::protocol::{
+    parse_incoming, parse_response, request_to_json, response_to_json, Incoming, Request, Response,
+    SolverLine,
+};
+use sst_portfolio::{Cost, ProblemInstance};
+
+fn uniform_instance() -> impl Strategy<Value = ProblemInstance> {
+    (vec(1u64..50, 1..5), vec(0u64..100, 1..5), vec((0usize..100, 1u64..500), 0..30)).prop_map(
+        |(speeds, setups, raw)| {
+            let k = setups.len();
+            let jobs: Vec<Job> = raw.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            ProblemInstance::Uniform(
+                UniformInstance::new(speeds, setups, jobs).expect("constructed valid"),
+            )
+        },
+    )
+}
+
+fn unrelated_instance() -> impl Strategy<Value = ProblemInstance> {
+    (2usize..5, 1usize..5, vec((0usize..100, 1u64..500, 0u64..30), 1..30)).prop_map(
+        |(m, k, raw)| {
+            let job_class: Vec<usize> = raw.iter().map(|&(c, _, _)| c % k).collect();
+            let ptimes: Vec<Vec<u64>> = raw
+                .iter()
+                .enumerate()
+                .map(|(j, &(_, p, inf_mask))| {
+                    (0..m)
+                        .map(|i| {
+                            // Sprinkle INFs but keep machine j % m finite so
+                            // every job stays schedulable.
+                            if i != j % m && (inf_mask >> i) & 1 == 1 {
+                                INF
+                            } else {
+                                p + (i as u64) * 7 % 90
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let setups: Vec<Vec<u64>> =
+                (0..k).map(|kk| (0..m).map(|i| 1 + ((kk + i) as u64 % 40)).collect()).collect();
+            ProblemInstance::Unrelated(
+                UnrelatedInstance::new(m, job_class, ptimes, setups).expect("constructed valid"),
+            )
+        },
+    )
+}
+
+fn any_instance() -> impl Strategy<Value = ProblemInstance> {
+    prop_oneof![uniform_instance(), unrelated_instance()]
+}
+
+fn any_cost() -> impl Strategy<Value = Cost> {
+    prop_oneof![
+        (0u64..u64::MAX / 2).prop_map(Cost::Time),
+        (0u64..1_000_000, 1u64..1_000).prop_map(|(n, d)| Cost::Frac(Ratio::new(n, d))),
+    ]
+}
+
+fn opt_u64(hi: u64) -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (0..hi).prop_map(Some)]
+}
+
+/// A solver-ish name drawn from a fixed alphabet (the compat proptest has
+/// no regex strategies).
+fn any_name() -> impl Strategy<Value = String> {
+    const NAMES: [&str; 6] = ["greedy", "lpt", "rounding", "local-search", "anneal", "exact"];
+    (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string())
+}
+
+/// An arbitrary message exercising JSON escaping: quotes, backslashes,
+/// control characters, newlines, non-ASCII.
+fn any_message() -> impl Strategy<Value = String> {
+    const PIECES: [&str; 8] =
+        ["bad \"instance\"", "a\\b", "line\nbreak", "tab\there", "\r", "µs: 42", "", "plain"];
+    vec(0usize..PIECES.len(), 0..6)
+        .prop_map(|idx| idx.into_iter().map(|i| PIECES[i]).collect::<Vec<_>>().join(" | "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrip(
+        inst in any_instance(),
+        id in 0u64..u64::MAX / 2,
+        budget in opt_u64(100_000),
+        top_k in opt_u64(10),
+        seed in opt_u64(u64::MAX / 2),
+    ) {
+        let req = Request {
+            id,
+            instance: inst,
+            budget_ms: budget,
+            top_k: top_k.map(|k| 1 + k as usize),
+            seed,
+        };
+        let line = request_to_json(&req);
+        prop_assert!(!line.contains('\n'), "NDJSON lines must be single-line");
+        prop_assert_eq!(parse_incoming(&line).expect("own output parses"), Incoming::Solve(Box::new(req)));
+    }
+
+    #[test]
+    fn ok_response_roundtrip(
+        id in 0u64..u64::MAX / 2,
+        uniform_kind in proptest::bool::ANY,
+        solver in any_name(),
+        micros in 0u64..u64::MAX / 2,
+        makespan in any_cost(),
+        assignment in vec(0usize..64, 0..50),
+        solvers in vec(
+            (any_name(), prop_oneof![Just(None), any_cost().prop_map(Some)], 0u64..1_000_000, proptest::bool::ANY),
+            0..5,
+        ),
+    ) {
+        let resp = Response::Ok {
+            id,
+            kind: if uniform_kind { "uniform".to_string() } else { "unrelated".to_string() },
+            solver,
+            micros,
+            makespan,
+            assignment,
+            solvers: solvers
+                .into_iter()
+                .map(|(name, makespan, micros, completed)| SolverLine { name, makespan, micros, completed })
+                .collect(),
+        };
+        let line = response_to_json(&resp);
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(parse_response(&line).expect("own output parses"), resp);
+    }
+
+    #[test]
+    fn error_response_roundtrip(
+        id in opt_u64(u64::MAX / 2),
+        message in any_message(),
+    ) {
+        let resp = Response::Error { id, message };
+        let line = response_to_json(&resp);
+        prop_assert!(!line.contains('\n'), "escaping must keep the line single-line");
+        prop_assert_eq!(parse_response(&line).expect("own output parses"), resp);
+    }
+}

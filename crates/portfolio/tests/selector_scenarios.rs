@@ -1,0 +1,106 @@
+//! Validates the feature extractor and rule-based selector against the
+//! named scenario families of `crates/gen` — the workloads the service is
+//! built to face. For every family: the selector must produce a non-empty
+//! ranked portfolio of applicable solvers, structure-specific guarantees
+//! must be activated exactly when the structure holds, and a short race
+//! must return a valid schedule no worse than the greedy baseline.
+
+use std::time::Duration;
+
+use sst_portfolio::{extract_features, race, select, ProblemInstance, RaceConfig};
+
+fn scenario_suite() -> Vec<(&'static str, ProblemInstance)> {
+    vec![
+        (
+            "production-line",
+            ProblemInstance::Uniform(sst_gen::scenarios::production_line(40, 5, 4, 7)),
+        ),
+        (
+            "compute-cluster",
+            ProblemInstance::Unrelated(sst_gen::scenarios::compute_cluster(40, 5, 8, 7)),
+        ),
+        ("print-shop", ProblemInstance::Unrelated(sst_gen::scenarios::print_shop(30, 4, 5, 7))),
+        (
+            "ci-build-farm",
+            ProblemInstance::Unrelated(sst_gen::scenarios::ci_build_farm(30, 4, 6, 7)),
+        ),
+        (
+            "uniform-default",
+            ProblemInstance::Uniform(sst_gen::uniform(&sst_gen::UniformParams::default())),
+        ),
+        (
+            "unrelated-default",
+            ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams::default())),
+        ),
+        (
+            "ra-class-uniform",
+            ProblemInstance::Unrelated(sst_gen::ra_class_uniform(
+                30,
+                5,
+                4,
+                3,
+                (1, 40),
+                sst_gen::SetupWeight::Moderate,
+                7,
+            )),
+        ),
+        (
+            "cupt",
+            ProblemInstance::Unrelated(sst_gen::class_uniform_ptimes(
+                30,
+                5,
+                4,
+                (1, 40),
+                sst_gen::SetupWeight::Moderate,
+                7,
+            )),
+        ),
+    ]
+}
+
+#[test]
+fn selector_produces_applicable_portfolios_on_every_family() {
+    for (name, inst) in scenario_suite() {
+        let feat = extract_features(&inst);
+        let ranked = select(&feat);
+        assert!(!ranked.is_empty(), "{name}: empty portfolio");
+        for s in &ranked {
+            assert!(s.supports(&feat), "{name}: {} selected but unsupported", s.name());
+        }
+        let names: Vec<&str> = ranked.iter().map(|s| s.name()).collect();
+        // Model-specific sanity: guaranteed special-case algorithms are
+        // offered exactly when their structure holds.
+        match name {
+            "ra-class-uniform" => {
+                assert!(names.contains(&"ra2"), "{name}: {names:?}")
+            }
+            "cupt" => assert!(names.contains(&"cupt3"), "{name}: {names:?}"),
+            "production-line" | "uniform-default" => {
+                assert!(names.contains(&"lpt"), "{name}: {names:?}");
+                assert!(!names.contains(&"rounding"), "{name}: {names:?}");
+            }
+            _ => {}
+        }
+        assert!(
+            names.contains(&"local-search") && names.contains(&"anneal"),
+            "{name}: search members must always be available: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn race_beats_or_ties_greedy_on_every_family() {
+    for (name, inst) in scenario_suite() {
+        let cfg = RaceConfig { top_k: 3, budget: Duration::from_millis(80), seed: 3 };
+        let res = race(&inst, &cfg);
+        let greedy = inst.greedy();
+        assert!(
+            !greedy.cost.better_than(&res.cost),
+            "{name}: race ({}) lost to greedy ({})",
+            res.cost,
+            greedy.cost
+        );
+        let reval = inst.evaluate(&res.schedule).expect("race schedule must be valid");
+        assert_eq!(reval, res.cost, "{name}: reported cost must match the schedule");
+    }
+}

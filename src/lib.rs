@@ -15,7 +15,10 @@
 //!   Sections 3.3.1/3.3.2, exact branch-and-bound, greedy baselines;
 //! * [`lp`] (`sst-lp`) — the dense simplex solver;
 //! * [`setcover`] (`sst-setcover`) — the hardness substrate (Theorem 3.5);
-//! * [`gen`] (`sst-gen`) — seeded workload generators and scenarios.
+//! * [`gen`] (`sst-gen`) — seeded workload generators and scenarios;
+//! * [`portfolio`] (`sst-portfolio`) — the solver-portfolio service:
+//!   feature-based algorithm selection, deadline racing with cross-seeded
+//!   incumbents, and the NDJSON protocol behind `sst serve`.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use sst_algos as algos;
 pub use sst_core as core;
 pub use sst_gen as gen;
 pub use sst_lp as lp;
+pub use sst_portfolio as portfolio;
 pub use sst_setcover as setcover;
 
 /// The most common imports in one place.
@@ -70,4 +74,5 @@ pub mod prelude {
         uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan, Schedule,
     };
     pub use sst_core::timeline::{render_gantt, render_gantt_svg, Timeline};
+    pub use sst_portfolio::{race, ProblemInstance, RaceConfig};
 }
