@@ -25,12 +25,18 @@
 //! A small criterion group also tracks race latency so scheduling-path
 //! slowdowns show up next to the tracker benches.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
 use sst_core::cancel::CancelToken;
+use sst_portfolio::protocol::{request_to_json, Request};
 use sst_portfolio::race::Incumbent;
-use sst_portfolio::{extract_features, race, select, ProblemInstance, RaceConfig, SolveContext};
+use sst_portfolio::service::{ServeConfig, Service};
+use sst_portfolio::{
+    extract_features, race, select, PoolMode, ProblemInstance, RaceConfig, SolveContext,
+};
 
 const SEEDS: u64 = 10;
 const BUDGET: Duration = Duration::from_millis(60);
@@ -149,12 +155,85 @@ fn quality_table() -> bool {
     any_diversity_win
 }
 
+/// The PR 2 serve-mode mixed workload: uniform/unrelated n=24 instances.
+fn mixed_requests(count: u64) -> Vec<Request> {
+    (0..count)
+        .map(|id| {
+            let seed = id % 6;
+            let instance = if id % 2 == 0 {
+                ProblemInstance::Uniform(sst_gen::uniform(&sst_gen::UniformParams {
+                    n: 24,
+                    m: 4,
+                    k: 5,
+                    seed,
+                    ..Default::default()
+                }))
+            } else {
+                ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams {
+                    n: 24,
+                    m: 4,
+                    k: 5,
+                    seed,
+                    ..Default::default()
+                }))
+            };
+            Request { id, instance, budget_ms: Some(25), top_k: Some(3), seed: Some(id) }
+        })
+        .collect()
+}
+
+/// Runs `reqs` through a fresh service in `mode` and returns requests/sec.
+fn pool_throughput(mode: PoolMode, workers: usize, reqs: &[Request]) -> f64 {
+    let svc = Service::start(ServeConfig {
+        workers,
+        mode,
+        budget_ms: 25,
+        max_queue: reqs.len().max(1),
+        ..Default::default()
+    });
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let t0 = Instant::now();
+    for req in reqs {
+        svc.dispatch(request_to_json(req), sst_portfolio::service::testing::writer_to(&sink));
+    }
+    let summary = svc.shutdown();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(summary.count, reqs.len() as u64, "{mode:?}: every request must be served");
+    assert_eq!(summary.errors, 0, "{mode:?}");
+    reqs.len() as f64 / elapsed
+}
+
+/// Work-stealing vs sharded round-robin at equal worker count on the PR 2
+/// mixed workload. Printed for the ROADMAP table; softly gated (stealing
+/// must reach 70% of sharded throughput) so a scheduling-path regression
+/// fails CI while CPU-contention noise on small runners does not — on
+/// multi-core hardware stealing should win or tie, since it does the same
+/// work with strictly better balancing.
+fn pool_throughput_table() {
+    const WORKERS: usize = 8;
+    let reqs = mixed_requests(96);
+    println!("\nserve pool throughput ({WORKERS} workers, {} mixed requests, 25 ms budget):", {
+        reqs.len()
+    });
+    let sharded = pool_throughput(PoolMode::Sharded, WORKERS, &reqs);
+    let stealing = pool_throughput(PoolMode::WorkStealing, WORKERS, &reqs);
+    println!("  sharded round-robin {sharded:>8.1} req/s");
+    println!("  work-stealing       {stealing:>8.1} req/s  ({:+.1}%)", {
+        (stealing / sharded - 1.0) * 100.0
+    });
+    assert!(
+        stealing >= 0.7 * sharded,
+        "work-stealing pool fell far behind the sharded baseline: {stealing:.1} vs {sharded:.1} req/s"
+    );
+}
+
 fn bench(c: &mut Criterion) {
     assert!(
         quality_table(),
         "per-instance winner diversity vanished: on every family one fixed solver \
          dominates all seeds, so the racing portfolio adds nothing"
     );
+    pool_throughput_table();
     let mut g = c.benchmark_group("portfolio_race");
     g.sample_size(10);
     let inst = family("compute-cluster", 42);

@@ -87,13 +87,20 @@ USAGE
   sst sweep --family uniform|identical|unrelated|ra|cupt --algo ALGO
             [--n-list 20,40,80] [--m M] [--k K] [--seeds S] [--setups W]
       prints one CSV row per (n, seed), computed in parallel
-  sst serve [--tcp HOST:PORT] [--shards N] [--top-k K] [--budget-ms MS]
-            [--seed S]
+  sst serve [--tcp HOST:PORT] [--workers N] [--top-k K] [--budget-ms MS]
+            [--seed S] [--mode stealing|sharded] [--max-queue N]
+            [--fault-injection true]
       solver-portfolio service speaking NDJSON: one request object per
       line ({\"id\": .., \"instance\": {..}, \"budget_ms\": ..}), one
       response per line; {\"metrics\": true} returns running latency
-      percentiles. Default reads stdin until EOF; --tcp serves every
-      connection concurrently and prints the bound address first.
+      percentiles. Requests flow through a work-stealing worker pool
+      (adaptive top-k: members that never win a feature family are
+      demoted); --mode sharded keeps the round-robin baseline. Beyond
+      --max-queue pending requests the service answers with overload
+      errors instead of queueing. --fault-injection true honors
+      {\"kill_worker\": true} chaos probes. --shards N is accepted as an
+      alias of --workers. Default reads stdin until EOF; --tcp serves
+      every connection concurrently and prints the bound address first.
   sst help
 "
     .to_string()
@@ -103,12 +110,38 @@ USAGE
 /// Stdin mode returns the final metrics summary as its output; TCP mode
 /// runs until killed.
 pub fn serve(args: &Args) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["tcp", "shards", "top-k", "budget-ms", "seed"])?;
+    args.reject_unknown_flags(&[
+        "tcp",
+        "workers",
+        "shards",
+        "top-k",
+        "budget-ms",
+        "seed",
+        "mode",
+        "max-queue",
+        "fault-injection",
+    ])?;
+    // `--shards` (the PR 2 spelling) stays as an alias of `--workers`.
+    let workers = match (args.flag("workers"), args.flag("shards")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError("--workers and --shards are aliases; give one".into()))
+        }
+        (None, Some(_)) => args.flag_parse("shards", 4usize)?,
+        _ => args.flag_parse("workers", 4usize)?,
+    };
+    let mode = match args.flag("mode").unwrap_or("stealing") {
+        "stealing" => sst_portfolio::PoolMode::WorkStealing,
+        "sharded" => sst_portfolio::PoolMode::Sharded,
+        other => return Err(CliError(format!("unknown --mode '{other}' (stealing|sharded)"))),
+    };
     let cfg = sst_portfolio::service::ServeConfig {
-        shards: args.flag_parse("shards", 4usize)?.max(1),
+        workers: workers.max(1),
         top_k: args.flag_parse("top-k", 3usize)?.max(1),
         budget_ms: args.flag_parse("budget-ms", 200u64)?,
         seed: args.flag_parse("seed", 1u64)?,
+        mode,
+        max_queue: args.flag_parse("max-queue", 1024usize)?.max(1),
+        fault_injection: args.flag_parse("fault-injection", false)?,
     };
     match args.flag("tcp") {
         Some(addr) => {
@@ -895,6 +928,19 @@ mod tests {
             .is_err());
         assert!(run(&parse(&toks(&["sweep", "--family", "uniform", "--algo", "cupt3"])).unwrap())
             .is_err());
+    }
+
+    #[test]
+    fn serve_flag_validation_rejects_bad_combinations() {
+        // Error paths only: a valid stdin serve would block on input.
+        let err = run(&parse(&toks(&["serve", "--mode", "nope"])).unwrap());
+        assert!(err.is_err(), "unknown mode must be rejected");
+        let err = run(&parse(&toks(&["serve", "--workers", "2", "--shards", "2"])).unwrap());
+        assert!(err.is_err(), "--workers and --shards are aliases, not independent");
+        let err = run(&parse(&toks(&["serve", "--fault-injection", "maybe"])).unwrap());
+        assert!(err.is_err(), "--fault-injection takes true|false");
+        let err = run(&parse(&toks(&["serve", "--typo", "1"])).unwrap());
+        assert!(err.is_err(), "unknown flags stay rejected");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Chaos test of `sst serve --tcp` under a killed-worker fault (the CI
+//! gate behind the work-stealing pool's reliability claims): spawn the
+//! real binary with 2 workers and fault injection enabled, kill one worker
+//! with the `{"kill_worker": true}` probe, then fire a batch of mixed
+//! requests and require that
+//!
+//! 1. **no request is dropped or hung** — every id gets exactly one
+//!    response line (OK or a JSON error, never silence), and
+//! 2. **the greedy floor still holds per response** — each OK response's
+//!    makespan is no worse than the setup-aware greedy baseline.
+//!
+//! Then the second worker is killed too: further requests must come back
+//! as immediate overload error lines, not hangs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use sst_portfolio::protocol::{parse_response, request_to_json, Request, Response};
+use sst_portfolio::ProblemInstance;
+
+fn instance_pool() -> Vec<ProblemInstance> {
+    let mut pool = Vec::new();
+    for seed in 0..2 {
+        pool.push(ProblemInstance::Uniform(sst_gen::uniform(&sst_gen::UniformParams {
+            n: 20,
+            m: 4,
+            k: 4,
+            seed,
+            ..Default::default()
+        })));
+        pool.push(ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams {
+            n: 20,
+            m: 4,
+            k: 4,
+            seed,
+            ..Default::default()
+        })));
+    }
+    pool
+}
+
+fn spawn_server() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sst"))
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            // The PR 2 spelling must keep working as an alias of --workers.
+            "--shards",
+            "2",
+            "--budget-ms",
+            "40",
+            "--fault-injection",
+            "true",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sst serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("sst-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("read timeout");
+    (BufReader::new(stream.try_clone().expect("clone")), stream)
+}
+
+#[test]
+fn killed_worker_drops_nothing_and_keeps_the_greedy_floor() {
+    let pool = instance_pool();
+    let (mut child, addr) = spawn_server();
+    let (mut reader, mut writer) = connect(&addr);
+
+    // Kill one of the two workers. The probe has no response; the pool
+    // requeues anything the dead worker held.
+    writeln!(writer, "{{\"kill_worker\": true}}").expect("send kill");
+
+    const REQUESTS: u64 = 24;
+    for id in 0..REQUESTS {
+        let req = Request {
+            id,
+            instance: pool[id as usize % pool.len()].clone(),
+            budget_ms: Some(40),
+            top_k: Some(2),
+            seed: Some(id),
+        };
+        writeln!(writer, "{}", request_to_json(&req)).expect("send");
+    }
+    writer.flush().expect("flush");
+
+    // Gate (1): every request answered — the read timeout turns a hung
+    // request into a loud failure.
+    let mut seen = vec![false; REQUESTS as usize];
+    for _ in 0..REQUESTS {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("no request may hang") > 0,
+            "server closed the stream early"
+        );
+        let resp = parse_response(line.trim()).expect("response parses");
+        let Response::Ok { id, makespan, assignment, .. } = resp else {
+            panic!("request dropped to error under a single-worker fault: {line}");
+        };
+        assert!(!seen[id as usize], "duplicate response for {id}");
+        seen[id as usize] = true;
+        // Gate (2): the greedy floor survives the fault.
+        let inst = &pool[id as usize % pool.len()];
+        let sched = sst_core::schedule::Schedule::new(assignment);
+        let cost = inst.evaluate(&sched).expect("valid schedule");
+        assert_eq!(cost, makespan, "request {id}: reported makespan mismatch");
+        let greedy = inst.greedy();
+        assert!(
+            !greedy.cost.better_than(&cost),
+            "request {id}: response lost to greedy under fault"
+        );
+    }
+    assert!(seen.iter().all(|&s| s), "unanswered ids: {seen:?}");
+
+    // Kill the survivor: the service must answer — not hang — with error
+    // lines from then on (queued-at-death jobs via the orphan path, fresh
+    // dispatches via backpressure).
+    writeln!(writer, "{{\"kill_worker\": true}}").expect("send kill 2");
+    writer.flush().expect("flush");
+    let mut got_error = false;
+    for id in 100..110u64 {
+        let req = Request {
+            id,
+            instance: pool[0].clone(),
+            budget_ms: Some(40),
+            top_k: Some(2),
+            seed: Some(id),
+        };
+        writeln!(writer, "{}", request_to_json(&req)).expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("dead pool must still answer") > 0,
+            "server closed the stream instead of answering"
+        );
+        match parse_response(line.trim()).expect("response parses") {
+            Response::Error { .. } => {
+                got_error = true;
+                break;
+            }
+            // A request sent before the second kill landed may still be
+            // served; keep probing.
+            Response::Ok { .. } => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(got_error, "a fully dead pool must answer with error lines");
+
+    child.kill().expect("kill server");
+    let _ = child.wait();
+}

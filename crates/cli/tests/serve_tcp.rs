@@ -59,7 +59,7 @@ fn instance_pool() -> Vec<ProblemInstance> {
 
 fn spawn_server() -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_sst"))
-        .args(["serve", "--tcp", "127.0.0.1:0", "--shards", "4", "--budget-ms", "60"])
+        .args(["serve", "--tcp", "127.0.0.1:0", "--workers", "4", "--budget-ms", "60"])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -100,8 +100,8 @@ fn serve_tcp_answers_100_concurrent_mixed_requests() {
                 writeln!(writer, "{}", request_to_json(&req)).expect("send");
             }
             writer.flush().expect("flush");
-            // Responses may arrive out of order (sharded workers), but each
-            // connection receives exactly its own PER_CLIENT responses.
+            // Responses may arrive out of order (work-stealing pool), but
+            // each connection receives exactly its own PER_CLIENT responses.
             (0..PER_CLIENT)
                 .map(|_| {
                     let mut line = String::new();

@@ -2,12 +2,19 @@
 //!
 //! The build environment has no crates.io access, so this crate implements
 //! the `par_iter().map(..).collect()` / `into_par_iter().map(..).collect()`
-//! shape on top of `std::thread::scope`: the input is split into one
-//! contiguous chunk per available core, each chunk is mapped on its own
-//! thread, and results are reassembled in input order. No work stealing —
-//! good enough for the embarrassingly parallel seed sweeps in `sst-bench`.
+//! shape on top of `std::thread::scope` with a **shared-cursor stealing
+//! loop**: a mutex-guarded consuming iterator hands out the next unclaimed
+//! `(index, item)`, and each worker thread loops claim-map-collect until
+//! the cursor runs dry. Work assignment is therefore fully dynamic — a
+//! thread that drew a cheap item immediately "steals" the next index
+//! instead of idling, so skewed per-item cost (one huge instance amid
+//! small ones) no longer leaves threads parked the way the earlier fixed
+//! chunk-per-thread split did. Results are scattered by index after the
+//! join, so input order is preserved exactly.
 
 use std::num::NonZeroUsize;
+
+use parking_lot::Mutex;
 
 fn num_threads() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
@@ -43,36 +50,8 @@ where
 {
     fn run(self) -> Vec<U> {
         let ParMap { items, f } = self;
-        let n = items.len();
-        let threads = num_threads().min(n.max(1));
-        if threads <= 1 || n <= 1 {
-            return items.into_iter().map(f).collect();
-        }
-        let chunk = n.div_ceil(threads);
-        // Consume the Vec into per-thread chunks, keeping index order.
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-        {
-            let mut it = items.into_iter();
-            loop {
-                let piece: Vec<T> = it.by_ref().take(chunk).collect();
-                if piece.is_empty() {
-                    break;
-                }
-                chunks.push(piece);
-            }
-        }
-        let f = &f;
-        let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|piece| scope.spawn(move || piece.into_iter().map(f).collect::<Vec<U>>()))
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("parallel map worker panicked"));
-            }
-        });
-        out.into_iter().flatten().collect()
+        let threads = num_threads();
+        run_with_threads(items, &f, threads)
     }
 
     /// Collects the mapped values, preserving input order.
@@ -84,6 +63,53 @@ where
     pub fn sum<S: std::iter::Sum<U>>(self) -> S {
         self.run().into_iter().sum()
     }
+}
+
+/// The shared-cursor stealing loop behind every parallel map. Exposed (doc
+/// hidden) so property tests can pin `threads` instead of inheriting the
+/// machine's core count.
+#[doc(hidden)]
+pub fn run_with_threads<T, U, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // The cursor is a mutex-guarded consuming iterator: a worker locks it
+    // just long enough to claim the next `(index, item)`, maps the item
+    // lock-free, and collects `(index, value)` into its own output vector.
+    // The results are scattered into place after the scope joins.
+    let cursor = Mutex::new(items.into_iter().enumerate());
+    let mut results: Vec<Option<U>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let claimed = cursor.lock().next();
+                        match claimed {
+                            Some((i, item)) => out.push((i, f(item))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("parallel map worker panicked") {
+                results[i] = Some(value);
+            }
+        }
+    });
+    results.into_iter().map(|v| v.expect("every index mapped")).collect()
 }
 
 /// Collections buildable from an ordered `Vec` of mapped results.
@@ -179,5 +205,35 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn skewed_item_costs_keep_all_threads_fed() {
+        // n = threads + 1 was the worst case of the old fixed chunking (one
+        // thread got two items, another one); the stealing cursor hands the
+        // n-th item to whichever thread frees up first. Correctness is what
+        // we can assert portably: order preserved, every item mapped once.
+        for n in [2usize, 3, 5, 9, 17] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = crate::run_with_threads(items, &|x: usize| x * x, n - 1);
+            assert_eq!(out, (0..n).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(128))]
+
+        // The stealing loop must be indistinguishable from a serial map —
+        // same values, same order — for arbitrary item counts and thread
+        // counts (including threads > n, threads = 1, n = 0).
+        #[test]
+        fn matches_serial_map_in_order(
+            items in proptest::collection::vec(0u64..10_000, 0..80),
+            threads in 1usize..16,
+        ) {
+            let serial: Vec<u64> = items.iter().map(|&x| x * 31 + 7).collect();
+            let parallel = crate::run_with_threads(items, &|x: u64| x * 31 + 7, threads);
+            proptest::prop_assert_eq!(parallel, serial);
+        }
     }
 }

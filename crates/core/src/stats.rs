@@ -14,11 +14,13 @@ use crate::instance::{is_finite, UniformInstance, UnrelatedInstance};
 /// A constant-space latency histogram with power-of-two buckets.
 ///
 /// Bucket `b` counts samples `v` with `⌊log₂ v⌋ = b` (bucket 0 also takes
-/// `v = 0`), so any percentile is reported with at most 2× relative error —
-/// the right trade for a hot server path: `record` is a couple of
-/// arithmetic instructions, the struct is one cache line of counters, and
-/// no allocation ever happens. Units are whatever the caller records
-/// (`sst serve` records microseconds).
+/// `v = 0`). Percentiles interpolate rank-weighted *within* the bucket
+/// (samples assumed uniform over the bucket's range), so a quantile is off
+/// by at most the in-bucket distribution skew instead of the full 2× a raw
+/// bucket upper bound would give — the right trade for a hot server path:
+/// `record` is a couple of arithmetic instructions, the struct is one
+/// cache line of counters, and no allocation ever happens. Units are
+/// whatever the caller records (`sst serve` records microseconds).
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     buckets: [u64; 64],
@@ -67,21 +69,47 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Upper bound of the bucket holding the `q`-quantile (`q` in `[0, 1]`),
-    /// capped at the observed maximum; 0 when empty. `percentile(0.5)` is
-    /// the median, `percentile(0.99)` the p99.
+    /// The `q`-quantile (`q` in `[0, 1]`), rank-weighted within its bucket:
+    /// the quantile's rank is located in the cumulative counts, and the
+    /// estimate interpolates linearly across the bucket's value range
+    /// (samples assumed uniform inside the bucket; each of the bucket's `c`
+    /// samples gets a `width/c` slice and the estimate is its slice's left
+    /// edge, so a sparse bucket estimates low rather than echoing the
+    /// bucket's upper bound). The top rank is the observed maximum, which
+    /// is tracked exactly. The result is monotone in `q`, never below the
+    /// bucket's lower bound, and capped at the observed maximum; 0 when
+    /// empty. `percentile(0.5)` is the median, `percentile(0.99)` the p99.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank >= self.count {
+            // The largest sample is known exactly — no bucket estimate.
+            return self.max;
+        }
         let mut seen = 0u64;
         for (b, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
-                return upper.min(self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                // Bucket b spans [lower, upper] (bucket 0 also holds v = 0;
+                // the top bucket is clipped to the observed max).
+                let lower = if b == 0 { 0 } else { 1u64 << b };
+                let upper = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                let upper = upper.min(self.max);
+                let width = (upper - lower).saturating_add(1);
+                // `pos` is the rank's 1-based position inside the bucket:
+                // the pos-th of c uniform samples sits at
+                // lower + ⌊(pos−1)·width/c⌋ — pos = 1 maps to `lower`,
+                // monotone in between, and c = width reproduces the dense
+                // case lower + pos − 1 exactly.
+                let pos = rank - seen;
+                let est = ((pos - 1) as u128 * width as u128 / c as u128) as u64;
+                return (lower + est).min(self.max);
+            }
+            seen += c;
         }
         self.max
     }
@@ -277,7 +305,7 @@ mod tests {
     }
 
     #[test]
-    fn latency_histogram_percentiles_bracket_truth() {
+    fn latency_histogram_percentiles_interpolate_within_buckets() {
         let mut h = LatencyHistogram::new();
         for v in 1..=1000u64 {
             h.record(v);
@@ -285,12 +313,45 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert!((h.mean() - 500.5).abs() < 1e-9);
         assert_eq!(h.max(), 1000);
-        // True p50 = 500; log₂ buckets promise ≤ 2× relative error.
-        let p50 = h.percentile(0.5);
-        assert!((500..=1023).contains(&p50), "p50 = {p50}");
-        let p99 = h.percentile(0.99);
-        assert!((990..=1000).contains(&p99), "p99 = {p99} (capped at max)");
-        assert!(h.percentile(1.0) == 1000);
+        // Hand-computed oracles. p50: rank 500 lands in bucket 8
+        // ([256, 511], 256 samples, 255 before), position 245 →
+        // 256 + ⌊244·256/256⌋ = 500 — exactly the true median, because the
+        // samples really are uniform within the bucket. p90/p99 land in
+        // bucket 9 clipped to the observed max ([512, 1000], 489 samples,
+        // 511 before): 512 + ⌊388·489/489⌋ = 900 and
+        // 512 + ⌊478·489/489⌋ = 990. p100 is the tracked max, exact.
+        assert_eq!(h.percentile(0.5), 500);
+        assert_eq!(h.percentile(0.9), 900);
+        assert_eq!(h.percentile(0.99), 990);
+        assert_eq!(h.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn latency_histogram_sparse_buckets_estimate_low_not_upper_bound() {
+        // One sample deep in a wide bucket plus one far outlier: the old
+        // upper-bound behavior reported the median as 1023 (≈ 2× the
+        // truth); left-edge interpolation reports the bucket floor, and
+        // the top rank is the exact max.
+        let mut h = LatencyHistogram::new();
+        h.record(513);
+        h.record(5000);
+        assert_eq!(h.percentile(0.5), 512, "rank 1 of 1 in [512, 1023] → left edge");
+        assert_eq!(h.percentile(1.0), 5000, "top rank is the exact max");
+    }
+
+    #[test]
+    fn latency_histogram_percentile_is_monotone_and_capped() {
+        // Skewed data: interpolation must stay monotone in q and never
+        // exceed the observed maximum.
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 2, 3, 900, 901, 5000] {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let estimates: Vec<u64> = qs.iter().map(|&q| h.percentile(q)).collect();
+        assert!(estimates.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {estimates:?}");
+        assert_eq!(*estimates.last().unwrap(), 5000, "p100 is the max");
+        assert!(estimates.iter().all(|&e| e <= 5000));
     }
 
     #[test]

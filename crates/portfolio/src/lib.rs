@@ -13,12 +13,17 @@
 //! 2. **[`features`] + [`select`]** — a structural feature extractor
 //!    (size, setup weight, speed skew, eligibility density, the three
 //!    special-case structure flags) and a rule-based selector mapping
-//!    features to a ranked portfolio;
+//!    features to a ranked portfolio, refined online by a per-family
+//!    win-rate tracker ([`select::WinRateTracker`]) that demotes members
+//!    which never win their feature family;
 //! 3. **[`race`]** — a racing executor running the top-k portfolio members
 //!    concurrently with a cross-seeded incumbent: the best-known makespan
 //!    prunes the branch-and-bound and warm-starts the search heuristics;
-//! 4. **[`protocol`] + [`service`]** — an NDJSON request/response codec and
-//!    a sharded worker pool serving it over stdin or TCP with running
+//!    [`race::race_adaptive`] feeds results back into the win-rate tracker;
+//! 4. **[`protocol`] + [`pool`] + [`service`]** — an NDJSON
+//!    request/response codec and a work-stealing worker pool (shared
+//!    injector queue, per-worker deques, idle stealing, backpressure and
+//!    dead-worker error paths) serving it over stdin or TCP with running
 //!    throughput/latency percentile metrics
 //!    ([`sst_core::stats::LatencyHistogram`]).
 //!
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod features;
+pub mod pool;
 pub mod protocol;
 pub mod race;
 pub mod select;
@@ -35,6 +41,7 @@ pub mod service;
 pub mod solver;
 
 pub use features::{extract_features, Features};
-pub use race::{race, Incumbent, RaceConfig, RaceResult, SolverReport};
-pub use select::select;
+pub use pool::{Pool, PoolConfig, PoolMode};
+pub use race::{race, race_adaptive, Incumbent, RaceConfig, RaceResult, SolverReport};
+pub use select::{select, select_adaptive, WinRateTracker, WinStats};
 pub use solver::{Cost, Outcome, ProblemInstance, SolveContext, Solver};

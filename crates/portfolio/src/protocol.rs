@@ -25,8 +25,10 @@
 //! ```
 //!
 //! The line `{"metrics": true}` asks the service for its running
-//! throughput/latency summary (`"status": "metrics"`). Parse errors come
-//! back as `"status": "error"` lines; the connection stays usable.
+//! throughput/latency summary (`"status": "metrics"`); `{"kill_worker":
+//! true}` is the fault-injection probe (see [`Incoming::KillWorker`]).
+//! Parse errors come back as `"status": "error"` lines; the connection
+//! stays usable.
 
 use std::fmt::Write as _;
 
@@ -60,6 +62,13 @@ pub enum Incoming {
     Solve(Box<Request>),
     /// `{"metrics": true}` — ask for the running metrics summary.
     Metrics,
+    /// `{"kill_worker": true}` — fault injection: terminate the worker
+    /// that picks this line up. Honored only when the service was started
+    /// with fault injection enabled (`sst serve --fault-injection true`);
+    /// otherwise answered with an error line. The chaos probe behind the
+    /// killed-worker CI gate: remaining workers must keep serving, and
+    /// once none remain every request must still get an error response.
+    KillWorker,
 }
 
 /// Per-solver attribution inside an OK response.
@@ -216,6 +225,9 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, IoError> {
     };
     if let Some(JsonValue::Bool(true)) = map.get("metrics") {
         return Ok(Incoming::Metrics);
+    }
+    if let Some(JsonValue::Bool(true)) = map.get("kill_worker") {
+        return Ok(Incoming::KillWorker);
     }
     let id = opt_uint(map, "id")?.ok_or_else(|| IoError::Json("missing field 'id'".into()))?;
     let inst_value =
@@ -425,6 +437,8 @@ mod tests {
     #[test]
     fn metrics_probe_and_errors() {
         assert_eq!(parse_incoming("{\"metrics\": true}").unwrap(), Incoming::Metrics);
+        assert_eq!(parse_incoming("{\"kill_worker\": true}").unwrap(), Incoming::KillWorker);
+        assert!(parse_incoming("{\"kill_worker\": false}").is_err(), "only `true` is a probe");
         assert!(parse_incoming("not json").is_err());
         assert!(parse_incoming("{\"id\": 1}").is_err(), "missing instance");
         assert!(parse_incoming("[1, 2]").is_err(), "non-object");

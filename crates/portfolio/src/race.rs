@@ -27,7 +27,7 @@ use sst_core::cancel::CancelToken;
 use sst_core::schedule::Schedule;
 
 use crate::features::extract_features;
-use crate::select::select;
+use crate::select::{select_adaptive, WinRateTracker};
 use crate::solver::{Cost, ProblemInstance, SolveContext};
 
 /// Knobs of one race.
@@ -127,9 +127,22 @@ pub struct RaceResult {
 
 /// Races the top-k selected solvers on `inst` under `cfg.budget`.
 pub fn race(inst: &ProblemInstance, cfg: &RaceConfig) -> RaceResult {
+    race_adaptive(inst, cfg, None)
+}
+
+/// [`race`] with the adaptive-selection feedback loop: the portfolio
+/// ranking consults `tracker`'s per-family win rates (demoting members
+/// that never win this family, see [`crate::select::select_adaptive`]),
+/// and the race's outcome is recorded back so future selections learn
+/// from it. With `None` this is exactly [`race`].
+pub fn race_adaptive(
+    inst: &ProblemInstance,
+    cfg: &RaceConfig,
+    tracker: Option<&WinRateTracker>,
+) -> RaceResult {
     let t0 = Instant::now();
     let feat = extract_features(inst);
-    let portfolio = select(&feat);
+    let portfolio = select_adaptive(&feat, tracker);
     let k = cfg.top_k.clamp(1, portfolio.len());
     let incumbent = Incumbent::new();
     // The quality floor, published before any member starts.
@@ -170,6 +183,20 @@ pub fn race(inst: &ProblemInstance, cfg: &RaceConfig) -> RaceResult {
     let mut ordered = reports.into_inner();
     ordered.sort_by_key(|&(slot, _)| slot);
     let (schedule, cost, winner) = incumbent.into_best().expect("baseline guarantees an incumbent");
+    if let Some(tracker) = tracker {
+        let family = WinRateTracker::family_key(&feat);
+        let raced: Vec<&'static str> = portfolio[..k].iter().map(|s| s.name()).collect();
+        // `winner == "greedy-baseline"` means no member beat the floor:
+        // everyone raced, nobody won. But a race nobody *finished* (every
+        // member cut off by the deadline, e.g. a degenerate budget) is no
+        // evidence of anything — recording it would let budget-starved
+        // traffic permanently demote members that win at sane budgets.
+        let won = raced.contains(&winner).then_some(winner);
+        let any_completed = ordered.iter().any(|(_, r)| r.completed);
+        if won.is_some() || any_completed {
+            tracker.record(&family, &raced, won);
+        }
+    }
     RaceResult {
         schedule,
         cost,
@@ -241,6 +268,63 @@ mod tests {
         let greedy = inst.greedy();
         assert!(!greedy.cost.better_than(&res.cost));
         assert_eq!(inst.evaluate(&res.schedule).unwrap(), res.cost);
+    }
+
+    #[test]
+    fn race_adaptive_records_every_raced_member_once() {
+        let tracker = WinRateTracker::new();
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(
+                2,
+                vec![2],
+                (0..10).map(|i| Job::new(0, 1 + i % 4)).collect(),
+            )
+            .unwrap(),
+        );
+        let res = race_adaptive(&inst, &RaceConfig::default(), Some(&tracker));
+        let feat = crate::features::extract_features(&inst);
+        let family = WinRateTracker::family_key(&feat);
+        let mut wins = 0;
+        for r in &res.reports {
+            let s = tracker.stats(&family, r.name);
+            assert_eq!(s.races, 1, "{} raced exactly once", r.name);
+            wins += s.wins;
+        }
+        // Exactly one member win, unless greedy-baseline kept the floor.
+        assert_eq!(wins, u64::from(res.winner != "greedy-baseline"));
+    }
+
+    #[test]
+    fn budget_starved_race_records_no_demotion_evidence() {
+        // Zero budget: every raced member is cut off and nobody beats the
+        // greedy floor. Such a race must not count toward demotion.
+        let tracker = WinRateTracker::new();
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                3,
+                (0..30).map(|j| j % 4).collect(),
+                (0..30).map(|j| vec![1 + j as u64 % 7, 2 + j as u64 % 5, 3]).collect(),
+                vec![vec![2, 1, 3], vec![1, 2, 1], vec![3, 1, 2], vec![2, 2, 2]],
+            )
+            .unwrap(),
+        );
+        let res = race_adaptive(
+            &inst,
+            &RaceConfig { top_k: 3, budget: Duration::ZERO, seed: 5 },
+            Some(&tracker),
+        );
+        if res.winner == "greedy-baseline" && res.reports.iter().all(|r| !r.completed) {
+            let feat = crate::features::extract_features(&inst);
+            let family = WinRateTracker::family_key(&feat);
+            for r in &res.reports {
+                assert_eq!(
+                    tracker.stats(&family, r.name).races,
+                    0,
+                    "{} must not accumulate starved-race evidence",
+                    r.name
+                );
+            }
+        }
     }
 
     #[test]

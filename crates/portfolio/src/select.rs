@@ -1,4 +1,5 @@
-//! Rule-based algorithm selection: features → ranked portfolio.
+//! Rule-based algorithm selection: features → ranked portfolio, refined
+//! online by per-family win rates.
 //!
 //! The rules encode what the paper's theory and this repo's experiments
 //! say about which tool wins where:
@@ -18,6 +19,21 @@
 //!   warm-start from whatever the faster members already published.
 //!
 //! The racer takes the top-k of this ranking and runs them concurrently.
+//!
+//! On top of the static rules sits the **adaptive layer**
+//! ([`WinRateTracker`] + [`select_adaptive`]): the racing executor reports
+//! which member actually produced each race's winning schedule, keyed by a
+//! coarse feature family. A member that has raced at least
+//! [`DEMOTION_MIN_RACES`] times in a family without a single win is
+//! *demoted* — stably moved behind every member that still might win — so
+//! the top-k slots (i.e. the multi-core race capacity) go to solvers with
+//! a track record. Demotion never removes a member (a larger `top_k`
+//! still reaches it) and never touches the greedy floor, which the racer
+//! pre-publishes outside the portfolio ranking.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
 
 use crate::features::Features;
 use crate::solver::{
@@ -80,6 +96,133 @@ pub fn select(feat: &Features) -> Vec<&'static dyn Solver> {
     ranked
 }
 
+/// Races a `(family, solver)` pair must accumulate before a winless solver
+/// may be demoted. Below this the evidence is noise: with `top_k = 3` a
+/// strong member can legitimately lose a handful of races to warm-started
+/// heuristics before its first win.
+pub const DEMOTION_MIN_RACES: u64 = 8;
+
+/// Win/loss record of one `(family, solver)` pair.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WinStats {
+    /// Races in which the solver held a top-k slot.
+    pub races: u64,
+    /// Races whose final incumbent this solver produced.
+    pub wins: u64,
+}
+
+impl WinStats {
+    /// The demotion rule: enough races ([`DEMOTION_MIN_RACES`]) and not
+    /// one win. One win immunizes permanently — demotion is reserved for
+    /// *never* winning.
+    pub fn demoted(&self) -> bool {
+        self.races >= DEMOTION_MIN_RACES && self.wins == 0
+    }
+}
+
+/// Per-family solver win rates, fed back from race results
+/// ([`crate::race::race_adaptive`]) and consulted by [`select_adaptive`].
+///
+/// Thread-safe and shared across a serve pool's workers: every worker
+/// records into the same tracker, so demotion decisions reflect the whole
+/// service's traffic, not one worker's slice.
+#[derive(Debug, Default)]
+pub struct WinRateTracker {
+    /// family key → solver name → record. Two levels so the per-request
+    /// read path ([`select_adaptive`]) resolves the family once and then
+    /// probes solver names without allocating per-lookup keys.
+    stats: Mutex<BTreeMap<String, BTreeMap<&'static str, WinStats>>>,
+}
+
+impl WinRateTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The coarse feature family a race is binned under. Deliberately few
+    /// buckets (machine model × special-case structure × setup weight ×
+    /// size band): win-rate evidence must accumulate fast enough at serve
+    /// time to act on, and the static rules already encode the fine
+    /// structure. The size band keeps evidence from tiny instances (where
+    /// fast constructions win everything) from demoting the heavyweight
+    /// members on large instances, where they earn their keep — demotion
+    /// is permanent within a family, so families must not mix regimes.
+    pub fn family_key(feat: &Features) -> String {
+        let setups = if feat.setup_to_work >= 1.0 { "setup-heavy" } else { "setup-light" };
+        let size = match feat.n {
+            0..=18 => "tiny",
+            19..=80 => "mid",
+            _ => "large",
+        };
+        if feat.uniform {
+            format!("uniform|{setups}|{size}")
+        } else {
+            format!(
+                "unrelated|ra={}|cur={}|cupt={}|{setups}|{size}",
+                feat.restricted, feat.class_uniform_restrictions, feat.class_uniform_ptimes
+            )
+        }
+    }
+
+    /// Records one race: every member of `raced` held a slot; `winner` is
+    /// the member that produced the final incumbent, or `None` when no
+    /// member beat the pre-published greedy floor.
+    pub fn record(&self, family: &str, raced: &[&'static str], winner: Option<&str>) {
+        let mut stats = self.stats.lock();
+        if !stats.contains_key(family) {
+            stats.insert(family.to_string(), BTreeMap::new());
+        }
+        let by_solver = stats.get_mut(family).expect("inserted above");
+        for &name in raced {
+            let s = by_solver.entry(name).or_default();
+            s.races += 1;
+            if winner == Some(name) {
+                s.wins += 1;
+            }
+        }
+    }
+
+    /// The record of one `(family, solver)` pair (zeroes when never raced).
+    pub fn stats(&self, family: &str, name: &'static str) -> WinStats {
+        self.stats
+            .lock()
+            .get(family)
+            .and_then(|by_solver| by_solver.get(name))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Whether a solver has proven useless in this family (see
+    /// [`WinStats::demoted`]).
+    pub fn is_demoted(&self, family: &str, name: &'static str) -> bool {
+        self.stats(family, name).demoted()
+    }
+}
+
+/// [`select`], refined by observed win rates: demoted members (see
+/// [`WinRateTracker::is_demoted`]) move — stably — behind every member
+/// still in good standing, so a race's top-k slots go to solvers that
+/// historically win this feature family. With no tracker (or no history)
+/// the ranking is exactly [`select`]'s.
+pub fn select_adaptive(
+    feat: &Features,
+    tracker: Option<&WinRateTracker>,
+) -> Vec<&'static dyn Solver> {
+    let ranked = select(feat);
+    let Some(tracker) = tracker else { return ranked };
+    let family = WinRateTracker::family_key(feat);
+    // One lock and one family resolution for the whole partition — this
+    // runs per served request, on a mutex every worker also records into.
+    let stats = tracker.stats.lock();
+    let Some(by_solver) = stats.get(&family) else { return ranked };
+    let (kept, demoted): (Vec<_>, Vec<_>) = ranked
+        .into_iter()
+        .partition(|s| !by_solver.get(s.name()).copied().unwrap_or_default().demoted());
+    drop(stats);
+    kept.into_iter().chain(demoted).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +268,61 @@ mod tests {
         );
         let ranked = names(&select(&extract_features(&inst)));
         assert!(ranked.contains(&"cupt3"), "{ranked:?}");
+    }
+
+    #[test]
+    fn win_rate_tracker_demotion_matches_hand_computed_oracle() {
+        let t = WinRateTracker::new();
+        let fam = "uniform|setup-light";
+        let raced: [&'static str; 3] = ["lpt", "local-search", "anneal"];
+        // 7 races, all won by lpt: nobody is demoted yet (evidence below
+        // DEMOTION_MIN_RACES = 8).
+        for _ in 0..7 {
+            t.record(fam, &raced, Some("lpt"));
+        }
+        assert_eq!(t.stats(fam, "lpt"), WinStats { races: 7, wins: 7 });
+        assert_eq!(t.stats(fam, "anneal"), WinStats { races: 7, wins: 0 });
+        assert!(!t.is_demoted(fam, "anneal"), "7 races is below the evidence floor");
+        // Race 8: anneal wins once, local-search still winless.
+        t.record(fam, &raced, Some("anneal"));
+        assert_eq!(t.stats(fam, "anneal"), WinStats { races: 8, wins: 1 });
+        assert_eq!(t.stats(fam, "local-search"), WinStats { races: 8, wins: 0 });
+        assert!(!t.is_demoted(fam, "anneal"), "one win immunizes");
+        assert!(t.is_demoted(fam, "local-search"), "8 races, 0 wins → demoted");
+        assert!(!t.is_demoted(fam, "lpt"));
+        // A greedy-floor race (no member won) still counts as a race.
+        t.record(fam, &raced, None);
+        assert_eq!(t.stats(fam, "lpt"), WinStats { races: 9, wins: 7 });
+        // Families are independent: same solver, different family, clean.
+        assert_eq!(t.stats("unrelated|ra=false|cur=false|cupt=false|setup-light", "lpt").races, 0);
+        assert!(!t.is_demoted("other-family", "local-search"));
+    }
+
+    #[test]
+    fn select_adaptive_stably_demotes_winless_members() {
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(3, vec![2], (0..30).map(|i| Job::new(0, i + 1)).collect())
+                .unwrap(),
+        );
+        let feat = extract_features(&inst);
+        let base = names(&select(&feat));
+        // No tracker, or a tracker with no history: identical to select().
+        assert_eq!(names(&select_adaptive(&feat, None)), base);
+        let t = WinRateTracker::new();
+        assert_eq!(names(&select_adaptive(&feat, Some(&t))), base);
+        // Demote the first-ranked member: 8 raced, 0 wins in this family.
+        let fam = WinRateTracker::family_key(&feat);
+        let first: &'static str = select(&feat)[0].name();
+        let raced = [first, "anneal"];
+        for _ in 0..DEMOTION_MIN_RACES {
+            t.record(&fam, &raced, Some("anneal"));
+        }
+        let adapted = names(&select_adaptive(&feat, Some(&t)));
+        // Same set, first member now last, relative order of the rest kept.
+        assert_eq!(adapted.last(), Some(&first), "{adapted:?}");
+        let mut expected: Vec<&str> = base.iter().copied().filter(|n| *n != first).collect();
+        expected.push(first);
+        assert_eq!(adapted, expected, "demotion must be a stable partition");
     }
 
     #[test]

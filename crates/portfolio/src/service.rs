@@ -1,55 +1,130 @@
-//! The serve front end: a sharded worker pool speaking the NDJSON
+//! The serve front end: a work-stealing worker pool speaking the NDJSON
 //! protocol over stdin or TCP.
 //!
-//! Requests are dispatched round-robin onto `shards` single-threaded
-//! queues; each shard worker parses, races the portfolio
-//! ([`crate::race`]), and writes the response line to the request's
-//! origin (stdout, or the originating TCP connection). Latency and
-//! throughput are tracked in a shared
-//! [`sst_core::stats::LatencyHistogram`]; the line `{"metrics": true}`
-//! returns the running summary, and [`Service::shutdown`] returns it for
-//! end-of-stream reporting.
+//! Requests flow through the [`crate::pool`] work-stealing pool: dispatch
+//! pushes onto one shared injector queue, workers pull from it and steal
+//! from each other when idle, so a slow request can no longer head-of-line
+//! block the requests queued behind it while other workers sit idle (the
+//! PR 2 per-shard round-robin failure mode — still available as
+//! [`PoolMode::Sharded`] for benchmarking). Each worker parses, races the
+//! portfolio ([`crate::race`]), and writes the response line to the
+//! request's origin (stdout, or the originating TCP connection).
 //!
-//! Concurrency shape: `shards` workers each run one race at a time, and a
+//! **No request is ever silently dropped.** When the backlog hits
+//! [`ServeConfig::max_queue`] or every worker has died, [`Service::dispatch`]
+//! answers the client immediately with an overload error line instead of
+//! queueing; jobs already queued when the last worker dies are answered
+//! with error lines by the pool's orphan path.
+//!
+//! Selection is **adaptive**: all workers share one
+//! [`WinRateTracker`], so portfolio members that never win their feature
+//! family are demoted out of the default top-k as evidence accumulates
+//! (see [`crate::select::select_adaptive`]).
+//!
+//! Latency and throughput are tracked in a shared
+//! [`sst_core::stats::LatencyHistogram`] (percentiles interpolate within
+//! log₂ buckets); the line `{"metrics": true}` returns the running
+//! summary, and [`Service::shutdown`] returns it for end-of-stream
+//! reporting. `{"kill_worker": true}` is the fault-injection probe
+//! (honored only with [`ServeConfig::fault_injection`]).
+//!
+//! Concurrency shape: `workers` threads each run one race at a time, and a
 //! race spawns up to `top_k` solver threads, so peak solver parallelism is
-//! `shards × top_k`. Responses can interleave across shards — clients
+//! `workers × top_k`. Responses can interleave across workers — clients
 //! correlate by `id`, which is why the protocol requires one.
 
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sst_core::stats::LatencyHistogram;
 
+use crate::pool::{Directive, Pool, PoolConfig, PoolMode, RejectReason, Rejected};
 use crate::protocol::{
     parse_incoming, response_to_json, Incoming, MetricsSummary, Response, SolverLine,
 };
-use crate::race::{race, RaceConfig};
+use crate::race::{race_adaptive, RaceConfig};
+use crate::select::WinRateTracker;
 
 /// Service configuration (CLI flags of `sst serve`).
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Number of shard workers (concurrent races).
-    pub shards: usize,
+    /// Number of pool workers (concurrent races).
+    pub workers: usize,
     /// Default portfolio members raced per request.
     pub top_k: usize,
     /// Default per-request budget in milliseconds.
     pub budget_ms: u64,
     /// Default seed for the randomized solvers.
     pub seed: u64,
+    /// Dispatch shape: work-stealing (default) or the sharded round-robin
+    /// baseline.
+    pub mode: PoolMode,
+    /// Accepted-but-unstarted request cap; beyond it `dispatch` answers
+    /// with an overload error line instead of queueing.
+    pub max_queue: usize,
+    /// Honor `{"kill_worker": true}` fault-injection probes.
+    pub fault_injection: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { shards: 4, top_k: 3, budget_ms: 200, seed: 1 }
+        ServeConfig {
+            workers: 4,
+            top_k: 3,
+            budget_ms: 200,
+            seed: 1,
+            mode: PoolMode::WorkStealing,
+            max_queue: 1024,
+            fault_injection: false,
+        }
     }
 }
 
 /// Where a response line goes: shared, lockable, flushable.
 pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+#[doc(hidden)]
+pub mod testing {
+    //! In-memory [`SharedWriter`]s for tests and benches: capture NDJSON
+    //! output in a shared buffer (line order = completion order) without a
+    //! real socket. Hidden from docs; not a stable API.
+
+    use std::io::Write;
+    use std::sync::Arc;
+
+    use parking_lot::Mutex;
+
+    use super::SharedWriter;
+
+    /// A `Write` appending into a shared byte buffer.
+    pub struct BufWriter(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for BufWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A fresh shared buffer plus a writer over it.
+    pub fn buffer_writer() -> (Arc<Mutex<Vec<u8>>>, SharedWriter) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let out = writer_to(&buffer);
+        (buffer, out)
+    }
+
+    /// Another writer over an existing shared buffer (per-request writers
+    /// feeding one capture).
+    pub fn writer_to(buffer: &Arc<Mutex<Vec<u8>>>) -> SharedWriter {
+        Arc::new(Mutex::new(Box::new(BufWriter(Arc::clone(buffer)))))
+    }
+}
 
 struct Job {
     line: String,
@@ -89,28 +164,54 @@ impl MetricsState {
 /// A running worker pool. Dispatch lines in, responses come out on each
 /// job's [`SharedWriter`].
 pub struct Service {
-    senders: Vec<Mutex<mpsc::Sender<Job>>>,
-    next: AtomicUsize,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    pool: Pool<Job>,
     metrics: Arc<Mutex<MetricsState>>,
+    tracker: Arc<WinRateTracker>,
 }
 
 fn write_line(out: &SharedWriter, line: &str) {
+    // One write_all for payload + newline: `writeln!` would issue two
+    // write calls, letting concurrently finishing workers interleave
+    // bytes when their writers share an underlying sink.
+    let mut payload = String::with_capacity(line.len() + 1);
+    payload.push_str(line);
+    payload.push('\n');
     let mut w = out.lock();
     // A vanished client (closed connection) is not a service error.
-    let _ = writeln!(w, "{line}");
+    let _ = w.write_all(payload.as_bytes());
     let _ = w.flush();
 }
 
-fn handle_job(cfg: &ServeConfig, metrics: &Mutex<MetricsState>, job: Job) {
+/// Writes an error response (echoing the id when the line carried one) and
+/// counts it.
+fn write_error(metrics: &Mutex<MetricsState>, job: &Job, message: String) {
+    metrics.lock().errors += 1;
+    let id = crate::protocol::extract_request_id(job.line.trim());
+    write_line(&job.out, &response_to_json(&Response::Error { id, message }));
+}
+
+fn handle_job(
+    cfg: &ServeConfig,
+    metrics: &Mutex<MetricsState>,
+    tracker: &WinRateTracker,
+    job: &Job,
+) -> Directive {
     let line = job.line.trim();
     if line.is_empty() {
-        return;
+        return Directive::Continue;
     }
     match parse_incoming(line) {
         Ok(Incoming::Metrics) => {
             let summary = metrics.lock().summary();
             write_line(&job.out, &response_to_json(&Response::Metrics(summary)));
+        }
+        Ok(Incoming::KillWorker) => {
+            if cfg.fault_injection {
+                // The chaos probe: this worker exits. Its queued jobs are
+                // re-queued by the pool; no response line for the probe.
+                return Directive::Die;
+            }
+            write_error(metrics, job, "kill_worker requires --fault-injection true".into());
         }
         Ok(Incoming::Solve(req)) => {
             let t0 = Instant::now();
@@ -119,7 +220,7 @@ fn handle_job(cfg: &ServeConfig, metrics: &Mutex<MetricsState>, job: Job) {
                 budget: Duration::from_millis(req.budget_ms.unwrap_or(cfg.budget_ms)),
                 seed: req.seed.unwrap_or(cfg.seed),
             };
-            let result = race(&req.instance, &race_cfg);
+            let result = race_adaptive(&req.instance, &race_cfg, Some(tracker));
             let micros = t0.elapsed().as_micros() as u64;
             let resp = Response::Ok {
                 id: req.id,
@@ -146,49 +247,75 @@ fn handle_job(cfg: &ServeConfig, metrics: &Mutex<MetricsState>, job: Job) {
             }
             write_line(&job.out, &response_to_json(&resp));
         }
-        Err(e) => {
-            metrics.lock().errors += 1;
-            // Echo the id when the line parsed far enough to carry one, so
-            // pipelined clients can tell which request failed.
-            let id = crate::protocol::extract_request_id(line);
-            let resp = Response::Error { id, message: e.to_string() };
-            write_line(&job.out, &response_to_json(&resp));
-        }
+        Err(e) => write_error(metrics, job, e.to_string()),
     }
+    Directive::Continue
 }
 
 impl Service {
-    /// Starts `cfg.shards` workers.
+    /// Starts `cfg.workers` pool workers.
     pub fn start(cfg: ServeConfig) -> Service {
-        let shards = cfg.shards.max(1);
         let metrics = Arc::new(Mutex::new(MetricsState {
             hist: LatencyHistogram::new(),
             ok: 0,
             errors: 0,
             started: Instant::now(),
         }));
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = mpsc::channel::<Job>();
+        let tracker = Arc::new(WinRateTracker::new());
+        let pool_cfg = PoolConfig {
+            workers: cfg.workers.max(1),
+            mode: cfg.mode,
+            max_queue: cfg.max_queue.max(1),
+        };
+        let handler = {
             let metrics = Arc::clone(&metrics);
-            workers.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    handle_job(&cfg, &metrics, job);
+            let tracker = Arc::clone(&tracker);
+            move |_w: usize, job: Job| {
+                // A panicking solver must not strand the in-flight request
+                // (the claimed job never reaches the pool's death path) nor
+                // cost a worker: answer with an error line and keep
+                // serving. handle_job borrows the job, so this path still
+                // owns it — no hot-path copies; the id is extracted only
+                // if the panic actually happens.
+                let run =
+                    std::panic::AssertUnwindSafe(|| handle_job(&cfg, &metrics, &tracker, &job));
+                match std::panic::catch_unwind(run) {
+                    Ok(directive) => directive,
+                    Err(_) => {
+                        write_error(
+                            &metrics,
+                            &job,
+                            "internal error: request handler panicked".into(),
+                        );
+                        Directive::Continue
+                    }
                 }
-            }));
-            senders.push(Mutex::new(tx));
-        }
-        Service { senders, next: AtomicUsize::new(0), workers, metrics }
+            }
+        };
+        let orphan = {
+            let metrics = Arc::clone(&metrics);
+            move |job: Job| {
+                write_error(&metrics, &job, "service unavailable: request was never started".into())
+            }
+        };
+        let pool = Pool::start(pool_cfg, handler, orphan);
+        Service { pool, metrics, tracker }
     }
 
     /// Enqueues one request line; its response will be written to `out`.
-    /// Round-robin sharding keeps all workers busy under bursty load.
+    /// When the pool cannot take it — backlog full, or every worker dead —
+    /// the client gets an immediate error line instead of a silent drop
+    /// (the PR 2 `let _ = sender.send(..)` bug left it hanging forever).
     pub fn dispatch(&self, line: String, out: SharedWriter) {
-        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.senders.len();
-        // A send only fails if the worker died; the job is then dropped —
-        // there is no meaningful recovery short of restarting the service.
-        let _ = self.senders[shard].lock().send(Job { line, out });
+        if let Err(Rejected { job, reason, queued }) = self.pool.dispatch(Job { line, out }) {
+            let message = match reason {
+                RejectReason::NoWorkers => "overloaded: no live workers".to_string(),
+                RejectReason::QueueFull => {
+                    format!("overloaded: backlog full ({queued} requests queued)")
+                }
+            };
+            write_error(&self.metrics, &job, message);
+        }
     }
 
     /// The running metrics summary.
@@ -196,12 +323,19 @@ impl Service {
         self.metrics.lock().summary()
     }
 
+    /// Workers still alive (decreases under fault injection).
+    pub fn alive_workers(&self) -> usize {
+        self.pool.alive()
+    }
+
+    /// The shared adaptive-selection tracker (all workers feed it).
+    pub fn win_rate_tracker(&self) -> &WinRateTracker {
+        &self.tracker
+    }
+
     /// Closes the queues, drains in-flight work and returns final metrics.
     pub fn shutdown(self) -> MetricsSummary {
-        drop(self.senders);
-        for w in self.workers {
-            let _ = w.join();
-        }
+        self.pool.shutdown();
         let summary = self.metrics.lock().summary();
         summary
     }
@@ -222,7 +356,7 @@ pub fn serve_stdin(cfg: ServeConfig) -> MetricsSummary {
 /// Binds `addr` (e.g. `127.0.0.1:0`), announces
 /// `sst-serve listening on <addr>` on stdout, then serves every
 /// connection's NDJSON lines until the process is killed. All connections
-/// share one worker pool, so `shards` bounds concurrent races globally.
+/// share one worker pool, so `workers` bounds concurrent races globally.
 pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -245,24 +379,12 @@ pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
 
 #[cfg(test)]
 mod tests {
+    use super::testing::{buffer_writer, writer_to};
     use super::*;
     use crate::protocol::{parse_response, request_to_json, Request};
     use crate::solver::{Cost, ProblemInstance};
     use sst_core::instance::{Job as CoreJob, UniformInstance, UnrelatedInstance};
     use sst_core::schedule::Schedule;
-
-    /// A `Write` that appends into a shared buffer (NDJSON lines).
-    struct Buf(Arc<Mutex<Vec<u8>>>);
-
-    impl Write for Buf {
-        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-            self.0.lock().extend_from_slice(data);
-            Ok(data.len())
-        }
-        fn flush(&mut self) -> std::io::Result<()> {
-            Ok(())
-        }
-    }
 
     fn requests() -> Vec<Request> {
         (0..8)
@@ -294,39 +416,41 @@ mod tests {
 
     #[test]
     fn service_answers_every_request_with_a_valid_schedule() {
-        let svc = Service::start(ServeConfig { shards: 3, ..Default::default() });
-        let buffer = Arc::new(Mutex::new(Vec::new()));
-        let reqs = requests();
-        for req in &reqs {
-            let out: SharedWriter = Arc::new(Mutex::new(Box::new(Buf(Arc::clone(&buffer)))));
-            svc.dispatch(request_to_json(req), out);
+        for mode in [PoolMode::WorkStealing, PoolMode::Sharded] {
+            let svc = Service::start(ServeConfig { workers: 3, mode, ..Default::default() });
+            let (buffer, _) = buffer_writer();
+            let reqs = requests();
+            for req in &reqs {
+                let out = writer_to(&buffer);
+                svc.dispatch(request_to_json(req), out);
+            }
+            let summary = svc.shutdown();
+            assert_eq!(summary.count, reqs.len() as u64);
+            assert_eq!(summary.errors, 0);
+            let text = String::from_utf8(buffer.lock().clone()).unwrap();
+            let mut seen = vec![false; reqs.len()];
+            for line in text.lines() {
+                let resp = parse_response(line).expect("every line parses");
+                let Response::Ok { id, makespan, assignment, .. } = resp else {
+                    panic!("unexpected response: {line}");
+                };
+                let req = &reqs[id as usize];
+                let cost =
+                    req.instance.evaluate(&Schedule::new(assignment)).expect("valid schedule");
+                assert_eq!(cost, makespan, "reported makespan must match the assignment");
+                // Quality floor: never worse than greedy.
+                let greedy = req.instance.greedy();
+                assert!(!greedy.cost.better_than(&cost));
+                seen[id as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "every request answered ({mode:?}): {seen:?}");
         }
-        let summary = svc.shutdown();
-        assert_eq!(summary.count, reqs.len() as u64);
-        assert_eq!(summary.errors, 0);
-        let text = String::from_utf8(buffer.lock().clone()).unwrap();
-        let mut seen = vec![false; reqs.len()];
-        for line in text.lines() {
-            let resp = parse_response(line).expect("every line parses");
-            let Response::Ok { id, makespan, assignment, .. } = resp else {
-                panic!("unexpected response: {line}");
-            };
-            let req = &reqs[id as usize];
-            let cost = req.instance.evaluate(&Schedule::new(assignment)).expect("valid schedule");
-            assert_eq!(cost, makespan, "reported makespan must match the assignment");
-            // Quality floor: never worse than greedy.
-            let greedy = req.instance.greedy();
-            assert!(!greedy.cost.better_than(&cost));
-            seen[id as usize] = true;
-        }
-        assert!(seen.iter().all(|&s| s), "every request answered: {seen:?}");
     }
 
     #[test]
     fn bad_lines_produce_error_responses_and_count_as_errors() {
-        let svc = Service::start(ServeConfig { shards: 1, ..Default::default() });
-        let buffer = Arc::new(Mutex::new(Vec::new()));
-        let out: SharedWriter = Arc::new(Mutex::new(Box::new(Buf(Arc::clone(&buffer)))));
+        let svc = Service::start(ServeConfig { workers: 1, ..Default::default() });
+        let (buffer, out) = buffer_writer();
         svc.dispatch("this is not json".into(), Arc::clone(&out));
         svc.dispatch(String::new(), Arc::clone(&out)); // blank lines are ignored
                                                        // Parses as JSON with an id, but the instance fails validation
@@ -368,9 +492,8 @@ mod tests {
             )
             .unwrap(),
         );
-        let svc = Service::start(ServeConfig { shards: 1, ..Default::default() });
-        let buffer = Arc::new(Mutex::new(Vec::new()));
-        let out: SharedWriter = Arc::new(Mutex::new(Box::new(Buf(Arc::clone(&buffer)))));
+        let svc = Service::start(ServeConfig { workers: 1, ..Default::default() });
+        let (buffer, out) = buffer_writer();
         let req = Request {
             id: 0,
             instance: inst.clone(),
@@ -393,5 +516,133 @@ mod tests {
         let cost = inst.evaluate(&Schedule::new(assignment)).unwrap();
         assert_eq!(cost, makespan);
         assert!(matches!(cost, Cost::Time(_)));
+    }
+
+    /// Regression test for the PR 2 silent-drop bug: `dispatch` did
+    /// `let _ = sender.send(..)`, so a dead worker swallowed requests and
+    /// clients hung forever. Killing the only worker must instead produce
+    /// a JSON error line for every subsequent request.
+    #[test]
+    fn dead_worker_pool_answers_with_error_lines_instead_of_hanging() {
+        let svc =
+            Service::start(ServeConfig { workers: 1, fault_injection: true, ..Default::default() });
+        let (buffer, out) = buffer_writer();
+        svc.dispatch("{\"kill_worker\": true}".into(), Arc::clone(&out));
+        // Wait until the pool has observed the death.
+        for _ in 0..1000 {
+            if svc.alive_workers() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(svc.alive_workers(), 0);
+        let req = &requests()[0];
+        svc.dispatch(request_to_json(req), Arc::clone(&out));
+        // The client must get its error line synchronously — no hang.
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let responses: Vec<Response> = text.lines().map(|l| parse_response(l).unwrap()).collect();
+        assert_eq!(responses.len(), 1, "{text}");
+        assert!(
+            matches!(&responses[0], Response::Error { id: Some(0), message }
+                if message.contains("no live workers")),
+            "{responses:?}"
+        );
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 1);
+    }
+
+    /// With ≥ 2 workers, killing one must not lose capacity for queued
+    /// work: the survivor steals the dead worker's backlog.
+    #[test]
+    fn killed_worker_hands_its_backlog_to_survivors() {
+        let svc =
+            Service::start(ServeConfig { workers: 2, fault_injection: true, ..Default::default() });
+        let (buffer, _) = buffer_writer();
+        let reqs = requests();
+        svc.dispatch("{\"kill_worker\": true}".into(), {
+            let (_, out) = buffer_writer();
+            out
+        });
+        for req in &reqs {
+            let out = writer_to(&buffer);
+            svc.dispatch(request_to_json(req), out);
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.count, reqs.len() as u64, "every request answered");
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), reqs.len());
+    }
+
+    #[test]
+    fn kill_worker_without_fault_injection_is_rejected() {
+        let svc = Service::start(ServeConfig { workers: 1, ..Default::default() });
+        let (buffer, out) = buffer_writer();
+        svc.dispatch("{\"kill_worker\": true}".into(), out);
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 1);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let resp = parse_response(text.lines().next().unwrap()).unwrap();
+        assert!(
+            matches!(&resp, Response::Error { message, .. } if message.contains("fault-injection")),
+            "{resp:?}"
+        );
+    }
+
+    #[test]
+    fn backlog_overflow_answers_with_overload_errors() {
+        // One worker, a 2-deep queue, and a 60-request burst: dispatch
+        // outruns the worker (a race costs milliseconds, a dispatch
+        // microseconds), so some requests must be refused — and every
+        // refusal must be an immediate error line, never a silent drop.
+        let svc = Service::start(ServeConfig { workers: 1, max_queue: 2, ..Default::default() });
+        let (buffer, out) = buffer_writer();
+        let template = requests();
+        for i in 0..60u64 {
+            let mut req = template[(i % 8) as usize].clone();
+            req.id = i;
+            svc.dispatch(request_to_json(&req), Arc::clone(&out));
+        }
+        let summary = svc.shutdown();
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let responses: Vec<Response> = text.lines().map(|l| parse_response(l).unwrap()).collect();
+        assert_eq!(responses.len(), 60, "every request answered, served or refused");
+        let overloads = responses
+            .iter()
+            .filter(
+                |r| matches!(r, Response::Error { message, .. } if message.contains("overloaded")),
+            )
+            .count();
+        assert!(overloads > 0, "a 2-deep queue cannot absorb a 60-request burst");
+        assert_eq!(summary.errors, overloads as u64);
+        assert_eq!(summary.count + summary.errors, 60);
+    }
+
+    #[test]
+    fn adaptive_tracker_accumulates_across_requests() {
+        let svc = Service::start(ServeConfig { workers: 2, ..Default::default() });
+        let (_, out) = buffer_writer();
+        let reqs = requests();
+        for req in &reqs {
+            svc.dispatch(request_to_json(req), Arc::clone(&out));
+        }
+        // Drain before inspecting the tracker.
+        let uniform = crate::features::extract_features(&reqs[0].instance);
+        let family = WinRateTracker::family_key(&uniform);
+        // Can't inspect after shutdown (tracker moves with the service), so
+        // wait for all responses via metrics polling.
+        for _ in 0..2000 {
+            if svc.metrics().count == reqs.len() as u64 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let raced_total: u64 = crate::select::registry()
+            .iter()
+            .map(|s| svc.win_rate_tracker().stats(&family, s.name()).races)
+            .sum();
+        // 4 uniform requests with top_k = 2 → 8 slot-races recorded.
+        assert_eq!(raced_total, 8, "every uniform race must feed the shared tracker");
+        svc.shutdown();
     }
 }
