@@ -1,4 +1,5 @@
-//! Simulated annealing — the operations-research baseline (extension).
+//! Simulated annealing — the operations-research baseline (extension),
+//! written **once** against [`sst_core::model::MachineModel`].
 //!
 //! The related-work surveys the paper cites (Allahverdi et al. \[1,2,3\])
 //! document that practical setup-time scheduling is dominated by
@@ -9,11 +10,15 @@
 //! kinds as [`crate::local_search`] (single-job moves and batching-aware
 //! whole-class moves), with geometric cooling.
 //!
-//! Moves are proposed and evaluated through [`sst_core::tracker`]: a
-//! proposal is scored in `O(log m)` (`O(B + log m)` for unrelated class
-//! moves) *before* being applied, so rejected proposals cost no
-//! apply-and-revert round trip and the per-iteration makespan is a tracker
-//! query instead of an `O(m)` scan.
+//! Moves are proposed and evaluated through
+//! [`sst_core::tracker::LoadTracker`]: a proposal is scored in `O(log m)`
+//! (`O(B + log m)` for unrelated class moves) *before* being applied, so
+//! rejected proposals cost no apply-and-revert round trip and the
+//! per-iteration makespan is a tracker query instead of an `O(m)` scan.
+//! There is exactly one proposal loop — [`anneal_budgeted`] — generic over
+//! the machine model; `anneal_uniform*` / `anneal_unrelated*` are thin
+//! monomorphizing wrappers, pinned bit-identical to the pre-refactor
+//! per-model implementations by `crates/algos/tests/golden_search.rs`.
 //!
 //! Like every baseline in this workspace it is deterministic under a fixed
 //! seed and **never returns a schedule worse than its start** (the
@@ -41,8 +46,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sst_core::cancel::CancelToken;
 use sst_core::instance::{UniformInstance, UnrelatedInstance};
+use sst_core::model::{MachineModel, Uniform, Unrelated};
 use sst_core::schedule::Schedule;
-use sst_core::tracker::{UniformLoadTracker, UnrelatedLoadTracker};
+use sst_core::tracker::LoadTracker;
 
 /// Proposals between deadline polls (each proposal is an `O(log m)`
 /// tracker evaluation, so one interval is a few microseconds).
@@ -87,44 +93,36 @@ pub struct AnnealResult {
     pub improvements: usize,
 }
 
-/// A proposed move, shared by both environments.
+/// A proposed move, shared by every machine model.
 enum Proposal {
     Job(usize, usize),
     Class(usize, usize, usize),
 }
 
-/// Anneals a schedule on an unrelated instance.
+/// The Metropolis proposal loop, written once for every machine model.
+/// Deltas are measured in the model's key arithmetic projected to `f64`
+/// ([`MachineModel::key_to_f64`]); acceptance and cooling follow the
+/// classic geometric schedule. Early exit (the `cancel` token) returns the
+/// best schedule seen so far, which never degrades the start.
 ///
 /// # Panics
 /// Panics if `start` is not a valid schedule for `inst`.
-pub fn anneal_unrelated(
-    inst: &UnrelatedInstance,
-    start: &Schedule,
-    cfg: &AnnealConfig,
-) -> AnnealResult {
-    anneal_unrelated_budgeted(inst, start, cfg, &CancelToken::new())
-}
-
-/// [`anneal_unrelated`] with cooperative cancellation: the proposal loop
-/// polls `cancel` every few hundred iterations and returns the best
-/// schedule seen so far (the annealer tracks best-seen, so early exit never
-/// degrades the start).
-pub fn anneal_unrelated_budgeted(
-    inst: &UnrelatedInstance,
+pub fn anneal_budgeted<M: MachineModel>(
+    inst: &M::Instance,
     start: &Schedule,
     cfg: &AnnealConfig,
     cancel: &CancelToken,
 ) -> AnnealResult {
-    let mut tracker = UnrelatedLoadTracker::new(inst, start).expect("valid start schedule");
-    let m = inst.m();
+    let mut tracker = LoadTracker::<M>::new(inst, start).expect("valid start schedule");
+    let m = M::m(inst);
     let mut cur_ms = tracker.makespan();
     let mut best = start.clone();
     let mut best_ms = cur_ms;
-    let mut temp = cur_ms as f64 * cfg.initial_temp_fraction;
+    let mut temp = M::key_to_f64(cur_ms) * cfg.initial_temp_fraction;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut accepted = 0usize;
     let mut improvements = 0usize;
-    if inst.n() == 0 || m < 2 {
+    if M::n(inst) == 0 || m < 2 {
         return AnnealResult { schedule: best, accepted, improvements };
     }
     for it in 0..cfg.iterations {
@@ -132,11 +130,11 @@ pub fn anneal_unrelated_budgeted(
             break;
         }
         let class_move = rng.gen::<f64>() < cfg.class_move_prob;
-        let j = rng.gen_range(0..inst.n());
+        let j = rng.gen_range(0..M::n(inst));
         let from = tracker.machine_of(j);
         let to = rng.gen_range(0..m);
         let (proposal, new_ms) = if class_move {
-            let k = inst.class_of(j);
+            let k = M::class_of(inst, j);
             match tracker.eval_class_move(from, k, to) {
                 Some(ms) => (Proposal::Class(from, k, to), ms),
                 None => {
@@ -153,7 +151,7 @@ pub fn anneal_unrelated_budgeted(
                 }
             }
         };
-        let delta = new_ms as f64 - cur_ms as f64;
+        let delta = M::key_to_f64(new_ms) - M::key_to_f64(cur_ms);
         let accept = delta <= 0.0 || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
         if accept {
             match proposal {
@@ -171,6 +169,37 @@ pub fn anneal_unrelated_budgeted(
         temp *= cfg.cooling;
     }
     AnnealResult { schedule: best, accepted, improvements }
+}
+
+/// [`anneal_budgeted`] with a never-firing token.
+pub fn anneal<M: MachineModel>(
+    inst: &M::Instance,
+    start: &Schedule,
+    cfg: &AnnealConfig,
+) -> AnnealResult {
+    anneal_budgeted::<M>(inst, start, cfg, &CancelToken::new())
+}
+
+/// Anneals a schedule on an unrelated instance.
+///
+/// # Panics
+/// Panics if `start` is not a valid schedule for `inst`.
+pub fn anneal_unrelated(
+    inst: &UnrelatedInstance,
+    start: &Schedule,
+    cfg: &AnnealConfig,
+) -> AnnealResult {
+    anneal::<Unrelated>(inst, start, cfg)
+}
+
+/// [`anneal_unrelated`] with cooperative cancellation.
+pub fn anneal_unrelated_budgeted(
+    inst: &UnrelatedInstance,
+    start: &Schedule,
+    cfg: &AnnealConfig,
+    cancel: &CancelToken,
+) -> AnnealResult {
+    anneal_budgeted::<Unrelated>(inst, start, cfg, cancel)
 }
 
 /// Anneals a schedule on a uniform instance (loads kept in exact work
@@ -183,73 +212,17 @@ pub fn anneal_uniform(
     start: &Schedule,
     cfg: &AnnealConfig,
 ) -> AnnealResult {
-    anneal_uniform_budgeted(inst, start, cfg, &CancelToken::new())
+    anneal::<Uniform>(inst, start, cfg)
 }
 
-/// [`anneal_uniform`] with cooperative cancellation (see
-/// [`anneal_unrelated_budgeted`]).
+/// [`anneal_uniform`] with cooperative cancellation.
 pub fn anneal_uniform_budgeted(
     inst: &UniformInstance,
     start: &Schedule,
     cfg: &AnnealConfig,
     cancel: &CancelToken,
 ) -> AnnealResult {
-    let mut tracker = UniformLoadTracker::new(inst, start).expect("valid start schedule");
-    let m = inst.m();
-    let mut cur_ms = tracker.makespan();
-    let mut best = start.clone();
-    let mut best_ms = cur_ms;
-    let mut temp = cur_ms.to_f64() * cfg.initial_temp_fraction;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut accepted = 0usize;
-    let mut improvements = 0usize;
-    if inst.n() == 0 || m < 2 {
-        return AnnealResult { schedule: best, accepted, improvements };
-    }
-    for it in 0..cfg.iterations {
-        if it & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
-            break;
-        }
-        let class_move = rng.gen::<f64>() < cfg.class_move_prob;
-        let j = rng.gen_range(0..inst.n());
-        let from = tracker.machine_of(j);
-        let to = rng.gen_range(0..m);
-        let (proposal, new_ms) = if class_move {
-            let k = inst.job(j).class;
-            match tracker.eval_class_move(from, k, to) {
-                Some(ms) => (Proposal::Class(from, k, to), ms),
-                None => {
-                    temp *= cfg.cooling;
-                    continue;
-                }
-            }
-        } else {
-            match tracker.eval_job_move(j, to) {
-                Some(ms) => (Proposal::Job(j, to), ms),
-                None => {
-                    temp *= cfg.cooling;
-                    continue;
-                }
-            }
-        };
-        let delta = new_ms.to_f64() - cur_ms.to_f64();
-        let accept = delta <= 0.0 || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
-        if accept {
-            match proposal {
-                Proposal::Job(j, to) => tracker.apply_job_move(j, to),
-                Proposal::Class(from, k, to) => tracker.apply_class_move(from, k, to),
-            }
-            accepted += 1;
-            cur_ms = new_ms;
-            if new_ms < best_ms {
-                best_ms = new_ms;
-                best = tracker.schedule();
-                improvements += 1;
-            }
-        }
-        temp *= cfg.cooling;
-    }
-    AnnealResult { schedule: best, accepted, improvements }
+    anneal_budgeted::<Uniform>(inst, start, cfg, cancel)
 }
 
 #[cfg(test)]
@@ -324,10 +297,15 @@ mod tests {
         let b = anneal_unrelated(&inst, &start, &cfg(99));
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.accepted, b.accepted);
+        // The splittable integral view must follow the identical RNG
+        // trajectory (same proposals, same acceptances).
+        let c = anneal::<sst_core::model::Splittable>(&inst, &start, &cfg(99));
+        assert_eq!(a.schedule, c.schedule);
+        assert_eq!(a.accepted, c.accepted);
         // A different seed is allowed to find a different schedule, but both
         // must be valid.
-        let c = anneal_unrelated(&inst, &start, &cfg(100));
-        unrelated_makespan(&inst, &c.schedule).unwrap();
+        let d = anneal_unrelated(&inst, &start, &cfg(100));
+        unrelated_makespan(&inst, &d.schedule).unwrap();
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use lpt::{lpt_with_setups, lpt_with_setups_makespan, LPT_FACTOR};
 pub use ra::{solve_ra_class_uniform, RaResult};
 pub use rounding::{solve_unrelated_randomized, RoundingConfig, RoundingResult};
 pub use splittable::{
-    solve_splittable_class_uniform_ptimes, solve_splittable_ra_class_uniform, SplitResult,
-    SplitSchedule, SplitShare,
+    solve_splittable_class_uniform_ptimes, solve_splittable_ra_class_uniform,
+    split_from_assignment, split_greedy, splittable_feasible, SplitResult, SplitSchedule,
+    SplitShare,
 };

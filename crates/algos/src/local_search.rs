@@ -1,4 +1,5 @@
-//! Local-search post-optimization (extension beyond the paper).
+//! Local-search post-optimization (extension beyond the paper), written
+//! **once** against [`sst_core::model::MachineModel`].
 //!
 //! The paper's algorithms optimize worst-case guarantees; in practice a
 //! cheap descent pass often shaves the constants. Two moves, both evaluated
@@ -15,21 +16,24 @@
 //! depends on it, and the experiment harness reports it separately.
 //!
 //! Candidate moves are evaluated **incrementally** through
-//! [`sst_core::tracker`]: a job-move candidate costs `O(log m)` instead of
-//! the `O(n)` full makespan recompute, so one descent sweep is
-//! `O(n_bottleneck · m · log m)` instead of `O(n² · m)`. The historical
-//! full-recompute implementations are kept as
-//! [`improve_uniform_full_recompute`] / [`improve_unrelated_full_recompute`]
-//! — they are the differential-test oracle and the benchmark baseline, not
-//! an API anyone should pick for speed.
+//! [`sst_core::tracker::LoadTracker`]: a job-move candidate costs
+//! `O(log m)` instead of the `O(n)` full makespan recompute, so one descent
+//! sweep is `O(n_bottleneck · m · log m)` instead of `O(n² · m)`. There is
+//! exactly one descent loop — [`improve_budgeted`] — generic over the
+//! machine model; `improve_uniform*` / `improve_unrelated*` are thin
+//! monomorphizing wrappers kept so every historical call site compiles
+//! unchanged, and `crates/algos/tests/golden_search.rs` pins the generic
+//! code bit-identical to the pre-refactor per-model implementations.
+//!
+//! The historical full-recompute baseline is likewise one generic function
+//! ([`improve_full_recompute`]) — it is the differential-test oracle and
+//! the benchmark baseline, not an API anyone should pick for speed.
 
 use sst_core::cancel::CancelToken;
-use sst_core::instance::{is_finite, UniformInstance, UnrelatedInstance};
-use sst_core::ratio::Ratio;
-use sst_core::schedule::{
-    uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan, Schedule,
-};
-use sst_core::tracker::{UniformLoadTracker, UnrelatedLoadTracker};
+use sst_core::instance::{UniformInstance, UnrelatedInstance};
+use sst_core::model::{self, MachineModel, Uniform, Unrelated};
+use sst_core::schedule::Schedule;
+use sst_core::tracker::LoadTracker;
 
 /// Candidate evaluations between deadline polls: one check interval of the
 /// anytime contract (each evaluation is `O(log m)`, so an interval is a few
@@ -45,38 +49,32 @@ pub struct LocalSearchResult {
     pub moves: usize,
 }
 
-/// Descent for uniform instances. `max_moves` caps the number of accepted
-/// moves; each candidate evaluates in `O(log m)` via
-/// [`UniformLoadTracker`].
-pub fn improve_uniform(
-    inst: &UniformInstance,
-    start: &Schedule,
-    max_moves: usize,
-) -> LocalSearchResult {
-    improve_uniform_budgeted(inst, start, max_moves, &CancelToken::new())
-}
-
-/// [`improve_uniform`] with cooperative cancellation: the sweep polls
-/// `cancel` every few thousand candidate evaluations and returns the
-/// best-so-far schedule (the descent is anytime by construction — every
-/// accepted move only improves the makespan).
-pub fn improve_uniform_budgeted(
-    inst: &UniformInstance,
+/// The descent, written once for every machine model: repeatedly take the
+/// bottleneck machine and try job moves off it, then whole-class moves,
+/// accepting the first strict improvement; stop at a local optimum, after
+/// `max_moves` accepted moves, or when `cancel` fires (the descent is
+/// anytime by construction — every accepted move only improves the
+/// makespan).
+///
+/// # Panics
+/// Panics if `start` is not a valid schedule for `inst`.
+pub fn improve_budgeted<M: MachineModel>(
+    inst: &M::Instance,
     start: &Schedule,
     max_moves: usize,
     cancel: &CancelToken,
 ) -> LocalSearchResult {
-    let mut tracker = UniformLoadTracker::new(inst, start).expect("valid input schedule");
+    let mut tracker = LoadTracker::<M>::new(inst, start).expect("valid input schedule");
     let mut best = tracker.makespan();
     let mut moves = 0usize;
     let mut evals = 0u64;
     'outer: while moves < max_moves {
         let bottleneck = tracker.bottleneck();
         // Job moves: try moving any job off the current bottleneck machine.
-        for k in 0..inst.num_classes() {
+        for k in 0..M::num_classes(inst) {
             for idx in 0..tracker.count(bottleneck, k) {
                 let j = tracker.jobs_of_class_on(bottleneck, k)[idx];
-                for i in 0..inst.m() {
+                for i in 0..M::m(inst) {
                     evals += 1;
                     if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
                         break 'outer;
@@ -93,8 +91,8 @@ pub fn improve_uniform_budgeted(
             }
         }
         // Class moves off the bottleneck.
-        for k in 0..inst.num_classes() {
-            for i in 0..inst.m() {
+        for k in 0..M::num_classes(inst) {
+            for i in 0..M::m(inst) {
                 evals += 1;
                 if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
                     break 'outer;
@@ -112,6 +110,35 @@ pub fn improve_uniform_budgeted(
         break; // local optimum
     }
     LocalSearchResult { schedule: tracker.schedule(), moves }
+}
+
+/// [`improve_budgeted`] with a never-firing token.
+pub fn improve<M: MachineModel>(
+    inst: &M::Instance,
+    start: &Schedule,
+    max_moves: usize,
+) -> LocalSearchResult {
+    improve_budgeted::<M>(inst, start, max_moves, &CancelToken::new())
+}
+
+/// Descent for uniform instances. `max_moves` caps the number of accepted
+/// moves; each candidate evaluates in `O(log m)` via the tracker.
+pub fn improve_uniform(
+    inst: &UniformInstance,
+    start: &Schedule,
+    max_moves: usize,
+) -> LocalSearchResult {
+    improve::<Uniform>(inst, start, max_moves)
+}
+
+/// [`improve_uniform`] with cooperative cancellation.
+pub fn improve_uniform_budgeted(
+    inst: &UniformInstance,
+    start: &Schedule,
+    max_moves: usize,
+    cancel: &CancelToken,
+) -> LocalSearchResult {
+    improve_budgeted::<Uniform>(inst, start, max_moves, cancel)
 }
 
 /// Descent for unrelated instances (same move set; infeasible targets —
@@ -122,92 +149,50 @@ pub fn improve_unrelated(
     start: &Schedule,
     max_moves: usize,
 ) -> LocalSearchResult {
-    improve_unrelated_budgeted(inst, start, max_moves, &CancelToken::new())
+    improve::<Unrelated>(inst, start, max_moves)
 }
 
-/// [`improve_unrelated`] with cooperative cancellation (see
-/// [`improve_uniform_budgeted`]).
+/// [`improve_unrelated`] with cooperative cancellation.
 pub fn improve_unrelated_budgeted(
     inst: &UnrelatedInstance,
     start: &Schedule,
     max_moves: usize,
     cancel: &CancelToken,
 ) -> LocalSearchResult {
-    let mut tracker = UnrelatedLoadTracker::new(inst, start).expect("valid input schedule");
-    let mut best = tracker.makespan();
-    let mut moves = 0usize;
-    let mut evals = 0u64;
-    'outer: while moves < max_moves {
-        let bottleneck = tracker.bottleneck();
-        for k in 0..inst.num_classes() {
-            for idx in 0..tracker.count(bottleneck, k) {
-                let j = tracker.jobs_of_class_on(bottleneck, k)[idx];
-                for i in 0..inst.m() {
-                    evals += 1;
-                    if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
-                        break 'outer;
-                    }
-                    if let Some(ms) = tracker.eval_job_move(j, i) {
-                        if ms < best {
-                            tracker.apply_job_move(j, i);
-                            best = ms;
-                            moves += 1;
-                            continue 'outer;
-                        }
-                    }
-                }
-            }
-        }
-        for k in 0..inst.num_classes() {
-            for i in 0..inst.m() {
-                evals += 1;
-                if evals & CANCEL_CHECK_MASK == 0 && cancel.is_cancelled() {
-                    break 'outer;
-                }
-                if let Some(ms) = tracker.eval_class_move(bottleneck, k, i) {
-                    if ms < best {
-                        tracker.apply_class_move(bottleneck, k, i);
-                        best = ms;
-                        moves += 1;
-                        continue 'outer;
-                    }
-                }
-            }
-        }
-        break;
-    }
-    LocalSearchResult { schedule: tracker.schedule(), moves }
+    improve_budgeted::<Unrelated>(inst, start, max_moves, cancel)
 }
 
-/// The pre-tracker descent for uniform instances: every candidate move
-/// re-evaluates the full makespan in `O(n)`. Kept as the differential-test
-/// oracle and benchmark baseline.
-pub fn improve_uniform_full_recompute(
-    inst: &UniformInstance,
+/// The pre-tracker descent: every candidate move re-evaluates the full
+/// makespan in `O(n)` through [`sst_core::model::loads`]. Kept — once,
+/// generically — as the differential-test oracle and benchmark baseline.
+pub fn improve_full_recompute<M: MachineModel>(
+    inst: &M::Instance,
     start: &Schedule,
     max_moves: usize,
 ) -> LocalSearchResult {
     let mut sched = start.clone();
-    let mut best = uniform_makespan(inst, &sched).expect("valid input schedule");
+    let mut best = model::makespan_key::<M>(inst, &sched).expect("valid input schedule");
     let mut moves = 0usize;
     'outer: while moves < max_moves {
-        let loads = uniform_loads(inst, &sched).expect("valid");
-        let bottleneck = (0..inst.m())
-            .max_by(|&a, &b| {
-                Ratio::new(loads[a], inst.speed(a)).cmp(&Ratio::new(loads[b], inst.speed(b)))
-            })
+        let loads = model::loads::<M>(inst, &sched).expect("valid");
+        let bottleneck = (0..M::m(inst))
+            .max_by(|&a, &b| M::key(inst, a, loads[a]).cmp(&M::key(inst, b, loads[b])))
             .expect("non-empty");
-        for j in 0..inst.n() {
+        for j in 0..M::n(inst) {
             if sched.machine_of(j) != bottleneck {
                 continue;
             }
-            for i in 0..inst.m() {
-                if i == bottleneck {
+            let k = M::class_of(inst, j);
+            for i in 0..M::m(inst) {
+                if i == bottleneck
+                    || M::job_time(inst, i, j).is_none()
+                    || M::setup_time(inst, i, k).is_none()
+                {
                     continue;
                 }
                 let old = sched.machine_of(j);
                 sched.set(j, i);
-                let ms = uniform_makespan(inst, &sched).expect("valid");
+                let ms = model::makespan_key::<M>(inst, &sched).expect("still valid");
                 if ms < best {
                     best = ms;
                     moves += 1;
@@ -216,21 +201,24 @@ pub fn improve_uniform_full_recompute(
                 sched.set(j, old);
             }
         }
-        for k in 0..inst.num_classes() {
-            let batch: Vec<usize> = (0..inst.n())
-                .filter(|&j| sched.machine_of(j) == bottleneck && inst.job(j).class == k)
+        for k in 0..M::num_classes(inst) {
+            let batch: Vec<usize> = (0..M::n(inst))
+                .filter(|&j| sched.machine_of(j) == bottleneck && M::class_of(inst, j) == k)
                 .collect();
             if batch.is_empty() {
                 continue;
             }
-            for i in 0..inst.m() {
-                if i == bottleneck {
+            for i in 0..M::m(inst) {
+                if i == bottleneck || M::setup_time(inst, i, k).is_none() {
+                    continue;
+                }
+                if batch.iter().any(|&j| M::job_time(inst, i, j).is_none()) {
                     continue;
                 }
                 for &j in &batch {
                     sched.set(j, i);
                 }
-                let ms = uniform_makespan(inst, &sched).expect("valid");
+                let ms = model::makespan_key::<M>(inst, &sched).expect("still valid");
                 if ms < best {
                     best = ms;
                     moves += 1;
@@ -246,76 +234,33 @@ pub fn improve_uniform_full_recompute(
     LocalSearchResult { schedule: sched, moves }
 }
 
-/// The pre-tracker descent for unrelated instances (see
-/// [`improve_uniform_full_recompute`]).
+/// The full-recompute oracle for uniform instances (see
+/// [`improve_full_recompute`]).
+pub fn improve_uniform_full_recompute(
+    inst: &UniformInstance,
+    start: &Schedule,
+    max_moves: usize,
+) -> LocalSearchResult {
+    improve_full_recompute::<Uniform>(inst, start, max_moves)
+}
+
+/// The full-recompute oracle for unrelated instances (see
+/// [`improve_full_recompute`]).
 pub fn improve_unrelated_full_recompute(
     inst: &UnrelatedInstance,
     start: &Schedule,
     max_moves: usize,
 ) -> LocalSearchResult {
-    let mut sched = start.clone();
-    let mut best = unrelated_makespan(inst, &sched).expect("valid input schedule");
-    let mut moves = 0usize;
-    'outer: while moves < max_moves {
-        let loads = unrelated_loads(inst, &sched).expect("valid");
-        let bottleneck = (0..inst.m()).max_by_key(|&i| loads[i]).expect("non-empty");
-        for j in 0..inst.n() {
-            if sched.machine_of(j) != bottleneck {
-                continue;
-            }
-            let k = inst.class_of(j);
-            for i in 0..inst.m() {
-                if i == bottleneck || !is_finite(inst.ptime(i, j)) || !is_finite(inst.setup(i, k)) {
-                    continue;
-                }
-                let old = sched.machine_of(j);
-                sched.set(j, i);
-                let ms = unrelated_makespan(inst, &sched).expect("still valid");
-                if ms < best {
-                    best = ms;
-                    moves += 1;
-                    continue 'outer;
-                }
-                sched.set(j, old);
-            }
-        }
-        for k in 0..inst.num_classes() {
-            let batch: Vec<usize> = (0..inst.n())
-                .filter(|&j| sched.machine_of(j) == bottleneck && inst.class_of(j) == k)
-                .collect();
-            if batch.is_empty() {
-                continue;
-            }
-            for i in 0..inst.m() {
-                if i == bottleneck || !is_finite(inst.setup(i, k)) {
-                    continue;
-                }
-                if batch.iter().any(|&j| !is_finite(inst.ptime(i, j))) {
-                    continue;
-                }
-                for &j in &batch {
-                    sched.set(j, i);
-                }
-                let ms = unrelated_makespan(inst, &sched).expect("still valid");
-                if ms < best {
-                    best = ms;
-                    moves += 1;
-                    continue 'outer;
-                }
-                for &j in &batch {
-                    sched.set(j, bottleneck);
-                }
-            }
-        }
-        break;
-    }
-    LocalSearchResult { schedule: sched, moves }
+    improve_full_recompute::<Unrelated>(inst, start, max_moves)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sst_core::instance::{Job, INF};
+    use sst_core::model::Splittable;
+    use sst_core::ratio::Ratio;
+    use sst_core::schedule::{uniform_makespan, unrelated_makespan};
 
     #[test]
     fn never_worsens_uniform() {
@@ -409,6 +354,24 @@ mod tests {
         assert!(slow_ms <= start_ms);
         let refine_fast = improve_uniform_full_recompute(&inst, &fast.schedule, 1000);
         assert_eq!(refine_fast.moves, 0, "incremental result must be a local optimum");
+    }
+
+    #[test]
+    fn generic_splittable_descent_matches_the_unrelated_one() {
+        // The splittable integral sub-space evaluates like the unrelated
+        // model, so the generic descent must walk the identical trajectory.
+        let inst = UnrelatedInstance::new(
+            3,
+            (0..12).map(|j| j % 3).collect(),
+            (0..12).map(|j| vec![1 + j as u64 % 7, 2 + j as u64 % 5, 3]).collect(),
+            vec![vec![2, 1, 3], vec![1, 2, 1], vec![3, 1, 2]],
+        )
+        .unwrap();
+        let start = Schedule::new(vec![0; 12]);
+        let a = improve::<Splittable>(&inst, &start, 1000);
+        let b = improve::<Unrelated>(&inst, &start, 1000);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.moves, b.moves);
     }
 
     #[test]

@@ -48,6 +48,7 @@ use crate::ra::{solve_lp_relaxed_ra, ExclusionRule, RaFractional};
 use sst_core::bounds::unrelated_upper_bound;
 use sst_core::dual::{binary_search_u64, Decision};
 use sst_core::instance::{is_finite, ClassId, MachineId, UnrelatedInstance};
+use sst_core::schedule::Schedule;
 
 /// A positive share of one class's workload on one machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -299,6 +300,116 @@ pub fn splittable_lower_bound(inst: &UnrelatedInstance) -> u64 {
         lb = lb.max(per_class);
     }
     lb
+}
+
+/// True iff the instance can host every nonempty class *whole* on some
+/// machine (finite workload and setup): the feasibility precondition of the
+/// splittable model's solvers and greedy floor. Per-job schedulability is
+/// not enough — a class whose jobs are eligible only on disjoint machine
+/// sets has no machine that can carry a positive share of the whole class.
+pub fn splittable_feasible(inst: &UnrelatedInstance) -> bool {
+    inst.nonempty_classes().iter().all(|&k| {
+        (0..inst.m()).any(|i| is_finite(inst.class_workload(i, k)) && is_finite(inst.setup(i, k)))
+    })
+}
+
+/// The splittable model's greedy floor: classes in descending cheapest
+/// whole-placement cost, each placed *whole* (`x̄ = 1`) on the machine
+/// minimizing its resulting load. Deterministic, `O(K·m)` after the
+/// workload sums, and always valid on [`splittable_feasible`] instances —
+/// the quality floor every splittable race is measured against, mirroring
+/// the setup-aware greedy of the integral models.
+///
+/// The returned `t_star` is [`splittable_lower_bound`] — a certified lower
+/// bound on the splittable optimum, not an LP certificate.
+///
+/// # Panics
+/// Panics when some nonempty class cannot be hosted whole anywhere (check
+/// with [`splittable_feasible`] first).
+pub fn split_greedy(inst: &UnrelatedInstance) -> SplitResult {
+    let m = inst.m();
+    let mut loads = vec![0u64; m];
+    let mut shares: Vec<Vec<SplitShare>> = vec![Vec::new(); inst.num_classes()];
+    // Heaviest classes first (by their cheapest whole placement), so the
+    // light tail balances around them; ties break by class id.
+    let mut order: Vec<(u64, ClassId)> = inst
+        .nonempty_classes()
+        .iter()
+        .map(|&k| {
+            let cheapest = (0..m)
+                .filter_map(|i| {
+                    let w = inst.class_workload(i, k);
+                    let s = inst.setup(i, k);
+                    (is_finite(w) && is_finite(s)).then(|| w + s)
+                })
+                .min()
+                .expect("splittable_feasible: every nonempty class hostable somewhere");
+            (cheapest, k)
+        })
+        .collect();
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (_, k) in order {
+        let best = (0..m)
+            .filter_map(|i| {
+                let w = inst.class_workload(i, k);
+                let s = inst.setup(i, k);
+                (is_finite(w) && is_finite(s)).then(|| (loads[i] + w + s, i))
+            })
+            .min()
+            .expect("feasible by the ordering pass");
+        loads[best.1] = best.0;
+        shares[k].push(SplitShare { machine: best.1, fraction: 1.0 });
+    }
+    let schedule = SplitSchedule::new(shares);
+    debug_assert_eq!(schedule.validate(inst), Ok(()));
+    let makespan = schedule.makespan(inst);
+    SplitResult { schedule, makespan, t_star: splittable_lower_bound(inst) }
+}
+
+/// Lifts a job-granular (integral) schedule into the split model: class
+/// `k`'s share on machine `i` is its workload fraction
+/// `Σ_{j∈k on i} p_ij / p̄_ik`. Shares sum to 1 exactly when workload
+/// fractions are consistent across machines — i.e. under the two
+/// structures of Section 3.3 (restricted assignment with class-uniform
+/// restrictions, or class-uniform processing times); the caller is
+/// expected to [`SplitSchedule::validate`] the result and decline
+/// otherwise. This is how the integral tracker/descent sub-space (see
+/// [`sst_core::model::Splittable`]) re-enters the split solution space.
+pub fn split_from_assignment(inst: &UnrelatedInstance, sched: &Schedule) -> SplitSchedule {
+    let m = inst.m();
+    let mut shares: Vec<Vec<SplitShare>> = vec![Vec::new(); inst.num_classes()];
+    for &k in inst.nonempty_classes() {
+        let mut on_machine = vec![0u64; m];
+        for &j in inst.jobs_of_class(k) {
+            let i = sched.machine_of(j);
+            debug_assert!(is_finite(inst.ptime(i, j)));
+            on_machine[i] += inst.ptime(i, j);
+        }
+        let mut total = 0.0;
+        for (i, &w) in on_machine.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let pbar = inst.class_workload(i, k);
+            debug_assert!(is_finite(pbar) && pbar > 0);
+            let f = w as f64 / pbar as f64;
+            shares[k].push(SplitShare { machine: i, fraction: f });
+            total += f;
+        }
+        if total > 0.0 {
+            // Exact under the Section 3.3 structures up to float error;
+            // scaling to 1 absorbs that error so validation is exact-ish.
+            for s in shares[k].iter_mut() {
+                s.fraction /= total;
+            }
+        } else {
+            // Zero-workload class (every hosted job has p_ij = 0): park it
+            // whole on its first job's machine.
+            let i = sched.machine_of(inst.jobs_of_class(k)[0]);
+            shares[k].push(SplitShare { machine: i, fraction: 1.0 });
+        }
+    }
+    SplitSchedule::new(shares)
 }
 
 /// Integrality threshold shared with the non-splittable roundings.
@@ -576,6 +687,90 @@ mod tests {
             UnrelatedInstance::new(2, vec![0, 0], vec![vec![1, 2], vec![2, 1]], vec![vec![1, 1]])
                 .unwrap();
         let _ = solve_splittable_class_uniform_ptimes(&inst);
+    }
+
+    #[test]
+    fn split_greedy_is_a_valid_floor() {
+        let inst = ra_instance(
+            3,
+            vec![vec![4, 4, 4], vec![6, 2], vec![5, 5, 5, 5]],
+            vec![vec![0, 1], vec![1, 2], vec![0, 1, 2]],
+            vec![2, 3, 1],
+        );
+        assert!(splittable_feasible(&inst));
+        let greedy = split_greedy(&inst);
+        greedy.schedule.validate(&inst).unwrap();
+        assert!(greedy.t_star as f64 <= greedy.makespan + 1e-9);
+        // Every class lands whole on exactly one machine.
+        for k in 0..inst.num_classes() {
+            assert_eq!(greedy.schedule.split_degree(k), 1, "class {k}");
+        }
+        // The LP-guided 2-approximation may split; it never certifies a
+        // worse lower bound than the combinatorial one.
+        let lp = solve_splittable_ra_class_uniform(&inst);
+        assert!(lp.t_star >= greedy.t_star);
+    }
+
+    #[test]
+    fn split_greedy_deterministic_and_respects_inf() {
+        let inst = ra_instance(2, vec![vec![9], vec![3, 3]], vec![vec![0], vec![0, 1]], vec![1, 2]);
+        let a = split_greedy(&inst);
+        let b = split_greedy(&inst);
+        assert_eq!(a.schedule, b.schedule);
+        // Class 0 is pinned to machine 0.
+        assert_eq!(a.schedule.shares_of(0)[0].machine, 0);
+    }
+
+    #[test]
+    fn splittable_feasible_rejects_unhostable_classes() {
+        // Both jobs schedulable individually, but no machine hosts the
+        // whole class (disjoint eligibility).
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 0],
+            vec![vec![4, INF], vec![INF, 4]],
+            vec![vec![1, 1]],
+        )
+        .unwrap();
+        assert!(!splittable_feasible(&inst));
+        let ok = ra_instance(2, vec![vec![4, 4]], vec![vec![0, 1]], vec![2]);
+        assert!(splittable_feasible(&ok));
+    }
+
+    #[test]
+    fn assignment_lift_matches_integral_loads_under_both_structures() {
+        // RA + class-uniform restrictions.
+        let ra =
+            ra_instance(2, vec![vec![4, 4], vec![6, 2]], vec![vec![0, 1], vec![0, 1]], vec![2, 3]);
+        let sched = Schedule::new(vec![0, 1, 0, 1]);
+        let lifted = split_from_assignment(&ra, &sched);
+        lifted.validate(&ra).unwrap();
+        let loads = lifted.machine_loads(&ra);
+        let integral = sst_core::schedule::unrelated_loads(&ra, &sched).unwrap();
+        for i in 0..ra.m() {
+            assert!(
+                (loads[i] - integral[i] as f64).abs() < 1e-6,
+                "machine {i}: split {} vs integral {}",
+                loads[i],
+                integral[i]
+            );
+        }
+        // Class-uniform processing times on genuinely unrelated machines.
+        let cupt = UnrelatedInstance::new(
+            2,
+            vec![0, 0, 1],
+            vec![vec![4, 6], vec![4, 6], vec![9, 3]],
+            vec![vec![1, 2], vec![2, 1]],
+        )
+        .unwrap();
+        let sched = Schedule::new(vec![0, 1, 1]);
+        let lifted = split_from_assignment(&cupt, &sched);
+        lifted.validate(&cupt).unwrap();
+        let loads = lifted.machine_loads(&cupt);
+        let integral = sst_core::schedule::unrelated_loads(&cupt, &sched).unwrap();
+        for i in 0..cupt.m() {
+            assert!((loads[i] - integral[i] as f64).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Golden regression pins for the search heuristics: the generic
+//! `MachineModel`-based local search and annealing must produce
+//! **bit-identical** schedules to the pre-refactor per-model
+//! implementations on fixed seeds across every scenario family.
+//!
+//! The `(makespan num, makespan den, fnv1a(assignment))` triples below
+//! were recorded from the per-model implementations immediately *before*
+//! the trait refactor (descent from the setup-aware greedy start with
+//! `max_moves = 1000`; annealer with 3000 iterations, seed 42); any
+//! behavioural drift in the generic code paths fails these tests.
+
+use sst_algos::annealing::{anneal_uniform, anneal_unrelated, AnnealConfig};
+use sst_algos::list::{greedy_uniform, greedy_unrelated};
+use sst_algos::local_search::{improve_uniform, improve_unrelated};
+use sst_core::instance::{UniformInstance, UnrelatedInstance};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
+
+/// FNV-1a over the assignment vector: a compact, stable schedule pin.
+fn fnv1a(sched: &Schedule) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &i in sched.assignment() {
+        h ^= i as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn anneal_cfg() -> AnnealConfig {
+    AnnealConfig { iterations: 3_000, seed: 42, ..AnnealConfig::default() }
+}
+
+/// `[local-search pin, annealing pin]`, each `(num, den, schedule hash)`.
+type Pins = [(u64, u64, u64); 2];
+
+fn check_uniform(name: &str, inst: &UniformInstance, pins: Pins) {
+    let start = greedy_uniform(inst);
+    let ls = improve_uniform(inst, &start, 1_000);
+    let an = anneal_uniform(inst, &start, &anneal_cfg());
+    let ms_ls = uniform_makespan(inst, &ls.schedule).expect("valid");
+    let ms_an = uniform_makespan(inst, &an.schedule).expect("valid");
+    assert_eq!(
+        (ms_ls.numer(), ms_ls.denom(), fnv1a(&ls.schedule)),
+        pins[0],
+        "{name}: local search drifted from the pre-refactor implementation"
+    );
+    assert_eq!(
+        (ms_an.numer(), ms_an.denom(), fnv1a(&an.schedule)),
+        pins[1],
+        "{name}: annealing drifted from the pre-refactor implementation"
+    );
+}
+
+fn check_unrelated(name: &str, inst: &UnrelatedInstance, pins: Pins) {
+    let start = greedy_unrelated(inst);
+    let ls = improve_unrelated(inst, &start, 1_000);
+    let an = anneal_unrelated(inst, &start, &anneal_cfg());
+    let ms_ls = unrelated_makespan(inst, &ls.schedule).expect("valid");
+    let ms_an = unrelated_makespan(inst, &an.schedule).expect("valid");
+    assert_eq!(
+        (ms_ls, 1, fnv1a(&ls.schedule)),
+        pins[0],
+        "{name}: local search drifted from the pre-refactor implementation"
+    );
+    assert_eq!(
+        (ms_an, 1, fnv1a(&an.schedule)),
+        pins[1],
+        "{name}: annealing drifted from the pre-refactor implementation"
+    );
+}
+
+#[test]
+fn uniform_families_pin_bit_identical() {
+    check_uniform(
+        "production-line",
+        &sst_gen::scenarios::production_line(40, 5, 4, 7),
+        [(712, 1, 0x32d0c0215cf0a545), (712, 1, 0xa1c9ac885e9ba1b2)],
+    );
+    check_uniform(
+        "uniform-zipf",
+        &sst_gen::uniform_zipf(&sst_gen::ZipfParams::default()),
+        [(241, 1, 0xd52371e97dfc447d), (969, 4, 0x96fc62b8a5967980)],
+    );
+    check_uniform(
+        "uniform-default",
+        &sst_gen::uniform(&sst_gen::UniformParams::default()),
+        [(416, 3, 0x1eb10464682d5d22), (436, 3, 0x22d10a1f10f135b3)],
+    );
+}
+
+#[test]
+fn unrelated_families_pin_bit_identical() {
+    check_unrelated(
+        "compute-cluster",
+        &sst_gen::scenarios::compute_cluster(40, 5, 8, 7),
+        [(795, 1, 0x2d34d10decb0feb4), (795, 1, 0x2d34d10decb0feb4)],
+    );
+    check_unrelated(
+        "print-shop",
+        &sst_gen::scenarios::print_shop(30, 4, 5, 7),
+        [(240, 1, 0x02b67910acf60af1), (210, 1, 0x4d8cd4d750b2c0e8)],
+    );
+    check_unrelated(
+        "ci-build-farm",
+        &sst_gen::scenarios::ci_build_farm(30, 4, 6, 7),
+        [(371, 1, 0xafe63ef683ea6847), (371, 1, 0xafe63ef683ea6847)],
+    );
+    check_unrelated(
+        "unrelated-correlated",
+        &sst_gen::correlated_unrelated(30, 4, 5, 50, (1, 40), sst_gen::SetupWeight::Moderate, 7),
+        [(207, 1, 0x973637ebd998387e), (217, 1, 0x3f9dc900467ae374)],
+    );
+    check_unrelated(
+        "splittable-stress",
+        &sst_gen::splittable_stress(4, 6, 8, 7),
+        [(81, 1, 0x513deb3fcc479e95), (74, 1, 0x761d307af0244da0)],
+    );
+}

@@ -59,12 +59,15 @@ fn family(name: &str, seed: u64) -> ProblemInstance {
                 ..Default::default()
             }))
         }
+        "cdn-transcode" => ProblemInstance::Splittable(sst_portfolio::SplittableInstance(
+            sst_gen::scenarios::cdn_transcode(48, 5, 6, seed),
+        )),
         other => panic!("unknown family {other}"),
     }
 }
 
-const FAMILIES: [&str; 4] =
-    ["production-line", "compute-cluster", "print-shop", "unrelated-correlated"];
+const FAMILIES: [&str; 5] =
+    ["production-line", "compute-cluster", "print-shop", "unrelated-correlated", "cdn-transcode"];
 
 /// Runs one solver alone to natural completion (fresh incumbent, no
 /// deadline — bounded by the solver's own deterministic caps: annealing
@@ -155,27 +158,30 @@ fn quality_table() -> bool {
     any_diversity_win
 }
 
-/// The PR 2 serve-mode mixed workload: uniform/unrelated n=24 instances.
+/// The serve-mode mixed workload: n=24 instances cycling through all
+/// three machine models (uniform / unrelated / splittable).
 fn mixed_requests(count: u64) -> Vec<Request> {
     (0..count)
         .map(|id| {
             let seed = id % 6;
-            let instance = if id % 2 == 0 {
-                ProblemInstance::Uniform(sst_gen::uniform(&sst_gen::UniformParams {
+            let instance = match id % 3 {
+                0 => ProblemInstance::Uniform(sst_gen::uniform(&sst_gen::UniformParams {
                     n: 24,
                     m: 4,
                     k: 5,
                     seed,
                     ..Default::default()
-                }))
-            } else {
-                ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams {
+                })),
+                1 => ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams {
                     n: 24,
                     m: 4,
                     k: 5,
                     seed,
                     ..Default::default()
-                }))
+                })),
+                _ => ProblemInstance::Splittable(sst_portfolio::SplittableInstance(
+                    sst_gen::scenarios::cdn_transcode(24, 4, 5, seed),
+                )),
             };
             Request { id, instance, budget_ms: Some(25), top_k: Some(3), seed: Some(id) }
         })

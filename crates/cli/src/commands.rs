@@ -55,11 +55,17 @@ pub enum AnyInstance {
     Unrelated(sst_core::UnrelatedInstance),
 }
 
-/// Loads an instance file, sniffing its `kind` field.
+/// Loads an instance file, sniffing its `kind` field. Splittable-kind
+/// files share the unrelated payload; the integral commands (solve,
+/// evaluate, info, …) treat them as unrelated data — the split *solution
+/// space* is served by `sst serve` (`instance.kind: "splittable"`).
 pub fn load_instance(path: &str) -> Result<AnyInstance, CliError> {
     let text = std::fs::read_to_string(path)?;
     if text.contains("\"kind\": \"uniform\"") || text.contains("\"kind\":\"uniform\"") {
         Ok(AnyInstance::Uniform(io::uniform_from_json(&text)?))
+    } else if text.contains("\"kind\": \"splittable\"") || text.contains("\"kind\":\"splittable\"")
+    {
+        Ok(AnyInstance::Unrelated(io::splittable_from_json(&text)?))
     } else {
         Ok(AnyInstance::Unrelated(io::unrelated_from_json(&text)?))
     }
@@ -73,7 +79,10 @@ USAGE
   sst generate <family> --out FILE [--n N] [--m M] [--k K] [--seed S]
                [--setups light|moderate|heavy]
       families: uniform | identical | unrelated | ra | cupt |
-                production-line | compute-cluster | print-shop | ci-build-farm
+                production-line | compute-cluster | print-shop |
+                ci-build-farm | cdn-transcode | splittable-stress
+      (cdn-transcode and splittable-stress write kind \"splittable\":
+       the split model served by `sst serve`)
   sst solve <instance.json> --algo ALGO [--q Q] [--seed S] [--out sched.json]
             [--polish steps]
       algos (uniform):   lpt | ptas | greedy | exact
@@ -92,8 +101,10 @@ USAGE
             [--fault-injection true]
       solver-portfolio service speaking NDJSON: one request object per
       line ({\"id\": .., \"instance\": {..}, \"budget_ms\": ..}), one
-      response per line; {\"metrics\": true} returns running latency
-      percentiles. Requests flow through a work-stealing worker pool
+      response per line; instance.kind is uniform | unrelated |
+      splittable (splittable responses carry per-class \"shares\"
+      instead of an \"assignment\"); {\"metrics\": true} returns running
+      latency percentiles. Requests flow through a work-stealing worker pool
       (adaptive top-k: members that never win a feature family are
       demoted); --mode sharded keeps the round-robin baseline. Beyond
       --max-queue pending requests the service answers with overload
@@ -233,6 +244,14 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
         }
         "print-shop" => io::unrelated_to_json(&sst_gen::scenarios::print_shop(n, m, k, seed)),
         "ci-build-farm" => io::unrelated_to_json(&sst_gen::scenarios::ci_build_farm(n, m, k, seed)),
+        "cdn-transcode" => {
+            io::splittable_to_json(&sst_gen::scenarios::cdn_transcode(n, m, k, seed))
+        }
+        "splittable-stress" => {
+            // n is taken as jobs-per-class × classes via k; keep the CLI
+            // contract n ≈ total jobs.
+            io::splittable_to_json(&sst_gen::splittable_stress(k, m, n.div_ceil(k.max(1)), seed))
+        }
         other => return Err(CliError(format!("unknown family '{other}'; see `sst help`"))),
     };
     std::fs::write(out, &json)?;
@@ -754,6 +773,30 @@ mod tests {
         let inst_path = tmp("c.json");
         run(&parse(&toks(&["generate", "cupt", "--out", &inst_path, "--n", "10"])).unwrap())
             .unwrap();
+        let i = run(&parse(&toks(&["info", &inst_path])).unwrap()).unwrap();
+        assert!(i.contains("class-uniform ptimes: true"), "{i}");
+    }
+
+    #[test]
+    fn generate_splittable_kind_and_info_loads_it() {
+        let inst_path = tmp("cdn.json");
+        run(&parse(&toks(&[
+            "generate",
+            "cdn-transcode",
+            "--out",
+            &inst_path,
+            "--n",
+            "20",
+            "--m",
+            "4",
+            "--k",
+            "5",
+        ]))
+        .unwrap())
+        .unwrap();
+        let text = std::fs::read_to_string(&inst_path).unwrap();
+        assert!(text.contains("\"kind\": \"splittable\""), "{text}");
+        // Integral commands read the shared payload as unrelated data.
         let i = run(&parse(&toks(&["info", &inst_path])).unwrap()).unwrap();
         assert!(i.contains("class-uniform ptimes: true"), "{i}");
     }

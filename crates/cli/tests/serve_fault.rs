@@ -109,15 +109,14 @@ fn killed_worker_drops_nothing_and_keeps_the_greedy_floor() {
             "server closed the stream early"
         );
         let resp = parse_response(line.trim()).expect("response parses");
-        let Response::Ok { id, makespan, assignment, .. } = resp else {
+        let Response::Ok { id, makespan, solution, .. } = resp else {
             panic!("request dropped to error under a single-worker fault: {line}");
         };
         assert!(!seen[id as usize], "duplicate response for {id}");
         seen[id as usize] = true;
         // Gate (2): the greedy floor survives the fault.
         let inst = &pool[id as usize % pool.len()];
-        let sched = sst_core::schedule::Schedule::new(assignment);
-        let cost = inst.evaluate(&sched).expect("valid schedule");
+        let cost = inst.evaluate(&solution).expect("valid solution");
         assert_eq!(cost, makespan, "request {id}: reported makespan mismatch");
         let greedy = inst.greedy();
         assert!(

@@ -1,0 +1,108 @@
+//! Serve smoke matrix: one request per `instance.kind` — uniform,
+//! unrelated, splittable — against the **real** `sst serve --tcp` binary.
+//! Each response must carry a valid solution in its model's native
+//! solution space whose re-evaluated cost equals the reported makespan
+//! and never loses to the model's greedy floor. This is the CI gate that
+//! every machine model stays end-to-end servable.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use sst_portfolio::protocol::{parse_response, request_to_json, Request, Response};
+use sst_portfolio::{ProblemInstance, SplittableInstance};
+
+fn kind_matrix() -> Vec<ProblemInstance> {
+    vec![
+        ProblemInstance::Uniform(sst_gen::uniform(&sst_gen::UniformParams {
+            n: 20,
+            m: 4,
+            k: 5,
+            seed: 3,
+            ..Default::default()
+        })),
+        ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams {
+            n: 20,
+            m: 4,
+            k: 5,
+            seed: 3,
+            ..Default::default()
+        })),
+        // The splittable scenario family (class-uniform chunk times, heavy
+        // asset-fetch setups): split3 / split-refine / split-greedy race.
+        ProblemInstance::Splittable(SplittableInstance(sst_gen::scenarios::cdn_transcode(
+            24, 4, 6, 3,
+        ))),
+    ]
+}
+
+fn spawn_server() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sst"))
+        .args(["serve", "--tcp", "127.0.0.1:0", "--workers", "2", "--budget-ms", "60"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sst serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("sst-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_answers_every_instance_kind_with_a_valid_floored_solution() {
+    let instances = kind_matrix();
+    let (mut child, addr) = spawn_server();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    for (id, inst) in instances.iter().enumerate() {
+        let req = Request {
+            id: id as u64,
+            instance: inst.clone(),
+            budget_ms: Some(60),
+            top_k: Some(3),
+            seed: Some(id as u64),
+        };
+        writeln!(writer, "{}", request_to_json(&req)).expect("send");
+    }
+    writer.flush().expect("flush");
+    let mut responses = Vec::new();
+    for _ in 0..instances.len() {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read response") > 0, "early EOF");
+        responses.push(parse_response(line.trim()).expect("response parses"));
+    }
+    child.kill().expect("kill server");
+    let _ = child.wait();
+
+    let mut seen_kinds = Vec::new();
+    for resp in responses {
+        let Response::Ok { id, kind, makespan, solution, solver, .. } = resp else {
+            panic!("non-OK response: {resp:?}");
+        };
+        let inst = &instances[id as usize];
+        assert_eq!(kind, inst.kind(), "request {id}");
+        // Valid solution, exactly re-evaluated cost.
+        let cost = inst
+            .evaluate(&solution)
+            .unwrap_or_else(|e| panic!("request {id} ({kind}): invalid solution: {e}"));
+        assert_eq!(cost, makespan, "request {id} ({kind}): reported makespan mismatch");
+        // The greedy floor holds per response, per model.
+        let greedy = inst.greedy();
+        assert!(
+            !greedy.cost.better_than(&cost),
+            "request {id} ({kind}): response ({cost:?}, solver {solver}) lost to the greedy \
+             floor ({:?})",
+            greedy.cost
+        );
+        seen_kinds.push(kind);
+    }
+    seen_kinds.sort();
+    assert_eq!(seen_kinds, ["splittable", "uniform", "unrelated"], "full kind matrix answered");
+}

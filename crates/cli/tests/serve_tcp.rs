@@ -11,7 +11,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 
 use sst_portfolio::protocol::{parse_response, request_to_json, Request, Response};
-use sst_portfolio::ProblemInstance;
+use sst_portfolio::{ProblemInstance, SplittableInstance};
 
 const CLIENTS: usize = 8;
 const PER_CLIENT: usize = 13; // 8 × 13 = 104 ≥ 100 requests
@@ -52,6 +52,9 @@ fn instance_pool() -> Vec<ProblemInstance> {
             (1, 30),
             sst_gen::SetupWeight::Heavy,
             seed,
+        )));
+        pool.push(ProblemInstance::Splittable(SplittableInstance(
+            sst_gen::scenarios::cdn_transcode(20, 4, 5, seed),
         )));
     }
     pool
@@ -126,14 +129,14 @@ fn serve_tcp_answers_100_concurrent_mixed_requests() {
 
     assert_eq!(by_id.len(), CLIENTS * PER_CLIENT);
     for (id, resp) in &by_id {
-        let Response::Ok { makespan, assignment, kind, .. } = resp else { unreachable!() };
+        let Response::Ok { makespan, solution, kind, .. } = resp else { unreachable!() };
         let inst = &pool[*id as usize % pool.len()];
         assert_eq!(kind, inst.kind(), "request {id}");
-        // The assignment must be a valid schedule, its exact cost must be
-        // the reported makespan, and it must not lose to greedy.
-        let sched = sst_core::schedule::Schedule::new(assignment.clone());
-        let cost =
-            inst.evaluate(&sched).unwrap_or_else(|e| panic!("request {id}: invalid schedule: {e}"));
+        // The solution must be valid, its exact cost must be the reported
+        // makespan, and it must not lose to greedy.
+        let cost = inst
+            .evaluate(solution)
+            .unwrap_or_else(|e| panic!("request {id}: invalid solution: {e}"));
         assert_eq!(&cost, makespan, "request {id}: reported makespan mismatch");
         let greedy = inst.greedy();
         assert!(

@@ -473,13 +473,15 @@ pub fn uniform_from_value(value: &JsonValue) -> Result<UniformInstance, IoError>
     UniformInstance::new(speeds, setups, jobs).map_err(IoError::Invalid)
 }
 
-/// Shared writer behind [`unrelated_to_json`] / [`unrelated_to_json_line`]
-/// (see [`uniform_json`]).
-fn unrelated_json(inst: &UnrelatedInstance, pretty: bool) -> String {
+/// Shared writer behind the unrelated-payload encodings (see
+/// [`uniform_json`]). `kind` is `"unrelated"` or `"splittable"` — the
+/// splittable model of Section 3.3 shares the unrelated instance data and
+/// differs only in its solution space, so the two kinds share one schema.
+fn unrelated_json(inst: &UnrelatedInstance, kind: &str, pretty: bool) -> String {
     use std::fmt::Write as _;
     let (open, sep) = if pretty { ("{\n  ", ",\n  ") } else { ("{", ", ") };
     let mut out = String::new();
-    let _ = write!(out, "{open}\"version\": {FORMAT_VERSION}{sep}\"kind\": \"unrelated\"{sep}");
+    let _ = write!(out, "{open}\"version\": {FORMAT_VERSION}{sep}\"kind\": \"{kind}\"{sep}");
     let _ = write!(out, "\"m\": {}{sep}", inst.m());
     out.push_str("\"job_class\": ");
     json::write_usize_array(&mut out, inst.job_classes());
@@ -514,13 +516,25 @@ fn unrelated_json(inst: &UnrelatedInstance, pretty: bool) -> String {
 
 /// Serializes an unrelated instance to pretty JSON.
 pub fn unrelated_to_json(inst: &UnrelatedInstance) -> String {
-    unrelated_json(inst, true)
+    unrelated_json(inst, "unrelated", true)
 }
 
 /// Serializes an unrelated instance to one compact JSON line (same schema
 /// as [`unrelated_to_json`], no newlines) — the NDJSON building block.
 pub fn unrelated_to_json_line(inst: &UnrelatedInstance) -> String {
-    unrelated_json(inst, false)
+    unrelated_json(inst, "unrelated", false)
+}
+
+/// Serializes an instance of the **splittable** model (Section 3.3's
+/// substrate: same data as an unrelated instance, class workloads may be
+/// split) to pretty JSON under `"kind": "splittable"`.
+pub fn splittable_to_json(inst: &UnrelatedInstance) -> String {
+    unrelated_json(inst, "splittable", true)
+}
+
+/// Serializes a splittable-model instance to one compact JSON line.
+pub fn splittable_to_json_line(inst: &UnrelatedInstance) -> String {
+    unrelated_json(inst, "splittable", false)
 }
 
 /// Parses and validates an unrelated instance from JSON.
@@ -529,17 +543,37 @@ pub fn unrelated_from_json(text: &str) -> Result<UnrelatedInstance, IoError> {
     unrelated_from_value(&value)
 }
 
-/// Parses and validates an unrelated instance from an already-parsed
-/// [`JsonValue`].
-pub fn unrelated_from_value(value: &JsonValue) -> Result<UnrelatedInstance, IoError> {
+/// Parses and validates a splittable-model instance from JSON.
+pub fn splittable_from_json(text: &str) -> Result<UnrelatedInstance, IoError> {
+    let value = json::parse(text).map_err(IoError::Json)?;
+    splittable_from_value(&value)
+}
+
+fn unrelated_payload_from_value(
+    value: &JsonValue,
+    kind: &str,
+) -> Result<UnrelatedInstance, IoError> {
     let map = extract::object(value)?;
-    check_header(map, "unrelated")?;
+    check_header(map, kind)?;
     let m = extract::uint(extract::field(map, "m")?, "m")?;
     let m = usize::try_from(m).map_err(|_| IoError::Json("m out of range".to_string()))?;
     let job_class = extract::usize_vec(extract::field(map, "job_class")?, "job_class")?;
     let ptimes = extract::u64_matrix(extract::field(map, "ptimes")?, "ptimes")?;
     let setups = extract::u64_matrix(extract::field(map, "setups")?, "setups")?;
     UnrelatedInstance::new(m, job_class, ptimes, setups).map_err(IoError::Invalid)
+}
+
+/// Parses and validates an unrelated instance from an already-parsed
+/// [`JsonValue`].
+pub fn unrelated_from_value(value: &JsonValue) -> Result<UnrelatedInstance, IoError> {
+    unrelated_payload_from_value(value, "unrelated")
+}
+
+/// Parses and validates a splittable-model instance (`"kind":
+/// "splittable"`, unrelated payload schema) from an already-parsed
+/// [`JsonValue`].
+pub fn splittable_from_value(value: &JsonValue) -> Result<UnrelatedInstance, IoError> {
+    unrelated_payload_from_value(value, "splittable")
 }
 
 /// Serializes a schedule (assignment vector) to JSON.
@@ -623,6 +657,27 @@ mod tests {
         let line = unrelated_to_json_line(&r);
         assert!(!line.contains('\n'), "{line}");
         assert_eq!(unrelated_from_json(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn splittable_kind_roundtrips_and_is_not_confused_with_unrelated() {
+        let inst = UnrelatedInstance::new(
+            2,
+            vec![0, 1],
+            vec![vec![3, 5], vec![2, 4]],
+            vec![vec![1, 1], vec![2, 2]],
+        )
+        .unwrap();
+        let json = splittable_to_json(&inst);
+        assert!(json.contains("\"kind\": \"splittable\""), "{json}");
+        assert_eq!(splittable_from_json(&json).unwrap(), inst);
+        // The kinds are distinct on the wire even though the payload is
+        // shared: each parser rejects the other's tag.
+        assert!(matches!(unrelated_from_json(&json), Err(IoError::Format(_))));
+        assert!(matches!(splittable_from_json(&unrelated_to_json(&inst)), Err(IoError::Format(_))));
+        let line = splittable_to_json_line(&inst);
+        assert!(!line.contains('\n'));
+        assert_eq!(splittable_from_json(&line).unwrap(), inst);
     }
 
     #[test]

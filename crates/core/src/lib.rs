@@ -23,8 +23,11 @@
 //! * speed groups and core/fringe classification (Figure 1) — [`groups`];
 //! * placeholder replacement for small jobs (Lemmas 2.1/2.3) — [`batch`];
 //! * explicit batched timelines and ASCII Gantt charts — [`timeline`];
+//! * the [`model::MachineModel`] trait unifying the machine environments
+//!   (uniform, unrelated, and the splittable substrate of Section 3.3) —
+//!   [`model`];
 //! * incremental load tracking with `O(1)`/`O(log m)` move evaluation for
-//!   the search heuristics — [`tracker`];
+//!   the search heuristics, written once against the trait — [`tracker`];
 //! * cooperative cancellation tokens (deadline + flag) that make every
 //!   solver an anytime solver — [`cancel`].
 //!
@@ -44,6 +47,7 @@ pub mod groups;
 pub mod instance;
 #[cfg(feature = "serde")]
 pub mod io;
+pub mod model;
 pub mod ratio;
 pub mod schedule;
 pub mod simplify;
@@ -54,6 +58,7 @@ pub mod tracker;
 pub use cancel::CancelToken;
 pub use error::{InstanceError, ScheduleError};
 pub use instance::{ClassId, Job, JobId, MachineId, UniformInstance, UnrelatedInstance, INF};
+pub use model::{MachineModel, Splittable, Uniform, Unrelated};
 pub use ratio::Ratio;
 pub use schedule::Schedule;
-pub use tracker::{UniformLoadTracker, UnrelatedLoadTracker};
+pub use tracker::{LoadTracker, SplittableLoadTracker, UniformLoadTracker, UnrelatedLoadTracker};

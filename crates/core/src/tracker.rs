@@ -1,25 +1,27 @@
 //! Incremental load tracking: `O(1)`/`O(log m)` move evaluation for search
-//! heuristics.
+//! heuristics, written **once** against [`crate::model::MachineModel`].
 //!
 //! The full-recompute evaluators in [`crate::schedule`] walk all `n` jobs
 //! for every makespan query, which makes one local-search sweep
-//! `O(n² · m)`. The trackers in this module maintain, per machine:
+//! `O(n² · m)`. [`LoadTracker`] maintains, per machine:
 //!
-//! * the current **load** (time units; work units in the uniform case),
+//! * the current **load** in the model's raw units (time units on
+//!   unrelated machines; work units on uniform ones),
 //! * a per-machine × per-class **job count** (so a move knows in `O(1)`
 //!   whether it adds a setup on the target / removes one from the source),
-//! * the per-machine × per-class **processing-time sum** (whole-class moves
-//!   know the departing work in `O(1)`),
+//! * the per-machine × per-class **time sum** (whole-class moves know the
+//!   departing work in `O(1)`),
 //! * the **job list** per (machine, class) slot (swap-remove `O(1)`
 //!   membership; enumerating a batch costs its size, not `n`),
 //!
-//! plus one ordered **load multiset** over machines, so the makespan — and
-//! the makespan *after a hypothetical move* — is an `O(log m)` query
-//! instead of an `O(n)` recompute.
+//! plus one ordered **load multiset** over machines keyed by
+//! [`MachineModel::Key`], so the makespan — and the makespan *after a
+//! hypothetical move* — is an `O(log m)` query instead of an `O(n)`
+//! recompute.
 //!
 //! ## Complexity
 //!
-//! | operation | [`UniformLoadTracker`] | [`UnrelatedLoadTracker`] |
+//! | operation | [`UniformLoadTracker`] | [`UnrelatedLoadTracker`] / [`SplittableLoadTracker`] |
 //! |---|---|---|
 //! | `new` | `O(n + m + K)` | `O(n + m + K)` |
 //! | `makespan` | `O(1)`* | `O(1)`* |
@@ -30,12 +32,12 @@
 //!
 //! `B` = number of jobs of the moved class on the source machine. (*) the
 //! multiset keeps its maximum at the back of a B-tree; the query touches
-//! `O(log m)` nodes but performs no recomputation. The unrelated
-//! `eval_class_move` pays `O(B)` because the arriving work
+//! `O(log m)` nodes but performs no recomputation. Models without
+//! machine-independent times ([`MachineModel::MACHINE_INDEPENDENT_TIMES`]
+//! false) pay `O(B)` in `eval_class_move` because the arriving work
 //! `Σ_{j∈batch} p_{to,j}` depends on both endpoints and cannot be cached
-//! for all machine pairs in `o(m²K)` space; the uniform case needs no such
-//! sum — sizes are machine-independent, so the cached per-slot size sum is
-//! the answer on both ends.
+//! for all machine pairs in `o(m²K)` space; machine-independent models
+//! reuse the cached per-slot sum on both ends.
 //!
 //! Loads are tracked with plain (non-saturating) arithmetic; instances whose
 //! total work approaches `u64::MAX` are outside the tracker's contract (the
@@ -63,10 +65,11 @@
 //! ```
 
 use std::collections::BTreeSet;
+use std::marker::PhantomData;
 
 use crate::error::ScheduleError;
-use crate::instance::{is_finite, ClassId, JobId, MachineId, UniformInstance, UnrelatedInstance};
-use crate::ratio::Ratio;
+use crate::instance::{ClassId, JobId, MachineId};
+use crate::model::{MachineModel, Splittable, Uniform, Unrelated};
 use crate::schedule::Schedule;
 
 /// Ordered set of per-machine `(load key, machine id)` entries with
@@ -74,7 +77,7 @@ use crate::schedule::Schedule;
 /// current entries (the two endpoints of a hypothetical move), and — because
 /// every entry carries its machine id — an `O(log m)` argmax: the machine
 /// attaining the maximum falls out of the same lookup that answers the
-/// makespan, closing the ROADMAP item about the `O(m)` `bottleneck()` scan.
+/// makespan.
 ///
 /// Entries are unique (one per machine), so this is a plain `BTreeSet`
 /// rather than a counted multiset; ties on the load key order by machine id,
@@ -124,7 +127,7 @@ struct Slot {
     jobs: Vec<JobId>,
 }
 
-/// Shared per-(machine × class) bookkeeping for both environments.
+/// Per-(machine × class) bookkeeping, shared by every machine model.
 #[derive(Debug, Clone)]
 struct SlotTable {
     num_classes: usize,
@@ -132,7 +135,7 @@ struct SlotTable {
     slots: Vec<Slot>,
     /// `pos[j]` — index of job `j` inside its slot's `jobs` vector.
     pos: Vec<u32>,
-    /// `ptime_sum[i * K + k]` — Σ processing time (or size) of the slot.
+    /// `ptime_sum[i * K + k]` — Σ raw time (or size) units of the slot.
     ptime_sum: Vec<u64>,
 }
 
@@ -186,7 +189,7 @@ impl SlotTable {
     }
 
     /// Moves the whole slot `(from, k)` onto `(to, k)`. `arriving` is the
-    /// processing-time sum of the batch measured on `to`.
+    /// time sum of the batch measured on `to`.
     fn drain_slot(&mut self, from: MachineId, k: ClassId, to: MachineId, arriving: u64) {
         let from_idx = self.idx(from, k);
         let to_idx = self.idx(to, k);
@@ -217,72 +220,89 @@ fn validate_shape(assignment: &[MachineId], n: usize, m: usize) -> Result<(), Sc
     Ok(())
 }
 
-// ---------------------------------------------------------------------------
-// Unrelated machines
-// ---------------------------------------------------------------------------
-
-/// Incremental load tracker for [`UnrelatedInstance`] schedules.
+/// The incremental load tracker, generic over the machine model.
 ///
-/// See the [module docs](self) for the data structures and complexity table.
+/// See the [module docs](self) for the data structures and complexity
+/// table. [`UniformLoadTracker`], [`UnrelatedLoadTracker`] and
+/// [`SplittableLoadTracker`] are the per-model aliases; every model gets
+/// this implementation by implementing
+/// [`MachineModel`](crate::model::MachineModel) — nothing here is
+/// per-model code.
 #[derive(Debug, Clone)]
-pub struct UnrelatedLoadTracker<'a> {
-    inst: &'a UnrelatedInstance,
+pub struct LoadTracker<'a, M: MachineModel> {
+    inst: &'a M::Instance,
     assignment: Vec<MachineId>,
+    /// Raw per-machine loads in the model's load units.
     loads: Vec<u64>,
     table: SlotTable,
-    multiset: LoadMultiset<u64>,
+    multiset: LoadMultiset<M::Key>,
+    _model: PhantomData<M>,
 }
 
-impl<'a> UnrelatedLoadTracker<'a> {
+/// Incremental tracker for [`crate::instance::UniformInstance`] schedules.
+/// Loads are tracked in *work* units (`Σ p_j + Σ s_k`); the makespan
+/// multiset is keyed by the exact [`crate::ratio::Ratio`] `work_i / v_i`.
+/// Because sizes are machine-independent, *both* `eval_job_move` and
+/// `eval_class_move` are `O(log m)`.
+pub type UniformLoadTracker<'a> = LoadTracker<'a, Uniform>;
+
+/// Incremental tracker for [`crate::instance::UnrelatedInstance`]
+/// schedules (loads in time units, `∞` cells rejected as infeasible).
+pub type UnrelatedLoadTracker<'a> = LoadTracker<'a, Unrelated>;
+
+/// Incremental tracker for the integral sub-space of the splittable model
+/// (see [`crate::model::Splittable`]): job-granular split schedules
+/// evaluate exactly like unrelated schedules, so the splittable descent
+/// reuses the whole tracker machinery.
+pub type SplittableLoadTracker<'a> = LoadTracker<'a, Splittable>;
+
+impl<'a, M: MachineModel> LoadTracker<'a, M> {
     /// Builds the tracker from a valid schedule in `O(n + m + K)`.
     ///
-    /// Fails (like [`crate::schedule::unrelated_loads`]) if the schedule has
-    /// the wrong shape or assigns a job/setup where its time is infinite.
-    pub fn new(inst: &'a UnrelatedInstance, sched: &Schedule) -> Result<Self, ScheduleError> {
-        let (n, m, kk) = (inst.n(), inst.m(), inst.num_classes());
+    /// Fails (like the full-recompute evaluators) if the schedule has the
+    /// wrong shape or assigns a job/setup where its time is infinite.
+    pub fn new(inst: &'a M::Instance, sched: &Schedule) -> Result<Self, ScheduleError> {
+        let (n, m, kk) = (M::n(inst), M::m(inst), M::num_classes(inst));
         validate_shape(sched.assignment(), n, m)?;
         let assignment = sched.assignment().to_vec();
         let mut loads = vec![0u64; m];
         let mut table = SlotTable::new(m, kk, n);
         for (j, &i) in assignment.iter().enumerate() {
-            let p = inst.ptime(i, j);
-            if !is_finite(p) {
-                return Err(ScheduleError::InfiniteProcessingTime { job: j, machine: i });
-            }
-            let k = inst.class_of(j);
+            let p = M::job_time(inst, i, j)
+                .ok_or(ScheduleError::InfiniteProcessingTime { job: j, machine: i })?;
+            let k = M::class_of(inst, j);
             if table.count(i, k) == 0 {
-                let s = inst.setup(i, k);
-                if !is_finite(s) {
-                    return Err(ScheduleError::InfiniteSetup { class: k, machine: i });
-                }
-                loads[i] += s;
+                loads[i] += M::setup_time(inst, i, k)
+                    .ok_or(ScheduleError::InfiniteSetup { class: k, machine: i })?;
             }
             loads[i] += p;
             table.push(i, k, j, p);
         }
         let mut multiset = LoadMultiset::new();
         for (i, &l) in loads.iter().enumerate() {
-            multiset.insert(l, i);
+            multiset.insert(M::key(inst, i, l), i);
         }
-        Ok(UnrelatedLoadTracker { inst, assignment, loads, table, multiset })
+        Ok(LoadTracker { inst, assignment, loads, table, multiset, _model: PhantomData })
     }
 
     /// The instance this tracker evaluates against.
     #[inline]
-    pub fn instance(&self) -> &'a UnrelatedInstance {
+    pub fn instance(&self) -> &'a M::Instance {
         self.inst
     }
 
-    /// Current per-machine loads (time units).
+    /// Current per-machine loads in the model's raw units (time units for
+    /// unrelated machines; work units — divide by `v_i` for time — on
+    /// uniform ones).
     #[inline]
     pub fn loads(&self) -> &[u64] {
         &self.loads
     }
 
-    /// Current makespan.
+    /// Current makespan, in the model's key arithmetic.
     #[inline]
-    pub fn makespan(&self) -> u64 {
-        self.multiset.max_entry().map(|(l, _)| l).unwrap_or(0)
+    pub fn makespan(&self) -> M::Key {
+        self.multiset.max_entry().map(|(l, _)| l).unwrap_or_else(M::zero_key)
     }
 
     /// Machine currently holding job `j`.
@@ -315,6 +335,11 @@ impl<'a> UnrelatedLoadTracker<'a> {
         Schedule::new(self.assignment.clone())
     }
 
+    #[inline]
+    fn key(&self, i: MachineId, load: u64) -> M::Key {
+        M::key(self.inst, i, load)
+    }
+
     /// New `(load_from, load_to)` if job `j` moved to `to`; `None` when the
     /// move is a no-op or infeasible (infinite time on `to`).
     #[inline]
@@ -323,19 +348,14 @@ impl<'a> UnrelatedLoadTracker<'a> {
         if from == to {
             return None;
         }
-        let p_to = self.inst.ptime(to, j);
-        if !is_finite(p_to) {
-            return None;
-        }
-        let k = self.inst.class_of(j);
-        let s_to = self.inst.setup(to, k);
-        if !is_finite(s_to) {
-            return None;
-        }
-        let p_from = self.inst.ptime(from, j);
+        let p_to = M::job_time(self.inst, to, j)?;
+        let k = M::class_of(self.inst, j);
+        let s_to = M::setup_time(self.inst, to, k)?;
+        let p_from = M::job_time(self.inst, from, j).expect("tracked placement has finite time");
         let mut new_from = self.loads[from] - p_from;
         if self.table.count(from, k) == 1 {
-            new_from -= self.inst.setup(from, k);
+            new_from -=
+                M::setup_time(self.inst, from, k).expect("tracked placement has finite setup");
         }
         let mut new_to = self.loads[to] + p_to;
         if self.table.count(to, k) == 0 {
@@ -346,11 +366,11 @@ impl<'a> UnrelatedLoadTracker<'a> {
 
     /// Makespan after moving job `j` to machine `to`, in `O(log m)`, without
     /// mutating anything. `None` if the move is a no-op or infeasible.
-    pub fn eval_job_move(&self, j: JobId, to: MachineId) -> Option<u64> {
+    pub fn eval_job_move(&self, j: JobId, to: MachineId) -> Option<M::Key> {
         let from = self.assignment[j];
         let (new_from, new_to) = self.job_move_loads(j, to)?;
-        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(0);
-        Some(rest.max(new_from).max(new_to))
+        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or_else(M::zero_key);
+        Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
     }
 
     /// Applies a feasible job move in `O(log m)`.
@@ -362,20 +382,24 @@ impl<'a> UnrelatedLoadTracker<'a> {
         let from = self.assignment[j];
         let (new_from, new_to) =
             self.job_move_loads(j, to).expect("apply_job_move: infeasible or no-op move");
-        let k = self.inst.class_of(j);
-        self.table.remove(from, k, j, self.inst.ptime(from, j));
-        self.table.push(to, k, j, self.inst.ptime(to, j));
-        self.multiset.remove(self.loads[from], from);
-        self.multiset.remove(self.loads[to], to);
-        self.multiset.insert(new_from, from);
-        self.multiset.insert(new_to, to);
+        let k = M::class_of(self.inst, j);
+        let p_from = M::job_time(self.inst, from, j).expect("tracked placement is finite");
+        let p_to = M::job_time(self.inst, to, j).expect("checked by job_move_loads");
+        self.table.remove(from, k, j, p_from);
+        self.table.push(to, k, j, p_to);
+        self.multiset.remove(self.key(from, self.loads[from]), from);
+        self.multiset.remove(self.key(to, self.loads[to]), to);
+        self.multiset.insert(self.key(from, new_from), from);
+        self.multiset.insert(self.key(to, new_to), to);
         self.loads[from] = new_from;
         self.loads[to] = new_to;
         self.assignment[j] = to;
     }
 
     /// New `(load_from, load_to, arriving_sum)` for a whole-class move;
-    /// `None` when empty, no-op or infeasible. `O(B)` for the arriving sum.
+    /// `None` when empty, no-op or infeasible. The arriving sum is the
+    /// cached slot sum when the model's times are machine-independent and
+    /// an `O(B)` re-sum otherwise.
     fn class_move_loads(
         &self,
         from: MachineId,
@@ -385,19 +409,18 @@ impl<'a> UnrelatedLoadTracker<'a> {
         if from == to || self.table.count(from, k) == 0 {
             return None;
         }
-        let s_to = self.inst.setup(to, k);
-        if !is_finite(s_to) {
-            return None;
-        }
-        let mut arriving = 0u64;
-        for &j in self.table.jobs(from, k) {
-            let p = self.inst.ptime(to, j);
-            if !is_finite(p) {
-                return None;
+        let s_to = M::setup_time(self.inst, to, k)?;
+        let arriving = if M::MACHINE_INDEPENDENT_TIMES {
+            self.table.ptime_sum(from, k)
+        } else {
+            let mut sum = 0u64;
+            for &j in self.table.jobs(from, k) {
+                sum += M::job_time(self.inst, to, j)?;
             }
-            arriving += p;
-        }
-        let departing = self.table.ptime_sum(from, k) + self.inst.setup(from, k);
+            sum
+        };
+        let departing = self.table.ptime_sum(from, k)
+            + M::setup_time(self.inst, from, k).expect("tracked placement has finite setup");
         let new_from = self.loads[from] - departing;
         let mut new_to = self.loads[to] + arriving;
         if self.table.count(to, k) == 0 {
@@ -407,12 +430,13 @@ impl<'a> UnrelatedLoadTracker<'a> {
     }
 
     /// Makespan after migrating *all* class-`k` jobs on `from` to `to`, in
-    /// `O(B + log m)` where `B` is the batch size. `None` if the batch is
+    /// `O(log m)` for machine-independent models and `O(B + log m)`
+    /// otherwise, where `B` is the batch size. `None` if the batch is
     /// empty, the move is a no-op, or any time on `to` is infinite.
-    pub fn eval_class_move(&self, from: MachineId, k: ClassId, to: MachineId) -> Option<u64> {
+    pub fn eval_class_move(&self, from: MachineId, k: ClassId, to: MachineId) -> Option<M::Key> {
         let (new_from, new_to, _) = self.class_move_loads(from, k, to)?;
-        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(0);
-        Some(rest.max(new_from).max(new_to))
+        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or_else(M::zero_key);
+        Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
     }
 
     /// Applies a feasible whole-class move in `O(B + log m)`.
@@ -432,213 +456,29 @@ impl<'a> UnrelatedLoadTracker<'a> {
         for &j in &self.table.jobs(to, k)[batch_start..] {
             self.assignment[j] = to;
         }
-        self.multiset.remove(self.loads[from], from);
-        self.multiset.remove(self.loads[to], to);
-        self.multiset.insert(new_from, from);
-        self.multiset.insert(new_to, to);
+        self.multiset.remove(self.key(from, self.loads[from]), from);
+        self.multiset.remove(self.key(to, self.loads[to]), to);
+        self.multiset.insert(self.key(from, new_from), from);
+        self.multiset.insert(self.key(to, new_to), to);
         self.loads[from] = new_from;
         self.loads[to] = new_to;
     }
 }
 
-// ---------------------------------------------------------------------------
-// Uniformly related machines
-// ---------------------------------------------------------------------------
-
-/// Incremental load tracker for [`UniformInstance`] schedules.
-///
-/// Loads are tracked in *work* units (`Σ p_j + Σ s_k`, as in
-/// [`crate::schedule::uniform_loads`]); the makespan multiset is keyed by the
-/// exact [`Ratio`] `work_i / v_i`. Because job sizes are
-/// machine-independent, *both* `eval_class_move` and `eval_job_move` are
-/// `O(log m)` — the departing size sum equals the arriving one.
-#[derive(Debug, Clone)]
-pub struct UniformLoadTracker<'a> {
-    inst: &'a UniformInstance,
-    assignment: Vec<MachineId>,
-    /// Work units per machine.
-    work: Vec<u64>,
-    table: SlotTable,
-    multiset: LoadMultiset<Ratio>,
-}
-
-impl<'a> UniformLoadTracker<'a> {
-    /// Builds the tracker from a valid schedule in `O(n + m + K)`.
-    pub fn new(inst: &'a UniformInstance, sched: &Schedule) -> Result<Self, ScheduleError> {
-        let (n, m, kk) = (inst.n(), inst.m(), inst.num_classes());
-        validate_shape(sched.assignment(), n, m)?;
-        let assignment = sched.assignment().to_vec();
-        let mut work = vec![0u64; m];
-        let mut table = SlotTable::new(m, kk, n);
-        for (j, &i) in assignment.iter().enumerate() {
-            let job = inst.job(j);
-            if table.count(i, job.class) == 0 {
-                work[i] += inst.setup(job.class);
-            }
-            work[i] += job.size;
-            table.push(i, job.class, j, job.size);
-        }
-        let mut multiset = LoadMultiset::new();
-        for (i, &w) in work.iter().enumerate() {
-            multiset.insert(Ratio::new(w, inst.speed(i)), i);
-        }
-        Ok(UniformLoadTracker { inst, assignment, work, table, multiset })
-    }
-
-    /// The instance this tracker evaluates against.
-    #[inline]
-    pub fn instance(&self) -> &'a UniformInstance {
-        self.inst
-    }
-
+impl LoadTracker<'_, Uniform> {
     /// Current per-machine loads in work units (divide by `v_i` for time).
+    /// Alias of [`Self::loads`] under the uniform model's historical name.
     #[inline]
     pub fn work(&self) -> &[u64] {
-        &self.work
-    }
-
-    /// Current makespan (`max_i work_i / v_i`).
-    #[inline]
-    pub fn makespan(&self) -> Ratio {
-        self.multiset.max_entry().map(|(l, _)| l).unwrap_or(Ratio::ZERO)
-    }
-
-    /// Machine currently holding job `j`.
-    #[inline]
-    pub fn machine_of(&self, j: JobId) -> MachineId {
-        self.assignment[j]
-    }
-
-    /// Number of class-`k` jobs on machine `i`.
-    #[inline]
-    pub fn count(&self, i: MachineId, k: ClassId) -> usize {
-        self.table.count(i, k)
-    }
-
-    /// Jobs of class `k` on machine `i` (deterministic order, no allocation).
-    #[inline]
-    pub fn jobs_of_class_on(&self, i: MachineId, k: ClassId) -> &[JobId] {
-        self.table.jobs(i, k)
-    }
-
-    /// A machine attaining the current makespan, in `O(log m)` (see
-    /// [`UnrelatedLoadTracker::bottleneck`]).
-    pub fn bottleneck(&self) -> MachineId {
-        self.multiset.max_entry().expect("non-empty by construction").1
-    }
-
-    /// The tracked assignment as a [`Schedule`].
-    pub fn schedule(&self) -> Schedule {
-        Schedule::new(self.assignment.clone())
-    }
-
-    #[inline]
-    fn key(&self, i: MachineId, w: u64) -> Ratio {
-        Ratio::new(w, self.inst.speed(i))
-    }
-
-    /// New `(work_from, work_to)` if job `j` moved to `to`; `None` on no-op.
-    #[inline]
-    fn job_move_work(&self, j: JobId, to: MachineId) -> Option<(u64, u64)> {
-        let from = self.assignment[j];
-        if from == to {
-            return None;
-        }
-        let job = self.inst.job(j);
-        let mut new_from = self.work[from] - job.size;
-        if self.table.count(from, job.class) == 1 {
-            new_from -= self.inst.setup(job.class);
-        }
-        let mut new_to = self.work[to] + job.size;
-        if self.table.count(to, job.class) == 0 {
-            new_to += self.inst.setup(job.class);
-        }
-        Some((new_from, new_to))
-    }
-
-    /// Makespan after moving job `j` to machine `to`, in `O(log m)`.
-    /// `None` if the move is a no-op.
-    pub fn eval_job_move(&self, j: JobId, to: MachineId) -> Option<Ratio> {
-        let from = self.assignment[j];
-        let (new_from, new_to) = self.job_move_work(j, to)?;
-        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(Ratio::ZERO);
-        Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
-    }
-
-    /// Applies a job move in `O(log m)`.
-    ///
-    /// # Panics
-    /// Panics if the move is a no-op.
-    pub fn apply_job_move(&mut self, j: JobId, to: MachineId) {
-        let from = self.assignment[j];
-        let (new_from, new_to) = self.job_move_work(j, to).expect("apply_job_move: no-op move");
-        let job = self.inst.job(j);
-        self.table.remove(from, job.class, j, job.size);
-        self.table.push(to, job.class, j, job.size);
-        self.multiset.remove(self.key(from, self.work[from]), from);
-        self.multiset.remove(self.key(to, self.work[to]), to);
-        self.multiset.insert(self.key(from, new_from), from);
-        self.multiset.insert(self.key(to, new_to), to);
-        self.work[from] = new_from;
-        self.work[to] = new_to;
-        self.assignment[j] = to;
-    }
-
-    /// New `(work_from, work_to, moved_size_sum)` for a whole-class move.
-    fn class_move_work(
-        &self,
-        from: MachineId,
-        k: ClassId,
-        to: MachineId,
-    ) -> Option<(u64, u64, u64)> {
-        if from == to || self.table.count(from, k) == 0 {
-            return None;
-        }
-        let moved = self.table.ptime_sum(from, k);
-        let s = self.inst.setup(k);
-        let new_from = self.work[from] - moved - s;
-        let mut new_to = self.work[to] + moved;
-        if self.table.count(to, k) == 0 {
-            new_to += s;
-        }
-        Some((new_from, new_to, moved))
-    }
-
-    /// Makespan after migrating *all* class-`k` jobs on `from` to `to`, in
-    /// `O(log m)` (sizes are machine-independent, so the cached size sum
-    /// serves both endpoints). `None` if the batch is empty or the move is a
-    /// no-op.
-    pub fn eval_class_move(&self, from: MachineId, k: ClassId, to: MachineId) -> Option<Ratio> {
-        let (new_from, new_to, _) = self.class_move_work(from, k, to)?;
-        let rest = self.multiset.max_excluding(&[from, to]).unwrap_or(Ratio::ZERO);
-        Some(rest.max(self.key(from, new_from)).max(self.key(to, new_to)))
-    }
-
-    /// Applies a whole-class move in `O(B + log m)`.
-    ///
-    /// # Panics
-    /// Panics if the batch is empty or the move is a no-op.
-    pub fn apply_class_move(&mut self, from: MachineId, k: ClassId, to: MachineId) {
-        let (new_from, new_to, moved) =
-            self.class_move_work(from, k, to).expect("apply_class_move: empty or no-op move");
-        let batch_start = self.table.count(to, k);
-        self.table.drain_slot(from, k, to, moved);
-        for &j in &self.table.jobs(to, k)[batch_start..] {
-            self.assignment[j] = to;
-        }
-        self.multiset.remove(self.key(from, self.work[from]), from);
-        self.multiset.remove(self.key(to, self.work[to]), to);
-        self.multiset.insert(self.key(from, new_from), from);
-        self.multiset.insert(self.key(to, new_to), to);
-        self.work[from] = new_from;
-        self.work[to] = new_to;
+        self.loads()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instance::{Job, INF};
+    use crate::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+    use crate::ratio::Ratio;
     use crate::schedule::{uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan};
 
     fn unrelated_fixture() -> UnrelatedInstance {
@@ -757,6 +597,17 @@ mod tests {
         let t = UniformLoadTracker::new(&inst, &Schedule::new(vec![0, 1])).unwrap();
         assert_eq!(t.bottleneck(), 0);
         assert_eq!(t.makespan(), Ratio::new(10, 1));
+    }
+
+    #[test]
+    fn splittable_tracker_is_the_integral_view_of_the_unrelated_one() {
+        let inst = unrelated_fixture();
+        let sched = Schedule::new(vec![0, 1, 0]);
+        let s = SplittableLoadTracker::new(&inst, &sched).unwrap();
+        let r = UnrelatedLoadTracker::new(&inst, &sched).unwrap();
+        assert_eq!(s.loads(), r.loads());
+        assert_eq!(s.makespan(), r.makespan());
+        assert_eq!(s.eval_job_move(0, 1), r.eval_job_move(0, 1));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use sst_core::ratio::Ratio;
 use sst_core::schedule::{
     uniform_loads, uniform_makespan, unrelated_loads, unrelated_makespan, Schedule,
 };
-use sst_core::tracker::{UniformLoadTracker, UnrelatedLoadTracker};
+use sst_core::tracker::{SplittableLoadTracker, UniformLoadTracker, UnrelatedLoadTracker};
 
 /// A random but valid unrelated instance: every cell finite except a
 /// deterministic sprinkle of INFs that never makes a job unschedulable.
@@ -179,6 +179,42 @@ proptest! {
         moves in vec((0usize..1000, 0usize..1000, proptest::bool::ANY), 0..60),
     ) {
         check_uniform(&inst, &moves)?;
+    }
+
+    #[test]
+    fn splittable_tracker_matches_oracle_after_move_sequences(
+        inst in unrelated_instance(),
+        moves in vec((0usize..1000, 0usize..1000, proptest::bool::ANY), 0..60),
+    ) {
+        // `LoadTracker<Splittable>` works on the integral sub-space of the
+        // split model, whose per-machine load is the same
+        // `Σ p_ij + Σ s_ik` sum — so the O(n) full-recompute oracle is
+        // `unrelated_loads`, and agreement must be bit-identical after
+        // arbitrary move sequences, exactly like the unrelated tracker.
+        let start = Schedule::new((0..inst.n()).map(|j| inst.eligible_machines(j)[0]).collect());
+        let mut tracker = SplittableLoadTracker::new(&inst, &start).expect("valid start");
+        for &(raw_j, raw_i, class_move) in &moves {
+            let j = raw_j % inst.n();
+            let to = raw_i % inst.m();
+            if class_move {
+                let from = tracker.machine_of(j);
+                let k = inst.class_of(j);
+                if let Some(predicted) = tracker.eval_class_move(from, k, to) {
+                    tracker.apply_class_move(from, k, to);
+                    prop_assert_eq!(tracker.makespan(), predicted);
+                }
+            } else if let Some(predicted) = tracker.eval_job_move(j, to) {
+                tracker.apply_job_move(j, to);
+                prop_assert_eq!(tracker.makespan(), predicted);
+            }
+            let sched = tracker.schedule();
+            let oracle = unrelated_loads(&inst, &sched).expect("tracker kept schedule valid");
+            prop_assert_eq!(tracker.loads(), &oracle[..]);
+            prop_assert_eq!(tracker.makespan(), unrelated_makespan(&inst, &sched).expect("valid"));
+            let b = tracker.bottleneck();
+            let oracle_max = oracle.iter().copied().max().expect("m >= 1");
+            prop_assert_eq!(oracle[b], oracle_max, "bottleneck() machine not an argmax");
+        }
     }
 
     #[test]

@@ -120,9 +120,64 @@ pub fn ci_build_farm(n: usize, nodes: usize, images: usize, seed: u64) -> Unrela
     UnrelatedInstance::new(nodes, job_class, ptimes, setups).expect("valid scenario")
 }
 
+/// A CDN transcode farm — the **splittable** model's native scenario
+/// (serve it with `instance.kind: "splittable"`): each video asset
+/// (class) is a pile of equal-length chunks whose transcode work can be
+/// divided across edge servers, but every server touching an asset must
+/// first fetch it — the full per-asset setup, paid once per server
+/// regardless of how small its share is (exactly the split model of
+/// Correa et al., Section 3.3's substrate). Chunk times are
+/// class-uniform per server tier (`p_ij` depends on the asset's codec and
+/// the server, not the chunk), so the instance satisfies the Theorem 3.11
+/// / splittable 3-approximation structure, and every class is hostable
+/// whole (all cells finite).
+pub fn cdn_transcode(n: usize, servers: usize, assets: usize, seed: u64) -> UnrelatedInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cpu: Vec<u64> = (0..servers).map(|_| rng.gen_range(1..=4)).collect();
+    let net: Vec<u64> = (0..servers).map(|_| rng.gen_range(1..=3)).collect();
+    let asset_mb: Vec<u64> = (0..assets).map(|_| rng.gen_range(30..=150)).collect();
+    // Chunk transcode cost per asset: codec complexity × server tier.
+    let codec: Vec<u64> = (0..assets).map(|_| rng.gen_range(2..=9)).collect();
+    let class_rows: Vec<Vec<u64>> =
+        (0..assets).map(|a| (0..servers).map(|i| (codec[a] * cpu[i]).max(1)).collect()).collect();
+    let setups: Vec<Vec<u64>> = (0..assets)
+        .map(|a| (0..servers).map(|i| (asset_mb[a] * net[i] / 10).max(1)).collect())
+        .collect();
+    let job_class: Vec<usize> = (0..n).map(|_| rng.gen_range(0..assets.max(1))).collect();
+    let ptimes: Vec<Vec<u64>> = job_class.iter().map(|&a| class_rows[a].clone()).collect();
+    UnrelatedInstance::new(servers, job_class, ptimes, setups).expect("valid scenario")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cdn_transcode_fits_the_splittable_model() {
+        let inst = cdn_transcode(48, 6, 8, 13);
+        assert_eq!(inst.n(), 48);
+        assert_eq!(inst.m(), 6);
+        // Class-uniform processing times: the splittable 3-approximation
+        // and cupt3 both accept it.
+        assert!(inst.has_class_uniform_ptimes());
+        // Every class hostable whole (all-finite cells).
+        for k in 0..inst.num_classes() {
+            assert!((0..inst.m()).any(|i| {
+                inst.class_workload(i, k) != sst_core::instance::INF
+                    && inst.setup(i, k) != sst_core::instance::INF
+            }));
+        }
+        // Asset fetches are heavy relative to single chunks: splitting an
+        // asset across servers is a real trade-off.
+        let min_setup = (0..inst.num_classes())
+            .flat_map(|k| (0..inst.m()).map(move |i| (i, k)))
+            .map(|(i, k)| inst.setup(i, k))
+            .min()
+            .unwrap();
+        assert!(min_setup >= 3, "fetches must cost something: {min_setup}");
+        // Deterministic.
+        assert_eq!(cdn_transcode(48, 6, 8, 13), inst);
+    }
 
     #[test]
     fn ci_build_farm_has_zero_setup_cells_and_stays_valid() {

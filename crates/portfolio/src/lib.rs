@@ -4,23 +4,29 @@
 //! structure: LPT and the PTAS for uniform machines, randomized LP rounding
 //! for general unrelated machines, the 2- and 3-approximations for the
 //! class-uniform special cases, plus the exact and search baselines. This
-//! crate turns that toolbox into a *service*, in four layers:
+//! crate turns that toolbox into a *service*, in five layers:
 //!
-//! 1. **[`solver`]** — one [`Solver`](solver::Solver) trait over every
+//! 1. **[`model`]** — the [`ModelOps`](model::ModelOps) trait: per-model
+//!    behavior (protocol kind, features, greedy floor, solution
+//!    evaluation) behind one object-safe interface, so the machine models
+//!    — uniform, unrelated, and the splittable model of Section 3.3 — are
+//!    served by the same pipeline and adding a model is one trait impl;
+//! 2. **[`solver`]** — one [`Solver`](solver::Solver) trait over every
 //!    algorithm in `sst-algos`, all cancellable through
 //!    [`sst_core::cancel::CancelToken`], so each is an *anytime* solver
 //!    under a deadline;
-//! 2. **[`features`] + [`select`]** — a structural feature extractor
+//! 3. **[`features`] + [`select`]** — a structural feature extractor
 //!    (size, setup weight, speed skew, eligibility density, the three
 //!    special-case structure flags) and a rule-based selector mapping
 //!    features to a ranked portfolio, refined online by a per-family
 //!    win-rate tracker ([`select::WinRateTracker`]) that demotes members
-//!    which never win their feature family;
-//! 3. **[`race`]** — a racing executor running the top-k portfolio members
+//!    which never win their feature family and shrinks the raced top-k to
+//!    the members in good standing;
+//! 4. **[`race`]** — a racing executor running the top-k portfolio members
 //!    concurrently with a cross-seeded incumbent: the best-known makespan
 //!    prunes the branch-and-bound and warm-starts the search heuristics;
 //!    [`race::race_adaptive`] feeds results back into the win-rate tracker;
-//! 4. **[`protocol`] + [`pool`] + [`service`]** — an NDJSON
+//! 5. **[`protocol`] + [`pool`] + [`service`]** — an NDJSON
 //!    request/response codec and a work-stealing worker pool (shared
 //!    injector queue, per-worker deques, idle stealing, backpressure and
 //!    dead-worker error paths) serving it over stdin or TCP with running
@@ -33,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod features;
+pub mod model;
 pub mod pool;
 pub mod protocol;
 pub mod race;
@@ -40,8 +47,9 @@ pub mod select;
 pub mod service;
 pub mod solver;
 
-pub use features::{extract_features, Features};
+pub use features::{extract_features, Features, ModelKind};
+pub use model::{EvalError, ModelOps, Solution, SplittableInstance};
 pub use pool::{Pool, PoolConfig, PoolMode};
 pub use race::{race, race_adaptive, Incumbent, RaceConfig, RaceResult, SolverReport};
-pub use select::{select, select_adaptive, WinRateTracker, WinStats};
+pub use select::{select, select_adaptive, select_portfolio, Portfolio, WinRateTracker, WinStats};
 pub use solver::{Cost, Outcome, ProblemInstance, SolveContext, Solver};

@@ -1,0 +1,256 @@
+//! Per-model behavior behind [`ProblemInstance`](crate::solver::ProblemInstance):
+//! the [`ModelOps`] trait.
+//!
+//! The portfolio crate used to thread `match` statements over the instance
+//! enum through every layer (solver dispatch, feature extraction,
+//! selection, the race floor). Those per-variant matches now live in
+//! exactly one place — `ProblemInstance::ops` — and everything else goes
+//! through this trait: what a machine model must provide to be *served* is
+//! its protocol kind, shape, feature vector, greedy floor and exact
+//! solution evaluation. Adding machine model number four is one
+//! [`ModelOps`] impl (plus a `sst_core::model::MachineModel` impl for the
+//! tracker/search layer) — not a fork of five layers.
+
+use sst_algos::list::{greedy_uniform, greedy_unrelated};
+use sst_algos::splittable::{split_greedy, SplitError, SplitSchedule};
+use sst_core::instance::{UniformInstance, UnrelatedInstance};
+use sst_core::model::{MachineModel, Splittable, Uniform, Unrelated};
+use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
+use sst_core::ScheduleError;
+
+use crate::features::{uniform_features, unrelated_features, Features, ModelKind};
+use crate::solver::{Cost, Outcome};
+
+/// An instance of the **splittable** machine model (Section 3.3's
+/// substrate, Correa et al. \[5\]): the same data as an unrelated
+/// instance, but a class's workload may be split across machines — every
+/// machine processing a positive share pays the class's full setup. A
+/// newtype rather than a bare [`UnrelatedInstance`] so the model (not just
+/// the data) selects the [`ModelOps`] behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplittableInstance(pub UnrelatedInstance);
+
+impl SplittableInstance {
+    /// The shared unrelated-shaped instance data.
+    #[inline]
+    pub fn inner(&self) -> &UnrelatedInstance {
+        &self.0
+    }
+}
+
+/// A solution in the model's native solution space: a job→machine
+/// assignment for the integral models, per-class fractional shares for the
+/// splittable one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Solution {
+    /// A job-granular assignment (uniform / unrelated machines).
+    Assignment(Schedule),
+    /// Per-class fractional shares (splittable machines).
+    Split(SplitSchedule),
+}
+
+impl Solution {
+    /// The assignment, when this is an integral solution.
+    pub fn as_assignment(&self) -> Option<&Schedule> {
+        match self {
+            Solution::Assignment(s) => Some(s),
+            Solution::Split(_) => None,
+        }
+    }
+
+    /// The share table, when this is a split solution.
+    pub fn as_split(&self) -> Option<&SplitSchedule> {
+        match self {
+            Solution::Assignment(_) => None,
+            Solution::Split(s) => Some(s),
+        }
+    }
+}
+
+/// Why a solution could not be evaluated against an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An integral schedule failed validation.
+    Schedule(ScheduleError),
+    /// A split schedule failed validation.
+    Split(SplitError),
+    /// The solution's shape does not fit the model (e.g. shares offered to
+    /// an integral model).
+    WrongSolutionShape {
+        /// The model kind that rejected the solution.
+        kind: &'static str,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Schedule(e) => write!(f, "{e}"),
+            EvalError::Split(e) => write!(f, "{e}"),
+            EvalError::WrongSolutionShape { kind } => {
+                write!(f, "solution shape does not fit the {kind} model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ScheduleError> for EvalError {
+    fn from(e: ScheduleError) -> Self {
+        EvalError::Schedule(e)
+    }
+}
+
+impl From<SplitError> for EvalError {
+    fn from(e: SplitError) -> Self {
+        EvalError::Split(e)
+    }
+}
+
+/// Everything the service layers need from a machine model, behind one
+/// object-safe trait (see the [module docs](self)).
+pub trait ModelOps: Sync {
+    /// The protocol/file-format `kind` tag.
+    fn kind(&self) -> &'static str;
+    /// Number of jobs.
+    fn n(&self) -> usize;
+    /// Number of machines.
+    fn m(&self) -> usize;
+    /// Structural features — the selector's input.
+    fn features(&self) -> Features;
+    /// The model's greedy floor: cheap, always valid, pre-published as the
+    /// quality floor of every race.
+    fn greedy(&self) -> Outcome;
+    /// Exact cost of a solution (validates first).
+    fn evaluate(&self, sol: &Solution) -> Result<Cost, EvalError>;
+}
+
+impl ModelOps for UniformInstance {
+    fn kind(&self) -> &'static str {
+        Uniform::KIND
+    }
+    fn n(&self) -> usize {
+        UniformInstance::n(self)
+    }
+    fn m(&self) -> usize {
+        UniformInstance::m(self)
+    }
+    fn features(&self) -> Features {
+        uniform_features(self)
+    }
+    fn greedy(&self) -> Outcome {
+        let schedule = greedy_uniform(self);
+        let cost = Cost::Frac(uniform_makespan(self, &schedule).expect("greedy is valid"));
+        Outcome { solution: Solution::Assignment(schedule), cost, complete: true }
+    }
+    fn evaluate(&self, sol: &Solution) -> Result<Cost, EvalError> {
+        match sol {
+            Solution::Assignment(s) => Ok(Cost::Frac(uniform_makespan(self, s)?)),
+            Solution::Split(_) => Err(EvalError::WrongSolutionShape { kind: self.kind() }),
+        }
+    }
+}
+
+impl ModelOps for UnrelatedInstance {
+    fn kind(&self) -> &'static str {
+        Unrelated::KIND
+    }
+    fn n(&self) -> usize {
+        UnrelatedInstance::n(self)
+    }
+    fn m(&self) -> usize {
+        UnrelatedInstance::m(self)
+    }
+    fn features(&self) -> Features {
+        unrelated_features(self, ModelKind::Unrelated)
+    }
+    fn greedy(&self) -> Outcome {
+        let schedule = greedy_unrelated(self);
+        let cost = Cost::Time(unrelated_makespan(self, &schedule).expect("greedy is valid"));
+        Outcome { solution: Solution::Assignment(schedule), cost, complete: true }
+    }
+    fn evaluate(&self, sol: &Solution) -> Result<Cost, EvalError> {
+        match sol {
+            Solution::Assignment(s) => Ok(Cost::Time(unrelated_makespan(self, s)?)),
+            Solution::Split(_) => Err(EvalError::WrongSolutionShape { kind: self.kind() }),
+        }
+    }
+}
+
+impl ModelOps for SplittableInstance {
+    fn kind(&self) -> &'static str {
+        Splittable::KIND
+    }
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn m(&self) -> usize {
+        self.0.m()
+    }
+    fn features(&self) -> Features {
+        unrelated_features(&self.0, ModelKind::Splittable)
+    }
+    fn greedy(&self) -> Outcome {
+        let res = split_greedy(&self.0);
+        Outcome {
+            cost: Cost::Real(res.makespan),
+            solution: Solution::Split(res.schedule),
+            complete: true,
+        }
+    }
+    fn evaluate(&self, sol: &Solution) -> Result<Cost, EvalError> {
+        match sol {
+            Solution::Split(s) => {
+                s.validate(&self.0)?;
+                Ok(Cost::Real(s.makespan(&self.0)))
+            }
+            Solution::Assignment(_) => Err(EvalError::WrongSolutionShape { kind: self.kind() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::Job;
+
+    #[test]
+    fn every_model_floors_with_a_valid_self_consistent_greedy() {
+        let u =
+            UniformInstance::identical(2, vec![2], vec![Job::new(0, 5), Job::new(0, 3)]).unwrap();
+        let r = UnrelatedInstance::new(
+            2,
+            vec![0, 1],
+            vec![vec![3, 5], vec![4, 2]],
+            vec![vec![1, 1], vec![2, 2]],
+        )
+        .unwrap();
+        let s = SplittableInstance(r.clone());
+        let models: [&dyn ModelOps; 3] = [&u, &r, &s];
+        for model in models {
+            let out = model.greedy();
+            let reval = model.evaluate(&out.solution).expect("greedy is valid");
+            assert_eq!(reval, out.cost, "{}", model.kind());
+        }
+        assert_eq!(u.kind(), "uniform");
+        assert_eq!(r.kind(), "unrelated");
+        assert_eq!(s.kind(), "splittable");
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected_not_miscosted() {
+        let r = UnrelatedInstance::new(2, vec![0], vec![vec![3, 5]], vec![vec![1, 1]]).unwrap();
+        let s = SplittableInstance(r.clone());
+        let split_sol = s.greedy().solution;
+        let integral_sol = r.greedy().solution;
+        assert!(matches!(
+            r.evaluate(&split_sol),
+            Err(EvalError::WrongSolutionShape { kind: "unrelated" })
+        ));
+        assert!(matches!(
+            s.evaluate(&integral_sol),
+            Err(EvalError::WrongSolutionShape { kind: "splittable" })
+        ));
+    }
+}

@@ -2,12 +2,16 @@
 //!
 //! One JSON object per line, both directions. Requests embed an instance
 //! in the same schema the `sst` file format uses (see [`sst_core::io`]);
-//! responses carry the winning assignment, its exact makespan, and
+//! responses carry the winning solution, its exact makespan, and
 //! per-solver attribution. A uniform-machines makespan is an exact
 //! rational and serializes as `{"num": N, "den": D}`; an unrelated
-//! makespan is a plain integer.
+//! makespan is a plain integer; a splittable makespan is a float (always
+//! written with a decimal point, so the three cost shapes stay
+//! distinguishable on the wire).
 //!
-//! Request:
+//! Request (`instance.kind` is `"uniform"`, `"unrelated"` or
+//! `"splittable"` — the splittable kind shares the unrelated payload
+//! schema):
 //!
 //! ```json
 //! {"id": 7, "budget_ms": 50, "top_k": 3, "seed": 1,
@@ -15,13 +19,24 @@
 //!               "setups": [3], "jobs": [{"class": 0, "size": 4}]}}
 //! ```
 //!
-//! Response:
+//! Response for the integral kinds (`"assignment"` maps jobs to
+//! machines):
 //!
 //! ```json
 //! {"id": 7, "status": "ok", "kind": "uniform", "solver": "lpt",
 //!  "micros": 184, "makespan": {"num": 7, "den": 2}, "assignment": [0],
 //!  "solvers": [{"name": "lpt", "makespan": {"num": 7, "den": 2},
 //!               "micros": 90, "completed": true}]}
+//! ```
+//!
+//! Response for the splittable kind (`"shares"` lists, per class, the
+//! machines carrying a positive workload fraction):
+//!
+//! ```json
+//! {"id": 9, "status": "ok", "kind": "splittable", "solver": "split2",
+//!  "micros": 310, "makespan": 22.0,
+//!  "shares": [[{"machine": 0, "fraction": 0.5},
+//!              {"machine": 1, "fraction": 0.5}]], "solvers": []}
 //! ```
 //!
 //! The line `{"metrics": true}` asks the service for its running
@@ -32,11 +47,12 @@
 
 use std::fmt::Write as _;
 
+use sst_algos::splittable::{splittable_feasible, SplitSchedule, SplitShare};
 use sst_core::io::json::{self, JsonValue};
 use sst_core::io::{self, IoError};
 use sst_core::ratio::Ratio;
-use sst_core::schedule::Schedule;
 
+use crate::model::{Solution, SplittableInstance};
 use crate::solver::{Cost, ProblemInstance};
 
 /// A solve request: one instance plus racing knobs.
@@ -112,16 +128,17 @@ pub enum Response {
     Ok {
         /// Echoed request id.
         id: u64,
-        /// `"uniform"` or `"unrelated"`.
+        /// `"uniform"`, `"unrelated"` or `"splittable"`.
         kind: String,
         /// Winning solver name.
         solver: String,
         /// Total race wall-clock in microseconds.
         micros: u64,
-        /// Exact makespan of [`Response::Ok::assignment`].
+        /// Exact makespan of [`Response::Ok::solution`].
         makespan: Cost,
-        /// Machine of each job.
-        assignment: Vec<usize>,
+        /// The winning solution — an `"assignment"` array for the
+        /// integral kinds, a `"shares"` table for the splittable one.
+        solution: Solution,
         /// Per-raced-solver attribution.
         solvers: Vec<SolverLine>,
     },
@@ -154,6 +171,17 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// Writes an `f64` so it parses back as a float, never as an integer:
+/// integral values get a trailing `.0`. Rust's shortest-roundtrip float
+/// formatting guarantees `parse::<f64>` returns the identical bits.
+fn write_f64(out: &mut String, x: f64) {
+    if x == x.trunc() && x.is_finite() {
+        let _ = write!(out, "{x:.1}");
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
 fn write_cost(out: &mut String, cost: &Cost) {
     match cost {
         Cost::Time(t) => {
@@ -162,12 +190,14 @@ fn write_cost(out: &mut String, cost: &Cost) {
         Cost::Frac(r) => {
             let _ = write!(out, "{{\"num\": {}, \"den\": {}}}", r.numer(), r.denom());
         }
+        Cost::Real(x) => write_f64(out, *x),
     }
 }
 
 fn cost_from_value(v: &JsonValue) -> Result<Cost, IoError> {
     match v {
         JsonValue::Uint(t) => Ok(Cost::Time(*t)),
+        JsonValue::Float(x) => Ok(Cost::Real(*x)),
         JsonValue::Object(map) => {
             let num = match map.get("num") {
                 Some(JsonValue::Uint(n)) => *n,
@@ -179,7 +209,7 @@ fn cost_from_value(v: &JsonValue) -> Result<Cost, IoError> {
             };
             Ok(Cost::Frac(Ratio::new(num, den)))
         }
-        _ => Err(IoError::Json("makespan must be an integer or {num, den}".into())),
+        _ => Err(IoError::Json("makespan must be a number or {num, den}".into())),
     }
 }
 
@@ -200,6 +230,7 @@ pub fn request_to_json(req: &Request) -> String {
     out.push_str(&match &req.instance {
         ProblemInstance::Uniform(u) => io::uniform_to_json_line(u),
         ProblemInstance::Unrelated(r) => io::unrelated_to_json_line(r),
+        ProblemInstance::Splittable(s) => io::splittable_to_json_line(s.inner()),
     });
     out.push('}');
     out
@@ -242,6 +273,18 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, IoError> {
     let instance = match kind.as_str() {
         "uniform" => ProblemInstance::Uniform(io::uniform_from_value(inst_value)?),
         "unrelated" => ProblemInstance::Unrelated(io::unrelated_from_value(inst_value)?),
+        "splittable" => {
+            let inner = io::splittable_from_value(inst_value)?;
+            // The split model needs every nonempty class hostable *whole*
+            // somewhere (a positive share pays the full setup); per-job
+            // schedulability is not enough.
+            if !splittable_feasible(&inner) {
+                return Err(IoError::Format(
+                    "splittable instance has a class with no machine able to host it whole".into(),
+                ));
+            }
+            ProblemInstance::Splittable(SplittableInstance(inner))
+        }
         other => return Err(IoError::Format(format!("unknown instance kind '{other}'"))),
     };
     Ok(Incoming::Solve(Box::new(Request {
@@ -267,19 +310,78 @@ pub fn extract_request_id(line: &str) -> Option<u64> {
     }
 }
 
+fn write_solution(out: &mut String, solution: &Solution) {
+    match solution {
+        Solution::Assignment(sched) => {
+            out.push_str("\"assignment\": ");
+            json::write_usize_array(out, sched.assignment());
+        }
+        Solution::Split(split) => {
+            out.push_str("\"shares\": [");
+            for (k, row) in split.shares().iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (i, share) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{{\"machine\": {}, \"fraction\": ", share.machine);
+                    write_f64(out, share.fraction);
+                    out.push('}');
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn shares_from_value(v: &JsonValue) -> Result<SplitSchedule, IoError> {
+    let JsonValue::Array(rows) = v else {
+        return Err(IoError::Json("'shares' must be an array of share rows".into()));
+    };
+    let mut shares = Vec::with_capacity(rows.len());
+    for row in rows {
+        let JsonValue::Array(items) = row else {
+            return Err(IoError::Json("shares[] rows must be arrays".into()));
+        };
+        let mut parsed = Vec::with_capacity(items.len());
+        for item in items {
+            let JsonValue::Object(m) = item else {
+                return Err(IoError::Json("shares[][] must be objects".into()));
+            };
+            let machine = match m.get("machine") {
+                Some(JsonValue::Uint(i)) => usize::try_from(*i)
+                    .map_err(|_| IoError::Json("share machine out of range".into()))?,
+                _ => return Err(IoError::Json("share.machine must be an integer".into())),
+            };
+            let fraction = match m.get("fraction") {
+                Some(JsonValue::Float(f)) => *f,
+                Some(JsonValue::Uint(u)) => *u as f64,
+                _ => return Err(IoError::Json("share.fraction must be a number".into())),
+            };
+            parsed.push(SplitShare { machine, fraction });
+        }
+        shares.push(parsed);
+    }
+    Ok(SplitSchedule::new(shares))
+}
+
 /// Serializes a response to one NDJSON line.
 pub fn response_to_json(resp: &Response) -> String {
     let mut out = String::new();
     match resp {
-        Response::Ok { id, kind, solver, micros, makespan, assignment, solvers } => {
+        Response::Ok { id, kind, solver, micros, makespan, solution, solvers } => {
             let _ = write!(
                 out,
                 "{{\"id\": {id}, \"status\": \"ok\", \"kind\": \"{kind}\", \"solver\": \"{}\", \"micros\": {micros}, \"makespan\": ",
                 escape_json(solver)
             );
             write_cost(&mut out, makespan);
-            out.push_str(", \"assignment\": ");
-            json::write_usize_array(&mut out, assignment);
+            out.push_str(", ");
+            write_solution(&mut out, solution);
             out.push_str(", \"solvers\": [");
             for (i, s) in solvers.iter().enumerate() {
                 if i > 0 {
@@ -341,11 +443,15 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
             let makespan = cost_from_value(
                 map.get("makespan").ok_or_else(|| IoError::Json("missing 'makespan'".into()))?,
             )?;
-            let assignment = match map.get("assignment") {
-                Some(v) => io::schedule_from_value(v)
-                    .map(|s: Schedule| s.assignment().to_vec())
-                    .map_err(|_| IoError::Json("bad 'assignment'".into()))?,
-                None => return Err(IoError::Json("missing 'assignment'".into())),
+            let solution = if let Some(v) = map.get("assignment") {
+                Solution::Assignment(
+                    io::schedule_from_value(v)
+                        .map_err(|_| IoError::Json("bad 'assignment'".into()))?,
+                )
+            } else if let Some(v) = map.get("shares") {
+                Solution::Split(shares_from_value(v)?)
+            } else {
+                return Err(IoError::Json("missing 'assignment' or 'shares'".into()));
             };
             let mut solvers = Vec::new();
             if let Some(JsonValue::Array(items)) = map.get("solvers") {
@@ -367,7 +473,7 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
                     solvers.push(SolverLine { name, makespan, micros, completed });
                 }
             }
-            Ok(Response::Ok { id, kind, solver, micros, makespan, assignment, solvers })
+            Ok(Response::Ok { id, kind, solver, micros, makespan, solution, solvers })
         }
         "error" => {
             let message = match map.get("message") {
@@ -399,9 +505,10 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
 mod tests {
     use super::*;
     use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+    use sst_core::schedule::Schedule;
 
     #[test]
-    fn request_roundtrip_both_kinds() {
+    fn request_roundtrip_all_kinds() {
         let u = Request {
             id: 7,
             instance: ProblemInstance::Uniform(
@@ -432,6 +539,36 @@ mod tests {
         };
         let line = request_to_json(&r);
         assert_eq!(parse_incoming(&line).unwrap(), Incoming::Solve(Box::new(r)));
+
+        let s = Request {
+            id: 11,
+            instance: ProblemInstance::Splittable(SplittableInstance(
+                UnrelatedInstance::new(
+                    2,
+                    vec![0, 1],
+                    vec![vec![3, 5], vec![6, 4]],
+                    vec![vec![1, 1], vec![2, 2]],
+                )
+                .unwrap(),
+            )),
+            budget_ms: Some(40),
+            top_k: None,
+            seed: None,
+        };
+        let line = request_to_json(&s);
+        assert!(line.contains("\"kind\": \"splittable\""), "{line}");
+        assert_eq!(parse_incoming(&line).unwrap(), Incoming::Solve(Box::new(s)));
+    }
+
+    #[test]
+    fn splittable_requests_with_unhostable_classes_are_rejected() {
+        // Job-wise schedulable, but class 0 fits whole on no machine.
+        let line = "{\"id\": 3, \"instance\": {\"version\": 1, \"kind\": \"splittable\", \
+                    \"m\": 2, \"job_class\": [0, 0], \
+                    \"ptimes\": [[4, 18446744073709551615], [18446744073709551615, 4]], \
+                    \"setups\": [[1, 1]]}}";
+        let err = parse_incoming(line).unwrap_err();
+        assert!(err.to_string().contains("host it whole"), "{err}");
     }
 
     #[test]
@@ -452,7 +589,7 @@ mod tests {
             solver: "lpt".into(),
             micros: 1234,
             makespan: Cost::Frac(Ratio::new(7, 2)),
-            assignment: vec![0, 1, 0],
+            solution: Solution::Assignment(Schedule::new(vec![0, 1, 0])),
             solvers: vec![
                 SolverLine {
                     name: "lpt".into(),
@@ -465,6 +602,36 @@ mod tests {
         };
         let line = response_to_json(&resp);
         assert!(!line.contains('\n'));
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn split_response_roundtrips_shares_and_float_makespan() {
+        let resp = Response::Ok {
+            id: 4,
+            kind: "splittable".into(),
+            solver: "split2".into(),
+            micros: 310,
+            makespan: Cost::Real(22.0),
+            solution: Solution::Split(SplitSchedule::new(vec![
+                vec![
+                    SplitShare { machine: 0, fraction: 0.5 },
+                    SplitShare { machine: 1, fraction: 0.5 },
+                ],
+                vec![SplitShare { machine: 1, fraction: 1.0 }],
+            ])),
+            solvers: vec![SolverLine {
+                name: "split2".into(),
+                makespan: Some(Cost::Real(22.25)),
+                micros: 300,
+                completed: true,
+            }],
+        };
+        let line = response_to_json(&resp);
+        assert!(!line.contains('\n'));
+        // Integral floats keep a decimal point so they parse back as Real,
+        // never as Time.
+        assert!(line.contains("\"makespan\": 22.0"), "{line}");
         assert_eq!(parse_response(&line).unwrap(), resp);
     }
 

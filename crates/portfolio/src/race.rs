@@ -3,31 +3,39 @@
 //!
 //! Cross-seeding is what makes a race more than k independent runs:
 //!
-//! * the setup-aware greedy baseline is published *before* any thread
-//!   starts, so the race can never return worse than greedy;
+//! * the model's greedy baseline ([`crate::model::ModelOps::greedy`]) is
+//!   published *before* any thread starts, so the race can never return
+//!   worse than greedy — on any machine model;
 //! * the best-known unrelated makespan lives in an `AtomicU64` that the
 //!   branch-and-bound reads as its pruning bound
 //!   ([`sst_algos::exact::exact_unrelated_budgeted`]) — a heuristic result
 //!   published early shrinks the exact search tree;
-//! * the search heuristics (local search, annealing) warm-start from the
-//!   incumbent *schedule* via [`Incumbent::snapshot`], descending from the
-//!   best point any member has reached instead of from scratch.
+//! * the integral search heuristics (local search, annealing) warm-start
+//!   from the incumbent *assignment* via [`Incumbent::snapshot`],
+//!   descending from the best point any member has reached instead of from
+//!   scratch.
 //!
 //! Threads are plain `std::thread::scope` workers; the incumbent is a
-//! `parking_lot`-style mutex around the best `(schedule, cost, winner)`
+//! `parking_lot`-style mutex around the best `(solution, cost, winner)`
 //! plus the atomic bound. Every member polls the request's
 //! [`CancelToken`], so the race returns within one check interval of the
 //! deadline with per-solver attribution.
+//!
+//! With a [`WinRateTracker`], the effective `top_k` additionally
+//! **shrinks** to the members in good standing for the instance's feature
+//! family ([`crate::select::Portfolio::active`]): solvers that raced
+//! often and never won stop consuming race capacity, freeing cores for
+//! the members that win.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sst_core::cancel::CancelToken;
-use sst_core::schedule::Schedule;
 
 use crate::features::extract_features;
-use crate::select::{select_adaptive, WinRateTracker};
+use crate::model::Solution;
+use crate::select::{select_portfolio, WinRateTracker};
 use crate::solver::{Cost, ProblemInstance, SolveContext};
 
 /// Knobs of one race.
@@ -47,10 +55,10 @@ impl Default for RaceConfig {
     }
 }
 
-/// The shared incumbent of a race: best schedule/cost/author so far plus
+/// The shared incumbent of a race: best solution/cost/author so far plus
 /// the atomic pruning bound for the unrelated branch-and-bound.
 pub struct Incumbent {
-    best: Mutex<Option<(Schedule, Cost, &'static str)>>,
+    best: Mutex<Option<(Solution, Cost, &'static str)>>,
     bound: AtomicU64,
 }
 
@@ -68,21 +76,21 @@ impl Incumbent {
 
     /// Publishes a result; keeps it iff it strictly improves. Returns
     /// whether it became the new incumbent.
-    pub fn offer(&self, name: &'static str, schedule: Schedule, cost: Cost) -> bool {
+    pub fn offer(&self, name: &'static str, solution: Solution, cost: Cost) -> bool {
         let mut guard = self.best.lock();
         let improved = guard.as_ref().map(|(_, c, _)| cost.better_than(c)).unwrap_or(true);
         if improved {
             if let Cost::Time(t) = cost {
                 self.bound.fetch_min(t, Ordering::Relaxed);
             }
-            *guard = Some((schedule, cost, name));
+            *guard = Some((solution, cost, name));
         }
         improved
     }
 
-    /// A clone of the current best `(schedule, cost)` — the warm start of
-    /// the search heuristics.
-    pub fn snapshot(&self) -> Option<(Schedule, Cost)> {
+    /// A clone of the current best `(solution, cost)` — the warm start of
+    /// the integral search heuristics.
+    pub fn snapshot(&self) -> Option<(Solution, Cost)> {
         self.best.lock().as_ref().map(|(s, c, _)| (s.clone(), *c))
     }
 
@@ -91,7 +99,7 @@ impl Incumbent {
         &self.bound
     }
 
-    fn into_best(self) -> Option<(Schedule, Cost, &'static str)> {
+    fn into_best(self) -> Option<(Solution, Cost, &'static str)> {
         self.best.into_inner()
     }
 }
@@ -112,8 +120,8 @@ pub struct SolverReport {
 /// Winner plus per-solver attribution of one race.
 #[derive(Debug, Clone)]
 pub struct RaceResult {
-    /// The best schedule found.
-    pub schedule: Schedule,
+    /// The best solution found, in the model's native solution space.
+    pub solution: Solution,
     /// Its exact cost.
     pub cost: Cost,
     /// Name of the member that produced it (`"greedy-baseline"` when no
@@ -131,10 +139,11 @@ pub fn race(inst: &ProblemInstance, cfg: &RaceConfig) -> RaceResult {
 }
 
 /// [`race`] with the adaptive-selection feedback loop: the portfolio
-/// ranking consults `tracker`'s per-family win rates (demoting members
-/// that never win this family, see [`crate::select::select_adaptive`]),
-/// and the race's outcome is recorded back so future selections learn
-/// from it. With `None` this is exactly [`race`].
+/// ranking consults `tracker`'s per-family win rates — demoting members
+/// that never win this family *and shrinking the raced top-k to the
+/// members in good standing* (never below one) — and the race's outcome
+/// is recorded back so future selections learn from it. With `None` this
+/// is exactly [`race`].
 pub fn race_adaptive(
     inst: &ProblemInstance,
     cfg: &RaceConfig,
@@ -142,16 +151,20 @@ pub fn race_adaptive(
 ) -> RaceResult {
     let t0 = Instant::now();
     let feat = extract_features(inst);
-    let portfolio = select_adaptive(&feat, tracker);
-    let k = cfg.top_k.clamp(1, portfolio.len());
+    let portfolio = select_portfolio(&feat, tracker);
+    // Static clamp to the ranking, then the adaptive shrink: demoted
+    // members do not consume race slots (capacity freed for winners), but
+    // at least one member always races.
+    let k = cfg.top_k.clamp(1, portfolio.ranked.len()).min(portfolio.active);
+    let members = &portfolio.ranked[..k];
     let incumbent = Incumbent::new();
     // The quality floor, published before any member starts.
     let baseline = inst.greedy();
-    incumbent.offer("greedy-baseline", baseline.schedule, baseline.cost);
+    incumbent.offer("greedy-baseline", baseline.solution, baseline.cost);
     let cancel = CancelToken::with_deadline(cfg.budget);
     let reports: Mutex<Vec<(usize, SolverReport)>> = Mutex::new(Vec::with_capacity(k));
     std::thread::scope(|scope| {
-        for (slot, solver) in portfolio[..k].iter().enumerate() {
+        for (slot, solver) in members.iter().enumerate() {
             let incumbent = &incumbent;
             let cancel = &cancel;
             let reports = &reports;
@@ -164,7 +177,7 @@ pub fn race_adaptive(
                 let report = match outcome {
                     Some(out) => {
                         let cost = out.cost;
-                        incumbent.offer(solver.name(), out.schedule, cost);
+                        incumbent.offer(solver.name(), out.solution, cost);
                         SolverReport {
                             name: solver.name(),
                             cost: Some(cost),
@@ -182,10 +195,10 @@ pub fn race_adaptive(
     });
     let mut ordered = reports.into_inner();
     ordered.sort_by_key(|&(slot, _)| slot);
-    let (schedule, cost, winner) = incumbent.into_best().expect("baseline guarantees an incumbent");
+    let (solution, cost, winner) = incumbent.into_best().expect("baseline guarantees an incumbent");
     if let Some(tracker) = tracker {
         let family = WinRateTracker::family_key(&feat);
-        let raced: Vec<&'static str> = portfolio[..k].iter().map(|s| s.name()).collect();
+        let raced: Vec<&'static str> = members.iter().map(|s| s.name()).collect();
         // `winner == "greedy-baseline"` means no member beat the floor:
         // everyone raced, nobody won. But a race nobody *finished* (every
         // member cut off by the deadline, e.g. a degenerate budget) is no
@@ -198,7 +211,7 @@ pub fn race_adaptive(
         }
     }
     RaceResult {
-        schedule,
+        solution,
         cost,
         winner,
         reports: ordered.into_iter().map(|(_, r)| r).collect(),
@@ -209,7 +222,10 @@ pub fn race_adaptive(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::SplittableInstance;
+    use crate::select::DEMOTION_MIN_RACES;
     use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
+    use sst_core::schedule::Schedule;
 
     #[test]
     fn race_never_loses_to_greedy_and_attributes_the_winner() {
@@ -233,7 +249,7 @@ mod tests {
         assert!(
             res.reports.iter().any(|r| r.name == res.winner) || res.winner == "greedy-baseline"
         );
-        let reval = inst.evaluate(&res.schedule).expect("race schedule valid");
+        let reval = inst.evaluate(&res.solution).expect("race solution valid");
         assert_eq!(reval, res.cost);
     }
 
@@ -254,6 +270,31 @@ mod tests {
     }
 
     #[test]
+    fn splittable_race_beats_or_ties_the_split_greedy_floor() {
+        // A heavy splittable class: the LP rounding splits it, beating any
+        // whole-class greedy placement.
+        let inst = ProblemInstance::Splittable(SplittableInstance(
+            UnrelatedInstance::restricted_assignment(
+                2,
+                vec![0],
+                vec![40],
+                vec![vec![0, 1]],
+                vec![2],
+                None,
+            )
+            .unwrap(),
+        ));
+        let res = race(&inst, &RaceConfig { top_k: 3, ..Default::default() });
+        let greedy = inst.greedy();
+        assert!(!greedy.cost.better_than(&res.cost), "{} vs {}", res.cost, greedy.cost);
+        let reval = inst.evaluate(&res.solution).expect("split solution valid");
+        assert_eq!(reval, res.cost);
+        // Splitting is *necessary* here: greedy = 42, split optimum = 22.
+        assert!(res.cost.to_f64() < greedy.cost.to_f64(), "the race must split the class");
+        assert!(matches!(res.solution, Solution::Split(_)));
+    }
+
+    #[test]
     fn expired_budget_still_returns_at_least_greedy() {
         let inst = ProblemInstance::Unrelated(
             UnrelatedInstance::new(
@@ -267,7 +308,7 @@ mod tests {
         let res = race(&inst, &RaceConfig { top_k: 3, budget: Duration::ZERO, seed: 5 });
         let greedy = inst.greedy();
         assert!(!greedy.cost.better_than(&res.cost));
-        assert_eq!(inst.evaluate(&res.schedule).unwrap(), res.cost);
+        assert_eq!(inst.evaluate(&res.solution).unwrap(), res.cost);
     }
 
     #[test]
@@ -292,6 +333,38 @@ mod tests {
         }
         // Exactly one member win, unless greedy-baseline kept the floor.
         assert_eq!(wins, u64::from(res.winner != "greedy-baseline"));
+    }
+
+    #[test]
+    fn adaptive_top_k_shrinks_to_members_in_good_standing() {
+        // Demote everything except the statically-first member, then race
+        // with top_k = 3: only the one member in good standing may hold a
+        // slot — demotion frees capacity instead of reordering it.
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(
+                2,
+                vec![2],
+                (0..24).map(|i| Job::new(0, 1 + i % 4)).collect(),
+            )
+            .unwrap(),
+        );
+        let feat = crate::features::extract_features(&inst);
+        let family = WinRateTracker::family_key(&feat);
+        let ranked = crate::select::select(&feat);
+        let survivor = ranked[0].name();
+        let tracker = WinRateTracker::new();
+        for s in &ranked[1..] {
+            for _ in 0..DEMOTION_MIN_RACES {
+                tracker.record(&family, &[s.name()], None);
+            }
+        }
+        let res =
+            race_adaptive(&inst, &RaceConfig { top_k: 3, ..Default::default() }, Some(&tracker));
+        assert_eq!(res.reports.len(), 1, "top-k must shrink to the good-standing prefix");
+        assert_eq!(res.reports[0].name, survivor);
+        // The greedy floor still holds even with one racer.
+        let greedy = inst.greedy();
+        assert!(!greedy.cost.better_than(&res.cost));
     }
 
     #[test]
@@ -330,9 +403,10 @@ mod tests {
     #[test]
     fn incumbent_bound_tracks_unrelated_offers() {
         let inc = Incumbent::new();
-        assert!(inc.offer("a", Schedule::new(vec![0]), Cost::Time(10)));
-        assert!(!inc.offer("b", Schedule::new(vec![0]), Cost::Time(12)), "worse offer rejected");
-        assert!(inc.offer("c", Schedule::new(vec![0]), Cost::Time(7)));
+        let sol = || Solution::Assignment(Schedule::new(vec![0]));
+        assert!(inc.offer("a", sol(), Cost::Time(10)));
+        assert!(!inc.offer("b", sol(), Cost::Time(12)), "worse offer rejected");
+        assert!(inc.offer("c", sol(), Cost::Time(7)));
         assert_eq!(inc.bound().load(Ordering::Relaxed), 7);
         let (_, cost, winner) = inc.into_best().unwrap();
         assert_eq!(cost, Cost::Time(7));

@@ -15,30 +15,38 @@
 //! * uniform machines — LPT (Lemma 2.1) is the guaranteed fast start;
 //!   MULTIFIT ranks higher when setups dominate (its FFD core batches),
 //!   and the PTAS joins on small instances;
-//! * always — tracker-based local search and the annealer, which
-//!   warm-start from whatever the faster members already published.
+//! * the splittable model — the structure-matched LP rounding of Section
+//!   3.3 (`split2` / `split3`) leads, followed by the integral-sub-space
+//!   descent (`split-refine`);
+//! * always — the model's greedy floor; the integral models additionally
+//!   get tracker-based local search and the annealer, which warm-start
+//!   from whatever the faster members already published.
 //!
 //! The racer takes the top-k of this ranking and runs them concurrently.
 //!
 //! On top of the static rules sits the **adaptive layer**
-//! ([`WinRateTracker`] + [`select_adaptive`]): the racing executor reports
-//! which member actually produced each race's winning schedule, keyed by a
-//! coarse feature family. A member that has raced at least
+//! ([`WinRateTracker`] + [`select_portfolio`]): the racing executor
+//! reports which member actually produced each race's winning solution,
+//! keyed by a coarse feature family. A member that has raced at least
 //! [`DEMOTION_MIN_RACES`] times in a family without a single win is
-//! *demoted* — stably moved behind every member that still might win — so
-//! the top-k slots (i.e. the multi-core race capacity) go to solvers with
-//! a track record. Demotion never removes a member (a larger `top_k`
-//! still reaches it) and never touches the greedy floor, which the racer
-//! pre-publishes outside the portfolio ranking.
+//! *demoted* — stably moved behind every member that still might win, and
+//! **excluded from the top-k slots** ([`Portfolio::active`]): the racer
+//! shrinks its effective `top_k` to the members in good standing instead
+//! of merely reordering, so demoted members stop consuming race capacity
+//! on stable traffic. The portfolio never shrinks below one member, and
+//! the greedy *floor* is unaffected — the racer pre-publishes it outside
+//! the portfolio ranking, so a demoted greedy member costs quality
+//! nothing.
 
 use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
-use crate::features::Features;
+use crate::features::{Features, ModelKind};
 use crate::solver::{
     AnnealSolver, Cupt3Solver, ExactSolver, GreedySolver, LocalSearchSolver, LptSolver,
-    MultifitSolver, PtasSolver, Ra2Solver, RoundingSolver, Solver,
+    MultifitSolver, PtasSolver, Ra2Solver, RoundingSolver, Solver, Split2Solver, Split3Solver,
+    SplitRefineSolver,
 };
 
 static GREEDY: GreedySolver = GreedySolver;
@@ -51,9 +59,25 @@ static CUPT3: Cupt3Solver = Cupt3Solver;
 static EXACT: ExactSolver = ExactSolver;
 static LOCAL_SEARCH: LocalSearchSolver = LocalSearchSolver;
 static ANNEAL: AnnealSolver = AnnealSolver;
+static SPLIT2: Split2Solver = Split2Solver;
+static SPLIT3: Split3Solver = Split3Solver;
+static SPLIT_REFINE: SplitRefineSolver = SplitRefineSolver;
 
-static REGISTRY: [&dyn Solver; 10] =
-    [&GREEDY, &LPT, &MULTIFIT, &PTAS, &ROUNDING, &RA2, &CUPT3, &EXACT, &LOCAL_SEARCH, &ANNEAL];
+static REGISTRY: [&dyn Solver; 13] = [
+    &GREEDY,
+    &LPT,
+    &MULTIFIT,
+    &PTAS,
+    &ROUNDING,
+    &RA2,
+    &CUPT3,
+    &EXACT,
+    &LOCAL_SEARCH,
+    &ANNEAL,
+    &SPLIT2,
+    &SPLIT3,
+    &SPLIT_REFINE,
+];
 
 /// Every solver the portfolio knows, in no particular order.
 pub fn registry() -> &'static [&'static dyn Solver] {
@@ -70,25 +94,36 @@ pub fn select(feat: &Features) -> Vec<&'static dyn Solver> {
             ranked.push(s);
         }
     };
-    // Certifiable optima first on tiny instances.
+    // Certifiable optima first on tiny instances (integral models).
     push(&EXACT);
-    if feat.uniform {
-        push(&LPT);
-        if feat.setup_to_work >= 1.0 {
-            // Setups dominate: the FFD batching core shines.
+    match feat.model {
+        ModelKind::Uniform => {
+            push(&LPT);
+            if feat.setup_to_work >= 1.0 {
+                // Setups dominate: the FFD batching core shines.
+                push(&MULTIFIT);
+            }
+            push(&LOCAL_SEARCH);
+            push(&PTAS);
+            push(&ANNEAL);
             push(&MULTIFIT);
         }
-        push(&LOCAL_SEARCH);
-        push(&PTAS);
-        push(&ANNEAL);
-        push(&MULTIFIT);
-    } else {
-        // Guaranteed special-case algorithms when the structure holds.
-        push(&CUPT3);
-        push(&RA2);
-        push(&LOCAL_SEARCH);
-        push(&ROUNDING);
-        push(&ANNEAL);
+        ModelKind::Unrelated => {
+            // Guaranteed special-case algorithms when the structure holds.
+            push(&CUPT3);
+            push(&RA2);
+            push(&LOCAL_SEARCH);
+            push(&ROUNDING);
+            push(&ANNEAL);
+        }
+        ModelKind::Splittable => {
+            // Structure-matched LP roundings of Section 3.3 lead (each
+            // gated by its structure via supports); the integral-sub-space
+            // descent refines alongside.
+            push(&SPLIT3);
+            push(&SPLIT2);
+            push(&SPLIT_REFINE);
+        }
     }
     // The floor — also what the race baseline is measured against.
     push(&GREEDY);
@@ -121,7 +156,7 @@ impl WinStats {
 }
 
 /// Per-family solver win rates, fed back from race results
-/// ([`crate::race::race_adaptive`]) and consulted by [`select_adaptive`].
+/// ([`crate::race::race_adaptive`]) and consulted by [`select_portfolio`].
 ///
 /// Thread-safe and shared across a serve pool's workers: every worker
 /// records into the same tracker, so demotion decisions reflect the whole
@@ -129,7 +164,7 @@ impl WinStats {
 #[derive(Debug, Default)]
 pub struct WinRateTracker {
     /// family key → solver name → record. Two levels so the per-request
-    /// read path ([`select_adaptive`]) resolves the family once and then
+    /// read path ([`select_portfolio`]) resolves the family once and then
     /// probes solver names without allocating per-lookup keys.
     stats: Mutex<BTreeMap<String, BTreeMap<&'static str, WinStats>>>,
 }
@@ -155,13 +190,13 @@ impl WinRateTracker {
             19..=80 => "mid",
             _ => "large",
         };
-        if feat.uniform {
-            format!("uniform|{setups}|{size}")
-        } else {
-            format!(
-                "unrelated|ra={}|cur={}|cupt={}|{setups}|{size}",
+        let model = feat.model.as_str();
+        match feat.model {
+            ModelKind::Uniform => format!("{model}|{setups}|{size}"),
+            ModelKind::Unrelated | ModelKind::Splittable => format!(
+                "{model}|ra={}|cur={}|cupt={}|{setups}|{size}",
                 feat.restricted, feat.class_uniform_restrictions, feat.class_uniform_ptimes
-            )
+            ),
         }
     }
 
@@ -200,33 +235,63 @@ impl WinRateTracker {
     }
 }
 
+/// A ranked portfolio plus the prefix length still in good standing — the
+/// racer's race-capacity budget.
+pub struct Portfolio {
+    /// All applicable solvers: members in good standing first (in static
+    /// rule order), demoted members stably behind them.
+    pub ranked: Vec<&'static dyn Solver>,
+    /// How many leading members are in good standing. Never 0: when every
+    /// member is demoted, the first demoted member stays active so a race
+    /// always has at least one contender (the greedy floor is published
+    /// outside the ranking and needs no slot).
+    pub active: usize,
+}
+
 /// [`select`], refined by observed win rates: demoted members (see
 /// [`WinRateTracker::is_demoted`]) move — stably — behind every member
-/// still in good standing, so a race's top-k slots go to solvers that
-/// historically win this feature family. With no tracker (or no history)
-/// the ranking is exactly [`select`]'s.
-pub fn select_adaptive(
-    feat: &Features,
-    tracker: Option<&WinRateTracker>,
-) -> Vec<&'static dyn Solver> {
+/// still in good standing, and [`Portfolio::active`] tells the racer how
+/// many leading slots are worth racing (the per-family `top_k`
+/// *shrinking*: demoted members free capacity instead of merely being
+/// reordered). With no tracker (or no history) the ranking is exactly
+/// [`select`]'s and every member is active.
+pub fn select_portfolio(feat: &Features, tracker: Option<&WinRateTracker>) -> Portfolio {
     let ranked = select(feat);
-    let Some(tracker) = tracker else { return ranked };
+    let Some(tracker) = tracker else {
+        let active = ranked.len();
+        return Portfolio { ranked, active };
+    };
     let family = WinRateTracker::family_key(feat);
     // One lock and one family resolution for the whole partition — this
     // runs per served request, on a mutex every worker also records into.
     let stats = tracker.stats.lock();
-    let Some(by_solver) = stats.get(&family) else { return ranked };
+    let Some(by_solver) = stats.get(&family) else {
+        let active = ranked.len();
+        return Portfolio { ranked, active };
+    };
     let (kept, demoted): (Vec<_>, Vec<_>) = ranked
         .into_iter()
         .partition(|s| !by_solver.get(s.name()).copied().unwrap_or_default().demoted());
     drop(stats);
-    kept.into_iter().chain(demoted).collect()
+    let active = kept.len().max(1);
+    Portfolio { ranked: kept.into_iter().chain(demoted).collect(), active }
+}
+
+/// The ranking of [`select_portfolio`] without the active count (demoted
+/// members reordered to the back, capacity not shrunk). Kept for callers
+/// that want the full ranking; the racer uses [`select_portfolio`].
+pub fn select_adaptive(
+    feat: &Features,
+    tracker: Option<&WinRateTracker>,
+) -> Vec<&'static dyn Solver> {
+    select_portfolio(feat, tracker).ranked
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::features::extract_features;
+    use crate::model::SplittableInstance;
     use crate::solver::ProblemInstance;
     use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
 
@@ -268,6 +333,23 @@ mod tests {
         );
         let ranked = names(&select(&extract_features(&inst)));
         assert!(ranked.contains(&"cupt3"), "{ranked:?}");
+    }
+
+    #[test]
+    fn splittable_model_ranks_structure_matched_split_solvers() {
+        // CUPT structure → split3 leads (after exact declines), refine and
+        // the greedy floor follow; the integral members stay out.
+        let rows = vec![vec![5, 7]; 30];
+        let classes: Vec<usize> = (0..30).map(|j| j % 2).collect();
+        let inner = UnrelatedInstance::new(2, classes, rows, vec![vec![2, 2], vec![3, 3]]).unwrap();
+        let inst = ProblemInstance::Splittable(SplittableInstance(inner));
+        let ranked = names(&select(&extract_features(&inst)));
+        assert_eq!(ranked[0], "split3", "{ranked:?}");
+        assert!(ranked.contains(&"split-refine"), "{ranked:?}");
+        assert!(ranked.contains(&"greedy"), "{ranked:?}");
+        for absent in ["local-search", "anneal", "exact", "cupt3", "rounding", "lpt"] {
+            assert!(!ranked.contains(&absent), "{absent} must not serve the split model");
+        }
     }
 
     #[test]
@@ -323,6 +405,56 @@ mod tests {
         let mut expected: Vec<&str> = base.iter().copied().filter(|n| *n != first).collect();
         expected.push(first);
         assert_eq!(adapted, expected, "demotion must be a stable partition");
+    }
+
+    #[test]
+    fn portfolio_active_count_shrinks_with_demotions_but_never_to_zero() {
+        // Oracle-pinned shrinking: with members demoted one by one, the
+        // active prefix must shrink in lockstep — and stop at 1.
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(3, vec![2], (0..30).map(|i| Job::new(0, i + 1)).collect())
+                .unwrap(),
+        );
+        let feat = extract_features(&inst);
+        let fam = WinRateTracker::family_key(&feat);
+        let base = select(&feat);
+        let all: Vec<&'static str> = base.iter().map(|s| s.name()).collect();
+        let t = WinRateTracker::new();
+        // No history: every member is active.
+        let p = select_portfolio(&feat, Some(&t));
+        assert_eq!(p.active, base.len());
+        assert_eq!(names(&p.ranked), all);
+        // Demote members one at a time; the survivor always wins so it is
+        // immunized. The hand-computed oracle: active = len - #demoted.
+        let winner = *all.last().expect("non-empty");
+        for demote_upto in 1..all.len() {
+            let victim = all[demote_upto - 1];
+            for _ in 0..DEMOTION_MIN_RACES {
+                t.record(&fam, &[victim, winner], Some(winner));
+            }
+            let p = select_portfolio(&feat, Some(&t));
+            assert_eq!(
+                p.active,
+                all.len() - demote_upto,
+                "after demoting {demote_upto} members: {:?}",
+                names(&p.ranked)
+            );
+            // The active prefix contains no demoted member.
+            for s in &p.ranked[..p.active] {
+                assert!(!t.is_demoted(&fam, s.name()), "{} still active", s.name());
+            }
+        }
+        // A tracker where *every* member is winless: active floors at 1,
+        // not 0, and the ranking keeps the static rule order.
+        let t2 = WinRateTracker::new();
+        for name in &all {
+            for _ in 0..DEMOTION_MIN_RACES {
+                t2.record(&fam, &[name], None);
+            }
+        }
+        let p = select_portfolio(&feat, Some(&t2));
+        assert_eq!(p.active, 1, "portfolio must never shrink below one member");
+        assert_eq!(names(&p.ranked), all, "all-demoted keeps the static order");
     }
 
     #[test]

@@ -228,7 +228,7 @@ fn handle_job(
                 solver: result.winner.to_string(),
                 micros,
                 makespan: result.cost,
-                assignment: result.schedule.assignment().to_vec(),
+                solution: result.solution,
                 solvers: result
                     .reports
                     .into_iter()
@@ -381,25 +381,25 @@ pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
 mod tests {
     use super::testing::{buffer_writer, writer_to};
     use super::*;
+    use crate::model::SplittableInstance;
     use crate::protocol::{parse_response, request_to_json, Request};
     use crate::solver::{Cost, ProblemInstance};
     use sst_core::instance::{Job as CoreJob, UniformInstance, UnrelatedInstance};
-    use sst_core::schedule::Schedule;
 
+    /// A mixed bag cycling through all three machine models.
     fn requests() -> Vec<Request> {
-        (0..8)
+        (0..9)
             .map(|i| {
-                let instance = if i % 2 == 0 {
-                    ProblemInstance::Uniform(
+                let instance = match i % 3 {
+                    0 => ProblemInstance::Uniform(
                         UniformInstance::identical(
                             2,
                             vec![3],
                             (0..6).map(|x| CoreJob::new(0, 1 + (x + i) % 5)).collect(),
                         )
                         .unwrap(),
-                    )
-                } else {
-                    ProblemInstance::Unrelated(
+                    ),
+                    1 => ProblemInstance::Unrelated(
                         UnrelatedInstance::new(
                             2,
                             vec![0, 1, 0],
@@ -407,7 +407,17 @@ mod tests {
                             vec![vec![1, 2], vec![2, 1]],
                         )
                         .unwrap(),
-                    )
+                    ),
+                    _ => ProblemInstance::Splittable(SplittableInstance(
+                        // Class-uniform ptimes → split3 / split-refine apply.
+                        UnrelatedInstance::new(
+                            2,
+                            vec![0, 0, 1],
+                            vec![vec![4 + i, 6], vec![4 + i, 6], vec![9, 3]],
+                            vec![vec![1, 2], vec![2, 1]],
+                        )
+                        .unwrap(),
+                    )),
                 };
                 Request { id: i, instance, budget_ms: Some(50), top_k: Some(2), seed: Some(i) }
             })
@@ -431,14 +441,15 @@ mod tests {
             let mut seen = vec![false; reqs.len()];
             for line in text.lines() {
                 let resp = parse_response(line).expect("every line parses");
-                let Response::Ok { id, makespan, assignment, .. } = resp else {
+                let Response::Ok { id, kind, makespan, solution, .. } = resp else {
                     panic!("unexpected response: {line}");
                 };
                 let req = &reqs[id as usize];
-                let cost =
-                    req.instance.evaluate(&Schedule::new(assignment)).expect("valid schedule");
-                assert_eq!(cost, makespan, "reported makespan must match the assignment");
-                // Quality floor: never worse than greedy.
+                assert_eq!(kind, req.instance.kind(), "request {id}");
+                let cost = req.instance.evaluate(&solution).expect("valid solution");
+                assert_eq!(cost, makespan, "reported makespan must match the solution");
+                // Quality floor: never worse than greedy (split-greedy for
+                // the splittable model).
                 let greedy = req.instance.greedy();
                 assert!(!greedy.cost.better_than(&cost));
                 seen[id as usize] = true;
@@ -512,8 +523,8 @@ mod tests {
         );
         let text = String::from_utf8(buffer.lock().clone()).unwrap();
         let resp = parse_response(text.lines().next().unwrap()).unwrap();
-        let Response::Ok { makespan, assignment, .. } = resp else { panic!("{text}") };
-        let cost = inst.evaluate(&Schedule::new(assignment)).unwrap();
+        let Response::Ok { makespan, solution, .. } = resp else { panic!("{text}") };
+        let cost = inst.evaluate(&solution).unwrap();
         assert_eq!(cost, makespan);
         assert!(matches!(cost, Cost::Time(_)));
     }
@@ -641,8 +652,8 @@ mod tests {
             .iter()
             .map(|s| svc.win_rate_tracker().stats(&family, s.name()).races)
             .sum();
-        // 4 uniform requests with top_k = 2 → 8 slot-races recorded.
-        assert_eq!(raced_total, 8, "every uniform race must feed the shared tracker");
+        // 3 uniform requests with top_k = 2 → 6 slot-races recorded.
+        assert_eq!(raced_total, 6, "every uniform race must feed the shared tracker");
         svc.shutdown();
     }
 }

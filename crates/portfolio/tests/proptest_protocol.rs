@@ -5,13 +5,15 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use sst_algos::splittable::{SplitSchedule, SplitShare};
 use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
 use sst_core::ratio::Ratio;
+use sst_core::schedule::Schedule;
 use sst_portfolio::protocol::{
     parse_incoming, parse_response, request_to_json, response_to_json, Incoming, Request, Response,
     SolverLine,
 };
-use sst_portfolio::{Cost, ProblemInstance};
+use sst_portfolio::{Cost, ProblemInstance, Solution, SplittableInstance};
 
 fn uniform_instance() -> impl Strategy<Value = ProblemInstance> {
     (vec(1u64..50, 1..5), vec(0u64..100, 1..5), vec((0usize..100, 1u64..500), 0..30)).prop_map(
@@ -55,14 +57,55 @@ fn unrelated_instance() -> impl Strategy<Value = ProblemInstance> {
     )
 }
 
+/// A splittable-model instance: all-finite unrelated payload (every class
+/// trivially hostable whole, so the feasibility gate accepts it).
+fn splittable_instance() -> impl Strategy<Value = ProblemInstance> {
+    (2usize..5, 1usize..5, vec((0usize..100, 1u64..500), 1..30)).prop_map(|(m, k, raw)| {
+        let job_class: Vec<usize> = raw.iter().map(|&(c, _)| c % k).collect();
+        let ptimes: Vec<Vec<u64>> =
+            raw.iter().map(|&(_, p)| (0..m).map(|i| p + (i as u64) * 7 % 90).collect()).collect();
+        let setups: Vec<Vec<u64>> =
+            (0..k).map(|kk| (0..m).map(|i| 1 + ((kk + i) as u64 % 40)).collect()).collect();
+        ProblemInstance::Splittable(SplittableInstance(
+            UnrelatedInstance::new(m, job_class, ptimes, setups).expect("constructed valid"),
+        ))
+    })
+}
+
 fn any_instance() -> impl Strategy<Value = ProblemInstance> {
-    prop_oneof![uniform_instance(), unrelated_instance()]
+    prop_oneof![uniform_instance(), unrelated_instance(), splittable_instance()]
 }
 
 fn any_cost() -> impl Strategy<Value = Cost> {
     prop_oneof![
         (0u64..u64::MAX / 2).prop_map(Cost::Time),
         (0u64..1_000_000, 1u64..1_000).prop_map(|(n, d)| Cost::Frac(Ratio::new(n, d))),
+        // Both integral-valued and fractional floats: the codec must keep
+        // them a distinct shape from Cost::Time on the wire.
+        (0u64..1_000_000, 0u64..1_000).prop_map(|(a, b)| Cost::Real(a as f64 + b as f64 / 1000.0)),
+    ]
+}
+
+/// A solution of either shape: integral assignments or split share tables
+/// (fractions chosen from a finite grid; exact roundtrip is required
+/// regardless because floats serialize shortest-roundtrip).
+fn any_solution() -> impl Strategy<Value = Solution> {
+    prop_oneof![
+        vec(0usize..64, 0..50).prop_map(|a| Solution::Assignment(Schedule::new(a))),
+        vec(vec((0usize..8, 1u64..=1000), 0..4), 0..6).prop_map(|rows| {
+            Solution::Split(SplitSchedule::new(
+                rows.into_iter()
+                    .map(|row| {
+                        row.into_iter()
+                            .map(|(machine, millis)| SplitShare {
+                                machine,
+                                fraction: millis as f64 / 1000.0,
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            ))
+        }),
     ]
 }
 
@@ -112,11 +155,11 @@ proptest! {
     #[test]
     fn ok_response_roundtrip(
         id in 0u64..u64::MAX / 2,
-        uniform_kind in proptest::bool::ANY,
+        kind_sel in 0usize..3,
         solver in any_name(),
         micros in 0u64..u64::MAX / 2,
         makespan in any_cost(),
-        assignment in vec(0usize..64, 0..50),
+        solution in any_solution(),
         solvers in vec(
             (any_name(), prop_oneof![Just(None), any_cost().prop_map(Some)], 0u64..1_000_000, proptest::bool::ANY),
             0..5,
@@ -124,11 +167,11 @@ proptest! {
     ) {
         let resp = Response::Ok {
             id,
-            kind: if uniform_kind { "uniform".to_string() } else { "unrelated".to_string() },
+            kind: ["uniform", "unrelated", "splittable"][kind_sel].to_string(),
             solver,
             micros,
             makespan,
-            assignment,
+            solution,
             solvers: solvers
                 .into_iter()
                 .map(|(name, makespan, micros, completed)| SolverLine { name, makespan, micros, completed })

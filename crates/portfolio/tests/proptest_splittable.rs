@@ -1,0 +1,106 @@
+//! Differential property tests for the splittable serve path, mirroring
+//! `crates/core/tests/proptest_tracker.rs`: every solution the portfolio
+//! produces for the splittable model — the split-greedy floor and full
+//! races over the split solvers — must validate and agree with an
+//! independent `O(n)` full-recompute oracle of the split-model load
+//! formula `Σ_k x̄_ik·p̄_ik + Σ_{k: x̄_ik>0} s_ik`, and races must never
+//! lose to the greedy floor.
+
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_algos::splittable::SplitSchedule;
+use sst_core::instance::UnrelatedInstance;
+use sst_portfolio::{race, ProblemInstance, RaceConfig, Solution, SplittableInstance};
+
+/// All-finite unrelated payloads with class-uniform processing times (the
+/// Section 3.3.2 structure), so the full splittable portfolio — split3,
+/// split-refine and the greedy floor — engages.
+fn cupt_splittable() -> impl Strategy<Value = SplittableInstance> {
+    (2usize..5, 1usize..4, vec(0usize..100, 2..24), vec((1u64..60, 1u64..25), 1..4)).prop_map(
+        |(m, k, raw_classes, class_shape)| {
+            let kk = class_shape.len().min(k);
+            let job_class: Vec<usize> = raw_classes.iter().map(|&c| c % kk).collect();
+            let class_rows: Vec<Vec<u64>> = (0..kk)
+                .map(|c| {
+                    let (p, _) = class_shape[c];
+                    (0..m).map(|i| p + (i as u64 * 3) % 17).collect()
+                })
+                .collect();
+            let setups: Vec<Vec<u64>> = (0..kk)
+                .map(|c| {
+                    let (_, s) = class_shape[c];
+                    (0..m).map(|i| s + (i as u64) % 5).collect()
+                })
+                .collect();
+            let ptimes: Vec<Vec<u64>> = job_class.iter().map(|&c| class_rows[c].clone()).collect();
+            SplittableInstance(
+                UnrelatedInstance::new(m, job_class, ptimes, setups).expect("constructed valid"),
+            )
+        },
+    )
+}
+
+/// The independent `O(n)` oracle: recompute every machine's split-model
+/// load from the shares and the raw instance data.
+fn oracle_loads(inst: &UnrelatedInstance, split: &SplitSchedule) -> Vec<f64> {
+    let mut loads = vec![0.0f64; inst.m()];
+    for (k, row) in split.shares().iter().enumerate() {
+        for share in row {
+            let pbar: u64 =
+                inst.jobs_of_class(k).iter().map(|&j| inst.ptime(share.machine, j)).sum();
+            loads[share.machine] +=
+                share.fraction * pbar as f64 + inst.setup(share.machine, k) as f64;
+        }
+    }
+    loads
+}
+
+fn check_split_solution(
+    inst: &SplittableInstance,
+    sol: &Solution,
+    reported: f64,
+) -> Result<(), TestCaseError> {
+    let Solution::Split(split) = sol else {
+        return Err(TestCaseError::fail("splittable solution must be shares"));
+    };
+    prop_assert_eq!(split.validate(inst.inner()), Ok(()));
+    let oracle = oracle_loads(inst.inner(), split);
+    let oracle_ms = oracle.iter().copied().fold(0.0f64, f64::max);
+    prop_assert!(
+        (reported - oracle_ms).abs() < 1e-6,
+        "reported {} vs oracle {}",
+        reported,
+        oracle_ms
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn split_greedy_floor_matches_the_oracle(inst in cupt_splittable()) {
+        let pi = ProblemInstance::Splittable(inst.clone());
+        let greedy = pi.greedy();
+        check_split_solution(&inst, &greedy.solution, greedy.cost.to_f64())?;
+    }
+
+    #[test]
+    fn splittable_races_validate_and_never_lose_to_greedy(inst in cupt_splittable()) {
+        let pi = ProblemInstance::Splittable(inst.clone());
+        let cfg = RaceConfig { top_k: 3, budget: Duration::from_millis(40), seed: 7 };
+        let res = race(&pi, &cfg);
+        check_split_solution(&inst, &res.solution, res.cost.to_f64())?;
+        let greedy = pi.greedy();
+        prop_assert!(
+            !greedy.cost.better_than(&res.cost),
+            "race ({}) lost to split-greedy ({})",
+            res.cost,
+            greedy.cost
+        );
+        // The reported cost is exactly what re-evaluation yields.
+        prop_assert_eq!(pi.evaluate(&res.solution).expect("valid"), res.cost);
+    }
+}

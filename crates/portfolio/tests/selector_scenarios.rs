@@ -7,7 +7,9 @@
 
 use std::time::Duration;
 
-use sst_portfolio::{extract_features, race, select, ProblemInstance, RaceConfig};
+use sst_portfolio::{
+    extract_features, race, select, ProblemInstance, RaceConfig, SplittableInstance,
+};
 
 fn scenario_suite() -> Vec<(&'static str, ProblemInstance)> {
     vec![
@@ -55,6 +57,21 @@ fn scenario_suite() -> Vec<(&'static str, ProblemInstance)> {
                 7,
             )),
         ),
+        (
+            "splittable-stress",
+            ProblemInstance::Splittable(SplittableInstance(sst_gen::splittable_stress(4, 6, 8, 7))),
+        ),
+        (
+            "splittable-cupt",
+            ProblemInstance::Splittable(SplittableInstance(sst_gen::class_uniform_ptimes(
+                30,
+                5,
+                4,
+                (1, 40),
+                sst_gen::SetupWeight::Moderate,
+                7,
+            ))),
+        ),
     ]
 }
 
@@ -79,12 +96,29 @@ fn selector_produces_applicable_portfolios_on_every_family() {
                 assert!(names.contains(&"lpt"), "{name}: {names:?}");
                 assert!(!names.contains(&"rounding"), "{name}: {names:?}");
             }
+            "splittable-stress" => {
+                assert!(names.contains(&"split2"), "{name}: {names:?}");
+                assert!(names.contains(&"split-refine"), "{name}: {names:?}");
+            }
+            "splittable-cupt" => {
+                assert_eq!(names[0], "split3", "{name}: {names:?}");
+                assert!(names.contains(&"split-refine"), "{name}: {names:?}");
+            }
             _ => {}
         }
-        assert!(
-            names.contains(&"local-search") && names.contains(&"anneal"),
-            "{name}: search members must always be available: {names:?}"
-        );
+        if name.starts_with("splittable") {
+            // The integral search members cannot produce split solutions.
+            assert!(
+                !names.contains(&"local-search") && !names.contains(&"anneal"),
+                "{name}: integral members must stay out: {names:?}"
+            );
+            assert!(names.contains(&"greedy"), "{name}: the floor must stay in: {names:?}");
+        } else {
+            assert!(
+                names.contains(&"local-search") && names.contains(&"anneal"),
+                "{name}: search members must always be available: {names:?}"
+            );
+        }
     }
 }
 
@@ -100,7 +134,7 @@ fn race_beats_or_ties_greedy_on_every_family() {
             res.cost,
             greedy.cost
         );
-        let reval = inst.evaluate(&res.schedule).expect("race schedule must be valid");
-        assert_eq!(reval, res.cost, "{name}: reported cost must match the schedule");
+        let reval = inst.evaluate(&res.solution).expect("race solution must be valid");
+        assert_eq!(reval, res.cost, "{name}: reported cost must match the solution");
     }
 }
