@@ -38,6 +38,7 @@ pub mod multifit;
 pub mod pseudoforest;
 pub mod ptas;
 pub mod ra;
+pub mod repair;
 pub mod rounding;
 pub mod splittable;
 
@@ -45,6 +46,7 @@ pub use cupt::solve_class_uniform_ptimes;
 pub use exact::{exact_uniform, exact_unrelated, exact_unrelated_parallel, ExactResult};
 pub use lpt::{lpt_with_setups, lpt_with_setups_makespan, LPT_FACTOR};
 pub use ra::{solve_ra_class_uniform, RaResult};
+pub use repair::{repair_after_deltas, repair_schedule, RepairError, RepairOutcome};
 pub use rounding::{solve_unrelated_randomized, RoundingConfig, RoundingResult};
 pub use splittable::{
     solve_splittable_class_uniform_ptimes, solve_splittable_ra_class_uniform,

@@ -1,0 +1,269 @@
+//! Differential property tests for instance deltas and tracker repair
+//! (see `sst_core::delta`, the structural-edit section of
+//! `sst_core::tracker`, and `sst_algos::repair`):
+//!
+//! 1. **instance-after-deltas ≡ instance rebuilt from scratch** — folding
+//!    `MachineModel::apply_delta` over an arbitrary valid delta sequence
+//!    must produce exactly the instance a from-scratch constructor builds
+//!    from the oracle-maintained raw vectors (swap-remove renames and
+//!    all), for all three machine models;
+//! 2. **repaired tracker ≡ freshly built tracker** — a live `LoadTracker`
+//!    repaired in lockstep with the deltas (`insert_job_greedy`,
+//!    `remove_job`, `retime_job`, `retime_setup`, `add_class`) must agree
+//!    bit-identically — loads, makespan, bottleneck — with a tracker built
+//!    from scratch on the final instance and the repaired schedule, and
+//!    `repair_after_deltas` must return that same repaired schedule.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_algos::repair::repair_after_deltas;
+use sst_core::delta::InstanceDelta;
+use sst_core::instance::{Job, UniformInstance, UnrelatedInstance, INF};
+use sst_core::model::{MachineModel, Splittable, Uniform, Unrelated};
+use sst_core::schedule::Schedule;
+use sst_core::tracker::LoadTracker;
+
+/// A raw op descriptor, interpreted against the evolving instance shape so
+/// every emitted delta is valid by construction.
+type RawOp = (u8, usize, u64, u64);
+
+fn times_row(m: usize, seed: u64) -> Vec<u64> {
+    (0..m).map(|i| 1 + (seed + 13 * i as u64) % 97).collect()
+}
+
+/// A setup row with mask-driven `INF` cells; entry `anchor` stays finite
+/// so (on all-finite-ptimes instances) no job can become unschedulable.
+fn setup_row(m: usize, seed: u64, mask: u64, anchor: usize) -> Vec<u64> {
+    (0..m)
+        .map(
+            |i| {
+                if i != anchor && (mask >> i) & 1 == 1 {
+                    INF
+                } else {
+                    1 + (seed + 7 * i as u64) % 50
+                }
+            },
+        )
+        .collect()
+}
+
+/// Interprets raw ops into a valid unrelated delta sequence, mirroring the
+/// edits on oracle-maintained raw vectors. Returns (deltas, oracle parts).
+#[allow(clippy::type_complexity)]
+fn interpret_unrelated(
+    inst: &UnrelatedInstance,
+    ops: &[RawOp],
+) -> (Vec<InstanceDelta>, Vec<usize>, Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let m = inst.m();
+    let mut job_class: Vec<usize> = inst.job_classes().to_vec();
+    let mut ptimes: Vec<Vec<u64>> = (0..inst.n()).map(|j| inst.ptimes_row(j).to_vec()).collect();
+    let mut setups: Vec<Vec<u64>> =
+        (0..inst.num_classes()).map(|k| inst.setups_row(k).to_vec()).collect();
+    let mut deltas = Vec::new();
+    for &(kind, a, b, mask) in ops {
+        match kind % 5 {
+            0 => {
+                let class = a % setups.len();
+                let times = times_row(m, b);
+                job_class.push(class);
+                ptimes.push(times.clone());
+                deltas.push(InstanceDelta::AddJob { class, times });
+            }
+            1 => {
+                if job_class.is_empty() {
+                    continue;
+                }
+                let job = a % job_class.len();
+                job_class.swap_remove(job);
+                ptimes.swap_remove(job);
+                deltas.push(InstanceDelta::RemoveJob { job });
+            }
+            2 => {
+                if job_class.is_empty() {
+                    continue;
+                }
+                let job = a % job_class.len();
+                let times = times_row(m, b.wrapping_add(31));
+                ptimes[job] = times.clone();
+                deltas.push(InstanceDelta::ResizeJob { job, times });
+            }
+            3 => {
+                let class = a % setups.len();
+                let times = setup_row(m, b, mask, class % m);
+                setups[class] = times.clone();
+                deltas.push(InstanceDelta::ResizeSetup { class, times });
+            }
+            _ => {
+                let times = setup_row(m, b, mask, setups.len() % m);
+                setups.push(times.clone());
+                deltas.push(InstanceDelta::AddClass { times });
+            }
+        }
+    }
+    (deltas, job_class, ptimes, setups)
+}
+
+fn interpret_uniform(
+    inst: &UniformInstance,
+    ops: &[RawOp],
+) -> (Vec<InstanceDelta>, Vec<u64>, Vec<Job>) {
+    let mut setups: Vec<u64> = inst.setups().to_vec();
+    let mut jobs: Vec<Job> = inst.jobs().to_vec();
+    let mut deltas = Vec::new();
+    for &(kind, a, b, _) in ops {
+        match kind % 5 {
+            0 => {
+                let class = a % setups.len();
+                let size = 1 + b % 200;
+                jobs.push(Job::new(class, size));
+                deltas.push(InstanceDelta::AddJob { class, times: vec![size] });
+            }
+            1 => {
+                if jobs.is_empty() {
+                    continue;
+                }
+                let job = a % jobs.len();
+                jobs.swap_remove(job);
+                deltas.push(InstanceDelta::RemoveJob { job });
+            }
+            2 => {
+                if jobs.is_empty() {
+                    continue;
+                }
+                let job = a % jobs.len();
+                let size = 1 + b % 300;
+                jobs[job].size = size;
+                deltas.push(InstanceDelta::ResizeJob { job, times: vec![size] });
+            }
+            3 => {
+                let class = a % setups.len();
+                let s = b % 80;
+                setups[class] = s;
+                deltas.push(InstanceDelta::ResizeSetup { class, times: vec![s] });
+            }
+            _ => {
+                let s = b % 60;
+                setups.push(s);
+                deltas.push(InstanceDelta::AddClass { times: vec![s] });
+            }
+        }
+    }
+    (deltas, setups, jobs)
+}
+
+/// Runs the packaged batch repair and checks the repaired tracker state
+/// (loads, makespan) bit-identically against a tracker freshly built from
+/// the post-delta instance and the repaired schedule — plus that folding
+/// `apply_delta` one edit at a time lands on the identical instance the
+/// batched applier produced.
+fn check_tracker_repair<M: MachineModel>(
+    base: &M::Instance,
+    start: &Schedule,
+    deltas: &[InstanceDelta],
+) -> Result<(), TestCaseError>
+where
+    M::Instance: Clone + std::fmt::Debug + PartialEq,
+{
+    let (final_inst, out) =
+        repair_after_deltas::<M>(base, start, deltas).expect("interpreted deltas are valid");
+    // Batch application ≡ per-edit fold (the sequences are valid at every
+    // prefix, so the two appliers must agree exactly).
+    let mut folded = base.clone();
+    for d in deltas {
+        folded = M::apply_delta(&folded, d).expect("interpreted deltas are valid");
+    }
+    prop_assert_eq!(&folded, &final_inst);
+    // Repaired tracker ≡ freshly built tracker, bit-identically.
+    let fresh = LoadTracker::<M>::new(&final_inst, &out.schedule)
+        .expect("repaired schedule valid on the post-delta instance");
+    prop_assert_eq!(&out.loads, &fresh.loads().to_vec());
+    prop_assert_eq!(out.makespan, M::key_to_f64(fresh.makespan()));
+    Ok(())
+}
+
+fn unrelated_instance() -> impl Strategy<Value = UnrelatedInstance> {
+    (2usize..5, 1usize..4, vec((0usize..100, 1u64..300), 1..25)).prop_map(|(m, k, raw)| {
+        let job_class: Vec<usize> = raw.iter().map(|&(c, _)| c % k).collect();
+        let ptimes: Vec<Vec<u64>> =
+            raw.iter().map(|&(_, p)| (0..m).map(|i| p + (i as u64 * 11) % 40).collect()).collect();
+        let setups: Vec<Vec<u64>> =
+            (0..k).map(|kk| (0..m).map(|i| 1 + ((kk + 2 * i) as u64 % 30)).collect()).collect();
+        UnrelatedInstance::new(m, job_class, ptimes, setups).expect("valid")
+    })
+}
+
+fn uniform_instance() -> impl Strategy<Value = UniformInstance> {
+    (vec(1u64..40, 2..5), vec(0u64..60, 1..4), vec((0usize..100, 1u64..200), 1..25)).prop_map(
+        |(speeds, setups, raw)| {
+            let k = setups.len();
+            let jobs: Vec<Job> = raw.into_iter().map(|(c, p)| Job::new(c % k, p)).collect();
+            UniformInstance::new(speeds, setups, jobs).expect("valid")
+        },
+    )
+}
+
+fn raw_ops() -> impl Strategy<Value = Vec<RawOp>> {
+    vec((0u8..5, 0usize..1000, 0u64..10_000, 0u64..32), 0..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unrelated_deltas_match_scratch_rebuild(inst in unrelated_instance(), ops in raw_ops()) {
+        let (deltas, job_class, ptimes, setups) = interpret_unrelated(&inst, &ops);
+        let mut folded = inst.clone();
+        for d in &deltas {
+            folded = Unrelated::apply_delta(&folded, d).expect("interpreted deltas are valid");
+        }
+        let scratch = UnrelatedInstance::new(inst.m(), job_class, ptimes, setups)
+            .expect("oracle parts are valid");
+        prop_assert_eq!(folded, scratch);
+    }
+
+    #[test]
+    fn uniform_deltas_match_scratch_rebuild(inst in uniform_instance(), ops in raw_ops()) {
+        let (deltas, setups, jobs) = interpret_uniform(&inst, &ops);
+        let mut folded = inst.clone();
+        for d in &deltas {
+            folded = Uniform::apply_delta(&folded, d).expect("interpreted deltas are valid");
+        }
+        let scratch = UniformInstance::new(inst.speeds().to_vec(), setups, jobs)
+            .expect("oracle parts are valid");
+        prop_assert_eq!(folded, scratch);
+    }
+
+    #[test]
+    fn unrelated_tracker_repair_matches_fresh_build(
+        inst in unrelated_instance(),
+        ops in raw_ops(),
+        seed in 0usize..100,
+    ) {
+        let (deltas, ..) = interpret_unrelated(&inst, &ops);
+        let start = Schedule::new((0..inst.n()).map(|j| (j + seed) % inst.m()).collect());
+        check_tracker_repair::<Unrelated>(&inst, &start, &deltas)?;
+    }
+
+    #[test]
+    fn uniform_tracker_repair_matches_fresh_build(
+        inst in uniform_instance(),
+        ops in raw_ops(),
+        seed in 0usize..100,
+    ) {
+        let (deltas, ..) = interpret_uniform(&inst, &ops);
+        let start = Schedule::new((0..inst.n()).map(|j| (j + seed) % inst.m()).collect());
+        check_tracker_repair::<Uniform>(&inst, &start, &deltas)?;
+    }
+
+    #[test]
+    fn splittable_tracker_repair_matches_fresh_build(
+        inst in unrelated_instance(),
+        ops in raw_ops(),
+    ) {
+        // The splittable model repairs on its integral sub-space — same
+        // instance data, same structural edits, `Splittable` marker.
+        let (deltas, ..) = interpret_unrelated(&inst, &ops);
+        let start = Schedule::new(vec![0; inst.n()]);
+        check_tracker_repair::<Splittable>(&inst, &start, &deltas)?;
+    }
+}

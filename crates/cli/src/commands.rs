@@ -80,9 +80,12 @@ USAGE
                [--setups light|moderate|heavy]
       families: uniform | identical | unrelated | ra | cupt |
                 production-line | compute-cluster | print-shop |
-                ci-build-farm | cdn-transcode | splittable-stress
+                ci-build-farm | cdn-transcode | splittable-stress |
+                dynamic-queue
       (cdn-transcode and splittable-stress write kind \"splittable\":
-       the split model served by `sst serve`)
+       the split model served by `sst serve`; dynamic-queue writes a
+       base instance plus a timed delta trace — the session workload:
+       [--base uniform|unrelated] [--steps S] [--deltas-per-step D])
   sst solve <instance.json> --algo ALGO [--q Q] [--seed S] [--out sched.json]
             [--polish steps]
       algos (uniform):   lpt | ptas | greedy | exact
@@ -98,15 +101,26 @@ USAGE
       prints one CSV row per (n, seed), computed in parallel
   sst serve [--tcp HOST:PORT] [--workers N] [--top-k K] [--budget-ms MS]
             [--seed S] [--mode stealing|sharded] [--max-queue N]
-            [--fault-injection true]
+            [--max-sessions N] [--fault-injection true]
       solver-portfolio service speaking NDJSON: one request object per
       line ({\"id\": .., \"instance\": {..}, \"budget_ms\": ..}), one
       response per line; instance.kind is uniform | unrelated |
       splittable (splittable responses carry per-class \"shares\"
       instead of an \"assignment\"); {\"metrics\": true} returns running
-      latency percentiles. Requests flow through a work-stealing worker pool
-      (adaptive top-k: members that never win a feature family are
-      demoted); --mode sharded keeps the round-robin baseline. Beyond
+      latency percentiles, session-store stats and win-rate standings.
+      Stateful sessions ride the same connection:
+        {\"id\": 1, \"session\": {\"create\": {\"sid\": 7, \"instance\": {..}}}}
+        {\"id\": 2, \"session\": {\"delta\": {\"sid\": 7, \"deltas\":
+            [{\"add_job\": {\"class\": 0, \"times\": [..]}},
+             {\"remove_job\": 3}]}}}
+        {\"id\": 3, \"session\": {\"solve\": {\"sid\": 7, \"budget_ms\": 50}}}
+        {\"id\": 4, \"session\": {\"close\": {\"sid\": 7}}}
+      delta answers with the repaired incumbent (solver \"delta-repair\");
+      solve races warm from that floor and can only improve on it. The
+      store is LRU-bounded at --max-sessions (evictions show in metrics).
+      Requests flow through a work-stealing worker pool (adaptive top-k:
+      a scored win-rate × recency ranking demotes members whose score
+      decays); --mode sharded keeps the round-robin baseline. Beyond
       --max-queue pending requests the service answers with overload
       errors instead of queueing. --fault-injection true honors
       {\"kill_worker\": true} chaos probes. --shards N is accepted as an
@@ -130,6 +144,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "seed",
         "mode",
         "max-queue",
+        "max-sessions",
         "fault-injection",
     ])?;
     // `--shards` (the PR 2 spelling) stays as an alias of `--workers`.
@@ -152,6 +167,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         seed: args.flag_parse("seed", 1u64)?,
         mode,
         max_queue: args.flag_parse("max-queue", 1024usize)?.max(1),
+        max_sessions: args.flag_parse("max-sessions", 64usize)?.max(1),
         fault_injection: args.flag_parse("fault-injection", false)?,
     };
     match args.flag("tcp") {
@@ -182,7 +198,18 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
 
 /// `sst generate` — writes an instance JSON and reports its shape.
 pub fn generate(args: &Args) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["out", "n", "m", "k", "seed", "setups", "eligible"])?;
+    args.reject_unknown_flags(&[
+        "out",
+        "n",
+        "m",
+        "k",
+        "seed",
+        "setups",
+        "eligible",
+        "base",
+        "steps",
+        "deltas-per-step",
+    ])?;
     let family = args.pos(0, "family")?;
     let out = args.flag("out").ok_or_else(|| CliError("--out FILE is required".into()))?;
     let n: usize = args.flag_parse("n", 40)?;
@@ -251,6 +278,43 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
             // n is taken as jobs-per-class × classes via k; keep the CLI
             // contract n ≈ total jobs.
             io::splittable_to_json(&sst_gen::splittable_stress(k, m, n.div_ceil(k.max(1)), seed))
+        }
+        "dynamic-queue" => {
+            let base = match args.flag("base").unwrap_or("unrelated") {
+                "uniform" => sst_gen::DynamicBase::Uniform,
+                "unrelated" => sst_gen::DynamicBase::Unrelated,
+                other => return Err(CliError(format!("unknown --base '{other}'"))),
+            };
+            let params = sst_gen::DynamicQueueParams {
+                base,
+                n,
+                m,
+                k,
+                steps: args.flag_parse("steps", 8usize)?,
+                deltas_per_step: args.flag_parse("deltas-per-step", 4usize)?,
+                setups,
+                seed,
+            };
+            let (inst, trace) = sst_gen::dynamic_queue(&params);
+            let base_json = match &inst {
+                sst_gen::DynamicInstance::Uniform(u) => io::uniform_to_json_line(u),
+                sst_gen::DynamicInstance::Unrelated(r) => io::unrelated_to_json_line(r),
+            };
+            let mut out = format!(
+                "{{\n  \"version\": 1,\n  \"kind\": \"dynamic-queue\",\n  \"base\": {base_json},\n  \"trace\": ["
+            );
+            for (i, step) in trace.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"at_ms\": {}, \"deltas\": {}}}",
+                    step.at_ms,
+                    sst_core::delta::deltas_to_json(&step.deltas)
+                ));
+            }
+            out.push_str("\n  ]\n}");
+            out
         }
         other => return Err(CliError(format!("unknown family '{other}'; see `sst help`"))),
     };
@@ -799,6 +863,46 @@ mod tests {
         // Integral commands read the shared payload as unrelated data.
         let i = run(&parse(&toks(&["info", &inst_path])).unwrap()).unwrap();
         assert!(i.contains("class-uniform ptimes: true"), "{i}");
+    }
+
+    #[test]
+    fn generate_dynamic_queue_writes_base_and_replayable_trace() {
+        use sst_core::io::json::{self, JsonValue};
+        use sst_core::model::{MachineModel, Unrelated};
+
+        let path = tmp("dq.json");
+        let g = run(&parse(&toks(&[
+            "generate",
+            "dynamic-queue",
+            "--out",
+            &path,
+            "--n",
+            "12",
+            "--m",
+            "3",
+            "--steps",
+            "5",
+            "--seed",
+            "4",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(g.contains("dynamic-queue"), "{g}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let JsonValue::Object(map) = json::parse(&text).unwrap() else { panic!("{text}") };
+        assert_eq!(map.get("kind"), Some(&JsonValue::Str("dynamic-queue".into())));
+        // The base instance and every trace delta parse back and replay.
+        let mut inst = io::unrelated_from_value(map.get("base").unwrap()).unwrap();
+        let JsonValue::Array(steps) = map.get("trace").unwrap() else { panic!("{text}") };
+        assert_eq!(steps.len(), 5);
+        for step in steps {
+            let JsonValue::Object(s) = step else { panic!("{text}") };
+            assert!(matches!(s.get("at_ms"), Some(JsonValue::Uint(_))));
+            let deltas = sst_core::delta::deltas_from_value(s.get("deltas").unwrap()).unwrap();
+            for d in &deltas {
+                inst = Unrelated::apply_delta(&inst, d).expect("trace replays cleanly");
+            }
+        }
     }
 
     #[test]

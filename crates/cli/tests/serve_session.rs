@@ -1,0 +1,184 @@
+//! Session lifecycle smoke against the **real** `sst serve --tcp` binary:
+//! create → delta → solve → close, over one connection. The CI gate
+//! asserts the stateful protocol end-to-end:
+//!
+//! * `create` acks with the session's greedy incumbent cost;
+//! * `delta` answers with the **repaired incumbent** (solver
+//!   `"delta-repair"`) — a valid solution of the *mutated* instance
+//!   (re-derived client-side by replaying the same deltas) whose reported
+//!   makespan matches exact re-evaluation;
+//! * `solve` races warm from that floor and must answer with a solution
+//!   that is equal-or-better than the repaired incumbent — the
+//!   repaired-incumbent floor, checked per response;
+//! * `close` frees the slot and later verbs on the sid get error lines;
+//! * `{"metrics": true}` reports the session counters.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use sst_core::delta::InstanceDelta;
+use sst_core::model::MachineModel;
+use sst_portfolio::protocol::{
+    parse_response, session_request_to_json, Response, SessionRequest, SessionVerb,
+};
+use sst_portfolio::{ProblemInstance, SplittableInstance};
+
+fn spawn_server() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sst"))
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--budget-ms",
+            "60",
+            "--max-sessions",
+            "8",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sst serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("sst-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client { reader: BufReader::new(stream.try_clone().expect("clone")), writer: stream }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Response {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut resp = String::new();
+        assert!(self.reader.read_line(&mut resp).expect("read") > 0, "early EOF");
+        parse_response(resp.trim()).unwrap_or_else(|e| panic!("bad response {resp:?}: {e}"))
+    }
+
+    fn session(&mut self, id: u64, verb: SessionVerb) -> Response {
+        self.roundtrip(&session_request_to_json(&SessionRequest { id, verb }))
+    }
+}
+
+#[test]
+fn session_lifecycle_over_real_binary_holds_the_repaired_floor() {
+    let (mut child, addr) = spawn_server();
+    let mut client = Client::connect(&addr);
+
+    // --- uniform session -------------------------------------------------
+    let base = sst_gen::uniform(&sst_gen::UniformParams {
+        n: 20,
+        m: 4,
+        k: 5,
+        seed: 3,
+        ..Default::default()
+    });
+    let deltas = vec![
+        InstanceDelta::AddJob { class: 0, times: vec![17] },
+        InstanceDelta::AddJob { class: 2, times: vec![4] },
+        InstanceDelta::RemoveJob { job: 5 },
+        InstanceDelta::ResizeJob { job: 1, times: vec![40] },
+        InstanceDelta::ResizeSetup { class: 1, times: vec![9] },
+    ];
+    // Client-side replay of the same deltas — the instance the repaired
+    // incumbent and the warm solve must be valid against.
+    let mut mutated = base.clone();
+    for d in &deltas {
+        mutated = sst_core::model::Uniform::apply_delta(&mutated, d).expect("valid deltas");
+    }
+    let mutated = ProblemInstance::Uniform(mutated);
+
+    let create =
+        client.session(0, SessionVerb::Create { sid: 7, instance: ProblemInstance::Uniform(base) });
+    let Response::Session { sid: 7, ref verb, makespan: Some(_), live, .. } = create else {
+        panic!("create must ack with the greedy incumbent: {create:?}");
+    };
+    assert_eq!(verb, "create");
+    assert_eq!(live, 1);
+
+    let delta = client.session(1, SessionVerb::Delta { sid: 7, deltas });
+    let Response::Ok { ref solver, makespan: repaired_cost, ref solution, ref kind, .. } = delta
+    else {
+        panic!("delta must answer with the repaired incumbent: {delta:?}");
+    };
+    assert_eq!(solver, "delta-repair");
+    assert_eq!(kind, "uniform");
+    let reval = mutated.evaluate(solution).expect("repaired incumbent valid on mutated instance");
+    assert_eq!(reval, repaired_cost, "repaired makespan must match exact re-evaluation");
+
+    let solve = client.session(
+        2,
+        SessionVerb::Solve { sid: 7, budget_ms: Some(60), top_k: Some(3), seed: Some(1) },
+    );
+    let Response::Ok { makespan: solved_cost, ref solution, .. } = solve else {
+        panic!("solve must answer ok: {solve:?}");
+    };
+    let reval = mutated.evaluate(solution).expect("solved schedule valid on mutated instance");
+    assert_eq!(reval, solved_cost);
+    assert!(
+        !repaired_cost.better_than(&solved_cost),
+        "warm solve ({solved_cost:?}) must hold the repaired-incumbent floor ({repaired_cost:?})"
+    );
+
+    // --- splittable session on the same connection -----------------------
+    let inner = sst_gen::scenarios::cdn_transcode(18, 3, 4, 5);
+    let split_deltas =
+        vec![InstanceDelta::AddJob { class: 1, times: inner.ptimes_row(0).to_vec() }];
+    let mut split_mutated = inner.clone();
+    for d in &split_deltas {
+        split_mutated = sst_core::model::Splittable::apply_delta(&split_mutated, d).expect("valid");
+    }
+    let split_mutated = ProblemInstance::Splittable(SplittableInstance(split_mutated));
+    let create = client.session(
+        3,
+        SessionVerb::Create {
+            sid: 8,
+            instance: ProblemInstance::Splittable(SplittableInstance(inner)),
+        },
+    );
+    assert!(matches!(create, Response::Session { sid: 8, live: 2, .. }), "{create:?}");
+    let delta = client.session(4, SessionVerb::Delta { sid: 8, deltas: split_deltas });
+    let Response::Ok { makespan: split_repaired, ref solution, ref kind, .. } = delta else {
+        panic!("{delta:?}");
+    };
+    assert_eq!(kind, "splittable");
+    assert_eq!(split_mutated.evaluate(solution).expect("valid shares"), split_repaired);
+    let solve = client
+        .session(5, SessionVerb::Solve { sid: 8, budget_ms: Some(60), top_k: Some(2), seed: None });
+    let Response::Ok { makespan: split_solved, .. } = solve else { panic!("{solve:?}") };
+    assert!(!split_repaired.better_than(&split_solved), "split floor holds");
+
+    // --- metrics + close --------------------------------------------------
+    let metrics = client.roundtrip("{\"metrics\": true}");
+    let Response::Metrics(m) = metrics else { panic!("{metrics:?}") };
+    assert_eq!(m.sessions.live, 2, "both sessions live");
+    assert_eq!(m.sessions.warm_hits + m.sessions.warm_misses, 2, "two warm solves recorded");
+
+    let close = client.session(6, SessionVerb::Close { sid: 7 });
+    assert!(matches!(close, Response::Session { sid: 7, live: 1, .. }), "{close:?}");
+    let stale =
+        client.session(7, SessionVerb::Solve { sid: 7, budget_ms: None, top_k: None, seed: None });
+    assert!(
+        matches!(&stale, Response::Error { id: Some(7), message } if message.contains("unknown session")),
+        "{stale:?}"
+    );
+
+    child.kill().expect("kill server");
+    let _ = child.wait();
+}

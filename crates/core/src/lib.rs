@@ -41,6 +41,7 @@ pub mod batch;
 pub mod bounds;
 pub mod builder;
 pub mod cancel;
+pub mod delta;
 pub mod dual;
 pub mod error;
 pub mod groups;
@@ -56,6 +57,7 @@ pub mod timeline;
 pub mod tracker;
 
 pub use cancel::CancelToken;
+pub use delta::{DeltaError, InstanceDelta};
 pub use error::{InstanceError, ScheduleError};
 pub use instance::{ClassId, Job, JobId, MachineId, UniformInstance, UnrelatedInstance, INF};
 pub use model::{MachineModel, Splittable, Uniform, Unrelated};

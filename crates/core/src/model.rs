@@ -43,6 +43,7 @@
 //! marker type, and the tracker, local search and annealing come for free
 //! (see the "Adding a machine model" guide in the repository README).
 
+use crate::delta::{self, DeltaError, InstanceDelta};
 use crate::instance::{is_finite, ClassId, JobId, MachineId, UniformInstance, UnrelatedInstance};
 use crate::ratio::Ratio;
 use crate::schedule::Schedule;
@@ -95,6 +96,26 @@ pub trait MachineModel {
 
     /// Lossy float view of a key (temperature scales, display).
     fn key_to_f64(key: Self::Key) -> f64;
+
+    /// Applies one [`InstanceDelta`] (see [`crate::delta`]) and returns the
+    /// edited, re-validated instance. The session layer mutates instances
+    /// exclusively through this hook, so delta semantics (swap-remove job
+    /// ids, appended classes) are identical across machine models.
+    fn apply_delta(
+        inst: &Self::Instance,
+        delta: &InstanceDelta,
+    ) -> Result<Self::Instance, DeltaError>;
+
+    /// Applies a whole delta batch with **one** instance rebuild (the
+    /// repair path's fast variant — per-edit application would pay the
+    /// `O(n·m)` reconstruction once per edit). Equivalent to folding
+    /// [`Self::apply_delta`], except that validation runs on the final
+    /// state only (pinned, on per-step-valid sequences, by the
+    /// differential proptests).
+    fn apply_deltas(
+        inst: &Self::Instance,
+        deltas: &[InstanceDelta],
+    ) -> Result<Self::Instance, DeltaError>;
 }
 
 /// Uniformly related machines: machine `i` has speed `v_i`, loads are
@@ -145,6 +166,20 @@ impl MachineModel for Uniform {
     #[inline]
     fn key_to_f64(key: Ratio) -> f64 {
         key.to_f64()
+    }
+    #[inline]
+    fn apply_delta(
+        inst: &UniformInstance,
+        d: &InstanceDelta,
+    ) -> Result<UniformInstance, DeltaError> {
+        delta::apply_uniform(inst, d)
+    }
+    #[inline]
+    fn apply_deltas(
+        inst: &UniformInstance,
+        ds: &[InstanceDelta],
+    ) -> Result<UniformInstance, DeltaError> {
+        delta::apply_uniform_all(inst, ds)
     }
 }
 
@@ -197,6 +232,20 @@ impl MachineModel for Unrelated {
     #[inline]
     fn key_to_f64(key: u64) -> f64 {
         key as f64
+    }
+    #[inline]
+    fn apply_delta(
+        inst: &UnrelatedInstance,
+        d: &InstanceDelta,
+    ) -> Result<UnrelatedInstance, DeltaError> {
+        delta::apply_unrelated(inst, d)
+    }
+    #[inline]
+    fn apply_deltas(
+        inst: &UnrelatedInstance,
+        ds: &[InstanceDelta],
+    ) -> Result<UnrelatedInstance, DeltaError> {
+        delta::apply_unrelated_all(inst, ds)
     }
 }
 
@@ -252,6 +301,20 @@ impl MachineModel for Splittable {
     #[inline]
     fn key_to_f64(key: u64) -> f64 {
         Unrelated::key_to_f64(key)
+    }
+    #[inline]
+    fn apply_delta(
+        inst: &UnrelatedInstance,
+        d: &InstanceDelta,
+    ) -> Result<UnrelatedInstance, DeltaError> {
+        Unrelated::apply_delta(inst, d)
+    }
+    #[inline]
+    fn apply_deltas(
+        inst: &UnrelatedInstance,
+        ds: &[InstanceDelta],
+    ) -> Result<UnrelatedInstance, DeltaError> {
+        Unrelated::apply_deltas(inst, ds)
     }
 }
 

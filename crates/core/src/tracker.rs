@@ -29,6 +29,29 @@
 //! | `apply_job_move` | `O(log m)` | `O(log m)` |
 //! | `eval_class_move` | `O(log m)` | `O(B + log m)` |
 //! | `apply_class_move` | `O(B + log m)` | `O(B + log m)` |
+//! | `insert_job` / `remove_job` | `O(log m)` | `O(log m)` |
+//! | `retime_job` | `O(log m)`† | `O(log m)`† |
+//! | `retime_setup` | `O(H log m)`† | `O(H log m)`† |
+//! | `add_class` | `O(m)` | `O(m)` |
+//!
+//! ## Structural edits
+//!
+//! A tracker can additionally be **repaired in place** after instance
+//! deltas ([`crate::delta::InstanceDelta`]) instead of being rebuilt:
+//! `insert_job_greedy` / `remove_job` / `retime_job` / `retime_setup` /
+//! `add_class` mirror the edits in the bookkeeping. The methods are
+//! *value-based*: incoming times arrive as per-machine accessors (the
+//! delta payloads layered over the pre-batch instance — see
+//! `sst_algos::repair`) and outgoing contributions come from the
+//! tracker's own caches (per-job raw times, per-slot charged setups), so
+//! a whole delta batch repairs without materializing one intermediate
+//! instance; `rebind` then re-attaches the batch-applied instance for
+//! further move evaluation. The slot table is laid out class-major
+//! (`slots[k * m + i]`) precisely so `add_class` appends `m` fresh slots
+//! without invalidating an index, and job removal uses the same
+//! swap-remove renaming the delta applies to the instance. († jobs or
+//! whole slots whose new time is infinite are evicted and greedily
+//! re-placed at `O(m + log m)` each; `H` = machines hosting the class.)
 //!
 //! `B` = number of jobs of the moved class on the source machine. (*) the
 //! multiset keeps its maximum at the back of a B-tree; the query touches
@@ -128,30 +151,67 @@ struct Slot {
 }
 
 /// Per-(machine × class) bookkeeping, shared by every machine model.
+///
+/// The slot arrays are laid out **class-major** (`slots[k * m + i]`), not
+/// machine-major: appending a class ([`SlotTable::grow_class`], the
+/// [`crate::delta::InstanceDelta::AddClass`] structural edit) then extends
+/// the arrays by `m` fresh slots at the end without disturbing a single
+/// existing index, so a live tracker absorbs the edit in `O(m)` instead of
+/// being rebuilt. `pos` grows/shrinks with the job population the same way
+/// (append on insert, swap-remove on removal).
 #[derive(Debug, Clone)]
 struct SlotTable {
+    m: usize,
     num_classes: usize,
-    /// `slots[i * K + k]` — jobs of class `k` on machine `i`.
+    /// `slots[k * m + i]` — jobs of class `k` on machine `i`.
     slots: Vec<Slot>,
     /// `pos[j]` — index of job `j` inside its slot's `jobs` vector.
     pos: Vec<u32>,
-    /// `ptime_sum[i * K + k]` — Σ raw time (or size) units of the slot.
+    /// `ptime_sum[k * m + i]` — Σ raw time (or size) units of the slot.
     ptime_sum: Vec<u64>,
+    /// `setup_charge[k * m + i]` — the setup units currently included in
+    /// machine `i`'s load for class `k` (meaningful while the slot is
+    /// non-empty). Cached so structural edits can refund or adjust a
+    /// setup without consulting an instance that may already have been
+    /// edited past it.
+    setup_charge: Vec<u64>,
 }
 
 impl SlotTable {
     fn new(m: usize, num_classes: usize, n: usize) -> Self {
         SlotTable {
+            m,
             num_classes,
             slots: vec![Slot::default(); m * num_classes],
             pos: vec![0; n],
             ptime_sum: vec![0; m * num_classes],
+            setup_charge: vec![0; m * num_classes],
         }
     }
 
     #[inline]
     fn idx(&self, i: MachineId, k: ClassId) -> usize {
-        i * self.num_classes + k
+        k * self.m + i
+    }
+
+    #[inline]
+    fn charge(&self, i: MachineId, k: ClassId) -> u64 {
+        self.setup_charge[self.idx(i, k)]
+    }
+
+    #[inline]
+    fn set_charge(&mut self, i: MachineId, k: ClassId, s: u64) {
+        let idx = self.idx(i, k);
+        self.setup_charge[idx] = s;
+    }
+
+    /// Appends one empty class: `m` fresh slots at the back, every
+    /// existing index untouched (class-major layout).
+    fn grow_class(&mut self) {
+        self.num_classes += 1;
+        self.slots.resize(self.num_classes * self.m, Slot::default());
+        self.ptime_sum.resize(self.num_classes * self.m, 0);
+        self.setup_charge.resize(self.num_classes * self.m, 0);
     }
 
     #[inline]
@@ -234,6 +294,13 @@ pub struct LoadTracker<'a, M: MachineModel> {
     assignment: Vec<MachineId>,
     /// Raw per-machine loads in the model's load units.
     loads: Vec<u64>,
+    /// Raw units job `j` currently contributes to its machine's load.
+    /// Cached (and maintained by every move and structural edit) so the
+    /// outgoing side of an edit never consults the instance — which,
+    /// mid-delta-batch, may already describe a later state.
+    job_times: Vec<u64>,
+    /// Class of job `j`, maintained through swap-remove renames.
+    job_class: Vec<ClassId>,
     table: SlotTable,
     multiset: LoadMultiset<M::Key>,
     _model: PhantomData<M>,
@@ -267,22 +334,37 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
         let assignment = sched.assignment().to_vec();
         let mut loads = vec![0u64; m];
         let mut table = SlotTable::new(m, kk, n);
+        let mut job_times = vec![0u64; n];
+        let mut job_class = vec![0usize; n];
         for (j, &i) in assignment.iter().enumerate() {
             let p = M::job_time(inst, i, j)
                 .ok_or(ScheduleError::InfiniteProcessingTime { job: j, machine: i })?;
             let k = M::class_of(inst, j);
             if table.count(i, k) == 0 {
-                loads[i] += M::setup_time(inst, i, k)
+                let s = M::setup_time(inst, i, k)
                     .ok_or(ScheduleError::InfiniteSetup { class: k, machine: i })?;
+                loads[i] += s;
+                table.set_charge(i, k, s);
             }
             loads[i] += p;
             table.push(i, k, j, p);
+            job_times[j] = p;
+            job_class[j] = k;
         }
         let mut multiset = LoadMultiset::new();
         for (i, &l) in loads.iter().enumerate() {
             multiset.insert(M::key(inst, i, l), i);
         }
-        Ok(LoadTracker { inst, assignment, loads, table, multiset, _model: PhantomData })
+        Ok(LoadTracker {
+            inst,
+            assignment,
+            loads,
+            job_times,
+            job_class,
+            table,
+            multiset,
+            _model: PhantomData,
+        })
     }
 
     /// The instance this tracker evaluates against.
@@ -309,6 +391,14 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
     #[inline]
     pub fn machine_of(&self, j: JobId) -> MachineId {
         self.assignment[j]
+    }
+
+    /// Class of job `j` per the tracker's own bookkeeping (tracks
+    /// swap-remove renames through structural edits, unlike the possibly
+    /// pre-batch bound instance).
+    #[inline]
+    pub fn class_of_job(&self, j: JobId) -> ClassId {
+        self.job_class[j]
     }
 
     /// Number of class-`k` jobs on machine `i`.
@@ -341,7 +431,9 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
     }
 
     /// New `(load_from, load_to)` if job `j` moved to `to`; `None` when the
-    /// move is a no-op or infeasible (infinite time on `to`).
+    /// move is a no-op or infeasible (infinite time on `to`). The outgoing
+    /// side reads the tracker's own caches; only the hypothetical target
+    /// consults the instance.
     #[inline]
     fn job_move_loads(&self, j: JobId, to: MachineId) -> Option<(u64, u64)> {
         let from = self.assignment[j];
@@ -349,13 +441,11 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
             return None;
         }
         let p_to = M::job_time(self.inst, to, j)?;
-        let k = M::class_of(self.inst, j);
+        let k = self.job_class[j];
         let s_to = M::setup_time(self.inst, to, k)?;
-        let p_from = M::job_time(self.inst, from, j).expect("tracked placement has finite time");
-        let mut new_from = self.loads[from] - p_from;
+        let mut new_from = self.loads[from] - self.job_times[j];
         if self.table.count(from, k) == 1 {
-            new_from -=
-                M::setup_time(self.inst, from, k).expect("tracked placement has finite setup");
+            new_from -= self.table.charge(from, k);
         }
         let mut new_to = self.loads[to] + p_to;
         if self.table.count(to, k) == 0 {
@@ -382,11 +472,15 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
         let from = self.assignment[j];
         let (new_from, new_to) =
             self.job_move_loads(j, to).expect("apply_job_move: infeasible or no-op move");
-        let k = M::class_of(self.inst, j);
-        let p_from = M::job_time(self.inst, from, j).expect("tracked placement is finite");
+        let k = self.job_class[j];
         let p_to = M::job_time(self.inst, to, j).expect("checked by job_move_loads");
-        self.table.remove(from, k, j, p_from);
+        if self.table.count(to, k) == 0 {
+            let s_to = M::setup_time(self.inst, to, k).expect("checked by job_move_loads");
+            self.table.set_charge(to, k, s_to);
+        }
+        self.table.remove(from, k, j, self.job_times[j]);
         self.table.push(to, k, j, p_to);
+        self.job_times[j] = p_to;
         self.multiset.remove(self.key(from, self.loads[from]), from);
         self.multiset.remove(self.key(to, self.loads[to]), to);
         self.multiset.insert(self.key(from, new_from), from);
@@ -419,8 +513,7 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
             }
             sum
         };
-        let departing = self.table.ptime_sum(from, k)
-            + M::setup_time(self.inst, from, k).expect("tracked placement has finite setup");
+        let departing = self.table.ptime_sum(from, k) + self.table.charge(from, k);
         let new_from = self.loads[from] - departing;
         let mut new_to = self.loads[to] + arriving;
         if self.table.count(to, k) == 0 {
@@ -452,9 +545,20 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
             debug_assert_eq!(self.assignment[j], from);
         }
         let batch_start = self.table.count(to, k);
+        if batch_start == 0 {
+            let s_to = M::setup_time(self.inst, to, k).expect("checked by class_move_loads");
+            self.table.set_charge(to, k, s_to);
+        }
         self.table.drain_slot(from, k, to, arriving);
-        for &j in &self.table.jobs(to, k)[batch_start..] {
+        for idx in batch_start..self.table.count(to, k) {
+            let j = self.table.jobs(to, k)[idx];
             self.assignment[j] = to;
+            if !M::MACHINE_INDEPENDENT_TIMES {
+                // Machine-dependent times: refresh the per-job cache for
+                // the batch (machine-independent times are unchanged).
+                self.job_times[j] =
+                    M::job_time(self.inst, to, j).expect("checked by class_move_loads");
+            }
         }
         self.multiset.remove(self.key(from, self.loads[from]), from);
         self.multiset.remove(self.key(to, self.loads[to]), to);
@@ -462,6 +566,222 @@ impl<'a, M: MachineModel> LoadTracker<'a, M> {
         self.multiset.insert(self.key(to, new_to), to);
         self.loads[from] = new_from;
         self.loads[to] = new_to;
+    }
+
+    // ------------------------------------------------------------------
+    // Structural edits (see `sst_core::delta`): repair a live tracker
+    // after instance deltas instead of rebuilding it. The methods are
+    // *value-based* — incoming times arrive as per-machine accessors
+    // resolved by the caller (delta payloads layered over the pre-batch
+    // instance; see `sst_algos::repair`), and outgoing contributions come
+    // from the tracker's own caches (`job_times`, `setup_charge`) — so a
+    // whole delta batch repairs against ONE bound instance with no
+    // intermediate instance materialized. After the batch, `rebind` the
+    // tracker to the batch-applied instance to resume move evaluation.
+    // ------------------------------------------------------------------
+
+    /// Adds job `j` (already sized into the bookkeeping) to machine `i`
+    /// with `p` raw units, charging `setup` if it is the first of its
+    /// class there.
+    fn attach(&mut self, j: JobId, i: MachineId, p: u64, setup: u64) {
+        let k = self.job_class[j];
+        let mut new_load = self.loads[i] + p;
+        if self.table.count(i, k) == 0 {
+            new_load += setup;
+            self.table.set_charge(i, k, setup);
+        }
+        self.table.push(i, k, j, p);
+        self.job_times[j] = p;
+        self.multiset.remove(self.key(i, self.loads[i]), i);
+        self.multiset.insert(self.key(i, new_load), i);
+        self.loads[i] = new_load;
+        self.assignment[j] = i;
+    }
+
+    /// Removes job `j` from its machine (contribution from the caches),
+    /// refunding the charged setup when it was the last of its class
+    /// there. Returns the machine it left.
+    fn detach(&mut self, j: JobId) -> MachineId {
+        let i = self.assignment[j];
+        let k = self.job_class[j];
+        self.table.remove(i, k, j, self.job_times[j]);
+        let mut new_load = self.loads[i] - self.job_times[j];
+        if self.table.count(i, k) == 0 {
+            new_load -= self.table.charge(i, k);
+        }
+        self.multiset.remove(self.key(i, self.loads[i]), i);
+        self.multiset.insert(self.key(i, new_load), i);
+        self.loads[i] = new_load;
+        i
+    }
+
+    /// Places job `j` on the feasible machine minimizing its resulting
+    /// load key (the setup-aware greedy rule), in `O(m + log m)`.
+    /// `None` when no machine is feasible (the caller surfaces it as a
+    /// stranded-job error; batches that keep the instance valid at every
+    /// prefix never produce one).
+    fn greedy_place(
+        &mut self,
+        j: JobId,
+        time_on: &dyn Fn(MachineId) -> Option<u64>,
+        setup_on: &dyn Fn(MachineId) -> Option<u64>,
+    ) -> Option<MachineId> {
+        let k = self.job_class[j];
+        let mut best: Option<(M::Key, MachineId, u64, u64)> = None;
+        for i in 0..self.loads.len() {
+            let Some(p) = time_on(i) else { continue };
+            let Some(s) = setup_on(i) else { continue };
+            let extra = if self.table.count(i, k) == 0 { s } else { 0 };
+            let key = self.key(i, self.loads[i] + p + extra);
+            if best.is_none_or(|(bk, bi, _, _)| (key, i) < (bk, bi)) {
+                best = Some((key, i, p, s));
+            }
+        }
+        let (_, i, p, s) = best?;
+        self.attach(j, i, p, s);
+        Some(i)
+    }
+
+    /// Structural edit — [`crate::delta::InstanceDelta::AddJob`]: a job
+    /// of class `class` (taking the next job id) arrives; places it by
+    /// the setup-aware greedy rule in `O(m + log m)`. `time_on`/`setup_on`
+    /// resolve the new job's per-machine raw units and its class's
+    /// *current* setups (`None` = infeasible). Returns the chosen machine,
+    /// or `None` (without mutating) when no machine is feasible.
+    pub fn insert_job_greedy(
+        &mut self,
+        class: ClassId,
+        time_on: &dyn Fn(MachineId) -> Option<u64>,
+        setup_on: &dyn Fn(MachineId) -> Option<u64>,
+    ) -> Option<MachineId> {
+        assert!(class < self.table.num_classes, "insert_job_greedy: class {class} out of range");
+        let j = self.assignment.len();
+        self.assignment.push(0);
+        self.table.pos.push(0);
+        self.job_times.push(0);
+        self.job_class.push(class);
+        match self.greedy_place(j, time_on, setup_on) {
+            Some(i) => Some(i),
+            None => {
+                self.assignment.pop();
+                self.table.pos.pop();
+                self.job_times.pop();
+                self.job_class.pop();
+                None
+            }
+        }
+    }
+
+    /// Structural edit — [`crate::delta::InstanceDelta::RemoveJob`]:
+    /// removes job `j` and renames the last job to `j` (the same
+    /// swap-remove the delta applies to the instance), in `O(log m)`.
+    pub fn remove_job(&mut self, j: JobId) {
+        let n_old = self.assignment.len();
+        assert!(j < n_old, "remove_job: job {j} out of range ({n_old} jobs)");
+        self.detach(j);
+        let last = n_old - 1;
+        // Vec::swap_remove performs exactly the delta's rename.
+        self.assignment.swap_remove(j);
+        self.job_times.swap_remove(j);
+        self.job_class.swap_remove(j);
+        self.table.pos.swap_remove(j);
+        if last != j {
+            // The renamed job's slot entry still says `last`: point it at
+            // its new id.
+            let idx = self.table.idx(self.assignment[j], self.job_class[j]);
+            let at = self.table.pos[j] as usize;
+            self.table.slots[idx].jobs[at] = j;
+        }
+    }
+
+    /// Structural edit — [`crate::delta::InstanceDelta::ResizeJob`]:
+    /// job `j`'s times changed to `time_on`. Adjusts the load in place
+    /// when `j` stays feasible on its machine (`O(log m)`), else evicts
+    /// and greedily re-places it (`O(m + log m)`). Returns `Some(true)`
+    /// when the job stayed put, `Some(false)` when it migrated, `None`
+    /// when no machine is feasible any more (the job is left detached
+    /// only logically — the tracker re-attaches it nowhere and the caller
+    /// must treat the whole repair as failed).
+    pub fn retime_job(
+        &mut self,
+        j: JobId,
+        time_on: &dyn Fn(MachineId) -> Option<u64>,
+        setup_on: &dyn Fn(MachineId) -> Option<u64>,
+    ) -> Option<bool> {
+        let i = self.detach(j);
+        let k = self.job_class[j];
+        if let Some(p) = time_on(i) {
+            // The machine still hosts the class (setup already charged) or
+            // can re-pay its setup.
+            let setup = if self.table.count(i, k) > 0 { Some(0) } else { setup_on(i) };
+            if let Some(s) = setup {
+                self.attach(j, i, p, s);
+                return Some(true);
+            }
+        }
+        self.greedy_place(j, time_on, setup_on).map(|_| false)
+    }
+
+    /// Structural edit — [`crate::delta::InstanceDelta::ResizeSetup`]:
+    /// class `k`'s setup times changed to `setup_on`. Hosting machines get
+    /// their load adjusted in place; machines where the new setup is
+    /// infinite have their class-`k` jobs evicted and greedily re-placed
+    /// (`job_time_on` resolves an evicted job's per-machine times).
+    /// Returns the number of re-placed jobs, or `Err(j)` when evicted job
+    /// `j` has no feasible machine left. `O(H log m + B(m + log m))` for
+    /// `H` hosting machines and `B` evicted jobs.
+    pub fn retime_setup(
+        &mut self,
+        k: ClassId,
+        setup_on: &dyn Fn(MachineId) -> Option<u64>,
+        job_time_on: &dyn Fn(JobId, MachineId) -> Option<u64>,
+    ) -> Result<usize, JobId> {
+        assert!(k < self.table.num_classes, "retime_setup: class {k} out of range");
+        let mut orphans: Vec<JobId> = Vec::new();
+        for i in 0..self.loads.len() {
+            if self.table.count(i, k) == 0 {
+                continue;
+            }
+            match setup_on(i) {
+                Some(new_s) => {
+                    let new_load = self.loads[i] - self.table.charge(i, k) + new_s;
+                    self.table.set_charge(i, k, new_s);
+                    self.multiset.remove(self.key(i, self.loads[i]), i);
+                    self.multiset.insert(self.key(i, new_load), i);
+                    self.loads[i] = new_load;
+                }
+                None => {
+                    while let Some(&j) = self.table.jobs(i, k).last() {
+                        self.detach(j);
+                        orphans.push(j);
+                    }
+                }
+            }
+        }
+        for &j in &orphans {
+            self.greedy_place(j, &|i| job_time_on(j, i), setup_on).ok_or(j)?;
+        }
+        Ok(orphans.len())
+    }
+
+    /// Structural edit — [`crate::delta::InstanceDelta::AddClass`]:
+    /// registers an appended (empty) class, in `O(m)` (class-major slot
+    /// layout: `m` fresh slots at the back, no index disturbed).
+    pub fn add_class(&mut self) {
+        self.table.grow_class();
+    }
+
+    /// Re-binds the tracker to the batch-applied instance after a
+    /// structural-edit sequence, re-enabling move evaluation (`eval_*` /
+    /// `apply_*` read candidate times from the bound instance). The
+    /// instance must describe exactly the state the edits produced — the
+    /// shape is asserted, the cell values are the caller's contract (the
+    /// repair driver derives both from the same delta batch).
+    pub fn rebind(&mut self, inst: &'a M::Instance) {
+        assert_eq!(M::n(inst), self.assignment.len(), "rebind: job count mismatch");
+        assert_eq!(M::m(inst), self.loads.len(), "rebind: machine count mismatch");
+        assert_eq!(M::num_classes(inst), self.table.num_classes, "rebind: class count mismatch");
+        self.inst = inst;
     }
 }
 
@@ -615,5 +935,131 @@ mod tests {
         let inst = UnrelatedInstance::new(2, vec![], vec![], vec![]).unwrap();
         let t = UnrelatedLoadTracker::new(&inst, &Schedule::new(vec![])).unwrap();
         assert_eq!(t.makespan(), 0);
+    }
+
+    #[test]
+    fn structural_edits_match_a_fresh_tracker() {
+        use crate::delta::InstanceDelta;
+        use crate::model::{MachineModel, Unrelated};
+
+        let base = unrelated_fixture();
+        let mut t = UnrelatedLoadTracker::new(&base, &Schedule::new(vec![0, 1, 0])).unwrap();
+
+        // Add a class, then a job of it, then remove job 0 (swap-remove),
+        // then resize a setup — the tracker repaired in place throughout,
+        // value-based (payload accessors), with ONE final instance built
+        // by the batch applier.
+        let deltas = vec![
+            InstanceDelta::AddClass { times: vec![2, 2] },
+            InstanceDelta::AddJob { class: 2, times: vec![6, 1] },
+            InstanceDelta::RemoveJob { job: 0 },
+            InstanceDelta::ResizeSetup { class: 0, times: vec![4, 4] },
+        ];
+        let final_inst = Unrelated::apply_deltas(&base, &deltas).unwrap();
+
+        t.add_class();
+        let chosen = t
+            .insert_job_greedy(2, &|i| Some([6, 1][i]), &|i| Some([2, 2][i]))
+            .expect("feasible somewhere");
+        assert_eq!(t.machine_of(3), chosen);
+        t.remove_job(0);
+        // The new job (old id 3) took id 0 and kept its machine.
+        assert_eq!(t.machine_of(0), chosen);
+        t.retime_setup(0, &|i| Some([4u64, 4][i]), &|_, _| unreachable!("no eviction"))
+            .expect("no stranded jobs");
+        t.rebind(&final_inst);
+
+        let fresh = UnrelatedLoadTracker::new(&final_inst, &t.schedule()).unwrap();
+        assert_eq!(t.loads(), fresh.loads());
+        assert_eq!(t.makespan(), fresh.makespan());
+        // The repaired + rebound tracker keeps answering moves like a
+        // fresh one.
+        for j in 0..final_inst.n() {
+            for i in 0..final_inst.m() {
+                assert_eq!(t.eval_job_move(j, i), fresh.eval_job_move(j, i), "job {j} -> {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn retime_job_evicts_infeasible_placements() {
+        use crate::delta::InstanceDelta;
+        use crate::model::{MachineModel, Unrelated};
+
+        let base = unrelated_fixture();
+        let mut t = UnrelatedLoadTracker::new(&base, &Schedule::new(vec![0, 1, 0])).unwrap();
+        // Job 0 (machine 0, class 0) becomes infinite there: must migrate.
+        let edited = Unrelated::apply_delta(
+            &base,
+            &InstanceDelta::ResizeJob { job: 0, times: vec![INF, 2] },
+        )
+        .unwrap();
+        let setup0 = |i: usize| Unrelated::setup_time(&edited, i, 0);
+        assert_eq!(
+            t.retime_job(0, &|i| [None, Some(2)][i], &setup0),
+            Some(false),
+            "eviction reported"
+        );
+        assert_eq!(t.machine_of(0), 1);
+        t.rebind(&edited);
+        let fresh = UnrelatedLoadTracker::new(&edited, &t.schedule()).unwrap();
+        assert_eq!(t.loads(), fresh.loads());
+
+        // An in-place resize keeps the job put and adjusts the load.
+        let shrunk = Unrelated::apply_delta(
+            &edited,
+            &InstanceDelta::ResizeJob { job: 2, times: vec![1, 5] },
+        )
+        .unwrap();
+        let setup1 = |i: usize| Unrelated::setup_time(&shrunk, i, 1);
+        assert_eq!(t.retime_job(2, &|i| Some([1, 5][i]), &setup1), Some(true));
+        t.rebind(&shrunk);
+        let fresh = UnrelatedLoadTracker::new(&shrunk, &t.schedule()).unwrap();
+        assert_eq!(t.loads(), fresh.loads());
+        assert_eq!(t.makespan(), fresh.makespan());
+    }
+
+    #[test]
+    fn stranded_inserts_fail_cleanly_without_mutation() {
+        let base = unrelated_fixture();
+        let mut t = UnrelatedLoadTracker::new(&base, &Schedule::new(vec![0, 1, 0])).unwrap();
+        let before = t.loads().to_vec();
+        // A class-1 arrival that is feasible nowhere (class 1's setup is
+        // infinite on machine 1, and we make its time infinite on 0).
+        assert_eq!(t.insert_job_greedy(1, &|i| [None, Some(3)][i], &|i| [Some(7), None][i]), None);
+        assert_eq!(t.loads(), &before[..], "failed insert must not mutate");
+        assert_eq!(t.schedule().n(), 3);
+        // Feasible only on machine 0 → greedy must pick it.
+        assert_eq!(t.insert_job_greedy(1, &|_| Some(3), &|i| [Some(7), None][i]), Some(0));
+        assert_eq!(t.machine_of(3), 0);
+    }
+
+    #[test]
+    fn uniform_structural_edits_keep_exact_keys() {
+        use crate::delta::InstanceDelta;
+        use crate::model::{MachineModel, Uniform};
+
+        let base = UniformInstance::new(
+            vec![2, 1],
+            vec![3, 5],
+            vec![Job::new(0, 4), Job::new(1, 6), Job::new(0, 2)],
+        )
+        .unwrap();
+        let mut t = UniformLoadTracker::new(&base, &Schedule::new(vec![0, 1, 1])).unwrap();
+        let deltas = vec![
+            InstanceDelta::AddJob { class: 1, times: vec![8] },
+            InstanceDelta::RemoveJob { job: 1 },
+            InstanceDelta::ResizeSetup { class: 0, times: vec![1] },
+        ];
+        let final_inst = Uniform::apply_deltas(&base, &deltas).unwrap();
+        t.insert_job_greedy(1, &|_| Some(8), &|_| Some(5)).expect("uniform is always feasible");
+        t.remove_job(1);
+        t.retime_setup(0, &|_| Some(1), &|_, _| unreachable!("no eviction"))
+            .expect("no stranded jobs");
+        t.rebind(&final_inst);
+        let fresh = UniformLoadTracker::new(&final_inst, &t.schedule()).unwrap();
+        assert_eq!(t.work(), fresh.work());
+        assert_eq!(t.makespan(), fresh.makespan());
+        assert_eq!(t.bottleneck(), fresh.bottleneck());
     }
 }

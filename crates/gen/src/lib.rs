@@ -17,9 +17,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
 
+pub mod dynamic;
 pub mod families;
 pub mod scenarios;
 
+pub use dynamic::{dynamic_queue, DynamicBase, DynamicInstance, DynamicQueueParams, TraceStep};
 pub use families::{correlated_unrelated, splittable_stress, uniform_zipf, ZipfParams};
 
 /// Machine speed profile for uniform instances.

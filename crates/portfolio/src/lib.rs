@@ -19,19 +19,24 @@
 //!    (size, setup weight, speed skew, eligibility density, the three
 //!    special-case structure flags) and a rule-based selector mapping
 //!    features to a ranked portfolio, refined online by a per-family
-//!    win-rate tracker ([`select::WinRateTracker`]) that demotes members
-//!    which never win their feature family and shrinks the raced top-k to
-//!    the members in good standing;
+//!    win-rate tracker ([`select::WinRateTracker`]) keeping a
+//!    recency-decayed win score per member: recent winners rank first,
+//!    members whose score decays out are demoted and the raced top-k
+//!    shrinks to the members in good standing;
 //! 4. **[`race`]** — a racing executor running the top-k portfolio members
 //!    concurrently with a cross-seeded incumbent: the best-known makespan
 //!    prunes the branch-and-bound and warm-starts the search heuristics;
-//!    [`race::race_adaptive`] feeds results back into the win-rate tracker;
-//! 5. **[`protocol`] + [`pool`] + [`service`]** — an NDJSON
-//!    request/response codec and a work-stealing worker pool (shared
-//!    injector queue, per-worker deques, idle stealing, backpressure and
-//!    dead-worker error paths) serving it over stdin or TCP with running
-//!    throughput/latency percentile metrics
-//!    ([`sst_core::stats::LatencyHistogram`]).
+//!    [`race::race_adaptive`] feeds results back into the win-rate
+//!    tracker, and [`race::race_with_floor`] pre-publishes a session's
+//!    repaired incumbent so a warm re-solve can only improve on it;
+//! 5. **[`protocol`] + [`pool`] + [`session`] + [`service`]** — an NDJSON
+//!    request/response codec (one-shot solves *and* the stateful
+//!    create/delta/solve/close session verbs riding
+//!    [`sst_core::delta`]), the LRU-bounded [`session::SessionStore`],
+//!    and a work-stealing worker pool (shared injector queue, per-worker
+//!    deques, idle stealing, backpressure and dead-worker error paths)
+//!    serving it over stdin or TCP with running throughput/latency
+//!    percentile metrics ([`sst_core::stats::LatencyHistogram`]).
 //!
 //! The `sst serve` CLI command is a thin shell around [`service`].
 
@@ -45,11 +50,16 @@ pub mod protocol;
 pub mod race;
 pub mod select;
 pub mod service;
+pub mod session;
 pub mod solver;
 
 pub use features::{extract_features, Features, ModelKind};
-pub use model::{EvalError, ModelOps, Solution, SplittableInstance};
+pub use model::{EvalError, ModelOps, Repaired, Solution, SplittableInstance};
 pub use pool::{Pool, PoolConfig, PoolMode};
-pub use race::{race, race_adaptive, Incumbent, RaceConfig, RaceResult, SolverReport};
+pub use race::{
+    race, race_adaptive, race_with_floor, Incumbent, RaceConfig, RaceResult, SolverReport,
+    WARM_INCUMBENT,
+};
 pub use select::{select, select_adaptive, select_portfolio, Portfolio, WinRateTracker, WinStats};
+pub use session::{SessionEntry, SessionStats, SessionStore};
 pub use solver::{Cost, Outcome, ProblemInstance, SolveContext, Solver};

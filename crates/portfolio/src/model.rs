@@ -12,14 +12,18 @@
 //! tracker/search layer) — not a fork of five layers.
 
 use sst_algos::list::{greedy_uniform, greedy_unrelated};
-use sst_algos::splittable::{split_greedy, SplitError, SplitSchedule};
+use sst_algos::repair::repair_after_deltas;
+use sst_algos::splittable::{
+    split_from_assignment, split_greedy, splittable_feasible, SplitError, SplitSchedule,
+};
+use sst_core::delta::InstanceDelta;
 use sst_core::instance::{UniformInstance, UnrelatedInstance};
 use sst_core::model::{MachineModel, Splittable, Uniform, Unrelated};
 use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
 use sst_core::ScheduleError;
 
 use crate::features::{uniform_features, unrelated_features, Features, ModelKind};
-use crate::solver::{Cost, Outcome};
+use crate::solver::{Cost, Outcome, ProblemInstance};
 
 /// An instance of the **splittable** machine model (Section 3.3's
 /// substrate, Correa et al. \[5\]): the same data as an unrelated
@@ -108,6 +112,27 @@ impl From<SplitError> for EvalError {
     }
 }
 
+/// A session's repaired state after a delta batch (see
+/// [`ModelOps::repair_deltas`]): the post-delta instance, the repaired
+/// incumbent in the model's native solution space with its exact cost,
+/// and — for the splittable model — the integral proxy assignment the
+/// next repair starts from.
+#[derive(Debug, Clone)]
+pub struct Repaired {
+    /// The post-delta instance.
+    pub instance: ProblemInstance,
+    /// The repaired incumbent — valid on [`Self::instance`].
+    pub incumbent: Solution,
+    /// Exact cost of [`Self::incumbent`].
+    pub cost: Cost,
+    /// Integral proxy assignment (splittable sessions repair on the
+    /// integral sub-space and lift; `None` for the integral models, whose
+    /// incumbent *is* the assignment).
+    pub proxy: Option<Schedule>,
+    /// Jobs the repair had to (re-)place greedily.
+    pub placed: usize,
+}
+
 /// Everything the service layers need from a machine model, behind one
 /// object-safe trait (see the [module docs](self)).
 pub trait ModelOps: Sync {
@@ -124,6 +149,18 @@ pub trait ModelOps: Sync {
     fn greedy(&self) -> Outcome;
     /// Exact cost of a solution (validates first).
     fn evaluate(&self, sol: &Solution) -> Result<Cost, EvalError>;
+    /// Applies a delta batch to this instance and *repairs* `incumbent`
+    /// instead of recomputing it (tracker structural edits + greedy
+    /// re-placement of orphans — see [`sst_algos::repair`]). `proxy` is
+    /// the session's integral proxy for share-based models. Errors are
+    /// protocol-ready messages (out-of-range ids, edits that leave the
+    /// instance unservable).
+    fn repair_deltas(
+        &self,
+        incumbent: &Solution,
+        proxy: Option<&Schedule>,
+        deltas: &[InstanceDelta],
+    ) -> Result<Repaired, String>;
 }
 
 impl ModelOps for UniformInstance {
@@ -150,6 +187,28 @@ impl ModelOps for UniformInstance {
             Solution::Split(_) => Err(EvalError::WrongSolutionShape { kind: self.kind() }),
         }
     }
+    fn repair_deltas(
+        &self,
+        incumbent: &Solution,
+        _proxy: Option<&Schedule>,
+        deltas: &[InstanceDelta],
+    ) -> Result<Repaired, String> {
+        let Solution::Assignment(start) = incumbent else {
+            return Err("uniform session incumbent must be an assignment".into());
+        };
+        let (inst, out) =
+            repair_after_deltas::<Uniform>(self, start, deltas).map_err(|e| e.to_string())?;
+        let cost = Cost::Frac(
+            uniform_makespan(&inst, &out.schedule).expect("repair keeps schedules valid"),
+        );
+        Ok(Repaired {
+            instance: ProblemInstance::Uniform(inst),
+            incumbent: Solution::Assignment(out.schedule),
+            cost,
+            proxy: None,
+            placed: out.placed,
+        })
+    }
 }
 
 impl ModelOps for UnrelatedInstance {
@@ -175,6 +234,28 @@ impl ModelOps for UnrelatedInstance {
             Solution::Assignment(s) => Ok(Cost::Time(unrelated_makespan(self, s)?)),
             Solution::Split(_) => Err(EvalError::WrongSolutionShape { kind: self.kind() }),
         }
+    }
+    fn repair_deltas(
+        &self,
+        incumbent: &Solution,
+        _proxy: Option<&Schedule>,
+        deltas: &[InstanceDelta],
+    ) -> Result<Repaired, String> {
+        let Solution::Assignment(start) = incumbent else {
+            return Err("unrelated session incumbent must be an assignment".into());
+        };
+        let (inst, out) =
+            repair_after_deltas::<Unrelated>(self, start, deltas).map_err(|e| e.to_string())?;
+        let cost = Cost::Time(
+            unrelated_makespan(&inst, &out.schedule).expect("repair keeps schedules valid"),
+        );
+        Ok(Repaired {
+            instance: ProblemInstance::Unrelated(inst),
+            incumbent: Solution::Assignment(out.schedule),
+            cost,
+            proxy: None,
+            placed: out.placed,
+        })
     }
 }
 
@@ -207,6 +288,53 @@ impl ModelOps for SplittableInstance {
             }
             Solution::Assignment(_) => Err(EvalError::WrongSolutionShape { kind: self.kind() }),
         }
+    }
+    fn repair_deltas(
+        &self,
+        _incumbent: &Solution,
+        proxy: Option<&Schedule>,
+        deltas: &[InstanceDelta],
+    ) -> Result<Repaired, String> {
+        // Splittable sessions repair on the integral sub-space (the same
+        // proxy the split-refine descent walks), then lift to shares.
+        let fallback;
+        let start = match proxy {
+            Some(s) => s,
+            None => {
+                fallback = greedy_unrelated(&self.0);
+                &fallback
+            }
+        };
+        let (inner, out) =
+            repair_after_deltas::<Splittable>(&self.0, start, deltas).map_err(|e| e.to_string())?;
+        if !splittable_feasible(&inner) {
+            return Err(
+                "deltas left a class no machine can host whole (splittable model)".to_string()
+            );
+        }
+        // Lift the repaired proxy; outside the Section 3.3 structures the
+        // lift may not validate — the whole-class greedy then floors the
+        // repaired incumbent, and either way the better of the two wins.
+        let greedy = split_greedy(&inner);
+        let lifted = split_from_assignment(&inner, &out.schedule);
+        let (schedule, makespan) = match lifted.validate(&inner) {
+            Ok(()) => {
+                let lm = lifted.makespan(&inner);
+                if lm <= greedy.makespan {
+                    (lifted, lm)
+                } else {
+                    (greedy.schedule, greedy.makespan)
+                }
+            }
+            Err(_) => (greedy.schedule, greedy.makespan),
+        };
+        Ok(Repaired {
+            instance: ProblemInstance::Splittable(SplittableInstance(inner)),
+            incumbent: Solution::Split(schedule),
+            cost: Cost::Real(makespan),
+            proxy: Some(out.schedule),
+            placed: out.placed,
+        })
     }
 }
 

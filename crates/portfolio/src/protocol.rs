@@ -48,11 +48,13 @@
 use std::fmt::Write as _;
 
 use sst_algos::splittable::{splittable_feasible, SplitSchedule, SplitShare};
+use sst_core::delta::{delta_to_json, deltas_from_value, InstanceDelta};
 use sst_core::io::json::{self, JsonValue};
 use sst_core::io::{self, IoError};
 use sst_core::ratio::Ratio;
 
 use crate::model::{Solution, SplittableInstance};
+use crate::session::SessionStats;
 use crate::solver::{Cost, ProblemInstance};
 
 /// A solve request: one instance plus racing knobs.
@@ -76,6 +78,10 @@ pub enum Incoming {
     /// A solve request (boxed: an instance is hundreds of bytes, the
     /// metrics probe is zero).
     Solve(Box<Request>),
+    /// A session request (`{"id": .., "session": {<verb>: {..}}}`) — the
+    /// stateful protocol: create/delta/solve/close against a live
+    /// session in the service's [`crate::session::SessionStore`].
+    Session(Box<SessionRequest>),
     /// `{"metrics": true}` — ask for the running metrics summary.
     Metrics,
     /// `{"kill_worker": true}` — fault injection: terminate the worker
@@ -85,6 +91,66 @@ pub enum Incoming {
     /// killed-worker CI gate: remaining workers must keep serving, and
     /// once none remain every request must still get an error response.
     KillWorker,
+}
+
+/// One request of the session protocol. The wire shape is
+/// `{"id": .., "session": {"create"|"delta"|"solve"|"close": {..}}}`:
+///
+/// ```json
+/// {"id": 1, "session": {"create": {"sid": 7, "instance": {..}}}}
+/// {"id": 2, "session": {"delta": {"sid": 7, "deltas": [
+///     {"add_job": {"class": 0, "times": [4, 6]}}, {"remove_job": 2}]}}}
+/// {"id": 3, "session": {"solve": {"sid": 7, "budget_ms": 50}}}
+/// {"id": 4, "session": {"close": {"sid": 7}}}
+/// ```
+///
+/// `create` answers with a `"status": "session"` ack carrying the greedy
+/// incumbent's cost; `delta` answers with a normal `"ok"` response whose
+/// solution is the **repaired incumbent** (solver `"delta-repair"`) — the
+/// floor the next solve can only improve on; `solve` races warm from that
+/// floor and answers like a one-shot solve (winner `"warm-incumbent"`
+/// when nothing beat the floor); `close` acks with `"session"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The session verb.
+    pub verb: SessionVerb,
+}
+
+/// The four verbs of the session protocol (see [`SessionRequest`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionVerb {
+    /// Open (or replace) session `sid` with a full instance.
+    Create {
+        /// Client-chosen session id.
+        sid: u64,
+        /// The session's initial instance.
+        instance: ProblemInstance,
+    },
+    /// Apply a delta batch to session `sid` and repair its incumbent.
+    Delta {
+        /// Session id.
+        sid: u64,
+        /// The edits, applied in order (see [`sst_core::delta`]).
+        deltas: Vec<InstanceDelta>,
+    },
+    /// Warm re-solve session `sid` from its repaired incumbent.
+    Solve {
+        /// Session id.
+        sid: u64,
+        /// Per-request deadline (service default when absent).
+        budget_ms: Option<u64>,
+        /// Raced members (service default when absent).
+        top_k: Option<usize>,
+        /// Seed (service default when absent).
+        seed: Option<u64>,
+    },
+    /// Close session `sid` and free its slot.
+    Close {
+        /// Session id.
+        sid: u64,
+    },
 }
 
 /// Per-solver attribution inside an OK response.
@@ -100,8 +166,24 @@ pub struct SolverLine {
     pub completed: bool,
 }
 
+/// One `(family, solver)` row of the win-rate standings inside the
+/// metrics summary (score scaled by 1000 so the codec stays integral).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StandingLine {
+    /// Coarse feature family key.
+    pub family: String,
+    /// Solver name.
+    pub solver: String,
+    /// Races in which the solver held a slot.
+    pub races: u64,
+    /// Races it won.
+    pub wins: u64,
+    /// Recency-decayed win score × 1000, rounded.
+    pub score_x1000: u64,
+}
+
 /// Running service metrics (all integers so the codec stays exact).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSummary {
     /// Requests answered OK.
     pub count: u64,
@@ -119,6 +201,11 @@ pub struct MetricsSummary {
     pub p99_us: u64,
     /// Mean latency (µs, rounded).
     pub mean_us: u64,
+    /// Session-store counters (live/evicted/warm-start hit rate).
+    pub sessions: SessionStats,
+    /// Win-rate tracker standings, most-raced first (capped by the
+    /// service).
+    pub standings: Vec<StandingLine>,
 }
 
 /// A response line.
@@ -148,6 +235,21 @@ pub enum Response {
         id: Option<u64>,
         /// Human-readable reason.
         message: String,
+    },
+    /// Session lifecycle ack (`create` / `close`): `{"status":
+    /// "session", ...}`.
+    Session {
+        /// Echoed request id.
+        id: u64,
+        /// Session id the verb acted on.
+        sid: u64,
+        /// `"create"` or `"close"`.
+        verb: String,
+        /// Live sessions after the verb.
+        live: u64,
+        /// The session's incumbent cost (`create` acks carry the greedy
+        /// incumbent's cost; `close` acks carry none).
+        makespan: Option<Cost>,
     },
     /// Metrics summary (reply to `{"metrics": true}`).
     Metrics(MetricsSummary),
@@ -247,7 +349,80 @@ fn opt_uint(
     }
 }
 
-/// Parses one incoming NDJSON line (request or metrics probe).
+/// Parses an instance envelope (`{"kind": .., ..}`) into the right model,
+/// enforcing the splittable feasibility gate. Shared by the one-shot and
+/// session request paths.
+fn instance_from_value(inst_value: &JsonValue) -> Result<ProblemInstance, IoError> {
+    let kind = match inst_value {
+        JsonValue::Object(m) => match m.get("kind") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            _ => return Err(IoError::Json("instance.kind must be a string".into())),
+        },
+        _ => return Err(IoError::Json("field 'instance' must be an object".into())),
+    };
+    match kind.as_str() {
+        "uniform" => Ok(ProblemInstance::Uniform(io::uniform_from_value(inst_value)?)),
+        "unrelated" => Ok(ProblemInstance::Unrelated(io::unrelated_from_value(inst_value)?)),
+        "splittable" => {
+            let inner = io::splittable_from_value(inst_value)?;
+            // The split model needs every nonempty class hostable *whole*
+            // somewhere (a positive share pays the full setup); per-job
+            // schedulability is not enough.
+            if !splittable_feasible(&inner) {
+                return Err(IoError::Format(
+                    "splittable instance has a class with no machine able to host it whole".into(),
+                ));
+            }
+            Ok(ProblemInstance::Splittable(SplittableInstance(inner)))
+        }
+        other => Err(IoError::Format(format!("unknown instance kind '{other}'"))),
+    }
+}
+
+fn session_from_value(id: u64, v: &JsonValue) -> Result<SessionRequest, IoError> {
+    let JsonValue::Object(map) = v else {
+        return Err(IoError::Json("field 'session' must be an object".into()));
+    };
+    let payload = |key: &str| -> Result<&std::collections::BTreeMap<String, JsonValue>, IoError> {
+        match map.get(key) {
+            Some(JsonValue::Object(inner)) => Ok(inner),
+            Some(_) => Err(IoError::Json(format!("session.{key} must be an object"))),
+            None => unreachable!("checked by caller"),
+        }
+    };
+    let sid_of = |m: &std::collections::BTreeMap<String, JsonValue>| -> Result<u64, IoError> {
+        opt_uint(m, "sid")?.ok_or_else(|| IoError::Json("session verb missing 'sid'".into()))
+    };
+    let verb = if map.contains_key("create") {
+        let m = payload("create")?;
+        let inst_value =
+            m.get("instance").ok_or_else(|| IoError::Json("create missing 'instance'".into()))?;
+        SessionVerb::Create { sid: sid_of(m)?, instance: instance_from_value(inst_value)? }
+    } else if map.contains_key("delta") {
+        let m = payload("delta")?;
+        let deltas_value =
+            m.get("deltas").ok_or_else(|| IoError::Json("delta missing 'deltas'".into()))?;
+        SessionVerb::Delta { sid: sid_of(m)?, deltas: deltas_from_value(deltas_value)? }
+    } else if map.contains_key("solve") {
+        let m = payload("solve")?;
+        SessionVerb::Solve {
+            sid: sid_of(m)?,
+            budget_ms: opt_uint(m, "budget_ms")?,
+            top_k: opt_uint(m, "top_k")?.map(|k| k as usize),
+            seed: opt_uint(m, "seed")?,
+        }
+    } else if map.contains_key("close") {
+        SessionVerb::Close { sid: sid_of(payload("close")?)? }
+    } else {
+        return Err(IoError::Json(
+            "session verb must be one of create | delta | solve | close".into(),
+        ));
+    };
+    Ok(SessionRequest { id, verb })
+}
+
+/// Parses one incoming NDJSON line (one-shot request, session request, or
+/// metrics probe).
 pub fn parse_incoming(line: &str) -> Result<Incoming, IoError> {
     let value = json::parse(line).map_err(IoError::Json)?;
     let map = match &value {
@@ -261,32 +436,12 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, IoError> {
         return Ok(Incoming::KillWorker);
     }
     let id = opt_uint(map, "id")?.ok_or_else(|| IoError::Json("missing field 'id'".into()))?;
+    if let Some(session) = map.get("session") {
+        return Ok(Incoming::Session(Box::new(session_from_value(id, session)?)));
+    }
     let inst_value =
         map.get("instance").ok_or_else(|| IoError::Json("missing field 'instance'".into()))?;
-    let kind = match inst_value {
-        JsonValue::Object(m) => match m.get("kind") {
-            Some(JsonValue::Str(s)) => s.clone(),
-            _ => return Err(IoError::Json("instance.kind must be a string".into())),
-        },
-        _ => return Err(IoError::Json("field 'instance' must be an object".into())),
-    };
-    let instance = match kind.as_str() {
-        "uniform" => ProblemInstance::Uniform(io::uniform_from_value(inst_value)?),
-        "unrelated" => ProblemInstance::Unrelated(io::unrelated_from_value(inst_value)?),
-        "splittable" => {
-            let inner = io::splittable_from_value(inst_value)?;
-            // The split model needs every nonempty class hostable *whole*
-            // somewhere (a positive share pays the full setup); per-job
-            // schedulability is not enough.
-            if !splittable_feasible(&inner) {
-                return Err(IoError::Format(
-                    "splittable instance has a class with no machine able to host it whole".into(),
-                ));
-            }
-            ProblemInstance::Splittable(SplittableInstance(inner))
-        }
-        other => return Err(IoError::Format(format!("unknown instance kind '{other}'"))),
-    };
+    let instance = instance_from_value(inst_value)?;
     Ok(Incoming::Solve(Box::new(Request {
         id,
         instance,
@@ -294,6 +449,52 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, IoError> {
         top_k: opt_uint(map, "top_k")?.map(|k| k as usize),
         seed: opt_uint(map, "seed")?,
     })))
+}
+
+/// Serializes a session request to one NDJSON line (the client half; see
+/// [`SessionRequest`] for the shape).
+pub fn session_request_to_json(req: &SessionRequest) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"id\": {}, \"session\": ", req.id);
+    match &req.verb {
+        SessionVerb::Create { sid, instance } => {
+            let _ = write!(out, "{{\"create\": {{\"sid\": {sid}, \"instance\": ");
+            out.push_str(&match instance {
+                ProblemInstance::Uniform(u) => io::uniform_to_json_line(u),
+                ProblemInstance::Unrelated(r) => io::unrelated_to_json_line(r),
+                ProblemInstance::Splittable(s) => io::splittable_to_json_line(s.inner()),
+            });
+            out.push_str("}}");
+        }
+        SessionVerb::Delta { sid, deltas } => {
+            let _ = write!(out, "{{\"delta\": {{\"sid\": {sid}, \"deltas\": [");
+            for (i, d) in deltas.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&delta_to_json(d));
+            }
+            out.push_str("]}}");
+        }
+        SessionVerb::Solve { sid, budget_ms, top_k, seed } => {
+            let _ = write!(out, "{{\"solve\": {{\"sid\": {sid}");
+            if let Some(b) = budget_ms {
+                let _ = write!(out, ", \"budget_ms\": {b}");
+            }
+            if let Some(k) = top_k {
+                let _ = write!(out, ", \"top_k\": {k}");
+            }
+            if let Some(s) = seed {
+                let _ = write!(out, ", \"seed\": {s}");
+            }
+            out.push_str("}}");
+        }
+        SessionVerb::Close { sid } => {
+            let _ = write!(out, "{{\"close\": {{\"sid\": {sid}}}}}");
+        }
+    }
+    out.push('}');
+    out
 }
 
 /// Best-effort id extraction from a request line that failed full parsing
@@ -404,12 +605,45 @@ pub fn response_to_json(resp: &Response) -> String {
             let _ =
                 write!(out, "\"status\": \"error\", \"message\": \"{}\"}}", escape_json(message));
         }
+        Response::Session { id, sid, verb, live, makespan } => {
+            let _ = write!(
+                out,
+                "{{\"id\": {id}, \"status\": \"session\", \"sid\": {sid}, \"verb\": \"{}\", \"live\": {live}",
+                escape_json(verb)
+            );
+            if let Some(cost) = makespan {
+                out.push_str(", \"makespan\": ");
+                write_cost(&mut out, cost);
+            }
+            out.push('}');
+        }
         Response::Metrics(m) => {
             let _ = write!(
                 out,
-                "{{\"status\": \"metrics\", \"count\": {}, \"errors\": {}, \"uptime_ms\": {}, \"rps_x1000\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"mean_us\": {}}}",
+                "{{\"status\": \"metrics\", \"count\": {}, \"errors\": {}, \"uptime_ms\": {}, \"rps_x1000\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"mean_us\": {}",
                 m.count, m.errors, m.uptime_ms, m.rps_x1000, m.p50_us, m.p90_us, m.p99_us, m.mean_us
             );
+            let _ = write!(
+                out,
+                ", \"sessions\": {{\"live\": {}, \"evicted\": {}, \"warm_hits\": {}, \"warm_misses\": {}}}",
+                m.sessions.live, m.sessions.evicted, m.sessions.warm_hits, m.sessions.warm_misses
+            );
+            out.push_str(", \"standings\": [");
+            for (i, s) in m.standings.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"family\": \"{}\", \"solver\": \"{}\", \"races\": {}, \"wins\": {}, \"score_x1000\": {}}}",
+                    escape_json(&s.family),
+                    escape_json(&s.solver),
+                    s.races,
+                    s.wins,
+                    s.score_x1000
+                );
+            }
+            out.push_str("]}");
         }
     }
     out
@@ -482,10 +716,65 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
             };
             Ok(Response::Error { id: opt_uint(map, "id")?, message })
         }
+        "session" => {
+            let id = opt_uint(map, "id")?.ok_or_else(|| IoError::Json("missing 'id'".into()))?;
+            let sid = opt_uint(map, "sid")?.ok_or_else(|| IoError::Json("missing 'sid'".into()))?;
+            let verb = match map.get("verb") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                _ => return Err(IoError::Json("missing string field 'verb'".into())),
+            };
+            let live =
+                opt_uint(map, "live")?.ok_or_else(|| IoError::Json("missing 'live'".into()))?;
+            let makespan = match map.get("makespan") {
+                None => None,
+                Some(v) => Some(cost_from_value(v)?),
+            };
+            Ok(Response::Session { id, sid, verb, live, makespan })
+        }
         "metrics" => {
             let g = |k: &str| -> Result<u64, IoError> {
                 opt_uint(map, k)?.ok_or_else(|| IoError::Json(format!("missing '{k}'")))
             };
+            let sessions = match map.get("sessions") {
+                Some(JsonValue::Object(s)) => {
+                    let sg = |k: &str| -> Result<u64, IoError> {
+                        opt_uint(s, k)?.ok_or_else(|| IoError::Json(format!("missing '{k}'")))
+                    };
+                    SessionStats {
+                        live: sg("live")?,
+                        evicted: sg("evicted")?,
+                        warm_hits: sg("warm_hits")?,
+                        warm_misses: sg("warm_misses")?,
+                    }
+                }
+                // Absent on lines from pre-session servers.
+                _ => SessionStats::default(),
+            };
+            let mut standings = Vec::new();
+            if let Some(JsonValue::Array(items)) = map.get("standings") {
+                for item in items {
+                    let JsonValue::Object(s) = item else {
+                        return Err(IoError::Json("standings[] must be objects".into()));
+                    };
+                    let str_of = |k: &str| -> Result<String, IoError> {
+                        match s.get(k) {
+                            Some(JsonValue::Str(v)) => Ok(v.clone()),
+                            _ => Err(IoError::Json(format!("standings[].{k} missing"))),
+                        }
+                    };
+                    let sg = |k: &str| -> Result<u64, IoError> {
+                        opt_uint(s, k)?
+                            .ok_or_else(|| IoError::Json(format!("standings[].{k} missing")))
+                    };
+                    standings.push(StandingLine {
+                        family: str_of("family")?,
+                        solver: str_of("solver")?,
+                        races: sg("races")?,
+                        wins: sg("wins")?,
+                        score_x1000: sg("score_x1000")?,
+                    });
+                }
+            }
             Ok(Response::Metrics(MetricsSummary {
                 count: g("count")?,
                 errors: g("errors")?,
@@ -495,6 +784,8 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
                 p90_us: g("p90_us")?,
                 p99_us: g("p99_us")?,
                 mean_us: g("mean_us")?,
+                sessions,
+                standings,
             }))
         }
         other => Err(IoError::Format(format!("unknown status '{other}'"))),
@@ -650,7 +941,75 @@ mod tests {
             p90_us: 1800,
             p99_us: 2500,
             mean_us: 1000,
+            sessions: SessionStats { live: 3, evicted: 1, warm_hits: 4, warm_misses: 2 },
+            standings: vec![StandingLine {
+                family: "uniform|setup-light|mid".into(),
+                solver: "lpt".into(),
+                races: 9,
+                wins: 7,
+                score_x1000: 633,
+            }],
         });
         assert_eq!(parse_response(&response_to_json(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn session_requests_roundtrip_every_verb() {
+        let instance = ProblemInstance::Uniform(
+            UniformInstance::new(vec![2, 1], vec![3], vec![Job::new(0, 4)]).unwrap(),
+        );
+        let reqs = vec![
+            SessionRequest { id: 1, verb: SessionVerb::Create { sid: 7, instance } },
+            SessionRequest {
+                id: 2,
+                verb: SessionVerb::Delta {
+                    sid: 7,
+                    deltas: vec![
+                        InstanceDelta::AddJob { class: 0, times: vec![5] },
+                        InstanceDelta::RemoveJob { job: 0 },
+                        InstanceDelta::ResizeSetup { class: 0, times: vec![9] },
+                    ],
+                },
+            },
+            SessionRequest {
+                id: 3,
+                verb: SessionVerb::Solve {
+                    sid: 7,
+                    budget_ms: Some(50),
+                    top_k: Some(2),
+                    seed: None,
+                },
+            },
+            SessionRequest { id: 4, verb: SessionVerb::Close { sid: 7 } },
+        ];
+        for req in reqs {
+            let line = session_request_to_json(&req);
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(
+                parse_incoming(&line).unwrap(),
+                Incoming::Session(Box::new(req.clone())),
+                "{line}"
+            );
+        }
+        // Malformed session envelopes fail cleanly.
+        assert!(parse_incoming("{\"id\": 1, \"session\": {\"nope\": {}}}").is_err());
+        assert!(parse_incoming("{\"id\": 1, \"session\": {\"create\": {\"sid\": 2}}}").is_err());
+        assert!(parse_incoming("{\"id\": 1, \"session\": {\"close\": {}}}").is_err());
+        assert!(parse_incoming("{\"session\": {\"close\": {\"sid\": 1}}}").is_err(), "id required");
+    }
+
+    #[test]
+    fn session_response_roundtrips_with_and_without_cost() {
+        let create = Response::Session {
+            id: 1,
+            sid: 7,
+            verb: "create".into(),
+            live: 3,
+            makespan: Some(Cost::Frac(Ratio::new(7, 2))),
+        };
+        assert_eq!(parse_response(&response_to_json(&create)).unwrap(), create);
+        let close =
+            Response::Session { id: 4, sid: 7, verb: "close".into(), live: 2, makespan: None };
+        assert_eq!(parse_response(&response_to_json(&close)).unwrap(), close);
     }
 }

@@ -133,21 +133,46 @@ pub struct RaceResult {
     pub micros: u64,
 }
 
+/// Name under which a session's repaired incumbent is pre-published as a
+/// race floor (see [`race_with_floor`]); reported as the winner when no
+/// raced member improves on it.
+pub const WARM_INCUMBENT: &str = "warm-incumbent";
+
 /// Races the top-k selected solvers on `inst` under `cfg.budget`.
 pub fn race(inst: &ProblemInstance, cfg: &RaceConfig) -> RaceResult {
-    race_adaptive(inst, cfg, None)
+    race_with_floor(inst, cfg, None, None)
 }
 
 /// [`race`] with the adaptive-selection feedback loop: the portfolio
-/// ranking consults `tracker`'s per-family win rates — demoting members
-/// that never win this family *and shrinking the raced top-k to the
-/// members in good standing* (never below one) — and the race's outcome
-/// is recorded back so future selections learn from it. With `None` this
-/// is exactly [`race`].
+/// ranking consults `tracker`'s per-family win-rate scores — recent
+/// winners rank first, members whose score decayed out demote and shrink
+/// the raced top-k (never below one) — and the race's outcome is recorded
+/// back so future selections learn from it. With `None` this is exactly
+/// [`race`].
 pub fn race_adaptive(
     inst: &ProblemInstance,
     cfg: &RaceConfig,
     tracker: Option<&WinRateTracker>,
+) -> RaceResult {
+    race_with_floor(inst, cfg, tracker, None)
+}
+
+/// [`race_adaptive`] with a pre-published incumbent floor — the warm
+/// re-solve mode of a scheduling session. The `floor` (a session's
+/// repaired incumbent and its exact cost) is offered to the shared
+/// incumbent *before* the greedy baseline and before any member starts:
+/// the race can only improve on it, the integral search heuristics
+/// warm-start from it ([`Incumbent::snapshot`]), and its cost prunes the
+/// unrelated branch-and-bound — so a re-solve after a small delta spends
+/// its whole budget ahead of, never re-deriving, the previous solution.
+/// A floor win (no member improved) is attributed to [`WARM_INCUMBENT`]
+/// and is not demotion evidence against the raced members beyond the
+/// usual no-winner decay.
+pub fn race_with_floor(
+    inst: &ProblemInstance,
+    cfg: &RaceConfig,
+    tracker: Option<&WinRateTracker>,
+    floor: Option<(Solution, Cost)>,
 ) -> RaceResult {
     let t0 = Instant::now();
     let feat = extract_features(inst);
@@ -158,7 +183,11 @@ pub fn race_adaptive(
     let k = cfg.top_k.clamp(1, portfolio.ranked.len()).min(portfolio.active);
     let members = &portfolio.ranked[..k];
     let incumbent = Incumbent::new();
-    // The quality floor, published before any member starts.
+    // The session floor (when re-solving) and the quality floor, both
+    // published before any member starts.
+    if let Some((solution, cost)) = floor {
+        incumbent.offer(WARM_INCUMBENT, solution, cost);
+    }
     let baseline = inst.greedy();
     incumbent.offer("greedy-baseline", baseline.solution, baseline.cost);
     let cancel = CancelToken::with_deadline(cfg.budget);
@@ -398,6 +427,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn floor_can_only_be_improved_and_wins_when_unbeaten() {
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                2,
+                vec![0, 1, 0],
+                vec![vec![4, 2], vec![3, 3], vec![1, 5]],
+                vec![vec![1, 2], vec![2, 1]],
+            )
+            .unwrap(),
+        );
+        // Establish the optimum (6, brute-forced in the exact solver
+        // tests), then re-race with it pre-published as the session floor:
+        // nothing can strictly improve it, so the floor is the winner.
+        let first = race(&inst, &RaceConfig { top_k: 4, ..Default::default() });
+        assert_eq!(first.cost, Cost::Time(6));
+        let res = race_with_floor(
+            &inst,
+            &RaceConfig { top_k: 4, ..Default::default() },
+            None,
+            Some((first.solution.clone(), first.cost)),
+        );
+        assert_eq!(res.cost, Cost::Time(6));
+        assert_eq!(res.winner, WARM_INCUMBENT, "unbeaten floor must be attributed");
+        assert_eq!(inst.evaluate(&res.solution).unwrap(), res.cost);
+        // A deliberately bad floor is simply improved past: the race never
+        // returns worse than greedy even when the floor is worse.
+        let bad = inst.greedy();
+        let worse_cost = Cost::Time(match bad.cost {
+            Cost::Time(t) => t + 100,
+            _ => unreachable!("unrelated greedy is a time cost"),
+        });
+        let res = race_with_floor(
+            &inst,
+            &RaceConfig { top_k: 4, ..Default::default() },
+            None,
+            Some((bad.solution, worse_cost)),
+        );
+        assert!(!bad.cost.better_than(&res.cost), "bad floors must not cap quality");
     }
 
     #[test]

@@ -27,16 +27,22 @@
 //! On top of the static rules sits the **adaptive layer**
 //! ([`WinRateTracker`] + [`select_portfolio`]): the racing executor
 //! reports which member actually produced each race's winning solution,
-//! keyed by a coarse feature family. A member that has raced at least
-//! [`DEMOTION_MIN_RACES`] times in a family without a single win is
+//! keyed by a coarse feature family. Each `(family, member)` pair carries
+//! a **recency-decayed win score** ([`SCORE_DECAY`]): a win banks
+//! `1 − SCORE_DECAY`, every race decays the balance geometrically.
+//! Members in good standing are ranked by that score (recent winners
+//! first; members without [`DEMOTION_MIN_RACES`] races of evidence float
+//! at an optimistic prior and keep their static order); a member whose
+//! score decayed below [`DEMOTION_SCORE`] with enough evidence is
 //! *demoted* — stably moved behind every member that still might win, and
 //! **excluded from the top-k slots** ([`Portfolio::active`]): the racer
 //! shrinks its effective `top_k` to the members in good standing instead
 //! of merely reordering, so demoted members stop consuming race capacity
-//! on stable traffic. The portfolio never shrinks below one member, and
-//! the greedy *floor* is unaffected — the racer pre-publishes it outside
-//! the portfolio ranking, so a demoted greedy member costs quality
-//! nothing.
+//! on stable traffic — and unlike the former binary never-won rule, one
+//! long-ago win no longer immunizes forever. The portfolio never shrinks
+//! below one member, and the greedy *floor* is unaffected — the racer
+//! pre-publishes it outside the portfolio ranking, so a demoted greedy
+//! member costs quality nothing.
 
 use std::collections::BTreeMap;
 
@@ -131,27 +137,58 @@ pub fn select(feat: &Features) -> Vec<&'static dyn Solver> {
     ranked
 }
 
-/// Races a `(family, solver)` pair must accumulate before a winless solver
-/// may be demoted. Below this the evidence is noise: with `top_k = 3` a
-/// strong member can legitimately lose a handful of races to warm-started
+/// Races a `(family, solver)` pair must accumulate before its score may
+/// demote it. Below this the evidence is noise: with `top_k = 3` a strong
+/// member can legitimately lose a handful of races to warm-started
 /// heuristics before its first win.
 pub const DEMOTION_MIN_RACES: u64 = 8;
 
+/// Per-race exponential decay of the win score: after each race
+/// `score ← score · DECAY + (won ? 1 − DECAY : 0)`, so the score is a
+/// recency-weighted win rate in `[0, 1]` — a win is worth `1 − DECAY`
+/// immediately and fades geometrically as winless races accumulate.
+pub const SCORE_DECAY: f64 = 0.8;
+
+/// Score below which a member with enough evidence is demoted. A single
+/// win (`1 − SCORE_DECAY = 0.2`) decays below this after
+/// `log(DEMOTION_SCORE / 0.2) / log(SCORE_DECAY) ≈ 11` winless races —
+/// the *recency* half of the rule: old glory expires, unlike the former
+/// binary never-won rule under which one win immunized forever.
+pub const DEMOTION_SCORE: f64 = 0.02;
+
 /// Win/loss record of one `(family, solver)` pair.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct WinStats {
     /// Races in which the solver held a top-k slot.
     pub races: u64,
     /// Races whose final incumbent this solver produced.
     pub wins: u64,
+    /// Recency-decayed win score (see [`SCORE_DECAY`]): the ranking and
+    /// demotion signal.
+    pub score: f64,
 }
 
 impl WinStats {
-    /// The demotion rule: enough races ([`DEMOTION_MIN_RACES`]) and not
-    /// one win. One win immunizes permanently — demotion is reserved for
-    /// *never* winning.
+    /// The demotion rule: enough races ([`DEMOTION_MIN_RACES`]) and a win
+    /// score that decayed below [`DEMOTION_SCORE`]. A member that never
+    /// won scores exactly 0 and demotes at the evidence floor, like the
+    /// old binary rule; a member whose last win is ~11+ races in the past
+    /// demotes too — demotion is no longer sticky-proof to one lucky win.
     pub fn demoted(&self) -> bool {
-        self.races >= DEMOTION_MIN_RACES && self.wins == 0
+        self.races >= DEMOTION_MIN_RACES && self.score < DEMOTION_SCORE
+    }
+
+    /// The ranking key of [`select_portfolio`]: the decayed score for
+    /// members with enough evidence; members still accumulating evidence
+    /// float at least at [`DEMOTION_SCORE`] (an optimistic prior), so an
+    /// unraced member keeps its static-rule position until proven, while
+    /// any recent winner outranks it.
+    pub fn ranking_score(&self) -> f64 {
+        if self.races >= DEMOTION_MIN_RACES {
+            self.score
+        } else {
+            self.score.max(DEMOTION_SCORE)
+        }
     }
 }
 
@@ -202,7 +239,8 @@ impl WinRateTracker {
 
     /// Records one race: every member of `raced` held a slot; `winner` is
     /// the member that produced the final incumbent, or `None` when no
-    /// member beat the pre-published greedy floor.
+    /// member beat the pre-published floor. Each member's score decays by
+    /// [`SCORE_DECAY`] and the winner banks `1 − SCORE_DECAY`.
     pub fn record(&self, family: &str, raced: &[&'static str], winner: Option<&str>) {
         let mut stats = self.stats.lock();
         if !stats.contains_key(family) {
@@ -212,10 +250,26 @@ impl WinRateTracker {
         for &name in raced {
             let s = by_solver.entry(name).or_default();
             s.races += 1;
-            if winner == Some(name) {
+            let won = winner == Some(name);
+            s.score = s.score * SCORE_DECAY + if won { 1.0 - SCORE_DECAY } else { 0.0 };
+            if won {
                 s.wins += 1;
             }
         }
+    }
+
+    /// A snapshot of every `(family, solver)` record, most-raced first —
+    /// the standings payload of the `{"metrics": true}` probe.
+    pub fn standings(&self) -> Vec<(String, &'static str, WinStats)> {
+        let stats = self.stats.lock();
+        let mut rows: Vec<(String, &'static str, WinStats)> = stats
+            .iter()
+            .flat_map(|(family, by_solver)| {
+                by_solver.iter().map(move |(&name, &s)| (family.clone(), name, s))
+            })
+            .collect();
+        rows.sort_by(|a, b| b.2.races.cmp(&a.2.races).then_with(|| a.0.cmp(&b.0)));
+        rows
     }
 
     /// The record of one `(family, solver)` pair (zeroes when never raced).
@@ -248,13 +302,17 @@ pub struct Portfolio {
     pub active: usize,
 }
 
-/// [`select`], refined by observed win rates: demoted members (see
-/// [`WinRateTracker::is_demoted`]) move — stably — behind every member
-/// still in good standing, and [`Portfolio::active`] tells the racer how
-/// many leading slots are worth racing (the per-family `top_k`
-/// *shrinking*: demoted members free capacity instead of merely being
-/// reordered). With no tracker (or no history) the ranking is exactly
-/// [`select`]'s and every member is active.
+/// [`select`], refined by the scored win-rate × recency ranking: members
+/// in good standing are stably ordered by descending
+/// [`WinStats::ranking_score`] (recent winners first; members without
+/// enough evidence float at the optimistic prior, i.e. keep their static
+/// relative order), demoted members (see [`WinRateTracker::is_demoted`])
+/// move — stably — behind every member still in good standing, and
+/// [`Portfolio::active`] tells the racer how many leading slots are worth
+/// racing (the per-family `top_k` *shrinking*: demoted members free
+/// capacity instead of merely being reordered). With no tracker (or no
+/// history) the ranking is exactly [`select`]'s and every member is
+/// active.
 pub fn select_portfolio(feat: &Features, tracker: Option<&WinRateTracker>) -> Portfolio {
     let ranked = select(feat);
     let Some(tracker) = tracker else {
@@ -269,9 +327,17 @@ pub fn select_portfolio(feat: &Features, tracker: Option<&WinRateTracker>) -> Po
         let active = ranked.len();
         return Portfolio { ranked, active };
     };
-    let (kept, demoted): (Vec<_>, Vec<_>) = ranked
-        .into_iter()
-        .partition(|s| !by_solver.get(s.name()).copied().unwrap_or_default().demoted());
+    let stat_of = |s: &&'static dyn Solver| by_solver.get(s.name()).copied().unwrap_or_default();
+    let (mut kept, demoted): (Vec<_>, Vec<_>) =
+        ranked.into_iter().partition(|s| !stat_of(s).demoted());
+    // Stable sort: equal ranking scores (e.g. the shared prior of
+    // unproven members) keep the static rule order.
+    kept.sort_by(|a, b| {
+        stat_of(b)
+            .ranking_score()
+            .partial_cmp(&stat_of(a).ranking_score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     drop(stats);
     let active = kept.len().max(1);
     Portfolio { ranked: kept.into_iter().chain(demoted).collect(), active }
@@ -352,8 +418,16 @@ mod tests {
         }
     }
 
+    /// The hand-computed EWMA oracle: replays the same decay arithmetic
+    /// the tracker applies, win-by-win.
+    fn ewma(outcomes: &[bool]) -> f64 {
+        outcomes
+            .iter()
+            .fold(0.0, |s, &won| s * SCORE_DECAY + if won { 1.0 - SCORE_DECAY } else { 0.0 })
+    }
+
     #[test]
-    fn win_rate_tracker_demotion_matches_hand_computed_oracle() {
+    fn win_rate_tracker_scoring_matches_hand_computed_oracle() {
         let t = WinRateTracker::new();
         let fam = "uniform|setup-light";
         let raced: [&'static str; 3] = ["lpt", "local-search", "anneal"];
@@ -362,26 +436,57 @@ mod tests {
         for _ in 0..7 {
             t.record(fam, &raced, Some("lpt"));
         }
-        assert_eq!(t.stats(fam, "lpt"), WinStats { races: 7, wins: 7 });
-        assert_eq!(t.stats(fam, "anneal"), WinStats { races: 7, wins: 0 });
+        let lpt = t.stats(fam, "lpt");
+        assert_eq!((lpt.races, lpt.wins), (7, 7));
+        assert_eq!(lpt.score, ewma(&[true; 7]), "score must replay the decay bit-exactly");
+        assert_eq!(t.stats(fam, "anneal").score, 0.0, "winless score is exactly zero");
         assert!(!t.is_demoted(fam, "anneal"), "7 races is below the evidence floor");
         // Race 8: anneal wins once, local-search still winless.
         t.record(fam, &raced, Some("anneal"));
-        assert_eq!(t.stats(fam, "anneal"), WinStats { races: 8, wins: 1 });
-        assert_eq!(t.stats(fam, "local-search"), WinStats { races: 8, wins: 0 });
-        assert!(!t.is_demoted(fam, "anneal"), "one win immunizes");
-        assert!(t.is_demoted(fam, "local-search"), "8 races, 0 wins → demoted");
+        let anneal = t.stats(fam, "anneal");
+        assert_eq!((anneal.races, anneal.wins), (8, 1));
+        assert_eq!(anneal.score, 1.0 - SCORE_DECAY, "a fresh win banks 1 − DECAY");
+        assert!(!t.is_demoted(fam, "anneal"), "a recent win keeps the score high");
+        assert!(t.is_demoted(fam, "local-search"), "8 races, score 0 → demoted");
         assert!(!t.is_demoted(fam, "lpt"));
-        // A greedy-floor race (no member won) still counts as a race.
+        // A floor race (no member won) still counts and still decays.
         t.record(fam, &raced, None);
-        assert_eq!(t.stats(fam, "lpt"), WinStats { races: 9, wins: 7 });
+        let lpt = t.stats(fam, "lpt");
+        assert_eq!((lpt.races, lpt.wins), (9, 7));
+        assert_eq!(lpt.score, ewma(&[true, true, true, true, true, true, true, false, false]));
         // Families are independent: same solver, different family, clean.
         assert_eq!(t.stats("unrelated|ra=false|cur=false|cupt=false|setup-light", "lpt").races, 0);
         assert!(!t.is_demoted("other-family", "local-search"));
     }
 
     #[test]
-    fn select_adaptive_stably_demotes_winless_members() {
+    fn old_wins_decay_into_demotion() {
+        // The recency half of the rule: one early win, then a winless
+        // streak — the score decays geometrically and the member demotes
+        // once it crosses DEMOTION_SCORE, where the former binary rule
+        // kept it immune forever.
+        let t = WinRateTracker::new();
+        let fam = "uniform|setup-light|mid";
+        t.record(fam, &["anneal"], Some("anneal"));
+        let mut outcomes = vec![true];
+        let mut demoted_at = None;
+        for race in 2..=30u64 {
+            t.record(fam, &["anneal"], None);
+            outcomes.push(false);
+            assert_eq!(t.stats(fam, "anneal").score, ewma(&outcomes), "race {race}");
+            if t.is_demoted(fam, "anneal") {
+                demoted_at = Some(race);
+                break;
+            }
+        }
+        // Oracle: (1 − DECAY) · DECAY^t < DEMOTION_SCORE first at t = 11
+        // winless races (0.2 · 0.8^11 ≈ 0.017), i.e. race 12 — and not
+        // before the evidence floor.
+        assert_eq!(demoted_at, Some(12), "one win must expire, not immunize");
+    }
+
+    #[test]
+    fn select_adaptive_ranks_by_score_and_demotes_stably() {
         let inst = ProblemInstance::Uniform(
             UniformInstance::identical(3, vec![2], (0..30).map(|i| Job::new(0, i + 1)).collect())
                 .unwrap(),
@@ -392,19 +497,23 @@ mod tests {
         assert_eq!(names(&select_adaptive(&feat, None)), base);
         let t = WinRateTracker::new();
         assert_eq!(names(&select_adaptive(&feat, Some(&t))), base);
-        // Demote the first-ranked member: 8 raced, 0 wins in this family.
+        // 8 races: anneal wins them all, the statically-first member never
+        // does. Oracle: anneal (proven, score ≈ 0.83) jumps to the front,
+        // the unproven members keep their static relative order at the
+        // prior, the demoted first member goes last.
         let fam = WinRateTracker::family_key(&feat);
         let first: &'static str = select(&feat)[0].name();
         let raced = [first, "anneal"];
         for _ in 0..DEMOTION_MIN_RACES {
             t.record(&fam, &raced, Some("anneal"));
         }
+        assert!(t.stats(&fam, "anneal").ranking_score() > DEMOTION_SCORE);
+        assert!(t.is_demoted(&fam, first));
         let adapted = names(&select_adaptive(&feat, Some(&t)));
-        // Same set, first member now last, relative order of the rest kept.
-        assert_eq!(adapted.last(), Some(&first), "{adapted:?}");
-        let mut expected: Vec<&str> = base.iter().copied().filter(|n| *n != first).collect();
+        let mut expected: Vec<&str> = vec!["anneal"];
+        expected.extend(base.iter().copied().filter(|n| *n != first && *n != "anneal"));
         expected.push(first);
-        assert_eq!(adapted, expected, "demotion must be a stable partition");
+        assert_eq!(adapted, expected, "score-ranked, stable at the prior, demoted last");
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //! queueing; jobs already queued when the last worker dies are answered
 //! with error lines by the pool's orphan path.
 //!
+//! **Session verbs run on an ordered lane.** The stealing pool preserves
+//! no order for in-flight requests — correct for independent one-shot
+//! solves, wrong for stateful create → delta → solve sequences pipelined
+//! blindly (stdin batch mode cannot await responses). Dispatch therefore
+//! routes session-shaped lines through one dedicated FIFO worker: arrival
+//! order is preserved across all session verbs, while a session `solve`
+//! still parallelizes internally (its race spawns `top_k` solver
+//! threads). Scaling sessions across multiple ordered lanes (keyed by
+//! session id) is a ROADMAP item.
+//!
 //! Selection is **adaptive**: all workers share one
 //! [`WinRateTracker`], so portfolio members that never win their feature
 //! family are demoted out of the default top-k as evidence accumulates
@@ -43,10 +53,12 @@ use sst_core::stats::LatencyHistogram;
 
 use crate::pool::{Directive, Pool, PoolConfig, PoolMode, RejectReason, Rejected};
 use crate::protocol::{
-    parse_incoming, response_to_json, Incoming, MetricsSummary, Response, SolverLine,
+    parse_incoming, response_to_json, Incoming, MetricsSummary, Response, SessionRequest,
+    SessionVerb, SolverLine, StandingLine,
 };
-use crate::race::{race_adaptive, RaceConfig};
+use crate::race::{race_adaptive, race_with_floor, RaceConfig, RaceResult, WARM_INCUMBENT};
 use crate::select::WinRateTracker;
+use crate::session::{SessionEntry, SessionStore};
 
 /// Service configuration (CLI flags of `sst serve`).
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +77,10 @@ pub struct ServeConfig {
     /// Accepted-but-unstarted request cap; beyond it `dispatch` answers
     /// with an overload error line instead of queueing.
     pub max_queue: usize,
+    /// Live-session cap of the [`SessionStore`]: creates beyond it evict
+    /// the least-recently-used session (visible in the metrics probe — the
+    /// backpressure signal to close sessions or raise the cap).
+    pub max_sessions: usize,
     /// Honor `{"kill_worker": true}` fault-injection probes.
     pub fault_injection: bool,
 }
@@ -78,6 +94,7 @@ impl Default for ServeConfig {
             seed: 1,
             mode: PoolMode::WorkStealing,
             max_queue: 1024,
+            max_sessions: 64,
             fault_injection: false,
         }
     }
@@ -157,6 +174,8 @@ impl MetricsState {
             p90_us: self.hist.percentile(0.90),
             p99_us: self.hist.percentile(0.99),
             mean_us: self.hist.mean().round() as u64,
+            // Session stats and standings are composed by `full_summary`.
+            ..MetricsSummary::default()
         }
     }
 }
@@ -165,8 +184,48 @@ impl MetricsState {
 /// job's [`SharedWriter`].
 pub struct Service {
     pool: Pool<Job>,
+    /// The **session lane**: one FIFO worker dedicated to session verbs.
+    /// The stealing pool deliberately preserves no order for in-flight
+    /// requests, but session verbs are stateful — `create` → `delta` →
+    /// `solve` pipelined blindly (stdin batch mode cannot await
+    /// responses) must execute in arrival order. Routing every
+    /// session-shaped line through one ordered channel guarantees that;
+    /// a session `solve` still parallelizes internally (its race spawns
+    /// `top_k` solver threads), and one-shot solves keep the full pool.
+    session_tx: Option<std::sync::mpsc::SyncSender<Job>>,
+    session_lane: Option<std::thread::JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsState>>,
     tracker: Arc<WinRateTracker>,
+    sessions: Arc<SessionStore>,
+}
+
+/// Standings rows included in a metrics response (the tracker can hold
+/// many `(family, solver)` pairs on diverse traffic; the probe reports the
+/// most-raced ones).
+const METRICS_STANDINGS_CAP: usize = 16;
+
+/// The full metrics summary: latency/throughput counters plus session
+/// stats and the win-rate standings.
+fn full_summary(
+    metrics: &Mutex<MetricsState>,
+    sessions: &SessionStore,
+    tracker: &WinRateTracker,
+) -> MetricsSummary {
+    let mut summary = metrics.lock().summary();
+    summary.sessions = sessions.stats();
+    summary.standings = tracker
+        .standings()
+        .into_iter()
+        .take(METRICS_STANDINGS_CAP)
+        .map(|(family, solver, s)| StandingLine {
+            family,
+            solver: solver.to_string(),
+            races: s.races,
+            wins: s.wins,
+            score_x1000: (s.score * 1000.0).round() as u64,
+        })
+        .collect();
+    summary
 }
 
 fn write_line(out: &SharedWriter, line: &str) {
@@ -190,10 +249,159 @@ fn write_error(metrics: &Mutex<MetricsState>, job: &Job, message: String) {
     write_line(&job.out, &response_to_json(&Response::Error { id, message }));
 }
 
+/// Packages a race result as an OK response line.
+fn ok_response(id: u64, kind: &str, micros: u64, result: RaceResult) -> Response {
+    Response::Ok {
+        id,
+        kind: kind.to_string(),
+        solver: result.winner.to_string(),
+        micros,
+        makespan: result.cost,
+        solution: result.solution,
+        solvers: result
+            .reports
+            .into_iter()
+            .map(|r| SolverLine {
+                name: r.name.to_string(),
+                makespan: r.cost,
+                micros: r.micros,
+                completed: r.completed,
+            })
+            .collect(),
+    }
+}
+
+/// Counts a served response and records its latency.
+fn record_ok(metrics: &Mutex<MetricsState>, micros: u64) {
+    let mut m = metrics.lock();
+    m.hist.record(micros);
+    m.ok += 1;
+}
+
+/// The session verbs (see [`crate::protocol::SessionRequest`]): create
+/// installs a greedy incumbent, delta repairs it through
+/// [`crate::model::ModelOps::repair_deltas`], solve races warm from the
+/// repaired floor, close frees the slot. Repairs and races run on a clone
+/// of the session entry — the store lock is never held across them.
+fn handle_session(
+    cfg: &ServeConfig,
+    metrics: &Mutex<MetricsState>,
+    tracker: &WinRateTracker,
+    sessions: &SessionStore,
+    job: &Job,
+    req: SessionRequest,
+) {
+    let t0 = Instant::now();
+    let id = req.id;
+    match req.verb {
+        SessionVerb::Create { sid, instance } => {
+            let greedy = instance.greedy();
+            let entry = SessionEntry {
+                instance: Arc::new(instance),
+                incumbent: greedy.solution,
+                cost: greedy.cost,
+                proxy: None,
+            };
+            let cost = entry.cost;
+            let (live, _evicted) = sessions.create(sid, entry);
+            metrics.lock().ok += 1;
+            let resp = Response::Session {
+                id,
+                sid,
+                verb: "create".into(),
+                live: live as u64,
+                makespan: Some(cost),
+            };
+            write_line(&job.out, &response_to_json(&resp));
+        }
+        SessionVerb::Delta { sid, deltas } => {
+            let Some(entry) = sessions.snapshot(sid) else {
+                write_error(metrics, job, format!("unknown session {sid}"));
+                return;
+            };
+            match entry.instance.ops().repair_deltas(
+                &entry.incumbent,
+                entry.proxy.as_ref(),
+                &deltas,
+            ) {
+                Err(message) => {
+                    write_error(metrics, job, format!("session {sid} delta failed: {message}"))
+                }
+                Ok(repaired) => {
+                    let micros = t0.elapsed().as_micros() as u64;
+                    // The repaired incumbent is the response *and* the floor
+                    // the next solve must beat.
+                    let resp = Response::Ok {
+                        id,
+                        kind: repaired.instance.kind().to_string(),
+                        solver: "delta-repair".to_string(),
+                        micros,
+                        makespan: repaired.cost,
+                        solution: repaired.incumbent.clone(),
+                        solvers: Vec::new(),
+                    };
+                    sessions.update(
+                        sid,
+                        SessionEntry {
+                            instance: Arc::new(repaired.instance),
+                            incumbent: repaired.incumbent,
+                            cost: repaired.cost,
+                            proxy: repaired.proxy,
+                        },
+                    );
+                    record_ok(metrics, micros);
+                    write_line(&job.out, &response_to_json(&resp));
+                }
+            }
+        }
+        SessionVerb::Solve { sid, budget_ms, top_k, seed } => {
+            let Some(entry) = sessions.snapshot(sid) else {
+                write_error(metrics, job, format!("unknown session {sid}"));
+                return;
+            };
+            let race_cfg = RaceConfig {
+                top_k: top_k.unwrap_or(cfg.top_k),
+                budget: Duration::from_millis(budget_ms.unwrap_or(cfg.budget_ms)),
+                seed: seed.unwrap_or(cfg.seed),
+            };
+            let floor = Some((entry.incumbent.clone(), entry.cost));
+            let result = race_with_floor(&entry.instance, &race_cfg, Some(tracker), floor);
+            sessions.record_warm(result.winner == WARM_INCUMBENT);
+            let micros = t0.elapsed().as_micros() as u64;
+            // The race never returns worse than its floor, so the result
+            // is the session's new incumbent; the instance is unchanged
+            // and stays shared.
+            let updated = SessionEntry {
+                instance: Arc::clone(&entry.instance),
+                incumbent: result.solution.clone(),
+                cost: result.cost,
+                proxy: entry.proxy.clone(),
+            };
+            let kind = entry.instance.kind();
+            let resp = ok_response(id, kind, micros, result);
+            sessions.update(sid, updated);
+            record_ok(metrics, micros);
+            write_line(&job.out, &response_to_json(&resp));
+        }
+        SessionVerb::Close { sid } => {
+            if sessions.close(sid) {
+                metrics.lock().ok += 1;
+                let live = sessions.live() as u64;
+                let resp =
+                    Response::Session { id, sid, verb: "close".into(), live, makespan: None };
+                write_line(&job.out, &response_to_json(&resp));
+            } else {
+                write_error(metrics, job, format!("unknown session {sid}"));
+            }
+        }
+    }
+}
+
 fn handle_job(
     cfg: &ServeConfig,
     metrics: &Mutex<MetricsState>,
     tracker: &WinRateTracker,
+    sessions: &SessionStore,
     job: &Job,
 ) -> Directive {
     let line = job.line.trim();
@@ -202,7 +410,7 @@ fn handle_job(
     }
     match parse_incoming(line) {
         Ok(Incoming::Metrics) => {
-            let summary = metrics.lock().summary();
+            let summary = full_summary(metrics, sessions, tracker);
             write_line(&job.out, &response_to_json(&Response::Metrics(summary)));
         }
         Ok(Incoming::KillWorker) => {
@@ -213,6 +421,7 @@ fn handle_job(
             }
             write_error(metrics, job, "kill_worker requires --fault-injection true".into());
         }
+        Ok(Incoming::Session(req)) => handle_session(cfg, metrics, tracker, sessions, job, *req),
         Ok(Incoming::Solve(req)) => {
             let t0 = Instant::now();
             let race_cfg = RaceConfig {
@@ -222,29 +431,8 @@ fn handle_job(
             };
             let result = race_adaptive(&req.instance, &race_cfg, Some(tracker));
             let micros = t0.elapsed().as_micros() as u64;
-            let resp = Response::Ok {
-                id: req.id,
-                kind: req.instance.kind().to_string(),
-                solver: result.winner.to_string(),
-                micros,
-                makespan: result.cost,
-                solution: result.solution,
-                solvers: result
-                    .reports
-                    .into_iter()
-                    .map(|r| SolverLine {
-                        name: r.name.to_string(),
-                        makespan: r.cost,
-                        micros: r.micros,
-                        completed: r.completed,
-                    })
-                    .collect(),
-            };
-            {
-                let mut m = metrics.lock();
-                m.hist.record(micros);
-                m.ok += 1;
-            }
+            let resp = ok_response(req.id, req.instance.kind(), micros, result);
+            record_ok(metrics, micros);
             write_line(&job.out, &response_to_json(&resp));
         }
         Err(e) => write_error(metrics, job, e.to_string()),
@@ -262,6 +450,7 @@ impl Service {
             started: Instant::now(),
         }));
         let tracker = Arc::new(WinRateTracker::new());
+        let sessions = Arc::new(SessionStore::new(cfg.max_sessions));
         let pool_cfg = PoolConfig {
             workers: cfg.workers.max(1),
             mode: cfg.mode,
@@ -270,6 +459,7 @@ impl Service {
         let handler = {
             let metrics = Arc::clone(&metrics);
             let tracker = Arc::clone(&tracker);
+            let sessions = Arc::clone(&sessions);
             move |_w: usize, job: Job| {
                 // A panicking solver must not strand the in-flight request
                 // (the claimed job never reaches the pool's death path) nor
@@ -277,8 +467,9 @@ impl Service {
                 // serving. handle_job borrows the job, so this path still
                 // owns it — no hot-path copies; the id is extracted only
                 // if the panic actually happens.
-                let run =
-                    std::panic::AssertUnwindSafe(|| handle_job(&cfg, &metrics, &tracker, &job));
+                let run = std::panic::AssertUnwindSafe(|| {
+                    handle_job(&cfg, &metrics, &tracker, &sessions, &job)
+                });
                 match std::panic::catch_unwind(run) {
                     Ok(directive) => directive,
                     Err(_) => {
@@ -299,14 +490,67 @@ impl Service {
             }
         };
         let pool = Pool::start(pool_cfg, handler, orphan);
-        Service { pool, metrics, tracker }
+        // The ordered session lane (see the `Service` field docs). It runs
+        // the same handler as the pool workers — a misrouted line is
+        // still answered correctly, just in FIFO order.
+        let (session_tx, session_rx) = std::sync::mpsc::sync_channel::<Job>(cfg.max_queue.max(1));
+        let session_lane = {
+            let metrics = Arc::clone(&metrics);
+            let tracker = Arc::clone(&tracker);
+            let sessions = Arc::clone(&sessions);
+            std::thread::spawn(move || {
+                for job in session_rx {
+                    let run = std::panic::AssertUnwindSafe(|| {
+                        handle_job(&cfg, &metrics, &tracker, &sessions, &job)
+                    });
+                    if std::panic::catch_unwind(run).is_err() {
+                        write_error(
+                            &metrics,
+                            &job,
+                            "internal error: request handler panicked".into(),
+                        );
+                    }
+                }
+            })
+        };
+        Service {
+            pool,
+            session_tx: Some(session_tx),
+            session_lane: Some(session_lane),
+            metrics,
+            tracker,
+            sessions,
+        }
+    }
+
+    /// Cheap routing sniff: session verbs go through the ordered lane. A
+    /// false positive (the substring inside a string value of a one-shot
+    /// request) merely serializes that request — it is still answered
+    /// correctly by the same handler.
+    fn is_session_line(line: &str) -> bool {
+        line.contains("\"session\"")
     }
 
     /// Enqueues one request line; its response will be written to `out`.
-    /// When the pool cannot take it — backlog full, or every worker dead —
-    /// the client gets an immediate error line instead of a silent drop
-    /// (the PR 2 `let _ = sender.send(..)` bug left it hanging forever).
+    /// Session verbs route through the ordered session lane (arrival
+    /// order preserved, so pipelined create/delta/solve sequences are
+    /// safe); everything else goes to the work-stealing pool. When a
+    /// queue cannot take the request — backlog full, or every worker
+    /// dead — the client gets an immediate error line instead of a
+    /// silent drop (the PR 2 `let _ = sender.send(..)` bug left it
+    /// hanging forever).
     pub fn dispatch(&self, line: String, out: SharedWriter) {
+        if Self::is_session_line(&line) {
+            let tx = self.session_tx.as_ref().expect("lane alive until shutdown");
+            if let Err(e) = tx.try_send(Job { line, out }) {
+                let (job, what) = match e {
+                    std::sync::mpsc::TrySendError::Full(job) => (job, "backlog full"),
+                    std::sync::mpsc::TrySendError::Disconnected(job) => (job, "lane closed"),
+                };
+                write_error(&self.metrics, &job, format!("overloaded: session {what}"));
+            }
+            return;
+        }
         if let Err(Rejected { job, reason, queued }) = self.pool.dispatch(Job { line, out }) {
             let message = match reason {
                 RejectReason::NoWorkers => "overloaded: no live workers".to_string(),
@@ -318,9 +562,10 @@ impl Service {
         }
     }
 
-    /// The running metrics summary.
+    /// The running metrics summary (latency counters plus session stats
+    /// and win-rate standings).
     pub fn metrics(&self) -> MetricsSummary {
-        self.metrics.lock().summary()
+        full_summary(&self.metrics, &self.sessions, &self.tracker)
     }
 
     /// Workers still alive (decreases under fault injection).
@@ -333,11 +578,21 @@ impl Service {
         &self.tracker
     }
 
+    /// The shared session store (all workers serve it).
+    pub fn session_store(&self) -> &SessionStore {
+        &self.sessions
+    }
+
     /// Closes the queues, drains in-flight work and returns final metrics.
-    pub fn shutdown(self) -> MetricsSummary {
+    pub fn shutdown(mut self) -> MetricsSummary {
+        // Close and drain the session lane first (dropping the sender ends
+        // its loop), then the pool.
+        drop(self.session_tx.take());
+        if let Some(lane) = self.session_lane.take() {
+            let _ = lane.join();
+        }
         self.pool.shutdown();
-        let summary = self.metrics.lock().summary();
-        summary
+        full_summary(&self.metrics, &self.sessions, &self.tracker)
     }
 }
 
@@ -381,7 +636,7 @@ pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
 mod tests {
     use super::testing::{buffer_writer, writer_to};
     use super::*;
-    use crate::model::SplittableInstance;
+    use crate::model::{Solution, SplittableInstance};
     use crate::protocol::{parse_response, request_to_json, Request};
     use crate::solver::{Cost, ProblemInstance};
     use sst_core::instance::{Job as CoreJob, UniformInstance, UnrelatedInstance};
@@ -627,6 +882,172 @@ mod tests {
         assert!(overloads > 0, "a 2-deep queue cannot absorb a 60-request burst");
         assert_eq!(summary.errors, overloads as u64);
         assert_eq!(summary.count + summary.errors, 60);
+    }
+
+    #[test]
+    fn session_lifecycle_repairs_and_floors() {
+        use crate::protocol::{session_request_to_json, SessionRequest, SessionVerb};
+        use sst_core::delta::InstanceDelta;
+
+        // Multiple workers + blind pipelining: the ordered session lane —
+        // not client pacing — must keep the lifecycle in arrival order.
+        let svc = Service::start(ServeConfig { workers: 3, ..Default::default() });
+        let (buffer, _) = buffer_writer();
+        let instance = ProblemInstance::Uniform(
+            UniformInstance::identical(
+                3,
+                vec![4, 2],
+                (0..18).map(|i| CoreJob::new(i % 2, 1 + (i as u64 * 5) % 9)).collect(),
+            )
+            .unwrap(),
+        );
+        let lifecycle = vec![
+            SessionRequest { id: 0, verb: SessionVerb::Create { sid: 9, instance } },
+            SessionRequest {
+                id: 1,
+                verb: SessionVerb::Delta {
+                    sid: 9,
+                    deltas: vec![
+                        InstanceDelta::AddJob { class: 0, times: vec![7] },
+                        InstanceDelta::AddJob { class: 1, times: vec![3] },
+                        InstanceDelta::RemoveJob { job: 2 },
+                        InstanceDelta::ResizeSetup { class: 1, times: vec![6] },
+                    ],
+                },
+            },
+            SessionRequest {
+                id: 2,
+                verb: SessionVerb::Solve {
+                    sid: 9,
+                    budget_ms: Some(40),
+                    top_k: Some(2),
+                    seed: Some(1),
+                },
+            },
+            SessionRequest { id: 3, verb: SessionVerb::Close { sid: 9 } },
+            // Requests against the closed session must error, not hang.
+            SessionRequest {
+                id: 4,
+                verb: SessionVerb::Solve { sid: 9, budget_ms: None, top_k: None, seed: None },
+            },
+        ];
+        for req in &lifecycle {
+            svc.dispatch(session_request_to_json(req), writer_to(&buffer));
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 1, "only the post-close solve errors");
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let responses: Vec<Response> = text.lines().map(|l| parse_response(l).unwrap()).collect();
+        assert_eq!(responses.len(), 5, "{text}");
+        let Response::Session { sid: 9, verb: ref v0, makespan: Some(created_cost), .. } =
+            responses[0]
+        else {
+            panic!("create ack expected: {:?}", responses[0]);
+        };
+        assert_eq!(v0, "create");
+        let Response::Ok { solver: ref repair_solver, makespan: repaired_cost, .. } = responses[1]
+        else {
+            panic!("delta must answer with the repaired incumbent: {:?}", responses[1]);
+        };
+        assert_eq!(repair_solver, "delta-repair");
+        let Response::Ok { makespan: solved_cost, .. } = responses[2] else {
+            panic!("solve must answer ok: {:?}", responses[2]);
+        };
+        // The repaired incumbent is the solve's floor: the warm re-solve
+        // can only improve on it.
+        assert!(
+            !repaired_cost.better_than(&solved_cost),
+            "solve ({solved_cost:?}) must not lose to the repaired floor ({repaired_cost:?})"
+        );
+        let _ = created_cost;
+        assert!(
+            matches!(responses[3], Response::Session { verb: ref v, live: 0, .. } if v == "close")
+        );
+        assert!(
+            matches!(&responses[4], Response::Error { id: Some(4), message } if message.contains("unknown session")),
+            "{:?}",
+            responses[4]
+        );
+        // Metrics carried the session counters while it lived (checked via
+        // the final summary: one warm decision was recorded).
+        assert_eq!(summary.sessions.warm_hits + summary.sessions.warm_misses, 1);
+        assert_eq!(summary.sessions.live, 0);
+    }
+
+    #[test]
+    fn splittable_sessions_repair_on_the_integral_proxy() {
+        use crate::protocol::{session_request_to_json, SessionRequest, SessionVerb};
+        use sst_core::delta::InstanceDelta;
+
+        let svc = Service::start(ServeConfig { workers: 2, ..Default::default() });
+        let (buffer, _) = buffer_writer();
+        let inner = UnrelatedInstance::new(
+            2,
+            vec![0, 0, 1],
+            vec![vec![4, 6], vec![4, 6], vec![9, 3]],
+            vec![vec![1, 2], vec![2, 1]],
+        )
+        .unwrap();
+        let instance = ProblemInstance::Splittable(SplittableInstance(inner));
+        let lifecycle = vec![
+            SessionRequest { id: 0, verb: SessionVerb::Create { sid: 1, instance } },
+            SessionRequest {
+                id: 1,
+                verb: SessionVerb::Delta {
+                    sid: 1,
+                    deltas: vec![
+                        InstanceDelta::AddJob { class: 0, times: vec![4, 6] },
+                        InstanceDelta::ResizeJob { job: 2, times: vec![9, 5] },
+                    ],
+                },
+            },
+            SessionRequest {
+                id: 2,
+                verb: SessionVerb::Solve {
+                    sid: 1,
+                    budget_ms: Some(40),
+                    top_k: Some(2),
+                    seed: Some(3),
+                },
+            },
+        ];
+        for req in &lifecycle {
+            svc.dispatch(session_request_to_json(req), writer_to(&buffer));
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let responses: Vec<Response> = text.lines().map(|l| parse_response(l).unwrap()).collect();
+        let Response::Ok { kind: ref k1, solution: ref repaired, makespan: repaired_cost, .. } =
+            responses[1]
+        else {
+            panic!("{:?}", responses[1]);
+        };
+        assert_eq!(k1, "splittable");
+        assert!(matches!(repaired, Solution::Split(_)), "split incumbent repaired as shares");
+        let Response::Ok { makespan: solved_cost, ref solution, .. } = responses[2] else {
+            panic!("{:?}", responses[2]);
+        };
+        assert!(!repaired_cost.better_than(&solved_cost), "floor holds for the split model too");
+        assert!(matches!(solution, Solution::Split(_)));
+    }
+
+    #[test]
+    fn session_store_evictions_surface_in_metrics() {
+        use crate::protocol::{session_request_to_json, SessionRequest, SessionVerb};
+
+        let svc = Service::start(ServeConfig { workers: 1, max_sessions: 2, ..Default::default() });
+        let (buffer, _) = buffer_writer();
+        for sid in 0..4u64 {
+            let instance = ProblemInstance::Uniform(
+                UniformInstance::identical(2, vec![1], vec![CoreJob::new(0, 1 + sid)]).unwrap(),
+            );
+            let req = SessionRequest { id: sid, verb: SessionVerb::Create { sid, instance } };
+            svc.dispatch(session_request_to_json(&req), writer_to(&buffer));
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.sessions.live, 2, "LRU bound holds");
+        assert_eq!(summary.sessions.evicted, 2, "evictions are counted");
     }
 
     #[test]

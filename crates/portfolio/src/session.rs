@@ -1,0 +1,270 @@
+//! The session store: id → live instance + incumbent solution, the state
+//! behind the stateful half of the serve protocol.
+//!
+//! A *session* keeps an instance alive across requests so dynamic traffic
+//! — jobs arriving, finishing, resizing (see [`sst_core::delta`]) — is
+//! answered by **repairing** the previous solution instead of recomputing
+//! it: the `delta` verb routes through
+//! [`ModelOps::repair_deltas`](crate::model::ModelOps::repair_deltas) and
+//! the `solve` verb races with the repaired incumbent pre-published as the
+//! floor ([`crate::race::race_with_floor`]).
+//!
+//! The store is **LRU-bounded** at `max_sessions` (the `--max-sessions`
+//! flag): memory stays bounded under session churn because creating a
+//! session at capacity evicts the least-recently-used one — the evicted
+//! client's next request gets an `unknown session` error line and the
+//! eviction shows up in the `{"metrics": true}` session stats, which is
+//! the service's backpressure signal to either close sessions or raise the
+//! cap. Entries are stored behind `Arc`s, so reads clone a pointer and
+//! writes swap one — the global mutex is held for pointer-sized work only;
+//! repairs and races run outside it on the shared snapshot. Two concurrent
+//! requests on the *same* session id are last-write-wins.
+//!
+//! **Ordering:** session verbs do not ride the work-stealing pool (which
+//! preserves no order for in-flight requests) — the service routes them
+//! through one dedicated FIFO lane, so `create`/`delta`/`solve` sequences
+//! pipelined blindly execute in arrival order. Same-sid last-write-wins
+//! can therefore only arise between a session verb and a concurrent
+//! *non-session* path mutating the store (there is none today).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sst_core::schedule::Schedule;
+
+use crate::model::Solution;
+use crate::solver::{Cost, ProblemInstance};
+
+/// One live session: the current instance, the best-known solution with
+/// its exact cost, and the splittable model's integral proxy assignment.
+#[derive(Debug, Clone)]
+pub struct SessionEntry {
+    /// The session's current (post-delta) instance (shared with in-flight
+    /// repairs/races; replaced wholesale by deltas).
+    pub instance: Arc<ProblemInstance>,
+    /// Best-known solution for [`Self::instance`].
+    pub incumbent: Solution,
+    /// Exact cost of [`Self::incumbent`].
+    pub cost: Cost,
+    /// Integral proxy assignment (splittable sessions; see
+    /// [`crate::model::Repaired::proxy`]).
+    pub proxy: Option<Schedule>,
+}
+
+/// Counters of the session store, reported by `{"metrics": true}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions currently live.
+    pub live: u64,
+    /// Sessions evicted by the LRU bound since start.
+    pub evicted: u64,
+    /// Session solves the warm incumbent won outright (no raced member
+    /// improved the repaired floor).
+    pub warm_hits: u64,
+    /// Session solves where a raced member beat the warm floor.
+    pub warm_misses: u64,
+}
+
+struct Stamped {
+    entry: Arc<SessionEntry>,
+    stamp: u64,
+}
+
+struct Inner {
+    map: BTreeMap<u64, Stamped>,
+    clock: u64,
+    evicted: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+}
+
+/// Thread-safe, LRU-bounded session store shared by all pool workers.
+pub struct SessionStore {
+    max: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SessionStore {
+    /// An empty store holding at most `max_sessions` live sessions
+    /// (floored at 1).
+    pub fn new(max_sessions: usize) -> Self {
+        SessionStore {
+            max: max_sessions.max(1),
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                clock: 0,
+                evicted: 0,
+                warm_hits: 0,
+                warm_misses: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn max_sessions(&self) -> usize {
+        self.max
+    }
+
+    /// Inserts (or replaces) session `sid`. At capacity the
+    /// least-recently-used session is evicted first. Returns the live
+    /// count and the evicted session id, if any.
+    pub fn create(&self, sid: u64, entry: SessionEntry) -> (usize, Option<u64>) {
+        // Allocation outside the lock; the critical section swaps pointers.
+        let entry = Arc::new(entry);
+        let dropped;
+        let result = {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            let mut evicted = None;
+            if !inner.map.contains_key(&sid) && inner.map.len() >= self.max {
+                if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, s)| s.stamp) {
+                    inner.map.remove(&victim);
+                    inner.evicted += 1;
+                    evicted = Some(victim);
+                }
+            }
+            dropped = inner.map.insert(sid, Stamped { entry, stamp });
+            (inner.map.len(), evicted)
+        };
+        drop(dropped);
+        result
+    }
+
+    /// Shares session `sid`'s state out (touching its recency) — repairs
+    /// and races run on the shared snapshot, outside the store lock; the
+    /// lock itself only clones an `Arc`.
+    pub fn snapshot(&self, sid: u64) -> Option<Arc<SessionEntry>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let stamped = inner.map.get_mut(&sid)?;
+        stamped.stamp = stamp;
+        Some(Arc::clone(&stamped.entry))
+    }
+
+    /// Writes a session's state back. Returns `false` when the session
+    /// vanished in between (closed or evicted) — the write is dropped.
+    pub fn update(&self, sid: u64, entry: SessionEntry) -> bool {
+        let entry = Arc::new(entry);
+        let mut dropped = None;
+        let found = {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            match inner.map.get_mut(&sid) {
+                Some(stamped) => {
+                    dropped = Some(std::mem::replace(&mut stamped.entry, entry));
+                    stamped.stamp = stamp;
+                    true
+                }
+                None => false,
+            }
+        };
+        drop(dropped);
+        found
+    }
+
+    /// Closes session `sid`. Returns whether it existed.
+    pub fn close(&self, sid: u64) -> bool {
+        let dropped = {
+            let mut inner = self.inner.lock();
+            inner.map.remove(&sid)
+        };
+        dropped.is_some()
+    }
+
+    /// Sessions currently live.
+    pub fn live(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Records a warm re-solve outcome: `hit` when the repaired incumbent
+    /// survived the race unbeaten.
+    pub fn record_warm(&self, hit: bool) {
+        let mut inner = self.inner.lock();
+        if hit {
+            inner.warm_hits += 1;
+        } else {
+            inner.warm_misses += 1;
+        }
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> SessionStats {
+        let inner = self.inner.lock();
+        SessionStats {
+            live: inner.map.len() as u64,
+            evicted: inner.evicted,
+            warm_hits: inner.warm_hits,
+            warm_misses: inner.warm_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::instance::{Job, UniformInstance};
+
+    fn entry(seed: u64) -> SessionEntry {
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(2, vec![1], vec![Job::new(0, 1 + seed)]).unwrap(),
+        );
+        let greedy = inst.greedy();
+        SessionEntry {
+            instance: Arc::new(inst),
+            incumbent: greedy.solution,
+            cost: greedy.cost,
+            proxy: None,
+        }
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let store = SessionStore::new(2);
+        assert_eq!(store.create(1, entry(1)), (1, None));
+        assert_eq!(store.create(2, entry(2)), (2, None));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(store.snapshot(1).is_some());
+        let (live, evicted) = store.create(3, entry(3));
+        assert_eq!((live, evicted), (2, Some(2)));
+        assert!(store.snapshot(2).is_none(), "evicted session is gone");
+        assert!(store.snapshot(1).is_some(), "recently used session survives");
+        let stats = store.stats();
+        assert_eq!((stats.live, stats.evicted), (2, 1));
+    }
+
+    #[test]
+    fn recreate_same_id_does_not_evict() {
+        let store = SessionStore::new(1);
+        store.create(7, entry(1));
+        let (live, evicted) = store.create(7, entry(2));
+        assert_eq!((live, evicted), (1, None), "replacing in place needs no eviction");
+    }
+
+    #[test]
+    fn update_after_close_is_dropped() {
+        let store = SessionStore::new(4);
+        store.create(1, entry(1));
+        let snap = store.snapshot(1).unwrap();
+        assert!(store.close(1));
+        assert!(!store.close(1));
+        assert!(
+            !store.update(1, (*snap).clone()),
+            "stale write-back must not resurrect the session"
+        );
+        assert_eq!(store.live(), 0);
+    }
+
+    #[test]
+    fn warm_counters_accumulate() {
+        let store = SessionStore::new(4);
+        store.record_warm(true);
+        store.record_warm(true);
+        store.record_warm(false);
+        let stats = store.stats();
+        assert_eq!((stats.warm_hits, stats.warm_misses), (2, 1));
+    }
+}
