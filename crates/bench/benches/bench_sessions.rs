@@ -299,8 +299,10 @@ fn warm_vs_scratch_table() {
     }
 }
 
-/// Replays a dynamic-queue trace through the service's session verbs and
-/// asserts the repaired-incumbent floor on every solve response.
+/// Replays a dynamic-queue trace through the service's session verbs —
+/// with durability at `flush`, so every delta pays the write-ahead
+/// journal append — and asserts the repaired-incumbent floor on every
+/// solve response.
 fn session_serve_replay() {
     let params = sst_gen::DynamicQueueParams {
         base: sst_gen::DynamicBase::Unrelated,
@@ -314,8 +316,18 @@ fn session_serve_replay() {
     };
     let (inst, trace) = sst_gen::dynamic_queue(&params);
     let sst_gen::DynamicInstance::Unrelated(base) = inst else { unreachable!() };
-    // One worker → strict FIFO over the lifecycle.
-    let svc = Service::start(ServeConfig { workers: 1, budget_ms: 25, ..Default::default() });
+    let data_dir = std::env::temp_dir().join(format!("sst-bench-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    // One worker → strict FIFO over the lifecycle; the journal rides the
+    // hot path (append before response), so the floor gates below also
+    // certify that durability does not break the session contract.
+    let svc = Service::start(ServeConfig {
+        workers: 1,
+        budget_ms: 25,
+        data_dir: Some(data_dir.clone()),
+        durability: sst_portfolio::Durability::Flush,
+        ..Default::default()
+    });
     let sink = Arc::new(Mutex::new(Vec::new()));
     let mut id = 0u64;
     let mut send = |verb: SessionVerb, svc: &Service| {
@@ -349,12 +361,20 @@ fn session_serve_replay() {
             floored_solves += 1;
         }
     }
+    assert!(
+        summary.sessions.journal_appends > trace.len() as u64,
+        "every create/delta must hit the journal under --durability flush"
+    );
     let warm = summary.sessions.warm_hits;
     println!(
-        "  session replay: {} delta steps, {floored_solves} floored solves, warm-hit rate {warm}/{}",
+        "  session replay (durability=flush): {} delta steps, {floored_solves} floored solves, \
+         {} journal appends ({} bytes), warm-hit rate {warm}/{}",
         trace.len(),
+        summary.sessions.journal_appends,
+        summary.sessions.journal_bytes,
         summary.sessions.warm_hits + summary.sessions.warm_misses,
     );
+    let _ = std::fs::remove_dir_all(&data_dir);
 }
 
 fn bench(c: &mut Criterion) {

@@ -102,6 +102,8 @@ USAGE
   sst serve [--tcp HOST:PORT] [--workers N] [--top-k K] [--budget-ms MS]
             [--seed S] [--mode stealing|sharded] [--max-queue N]
             [--max-sessions N] [--fault-injection true]
+            [--data-dir DIR] [--durability none|flush|fsync]
+            [--session-lanes N]
       solver-portfolio service speaking NDJSON: one request object per
       line ({\"id\": .., \"instance\": {..}, \"budget_ms\": ..}), one
       response per line; instance.kind is uniform | unrelated |
@@ -117,13 +119,22 @@ USAGE
         {\"id\": 4, \"session\": {\"close\": {\"sid\": 7}}}
       delta answers with the repaired incumbent (solver \"delta-repair\");
       solve races warm from that floor and can only improve on it. The
-      store is LRU-bounded at --max-sessions (evictions show in metrics).
+      store is LRU-bounded at --max-sessions. Session verbs run on
+      --session-lanes ordered lanes keyed by sid (per-session order
+      preserved, distinct sessions concurrent). With --data-dir DIR
+      sessions are durable: accepted verbs hit a write-ahead journal
+      before the response, capacity spills LRU victims to snapshots
+      instead of evicting them, and a restart with the same --data-dir
+      recovers every live session by replay (--durability: none buffers
+      until graceful exit, flush [default] pushes each append to the OS
+      — survives SIGKILL — and fsync also survives power loss).
       Requests flow through a work-stealing worker pool (adaptive top-k:
       a scored win-rate × recency ranking demotes members whose score
       decays); --mode sharded keeps the round-robin baseline. Beyond
       --max-queue pending requests the service answers with overload
       errors instead of queueing. --fault-injection true honors
-      {\"kill_worker\": true} chaos probes. --shards N is accepted as an
+      {\"kill_worker\": true} and process-aborting {\"crash\": true}
+      chaos probes. --shards N is accepted as an
       alias of --workers. Default reads stdin until EOF; --tcp serves
       every connection concurrently and prints the bound address first.
   sst help
@@ -146,6 +157,9 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "max-queue",
         "max-sessions",
         "fault-injection",
+        "data-dir",
+        "durability",
+        "session-lanes",
     ])?;
     // `--shards` (the PR 2 spelling) stays as an alias of `--workers`.
     let workers = match (args.flag("workers"), args.flag("shards")) {
@@ -160,6 +174,15 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "sharded" => sst_portfolio::PoolMode::Sharded,
         other => return Err(CliError(format!("unknown --mode '{other}' (stealing|sharded)"))),
     };
+    let data_dir = args.flag("data-dir").map(std::path::PathBuf::from);
+    let durability = match args.flag("durability") {
+        None => sst_portfolio::Durability::default(),
+        Some(_) if data_dir.is_none() => {
+            return Err(CliError("--durability requires --data-dir".into()))
+        }
+        Some(s) => sst_portfolio::Durability::parse(s)
+            .ok_or_else(|| CliError(format!("unknown --durability '{s}' (none|flush|fsync)")))?,
+    };
     let cfg = sst_portfolio::service::ServeConfig {
         workers: workers.max(1),
         top_k: args.flag_parse("top-k", 3usize)?.max(1),
@@ -169,6 +192,9 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         max_queue: args.flag_parse("max-queue", 1024usize)?.max(1),
         max_sessions: args.flag_parse("max-sessions", 64usize)?.max(1),
         fault_injection: args.flag_parse("fault-injection", false)?,
+        data_dir,
+        durability,
+        session_lanes: args.flag_parse("session-lanes", 4usize)?.max(1),
     };
     match args.flag("tcp") {
         Some(addr) => {
@@ -177,7 +203,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             Ok(String::new())
         }
         None => {
-            let m = sst_portfolio::service::serve_stdin(cfg);
+            let m = sst_portfolio::service::serve_stdin(cfg)
+                .map_err(|e| CliError(format!("serve: {e}")))?;
             // Responses stream to stdout as NDJSON; the human-readable
             // summary goes to stderr so stdout stays machine-parseable.
             eprintln!(
@@ -1088,6 +1115,12 @@ mod tests {
         assert!(err.is_err(), "--fault-injection takes true|false");
         let err = run(&parse(&toks(&["serve", "--typo", "1"])).unwrap());
         assert!(err.is_err(), "unknown flags stay rejected");
+        let err = run(&parse(&toks(&["serve", "--durability", "flush"])).unwrap());
+        assert!(err.is_err(), "--durability without --data-dir must be rejected");
+        let err =
+            run(&parse(&toks(&["serve", "--data-dir", "/tmp/x", "--durability", "paranoid"]))
+                .unwrap());
+        assert!(err.is_err(), "unknown durability tier must be rejected");
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //! 1. **no request is dropped or hung** — every id gets exactly one
 //!    response line (OK or a JSON error, never silence), and
 //! 2. **the greedy floor still holds per response** — each OK response's
-//!    makespan is no worse than the setup-aware greedy baseline.
+//!    makespan is no worse than the setup-aware greedy baseline, and
+//! 3. **session traffic rides through the fault untouched** — a full
+//!    create → delta → solve → close lifecycle interleaved with the
+//!    batch completes in program order (session lanes are separate from
+//!    the pool workers the fault kills).
 //!
 //! Then the second worker is killed too: further requests must come back
 //! as immediate overload error lines, not hangs.
@@ -17,7 +21,11 @@ use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
-use sst_portfolio::protocol::{parse_response, request_to_json, Request, Response};
+use sst_core::delta::InstanceDelta;
+use sst_portfolio::protocol::{
+    parse_response, request_to_json, session_request_to_json, Request, Response, SessionRequest,
+    SessionVerb,
+};
 use sst_portfolio::ProblemInstance;
 
 fn instance_pool() -> Vec<ProblemInstance> {
@@ -86,6 +94,26 @@ fn killed_worker_drops_nothing_and_keeps_the_greedy_floor() {
     // requeues anything the dead worker held.
     writeln!(writer, "{{\"kill_worker\": true}}").expect("send kill");
 
+    // Gate (3): a session lifecycle interleaved with the one-shot batch.
+    // Session ids live at 1000+ so the two streams are distinguishable.
+    let session_program = [
+        SessionRequest {
+            id: 1000,
+            verb: SessionVerb::Create { sid: 5, instance: pool[0].clone() },
+        },
+        SessionRequest {
+            id: 1001,
+            verb: SessionVerb::Delta {
+                sid: 5,
+                deltas: vec![InstanceDelta::AddJob { class: 0, times: vec![11] }],
+            },
+        },
+        SessionRequest {
+            id: 1002,
+            verb: SessionVerb::Solve { sid: 5, budget_ms: Some(40), top_k: Some(2), seed: Some(1) },
+        },
+        SessionRequest { id: 1003, verb: SessionVerb::Close { sid: 5 } },
+    ];
     const REQUESTS: u64 = 24;
     for id in 0..REQUESTS {
         let req = Request {
@@ -96,35 +124,56 @@ fn killed_worker_drops_nothing_and_keeps_the_greedy_floor() {
             seed: Some(id),
         };
         writeln!(writer, "{}", request_to_json(&req)).expect("send");
+        // Interleave the session verbs through the batch.
+        if let Some(sreq) = session_program.get((id / 6) as usize).filter(|_| id % 6 == 0) {
+            writeln!(writer, "{}", session_request_to_json(sreq)).expect("send session");
+        }
     }
     writer.flush().expect("flush");
 
     // Gate (1): every request answered — the read timeout turns a hung
     // request into a loud failure.
+    let total = REQUESTS as usize + session_program.len();
     let mut seen = vec![false; REQUESTS as usize];
-    for _ in 0..REQUESTS {
+    let mut session_ids = Vec::new();
+    for _ in 0..total {
         let mut line = String::new();
         assert!(
             reader.read_line(&mut line).expect("no request may hang") > 0,
             "server closed the stream early"
         );
         let resp = parse_response(line.trim()).expect("response parses");
-        let Response::Ok { id, makespan, solution, .. } = resp else {
-            panic!("request dropped to error under a single-worker fault: {line}");
-        };
-        assert!(!seen[id as usize], "duplicate response for {id}");
-        seen[id as usize] = true;
-        // Gate (2): the greedy floor survives the fault.
-        let inst = &pool[id as usize % pool.len()];
-        let cost = inst.evaluate(&solution).expect("valid solution");
-        assert_eq!(cost, makespan, "request {id}: reported makespan mismatch");
-        let greedy = inst.greedy();
-        assert!(
-            !greedy.cost.better_than(&cost),
-            "request {id}: response lost to greedy under fault"
-        );
+        match resp {
+            Response::Session { id, .. } => session_ids.push(id),
+            Response::Ok { id, makespan, solution, .. } if id >= 1000 => {
+                session_ids.push(id);
+                // The delta's repaired incumbent and the warm solve both
+                // answer on the mutated instance; just check they parse as
+                // OK with a consistent makespan shape.
+                let _ = (makespan, solution);
+            }
+            Response::Ok { id, makespan, solution, .. } => {
+                assert!(!seen[id as usize], "duplicate response for {id}");
+                seen[id as usize] = true;
+                // Gate (2): the greedy floor survives the fault.
+                let inst = &pool[id as usize % pool.len()];
+                let cost = inst.evaluate(&solution).expect("valid solution");
+                assert_eq!(cost, makespan, "request {id}: reported makespan mismatch");
+                let greedy = inst.greedy();
+                assert!(
+                    !greedy.cost.better_than(&cost),
+                    "request {id}: response lost to greedy under fault"
+                );
+            }
+            other => panic!("request dropped to error under a single-worker fault: {other:?}"),
+        }
     }
     assert!(seen.iter().all(|&s| s), "unanswered ids: {seen:?}");
+    assert_eq!(
+        session_ids,
+        vec![1000, 1001, 1002, 1003],
+        "the session lifecycle must complete in program order during the fault"
+    );
 
     // Kill the survivor: the service must answer — not hang — with error
     // lines from then on (queued-at-death jobs via the orphan path, fresh

@@ -29,20 +29,25 @@
 //!    [`race::race_adaptive`] feeds results back into the win-rate
 //!    tracker, and [`race::race_with_floor`] pre-publishes a session's
 //!    repaired incumbent so a warm re-solve can only improve on it;
-//! 5. **[`protocol`] + [`pool`] + [`session`] + [`service`]** — an NDJSON
-//!    request/response codec (one-shot solves *and* the stateful
-//!    create/delta/solve/close session verbs riding
-//!    [`sst_core::delta`]), the LRU-bounded [`session::SessionStore`],
-//!    and a work-stealing worker pool (shared injector queue, per-worker
-//!    deques, idle stealing, backpressure and dead-worker error paths)
-//!    serving it over stdin or TCP with running throughput/latency
-//!    percentile metrics ([`sst_core::stats::LatencyHistogram`]).
+//! 5. **[`protocol`] + [`pool`] + [`session`] + [`durable`] +
+//!    [`service`]** — an NDJSON request/response codec (one-shot solves
+//!    *and* the stateful create/delta/solve/close session verbs riding
+//!    [`sst_core::delta`]), the LRU-bounded [`session::SessionStore`]
+//!    with its write-ahead journal / snapshot-spill durability layer
+//!    ([`durable::DurableStore`]: accepted verbs are journaled before the
+//!    response, crashes recover by replay, capacity spills to disk
+//!    instead of destroying sessions), and a work-stealing worker pool
+//!    (shared injector queue, per-worker deques, idle stealing,
+//!    backpressure and dead-worker error paths) serving it over stdin or
+//!    TCP with running throughput/latency percentile metrics
+//!    ([`sst_core::stats::LatencyHistogram`]).
 //!
 //! The `sst serve` CLI command is a thin shell around [`service`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durable;
 pub mod features;
 pub mod model;
 pub mod pool;
@@ -53,6 +58,7 @@ pub mod service;
 pub mod session;
 pub mod solver;
 
+pub use durable::{Durability, DurableStore, JournalRecord, Recovery};
 pub use features::{extract_features, Features, ModelKind};
 pub use model::{EvalError, ModelOps, Repaired, Solution, SplittableInstance};
 pub use pool::{Pool, PoolConfig, PoolMode};

@@ -41,7 +41,8 @@
 //!
 //! The line `{"metrics": true}` asks the service for its running
 //! throughput/latency summary (`"status": "metrics"`); `{"kill_worker":
-//! true}` is the fault-injection probe (see [`Incoming::KillWorker`]).
+//! true}` and `{"crash": true}` are the fault-injection probes (see
+//! [`Incoming::KillWorker`] and [`Incoming::Crash`]).
 //! Parse errors come back as `"status": "error"` lines; the connection
 //! stays usable.
 
@@ -91,6 +92,11 @@ pub enum Incoming {
     /// killed-worker CI gate: remaining workers must keep serving, and
     /// once none remain every request must still get an error response.
     KillWorker,
+    /// `{"crash": true}` — fault injection: abort the whole process
+    /// immediately (`std::process::abort`), a real non-graceful death for
+    /// the kill-and-replay durability gate. Honored only with
+    /// `--fault-injection true`; otherwise answered with an error line.
+    Crash,
 }
 
 /// One request of the session protocol. The wire shape is
@@ -284,7 +290,7 @@ fn write_f64(out: &mut String, x: f64) {
     }
 }
 
-fn write_cost(out: &mut String, cost: &Cost) {
+pub(crate) fn write_cost(out: &mut String, cost: &Cost) {
     match cost {
         Cost::Time(t) => {
             let _ = write!(out, "{t}");
@@ -296,7 +302,7 @@ fn write_cost(out: &mut String, cost: &Cost) {
     }
 }
 
-fn cost_from_value(v: &JsonValue) -> Result<Cost, IoError> {
+pub(crate) fn cost_from_value(v: &JsonValue) -> Result<Cost, IoError> {
     match v {
         JsonValue::Uint(t) => Ok(Cost::Time(*t)),
         JsonValue::Float(x) => Ok(Cost::Real(*x)),
@@ -315,6 +321,16 @@ fn cost_from_value(v: &JsonValue) -> Result<Cost, IoError> {
     }
 }
 
+/// Serializes an instance envelope to one JSON line (the shared encoder
+/// of the request, session, journal and snapshot paths).
+pub(crate) fn instance_to_json(instance: &ProblemInstance) -> String {
+    match instance {
+        ProblemInstance::Uniform(u) => io::uniform_to_json_line(u),
+        ProblemInstance::Unrelated(r) => io::unrelated_to_json_line(r),
+        ProblemInstance::Splittable(s) => io::splittable_to_json_line(s.inner()),
+    }
+}
+
 /// Serializes a request to one NDJSON line.
 pub fn request_to_json(req: &Request) -> String {
     let mut out = String::new();
@@ -329,11 +345,7 @@ pub fn request_to_json(req: &Request) -> String {
         let _ = write!(out, ", \"seed\": {s}");
     }
     out.push_str(", \"instance\": ");
-    out.push_str(&match &req.instance {
-        ProblemInstance::Uniform(u) => io::uniform_to_json_line(u),
-        ProblemInstance::Unrelated(r) => io::unrelated_to_json_line(r),
-        ProblemInstance::Splittable(s) => io::splittable_to_json_line(s.inner()),
-    });
+    out.push_str(&instance_to_json(&req.instance));
     out.push('}');
     out
 }
@@ -352,7 +364,7 @@ fn opt_uint(
 /// Parses an instance envelope (`{"kind": .., ..}`) into the right model,
 /// enforcing the splittable feasibility gate. Shared by the one-shot and
 /// session request paths.
-fn instance_from_value(inst_value: &JsonValue) -> Result<ProblemInstance, IoError> {
+pub(crate) fn instance_from_value(inst_value: &JsonValue) -> Result<ProblemInstance, IoError> {
     let kind = match inst_value {
         JsonValue::Object(m) => match m.get("kind") {
             Some(JsonValue::Str(s)) => s.clone(),
@@ -435,6 +447,9 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, IoError> {
     if let Some(JsonValue::Bool(true)) = map.get("kill_worker") {
         return Ok(Incoming::KillWorker);
     }
+    if let Some(JsonValue::Bool(true)) = map.get("crash") {
+        return Ok(Incoming::Crash);
+    }
     let id = opt_uint(map, "id")?.ok_or_else(|| IoError::Json("missing field 'id'".into()))?;
     if let Some(session) = map.get("session") {
         return Ok(Incoming::Session(Box::new(session_from_value(id, session)?)));
@@ -459,11 +474,7 @@ pub fn session_request_to_json(req: &SessionRequest) -> String {
     match &req.verb {
         SessionVerb::Create { sid, instance } => {
             let _ = write!(out, "{{\"create\": {{\"sid\": {sid}, \"instance\": ");
-            out.push_str(&match instance {
-                ProblemInstance::Uniform(u) => io::uniform_to_json_line(u),
-                ProblemInstance::Unrelated(r) => io::unrelated_to_json_line(r),
-                ProblemInstance::Splittable(s) => io::splittable_to_json_line(s.inner()),
-            });
+            out.push_str(&instance_to_json(instance));
             out.push_str("}}");
         }
         SessionVerb::Delta { sid, deltas } => {
@@ -511,7 +522,7 @@ pub fn extract_request_id(line: &str) -> Option<u64> {
     }
 }
 
-fn write_solution(out: &mut String, solution: &Solution) {
+pub(crate) fn write_solution(out: &mut String, solution: &Solution) {
     match solution {
         Solution::Assignment(sched) => {
             out.push_str("\"assignment\": ");
@@ -539,7 +550,7 @@ fn write_solution(out: &mut String, solution: &Solution) {
     }
 }
 
-fn shares_from_value(v: &JsonValue) -> Result<SplitSchedule, IoError> {
+pub(crate) fn shares_from_value(v: &JsonValue) -> Result<SplitSchedule, IoError> {
     let JsonValue::Array(rows) = v else {
         return Err(IoError::Json("'shares' must be an array of share rows".into()));
     };
@@ -623,10 +634,12 @@ pub fn response_to_json(resp: &Response) -> String {
                 "{{\"status\": \"metrics\", \"count\": {}, \"errors\": {}, \"uptime_ms\": {}, \"rps_x1000\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"mean_us\": {}",
                 m.count, m.errors, m.uptime_ms, m.rps_x1000, m.p50_us, m.p90_us, m.p99_us, m.mean_us
             );
+            let s = &m.sessions;
             let _ = write!(
                 out,
-                ", \"sessions\": {{\"live\": {}, \"evicted\": {}, \"warm_hits\": {}, \"warm_misses\": {}}}",
-                m.sessions.live, m.sessions.evicted, m.sessions.warm_hits, m.sessions.warm_misses
+                ", \"sessions\": {{\"live\": {}, \"evicted\": {}, \"warm_hits\": {}, \"warm_misses\": {}, \"spills\": {}, \"cold_reloads\": {}, \"recovered\": {}, \"journal_appends\": {}, \"journal_bytes\": {}, \"snapshots\": {}}}",
+                s.live, s.evicted, s.warm_hits, s.warm_misses, s.spills, s.cold_reloads,
+                s.recovered, s.journal_appends, s.journal_bytes, s.snapshots
             );
             out.push_str(", \"standings\": [");
             for (i, s) in m.standings.iter().enumerate() {
@@ -745,6 +758,15 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
                         evicted: sg("evicted")?,
                         warm_hits: sg("warm_hits")?,
                         warm_misses: sg("warm_misses")?,
+                        // Durability counters: absent on lines from
+                        // pre-durability servers, so default rather than
+                        // error.
+                        spills: opt_uint(s, "spills")?.unwrap_or(0),
+                        cold_reloads: opt_uint(s, "cold_reloads")?.unwrap_or(0),
+                        recovered: opt_uint(s, "recovered")?.unwrap_or(0),
+                        journal_appends: opt_uint(s, "journal_appends")?.unwrap_or(0),
+                        journal_bytes: opt_uint(s, "journal_bytes")?.unwrap_or(0),
+                        snapshots: opt_uint(s, "snapshots")?.unwrap_or(0),
                     }
                 }
                 // Absent on lines from pre-session servers.
@@ -866,7 +888,9 @@ mod tests {
     fn metrics_probe_and_errors() {
         assert_eq!(parse_incoming("{\"metrics\": true}").unwrap(), Incoming::Metrics);
         assert_eq!(parse_incoming("{\"kill_worker\": true}").unwrap(), Incoming::KillWorker);
+        assert_eq!(parse_incoming("{\"crash\": true}").unwrap(), Incoming::Crash);
         assert!(parse_incoming("{\"kill_worker\": false}").is_err(), "only `true` is a probe");
+        assert!(parse_incoming("{\"crash\": false}").is_err(), "only `true` is a probe");
         assert!(parse_incoming("not json").is_err());
         assert!(parse_incoming("{\"id\": 1}").is_err(), "missing instance");
         assert!(parse_incoming("[1, 2]").is_err(), "non-object");
@@ -941,7 +965,18 @@ mod tests {
             p90_us: 1800,
             p99_us: 2500,
             mean_us: 1000,
-            sessions: SessionStats { live: 3, evicted: 1, warm_hits: 4, warm_misses: 2 },
+            sessions: SessionStats {
+                live: 3,
+                evicted: 1,
+                warm_hits: 4,
+                warm_misses: 2,
+                spills: 5,
+                cold_reloads: 2,
+                recovered: 3,
+                journal_appends: 17,
+                journal_bytes: 4096,
+                snapshots: 6,
+            },
             standings: vec![StandingLine {
                 family: "uniform|setup-light|mid".into(),
                 solver: "lpt".into(),

@@ -16,15 +16,26 @@
 //! queueing; jobs already queued when the last worker dies are answered
 //! with error lines by the pool's orphan path.
 //!
-//! **Session verbs run on an ordered lane.** The stealing pool preserves
-//! no order for in-flight requests — correct for independent one-shot
-//! solves, wrong for stateful create → delta → solve sequences pipelined
-//! blindly (stdin batch mode cannot await responses). Dispatch therefore
-//! routes session-shaped lines through one dedicated FIFO worker: arrival
-//! order is preserved across all session verbs, while a session `solve`
-//! still parallelizes internally (its race spawns `top_k` solver
-//! threads). Scaling sessions across multiple ordered lanes (keyed by
-//! session id) is a ROADMAP item.
+//! **Session verbs run on keyed ordered lanes.** The stealing pool
+//! preserves no order for in-flight requests — correct for independent
+//! one-shot solves, wrong for stateful create → delta → solve sequences
+//! pipelined blindly (stdin batch mode cannot await responses). Dispatch
+//! therefore routes session-shaped lines through [`ServeConfig::session_lanes`]
+//! dedicated FIFO workers, keyed by a hash of the session id: every verb
+//! of one session lands on the same lane (arrival order preserved where
+//! it matters), while verbs of distinct sessions run concurrently on
+//! different lanes. A session `solve` still parallelizes internally (its
+//! race spawns `top_k` solver threads).
+//!
+//! **Sessions can be durable.** With [`ServeConfig::data_dir`] set, every
+//! accepted session verb is appended to a write-ahead journal *before*
+//! its response line is written, capacity spills LRU victims to snapshots
+//! instead of destroying them, and startup replays snapshots + journal
+//! tail to rebuild every live session after a crash (see
+//! [`crate::durable`]). `{"crash": true}` (with `--fault-injection true`)
+//! aborts the process for real, which is how the kill-and-replay CI gate
+//! exercises that path; graceful shutdown (stdin EOF, listener close)
+//! checkpoints every hot session first.
 //!
 //! Selection is **adaptive**: all workers share one
 //! [`WinRateTracker`], so portfolio members that never win their feature
@@ -45,12 +56,14 @@
 
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sst_core::stats::LatencyHistogram;
 
+use crate::durable::{Durability, DurableStore};
 use crate::pool::{Directive, Pool, PoolConfig, PoolMode, RejectReason, Rejected};
 use crate::protocol::{
     parse_incoming, response_to_json, Incoming, MetricsSummary, Response, SessionRequest,
@@ -61,7 +74,7 @@ use crate::select::WinRateTracker;
 use crate::session::{SessionEntry, SessionStore};
 
 /// Service configuration (CLI flags of `sst serve`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Number of pool workers (concurrent races).
     pub workers: usize,
@@ -81,8 +94,19 @@ pub struct ServeConfig {
     /// the least-recently-used session (visible in the metrics probe — the
     /// backpressure signal to close sessions or raise the cap).
     pub max_sessions: usize,
-    /// Honor `{"kill_worker": true}` fault-injection probes.
+    /// Honor `{"kill_worker": true}` and `{"crash": true}` fault-injection
+    /// probes.
     pub fault_injection: bool,
+    /// Durability root (`--data-dir`): when set, session verbs are
+    /// journaled, capacity spills to snapshots, and startup recovers every
+    /// live session by replay. `None` keeps the in-memory store.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync policy of the journal (meaningful only with
+    /// [`Self::data_dir`]).
+    pub durability: Durability,
+    /// Ordered session lanes (keyed by session-id hash): per-session verb
+    /// order is preserved, distinct sessions run in parallel.
+    pub session_lanes: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +120,9 @@ impl Default for ServeConfig {
             max_queue: 1024,
             max_sessions: 64,
             fault_injection: false,
+            data_dir: None,
+            durability: Durability::default(),
+            session_lanes: 4,
         }
     }
 }
@@ -184,16 +211,18 @@ impl MetricsState {
 /// job's [`SharedWriter`].
 pub struct Service {
     pool: Pool<Job>,
-    /// The **session lane**: one FIFO worker dedicated to session verbs.
-    /// The stealing pool deliberately preserves no order for in-flight
-    /// requests, but session verbs are stateful — `create` → `delta` →
-    /// `solve` pipelined blindly (stdin batch mode cannot await
-    /// responses) must execute in arrival order. Routing every
-    /// session-shaped line through one ordered channel guarantees that;
-    /// a session `solve` still parallelizes internally (its race spawns
-    /// `top_k` solver threads), and one-shot solves keep the full pool.
-    session_tx: Option<std::sync::mpsc::SyncSender<Job>>,
-    session_lane: Option<std::thread::JoinHandle<()>>,
+    /// The **session lanes**: FIFO workers dedicated to session verbs,
+    /// keyed by a hash of the session id. The stealing pool deliberately
+    /// preserves no order for in-flight requests, but session verbs are
+    /// stateful — `create` → `delta` → `solve` pipelined blindly (stdin
+    /// batch mode cannot await responses) must execute in arrival order.
+    /// Hashing the sid onto one ordered channel guarantees that per
+    /// session while distinct sessions run concurrently on different
+    /// lanes; a session `solve` still parallelizes internally (its race
+    /// spawns `top_k` solver threads), and one-shot solves keep the full
+    /// pool.
+    session_lanes: Vec<std::sync::mpsc::SyncSender<Job>>,
+    lane_handles: Vec<std::thread::JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsState>>,
     tracker: Arc<WinRateTracker>,
     sessions: Arc<SessionStore>,
@@ -283,6 +312,13 @@ fn record_ok(metrics: &Mutex<MetricsState>, micros: u64) {
 /// [`crate::model::ModelOps::repair_deltas`], solve races warm from the
 /// repaired floor, close frees the slot. Repairs and races run on a clone
 /// of the session entry — the store lock is never held across them.
+///
+/// Durability discipline (when the store persists): a verb is **validated
+/// first, journaled second, applied third, acknowledged last**. The
+/// journal append sits before the response line, so an acknowledged verb
+/// is always re-derivable by replay; a failed append answers with an error
+/// and leaves the session untouched. `solve` only moves the incumbent
+/// (re-derivable from the instance), so it is not journaled.
 fn handle_session(
     cfg: &ServeConfig,
     metrics: &Mutex<MetricsState>,
@@ -295,6 +331,16 @@ fn handle_session(
     let id = req.id;
     match req.verb {
         SessionVerb::Create { sid, instance } => {
+            let seq = match sessions.persist() {
+                Some(p) => match p.append_create(sid, &instance) {
+                    Ok(seq) => seq,
+                    Err(e) => {
+                        write_error(metrics, job, format!("session {sid} journal append: {e}"));
+                        return;
+                    }
+                },
+                None => 0,
+            };
             let greedy = instance.greedy();
             let entry = SessionEntry {
                 instance: Arc::new(instance),
@@ -303,7 +349,8 @@ fn handle_session(
                 proxy: None,
             };
             let cost = entry.cost;
-            let (live, _evicted) = sessions.create(sid, entry);
+            let (live, _displaced) = sessions.create(sid, entry, seq);
+            sessions.maybe_snapshot(sid);
             metrics.lock().ok += 1;
             let resp = Response::Session {
                 id,
@@ -328,6 +375,22 @@ fn handle_session(
                     write_error(metrics, job, format!("session {sid} delta failed: {message}"))
                 }
                 Ok(repaired) => {
+                    // The repair validated the deltas; only now do they
+                    // enter the journal.
+                    let seq = match sessions.persist() {
+                        Some(p) => match p.append_delta(sid, &deltas) {
+                            Ok(seq) => seq,
+                            Err(e) => {
+                                write_error(
+                                    metrics,
+                                    job,
+                                    format!("session {sid} journal append: {e}"),
+                                );
+                                return;
+                            }
+                        },
+                        None => 0,
+                    };
                     let micros = t0.elapsed().as_micros() as u64;
                     // The repaired incumbent is the response *and* the floor
                     // the next solve must beat.
@@ -348,7 +411,9 @@ fn handle_session(
                             cost: repaired.cost,
                             proxy: repaired.proxy,
                         },
+                        seq,
                     );
+                    sessions.maybe_snapshot(sid);
                     record_ok(metrics, micros);
                     write_line(&job.out, &response_to_json(&resp));
                 }
@@ -379,12 +444,24 @@ fn handle_session(
             };
             let kind = entry.instance.kind();
             let resp = ok_response(id, kind, micros, result);
-            sessions.update(sid, updated);
+            // Incumbent-only move: no journal record, no seq advance — a
+            // crash recovers the last durable state and re-clamps to the
+            // greedy floor.
+            sessions.update_incumbent(sid, updated);
             record_ok(metrics, micros);
             write_line(&job.out, &response_to_json(&resp));
         }
         SessionVerb::Close { sid } => {
             if sessions.close(sid) {
+                // Journal the close after applying it: even if the append
+                // fails, the snapshot file is already gone, so recovery
+                // cannot resurrect the session.
+                if let Some(p) = sessions.persist() {
+                    if let Err(e) = p.append_close(sid) {
+                        write_error(metrics, job, format!("session {sid} journal append: {e}"));
+                        return;
+                    }
+                }
                 metrics.lock().ok += 1;
                 let live = sessions.live() as u64;
                 let resp =
@@ -421,6 +498,15 @@ fn handle_job(
             }
             write_error(metrics, job, "kill_worker requires --fault-injection true".into());
         }
+        Ok(Incoming::Crash) => {
+            if cfg.fault_injection {
+                // A real non-graceful death: no flush, no snapshot, no
+                // response — recovery must come from the journal alone.
+                // This is the probe the kill-and-replay CI gate uses.
+                std::process::abort();
+            }
+            write_error(metrics, job, "crash requires --fault-injection true".into());
+        }
         Ok(Incoming::Session(req)) => handle_session(cfg, metrics, tracker, sessions, job, *req),
         Ok(Incoming::Solve(req)) => {
             let t0 = Instant::now();
@@ -441,8 +527,19 @@ fn handle_job(
 }
 
 impl Service {
-    /// Starts `cfg.workers` pool workers.
+    /// Starts `cfg.workers` pool workers. Panics when the durability root
+    /// cannot be opened or recovered — use [`Service::try_start`] to
+    /// handle that as an error (the CLI does).
     pub fn start(cfg: ServeConfig) -> Service {
+        Service::try_start(cfg).expect("service start failed")
+    }
+
+    /// Starts `cfg.workers` pool workers plus `cfg.session_lanes` keyed
+    /// session lanes. With [`ServeConfig::data_dir`] set this opens the
+    /// durability root and **recovers every live session** (snapshots +
+    /// journal replay) before accepting traffic, logging one summary line
+    /// to stderr.
+    pub fn try_start(cfg: ServeConfig) -> std::io::Result<Service> {
         let metrics = Arc::new(Mutex::new(MetricsState {
             hist: LatencyHistogram::new(),
             ok: 0,
@@ -450,13 +547,46 @@ impl Service {
             started: Instant::now(),
         }));
         let tracker = Arc::new(WinRateTracker::new());
-        let sessions = Arc::new(SessionStore::new(cfg.max_sessions));
+        let sessions = match &cfg.data_dir {
+            Some(root) => {
+                let store = Arc::new(DurableStore::open(root, cfg.durability)?);
+                let sessions =
+                    Arc::new(SessionStore::durable(cfg.max_sessions, Arc::clone(&store)));
+                let recovery = store.recover()?;
+                let recovered = recovery.sessions.len();
+                for (sid, seq, entry) in recovery.sessions {
+                    // Over-capacity recoveries spill back to disk through
+                    // the store's own LRU path — nothing is lost.
+                    sessions.create(sid, entry, seq);
+                }
+                if recovered > 0 || recovery.dropped.is_some() || recovery.snapshot_errors > 0 {
+                    let tail = match &recovery.dropped {
+                        Some(t) => {
+                            format!(", dropped {} journal bytes ({})", t.dropped_bytes, t.reason)
+                        }
+                        None => String::new(),
+                    };
+                    eprintln!(
+                        "sst-serve: recovered {recovered} sessions \
+                         ({} snapshots, {} replayed records, {} snapshot errors, \
+                         {} replay errors{tail})",
+                        recovery.snapshots_loaded,
+                        recovery.replayed,
+                        recovery.snapshot_errors,
+                        recovery.replay_errors,
+                    );
+                }
+                sessions
+            }
+            None => Arc::new(SessionStore::new(cfg.max_sessions)),
+        };
         let pool_cfg = PoolConfig {
             workers: cfg.workers.max(1),
             mode: cfg.mode,
             max_queue: cfg.max_queue.max(1),
         };
         let handler = {
+            let cfg = cfg.clone();
             let metrics = Arc::clone(&metrics);
             let tracker = Arc::clone(&tracker);
             let sessions = Arc::clone(&sessions);
@@ -490,16 +620,20 @@ impl Service {
             }
         };
         let pool = Pool::start(pool_cfg, handler, orphan);
-        // The ordered session lane (see the `Service` field docs). It runs
+        // The keyed session lanes (see the `Service` field docs). Each runs
         // the same handler as the pool workers — a misrouted line is
         // still answered correctly, just in FIFO order.
-        let (session_tx, session_rx) = std::sync::mpsc::sync_channel::<Job>(cfg.max_queue.max(1));
-        let session_lane = {
+        let lane_count = cfg.session_lanes.max(1);
+        let mut session_lanes = Vec::with_capacity(lane_count);
+        let mut lane_handles = Vec::with_capacity(lane_count);
+        for _ in 0..lane_count {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.max_queue.max(1));
+            let cfg = cfg.clone();
             let metrics = Arc::clone(&metrics);
             let tracker = Arc::clone(&tracker);
             let sessions = Arc::clone(&sessions);
-            std::thread::spawn(move || {
-                for job in session_rx {
+            lane_handles.push(std::thread::spawn(move || {
+                for job in rx {
                     let run = std::panic::AssertUnwindSafe(|| {
                         handle_job(&cfg, &metrics, &tracker, &sessions, &job)
                     });
@@ -511,16 +645,45 @@ impl Service {
                         );
                     }
                 }
-            })
-        };
-        Service {
-            pool,
-            session_tx: Some(session_tx),
-            session_lane: Some(session_lane),
-            metrics,
-            tracker,
-            sessions,
+            }));
+            session_lanes.push(tx);
         }
+        Ok(Service { pool, session_lanes, lane_handles, metrics, tracker, sessions })
+    }
+
+    /// The lane a session id maps to: splitmix64 finalizer mod lane count.
+    /// Every verb of one session hashes identically, so per-session order
+    /// holds; distinct sessions spread across lanes.
+    fn lane_of(sid: u64, lanes: usize) -> usize {
+        let mut z = sid.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % lanes as u64) as usize
+    }
+
+    /// Pulls the `"sid"` value out of a raw session line without a full
+    /// parse (dispatch must stay cheap). `None` for malformed lines —
+    /// they route to lane 0, whose handler answers with the parse error.
+    fn extract_sid(line: &str) -> Option<u64> {
+        let bytes = line.as_bytes();
+        let at = line.find("\"sid\"")?;
+        let mut i = at + "\"sid\"".len();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        line[start..i].parse().ok()
     }
 
     /// Cheap routing sniff: session verbs go through the ordered lane. A
@@ -532,16 +695,19 @@ impl Service {
     }
 
     /// Enqueues one request line; its response will be written to `out`.
-    /// Session verbs route through the ordered session lane (arrival
-    /// order preserved, so pipelined create/delta/solve sequences are
-    /// safe); everything else goes to the work-stealing pool. When a
-    /// queue cannot take the request — backlog full, or every worker
-    /// dead — the client gets an immediate error line instead of a
-    /// silent drop (the PR 2 `let _ = sender.send(..)` bug left it
-    /// hanging forever).
+    /// Session verbs route through the ordered lane keyed by their
+    /// session id (per-session arrival order preserved, so pipelined
+    /// create/delta/solve sequences are safe); everything else goes to
+    /// the work-stealing pool. When a queue cannot take the request —
+    /// backlog full, or every worker dead — the client gets an immediate
+    /// error line instead of a silent drop (the PR 2
+    /// `let _ = sender.send(..)` bug left it hanging forever).
     pub fn dispatch(&self, line: String, out: SharedWriter) {
         if Self::is_session_line(&line) {
-            let tx = self.session_tx.as_ref().expect("lane alive until shutdown");
+            let lane = Self::extract_sid(&line)
+                .map(|sid| Self::lane_of(sid, self.session_lanes.len()))
+                .unwrap_or(0);
+            let tx = &self.session_lanes[lane];
             if let Err(e) = tx.try_send(Job { line, out }) {
                 let (job, what) = match e {
                     std::sync::mpsc::TrySendError::Full(job) => (job, "backlog full"),
@@ -583,29 +749,50 @@ impl Service {
         &self.sessions
     }
 
-    /// Closes the queues, drains in-flight work and returns final metrics.
+    /// Closes the queues, drains in-flight work, checkpoints every hot
+    /// session (durable mode) and returns final metrics.
     pub fn shutdown(mut self) -> MetricsSummary {
-        // Close and drain the session lane first (dropping the sender ends
-        // its loop), then the pool.
-        drop(self.session_tx.take());
-        if let Some(lane) = self.session_lane.take() {
+        // Close and drain the session lanes first (dropping the senders
+        // ends their loops), then the pool, then persist.
+        self.session_lanes.clear();
+        for lane in self.lane_handles.drain(..) {
             let _ = lane.join();
         }
         self.pool.shutdown();
+        flush_durable_store(&self.sessions);
         full_summary(&self.metrics, &self.sessions, &self.tracker)
+    }
+
+    /// Graceful persist: snapshots every hot session and flushes the
+    /// journal. A no-op without a durability root. Failures are logged,
+    /// not fatal — the journal still holds every accepted verb.
+    pub fn flush_durable(&self) {
+        flush_durable_store(&self.sessions);
+    }
+}
+
+fn flush_durable_store(sessions: &SessionStore) {
+    let Some(persist) = sessions.persist() else { return };
+    if let Err(e) = sessions.checkpoint() {
+        eprintln!("sst-serve: shutdown checkpoint failed: {e}");
+    }
+    if let Err(e) = persist.flush_journal() {
+        eprintln!("sst-serve: journal flush failed: {e}");
     }
 }
 
 /// Serves NDJSON requests from stdin to stdout until EOF; returns the
-/// final metrics summary.
-pub fn serve_stdin(cfg: ServeConfig) -> MetricsSummary {
-    let svc = Service::start(cfg);
+/// final metrics summary. Stdin EOF is the graceful shutdown signal:
+/// in-flight work drains and every hot session is checkpointed before
+/// the summary returns.
+pub fn serve_stdin(cfg: ServeConfig) -> std::io::Result<MetricsSummary> {
+    let svc = Service::try_start(cfg)?;
     let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
         svc.dispatch(line, Arc::clone(&out));
     }
-    svc.shutdown()
+    Ok(svc.shutdown())
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0`), announces
@@ -617,18 +804,28 @@ pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
     let local = listener.local_addr()?;
     println!("sst-serve listening on {local}");
     std::io::stdout().flush()?;
-    let svc = Arc::new(Service::start(cfg));
+    let svc = Arc::new(Service::try_start(cfg)?);
     loop {
-        let (stream, _) = listener.accept()?;
-        let svc = Arc::clone(&svc);
-        std::thread::spawn(move || {
-            let Ok(read_half) = stream.try_clone() else { return };
-            let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
-            for line in std::io::BufReader::new(read_half).lines() {
-                let Ok(line) = line else { break };
-                svc.dispatch(line, Arc::clone(&out));
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else { return };
+                    let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+                    for line in std::io::BufReader::new(read_half).lines() {
+                        let Ok(line) = line else { break };
+                        svc.dispatch(line, Arc::clone(&out));
+                    }
+                });
             }
-        });
+            Err(e) => {
+                // Listener gone (shutdown signal, fd limit, interrupt):
+                // persist what we hold instead of dying with hot state.
+                eprintln!("sst-serve: accept failed ({e}); flushing sessions and exiting");
+                svc.flush_durable();
+                return Ok(());
+            }
+        }
     }
 }
 
@@ -1076,5 +1273,201 @@ mod tests {
         // 3 uniform requests with top_k = 2 → 6 slot-races recorded.
         assert_eq!(raced_total, 6, "every uniform race must feed the shared tracker");
         svc.shutdown();
+    }
+
+    #[test]
+    fn crash_probe_without_fault_injection_is_rejected() {
+        let svc = Service::start(ServeConfig { workers: 1, ..Default::default() });
+        let (buffer, out) = buffer_writer();
+        svc.dispatch("{\"crash\": true}".into(), out);
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 1);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let resp = parse_response(text.lines().next().unwrap()).unwrap();
+        assert!(
+            matches!(&resp, Response::Error { message, .. } if message.contains("fault-injection")),
+            "{resp:?}"
+        );
+    }
+
+    /// A tiny uniform instance whose greedy differs per sid (for traffic).
+    fn small_instance(salt: u64) -> ProblemInstance {
+        ProblemInstance::Uniform(
+            UniformInstance::identical(
+                2,
+                vec![2],
+                (0..4).map(|i| CoreJob::new(0, 1 + (i + salt) % 5)).collect(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn keyed_lanes_preserve_per_session_verb_order() {
+        use crate::protocol::{session_request_to_json, SessionRequest, SessionVerb};
+        use sst_core::delta::InstanceDelta;
+
+        // Three sessions, five verbs each, dispatched fully interleaved
+        // (round-robin by step). Whatever lanes they hash to, each
+        // session's responses must come back in its own program order.
+        let svc = Service::start(ServeConfig { workers: 2, ..Default::default() });
+        let (buffer, _) = buffer_writer();
+        let sids = [3u64, 7, 12];
+        for step in 0..5u64 {
+            for &sid in &sids {
+                let id = sid * 100 + step;
+                let verb = match step {
+                    0 => SessionVerb::Create { sid, instance: small_instance(sid) },
+                    4 => SessionVerb::Close { sid },
+                    _ => SessionVerb::Delta {
+                        sid,
+                        deltas: vec![InstanceDelta::AddJob { class: 0, times: vec![2 + step] }],
+                    },
+                };
+                let req = SessionRequest { id, verb };
+                svc.dispatch(session_request_to_json(&req), writer_to(&buffer));
+            }
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let ids: Vec<u64> = text
+            .lines()
+            .map(|l| match parse_response(l).unwrap() {
+                Response::Ok { id, .. } | Response::Session { id, .. } => id,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(ids.len(), 15, "{text}");
+        for &sid in &sids {
+            let steps: Vec<u64> =
+                ids.iter().filter(|&&id| id / 100 == sid).map(|&id| id % 100).collect();
+            assert_eq!(steps, vec![0, 1, 2, 3, 4], "session {sid} verbs ran out of order");
+        }
+    }
+
+    #[test]
+    fn distinct_sessions_run_on_concurrent_lanes() {
+        use crate::protocol::{session_request_to_json, SessionRequest, SessionVerb};
+
+        // A slow solve on session A must not delay session B's verbs: they
+        // hash to different lanes. With the old single lane, B's close
+        // could only answer after A's 250 ms race finished.
+        let lanes = 4;
+        let sid_a = 0u64;
+        let sid_b = (1..64)
+            .find(|&s| Service::lane_of(s, lanes) != Service::lane_of(sid_a, lanes))
+            .expect("splitmix64 spreads 64 consecutive sids over 4 lanes");
+        let big = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                4,
+                (0..60).map(|j| j % 6).collect(),
+                (0..60)
+                    .map(|j| (0..4).map(|i| 1 + ((j * 7 + i * 13) % 23) as u64).collect())
+                    .collect(),
+                (0..6).map(|k| (0..4).map(|i| 1 + ((k + i) % 9) as u64).collect()).collect(),
+            )
+            .unwrap(),
+        );
+        let svc =
+            Service::start(ServeConfig { workers: 1, session_lanes: lanes, ..Default::default() });
+        let (buffer, _) = buffer_writer();
+        let program = vec![
+            SessionRequest { id: 0, verb: SessionVerb::Create { sid: sid_a, instance: big } },
+            SessionRequest {
+                id: 1,
+                verb: SessionVerb::Solve {
+                    sid: sid_a,
+                    budget_ms: Some(250),
+                    top_k: Some(2),
+                    seed: Some(1),
+                },
+            },
+            SessionRequest {
+                id: 2,
+                verb: SessionVerb::Create { sid: sid_b, instance: small_instance(1) },
+            },
+            SessionRequest { id: 3, verb: SessionVerb::Close { sid: sid_b } },
+        ];
+        for req in &program {
+            svc.dispatch(session_request_to_json(req), writer_to(&buffer));
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let order: Vec<u64> = text
+            .lines()
+            .map(|l| match parse_response(l).unwrap() {
+                Response::Ok { id, .. } | Response::Session { id, .. } => id,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(order.len(), 4, "{text}");
+        let pos = |id: u64| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(3) < pos(1), "B's close must answer while A's solve still races: {order:?}");
+    }
+
+    #[test]
+    fn durable_sessions_survive_graceful_restart() {
+        use crate::protocol::{session_request_to_json, SessionRequest, SessionVerb};
+        use sst_core::delta::InstanceDelta;
+
+        let root = std::env::temp_dir().join(format!("sst-service-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = ServeConfig {
+            workers: 1,
+            max_sessions: 2,
+            data_dir: Some(root.clone()),
+            durability: Durability::Flush,
+            ..Default::default()
+        };
+
+        let svc = Service::start(cfg.clone());
+        let (buffer, _) = buffer_writer();
+        for sid in 1..=3u64 {
+            let req = SessionRequest {
+                id: sid,
+                verb: SessionVerb::Create { sid, instance: small_instance(sid) },
+            };
+            svc.dispatch(session_request_to_json(&req), writer_to(&buffer));
+        }
+        let req = SessionRequest {
+            id: 10,
+            verb: SessionVerb::Delta {
+                sid: 1,
+                deltas: vec![InstanceDelta::AddJob { class: 0, times: vec![4] }],
+            },
+        };
+        svc.dispatch(session_request_to_json(&req), writer_to(&buffer));
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 0);
+        assert!(summary.sessions.spills >= 1, "3 creates into a 2-slot store must spill");
+        assert!(summary.sessions.journal_appends >= 4);
+
+        // Same data dir: every session — hot at shutdown or spilled — must
+        // come back and answer a solve.
+        let svc = Service::start(cfg);
+        let (buffer, _) = buffer_writer();
+        for sid in 1..=3u64 {
+            let req = SessionRequest {
+                id: sid,
+                verb: SessionVerb::Solve {
+                    sid,
+                    budget_ms: Some(30),
+                    top_k: Some(2),
+                    seed: Some(1),
+                },
+            };
+            svc.dispatch(session_request_to_json(&req), writer_to(&buffer));
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 0, "every recovered session answers its solve");
+        assert_eq!(summary.sessions.recovered, 3, "all three sessions recovered");
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            assert!(matches!(parse_response(line).unwrap(), Response::Ok { .. }), "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -10,22 +10,29 @@
 //! floor ([`crate::race::race_with_floor`]).
 //!
 //! The store is **LRU-bounded** at `max_sessions` (the `--max-sessions`
-//! flag): memory stays bounded under session churn because creating a
-//! session at capacity evicts the least-recently-used one — the evicted
-//! client's next request gets an `unknown session` error line and the
-//! eviction shows up in the `{"metrics": true}` session stats, which is
-//! the service's backpressure signal to either close sessions or raise the
-//! cap. Entries are stored behind `Arc`s, so reads clone a pointer and
-//! writes swap one — the global mutex is held for pointer-sized work only;
-//! repairs and races run outside it on the shared snapshot. Two concurrent
-//! requests on the *same* session id are last-write-wins.
+//! flag). What the bound means depends on durability:
+//!
+//! * **Without a [`DurableStore`]** (no `--data-dir`), creating a session
+//!   at capacity *evicts* the least-recently-used one — the evicted
+//!   client's next request gets an `unknown session` error line and the
+//!   eviction shows up in the `{"metrics": true}` session stats.
+//! * **With a [`DurableStore`]**, capacity *spills* instead: the LRU
+//!   victim's snapshot is written to disk **before** the hot entry is
+//!   dropped, and a later touch of the cold session transparently reloads
+//!   it ([`SessionStore::snapshot`]). The LRU bounds memory, not session
+//!   lifetime; spills and cold reloads are separate metrics counters.
+//!
+//! Entries are stored behind `Arc`s, so reads clone a pointer and writes
+//! swap one — the global mutex is held for pointer-sized work only;
+//! repairs, races and snapshot file writes run outside it on the shared
+//! snapshot. Two concurrent requests on the *same* session id are
+//! last-write-wins.
 //!
 //! **Ordering:** session verbs do not ride the work-stealing pool (which
 //! preserves no order for in-flight requests) — the service routes them
-//! through one dedicated FIFO lane, so `create`/`delta`/`solve` sequences
-//! pipelined blindly execute in arrival order. Same-sid last-write-wins
-//! can therefore only arise between a session verb and a concurrent
-//! *non-session* path mutating the store (there is none today).
+//! through FIFO lanes keyed by session id, so each session's
+//! `create`/`delta`/`solve` sequence executes in arrival order while
+//! distinct sessions run in parallel (see [`crate::service`]).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -33,6 +40,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sst_core::schedule::Schedule;
 
+use crate::durable::DurableStore;
 use crate::model::Solution;
 use crate::solver::{Cost, ProblemInstance};
 
@@ -55,20 +63,40 @@ pub struct SessionEntry {
 /// Counters of the session store, reported by `{"metrics": true}`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Sessions currently live.
+    /// Sessions currently hot (in memory; spilled sessions stay live on
+    /// disk and do not count here).
     pub live: u64,
-    /// Sessions evicted by the LRU bound since start.
+    /// Sessions destroyed by the LRU bound since start (non-durable mode
+    /// only; with a data dir the bound spills instead).
     pub evicted: u64,
     /// Session solves the warm incumbent won outright (no raced member
     /// improved the repaired floor).
     pub warm_hits: u64,
     /// Session solves where a raced member beat the warm floor.
     pub warm_misses: u64,
+    /// LRU victims spilled to a snapshot instead of destroyed.
+    pub spills: u64,
+    /// Cold sessions transparently reloaded from their snapshot.
+    pub cold_reloads: u64,
+    /// Sessions rebuilt by crash recovery at startup.
+    pub recovered: u64,
+    /// Journal records appended since start.
+    pub journal_appends: u64,
+    /// Journal bytes written since start.
+    pub journal_bytes: u64,
+    /// Snapshot files written since start.
+    pub snapshots: u64,
 }
 
 struct Stamped {
     entry: Arc<SessionEntry>,
+    /// LRU recency stamp.
     stamp: u64,
+    /// Last journal sequence number folded into `entry` (0 = none).
+    seq: u64,
+    /// Journaled verbs applied since the last on-disk snapshot — the
+    /// periodic-snapshot trigger.
+    fresh: u64,
 }
 
 struct Inner {
@@ -77,18 +105,33 @@ struct Inner {
     evicted: u64,
     warm_hits: u64,
     warm_misses: u64,
+    spills: u64,
+    cold_reloads: u64,
 }
 
-/// Thread-safe, LRU-bounded session store shared by all pool workers.
+/// Thread-safe, LRU-bounded session store shared by all pool workers,
+/// optionally backed by a [`DurableStore`] (journal + snapshot spill).
 pub struct SessionStore {
     max: usize,
     inner: Mutex<Inner>,
+    persist: Option<Arc<DurableStore>>,
 }
 
 impl SessionStore {
-    /// An empty store holding at most `max_sessions` live sessions
-    /// (floored at 1).
+    /// An empty in-memory store holding at most `max_sessions` live
+    /// sessions (floored at 1); capacity evicts.
     pub fn new(max_sessions: usize) -> Self {
+        Self::build(max_sessions, None)
+    }
+
+    /// An empty store backed by `persist`: capacity spills to snapshots,
+    /// touches of cold sessions reload them, and `checkpoint` flushes
+    /// everything hot at shutdown.
+    pub fn durable(max_sessions: usize, persist: Arc<DurableStore>) -> Self {
+        Self::build(max_sessions, Some(persist))
+    }
+
+    fn build(max_sessions: usize, persist: Option<Arc<DurableStore>>) -> Self {
         SessionStore {
             max: max_sessions.max(1),
             inner: Mutex::new(Inner {
@@ -97,7 +140,10 @@ impl SessionStore {
                 evicted: 0,
                 warm_hits: 0,
                 warm_misses: 0,
+                spills: 0,
+                cold_reloads: 0,
             }),
+            persist,
         }
     }
 
@@ -106,27 +152,79 @@ impl SessionStore {
         self.max
     }
 
-    /// Inserts (or replaces) session `sid`. At capacity the
-    /// least-recently-used session is evicted first. Returns the live
-    /// count and the evicted session id, if any.
-    pub fn create(&self, sid: u64, entry: SessionEntry) -> (usize, Option<u64>) {
+    /// The backing durable store, when one is configured.
+    pub fn persist(&self) -> Option<&Arc<DurableStore>> {
+        self.persist.as_ref()
+    }
+
+    /// Spills the LRU victim's snapshot to disk and drops its hot entry,
+    /// making room for `incoming`. The snapshot is written **outside** the
+    /// lock and the victim is only removed if it was neither touched nor
+    /// updated in between (stamp + pointer revalidation) — a concurrent
+    /// lane can never lose state to a spill. On persistent snapshot-write
+    /// failure the store runs over capacity rather than destroy state.
+    fn spill_for_room(&self, incoming: u64) -> Option<u64> {
+        let persist = self.persist.as_ref()?;
+        for _ in 0..8 {
+            let victim = {
+                let inner = self.inner.lock();
+                if inner.map.contains_key(&incoming) || inner.map.len() < self.max {
+                    return None;
+                }
+                inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, s)| s.stamp)
+                    .map(|(&sid, s)| (sid, Arc::clone(&s.entry), s.seq, s.stamp))
+            };
+            let (vsid, ventry, vseq, vstamp) = victim?;
+            if persist.write_snapshot(vsid, vseq, &ventry).is_err() {
+                return None;
+            }
+            let mut inner = self.inner.lock();
+            match inner.map.get(&vsid) {
+                Some(s) if s.stamp == vstamp && Arc::ptr_eq(&s.entry, &ventry) => {
+                    inner.map.remove(&vsid);
+                    inner.spills += 1;
+                    return Some(vsid);
+                }
+                // Victim closed meanwhile: there is room now.
+                None => return None,
+                // Touched or updated meanwhile: re-pick the LRU victim.
+                Some(_) => {}
+            }
+        }
+        None
+    }
+
+    /// Inserts (or replaces) session `sid`, recording `seq` as the last
+    /// journal record folded into it (0 when not journaled). At capacity
+    /// the least-recently-used session is evicted (in-memory store) or
+    /// spilled to its snapshot (durable store) first. Returns the hot
+    /// count and the displaced session id, if any.
+    pub fn create(&self, sid: u64, entry: SessionEntry, seq: u64) -> (usize, Option<u64>) {
         // Allocation outside the lock; the critical section swaps pointers.
         let entry = Arc::new(entry);
+        let spilled = self.spill_for_room(sid);
         let dropped;
         let result = {
             let mut inner = self.inner.lock();
             inner.clock += 1;
             let stamp = inner.clock;
-            let mut evicted = None;
-            if !inner.map.contains_key(&sid) && inner.map.len() >= self.max {
+            let mut displaced = spilled;
+            if self.persist.is_none()
+                && !inner.map.contains_key(&sid)
+                && inner.map.len() >= self.max
+            {
                 if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, s)| s.stamp) {
                     inner.map.remove(&victim);
                     inner.evicted += 1;
-                    evicted = Some(victim);
+                    displaced = Some(victim);
                 }
             }
-            dropped = inner.map.insert(sid, Stamped { entry, stamp });
-            (inner.map.len(), evicted)
+            let fresh = if seq > 0 { 1 } else { 0 };
+            dropped = inner.map.insert(sid, Stamped { entry, stamp, seq, fresh });
+            (inner.map.len(), displaced)
         };
         drop(dropped);
         result
@@ -134,19 +232,54 @@ impl SessionStore {
 
     /// Shares session `sid`'s state out (touching its recency) — repairs
     /// and races run on the shared snapshot, outside the store lock; the
-    /// lock itself only clones an `Arc`.
+    /// lock itself only clones an `Arc`. A cold (spilled) session is
+    /// transparently reloaded from its on-disk snapshot.
     pub fn snapshot(&self, sid: u64) -> Option<Arc<SessionEntry>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            if let Some(stamped) = inner.map.get_mut(&sid) {
+                stamped.stamp = stamp;
+                return Some(Arc::clone(&stamped.entry));
+            }
+        }
+        // Cold path: reload from disk, then insert hot (which may in turn
+        // spill the new LRU victim).
+        let persist = self.persist.as_ref()?;
+        let (entry, seq) = persist.load_snapshot(sid)?;
+        let entry = Arc::new(entry);
+        self.spill_for_room(sid);
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let stamp = inner.clock;
-        let stamped = inner.map.get_mut(&sid)?;
+        inner.cold_reloads += 1;
+        // A racing reload of the same sid keeps the first entry (both came
+        // from the same snapshot).
+        let stamped = inner.map.entry(sid).or_insert(Stamped {
+            entry: Arc::clone(&entry),
+            stamp,
+            seq,
+            fresh: 0,
+        });
         stamped.stamp = stamp;
         Some(Arc::clone(&stamped.entry))
     }
 
-    /// Writes a session's state back. Returns `false` when the session
-    /// vanished in between (closed or evicted) — the write is dropped.
-    pub fn update(&self, sid: u64, entry: SessionEntry) -> bool {
+    /// Writes a session's state back after a journaled verb, advancing its
+    /// sequence number. Returns `false` when the session vanished in
+    /// between (closed or evicted) — the write is dropped.
+    pub fn update(&self, sid: u64, entry: SessionEntry, seq: u64) -> bool {
+        self.write_back(sid, entry, Some(seq))
+    }
+
+    /// Writes back an incumbent-only improvement (a session `solve` —
+    /// not journaled, so the sequence number stays put).
+    pub fn update_incumbent(&self, sid: u64, entry: SessionEntry) -> bool {
+        self.write_back(sid, entry, None)
+    }
+
+    fn write_back(&self, sid: u64, entry: SessionEntry, seq: Option<u64>) -> bool {
         let entry = Arc::new(entry);
         let mut dropped = None;
         let found = {
@@ -157,6 +290,12 @@ impl SessionStore {
                 Some(stamped) => {
                     dropped = Some(std::mem::replace(&mut stamped.entry, entry));
                     stamped.stamp = stamp;
+                    if let Some(seq) = seq {
+                        if seq > stamped.seq {
+                            stamped.seq = seq;
+                            stamped.fresh += 1;
+                        }
+                    }
                     true
                 }
                 None => false,
@@ -166,16 +305,73 @@ impl SessionStore {
         found
     }
 
-    /// Closes session `sid`. Returns whether it existed.
+    /// Writes session `sid`'s periodic snapshot when enough journaled
+    /// verbs accumulated since the last one. Purely an optimization —
+    /// the journal already covers every accepted verb — so write errors
+    /// are swallowed (replay just gets longer).
+    pub fn maybe_snapshot(&self, sid: u64) {
+        let Some(persist) = self.persist.as_ref() else { return };
+        let image = {
+            let inner = self.inner.lock();
+            match inner.map.get(&sid) {
+                Some(s) if s.fresh >= persist.snapshot_every() => {
+                    Some((Arc::clone(&s.entry), s.seq))
+                }
+                _ => None,
+            }
+        };
+        let Some((entry, seq)) = image else { return };
+        if persist.write_snapshot(sid, seq, &entry).is_ok() {
+            let mut inner = self.inner.lock();
+            if let Some(stamped) = inner.map.get_mut(&sid) {
+                if stamped.seq == seq {
+                    stamped.fresh = 0;
+                }
+            }
+        }
+    }
+
+    /// Snapshots every hot session and truncates the journal — the
+    /// graceful-shutdown (and post-recovery) checkpoint. Only sound at
+    /// quiescent points: no lane may append concurrently, or a record
+    /// newer than the collected images could be truncated away.
+    pub fn checkpoint(&self) -> std::io::Result<()> {
+        let Some(persist) = self.persist.as_ref() else { return Ok(()) };
+        let hot: Vec<(u64, Arc<SessionEntry>, u64)> = {
+            let inner = self.inner.lock();
+            inner.map.iter().map(|(&sid, s)| (sid, Arc::clone(&s.entry), s.seq)).collect()
+        };
+        for (sid, entry, seq) in &hot {
+            persist.write_snapshot(*sid, *seq, entry)?;
+        }
+        persist.truncate_journal()?;
+        let mut inner = self.inner.lock();
+        for (sid, _, seq) in &hot {
+            if let Some(stamped) = inner.map.get_mut(sid) {
+                if stamped.seq == *seq {
+                    stamped.fresh = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes session `sid` — the hot entry and (in durable mode) its
+    /// on-disk snapshot. Returns whether either existed, so closing a
+    /// cold (spilled) session works too.
     pub fn close(&self, sid: u64) -> bool {
-        let dropped = {
+        let hot = {
             let mut inner = self.inner.lock();
             inner.map.remove(&sid)
         };
-        dropped.is_some()
+        let cold = match self.persist.as_ref() {
+            Some(persist) => persist.remove_snapshot(sid),
+            None => false,
+        };
+        hot.is_some() || cold
     }
 
-    /// Sessions currently live.
+    /// Sessions currently hot.
     pub fn live(&self) -> usize {
         self.inner.lock().map.len()
     }
@@ -191,14 +387,21 @@ impl SessionStore {
         }
     }
 
-    /// The running counters.
+    /// The running counters, durability counters merged in.
     pub fn stats(&self) -> SessionStats {
+        let durable = self.persist.as_ref().map(|p| p.counters()).unwrap_or_default();
         let inner = self.inner.lock();
         SessionStats {
             live: inner.map.len() as u64,
             evicted: inner.evicted,
             warm_hits: inner.warm_hits,
             warm_misses: inner.warm_misses,
+            spills: inner.spills,
+            cold_reloads: inner.cold_reloads,
+            recovered: durable.recovered,
+            journal_appends: durable.journal_appends,
+            journal_bytes: durable.journal_bytes,
+            snapshots: durable.snapshots,
         }
     }
 }
@@ -206,6 +409,7 @@ impl SessionStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durable::Durability;
     use sst_core::instance::{Job, UniformInstance};
 
     fn entry(seed: u64) -> SessionEntry {
@@ -221,14 +425,21 @@ mod tests {
         }
     }
 
+    fn durable_store(name: &str, max: usize) -> (SessionStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("sst-session-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persist = Arc::new(DurableStore::open(&dir, Durability::Flush).unwrap());
+        (SessionStore::durable(max, persist), dir)
+    }
+
     #[test]
     fn lru_eviction_at_capacity() {
         let store = SessionStore::new(2);
-        assert_eq!(store.create(1, entry(1)), (1, None));
-        assert_eq!(store.create(2, entry(2)), (2, None));
+        assert_eq!(store.create(1, entry(1), 0), (1, None));
+        assert_eq!(store.create(2, entry(2), 0), (2, None));
         // Touch 1 so 2 becomes the LRU victim.
         assert!(store.snapshot(1).is_some());
-        let (live, evicted) = store.create(3, entry(3));
+        let (live, evicted) = store.create(3, entry(3), 0);
         assert_eq!((live, evicted), (2, Some(2)));
         assert!(store.snapshot(2).is_none(), "evicted session is gone");
         assert!(store.snapshot(1).is_some(), "recently used session survives");
@@ -239,20 +450,20 @@ mod tests {
     #[test]
     fn recreate_same_id_does_not_evict() {
         let store = SessionStore::new(1);
-        store.create(7, entry(1));
-        let (live, evicted) = store.create(7, entry(2));
+        store.create(7, entry(1), 0);
+        let (live, evicted) = store.create(7, entry(2), 0);
         assert_eq!((live, evicted), (1, None), "replacing in place needs no eviction");
     }
 
     #[test]
     fn update_after_close_is_dropped() {
         let store = SessionStore::new(4);
-        store.create(1, entry(1));
+        store.create(1, entry(1), 0);
         let snap = store.snapshot(1).unwrap();
         assert!(store.close(1));
         assert!(!store.close(1));
         assert!(
-            !store.update(1, (*snap).clone()),
+            !store.update(1, (*snap).clone(), 1),
             "stale write-back must not resurrect the session"
         );
         assert_eq!(store.live(), 0);
@@ -266,5 +477,48 @@ mod tests {
         store.record_warm(false);
         let stats = store.stats();
         assert_eq!((stats.warm_hits, stats.warm_misses), (2, 1));
+    }
+
+    #[test]
+    fn durable_capacity_spills_and_touch_reloads() {
+        let (store, dir) = durable_store("spill", 2);
+        store.create(1, entry(1), 1);
+        store.create(2, entry(2), 2);
+        assert!(store.snapshot(1).is_some());
+        // 2 is the LRU victim: spilled, not destroyed.
+        let (live, displaced) = store.create(3, entry(3), 3);
+        assert_eq!((live, displaced), (2, Some(2)));
+        let stats = store.stats();
+        assert_eq!((stats.evicted, stats.spills), (0, 1));
+        // Touching the cold session reloads it (and spills a new victim).
+        let reloaded = store.snapshot(2).expect("cold session reloads transparently");
+        assert_eq!(reloaded.instance.n(), 1);
+        let stats = store.stats();
+        assert_eq!(stats.cold_reloads, 1);
+        assert!(stats.live <= 2, "the LRU bound holds across reloads");
+        assert!(stats.spills >= 2, "the reload displaced another victim");
+        // Closing a cold session removes its snapshot file.
+        let cold_sid = [1u64, 3].into_iter().find(|s| store.snapshot(*s).is_none());
+        if let Some(sid) = cold_sid {
+            assert!(store.close(sid), "cold close removes the on-disk snapshot");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_snapshots_every_hot_session() {
+        let (store, dir) = durable_store("checkpoint", 4);
+        let persist = Arc::clone(store.persist().unwrap());
+        let seq = persist.append_create(1, &entry(1).instance).unwrap();
+        store.create(1, entry(1), seq);
+        let seq = persist.append_create(2, &entry(2).instance).unwrap();
+        store.create(2, entry(2), seq);
+        store.checkpoint().unwrap();
+        assert!(persist.load_snapshot(1).is_some());
+        assert!(persist.load_snapshot(2).is_some());
+        let rec = persist.recover().unwrap();
+        assert_eq!(rec.sessions.len(), 2);
+        assert_eq!(rec.replayed, 0, "checkpoint truncated the journal");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
