@@ -189,12 +189,18 @@ fn mixed_requests(count: u64) -> Vec<Request> {
 }
 
 /// Runs `reqs` through a fresh service in `mode` and returns requests/sec.
-fn pool_throughput(mode: PoolMode, workers: usize, reqs: &[Request]) -> f64 {
+fn pool_throughput(
+    mode: PoolMode,
+    workers: usize,
+    reqs: &[Request],
+    trace: Option<sst_core::telemetry::TraceSink>,
+) -> f64 {
     let svc = Service::start(ServeConfig {
         workers,
         mode,
         budget_ms: 25,
         max_queue: reqs.len().max(1),
+        trace,
         ..Default::default()
     });
     let sink = Arc::new(Mutex::new(Vec::new()));
@@ -221,8 +227,8 @@ fn pool_throughput_table() {
     println!("\nserve pool throughput ({WORKERS} workers, {} mixed requests, 25 ms budget):", {
         reqs.len()
     });
-    let sharded = pool_throughput(PoolMode::Sharded, WORKERS, &reqs);
-    let stealing = pool_throughput(PoolMode::WorkStealing, WORKERS, &reqs);
+    let sharded = pool_throughput(PoolMode::Sharded, WORKERS, &reqs, None);
+    let stealing = pool_throughput(PoolMode::WorkStealing, WORKERS, &reqs, None);
     println!("  sharded round-robin {sharded:>8.1} req/s");
     println!("  work-stealing       {stealing:>8.1} req/s  ({:+.1}%)", {
         (stealing / sharded - 1.0) * 100.0
@@ -233,6 +239,45 @@ fn pool_throughput_table() {
     );
 }
 
+/// Trace-sink overhead on the same mixed workload: a file-backed NDJSON
+/// sink (the realistic `--trace-out FILE` path, full span chain per
+/// request) vs. untraced. The telemetry budget is ≤ 5% throughput cost —
+/// printed and warned on, while the hard CI gate reuses the deliberate
+/// 0.7× floor so deadline-race noise on loaded runners cannot flake the
+/// smoke job.
+fn trace_overhead_table() {
+    const WORKERS: usize = 8;
+    let reqs = mixed_requests(96);
+    let trace_path =
+        std::env::temp_dir().join(format!("sst-bench-trace-{}.ndjson", std::process::id()));
+    let untraced = pool_throughput(PoolMode::WorkStealing, WORKERS, &reqs, None);
+    let sink =
+        sst_core::telemetry::TraceSink::to_file(&trace_path).expect("create bench trace file");
+    let traced = pool_throughput(PoolMode::WorkStealing, WORKERS, &reqs, Some(sink));
+    let overhead = (untraced / traced - 1.0) * 100.0;
+    println!("\ntrace overhead ({WORKERS} workers, {} mixed requests, file sink):", reqs.len());
+    println!("  untraced {untraced:>8.1} req/s");
+    println!("  traced   {traced:>8.1} req/s  ({overhead:+.1}% overhead)");
+    if overhead > 5.0 {
+        println!("  WARNING: trace overhead {overhead:.1}% exceeds the 5% telemetry budget");
+    }
+    let events = std::fs::read_to_string(&trace_path)
+        .expect("trace file written")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    // Every request contributes at least enqueue + dequeue + respond.
+    assert!(
+        events >= 3 * reqs.len(),
+        "traced run must write a full event stream, got {events} lines"
+    );
+    assert!(
+        traced >= 0.7 * untraced,
+        "tracing costs far more than the telemetry budget: {traced:.1} vs {untraced:.1} req/s"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
+
 fn bench(c: &mut Criterion) {
     assert!(
         quality_table(),
@@ -240,6 +285,7 @@ fn bench(c: &mut Criterion) {
          dominates all seeds, so the racing portfolio adds nothing"
     );
     pool_throughput_table();
+    trace_overhead_table();
     let mut g = c.benchmark_group("portfolio_race");
     g.sample_size(10);
     let inst = family("compute-cluster", 42);

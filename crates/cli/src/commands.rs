@@ -103,7 +103,8 @@ USAGE
             [--seed S] [--mode stealing|sharded] [--max-queue N]
             [--max-sessions N] [--fault-injection true]
             [--data-dir DIR] [--durability none|flush|fsync]
-            [--session-lanes N]
+            [--session-lanes N] [--trace-out FILE|stderr]
+            [--metrics-interval MS]
       solver-portfolio service speaking NDJSON: one request object per
       line ({\"id\": .., \"instance\": {..}, \"budget_ms\": ..}), one
       response per line; instance.kind is uniform | unrelated |
@@ -137,6 +138,17 @@ USAGE
       chaos probes. --shards N is accepted as an
       alias of --workers. Default reads stdin until EOF; --tcp serves
       every connection concurrently and prints the bound address first.
+      --trace-out streams structured NDJSON trace events (enqueue,
+      dequeue, race/solver spans, incumbents, journal appends,
+      snapshots, recovery) to a file or stderr, non-blocking: under
+      backpressure events are dropped and counted, never stalled on.
+      --metrics-interval MS prints a one-line metrics digest to stderr
+      every MS milliseconds.
+  sst trace summarize <trace.ndjson>
+      aggregates a --trace-out file into per-stage latency percentiles
+      (queue-wait, solver, total, journal-append, …), per-solver
+      standings (runs, outcomes, incumbent improvements, time to first
+      incumbent) and the dropped-event count.
   sst help
 "
     .to_string()
@@ -160,6 +172,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "data-dir",
         "durability",
         "session-lanes",
+        "trace-out",
+        "metrics-interval",
     ])?;
     // `--shards` (the PR 2 spelling) stays as an alias of `--workers`.
     let workers = match (args.flag("workers"), args.flag("shards")) {
@@ -183,6 +197,14 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         Some(s) => sst_portfolio::Durability::parse(s)
             .ok_or_else(|| CliError(format!("unknown --durability '{s}' (none|flush|fsync)")))?,
     };
+    let trace = match args.flag("trace-out") {
+        None => None,
+        Some("stderr") => Some(sst_core::telemetry::TraceSink::to_stderr()),
+        Some(path) => Some(
+            sst_core::telemetry::TraceSink::to_file(std::path::Path::new(path))
+                .map_err(|e| CliError(format!("--trace-out {path}: {e}")))?,
+        ),
+    };
     let cfg = sst_portfolio::service::ServeConfig {
         workers: workers.max(1),
         top_k: args.flag_parse("top-k", 3usize)?.max(1),
@@ -195,6 +217,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         data_dir,
         durability,
         session_lanes: args.flag_parse("session-lanes", 4usize)?.max(1),
+        trace,
+        metrics_interval_ms: args.flag_parse("metrics-interval", 0u64)?,
     };
     match args.flag("tcp") {
         Some(addr) => {
@@ -221,6 +245,214 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             Ok(String::new())
         }
     }
+}
+
+/// `sst trace` — offline analysis of `--trace-out` NDJSON files.
+/// `summarize` aggregates events into per-stage latency percentiles and
+/// per-solver standings, mirroring the live `{"metrics": true}` probe.
+pub fn trace(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    match args.pos(0, "subcommand")? {
+        "summarize" => trace_summarize(args.pos(1, "trace-file")?),
+        other => Err(CliError(format!("unknown trace subcommand '{other}' (try: summarize)"))),
+    }
+}
+
+/// Per-solver aggregation state for [`trace_summarize`].
+#[derive(Default)]
+struct SolverAgg {
+    runs: sst_core::stats::LatencyHistogram,
+    completed: u64,
+    cancelled: u64,
+    declined: u64,
+    improvements: u64,
+    /// Time from race start to each *first* incumbent this solver posted
+    /// for a request id (later improvements go to `improvements` only).
+    first_incumbent: sst_core::stats::LatencyHistogram,
+    seen_ids: std::collections::BTreeSet<u64>,
+}
+
+fn trace_summarize(path: &str) -> Result<String, CliError> {
+    use sst_core::io::json::{self, JsonValue};
+    use sst_core::stats::LatencyHistogram;
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("trace summarize {path}: {e}")))?;
+
+    let uint = |map: &BTreeMap<String, JsonValue>, k: &str| -> Option<u64> {
+        match map.get(k) {
+            Some(JsonValue::Uint(v)) => Some(*v),
+            _ => None,
+        }
+    };
+
+    let mut stages: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
+    let mut record = |stage: &'static str, us: u64| {
+        stages.entry(stage).or_default().record(us);
+    };
+    let mut solvers: BTreeMap<String, SolverAgg> = BTreeMap::new();
+    let mut events = 0u64;
+    let mut unparseable = 0u64;
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut recoveries = 0u64;
+    let mut recovered_sessions = 0u64;
+    let mut spills = 0u64;
+    let mut cold_reloads = 0u64;
+    let mut dropped: Option<u64> = None;
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let map = match json::parse(line) {
+            Ok(JsonValue::Object(map)) => map,
+            _ => {
+                unparseable += 1;
+                continue;
+            }
+        };
+        let kind = match map.get("event") {
+            Some(JsonValue::Str(s)) => s.as_str(),
+            _ => {
+                unparseable += 1;
+                continue;
+            }
+        };
+        events += 1;
+        match kind {
+            "dequeue" => {
+                if let Some(us) = uint(&map, "queue_wait_us") {
+                    record("queue_wait", us);
+                }
+            }
+            "respond" => {
+                if let Some(us) = uint(&map, "total_us") {
+                    record("total", us);
+                }
+                match map.get("ok") {
+                    Some(JsonValue::Bool(true)) => ok += 1,
+                    _ => errors += 1,
+                }
+            }
+            "solver_end" => {
+                if let (Some(JsonValue::Str(solver)), Some(us)) =
+                    (map.get("solver"), uint(&map, "micros"))
+                {
+                    record("solver", us);
+                    let agg = solvers.entry(solver.clone()).or_default();
+                    agg.runs.record(us);
+                    match map.get("outcome") {
+                        Some(JsonValue::Str(o)) if o == "completed" => agg.completed += 1,
+                        Some(JsonValue::Str(o)) if o == "cancelled" => agg.cancelled += 1,
+                        _ => agg.declined += 1,
+                    }
+                }
+            }
+            "incumbent" => {
+                if let (Some(JsonValue::Str(solver)), Some(id), Some(at_us)) =
+                    (map.get("solver"), uint(&map, "id"), uint(&map, "at_us"))
+                {
+                    let agg = solvers.entry(solver.clone()).or_default();
+                    agg.improvements += 1;
+                    if agg.seen_ids.insert(id) {
+                        agg.first_incumbent.record(at_us);
+                    }
+                }
+            }
+            "cancel" => {
+                if let Some(us) = uint(&map, "micros") {
+                    record("cancel", us);
+                }
+            }
+            "journal_append" => {
+                if let Some(us) = uint(&map, "micros") {
+                    record("journal_append", us);
+                }
+            }
+            "snapshot" => {
+                if let Some(us) = uint(&map, "micros") {
+                    record("snapshot", us);
+                }
+            }
+            "recovery" => {
+                recoveries += 1;
+                recovered_sessions += uint(&map, "sessions").unwrap_or(0);
+                if let Some(us) = uint(&map, "micros") {
+                    record("recovery", us);
+                }
+            }
+            "spill" => spills += 1,
+            "cold_reload" => cold_reloads += 1,
+            "sink_close" => {
+                dropped = Some(dropped.unwrap_or(0) + uint(&map, "dropped").unwrap_or(0));
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "trace summary: {events} events ({unparseable} unparseable lines)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50_us", "p90_us", "p99_us", "max_us"
+    );
+    for (stage, hist) in &stages {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            stage,
+            hist.count(),
+            hist.percentile(0.50),
+            hist.percentile(0.90),
+            hist.percentile(0.99),
+            hist.max(),
+        );
+    }
+    if !solvers.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>10} {:>10} {:>9} {:>10} {:>14} {:>14}",
+            "solver",
+            "runs",
+            "completed",
+            "cancelled",
+            "declined",
+            "improves",
+            "first_inc_p50",
+            "first_inc_p99"
+        );
+        for (name, agg) in &solvers {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>10} {:>10} {:>9} {:>10} {:>14} {:>14}",
+                name,
+                agg.runs.count(),
+                agg.completed,
+                agg.cancelled,
+                agg.declined,
+                agg.improvements,
+                agg.first_incumbent.percentile(0.50),
+                agg.first_incumbent.percentile(0.99),
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "requests: {ok} ok, {errors} errors; recoveries: {recoveries} ({recovered_sessions} sessions); spills: {spills}, cold reloads: {cold_reloads}"
+    );
+    let _ = match dropped {
+        Some(n) => writeln!(out, "dropped events: {n}"),
+        None => writeln!(out, "dropped events: unknown (no sink_close event; truncated trace?)"),
+    };
+    Ok(out)
 }
 
 /// `sst generate` — writes an instance JSON and reports its shape.
@@ -809,6 +1041,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "compare" => compare(args),
         "sweep" => sweep(args),
         "serve" => serve(args),
+        "trace" => trace(args),
         other => Err(CliError(format!("unknown command '{other}'; see `sst help`"))),
     }
 }
@@ -1121,6 +1354,39 @@ mod tests {
             run(&parse(&toks(&["serve", "--data-dir", "/tmp/x", "--durability", "paranoid"]))
                 .unwrap());
         assert!(err.is_err(), "unknown durability tier must be rejected");
+    }
+
+    #[test]
+    fn trace_summarize_aggregates_stages_solvers_and_drop_count() {
+        let path = tmp("trace-summary.ndjson");
+        let lines = [
+            r#"{"event": "enqueue", "id": 1, "ts_us": 0}"#,
+            r#"{"event": "dequeue", "id": 1, "worker": 0, "queue_wait_us": 50, "ts_us": 1}"#,
+            r#"{"event": "race_start", "id": 1, "members": 2, "ts_us": 2}"#,
+            r#"{"event": "incumbent", "id": 1, "solver": "lpt", "at_us": 120, "makespan": 99.0, "ts_us": 3}"#,
+            r#"{"event": "incumbent", "id": 1, "solver": "lpt", "at_us": 200, "makespan": 90.0, "ts_us": 4}"#,
+            r#"{"event": "solver_end", "id": 1, "solver": "lpt", "outcome": "completed", "micros": 300, "makespan": 90.0, "ts_us": 5}"#,
+            r#"{"event": "solver_end", "id": 1, "solver": "exact-bb", "outcome": "cancelled", "micros": 400, "ts_us": 5}"#,
+            r#"{"event": "respond", "id": 1, "ok": true, "total_us": 600, "ts_us": 6}"#,
+            r#"{"event": "journal_append", "sid": 7, "bytes": 32, "micros": 80, "fsync": false, "ts_us": 7}"#,
+            r#"{"event": "recovery", "sessions": 2, "snapshots_loaded": 1, "replayed": 3, "dropped_bytes": 0, "micros": 900, "ts_us": 8}"#,
+            "not json",
+            r#"{"event": "sink_close", "dropped": 4, "ts_us": 9}"#,
+        ];
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let out = run(&parse(&toks(&["trace", "summarize", &path])).unwrap()).unwrap();
+        assert!(out.contains("11 events (1 unparseable"), "{out}");
+        for stage in ["queue_wait", "total", "solver", "journal_append", "recovery"] {
+            assert!(out.contains(stage), "missing stage '{stage}' in:\n{out}");
+        }
+        assert!(out.contains("lpt") && out.contains("exact-bb"), "{out}");
+        assert!(out.contains("requests: 1 ok, 0 errors; recoveries: 1 (2 sessions)"), "{out}");
+        assert!(out.contains("dropped events: 4"), "{out}");
+        // Unknown subcommands and missing files fail cleanly.
+        assert!(run(&parse(&toks(&["trace", "tail", &path])).unwrap()).is_err());
+        assert!(
+            run(&parse(&toks(&["trace", "summarize", "/nonexistent/t.ndjson"])).unwrap()).is_err()
+        );
     }
 
     #[test]

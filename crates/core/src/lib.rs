@@ -29,7 +29,9 @@
 //! * incremental load tracking with `O(1)`/`O(log m)` move evaluation for
 //!   the search heuristics, written once against the trait — [`tracker`];
 //! * cooperative cancellation tokens (deadline + flag) that make every
-//!   solver an anytime solver — [`cancel`].
+//!   solver an anytime solver — [`cancel`];
+//! * the observability layer — a unified metrics registry and a
+//!   ring-buffered NDJSON trace-event sink — [`telemetry`].
 //!
 //! Algorithms live in `sst-algos`; the LP solver in `sst-lp`; generators in
 //! `sst-gen`; the SetCover substrate in `sst-setcover`.
@@ -53,6 +55,7 @@ pub mod ratio;
 pub mod schedule;
 pub mod simplify;
 pub mod stats;
+pub mod telemetry;
 pub mod timeline;
 pub mod tracker;
 

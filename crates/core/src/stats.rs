@@ -21,7 +21,11 @@ use crate::instance::{is_finite, UniformInstance, UnrelatedInstance};
 /// `record` is a couple of arithmetic instructions, the struct is one
 /// cache line of counters, and no allocation ever happens. Units are
 /// whatever the caller records (`sst serve` records microseconds).
-#[derive(Debug, Clone)]
+///
+/// Equality is bucket-exact: two histograms compare equal iff every bucket
+/// count, the sample count, the (saturating) sum and the max agree — the
+/// property [`LatencyHistogram::merge`] is tested against.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; 64],
     count: u64,
@@ -48,6 +52,22 @@ impl LatencyHistogram {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`, as if every sample recorded into `other`
+    /// had been recorded here instead: bucket counts and sample counts add,
+    /// sums add saturating (matching [`Self::record`]), the max is the max
+    /// of both. Exact at bucket granularity — merging per-worker histograms
+    /// is indistinguishable from recording the union of their samples into
+    /// one histogram, which is what lets `sst serve` aggregate worker-local
+    /// telemetry without sharing a hot lock.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of recorded samples.
@@ -352,6 +372,31 @@ mod tests {
         assert!(estimates.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {estimates:?}");
         assert_eq!(*estimates.last().unwrap(), 5000, "p100 is the max");
         assert!(estimates.iter().all(|&e| e <= 5000));
+    }
+
+    #[test]
+    fn latency_histogram_merge_equals_recording_the_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for v in [1u64, 7, 300, 4096, 0] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [2u64, 300, 9999, u64::MAX] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union, "merge must be bucket-exact");
+        // Merging an empty histogram is a no-op on both sides.
+        let empty = LatencyHistogram::new();
+        let before = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, before);
+        let mut fresh = LatencyHistogram::new();
+        fresh.merge(&union);
+        assert_eq!(fresh, union);
     }
 
     #[test]

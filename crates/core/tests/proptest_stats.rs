@@ -1,0 +1,63 @@
+//! Property tests for [`sst_core::stats::LatencyHistogram::merge`]: merging
+//! two histograms must be **bucket-exact** — indistinguishable (by derived
+//! equality: every bucket count, the sample count, the saturating sum and
+//! the max) from recording the union of their samples into one histogram.
+//! This is the property that makes per-worker histograms safe to aggregate
+//! into the global registry image.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sst_core::stats::LatencyHistogram;
+
+/// Latency-shaped samples: mostly small values, a tail of huge ones
+/// (including the u64 extremes, which exercise bucket 0 / bucket 63 and
+/// the saturating sum).
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    vec(prop_oneof![0u64..10_000, 0u64..100_000_000, Just(0u64), Just(u64::MAX),], 0..64)
+}
+
+fn recorded(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_recording_the_union(a in samples(), b in samples()) {
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(&merged, &recorded(&union));
+        // Scalar views agree with the union too.
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.max(), union.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_identity_on_empty(a in samples(), b in samples()) {
+        let mut ab = recorded(&a);
+        ab.merge(&recorded(&b));
+        let mut ba = recorded(&b);
+        ba.merge(&recorded(&a));
+        prop_assert_eq!(&ab, &ba);
+        let mut with_empty = recorded(&a);
+        with_empty.merge(&LatencyHistogram::new());
+        prop_assert_eq!(&with_empty, &recorded(&a));
+    }
+
+    #[test]
+    fn merge_preserves_percentile_semantics(a in samples(), b in samples()) {
+        // Not just structural equality: the quantile estimates of the
+        // merged histogram are exactly those of the union-recorded one.
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let oracle = recorded(&union);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), oracle.percentile(q));
+        }
+    }
+}

@@ -52,6 +52,7 @@ use parking_lot::Mutex;
 use sst_core::delta::{delta_to_json, deltas_from_value, InstanceDelta};
 use sst_core::io::json::{self, JsonValue};
 use sst_core::io::{self as core_io, IoError};
+use sst_core::telemetry::{stage, Telemetry, TraceEvent};
 
 use crate::model::Solution;
 use crate::protocol::{
@@ -128,6 +129,16 @@ enum RecordRef<'a> {
     Create { sid: u64, instance: &'a crate::solver::ProblemInstance },
     Delta { sid: u64, deltas: &'a [InstanceDelta] },
     Close { sid: u64 },
+}
+
+impl RecordRef<'_> {
+    fn sid(&self) -> u64 {
+        match self {
+            RecordRef::Create { sid, .. }
+            | RecordRef::Delta { sid, .. }
+            | RecordRef::Close { sid } => *sid,
+        }
+    }
 }
 
 /// FNV-1a 64 — the journal line checksum. Not cryptographic; it detects
@@ -412,6 +423,7 @@ pub struct DurableStore {
     journal_bytes: AtomicU64,
     snapshots: AtomicU64,
     recovered: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl DurableStore {
@@ -434,6 +446,7 @@ impl DurableStore {
             journal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -442,6 +455,14 @@ impl DurableStore {
     pub fn with_snapshot_every(mut self, every: u64) -> DurableStore {
         self.snapshot_every = every.max(1);
         self
+    }
+
+    /// Installs the serving process's telemetry: journal appends (with the
+    /// fsync portion timed separately), snapshot writes, and recovery then
+    /// feed the `stage.journal_*`/`stage.snapshot_us` histograms and emit
+    /// trace events.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The periodic-snapshot threshold.
@@ -459,11 +480,17 @@ impl DurableStore {
     }
 
     fn append(&self, rec: RecordRef<'_>) -> std::io::Result<u64> {
+        let sid = rec.sid();
+        let t0 = std::time::Instant::now();
         let mut j = self.journal.lock();
         let seq = j.seq + 1;
         let payload = record_payload(seq, &rec);
         let line = format!("{:016x} {payload}\n", fnv1a64(payload.as_bytes()));
         j.file.write_all(line.as_bytes())?;
+        // Time the push-to-storage portion separately from encode+write:
+        // under `fsync` it dominates, and the gap between the two
+        // histograms is exactly the price of the durability level.
+        let sync_t0 = std::time::Instant::now();
         match self.durability {
             Durability::None => {}
             Durability::Flush => j.file.flush()?,
@@ -475,8 +502,22 @@ impl DurableStore {
         // The sequence number advances only once the record is written:
         // a failed append is not acknowledged and must not leave a gap.
         j.seq = seq;
+        drop(j);
+        let fsync = self.durability == Durability::Fsync;
+        let sync_us = sync_t0.elapsed().as_micros() as u64;
+        let micros = t0.elapsed().as_micros() as u64;
         self.journal_appends.fetch_add(1, Ordering::Relaxed);
         self.journal_bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
+        self.telemetry.record(stage::JOURNAL_APPEND_US, micros);
+        if fsync {
+            self.telemetry.record(stage::JOURNAL_FSYNC_US, sync_us);
+        }
+        self.telemetry.emit(TraceEvent::JournalAppend {
+            sid,
+            bytes: line.len() as u64,
+            micros,
+            fsync,
+        });
         Ok(seq)
     }
 
@@ -502,6 +543,7 @@ impl DurableStore {
 
     /// Writes session `sid`'s snapshot atomically (temp file + rename).
     pub fn write_snapshot(&self, sid: u64, seq: u64, entry: &SessionEntry) -> std::io::Result<()> {
+        let t0 = std::time::Instant::now();
         let text = encode_snapshot(sid, seq, entry);
         let tmp = self.sessions_dir.join(format!("{sid}.snap.tmp"));
         {
@@ -513,6 +555,9 @@ impl DurableStore {
         }
         fs::rename(&tmp, self.snapshot_path(sid))?;
         self.snapshots.fetch_add(1, Ordering::Relaxed);
+        let micros = t0.elapsed().as_micros() as u64;
+        self.telemetry.record(stage::SNAPSHOT_US, micros);
+        self.telemetry.emit(TraceEvent::Snapshot { sid, micros });
         Ok(())
     }
 

@@ -40,7 +40,11 @@
 //!    (shared injector queue, per-worker deques, idle stealing,
 //!    backpressure and dead-worker error paths) serving it over stdin or
 //!    TCP with running throughput/latency percentile metrics
-//!    ([`sst_core::stats::LatencyHistogram`]).
+//!    ([`sst_core::stats::LatencyHistogram`]) and end-to-end telemetry
+//!    ([`sst_core::telemetry`]): a unified metrics registry (per-stage
+//!    latency histograms, per-solver standings) plus a ring-buffered
+//!    NDJSON trace-event sink threading each request id through
+//!    enqueue → dequeue → race → respond.
 //!
 //! The `sst serve` CLI command is a thin shell around [`service`].
 
@@ -63,8 +67,8 @@ pub use features::{extract_features, Features, ModelKind};
 pub use model::{EvalError, ModelOps, Repaired, Solution, SplittableInstance};
 pub use pool::{Pool, PoolConfig, PoolMode};
 pub use race::{
-    race, race_adaptive, race_with_floor, Incumbent, RaceConfig, RaceResult, SolverReport,
-    WARM_INCUMBENT,
+    race, race_adaptive, race_observed, race_with_floor, Incumbent, RaceConfig, RaceObserver,
+    RaceResult, SolverReport, WARM_INCUMBENT,
 };
 pub use select::{select, select_adaptive, select_portfolio, Portfolio, WinRateTracker, WinStats};
 pub use session::{SessionEntry, SessionStats, SessionStore};

@@ -188,6 +188,42 @@ pub struct StandingLine {
     pub score_x1000: u64,
 }
 
+/// One per-stage latency row of the metrics summary: a named stage of the
+/// request path (queue wait, race, journal append, …) with the percentile
+/// image of its registry histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageLine {
+    /// Stage name without the `stage.` prefix (e.g. `queue_wait_us`).
+    pub stage: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median (µs, log₂-bucket interpolated).
+    pub p50_us: u64,
+    /// 90th percentile (µs).
+    pub p90_us: u64,
+    /// 99th percentile (µs).
+    pub p99_us: u64,
+    /// Largest sample (µs, exact).
+    pub max_us: u64,
+}
+
+/// One per-solver observability row of the metrics summary: incumbent
+/// improvements, race wins, and the time-to-first-incumbent percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolverLatencyLine {
+    /// Solver name (includes the virtual `greedy-baseline` and
+    /// `warm-incumbent` members).
+    pub solver: String,
+    /// Incumbent improvements the solver produced across races.
+    pub improvements: u64,
+    /// Races whose final incumbent it produced.
+    pub wins: u64,
+    /// Median time-to-first-incumbent within a race (µs).
+    pub first_p50_us: u64,
+    /// 99th-percentile time-to-first-incumbent (µs).
+    pub first_p99_us: u64,
+}
+
 /// Running service metrics (all integers so the codec stays exact).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSummary {
@@ -212,6 +248,14 @@ pub struct MetricsSummary {
     /// Win-rate tracker standings, most-raced first (capped by the
     /// service).
     pub standings: Vec<StandingLine>,
+    /// Per-stage latency histograms of the request path, name-sorted.
+    pub stages: Vec<StageLine>,
+    /// Per-solver improvement/win counters and time-to-first-incumbent
+    /// percentiles, name-sorted.
+    pub solver_latency: Vec<SolverLatencyLine>,
+    /// Trace events dropped by the ring-buffered sink (0 when tracing is
+    /// off or keeping up).
+    pub trace_dropped: u64,
 }
 
 /// A response line.
@@ -656,7 +700,41 @@ pub fn response_to_json(resp: &Response) -> String {
                     s.score_x1000
                 );
             }
-            out.push_str("]}");
+            out.push(']');
+            out.push_str(", \"stages\": [");
+            for (i, st) in m.stages.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"stage\": \"{}\", \"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                    escape_json(&st.stage),
+                    st.count,
+                    st.p50_us,
+                    st.p90_us,
+                    st.p99_us,
+                    st.max_us
+                );
+            }
+            out.push(']');
+            out.push_str(", \"solver_latency\": [");
+            for (i, sl) in m.solver_latency.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"solver\": \"{}\", \"improvements\": {}, \"wins\": {}, \"first_p50_us\": {}, \"first_p99_us\": {}}}",
+                    escape_json(&sl.solver),
+                    sl.improvements,
+                    sl.wins,
+                    sl.first_p50_us,
+                    sl.first_p99_us
+                );
+            }
+            out.push(']');
+            let _ = write!(out, ", \"trace_dropped\": {}}}", m.trace_dropped);
         }
     }
     out
@@ -797,6 +875,47 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
                     });
                 }
             }
+            // Observability fields: absent on lines from pre-telemetry
+            // servers, so default rather than error.
+            let mut stages = Vec::new();
+            if let Some(JsonValue::Array(items)) = map.get("stages") {
+                for item in items {
+                    let JsonValue::Object(s) = item else {
+                        return Err(IoError::Json("stages[] must be objects".into()));
+                    };
+                    let stage = match s.get("stage") {
+                        Some(JsonValue::Str(v)) => v.clone(),
+                        _ => return Err(IoError::Json("stages[].stage missing".into())),
+                    };
+                    stages.push(StageLine {
+                        stage,
+                        count: opt_uint(s, "count")?.unwrap_or(0),
+                        p50_us: opt_uint(s, "p50_us")?.unwrap_or(0),
+                        p90_us: opt_uint(s, "p90_us")?.unwrap_or(0),
+                        p99_us: opt_uint(s, "p99_us")?.unwrap_or(0),
+                        max_us: opt_uint(s, "max_us")?.unwrap_or(0),
+                    });
+                }
+            }
+            let mut solver_latency = Vec::new();
+            if let Some(JsonValue::Array(items)) = map.get("solver_latency") {
+                for item in items {
+                    let JsonValue::Object(s) = item else {
+                        return Err(IoError::Json("solver_latency[] must be objects".into()));
+                    };
+                    let solver = match s.get("solver") {
+                        Some(JsonValue::Str(v)) => v.clone(),
+                        _ => return Err(IoError::Json("solver_latency[].solver missing".into())),
+                    };
+                    solver_latency.push(SolverLatencyLine {
+                        solver,
+                        improvements: opt_uint(s, "improvements")?.unwrap_or(0),
+                        wins: opt_uint(s, "wins")?.unwrap_or(0),
+                        first_p50_us: opt_uint(s, "first_p50_us")?.unwrap_or(0),
+                        first_p99_us: opt_uint(s, "first_p99_us")?.unwrap_or(0),
+                    });
+                }
+            }
             Ok(Response::Metrics(MetricsSummary {
                 count: g("count")?,
                 errors: g("errors")?,
@@ -808,6 +927,9 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
                 mean_us: g("mean_us")?,
                 sessions,
                 standings,
+                stages,
+                solver_latency,
+                trace_dropped: opt_uint(map, "trace_dropped")?.unwrap_or(0),
             }))
         }
         other => Err(IoError::Format(format!("unknown status '{other}'"))),
@@ -984,8 +1106,43 @@ mod tests {
                 wins: 7,
                 score_x1000: 633,
             }],
+            stages: vec![
+                StageLine {
+                    stage: "queue_wait_us".into(),
+                    count: 11,
+                    p50_us: 40,
+                    p90_us: 90,
+                    p99_us: 200,
+                    max_us: 250,
+                },
+                StageLine {
+                    stage: "race_us".into(),
+                    count: 10,
+                    p50_us: 900,
+                    p90_us: 1800,
+                    p99_us: 2500,
+                    max_us: 2600,
+                },
+            ],
+            solver_latency: vec![SolverLatencyLine {
+                solver: "local-search".into(),
+                improvements: 6,
+                wins: 4,
+                first_p50_us: 300,
+                first_p99_us: 1200,
+            }],
+            trace_dropped: 2,
         });
         assert_eq!(parse_response(&response_to_json(&m)).unwrap(), m);
+        // Forward compat: a pre-telemetry metrics line (no stages /
+        // solver_latency / trace_dropped) still parses, defaulting empty.
+        let legacy = "{\"status\": \"metrics\", \"count\": 1, \"errors\": 0, \
+                      \"uptime_ms\": 10, \"rps_x1000\": 0, \"p50_us\": 1, \"p90_us\": 1, \
+                      \"p99_us\": 1, \"mean_us\": 1}";
+        let Response::Metrics(parsed) = parse_response(legacy).unwrap() else { panic!() };
+        assert!(parsed.stages.is_empty());
+        assert!(parsed.solver_latency.is_empty());
+        assert_eq!(parsed.trace_dropped, 0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sst_core::cancel::CancelToken;
+use sst_core::telemetry::{self, stage, Telemetry, TraceEvent};
 
 use crate::features::extract_features;
 use crate::model::Solution;
@@ -138,6 +139,44 @@ pub struct RaceResult {
 /// raced member improves on it.
 pub const WARM_INCUMBENT: &str = "warm-incumbent";
 
+/// Telemetry context of one observed race ([`race_observed`]): the serving
+/// process's telemetry handle plus the request id stamped on every event.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceObserver<'a> {
+    /// Metrics registry and trace sink of the serving process.
+    pub telemetry: &'a Telemetry,
+    /// Request id carried by every trace event of this race, linking the
+    /// race span to its enqueue/dequeue/respond events.
+    pub id: u64,
+}
+
+impl RaceObserver<'_> {
+    /// Records an improving incumbent offer: an `incumbent` trace event,
+    /// the per-solver improvement counter, and — the first time `solver`
+    /// improves the incumbent in this race — its time-to-first-incumbent.
+    fn note_incumbent(
+        &self,
+        t0: Instant,
+        first: &Mutex<Vec<&'static str>>,
+        solver: &'static str,
+        cost: Cost,
+    ) {
+        let at_us = t0.elapsed().as_micros() as u64;
+        self.telemetry.emit(TraceEvent::Incumbent {
+            id: self.id,
+            solver: solver.to_string(),
+            at_us,
+            makespan: cost.to_f64(),
+        });
+        self.telemetry.incr(&telemetry::solver_improvements(solver));
+        let mut seen = first.lock();
+        if !seen.contains(&solver) {
+            seen.push(solver);
+            self.telemetry.record(&telemetry::solver_first_incumbent(solver), at_us);
+        }
+    }
+}
+
 /// Races the top-k selected solvers on `inst` under `cfg.budget`.
 pub fn race(inst: &ProblemInstance, cfg: &RaceConfig) -> RaceResult {
     race_with_floor(inst, cfg, None, None)
@@ -174,6 +213,27 @@ pub fn race_with_floor(
     tracker: Option<&WinRateTracker>,
     floor: Option<(Solution, Cost)>,
 ) -> RaceResult {
+    race_observed(inst, cfg, tracker, floor, None)
+}
+
+/// [`race_with_floor`] with trace/metrics instrumentation: when `obs` is
+/// set, the race emits a `race_start` event, per-member
+/// `solver_start`/`solver_end` spans (outcome `completed`, `cancelled`, or
+/// `declined`), an `incumbent` event for every improving offer (including
+/// the floor and baseline pre-publishes), and a `cancel` event carrying
+/// the cancellation latency — how far past the shared deadline a cut-off
+/// member kept running — of every member that did not finish naturally.
+/// The registry side records per-solver improvement counts,
+/// time-to-first-incumbent histograms, win counters, and the
+/// [`stage::CANCEL_US`] histogram. With `None` this is exactly
+/// [`race_with_floor`] — the observer sits entirely off the solve path.
+pub fn race_observed(
+    inst: &ProblemInstance,
+    cfg: &RaceConfig,
+    tracker: Option<&WinRateTracker>,
+    floor: Option<(Solution, Cost)>,
+    obs: Option<RaceObserver<'_>>,
+) -> RaceResult {
     let t0 = Instant::now();
     let feat = extract_features(inst);
     let portfolio = select_portfolio(&feat, tracker);
@@ -182,14 +242,29 @@ pub fn race_with_floor(
     // at least one member always races.
     let k = cfg.top_k.clamp(1, portfolio.ranked.len()).min(portfolio.active);
     let members = &portfolio.ranked[..k];
+    if let Some(o) = &obs {
+        o.telemetry.emit(TraceEvent::RaceStart { id: o.id, members: k as u64 });
+    }
+    // Which solvers already improved the incumbent in this race, for the
+    // time-to-first-incumbent histograms. Untouched when unobserved.
+    let first_incumbent: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
     let incumbent = Incumbent::new();
     // The session floor (when re-solving) and the quality floor, both
     // published before any member starts.
     if let Some((solution, cost)) = floor {
-        incumbent.offer(WARM_INCUMBENT, solution, cost);
+        if incumbent.offer(WARM_INCUMBENT, solution, cost) {
+            if let Some(o) = &obs {
+                o.note_incumbent(t0, &first_incumbent, WARM_INCUMBENT, cost);
+            }
+        }
     }
     let baseline = inst.greedy();
-    incumbent.offer("greedy-baseline", baseline.solution, baseline.cost);
+    let baseline_cost = baseline.cost;
+    if incumbent.offer("greedy-baseline", baseline.solution, baseline_cost) {
+        if let Some(o) = &obs {
+            o.note_incumbent(t0, &first_incumbent, "greedy-baseline", baseline_cost);
+        }
+    }
     let cancel = CancelToken::with_deadline(cfg.budget);
     let reports: Mutex<Vec<(usize, SolverReport)>> = Mutex::new(Vec::with_capacity(k));
     std::thread::scope(|scope| {
@@ -197,8 +272,13 @@ pub fn race_with_floor(
             let incumbent = &incumbent;
             let cancel = &cancel;
             let reports = &reports;
+            let first_incumbent = &first_incumbent;
             let seed = cfg.seed.wrapping_add(slot as u64);
             scope.spawn(move || {
+                if let Some(o) = &obs {
+                    o.telemetry
+                        .emit(TraceEvent::SolverStart { id: o.id, solver: solver.name().into() });
+                }
                 let ctx = SolveContext { cancel, seed, incumbent };
                 let started = Instant::now();
                 let outcome = solver.solve(inst, &ctx);
@@ -206,7 +286,11 @@ pub fn race_with_floor(
                 let report = match outcome {
                     Some(out) => {
                         let cost = out.cost;
-                        incumbent.offer(solver.name(), out.solution, cost);
+                        if incumbent.offer(solver.name(), out.solution, cost) {
+                            if let Some(o) = &obs {
+                                o.note_incumbent(t0, first_incumbent, solver.name(), cost);
+                            }
+                        }
                         SolverReport {
                             name: solver.name(),
                             cost: Some(cost),
@@ -218,6 +302,31 @@ pub fn race_with_floor(
                         SolverReport { name: solver.name(), cost: None, micros, completed: false }
                     }
                 };
+                if let Some(o) = &obs {
+                    let outcome = match (&report.cost, report.completed) {
+                        (_, true) => "completed",
+                        (Some(_), false) => "cancelled",
+                        (None, false) => "declined",
+                    };
+                    o.telemetry.emit(TraceEvent::SolverEnd {
+                        id: o.id,
+                        solver: report.name.into(),
+                        outcome: outcome.into(),
+                        micros,
+                        makespan: report.cost.map(|c| c.to_f64()),
+                    });
+                    if !report.completed {
+                        // Cancellation latency: how long the member overran
+                        // the shared deadline before honouring the token.
+                        let overrun = micros.saturating_sub(cfg.budget.as_micros() as u64);
+                        o.telemetry.emit(TraceEvent::CancelLatency {
+                            id: o.id,
+                            solver: report.name.into(),
+                            micros: overrun,
+                        });
+                        o.telemetry.record(stage::CANCEL_US, overrun);
+                    }
+                }
                 reports.lock().push((slot, report));
             });
         }
@@ -225,6 +334,9 @@ pub fn race_with_floor(
     let mut ordered = reports.into_inner();
     ordered.sort_by_key(|&(slot, _)| slot);
     let (solution, cost, winner) = incumbent.into_best().expect("baseline guarantees an incumbent");
+    if let Some(o) = &obs {
+        o.telemetry.incr(&telemetry::solver_wins(winner));
+    }
     if let Some(tracker) = tracker {
         let family = WinRateTracker::family_key(&feat);
         let raced: Vec<&'static str> = members.iter().map(|s| s.name()).collect();
@@ -468,6 +580,65 @@ mod tests {
             Some((bad.solution, worse_cost)),
         );
         assert!(!bad.cost.better_than(&res.cost), "bad floors must not cap quality");
+    }
+
+    #[test]
+    fn observed_race_emits_a_full_span_with_matching_ids() {
+        use sst_core::telemetry::{Telemetry, TraceSink};
+        let (sink, buf) = TraceSink::to_shared_buffer();
+        let tel = Telemetry::new(Some(sink));
+        let inst = ProblemInstance::Uniform(
+            UniformInstance::identical(
+                3,
+                vec![5, 2],
+                (0..12).map(|i| Job::new((i % 2) as usize, 1 + (i * 3) % 9)).collect(),
+            )
+            .unwrap(),
+        );
+        let obs = RaceObserver { telemetry: &tel, id: 42 };
+        let res = race_observed(&inst, &RaceConfig::default(), None, None, Some(obs));
+        tel.close_trace();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let count = |kind: &str| {
+            text.lines().filter(|l| l.contains(&format!("\"event\": \"{kind}\""))).count()
+        };
+        assert_eq!(count("race_start"), 1);
+        assert_eq!(
+            count("solver_start"),
+            res.reports.len(),
+            "one solver_start per raced member:\n{text}"
+        );
+        assert_eq!(count("solver_end"), res.reports.len());
+        assert!(count("incumbent") >= 1, "the baseline publish is an incumbent event");
+        assert!(
+            text.lines().filter(|l| !l.contains("sink_close")).all(|l| l.contains("\"id\": 42")),
+            "every race event carries the request id:\n{text}"
+        );
+        // Registry side: the winner's win counter and the baseline's
+        // improvement counter moved.
+        let snap = tel.registry().snapshot();
+        assert_eq!(snap.counter(&sst_core::telemetry::solver_wins(res.winner)), 1);
+        assert!(
+            snap.counter(&sst_core::telemetry::solver_improvements("greedy-baseline")) >= 1
+                || res.winner != "greedy-baseline"
+        );
+    }
+
+    #[test]
+    fn unobserved_race_is_exactly_race_with_floor() {
+        let inst = ProblemInstance::Unrelated(
+            UnrelatedInstance::new(
+                2,
+                vec![0, 1, 0],
+                vec![vec![4, 2], vec![3, 3], vec![1, 5]],
+                vec![vec![1, 2], vec![2, 1]],
+            )
+            .unwrap(),
+        );
+        let cfg = RaceConfig { top_k: 4, ..Default::default() };
+        let a = race_with_floor(&inst, &cfg, None, None);
+        let b = race_observed(&inst, &cfg, None, None, None);
+        assert_eq!(a.cost, b.cost, "deterministic optimum either way");
     }
 
     #[test]

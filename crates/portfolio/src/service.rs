@@ -62,16 +62,26 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sst_core::stats::LatencyHistogram;
+use sst_core::telemetry::{stage, RegistrySnapshot, Telemetry, TraceEvent, TraceSink};
 
 use crate::durable::{Durability, DurableStore};
 use crate::pool::{Directive, Pool, PoolConfig, PoolMode, RejectReason, Rejected};
 use crate::protocol::{
     parse_incoming, response_to_json, Incoming, MetricsSummary, Response, SessionRequest,
-    SessionVerb, SolverLine, StandingLine,
+    SessionVerb, SolverLatencyLine, SolverLine, StageLine, StandingLine,
 };
-use crate::race::{race_adaptive, race_with_floor, RaceConfig, RaceResult, WARM_INCUMBENT};
+use crate::race::{race_observed, RaceConfig, RaceObserver, RaceResult, WARM_INCUMBENT};
 use crate::select::WinRateTracker;
 use crate::session::{SessionEntry, SessionStore};
+
+/// Registry counter: requests answered OK.
+const REQUESTS_OK: &str = "requests.ok";
+/// Registry counter: requests answered with an error line.
+const REQUESTS_ERROR: &str = "requests.error";
+/// Registry gauge: accepted-but-unstarted requests in the stealing pool.
+const POOL_QUEUED: &str = "pool.queued";
+/// Registry gauge: pool workers still alive.
+const POOL_WORKERS_ALIVE: &str = "pool.workers_alive";
 
 /// Service configuration (CLI flags of `sst serve`).
 #[derive(Debug, Clone)]
@@ -107,6 +117,15 @@ pub struct ServeConfig {
     /// Ordered session lanes (keyed by session-id hash): per-session verb
     /// order is preserved, distinct sessions run in parallel.
     pub session_lanes: usize,
+    /// Structured trace-event sink (`--trace-out`): every request's span
+    /// chain (enqueue → dequeue → race → respond), incumbent improvements,
+    /// and durability events stream to it as NDJSON. `None` disables
+    /// tracing; the metrics registry runs either way.
+    pub trace: Option<TraceSink>,
+    /// Periodic self-report interval (`--metrics-interval`, milliseconds):
+    /// every interval one metrics summary line is printed to stderr. `0`
+    /// disables the reporter.
+    pub metrics_interval_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +142,8 @@ impl Default for ServeConfig {
             data_dir: None,
             durability: Durability::default(),
             session_lanes: 4,
+            trace: None,
+            metrics_interval_ms: 0,
         }
     }
 }
@@ -173,34 +194,105 @@ pub mod testing {
 struct Job {
     line: String,
     out: SharedWriter,
+    /// Dispatch time: queue-wait (dequeue − enqueue) and total
+    /// (enqueue → respond) latencies are measured from here.
+    enqueued: Instant,
 }
 
-struct MetricsState {
-    hist: LatencyHistogram,
-    ok: u64,
-    errors: u64,
+/// The service's observability state: the unified telemetry registry (all
+/// counters/gauges/histograms live there, lock-cheap and shared by every
+/// worker) plus the start instant for uptime/throughput.
+struct Metrics {
+    telemetry: Telemetry,
     started: Instant,
 }
 
-impl MetricsState {
+/// The per-stage latency rows of a metrics summary: every `stage.*`
+/// histogram of the registry, prefix-stripped and name-sorted.
+fn stage_lines(snap: &RegistrySnapshot) -> Vec<StageLine> {
+    snap.histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let stage = name.strip_prefix("stage.")?;
+            Some(StageLine {
+                stage: stage.to_string(),
+                count: h.count(),
+                p50_us: h.percentile(0.50),
+                p90_us: h.percentile(0.90),
+                p99_us: h.percentile(0.99),
+                max_us: h.max(),
+            })
+        })
+        .collect()
+}
+
+/// The per-solver rows of a metrics summary, joined across the
+/// `solver.<name>.{improvements,wins,first_incumbent_us}` registry
+/// entries.
+fn solver_latency_lines(snap: &RegistrySnapshot) -> Vec<SolverLatencyLine> {
+    let mut by: std::collections::BTreeMap<String, SolverLatencyLine> =
+        std::collections::BTreeMap::new();
+    let row = |by: &mut std::collections::BTreeMap<String, SolverLatencyLine>, solver: &str| {
+        by.entry(solver.to_string()).or_insert_with(|| SolverLatencyLine {
+            solver: solver.to_string(),
+            ..SolverLatencyLine::default()
+        });
+    };
+    for (name, value) in &snap.counters {
+        let Some(rest) = name.strip_prefix("solver.") else { continue };
+        if let Some(solver) = rest.strip_suffix(".improvements") {
+            row(&mut by, solver);
+            by.get_mut(solver).expect("just inserted").improvements = *value;
+        } else if let Some(solver) = rest.strip_suffix(".wins") {
+            row(&mut by, solver);
+            by.get_mut(solver).expect("just inserted").wins = *value;
+        }
+    }
+    for (name, h) in &snap.histograms {
+        let Some(rest) = name.strip_prefix("solver.") else { continue };
+        let Some(solver) = rest.strip_suffix(".first_incumbent_us") else { continue };
+        row(&mut by, solver);
+        let line = by.get_mut(solver).expect("just inserted");
+        line.first_p50_us = h.percentile(0.50);
+        line.first_p99_us = h.percentile(0.99);
+    }
+    by.into_values().collect()
+}
+
+impl Metrics {
+    fn new(telemetry: Telemetry) -> Metrics {
+        Metrics { telemetry, started: Instant::now() }
+    }
+
     fn summary(&self) -> MetricsSummary {
+        let snap = self.telemetry.registry().snapshot();
+        let ok = snap.counter(REQUESTS_OK);
+        let errors = snap.counter(REQUESTS_ERROR);
         let uptime = self.started.elapsed();
         let uptime_ms = uptime.as_millis() as u64;
-        let served = self.ok + self.errors;
+        let served = ok + errors;
         let rps_x1000 = if uptime.as_secs_f64() > 0.0 {
             (served as f64 / uptime.as_secs_f64() * 1000.0) as u64
         } else {
             0
         };
+        // The legacy top-level percentiles keep their historical meaning:
+        // handler work time (race or repair), now the `stage.race_us`
+        // histogram. Queue-wait and enqueue→respond totals are separate
+        // stage rows.
+        let race = snap.histogram(stage::RACE_US).cloned().unwrap_or_else(LatencyHistogram::new);
         MetricsSummary {
-            count: self.ok,
-            errors: self.errors,
+            count: ok,
+            errors,
             uptime_ms,
             rps_x1000,
-            p50_us: self.hist.percentile(0.50),
-            p90_us: self.hist.percentile(0.90),
-            p99_us: self.hist.percentile(0.99),
-            mean_us: self.hist.mean().round() as u64,
+            p50_us: race.percentile(0.50),
+            p90_us: race.percentile(0.90),
+            p99_us: race.percentile(0.99),
+            mean_us: race.mean().round() as u64,
+            stages: stage_lines(&snap),
+            solver_latency: solver_latency_lines(&snap),
+            trace_dropped: self.telemetry.trace_dropped(),
             // Session stats and standings are composed by `full_summary`.
             ..MetricsSummary::default()
         }
@@ -223,9 +315,12 @@ pub struct Service {
     /// pool.
     session_lanes: Vec<std::sync::mpsc::SyncSender<Job>>,
     lane_handles: Vec<std::thread::JoinHandle<()>>,
-    metrics: Arc<Mutex<MetricsState>>,
+    metrics: Arc<Metrics>,
     tracker: Arc<WinRateTracker>,
     sessions: Arc<SessionStore>,
+    /// The periodic stderr self-reporter (`--metrics-interval`): the
+    /// sender stops it, the handle joins it at shutdown.
+    reporter: Option<(std::sync::mpsc::Sender<()>, std::thread::JoinHandle<()>)>,
 }
 
 /// Standings rows included in a metrics response (the tracker can hold
@@ -236,11 +331,11 @@ const METRICS_STANDINGS_CAP: usize = 16;
 /// The full metrics summary: latency/throughput counters plus session
 /// stats and the win-rate standings.
 fn full_summary(
-    metrics: &Mutex<MetricsState>,
+    metrics: &Metrics,
     sessions: &SessionStore,
     tracker: &WinRateTracker,
 ) -> MetricsSummary {
-    let mut summary = metrics.lock().summary();
+    let mut summary = metrics.summary();
     summary.sessions = sessions.stats();
     summary.standings = tracker
         .standings()
@@ -270,11 +365,14 @@ fn write_line(out: &SharedWriter, line: &str) {
     let _ = w.flush();
 }
 
-/// Writes an error response (echoing the id when the line carried one) and
-/// counts it.
-fn write_error(metrics: &Mutex<MetricsState>, job: &Job, message: String) {
-    metrics.lock().errors += 1;
+/// Writes an error response (echoing the id when the line carried one),
+/// counts it, and closes the request's trace span with a failed `respond`
+/// event.
+fn write_error(metrics: &Metrics, job: &Job, message: String) {
+    metrics.telemetry.incr(REQUESTS_ERROR);
     let id = crate::protocol::extract_request_id(job.line.trim());
+    let total_us = job.enqueued.elapsed().as_micros() as u64;
+    metrics.telemetry.emit(TraceEvent::Respond { id: id.unwrap_or(0), ok: false, total_us });
     write_line(&job.out, &response_to_json(&Response::Error { id, message }));
 }
 
@@ -300,11 +398,19 @@ fn ok_response(id: u64, kind: &str, micros: u64, result: RaceResult) -> Response
     }
 }
 
-/// Counts a served response and records its latency.
-fn record_ok(metrics: &Mutex<MetricsState>, micros: u64) {
-    let mut m = metrics.lock();
-    m.hist.record(micros);
-    m.ok += 1;
+/// Counts a served response and records its latencies: the handler work
+/// time (race or repair) feeds `stage.race_us` — the histogram behind the
+/// legacy top-level percentiles — while the full enqueue→respond time
+/// feeds `stage.total_us`; a `respond` event closes the request's span.
+/// Verbs with no handler work time (create/close acks) pass `None`.
+fn record_ok(metrics: &Metrics, job: &Job, id: u64, race_micros: Option<u64>) {
+    let total_us = job.enqueued.elapsed().as_micros() as u64;
+    metrics.telemetry.incr(REQUESTS_OK);
+    if let Some(micros) = race_micros {
+        metrics.telemetry.record(stage::RACE_US, micros);
+    }
+    metrics.telemetry.record(stage::TOTAL_US, total_us);
+    metrics.telemetry.emit(TraceEvent::Respond { id, ok: true, total_us });
 }
 
 /// The session verbs (see [`crate::protocol::SessionRequest`]): create
@@ -321,7 +427,7 @@ fn record_ok(metrics: &Mutex<MetricsState>, micros: u64) {
 /// (re-derivable from the instance), so it is not journaled.
 fn handle_session(
     cfg: &ServeConfig,
-    metrics: &Mutex<MetricsState>,
+    metrics: &Metrics,
     tracker: &WinRateTracker,
     sessions: &SessionStore,
     job: &Job,
@@ -351,7 +457,7 @@ fn handle_session(
             let cost = entry.cost;
             let (live, _displaced) = sessions.create(sid, entry, seq);
             sessions.maybe_snapshot(sid);
-            metrics.lock().ok += 1;
+            record_ok(metrics, job, id, None);
             let resp = Response::Session {
                 id,
                 sid,
@@ -414,7 +520,7 @@ fn handle_session(
                         seq,
                     );
                     sessions.maybe_snapshot(sid);
-                    record_ok(metrics, micros);
+                    record_ok(metrics, job, id, Some(micros));
                     write_line(&job.out, &response_to_json(&resp));
                 }
             }
@@ -430,7 +536,8 @@ fn handle_session(
                 seed: seed.unwrap_or(cfg.seed),
             };
             let floor = Some((entry.incumbent.clone(), entry.cost));
-            let result = race_with_floor(&entry.instance, &race_cfg, Some(tracker), floor);
+            let obs = RaceObserver { telemetry: &metrics.telemetry, id };
+            let result = race_observed(&entry.instance, &race_cfg, Some(tracker), floor, Some(obs));
             sessions.record_warm(result.winner == WARM_INCUMBENT);
             let micros = t0.elapsed().as_micros() as u64;
             // The race never returns worse than its floor, so the result
@@ -448,7 +555,7 @@ fn handle_session(
             // crash recovers the last durable state and re-clamps to the
             // greedy floor.
             sessions.update_incumbent(sid, updated);
-            record_ok(metrics, micros);
+            record_ok(metrics, job, id, Some(micros));
             write_line(&job.out, &response_to_json(&resp));
         }
         SessionVerb::Close { sid } => {
@@ -462,7 +569,7 @@ fn handle_session(
                         return;
                     }
                 }
-                metrics.lock().ok += 1;
+                record_ok(metrics, job, id, None);
                 let live = sessions.live() as u64;
                 let resp =
                     Response::Session { id, sid, verb: "close".into(), live, makespan: None };
@@ -476,14 +583,22 @@ fn handle_session(
 
 fn handle_job(
     cfg: &ServeConfig,
-    metrics: &Mutex<MetricsState>,
+    metrics: &Metrics,
     tracker: &WinRateTracker,
     sessions: &SessionStore,
     job: &Job,
+    worker: u64,
 ) -> Directive {
     let line = job.line.trim();
     if line.is_empty() {
         return Directive::Continue;
+    }
+    // The job just left the queue: queue-wait is a first-class stage.
+    let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+    metrics.telemetry.record(stage::QUEUE_WAIT_US, queue_wait_us);
+    if metrics.telemetry.trace().is_some() {
+        let id = crate::protocol::extract_request_id(line).unwrap_or(0);
+        metrics.telemetry.emit(TraceEvent::Dequeue { id, worker, queue_wait_us });
     }
     match parse_incoming(line) {
         Ok(Incoming::Metrics) => {
@@ -515,10 +630,11 @@ fn handle_job(
                 budget: Duration::from_millis(req.budget_ms.unwrap_or(cfg.budget_ms)),
                 seed: req.seed.unwrap_or(cfg.seed),
             };
-            let result = race_adaptive(&req.instance, &race_cfg, Some(tracker));
+            let obs = RaceObserver { telemetry: &metrics.telemetry, id: req.id };
+            let result = race_observed(&req.instance, &race_cfg, Some(tracker), None, Some(obs));
             let micros = t0.elapsed().as_micros() as u64;
             let resp = ok_response(req.id, req.instance.kind(), micros, result);
-            record_ok(metrics, micros);
+            record_ok(metrics, job, req.id, Some(micros));
             write_line(&job.out, &response_to_json(&resp));
         }
         Err(e) => write_error(metrics, job, e.to_string()),
@@ -540,18 +656,18 @@ impl Service {
     /// journal replay) before accepting traffic, logging one summary line
     /// to stderr.
     pub fn try_start(cfg: ServeConfig) -> std::io::Result<Service> {
-        let metrics = Arc::new(Mutex::new(MetricsState {
-            hist: LatencyHistogram::new(),
-            ok: 0,
-            errors: 0,
-            started: Instant::now(),
-        }));
+        let telemetry = Telemetry::new(cfg.trace.clone());
+        let metrics = Arc::new(Metrics::new(telemetry.clone()));
         let tracker = Arc::new(WinRateTracker::new());
         let sessions = match &cfg.data_dir {
             Some(root) => {
-                let store = Arc::new(DurableStore::open(root, cfg.durability)?);
-                let sessions =
-                    Arc::new(SessionStore::durable(cfg.max_sessions, Arc::clone(&store)));
+                let mut store = DurableStore::open(root, cfg.durability)?;
+                store.set_telemetry(telemetry.clone());
+                let store = Arc::new(store);
+                let mut sessions = SessionStore::durable(cfg.max_sessions, Arc::clone(&store));
+                sessions.set_telemetry(telemetry.clone());
+                let sessions = Arc::new(sessions);
+                let rec_t0 = Instant::now();
                 let recovery = store.recover()?;
                 let recovered = recovery.sessions.len();
                 for (sid, seq, entry) in recovery.sessions {
@@ -559,6 +675,15 @@ impl Service {
                     // the store's own LRU path — nothing is lost.
                     sessions.create(sid, entry, seq);
                 }
+                let micros = rec_t0.elapsed().as_micros() as u64;
+                telemetry.record(stage::RECOVERY_US, micros);
+                telemetry.emit(TraceEvent::Recovery {
+                    sessions: recovered as u64,
+                    snapshots_loaded: recovery.snapshots_loaded,
+                    replayed: recovery.replayed,
+                    dropped_bytes: recovery.dropped.as_ref().map(|t| t.dropped_bytes).unwrap_or(0),
+                    micros,
+                });
                 if recovered > 0 || recovery.dropped.is_some() || recovery.snapshot_errors > 0 {
                     let tail = match &recovery.dropped {
                         Some(t) => {
@@ -567,7 +692,7 @@ impl Service {
                         None => String::new(),
                     };
                     eprintln!(
-                        "sst-serve: recovered {recovered} sessions \
+                        "sst-serve: recovered {recovered} sessions in {micros} µs \
                          ({} snapshots, {} replayed records, {} snapshot errors, \
                          {} replay errors{tail})",
                         recovery.snapshots_loaded,
@@ -578,7 +703,11 @@ impl Service {
                 }
                 sessions
             }
-            None => Arc::new(SessionStore::new(cfg.max_sessions)),
+            None => {
+                let mut sessions = SessionStore::new(cfg.max_sessions);
+                sessions.set_telemetry(telemetry.clone());
+                Arc::new(sessions)
+            }
         };
         let pool_cfg = PoolConfig {
             workers: cfg.workers.max(1),
@@ -590,7 +719,7 @@ impl Service {
             let metrics = Arc::clone(&metrics);
             let tracker = Arc::clone(&tracker);
             let sessions = Arc::clone(&sessions);
-            move |_w: usize, job: Job| {
+            move |w: usize, job: Job| {
                 // A panicking solver must not strand the in-flight request
                 // (the claimed job never reaches the pool's death path) nor
                 // cost a worker: answer with an error line and keep
@@ -598,7 +727,7 @@ impl Service {
                 // owns it — no hot-path copies; the id is extracted only
                 // if the panic actually happens.
                 let run = std::panic::AssertUnwindSafe(|| {
-                    handle_job(&cfg, &metrics, &tracker, &sessions, &job)
+                    handle_job(&cfg, &metrics, &tracker, &sessions, &job, w as u64)
                 });
                 match std::panic::catch_unwind(run) {
                     Ok(directive) => directive,
@@ -626,8 +755,11 @@ impl Service {
         let lane_count = cfg.session_lanes.max(1);
         let mut session_lanes = Vec::with_capacity(lane_count);
         let mut lane_handles = Vec::with_capacity(lane_count);
-        for _ in 0..lane_count {
+        for lane in 0..lane_count {
             let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.max_queue.max(1));
+            // Lanes report as workers above the pool's index range, so
+            // dequeue events distinguish pool workers from session lanes.
+            let worker = (cfg.workers.max(1) + lane) as u64;
             let cfg = cfg.clone();
             let metrics = Arc::clone(&metrics);
             let tracker = Arc::clone(&tracker);
@@ -635,7 +767,7 @@ impl Service {
             lane_handles.push(std::thread::spawn(move || {
                 for job in rx {
                     let run = std::panic::AssertUnwindSafe(|| {
-                        handle_job(&cfg, &metrics, &tracker, &sessions, &job)
+                        handle_job(&cfg, &metrics, &tracker, &sessions, &job, worker)
                     });
                     if std::panic::catch_unwind(run).is_err() {
                         write_error(
@@ -648,7 +780,33 @@ impl Service {
             }));
             session_lanes.push(tx);
         }
-        Ok(Service { pool, session_lanes, lane_handles, metrics, tracker, sessions })
+        // The periodic self-reporter: one metrics summary line to stderr
+        // every interval, stopped (and joined) at shutdown.
+        let reporter = (cfg.metrics_interval_ms > 0).then(|| {
+            let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+            let metrics = Arc::clone(&metrics);
+            let interval = Duration::from_millis(cfg.metrics_interval_ms);
+            let handle = std::thread::spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        let s = metrics.summary();
+                        let snap = metrics.telemetry.registry().snapshot();
+                        let queue_p50 = snap
+                            .histogram(stage::QUEUE_WAIT_US)
+                            .map(|h| h.percentile(0.50))
+                            .unwrap_or(0);
+                        eprintln!(
+                            "sst-serve: metrics ok={} errors={} rps_x1000={} race_p50_us={} \
+                             queue_p50_us={} trace_dropped={}",
+                            s.count, s.errors, s.rps_x1000, s.p50_us, queue_p50, s.trace_dropped
+                        );
+                    }
+                    _ => return,
+                }
+            });
+            (stop_tx, handle)
+        });
+        Ok(Service { pool, session_lanes, lane_handles, metrics, tracker, sessions, reporter })
     }
 
     /// The lane a session id maps to: splitmix64 finalizer mod lane count.
@@ -703,12 +861,18 @@ impl Service {
     /// error line instead of a silent drop (the PR 2
     /// `let _ = sender.send(..)` bug left it hanging forever).
     pub fn dispatch(&self, line: String, out: SharedWriter) {
+        let telemetry = &self.metrics.telemetry;
+        if telemetry.trace().is_some() {
+            let id = crate::protocol::extract_request_id(line.trim()).unwrap_or(0);
+            telemetry.emit(TraceEvent::Enqueue { id });
+        }
+        let enqueued = Instant::now();
         if Self::is_session_line(&line) {
             let lane = Self::extract_sid(&line)
                 .map(|sid| Self::lane_of(sid, self.session_lanes.len()))
                 .unwrap_or(0);
             let tx = &self.session_lanes[lane];
-            if let Err(e) = tx.try_send(Job { line, out }) {
+            if let Err(e) = tx.try_send(Job { line, out, enqueued }) {
                 let (job, what) = match e {
                     std::sync::mpsc::TrySendError::Full(job) => (job, "backlog full"),
                     std::sync::mpsc::TrySendError::Disconnected(job) => (job, "lane closed"),
@@ -717,7 +881,10 @@ impl Service {
             }
             return;
         }
-        if let Err(Rejected { job, reason, queued }) = self.pool.dispatch(Job { line, out }) {
+        let result = self.pool.dispatch(Job { line, out, enqueued });
+        telemetry.registry().gauge(POOL_QUEUED).set(self.pool.queued() as u64);
+        telemetry.registry().gauge(POOL_WORKERS_ALIVE).set(self.pool.alive() as u64);
+        if let Err(Rejected { job, reason, queued }) = result {
             let message = match reason {
                 RejectReason::NoWorkers => "overloaded: no live workers".to_string(),
                 RejectReason::QueueFull => {
@@ -760,7 +927,16 @@ impl Service {
         }
         self.pool.shutdown();
         flush_durable_store(&self.sessions);
-        full_summary(&self.metrics, &self.sessions, &self.tracker)
+        if let Some((stop, handle)) = self.reporter.take() {
+            let _ = stop.send(());
+            let _ = handle.join();
+        }
+        let summary = full_summary(&self.metrics, &self.sessions, &self.tracker);
+        // Close the trace sink last: it drains the ring and appends the
+        // final `sink_close` event (with the dropped count), making the
+        // trace file self-describing for the zero-drop CI gate.
+        self.metrics.telemetry.close_trace();
+        summary
     }
 
     /// Graceful persist: snapshots every hot session and flushes the
@@ -823,6 +999,7 @@ pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
                 // persist what we hold instead of dying with hot state.
                 eprintln!("sst-serve: accept failed ({e}); flushing sessions and exiting");
                 svc.flush_durable();
+                svc.metrics.telemetry.close_trace();
                 return Ok(());
             }
         }
@@ -907,6 +1084,52 @@ mod tests {
                 seen[id as usize] = true;
             }
             assert!(seen.iter().all(|&s| s), "every request answered ({mode:?}): {seen:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_probe_reports_stage_and_solver_telemetry() {
+        let (sink, trace_buf) = TraceSink::to_shared_buffer();
+        let svc =
+            Service::start(ServeConfig { workers: 2, trace: Some(sink), ..Default::default() });
+        let (buffer, _) = buffer_writer();
+        let reqs = requests();
+        for req in &reqs {
+            svc.dispatch(request_to_json(req), writer_to(&buffer));
+        }
+        let summary = svc.shutdown();
+        assert_eq!(summary.errors, 0);
+        // Per-stage histograms: queue-wait, race and total are all
+        // first-class rows now (satellite: record_ok only recorded race
+        // wall time before).
+        let stage = |name: &str| summary.stages.iter().find(|s| s.stage == name);
+        assert_eq!(stage("queue_wait_us").expect("queue_wait row").count, reqs.len() as u64);
+        assert_eq!(stage("race_us").expect("race row").count, reqs.len() as u64);
+        let total = stage("total_us").expect("total row");
+        assert_eq!(total.count, reqs.len() as u64);
+        assert!(
+            total.max_us >= stage("race_us").unwrap().max_us,
+            "enqueue→respond total includes the race"
+        );
+        // Per-solver standings: every race crowns exactly one winner.
+        let wins: u64 = summary.solver_latency.iter().map(|s| s.wins).sum();
+        assert_eq!(wins, reqs.len() as u64, "{:?}", summary.solver_latency);
+        let improvements: u64 = summary.solver_latency.iter().map(|s| s.improvements).sum();
+        assert!(improvements >= reqs.len() as u64, "baseline publishes alone improve");
+        assert_eq!(summary.trace_dropped, 0);
+        // The trace carries a complete span chain per request id.
+        let text = String::from_utf8(trace_buf.lock().unwrap().clone()).unwrap();
+        for req in &reqs {
+            let idtag = format!("\"id\": {}", req.id);
+            for kind in ["enqueue", "dequeue", "race_start", "respond"] {
+                assert!(
+                    text.lines().any(
+                        |l| l.contains(&idtag) && l.contains(&format!("\"event\": \"{kind}\""))
+                    ),
+                    "missing {kind} event for request {}:\n{text}",
+                    req.id
+                );
+            }
         }
     }
 

@@ -39,6 +39,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sst_core::schedule::Schedule;
+use sst_core::telemetry::{Telemetry, TraceEvent};
 
 use crate::durable::DurableStore;
 use crate::model::Solution;
@@ -115,6 +116,7 @@ pub struct SessionStore {
     max: usize,
     inner: Mutex<Inner>,
     persist: Option<Arc<DurableStore>>,
+    telemetry: Telemetry,
 }
 
 impl SessionStore {
@@ -144,7 +146,15 @@ impl SessionStore {
                 cold_reloads: 0,
             }),
             persist,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs the serving process's telemetry: capacity spills and cold
+    /// reloads emit trace events (`spill`/`cold_reload`) in addition to
+    /// the counters already surfaced by [`SessionStore::stats`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configured capacity.
@@ -186,6 +196,8 @@ impl SessionStore {
                 Some(s) if s.stamp == vstamp && Arc::ptr_eq(&s.entry, &ventry) => {
                     inner.map.remove(&vsid);
                     inner.spills += 1;
+                    drop(inner);
+                    self.telemetry.emit(TraceEvent::Spill { sid: vsid });
                     return Some(vsid);
                 }
                 // Victim closed meanwhile: there is room now.
@@ -250,6 +262,7 @@ impl SessionStore {
         let (entry, seq) = persist.load_snapshot(sid)?;
         let entry = Arc::new(entry);
         self.spill_for_room(sid);
+        self.telemetry.emit(TraceEvent::ColdReload { sid });
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let stamp = inner.clock;
