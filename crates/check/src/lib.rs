@@ -1,0 +1,23 @@
+//! Correctness tooling for the serve path's hand-rolled concurrency.
+//!
+//! The workspace has no access to loom, ThreadSanitizer crates or the real
+//! parking_lot's deadlock detection (offline build), so this crate provides
+//! the three analysis layers those would have supplied:
+//!
+//! * [`lockdep`] — analysis over the lock-order graph that the compat
+//!   `parking_lot` records under `--features lockdep`: cycle detection over
+//!   `held → acquired` edges flags *potential* ABBA deadlocks (orders that
+//!   never actually deadlocked in the run) with both acquisition sites, and
+//!   [`lockdep::assert_acyclic`] gates instrumented tests.
+//! * [`sched`] — a deterministic virtual-thread scheduler with explicit
+//!   yield points. Small models of the riskiest serve-path protocols run
+//!   under exhaustive DFS over interleavings (loom-style, for small state
+//!   spaces) or seeded random walks (for bigger ones).
+//! * [`lint`] — the hand-rolled line-level workspace lint behind
+//!   `sst lint`: no raw `std::sync` locks outside the compat layer, no
+//!   unjustified non-`Relaxed` atomic orderings, no `unwrap` in serve-path
+//!   non-test code, no `thread::sleep` outside tests.
+
+pub mod lint;
+pub mod lockdep;
+pub mod sched;

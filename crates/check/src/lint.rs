@@ -1,0 +1,500 @@
+//! The hand-rolled, line-level workspace lint behind `sst lint`.
+//!
+//! No `syn`, no proc-macro machinery (offline workspace): a scanner walks
+//! every `.rs` file, strips line comments, tracks `#[cfg(test)]` regions by
+//! brace counting, and applies four convention rules:
+//!
+//! * **`std-sync`** — no `std::sync::{Mutex, MutexGuard, Condvar, RwLock}`
+//!   outside `crates/compat`: all locking funnels through the compat
+//!   `parking_lot` so lockdep instrumentation sees every lock. Applies to
+//!   test code too (a test's raw mutex is invisible to lockdep).
+//! * **`ordering-comment`** — every non-`Relaxed` atomic ordering
+//!   (`Acquire`/`Release`/`AcqRel`/`SeqCst`) carries an `// ordering:`
+//!   justification on the same line or in the contiguous comment block
+//!   directly above, naming what it pairs with.
+//! * **`serve-unwrap`** — no `.unwrap()` / `.expect(` in *non-test* code
+//!   of the serve-path files (`service.rs`, `durable.rs`, `pool.rs`,
+//!   `protocol.rs`): a panicking worker turns one bad request into a
+//!   degraded pool. Provably-infallible cases carry an inline
+//!   `// lint: allow(serve-unwrap) <why>` annotation.
+//! * **`thread-sleep`** — no `thread::sleep` outside tests: sleeping on
+//!   the serve path hides ordering bugs and wastes latency budget.
+//!
+//! Findings not covered by an inline `lint: allow(<rule>)` annotation or by
+//! the committed allowlist file (`lint.allow` at the workspace root; see
+//! [`Allowlist`]) fail the run — that is the CI gate. Allowlist entries
+//! match on *content*, not line numbers, so unrelated edits don't churn the
+//! file; entries that no longer match anything are reported as stale.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, as used in annotations and the allowlist file.
+pub const RULES: [&str; 4] = ["std-sync", "ordering-comment", "serve-unwrap", "thread-sleep"];
+
+/// Serve-path files where `serve-unwrap` applies (workspace-relative).
+const SERVE_PATH_FILES: [&str; 4] = [
+    "crates/portfolio/src/service.rs",
+    "crates/portfolio/src/durable.rs",
+    "crates/portfolio/src/pool.rs",
+    "crates/portfolio/src/protocol.rs",
+];
+
+/// One rule violation at a specific line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The trimmed offending line (the allowlist matching key).
+    pub text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.text)
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by the allowlist or an inline annotation.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by the allowlist file.
+    pub allowed: usize,
+    /// Allowlist entries that matched nothing (candidates for deletion).
+    pub stale_entries: Vec<String>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when no unsuppressed findings remain.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The committed allowlist: one entry per line,
+/// `"<rule> <path> <trimmed line content>"` (or `*` as the content to
+/// allow every finding of that rule in that file). `#` starts a comment.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, String)>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text (see type docs for the format).
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            if let (Some(rule), Some(path), Some(content)) =
+                (parts.next(), parts.next(), parts.next())
+            {
+                entries.push((rule.to_string(), path.to_string(), content.trim().to_string()));
+            }
+        }
+        let used = vec![false; entries.len()];
+        Allowlist { entries, used }
+    }
+
+    /// Loads the allowlist at `path`; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> io::Result<Allowlist> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Allowlist::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn covers(&mut self, finding: &Finding) -> bool {
+        let mut hit = false;
+        for (i, (rule, path, content)) in self.entries.iter().enumerate() {
+            if rule == finding.rule
+                && path == &finding.path
+                && (content == "*" || content == &finding.text)
+            {
+                self.used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    fn stale(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|((rule, path, content), _)| format!("{rule} {path} {content}"))
+            .collect()
+    }
+}
+
+/// Strips the line-comment suffix (`// …`), respecting string literals,
+/// and returns `(code, comment)`.
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// True when `code` contains `prefix` immediately followed by one of
+/// `idents` (or by a `{…}` group containing one as a whole word). Built
+/// from two parts so the lint's own source never contains the contiguous
+/// pattern it searches for.
+fn contains_path_use(code: &str, prefix: &str, idents: &[&str]) -> bool {
+    let mut rest = code;
+    while let Some(at) = rest.find(prefix) {
+        let after = &rest[at + prefix.len()..];
+        if let Some(group) = after.strip_prefix('{') {
+            let group = group.split('}').next().unwrap_or(group);
+            for part in group.split(',') {
+                let word = part.trim().trim_start_matches("self::");
+                if idents.contains(&word) {
+                    return true;
+                }
+            }
+        } else {
+            let word: String =
+                after.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if idents.contains(&word.as_str()) {
+                return true;
+            }
+        }
+        rest = &rest[at + prefix.len()..];
+    }
+    false
+}
+
+/// Counts `{` minus `}` in already-comment-stripped code, skipping string
+/// literals. Format-string braces (`"{}"`, `"{{"`) sit inside literals and
+/// are skipped wholesale.
+fn brace_delta(code: &str) -> i64 {
+    let mut delta = 0i64;
+    let mut in_str = false;
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => delta += 1,
+            b'}' if !in_str => delta -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    delta
+}
+
+/// Lints one file's text. `rel` is the workspace-relative path.
+fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let in_compat = rel.starts_with("crates/compat/");
+    let in_test_dir =
+        rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/");
+    let serve_path = SERVE_PATH_FILES.contains(&rel);
+
+    let non_relaxed = ["Acquire", "Release", "AcqRel", "SeqCst"];
+    let sync_idents = ["Mutex", "MutexGuard", "Condvar", "RwLock"];
+    // Assembled at runtime so this file never contains its own patterns.
+    let std_sync_prefix = format!("{}::{}::", "std", "sync");
+    let ordering_prefix = format!("{}::", "Ordering");
+    let thread_prefix = format!("{}::", "thread");
+    let allow_prefix = format!("{}: allow(", "lint");
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut in_test = false;
+    let mut test_depth = 0i64;
+    let mut pending_test_attr = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let (code, comment) = split_comment(raw);
+        let trimmed_code = code.trim();
+
+        // --- #[cfg(test)] region tracking (before linting the line, so
+        // the opening `mod tests {` itself counts as test code).
+        if !in_test {
+            if trimmed_code.starts_with("#[cfg(test")
+                || trimmed_code.starts_with("#[cfg(all(test")
+                || trimmed_code.starts_with("#[cfg(any(test")
+            {
+                pending_test_attr = true;
+            } else if pending_test_attr && !trimmed_code.starts_with("#[") {
+                let delta = brace_delta(code);
+                if delta > 0 {
+                    in_test = true;
+                    test_depth = delta;
+                    pending_test_attr = false;
+                } else if !trimmed_code.is_empty() && trimmed_code.ends_with(';') {
+                    // `#[cfg(test)] use …;` — no region opens.
+                    pending_test_attr = false;
+                }
+            }
+        } else {
+            test_depth += brace_delta(code);
+            if test_depth <= 0 {
+                in_test = false;
+            }
+        }
+        let in_test_code = in_test || in_test_dir;
+
+        // Inline suppression: `lint: allow(<rule>)` in a comment on this
+        // or the previous line.
+        let allowed_inline = |rule: &str| {
+            let tag = format!("{allow_prefix}{rule})");
+            comment.contains(&tag) || (idx > 0 && split_comment(lines[idx - 1]).1.contains(&tag))
+        };
+        let mut emit = |rule: &'static str| {
+            if !allowed_inline(rule) {
+                findings.push(Finding {
+                    rule,
+                    path: rel.to_string(),
+                    line: idx + 1,
+                    text: raw.trim().to_string(),
+                });
+            }
+        };
+
+        // --- std-sync: everywhere except the compat layer itself.
+        if !in_compat && contains_path_use(code, &std_sync_prefix, &sync_idents) {
+            emit("std-sync");
+        }
+
+        // --- ordering-comment: non-Relaxed orderings need an `ordering:`
+        // justification on the same line or in the contiguous comment
+        // block directly above.
+        if contains_path_use(code, &ordering_prefix, &non_relaxed) {
+            let mut has_justification = comment.contains("ordering:");
+            let mut up = idx;
+            while !has_justification && up > 0 {
+                up -= 1;
+                let above = lines[up].trim();
+                if !above.starts_with("//") {
+                    break;
+                }
+                has_justification = above.contains("ordering:");
+            }
+            if !has_justification {
+                emit("ordering-comment");
+            }
+        }
+
+        // --- serve-unwrap: non-test code of the serve-path files.
+        if serve_path && !in_test_code && (code.contains(".unwrap()") || code.contains(".expect("))
+        {
+            emit("serve-unwrap");
+        }
+
+        // --- thread-sleep: non-test code anywhere.
+        if !in_test_code && contains_path_use(code, &thread_prefix, &["sleep"]) {
+            emit("thread-sleep");
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, skipping `target`,
+/// hidden directories and anything that is not a regular file.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the lint over the workspace at `root`, filtering through the
+/// allowlist (typically loaded from `<root>/lint.allow`).
+pub fn run(root: &Path, mut allowlist: Allowlist) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut raw_findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(file)?;
+        lint_file(&rel, &text, &mut raw_findings);
+    }
+    let mut report = LintReport { files_scanned: files.len(), ..LintReport::default() };
+    for finding in raw_findings {
+        if allowlist.covers(&finding) {
+            report.allowed += 1;
+        } else {
+            report.findings.push(finding);
+        }
+    }
+    report.stale_entries = allowlist.stale();
+    Ok(report)
+}
+
+/// Deduplicated rule ids present in `findings` (for summaries).
+pub fn rules_hit(findings: &[Finding]) -> BTreeSet<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, text: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        lint_file(rel, text, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn std_sync_flagged_outside_compat_only() {
+        let bad = format!("use {}::{}::{};\n", "std", "sync", "Mutex");
+        assert_eq!(lint_str("crates/core/src/x.rs", &bad).len(), 1);
+        assert!(lint_str("crates/compat/parking_lot/src/lib.rs", &bad).is_empty());
+        let import_group = format!("use {}::{}::{{Arc, {}}};\n", "std", "sync", "Condvar");
+        assert_eq!(lint_str("crates/core/src/x.rs", &import_group).len(), 1);
+        let fine = format!("use {}::{}::Arc;\n", "std", "sync");
+        assert!(lint_str("crates/core/src/x.rs", &fine).is_empty());
+    }
+
+    #[test]
+    fn std_sync_applies_inside_test_modules() {
+        let text = format!(
+            "#[cfg(test)]\nmod tests {{\n    use {}::{}::{};\n}}\n",
+            "std", "sync", "Mutex"
+        );
+        assert_eq!(lint_str("crates/core/src/x.rs", &text).len(), 1);
+    }
+
+    #[test]
+    fn ordering_comment_required_for_non_relaxed() {
+        let bare = format!("x.load({}::{});\n", "Ordering", "Acquire");
+        assert_eq!(lint_str("crates/core/src/x.rs", &bare).len(), 1);
+        let justified = format!(
+            "// ordering: pairs with the Release store in close()\nx.load({}::{});\n",
+            "Ordering", "Acquire"
+        );
+        assert!(lint_str("crates/core/src/x.rs", &justified).is_empty());
+        let relaxed = format!("x.load({}::Relaxed);\n", "Ordering");
+        assert!(lint_str("crates/core/src/x.rs", &relaxed).is_empty());
+        // The justification may sit anywhere in the contiguous comment
+        // block above, however long.
+        let long_block = format!(
+            "// ordering: AcqRel — the Release half publishes, the\n\
+             // Acquire half observes prior deaths.\n\
+             // (More prose that pushes the keyword further away.)\n\
+             // And more.\n\
+             x.fetch_sub(1, {}::{});\n",
+            "Ordering", "AcqRel"
+        );
+        assert!(lint_str("crates/core/src/x.rs", &long_block).is_empty());
+        // But a justification separated by code does not carry over.
+        let separated = format!(
+            "// ordering: pairs with close()\n\
+             let y = 1;\n\
+             x.load({}::{});\n",
+            "Ordering", "Acquire"
+        );
+        assert_eq!(lint_str("crates/core/src/x.rs", &separated).len(), 1);
+    }
+
+    #[test]
+    fn serve_unwrap_only_on_serve_files_non_test() {
+        let text = "let x = y.unwrap();\n";
+        assert_eq!(lint_str("crates/portfolio/src/pool.rs", text).len(), 1);
+        assert!(lint_str("crates/core/src/x.rs", text).is_empty());
+        let test_text = "#[cfg(test)]\nmod tests {\n    let x = y.unwrap();\n}\n";
+        assert!(lint_str("crates/portfolio/src/pool.rs", test_text).is_empty());
+        let annotated = "// lint: allow(serve-unwrap) length checked above\nlet x = y.unwrap();\n";
+        assert!(lint_str("crates/portfolio/src/pool.rs", annotated).is_empty());
+    }
+
+    #[test]
+    fn thread_sleep_flagged_outside_tests() {
+        let text = format!("{}::sleep(d);\n", "thread");
+        assert_eq!(lint_str("crates/core/src/x.rs", &text).len(), 1);
+        assert!(lint_str("crates/cli/tests/x.rs", &text).is_empty());
+        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n    {}::sleep(d);\n}}\n", "thread");
+        assert!(lint_str("crates/core/src/x.rs", &in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn test_region_tracking_survives_format_braces() {
+        // Braces inside string literals must not end the test region early.
+        let text = "#[cfg(test)]\nmod tests {\n    fn f() {\n        let s = \
+             \"{}\";\n    }\n    let x = y.unwrap();\n}\nlet z = q.unwrap();\n";
+        let findings = lint_str("crates/portfolio/src/pool.rs", text);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 8, "only the line after the test module");
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trigger() {
+        let comment_only = format!("// mentions {}::{}::{} in prose\n", "std", "sync", "Mutex");
+        assert!(lint_str("crates/core/src/x.rs", &comment_only).is_empty());
+    }
+
+    #[test]
+    fn allowlist_matches_content_and_reports_stale() {
+        let mut allow = Allowlist::parse(
+            "# comment\n\
+             serve-unwrap crates/portfolio/src/pool.rs let x = y.unwrap();\n\
+             serve-unwrap crates/portfolio/src/pool.rs let never = matches();\n\
+             thread-sleep crates/core/src/x.rs *\n",
+        );
+        let f = Finding {
+            rule: "serve-unwrap",
+            path: "crates/portfolio/src/pool.rs".into(),
+            line: 3,
+            text: "let x = y.unwrap();".into(),
+        };
+        assert!(allow.covers(&f));
+        let wildcard = Finding {
+            rule: "thread-sleep",
+            path: "crates/core/src/x.rs".into(),
+            line: 9,
+            text: "anything".into(),
+        };
+        assert!(allow.covers(&wildcard));
+        let stale = allow.stale();
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].contains("never"), "{stale:?}");
+    }
+}

@@ -1,0 +1,761 @@
+//! A deterministic virtual-thread scheduler with explicit yield points —
+//! the loom-style interleaving harness.
+//!
+//! Model code runs on real OS threads, but exactly one runs at a time: a
+//! controller hands a baton to one *virtual thread* at each step, and the
+//! thread runs until its next yield point (every [`VMutex::lock`],
+//! [`VCondvar`] operation and [`VCell`] access is one, and model code can
+//! add its own with [`yield_now`]). Which thread gets the baton is the
+//! schedule; [`explore`] enumerates schedules either exhaustively
+//! (depth-first over every decision sequence — feasible for the small
+//! models in `tests/sched_models.rs`) or as seeded random walks (bounded,
+//! for bigger state spaces in CI).
+//!
+//! A schedule fails when a model thread panics (an assertion about the
+//! protocol), when no unfinished thread is runnable (**deadlock** — this is
+//! how a lost wakeup surfaces: the waiter parks forever), or when the step
+//! limit trips (livelock). The failing decision sequence is reported so the
+//! interleaving can be replayed by reading the trace.
+//!
+//! Writing a model: keep it tiny (2–3 threads, a handful of yield points
+//! each — exhaustive exploration is exponential in total yield points),
+//! express every cross-thread interaction through [`VMutex`], [`VCondvar`]
+//! and [`VCell`], and assert the protocol's postcondition either inside the
+//! model threads or on the state after [`explore`] returns.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How [`explore`] walks the schedule space.
+#[derive(Debug, Clone, Copy)]
+pub enum Strategy {
+    /// Depth-first over every decision sequence, up to `max_executions`
+    /// schedules. `Stats::complete` reports whether the space was
+    /// exhausted within the bound.
+    Exhaustive {
+        /// Upper bound on schedules to run (safety valve for models whose
+        /// state space turns out bigger than expected).
+        max_executions: usize,
+    },
+    /// `walks` independent schedules with uniformly random choices from a
+    /// deterministic seed. Never "complete" in the exhaustive sense.
+    Random {
+        /// RNG seed; a given seed always explores the same schedules.
+        seed: u64,
+        /// Number of schedules to run.
+        walks: usize,
+    },
+}
+
+/// Exploration summary returned on success.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Schedules executed.
+    pub executions: usize,
+    /// True when an [`Strategy::Exhaustive`] run enumerated every schedule
+    /// within its bound (always false for random walks).
+    pub complete: bool,
+}
+
+/// Why a schedule failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// No unfinished virtual thread was runnable: every one was parked on
+    /// a [`VMutex`] or [`VCondvar`] nobody will ever release/notify.
+    Deadlock {
+        /// Names of the stuck threads.
+        blocked: Vec<String>,
+    },
+    /// A model thread panicked (failed assertion about the protocol).
+    Panic {
+        /// Name of the panicking thread.
+        thread: String,
+        /// The panic message.
+        message: String,
+    },
+    /// The per-schedule step limit tripped (livelock or unbounded loop).
+    StepLimit,
+}
+
+/// A failing schedule: the kind of failure plus the decision sequence that
+/// reproduces it (the rank of the chosen thread among the runnable set at
+/// each step).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The schedule: at step `i`, the `trace[i]`-th runnable thread ran.
+    pub trace: Vec<usize>,
+    /// 0-based index of the failing schedule in exploration order.
+    pub execution: usize,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Deadlock { blocked } => {
+                write!(f, "deadlock: threads {blocked:?} parked with no runnable peer")?
+            }
+            FailureKind::Panic { thread, message } => {
+                write!(f, "model thread {thread:?} panicked: {message}")?
+            }
+            FailureKind::StepLimit => write!(f, "step limit exceeded (livelock?)")?,
+        }
+        write!(f, " [schedule #{} trace {:?}]", self.execution, self.trace)
+    }
+}
+
+/// Baton owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Controller,
+    Thread(usize),
+}
+
+/// Virtual-thread run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Parked on the resource with this key until someone unblocks it.
+    Blocked(usize),
+    /// Exited (normally, or unwound during abort).
+    Finished,
+    /// Exited by model panic; terminal like `Finished`.
+    Panicked,
+}
+
+struct ExecState {
+    turn: Turn,
+    status: Vec<Status>,
+    names: Vec<String>,
+    panic_message: Option<(usize, String)>,
+    abort: bool,
+}
+
+/// Shared controller state for one execution. The scheduler's own lock is
+/// `untracked`: it must not appear in the model's (or the host test's)
+/// lock-order graph.
+struct ExecShared {
+    m: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// Set inside a virtual thread: the execution it belongs to and its
+    /// thread index. `None` on the controller (and any foreign) thread.
+    static CURRENT: RefCell<Option<(Arc<ExecShared>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Sentinel panic payload used to unwind virtual threads when a schedule
+/// aborts early (another thread failed). Never reported as a model panic.
+struct AbortToken;
+
+fn with_current<R>(f: impl FnOnce(&Arc<ExecShared>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(exec, i)| f(exec, *i)))
+}
+
+/// Hands the baton back to the controller and waits until it is this
+/// thread's turn again. The explicit interleaving point: between two yield
+/// points a virtual thread runs without preemption. No-op outside a
+/// virtual thread (so model setup code can reuse model types).
+pub fn yield_now() {
+    let aborted = with_current(|exec, i| {
+        let mut st = exec.m.lock();
+        st.turn = Turn::Controller;
+        exec.cv.notify_all();
+        while st.turn != Turn::Thread(i) {
+            exec.cv.wait(&mut st);
+        }
+        st.abort
+    });
+    if aborted == Some(true) {
+        std::panic::panic_any(AbortToken);
+    }
+}
+
+/// Parks the current virtual thread on `key` until another thread
+/// unblocks it. Must only be called from model primitives.
+fn block_on(key: usize) {
+    let aborted = with_current(|exec, i| {
+        let mut st = exec.m.lock();
+        st.status[i] = Status::Blocked(key);
+        st.turn = Turn::Controller;
+        exec.cv.notify_all();
+        while st.turn != Turn::Thread(i) {
+            exec.cv.wait(&mut st);
+        }
+        st.abort
+    });
+    match aborted {
+        Some(true) => std::panic::panic_any(AbortToken),
+        Some(false) => {}
+        None => panic!("sched primitive blocked outside a virtual thread"),
+    }
+}
+
+/// Marks every thread parked on `key` runnable. Caller keeps the baton.
+fn unblock_all(key: usize) {
+    with_current(|exec, _| {
+        let mut st = exec.m.lock();
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(key) {
+                *s = Status::Runnable;
+            }
+        }
+    });
+}
+
+/// Marks the lowest-indexed thread parked on `key` runnable (if any);
+/// a notify with no waiter is lost, as with a real condvar.
+fn unblock_one(key: usize) {
+    with_current(|exec, _| {
+        let mut st = exec.m.lock();
+        if let Some(s) = st.status.iter_mut().find(|s| **s == Status::Blocked(key)) {
+            *s = Status::Runnable;
+        }
+    });
+}
+
+/// Interior model state shared between virtual threads. Safety: the baton
+/// guarantees at most one virtual thread runs at any instant, and
+/// references never live across a yield point unless guarded by
+/// [`VMutex`], so the unsynchronized access cannot race.
+struct ModelCell<T> {
+    value: UnsafeCell<T>,
+}
+
+// Safety: see ModelCell — the scheduler serializes all virtual threads.
+unsafe impl<T: Send> Send for ModelCell<T> {}
+unsafe impl<T: Send> Sync for ModelCell<T> {}
+
+/// A virtual mutex: models `parking_lot::Mutex` with a yield point at
+/// acquisition and blocking (not spinning) contention. Share between model
+/// threads with `Arc`.
+pub struct VMutex<T> {
+    locked: ModelCell<bool>,
+    value: ModelCell<T>,
+}
+
+impl<T> VMutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> VMutex<T> {
+        VMutex {
+            locked: ModelCell { value: UnsafeCell::new(false) },
+            value: ModelCell { value: UnsafeCell::new(value) },
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const VMutex<T> as *const () as usize
+    }
+
+    fn is_locked(&self) -> bool {
+        // Safety: baton-serialized (see ModelCell).
+        unsafe { *self.locked.value.get() }
+    }
+
+    fn set_locked(&self, v: bool) {
+        // Safety: baton-serialized (see ModelCell).
+        unsafe { *self.locked.value.get() = v }
+    }
+
+    /// Acquires the mutex, yielding first (the interleaving point) and
+    /// parking while a peer holds it.
+    pub fn lock(&self) -> VMutexGuard<'_, T> {
+        yield_now();
+        loop {
+            if !self.is_locked() {
+                self.set_locked(true);
+                return VMutexGuard { mutex: self };
+            }
+            block_on(self.key());
+        }
+    }
+
+    /// Releases without a guard (internal; also used by `VCondvar::wait`).
+    fn release(&self) {
+        self.set_locked(false);
+        unblock_all(self.key());
+    }
+
+    /// Re-acquires after a condvar wake: parks until free, no extra yield
+    /// (the waker's schedule step already decided the interleaving).
+    fn reacquire(&self) {
+        loop {
+            if !self.is_locked() {
+                self.set_locked(true);
+                return;
+            }
+            block_on(self.key());
+        }
+    }
+}
+
+/// Guard for a [`VMutex`]; releases (and wakes blocked contenders) on drop.
+pub struct VMutexGuard<'a, T> {
+    mutex: &'a VMutex<T>,
+}
+
+impl<T> std::ops::Deref for VMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: holding the virtual lock + baton serialization.
+        unsafe { &*self.mutex.value.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for VMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: holding the virtual lock + baton serialization.
+        unsafe { &mut *self.mutex.value.value.get() }
+    }
+}
+
+impl<T> Drop for VMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.release();
+    }
+}
+
+/// A virtual condition variable over a [`VMutex`], modelling the compat
+/// `Condvar`: wait atomically releases the mutex and parks; a notify with
+/// no parked waiter is lost (exactly the semantics whose misuse causes
+/// lost-wakeup hangs).
+pub struct VCondvar {
+    // Key identity only; the box gives the condvar a stable address.
+    _anchor: Box<u8>,
+}
+
+impl Default for VCondvar {
+    fn default() -> Self {
+        VCondvar::new()
+    }
+}
+
+impl VCondvar {
+    /// A new condvar.
+    pub fn new() -> VCondvar {
+        VCondvar { _anchor: Box::new(0) }
+    }
+
+    fn key(&self) -> usize {
+        &*self._anchor as *const u8 as usize
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified;
+    /// re-acquires before returning.
+    pub fn wait<T>(&self, guard: &mut VMutexGuard<'_, T>) {
+        // Release and park within one baton tenure: no peer can observe
+        // the mutex free without this thread already counting as a waiter.
+        guard.mutex.release();
+        block_on(self.key());
+        guard.mutex.reacquire();
+    }
+
+    /// Wakes one parked waiter (lost if there is none).
+    pub fn notify_one(&self) {
+        yield_now();
+        unblock_one(self.key());
+    }
+
+    /// Wakes all parked waiters.
+    pub fn notify_all(&self) {
+        yield_now();
+        unblock_all(self.key());
+    }
+}
+
+/// An unsynchronized shared cell with a yield point at every access — for
+/// modelling *racy* reads/writes (the bug patterns) that a [`VMutex`]
+/// would serialize away.
+pub struct VCell<T: Copy> {
+    cell: ModelCell<T>,
+}
+
+impl<T: Copy> VCell<T> {
+    /// A new cell.
+    pub fn new(value: T) -> VCell<T> {
+        VCell { cell: ModelCell { value: UnsafeCell::new(value) } }
+    }
+
+    /// Reads the value (one yield point).
+    pub fn get(&self) -> T {
+        yield_now();
+        // Safety: baton-serialized (see ModelCell).
+        unsafe { *self.cell.value.get() }
+    }
+
+    /// Writes the value (one yield point).
+    pub fn set(&self, value: T) {
+        yield_now();
+        // Safety: baton-serialized (see ModelCell).
+        unsafe { *self.cell.value.get() = value }
+    }
+}
+
+/// Handle passed to the model body for registering virtual threads.
+pub struct Run<'e> {
+    exec: &'e Arc<ExecShared>,
+    handles: &'e mut Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Run<'_> {
+    /// Registers a virtual thread. It starts parked and only runs when the
+    /// controller schedules it; `f`'s panics fail the schedule.
+    pub fn spawn(&mut self, name: &str, f: impl FnOnce() + Send + 'static) {
+        let i = {
+            let mut st = self.exec.m.lock();
+            st.status.push(Status::Runnable);
+            st.names.push(name.to_string());
+            st.status.len() - 1
+        };
+        let exec = Arc::clone(self.exec);
+        self.handles.push(std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), i)));
+            // Wait for the first baton.
+            let abort = {
+                let mut st = exec.m.lock();
+                while st.turn != Turn::Thread(i) {
+                    exec.cv.wait(&mut st);
+                }
+                st.abort
+            };
+            let outcome = if abort { Ok(()) } else { catch_unwind(AssertUnwindSafe(f)) };
+            let mut st = exec.m.lock();
+            match outcome {
+                Ok(()) => st.status[i] = Status::Finished,
+                Err(payload) => {
+                    if payload.is::<AbortToken>() {
+                        st.status[i] = Status::Finished;
+                    } else {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        if st.panic_message.is_none() {
+                            st.panic_message = Some((i, msg));
+                        }
+                        st.status[i] = Status::Panicked;
+                    }
+                }
+            }
+            st.turn = Turn::Controller;
+            exec.cv.notify_all();
+        }));
+    }
+}
+
+/// Schedule choice source: replays a prefix, then either first-choice
+/// (DFS) or seeded-random ranks.
+enum Chooser {
+    Dfs { prefix: Vec<usize> },
+    Random { rng: SmallRng },
+}
+
+impl Chooser {
+    /// Rank of the thread to run among `branching` runnable ones at
+    /// decision `step`.
+    fn choose(&mut self, step: usize, branching: usize) -> usize {
+        match self {
+            Chooser::Dfs { prefix } => prefix.get(step).copied().unwrap_or(0).min(branching - 1),
+            Chooser::Random { rng } => rng.gen_range(0..branching),
+        }
+    }
+}
+
+/// Per-schedule step bound; far above anything a small model needs, low
+/// enough to catch accidental unbounded loops quickly.
+const MAX_STEPS: usize = 100_000;
+
+/// Runs one schedule of `body`. Returns the decision record
+/// `(rank, branching)` per step, or the failure.
+fn run_one(
+    body: &(impl Fn(&mut Run<'_>) + Sync),
+    chooser: &mut Chooser,
+    execution: usize,
+) -> Result<Vec<(usize, usize)>, Failure> {
+    let exec = Arc::new(ExecShared {
+        m: Mutex::untracked(ExecState {
+            turn: Turn::Controller,
+            status: Vec::new(),
+            names: Vec::new(),
+            panic_message: None,
+            abort: false,
+        }),
+        cv: Condvar::new(),
+    });
+    let mut handles = Vec::new();
+    body(&mut Run { exec: &exec, handles: &mut handles });
+
+    let mut record: Vec<(usize, usize)> = Vec::new();
+    let failure_kind: Option<FailureKind> = loop {
+        // The controller owns the baton here (initially, and again every
+        // time a thread yields/blocks/finishes back to us).
+        let mut st = exec.m.lock();
+        while st.turn != Turn::Controller {
+            exec.cv.wait(&mut st);
+        }
+        if let Some((i, msg)) = st.panic_message.take() {
+            break Some(FailureKind::Panic { thread: st.names[i].clone(), message: msg });
+        }
+        let runnable: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (*s == Status::Runnable).then_some(i))
+            .collect();
+        if runnable.is_empty() {
+            let blocked: Vec<String> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Status::Blocked(_)))
+                .map(|(i, _)| st.names[i].clone())
+                .collect();
+            if blocked.is_empty() {
+                break None; // all finished
+            }
+            break Some(FailureKind::Deadlock { blocked });
+        }
+        if record.len() >= MAX_STEPS {
+            break Some(FailureKind::StepLimit);
+        }
+        let rank = chooser.choose(record.len(), runnable.len());
+        record.push((rank, runnable.len()));
+        st.turn = Turn::Thread(runnable[rank]);
+        exec.cv.notify_all();
+    };
+
+    // Wind down: resume every unfinished thread with the abort flag so its
+    // next yield point unwinds it, then join everything.
+    loop {
+        let pending = {
+            let mut st = exec.m.lock();
+            while st.turn != Turn::Controller {
+                exec.cv.wait(&mut st);
+            }
+            st.abort = true;
+            let pending =
+                st.status.iter().position(|s| matches!(s, Status::Runnable | Status::Blocked(_)));
+            if let Some(i) = pending {
+                st.status[i] = Status::Runnable;
+                st.turn = Turn::Thread(i);
+                exec.cv.notify_all();
+            }
+            pending
+        };
+        if pending.is_none() {
+            break;
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    match failure_kind {
+        None => Ok(record),
+        Some(kind) => {
+            Err(Failure { kind, trace: record.iter().map(|&(r, _)| r).collect(), execution })
+        }
+    }
+}
+
+/// Deepest decision that still has an untried sibling, advanced by one —
+/// the next DFS prefix — or `None` when the space is exhausted.
+fn next_prefix(record: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for p in (0..record.len()).rev() {
+        let (rank, branching) = record[p];
+        if rank + 1 < branching {
+            let mut prefix: Vec<usize> = record[..p].iter().map(|&(r, _)| r).collect();
+            prefix.push(rank + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Explores schedules of the model `body` (which registers its virtual
+/// threads on the given [`Run`]; it is re-invoked once per schedule, so
+/// all model state must be built inside it). Returns the first failing
+/// schedule, or exploration stats when every schedule passed.
+pub fn explore(
+    strategy: Strategy,
+    body: impl Fn(&mut Run<'_>) + Sync,
+) -> Result<Stats, Box<Failure>> {
+    match strategy {
+        Strategy::Exhaustive { max_executions } => {
+            let mut prefix: Vec<usize> = Vec::new();
+            let mut executions = 0;
+            loop {
+                if executions >= max_executions {
+                    return Ok(Stats { executions, complete: false });
+                }
+                let mut chooser = Chooser::Dfs { prefix: std::mem::take(&mut prefix) };
+                let record = run_one(&body, &mut chooser, executions).map_err(Box::new)?;
+                executions += 1;
+                match next_prefix(&record) {
+                    Some(next) => prefix = next,
+                    None => return Ok(Stats { executions, complete: true }),
+                }
+            }
+        }
+        Strategy::Random { seed, walks } => {
+            for execution in 0..walks {
+                let mut chooser = Chooser::Random {
+                    rng: SmallRng::seed_from_u64(seed.wrapping_add(execution as u64)),
+                };
+                run_one(&body, &mut chooser, execution).map_err(Box::new)?;
+            }
+            Ok(Stats { executions: walks, complete: false })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let stats = explore(Strategy::Exhaustive { max_executions: 10 }, |run| {
+            run.spawn("solo", || {
+                yield_now();
+                yield_now();
+            });
+        })
+        .expect("no failure");
+        assert_eq!(stats.executions, 1, "one thread has exactly one schedule");
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn exhaustive_counts_interleavings_of_two_two_step_threads() {
+        // Two threads, each consuming 3 baton grants (start→yield,
+        // yield→yield, yield→finish): C(6,3) = 20 interleavings.
+        let stats = explore(Strategy::Exhaustive { max_executions: 100 }, |run| {
+            for name in ["a", "b"] {
+                run.spawn(name, || {
+                    yield_now();
+                    yield_now();
+                });
+            }
+        })
+        .expect("no failure");
+        assert!(stats.complete);
+        assert_eq!(stats.executions, 20, "C(6,3) schedules");
+    }
+
+    #[test]
+    fn vmutex_serializes_critical_sections() {
+        use std::sync::Arc;
+        let result = explore(Strategy::Exhaustive { max_executions: 10_000 }, |run| {
+            let m = Arc::new(VMutex::new((0u32, 0u32)));
+            for _ in 0..2 {
+                let m = Arc::clone(&m);
+                run.spawn("incr", move || {
+                    let mut g = m.lock();
+                    let (a, _) = *g;
+                    yield_now(); // a torn read/modify/write would corrupt without the lock
+                    *g = (a + 1, a + 1);
+                });
+            }
+            let m2 = Arc::clone(&m);
+            run.spawn("check", move || {
+                let g = m2.lock();
+                assert_eq!(g.0, g.1, "critical section must be atomic");
+            });
+        });
+        result.expect("mutex-protected increments never tear");
+    }
+
+    #[test]
+    fn racy_increment_is_caught() {
+        use std::sync::Arc;
+        // The same increment through a racy VCell must lose an update in
+        // some interleaving — proving the explorer actually interleaves.
+        let result = explore(Strategy::Exhaustive { max_executions: 10_000 }, |run| {
+            let c = Arc::new(VCell::new(0u32));
+            for _ in 0..2 {
+                let c = Arc::clone(&c);
+                run.spawn("incr", move || {
+                    let v = c.get();
+                    c.set(v + 1);
+                });
+            }
+            let c2 = Arc::clone(&c);
+            run.spawn("check", move || {
+                // Runs last in some schedule; only assert when both
+                // increments are done (value would be 2 if atomic).
+                let v = c2.get();
+                assert!(v <= 2);
+            });
+        });
+        // No deadlock/assert here — the loss shows as v == 1; verify via a
+        // dedicated panic model instead:
+        result.expect("bounded assertion holds");
+        let lost = explore(Strategy::Exhaustive { max_executions: 10_000 }, |run| {
+            let c = Arc::new(VCell::new(0u32));
+            let done = Arc::new(VCell::new(0u32));
+            for _ in 0..2 {
+                let c = Arc::clone(&c);
+                let done = Arc::clone(&done);
+                run.spawn("incr", move || {
+                    let v = c.get();
+                    c.set(v + 1);
+                    done.set(done.get() + 1);
+                    if done.get() == 2 {
+                        assert_eq!(c.get(), 2, "lost update");
+                    }
+                });
+            }
+        });
+        assert!(lost.is_err(), "exhaustive search must find the lost update");
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_thread_names() {
+        use std::sync::Arc;
+        let result = explore(Strategy::Exhaustive { max_executions: 100 }, |run| {
+            let m = Arc::new(VMutex::new(()));
+            let cv = Arc::new(VCondvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            run.spawn("waiter", move || {
+                let mut g = m2.lock();
+                cv2.wait(&mut g); // nobody will ever notify
+            });
+        });
+        let failure = result.expect_err("must deadlock");
+        match &failure.kind {
+            FailureKind::Deadlock { blocked } => assert_eq!(blocked, &["waiter"]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_walks_are_deterministic_per_seed() {
+        use std::sync::Arc;
+        let run_once = || {
+            let order = Arc::new(Mutex::untracked(Vec::new()));
+            let order2 = Arc::clone(&order);
+            explore(Strategy::Random { seed: 7, walks: 3 }, move |run| {
+                for name in ["a", "b", "c"] {
+                    let order = Arc::clone(&order2);
+                    run.spawn(name, move || {
+                        yield_now();
+                        order.lock().push(name);
+                    });
+                }
+            })
+            .expect("no failure");
+            Arc::try_unwrap(order).map(Mutex::into_inner).expect("walks joined")
+        };
+        assert_eq!(run_once(), run_once(), "same seed, same schedules");
+    }
+}

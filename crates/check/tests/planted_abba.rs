@@ -1,0 +1,97 @@
+//! Plants a deliberate ABBA lock-order inversion and checks that lockdep
+//! flags it with both acquisition sites. Only meaningful with recording on
+//! (`--features lockdep`); the locks live in an isolated registry so the
+//! planted cycle cannot fail other tests' `assert_acyclic()` gates.
+#![cfg(feature = "lockdep")]
+
+use parking_lot::lockdep::Registry;
+use parking_lot::Mutex;
+use sst_check::lockdep::{assert_registry_acyclic, LockOrderGraph};
+
+#[test]
+fn planted_abba_inversion_is_detected_with_both_sites() {
+    let reg = Registry::leak();
+    let a = Mutex::named_in(reg, "plant.a", ());
+    let b = Mutex::named_in(reg, "plant.b", ());
+
+    // The two inconsistent orders. Sequential on one thread is enough:
+    // lockdep flags the *order*, not an actual deadlock — that is the
+    // point (two threads interleaving these orders can deadlock).
+    let ab_base = line!();
+    {
+        let _a = a.lock();
+        let _b = b.lock(); // A -> B recorded here: line ab_base + 3
+    }
+    let ba_base = line!();
+    {
+        let _b = b.lock();
+        let _a = a.lock(); // B -> A recorded here: line ba_base + 3
+    }
+
+    let graph = LockOrderGraph::from_registry(reg);
+    let cycle = graph.find_cycle().expect("ABBA inversion must be flagged");
+    assert_eq!(cycle.len(), 2, "two-lock cycle");
+    let report = graph.describe_cycle(&cycle);
+    assert!(report.contains("plant.a") && report.contains("plant.b"), "{report}");
+    // Both acquisition sites, down to the line, appear in the report.
+    let ab = format!("planted_abba.rs:{}", ab_base + 3);
+    let ba = format!("planted_abba.rs:{}", ba_base + 3);
+    assert!(report.contains(&ab), "A->B site {ab} missing from:\n{report}");
+    assert!(report.contains(&ba), "B->A site {ba} missing from:\n{report}");
+
+    // And the test gate panics with that report.
+    let panic = std::panic::catch_unwind(|| assert_registry_acyclic(reg))
+        .expect_err("gate must fail on a planted cycle");
+    let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("potential deadlock"), "{msg}");
+}
+
+#[test]
+fn consistent_order_passes_the_gate() {
+    let reg = Registry::leak();
+    let a = Mutex::named_in(reg, "ok.a", ());
+    let b = Mutex::named_in(reg, "ok.b", ());
+    for _ in 0..3 {
+        let _a = a.lock();
+        let _b = b.lock();
+    }
+    assert_registry_acyclic(reg);
+    let graph = LockOrderGraph::from_registry(reg);
+    assert_eq!(graph.edge_count(), 1, "one first-seen edge, deduplicated");
+}
+
+#[test]
+fn condvar_wait_reregisters_held_lock() {
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    // A thread waiting on a condvar releases the guarded lock; when it
+    // wakes holding it again and then takes another lock, the edge must be
+    // recorded from the *wait* re-acquisition, keeping the graph honest.
+    let reg = Registry::leak();
+    let gate = Arc::new((Mutex::named_in(reg, "cv.gate", false), parking_lot::Condvar::new()));
+    let inner = Arc::new(Mutex::named_in(reg, "cv.inner", ()));
+    let (started_tx, started_rx) = mpsc::channel();
+    let waiter = {
+        let gate = Arc::clone(&gate);
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || {
+            let (lock, cv) = &*gate;
+            let mut ready = lock.lock();
+            started_tx.send(()).expect("main alive");
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            let _i = inner.lock(); // gate -> inner, with gate held via the wait re-acquisition
+        })
+    };
+    started_rx.recv().expect("waiter started");
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+    waiter.join().expect("waiter");
+    let graph = LockOrderGraph::from_registry(reg);
+    assert!(graph.find_cycle().is_none());
+    assert_eq!(graph.edge_count(), 1, "exactly the gate->inner edge");
+}

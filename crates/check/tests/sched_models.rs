@@ -1,0 +1,370 @@
+//! Deterministic interleaving models of the four riskiest serve-path
+//! protocols, explored with `sst_check::sched` (loom-style). Each model is
+//! a few virtual threads with explicit yield points; the exhaustive runs
+//! enumerate *every* schedule, so a passing test is a proof over the model,
+//! not a lucky run. Each protocol also has a deliberately broken variant
+//! that the explorer must catch — that pins *why* the production code is
+//! shaped the way it is.
+
+use std::sync::Arc;
+
+use sst_check::sched::{explore, yield_now, FailureKind, Strategy, VCell, VCondvar, VMutex};
+
+// ---------------------------------------------------------------------------
+// Model 1: injector / per-worker deque with steal-back-half handoff
+// (pool.rs dispatch). A victim claims the whole injector batch; a thief
+// finds the injector empty and steals back half of the victim's local
+// queue. Property: every task is executed exactly once, no matter how the
+// claim and the steal interleave.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PoolDone {
+    done: Vec<u32>,
+    exits: u32,
+}
+
+#[test]
+fn pool_steal_back_half_handoff_loses_no_task() {
+    let stats = explore(Strategy::Exhaustive { max_executions: 100_000 }, |run| {
+        let injector = Arc::new(VMutex::new(vec![1u32, 2, 3]));
+        let victim_local = Arc::new(VMutex::new(Vec::<u32>::new()));
+        let state = Arc::new(VMutex::new(PoolDone::default()));
+
+        let finish = |state: &Arc<VMutex<PoolDone>>, mine: Vec<u32>| {
+            let mut st = state.lock();
+            st.done.extend(mine);
+            st.exits += 1;
+            if st.exits == 2 {
+                let mut done = st.done.clone();
+                done.sort_unstable();
+                assert_eq!(done, vec![1, 2, 3], "each task exactly once");
+            }
+        };
+
+        {
+            let (injector, local, state) =
+                (Arc::clone(&injector), Arc::clone(&victim_local), Arc::clone(&state));
+            run.spawn("victim", move || {
+                // Claim the batch: pop one to run, park the rest in the
+                // local deque (pool.rs claim path).
+                let mut mine = Vec::new();
+                let rest = {
+                    let mut inj = injector.lock();
+                    if let Some(first) = inj.pop() {
+                        mine.push(first);
+                    }
+                    std::mem::take(&mut *inj)
+                };
+                victim_locked_extend(&local, rest);
+                // Drain whatever the thief left us.
+                loop {
+                    let next = local.lock().pop();
+                    match next {
+                        Some(t) => mine.push(t),
+                        None => break,
+                    }
+                }
+                finish(&state, mine);
+            });
+        }
+        {
+            let (injector, local, state) =
+                (Arc::clone(&injector), Arc::clone(&victim_local), Arc::clone(&state));
+            run.spawn("thief", move || {
+                let mut mine = Vec::new();
+                if let Some(t) = injector.lock().pop() {
+                    // Beat the victim to the injector: run one task and
+                    // leave the rest (the victim claims them).
+                    mine.push(t);
+                } else {
+                    // Injector empty: steal back half of the victim's
+                    // local queue (pool.rs steal path).
+                    let mut v = local.lock();
+                    let keep = v.len() - v.len() / 2;
+                    mine = v.split_off(keep);
+                }
+                finish(&state, mine);
+            });
+        }
+    })
+    .expect("no schedule may lose or duplicate a task");
+    assert!(stats.complete, "exhaustive space must be fully enumerated");
+}
+
+/// Victim-side helper: one lock tenure to deposit the claimed batch.
+fn victim_locked_extend(local: &Arc<VMutex<Vec<u32>>>, rest: Vec<u32>) {
+    if !rest.is_empty() {
+        local.lock().extend(rest);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: condvar park vs. wake (pool.rs:330 lost-wakeup comment). The
+// fixed protocol keeps the work flag inside the sleep mutex and re-checks
+// it before waiting; the buggy variant checks a racy flag outside the lock
+// and then parks — the dispatcher's notify can land in the gap and the
+// worker sleeps forever. The explorer must find that deadlock.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn condvar_recheck_under_lock_prevents_lost_wakeup() {
+    let stats = explore(Strategy::Exhaustive { max_executions: 100_000 }, |run| {
+        let sleep = Arc::new(VMutex::new(false)); // work flag inside the mutex
+        let cv = Arc::new(VCondvar::new());
+        {
+            let (sleep, cv) = (Arc::clone(&sleep), Arc::clone(&cv));
+            run.spawn("worker", move || {
+                let mut has_work = sleep.lock();
+                while !*has_work {
+                    cv.wait(&mut has_work);
+                }
+            });
+        }
+        {
+            let (sleep, cv) = (Arc::clone(&sleep), Arc::clone(&cv));
+            run.spawn("dispatcher", move || {
+                // Set-and-notify under the same lock (pool.rs dispatch).
+                let mut has_work = sleep.lock();
+                *has_work = true;
+                cv.notify_one();
+            });
+        }
+    })
+    .expect("recheck-under-lock never hangs");
+    assert!(stats.complete);
+}
+
+#[test]
+fn racy_flag_check_outside_lock_is_a_lost_wakeup() {
+    let result = explore(Strategy::Exhaustive { max_executions: 100_000 }, |run| {
+        let flag = Arc::new(VCell::new(false)); // racy: outside the mutex
+        let sleep = Arc::new(VMutex::new(()));
+        let cv = Arc::new(VCondvar::new());
+        {
+            let (flag, sleep, cv) = (Arc::clone(&flag), Arc::clone(&sleep), Arc::clone(&cv));
+            run.spawn("worker", move || {
+                if !flag.get() {
+                    // Gap: the dispatcher can set + notify right here.
+                    let mut g = sleep.lock();
+                    cv.wait(&mut g);
+                }
+            });
+        }
+        {
+            let (flag, cv) = (Arc::clone(&flag), Arc::clone(&cv));
+            run.spawn("dispatcher", move || {
+                flag.set(true);
+                cv.notify_one(); // lost if the worker has not parked yet
+            });
+        }
+    });
+    let failure = result.expect_err("some schedule must lose the wakeup");
+    match &failure.kind {
+        FailureKind::Deadlock { blocked } => {
+            assert_eq!(blocked, &["worker"], "the worker parks forever: {failure}")
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model 3: SessionStore spill → cold-reload → revalidation (durable.rs).
+// The spiller snapshots a resident session, writes the snapshot outside
+// the lock, then must revalidate (stamp + identity, modelling the
+// dirty-stamp / Arc::ptr_eq check) before evicting — an updater may have
+// replaced the session in the gap. Property: the latest version is never
+// lost, whether it lives in memory or on disk.
+// ---------------------------------------------------------------------------
+
+struct SpillSt {
+    /// `(stamp, version)` of the resident session, `None` when spilled.
+    resident: Option<(u64, u32)>,
+    /// Version of the on-disk snapshot (0 = none).
+    disk: u32,
+    exits: u32,
+}
+
+fn spill_model(
+    revalidate: bool,
+) -> Result<sst_check::sched::Stats, Box<sst_check::sched::Failure>> {
+    explore(Strategy::Exhaustive { max_executions: 100_000 }, move |run| {
+        let st = Arc::new(VMutex::new(SpillSt { resident: Some((1, 1)), disk: 0, exits: 0 }));
+        let finish = |st: &Arc<VMutex<SpillSt>>| {
+            let mut g = st.lock();
+            g.exits += 1;
+            if g.exits == 2 {
+                let visible = g.resident.map(|(_, v)| v).unwrap_or(g.disk);
+                assert_eq!(visible, 2, "update must never be lost to a stale spill");
+            }
+        };
+        {
+            let st = Arc::clone(&st);
+            run.spawn("spiller", move || {
+                let snap = st.lock().resident;
+                if let Some((stamp, version)) = snap {
+                    yield_now(); // serialize the snapshot outside the lock
+                    let mut g = st.lock();
+                    if !revalidate || g.resident == Some((stamp, version)) {
+                        g.disk = version;
+                        g.resident = None; // evict
+                    }
+                }
+                finish(&st);
+            });
+        }
+        {
+            let st = Arc::clone(&st);
+            run.spawn("updater", move || {
+                {
+                    let mut g = st.lock();
+                    match g.resident {
+                        // In-place update bumps the stamp (spiller's
+                        // snapshot is now stale).
+                        Some((stamp, _)) => g.resident = Some((stamp + 1, 2)),
+                        // Already spilled: cold-reload from disk, update.
+                        None => {
+                            let reloaded = g.disk;
+                            g.resident = Some((100, reloaded + 1));
+                        }
+                    }
+                }
+                finish(&st);
+            });
+        }
+    })
+}
+
+#[test]
+fn spill_revalidation_preserves_the_update() {
+    let stats = spill_model(true).expect("revalidated spill never loses the update");
+    assert!(stats.complete, "exhaustive space must be fully enumerated");
+}
+
+#[test]
+fn unconditional_evict_after_snapshot_loses_the_update() {
+    let failure = spill_model(false).expect_err("stale evict must lose the update somewhere");
+    assert!(
+        matches!(failure.kind, FailureKind::Panic { .. }),
+        "loss surfaces as the model assertion: {failure}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model 4: TraceSink bounded ring — producer vs. drainer vs. close
+// (telemetry.rs). Capacity-1 ring: a full ring drops (counted), close
+// wakes the drainer so buffered events still flush. Property: every
+// emitted event is either drained or counted as dropped — and the variant
+// where close() forgets to notify deadlocks the drainer, which is exactly
+// why the real `TraceSink::close` notifies under the state lock.
+// ---------------------------------------------------------------------------
+
+struct RingSt {
+    buf: Option<u32>, // capacity-1 ring
+    closed: bool,
+    dropped: u32,
+    out: Vec<u32>,
+    exits: u32,
+}
+
+fn ring_model(
+    strategy: Strategy,
+    close_notifies: bool,
+) -> Result<sst_check::sched::Stats, Box<sst_check::sched::Failure>> {
+    explore(strategy, move |run| {
+        let st = Arc::new(VMutex::new(RingSt {
+            buf: None,
+            closed: false,
+            dropped: 0,
+            out: Vec::new(),
+            exits: 0,
+        }));
+        let cv = Arc::new(VCondvar::new());
+        let finish = |st: &Arc<VMutex<RingSt>>| {
+            let mut g = st.lock();
+            g.exits += 1;
+            if g.exits == 3 {
+                assert!(g.buf.is_none(), "drainer flushes the ring before exiting");
+                assert_eq!(
+                    g.out.len() + g.dropped as usize,
+                    2,
+                    "every event drained or counted as dropped"
+                );
+            }
+        };
+        {
+            let (st, cv) = (Arc::clone(&st), Arc::clone(&cv));
+            run.spawn("producer", move || {
+                for event in [1u32, 2] {
+                    let mut g = st.lock();
+                    if g.closed || g.buf.is_some() {
+                        g.dropped += 1; // full or closed ring drops, counted
+                    } else {
+                        g.buf = Some(event);
+                        cv.notify_one();
+                    }
+                }
+                finish(&st);
+            });
+        }
+        {
+            let (st, cv) = (Arc::clone(&st), Arc::clone(&cv));
+            run.spawn("drainer", move || {
+                {
+                    let mut g = st.lock();
+                    loop {
+                        if let Some(event) = g.buf.take() {
+                            g.out.push(event);
+                            continue;
+                        }
+                        if g.closed {
+                            break;
+                        }
+                        cv.wait(&mut g);
+                    }
+                }
+                finish(&st);
+            });
+        }
+        {
+            let (st, cv) = (Arc::clone(&st), Arc::clone(&cv));
+            run.spawn("closer", move || {
+                {
+                    let mut g = st.lock();
+                    g.closed = true;
+                    if close_notifies {
+                        cv.notify_all();
+                    }
+                }
+                finish(&st);
+            });
+        }
+    })
+}
+
+#[test]
+fn trace_ring_accounts_for_every_event() {
+    let stats = ring_model(Strategy::Exhaustive { max_executions: 500_000 }, true)
+        .expect("drain + drop accounting holds in every schedule");
+    assert!(stats.complete, "exhaustive space must be fully enumerated");
+}
+
+#[test]
+fn trace_ring_random_walks_for_ci() {
+    // The bounded, seeded sweep CI runs in addition to the exhaustive
+    // pass: deterministic per seed, cheap at any model size.
+    ring_model(Strategy::Random { seed: 0x5357, walks: 200 }, true)
+        .expect("seeded walks agree with the exhaustive pass");
+}
+
+#[test]
+fn close_without_notify_hangs_the_drainer() {
+    let failure = ring_model(Strategy::Exhaustive { max_executions: 500_000 }, false)
+        .expect_err("silent close must strand the drainer in some schedule");
+    match &failure.kind {
+        FailureKind::Deadlock { blocked } => {
+            assert!(blocked.contains(&"drainer".to_string()), "{failure}")
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}

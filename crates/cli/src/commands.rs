@@ -149,6 +149,15 @@ USAGE
       (queue-wait, solver, total, journal-append, …), per-solver
       standings (runs, outcomes, incumbent improvements, time to first
       incumbent) and the dropped-event count.
+  sst lint [--root DIR] [--allowlist FILE]
+      workspace convention lint (CI gate): no raw std::sync locks
+      outside crates/compat (all locking funnels through the
+      lockdep-instrumented compat parking_lot), every non-Relaxed
+      atomic ordering justified by an `ordering:` comment, no
+      unwrap/expect in serve-path non-test code, and no sleeping
+      outside tests. Suppress with `lint: allow(<rule>)` inline
+      comments or entries in lint.allow at the workspace root; stale
+      allowlist entries are reported.
   sst help
 "
     .to_string()
@@ -1028,6 +1037,70 @@ pub fn bound(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `sst lint` — the workspace convention lint (see `sst_check::lint`):
+/// no raw `std::sync` locks outside the compat layer, justified
+/// non-`Relaxed` atomic orderings, no `unwrap` in serve-path non-test
+/// code, no `thread::sleep` outside tests. Non-empty findings are an
+/// error (the CI gate); suppressions live in `lint.allow` at the
+/// workspace root or inline `lint: allow(<rule>)` comments.
+pub fn lint(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["root", "allowlist"])?;
+    let root = match args.flag("root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => workspace_root()?,
+    };
+    let allow_path = match args.flag("allowlist") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("lint.allow"),
+    };
+    let allowlist = sst_check::lint::Allowlist::load(&allow_path)?;
+    let report = sst_check::lint::run(&root, allowlist)?;
+    let mut out = String::new();
+    for stale in &report.stale_entries {
+        out.push_str(&format!("stale allowlist entry (matched nothing): {stale}\n"));
+    }
+    if report.clean() {
+        out.push_str(&format!(
+            "lint clean: {} files scanned, {} finding(s) allowlisted\n",
+            report.files_scanned, report.allowed
+        ));
+        Ok(out)
+    } else {
+        let mut msg = String::new();
+        for finding in &report.findings {
+            msg.push_str(&format!("{finding}\n"));
+        }
+        let rules: Vec<&str> = sst_check::lint::rules_hit(&report.findings).into_iter().collect();
+        msg.push_str(&format!(
+            "{} finding(s) across rules {:?}; fix them or add entries to {}",
+            report.findings.len(),
+            rules,
+            allow_path.display()
+        ));
+        Err(CliError(msg))
+    }
+}
+
+/// Walks up from the current directory to the enclosing Cargo workspace
+/// root (the directory whose `Cargo.toml` has a `[workspace]` table).
+fn workspace_root() -> Result<std::path::PathBuf, CliError> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(CliError(
+                "no Cargo workspace root found above the current directory; pass --root".into(),
+            ));
+        }
+    }
+}
+
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -1042,6 +1115,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "sweep" => sweep(args),
         "serve" => serve(args),
         "trace" => trace(args),
+        "lint" => lint(args),
         other => Err(CliError(format!("unknown command '{other}'; see `sst help`"))),
     }
 }

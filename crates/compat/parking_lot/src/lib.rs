@@ -1,24 +1,76 @@
 //! Offline stand-in for the subset of the `parking_lot` API this workspace
 //! uses: a [`Mutex`] whose `lock()` returns the guard directly (no poison
-//! `Result`), implemented over `std::sync::Mutex`.
+//! `Result`) and a [`Condvar`] that waits on a `&mut MutexGuard`, both
+//! implemented over `std::sync`.
+//!
+//! Because every lock in the workspace funnels through this crate, it doubles
+//! as the instrumentation point for the lock-order deadlock detector in
+//! `sst_check`. Under `--features lockdep` each acquisition records the
+//! acquiring thread's currently-held lock set into a global lock-order graph
+//! (see [`lockdep`]); with the feature off the hooks compile to nothing and
+//! the types are exactly as cheap as before.
+//!
+//! Locks can be given stable names with [`Mutex::named`]; anonymous locks are
+//! labelled by their construction site (`#[track_caller]`).
 
-use std::sync::MutexGuard;
+pub mod lockdep;
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::time::Duration;
 
 /// A mutex with `parking_lot`'s panic-transparent `lock()` signature.
-#[derive(Debug, Default)]
 pub struct Mutex<T> {
     inner: std::sync::Mutex<T>,
+    meta: lockdep::LockMeta,
 }
 
 impl<T> Mutex<T> {
-    /// Creates a mutex holding `value`.
+    /// Creates an anonymous mutex holding `value`, labelled by the
+    /// construction site.
+    #[track_caller]
     pub fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            meta: lockdep::LockMeta::site(Location::caller()),
+        }
+    }
+
+    /// Creates a mutex with a stable human-readable name, used by lockdep
+    /// reports instead of the construction site.
+    #[track_caller]
+    pub fn named(name: &'static str, value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            meta: lockdep::LockMeta::named(name, Location::caller()),
+        }
+    }
+
+    /// Creates a named mutex registered in an explicit lockdep registry
+    /// instead of the global one. Used by tests that plant lock-order
+    /// violations without polluting the shared graph.
+    pub fn named_in(registry: &'static lockdep::Registry, name: &'static str, value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            meta: lockdep::LockMeta::named_in(registry, name),
+        }
+    }
+
+    /// Creates a mutex invisible to lockdep. For instrumentation-layer
+    /// internals (e.g. the interleaving harness's own scheduler lock) that
+    /// must not appear in the program's lock-order graph.
+    pub fn untracked(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value), meta: lockdep::LockMeta::untracked() }
     }
 
     /// Acquires the lock, recovering from poisoning (a panicked holder).
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        let site = Location::caller();
+        let inner = self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        lockdep::on_acquire(&self.meta, site);
+        MutexGuard { inner: Some(inner), lock: self }
     }
 
     /// Consumes the mutex, returning the value.
@@ -27,9 +79,118 @@ impl<T> Mutex<T> {
     }
 }
 
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(guard) => f.debug_struct("Mutex").field("data", &*guard).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]. Releases the lock (and pops the
+/// lockdep held-set entry) on drop.
+///
+/// The inner `Option` is `Some` except transiently inside
+/// [`Condvar::wait`], which takes the std guard out while parked.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("mutex guard accessed while parked")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("mutex guard accessed while parked")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            lockdep::on_release(&self.lock.meta);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A condition variable that waits on a `&mut MutexGuard`, `parking_lot`
+/// style: no poison `Result`, no guard hand-back.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Atomically releases the guarded lock and parks until notified. The
+    /// lock is re-acquired (and re-registered with lockdep at this call
+    /// site) before returning. Spurious wakeups are possible, as with
+    /// `std`; callers loop on their predicate.
+    #[track_caller]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let site = Location::caller();
+        let std_guard = guard.inner.take().expect("mutex guard accessed while parked");
+        lockdep::on_release(&guard.lock.meta);
+        let std_guard = self.inner.wait(std_guard).unwrap_or_else(|poisoned| poisoned.into_inner());
+        lockdep::on_acquire(&guard.lock.meta, site);
+        guard.inner = Some(std_guard);
+    }
+
+    /// Like [`Condvar::wait`] with a timeout. Returns `true` if the wait
+    /// timed out.
+    #[track_caller]
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, dur: Duration) -> bool {
+        let site = Location::caller();
+        let std_guard = guard.inner.take().expect("mutex guard accessed while parked");
+        lockdep::on_release(&guard.lock.meta);
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, dur)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        lockdep::on_acquire(&guard.lock.meta, site);
+        guard.inner = Some(std_guard);
+        result.timed_out()
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all parked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_and_mutate() {
@@ -37,5 +198,38 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn named_lock_behaves_identically() {
+        let m = Mutex::named("test.named", vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        let pair = Arc::new((Mutex::named("test.cv", false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        assert!(*ready);
+        t.join().expect("setter thread");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        assert!(cv.wait_timeout(&mut guard, Duration::from_millis(10)));
     }
 }

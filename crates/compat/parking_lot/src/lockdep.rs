@@ -1,0 +1,309 @@
+//! Lock-order recording hooks for the lockdep deadlock detector.
+//!
+//! With `--features lockdep`, every tracked [`crate::Mutex`] acquisition
+//! records one edge `held → acquired` per lock the acquiring thread already
+//! holds, into a per-registry lock-order graph. An edge remembers the first
+//! pair of acquisition sites that produced it, so a later cycle report can
+//! point at both halves of an ABBA inversion. Cycle *analysis* lives in
+//! `sst_check::lockdep`; this module only records.
+//!
+//! With the feature off every hook is an empty inline function, `LockMeta`
+//! is a zero-sized field, and `snapshot()` returns an empty graph — callers
+//! never need `cfg` guards.
+//!
+//! Locks registered via [`crate::Mutex::named_in`] record into an explicit
+//! [`Registry`] (obtained from [`Registry::leak`]) instead of the global
+//! one; edges are only formed between locks of the same registry, so
+//! planted-inversion tests cannot poison the shared graph.
+
+/// A node in a lock-order graph snapshot: one live `Mutex` instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockNode {
+    /// Process-unique id of the lock instance.
+    pub id: u64,
+    /// Stable name (from `Mutex::named`) or `mutex@file:line` construction
+    /// site for anonymous locks.
+    pub label: String,
+}
+
+/// One recorded ordering fact: some thread acquired `to` while holding
+/// `from`. Sites are `file:line:col` of the two acquisitions (first time
+/// the edge was seen).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSnapshot {
+    /// The lock that was already held.
+    pub from: LockNode,
+    /// The lock that was acquired while `from` was held.
+    pub to: LockNode,
+    /// Where `from` was acquired by the thread that created this edge.
+    pub from_site: String,
+    /// Where `to` was acquired while `from` was held.
+    pub to_site: String,
+}
+
+#[cfg(feature = "lockdep")]
+mod imp {
+    use super::EdgeSnapshot;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    /// Process-unique lock ids. Relaxed: the id only needs uniqueness, the
+    /// registry's own mutex orders everything else.
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    fn next_id() -> u64 {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Per-lock instrumentation state stored inside `crate::Mutex`.
+    pub struct LockMeta {
+        id: u64,
+        registry: &'static Registry,
+        name: Option<&'static str>,
+        site: Option<&'static Location<'static>>,
+    }
+
+    impl LockMeta {
+        pub fn site(site: &'static Location<'static>) -> Self {
+            LockMeta { id: next_id(), registry: default_registry(), name: None, site: Some(site) }
+        }
+
+        pub fn named(name: &'static str, site: &'static Location<'static>) -> Self {
+            LockMeta {
+                id: next_id(),
+                registry: default_registry(),
+                name: Some(name),
+                site: Some(site),
+            }
+        }
+
+        pub fn named_in(registry: &'static Registry, name: &'static str) -> Self {
+            LockMeta { id: next_id(), registry, name: Some(name), site: None }
+        }
+
+        pub fn untracked() -> Self {
+            // id 0 marks the lock as invisible to the recorder.
+            LockMeta { id: 0, registry: default_registry(), name: None, site: None }
+        }
+
+        fn label(&self) -> String {
+            match (self.name, self.site) {
+                (Some(name), _) => name.to_string(),
+                (None, Some(site)) => format!("mutex@{}:{}", site.file(), site.line()),
+                (None, None) => format!("mutex#{}", self.id),
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct State {
+        /// id → label for every lock seen by this registry.
+        locks: BTreeMap<u64, String>,
+        /// (held, acquired) → first-seen acquisition sites.
+        edges: BTreeMap<(u64, u64), (String, String)>,
+    }
+
+    /// A lock-order graph accumulator. One global default instance; tests
+    /// that plant inversions get isolated instances via [`Registry::leak`].
+    pub struct Registry {
+        state: StdMutex<State>,
+    }
+
+    impl Registry {
+        const fn new() -> Self {
+            Registry {
+                state: StdMutex::new(State { locks: BTreeMap::new(), edges: BTreeMap::new() }),
+            }
+        }
+
+        /// Allocates a fresh registry with `'static` lifetime (leaked; meant
+        /// for a handful of test-local graphs, not per-request use).
+        pub fn leak() -> &'static Registry {
+            Box::leak(Box::new(Registry::new()))
+        }
+
+        /// Returns every recorded ordering edge.
+        pub fn snapshot(&self) -> Vec<EdgeSnapshot> {
+            let st = self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            st.edges
+                .iter()
+                .map(|(&(from, to), (from_site, to_site))| EdgeSnapshot {
+                    from: super::LockNode { id: from, label: st.locks[&from].clone() },
+                    to: super::LockNode { id: to, label: st.locks[&to].clone() },
+                    from_site: from_site.clone(),
+                    to_site: to_site.clone(),
+                })
+                .collect()
+        }
+
+        /// Clears all recorded locks and edges.
+        pub fn reset(&self) {
+            let mut st = self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            *st = State::default();
+        }
+    }
+
+    static DEFAULT: Registry = Registry::new();
+
+    /// The global registry that `Mutex::new`/`Mutex::named` record into.
+    pub fn default_registry() -> &'static Registry {
+        &DEFAULT
+    }
+
+    /// One lock currently held by this thread.
+    struct Held {
+        registry: *const Registry,
+        id: u64,
+        site: String,
+    }
+
+    thread_local! {
+        /// Stack of locks held by the current thread, in acquisition order.
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn on_acquire(meta: &LockMeta, site: &'static Location<'static>) {
+        if meta.id == 0 {
+            return;
+        }
+        let site_str = format!("{}:{}:{}", site.file(), site.line(), site.column());
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            {
+                let mut st =
+                    meta.registry.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                st.locks.entry(meta.id).or_insert_with(|| meta.label());
+                for h in held.iter() {
+                    if std::ptr::eq(h.registry, meta.registry) && h.id != meta.id {
+                        st.edges
+                            .entry((h.id, meta.id))
+                            .or_insert_with(|| (h.site.clone(), site_str.clone()));
+                    }
+                }
+            }
+            held.push(Held { registry: meta.registry, id: meta.id, site: site_str });
+        });
+    }
+
+    pub fn on_release(meta: &LockMeta) {
+        if meta.id == 0 {
+            return;
+        }
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held
+                .iter()
+                .rposition(|h| h.id == meta.id && std::ptr::eq(h.registry, meta.registry))
+            {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(not(feature = "lockdep"))]
+mod imp {
+    use super::EdgeSnapshot;
+    use std::panic::Location;
+
+    /// Zero-sized stand-in: with the feature off, locks carry no metadata.
+    pub struct LockMeta;
+
+    impl LockMeta {
+        #[inline(always)]
+        pub fn site(_site: &'static Location<'static>) -> Self {
+            LockMeta
+        }
+
+        #[inline(always)]
+        pub fn named(_name: &'static str, _site: &'static Location<'static>) -> Self {
+            LockMeta
+        }
+
+        #[inline(always)]
+        pub fn named_in(_registry: &'static Registry, _name: &'static str) -> Self {
+            LockMeta
+        }
+
+        #[inline(always)]
+        pub fn untracked() -> Self {
+            LockMeta
+        }
+    }
+
+    /// Zero-sized registry stand-in; records nothing.
+    pub struct Registry;
+
+    static DEFAULT: Registry = Registry;
+
+    impl Registry {
+        pub fn leak() -> &'static Registry {
+            &DEFAULT
+        }
+
+        pub fn snapshot(&self) -> Vec<EdgeSnapshot> {
+            Vec::new()
+        }
+
+        pub fn reset(&self) {}
+    }
+
+    pub fn default_registry() -> &'static Registry {
+        &DEFAULT
+    }
+
+    #[inline(always)]
+    pub fn on_acquire(_meta: &LockMeta, _site: &'static Location<'static>) {}
+
+    #[inline(always)]
+    pub fn on_release(_meta: &LockMeta) {}
+}
+
+pub use imp::{default_registry, on_acquire, on_release, LockMeta, Registry};
+
+/// Snapshot of the global registry's lock-order graph. Empty when the
+/// `lockdep` feature is off.
+pub fn snapshot() -> Vec<EdgeSnapshot> {
+    default_registry().snapshot()
+}
+
+/// Clears the global registry. Intended for test setup; concurrent tests
+/// sharing the process will repopulate it as they run.
+pub fn reset() {
+    default_registry().reset();
+}
+
+#[cfg(all(test, feature = "lockdep"))]
+mod tests {
+    use crate::lockdep::Registry;
+    use crate::Mutex;
+
+    #[test]
+    fn nested_acquisition_records_edge() {
+        let reg = Registry::leak();
+        let outer = Mutex::named_in(reg, "outer", ());
+        let inner = Mutex::named_in(reg, "inner", ());
+        {
+            let _o = outer.lock();
+            let _i = inner.lock();
+        }
+        let edges = reg.snapshot();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from.label, "outer");
+        assert_eq!(edges[0].to.label, "inner");
+        assert!(edges[0].to_site.contains("lockdep.rs"), "site: {}", edges[0].to_site);
+    }
+
+    #[test]
+    fn sequential_acquisition_records_nothing() {
+        let reg = Registry::leak();
+        let a = Mutex::named_in(reg, "a", ());
+        let b = Mutex::named_in(reg, "b", ());
+        drop(a.lock());
+        drop(b.lock());
+        assert!(reg.snapshot().is_empty());
+    }
+}

@@ -37,17 +37,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Instant;
 
-use crate::stats::LatencyHistogram;
+use parking_lot::{Condvar, Mutex};
 
-/// Locks a std mutex, shrugging off poisoning: telemetry must keep
-/// working after a panicking worker (the service catches solver panics),
-/// and every critical section here leaves the data structurally valid.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+use crate::stats::LatencyHistogram;
 
 /// A monotonically increasing counter (events since start).
 #[derive(Debug, Default)]
@@ -88,23 +83,29 @@ impl Gauge {
 
 /// A shared log₂-bucketed latency histogram (see [`LatencyHistogram`]);
 /// the mutex guards a couple of arithmetic instructions per record.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Histogram(Mutex<LatencyHistogram>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Mutex::named("telemetry.histogram", LatencyHistogram::new()))
+    }
+}
 
 impl Histogram {
     /// Records one sample.
     pub fn record(&self, value: u64) {
-        lock(&self.0).record(value);
+        self.0.lock().record(value);
     }
 
     /// A copy of the current histogram.
     pub fn snapshot(&self) -> LatencyHistogram {
-        lock(&self.0).clone()
+        self.0.lock().clone()
     }
 
     /// Folds `other` into this histogram (cross-worker aggregation).
     pub fn merge(&self, other: &LatencyHistogram) {
-        lock(&self.0).merge(other);
+        self.0.lock().merge(other);
     }
 }
 
@@ -142,11 +143,21 @@ impl RegistrySnapshot {
 /// shared as `Arc`s. The registry lock is held only for get-or-create and
 /// snapshot — never on the recording hot path (resolve the handle once,
 /// then record through it).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            counters: Mutex::named("telemetry.registry.counters", BTreeMap::new()),
+            gauges: Mutex::named("telemetry.registry.gauges", BTreeMap::new()),
+            histograms: Mutex::named("telemetry.registry.histograms", BTreeMap::new()),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -157,7 +168,7 @@ impl MetricsRegistry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = lock(&self.counters);
+        let mut map = self.counters.lock();
         match map.get(name) {
             Some(c) => Arc::clone(c),
             None => {
@@ -170,7 +181,7 @@ impl MetricsRegistry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = lock(&self.gauges);
+        let mut map = self.gauges.lock();
         match map.get(name) {
             Some(g) => Arc::clone(g),
             None => {
@@ -183,7 +194,7 @@ impl MetricsRegistry {
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = lock(&self.histograms);
+        let mut map = self.histograms.lock();
         match map.get(name) {
             Some(h) => Arc::clone(h),
             None => {
@@ -197,10 +208,12 @@ impl MetricsRegistry {
     /// A name-sorted image of every instrument.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let counters =
-            lock(&self.counters).iter().map(|(n, c)| (n.clone(), c.get())).collect::<Vec<_>>();
+            self.counters.lock().iter().map(|(n, c)| (n.clone(), c.get())).collect::<Vec<_>>();
         let gauges =
-            lock(&self.gauges).iter().map(|(n, g)| (n.clone(), g.get())).collect::<Vec<_>>();
-        let histograms = lock(&self.histograms)
+            self.gauges.lock().iter().map(|(n, g)| (n.clone(), g.get())).collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .lock()
             .iter()
             .map(|(n, h)| (n.clone(), h.snapshot()))
             .collect::<Vec<_>>();
@@ -557,7 +570,10 @@ impl TraceSink {
     /// events emitted while the ring is full are dropped and counted.
     pub fn with_capacity(mut out: Box<dyn Write + Send>, capacity: usize) -> TraceSink {
         let shared = Arc::new(SinkShared {
-            state: Mutex::new(SinkState { queue: VecDeque::new(), closed: false }),
+            state: Mutex::named(
+                "telemetry.sink.state",
+                SinkState { queue: VecDeque::new(), closed: false },
+            ),
             cv: Condvar::new(),
             dropped: AtomicU64::new(0),
             epoch: Instant::now(),
@@ -568,12 +584,9 @@ impl TraceSink {
             let mut batch: Vec<String> = Vec::new();
             loop {
                 {
-                    let mut state = lock(&writer_shared.state);
+                    let mut state = writer_shared.state.lock();
                     while state.queue.is_empty() && !state.closed {
-                        state = writer_shared
-                            .cv
-                            .wait(state)
-                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        writer_shared.cv.wait(&mut state);
                     }
                     if state.queue.is_empty() && state.closed {
                         break;
@@ -598,7 +611,7 @@ impl TraceSink {
             let _ = out.write_all(line.as_bytes());
             let _ = out.flush();
         });
-        TraceSink { shared, writer: Arc::new(Mutex::new(Some(handle))) }
+        TraceSink { shared, writer: Arc::new(Mutex::named("telemetry.sink.writer", Some(handle))) }
     }
 
     /// A sink appending to the file at `path` (created/truncated).
@@ -618,14 +631,14 @@ impl TraceSink {
         struct SharedBuf(Arc<Mutex<Vec<u8>>>);
         impl Write for SharedBuf {
             fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                lock(&self.0).extend_from_slice(buf);
+                self.0.lock().extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
                 Ok(())
             }
         }
-        let buf = Arc::new(Mutex::new(Vec::new()));
+        let buf = Arc::new(Mutex::named("telemetry.test.buffer", Vec::new()));
         let sink = TraceSink::to_writer(Box::new(SharedBuf(Arc::clone(&buf))));
         (sink, buf)
     }
@@ -639,7 +652,7 @@ impl TraceSink {
         event.write_json(ts, &mut line);
         line.push('\n');
         {
-            let mut state = lock(&self.shared.state);
+            let mut state = self.shared.state.lock();
             if state.closed || state.queue.len() >= self.shared.capacity {
                 self.shared.dropped.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -665,11 +678,11 @@ impl TraceSink {
     /// Idempotent; safe to call from any clone.
     pub fn close(&self) {
         {
-            let mut state = lock(&self.shared.state);
+            let mut state = self.shared.state.lock();
             state.closed = true;
         }
         self.shared.cv.notify_all();
-        let handle = lock(&self.writer).take();
+        let handle = self.writer.lock().take();
         if let Some(h) = handle {
             let _ = h.join();
         }
@@ -783,7 +796,7 @@ mod tests {
         sink.emit(TraceEvent::Dequeue { id: 1, worker: 0, queue_wait_us: 42 });
         sink.emit(TraceEvent::Respond { id: 1, ok: true, total_us: 99 });
         sink.close();
-        let text = String::from_utf8(lock(&buf).clone()).unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4, "{text}");
         assert!(lines[0].contains("\"event\": \"enqueue\"") && lines[0].contains("\"id\": 1"));
@@ -825,7 +838,7 @@ mod tests {
             sink.emit(TraceEvent::Enqueue { id });
         }
         sink.close();
-        let text = String::from_utf8(lock(&buf).clone()).unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
         let ts: Vec<u64> = text
             .lines()
             .map(|l| {

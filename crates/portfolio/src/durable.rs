@@ -441,7 +441,10 @@ impl DurableStore {
             journal_path,
             durability,
             snapshot_every: 32,
-            journal: Mutex::new(JournalWriter { file: std::io::BufWriter::new(file), seq: 0 }),
+            journal: Mutex::named(
+                "durable.journal",
+                JournalWriter { file: std::io::BufWriter::new(file), seq: 0 },
+            ),
             journal_appends: AtomicU64::new(0),
             journal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),

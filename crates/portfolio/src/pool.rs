@@ -33,9 +33,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 /// How jobs reach workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +191,9 @@ impl<J: Send + 'static> Shared<J> {
     fn on_worker_death(&self, w: usize) {
         let orphans: Vec<J> = {
             let _g = self.sleep.lock();
+            // ordering: Release pairs with the Acquire load in sharded
+            // dispatch — a dispatcher that sees the flag down also sees this
+            // worker's queue already drained back to the injector.
             self.worker_alive[w].store(false, Ordering::Release);
             let leftovers: Vec<J> = {
                 let mut local = self.locals[w].lock();
@@ -202,6 +205,10 @@ impl<J: Send + 'static> Shared<J> {
                     inj.push_front(job);
                 }
             }
+            // ordering: AcqRel — the Release half publishes this worker's
+            // re-queueing to whoever reads `alive` with Acquire; the Acquire
+            // half makes the last decrementer see every earlier death's
+            // re-queueing before it collects orphans.
             let orphans = if self.alive.fetch_sub(1, Ordering::AcqRel) == 1 {
                 self.collect_orphans()
             } else {
@@ -251,9 +258,9 @@ impl<J: Send + 'static> Pool<J> {
     {
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
-            injector: Mutex::new(VecDeque::new()),
-            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            sleep: Mutex::new(()),
+            injector: Mutex::named("pool.injector", VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::named("pool.local", VecDeque::new())).collect(),
+            sleep: Mutex::named("pool.sleep", ()),
             cv: Condvar::new(),
             closed: AtomicBool::new(false),
             alive: AtomicUsize::new(workers),
@@ -282,6 +289,8 @@ impl<J: Send + 'static> Pool<J> {
         let s = &self.shared;
         // Fast-path rejection without the lock; both conditions are
         // re-checked under the sleep lock below, where they are exact.
+        // ordering: Acquire pairs with the AcqRel decrement in
+        // `on_worker_death` so a zero read implies the queues were drained.
         if s.alive.load(Ordering::Acquire) == 0 {
             let queued = s.queued.load(Ordering::Relaxed);
             return Err(Rejected { job, reason: RejectReason::NoWorkers, queued });
@@ -290,6 +299,7 @@ impl<J: Send + 'static> Pool<J> {
         // The last worker may have died between the check above and here,
         // after which nothing would ever drain the queue; the death
         // protocol runs under this lock, so the re-check is exact.
+        // ordering: Acquire, same pairing as the fast-path check above.
         if s.alive.load(Ordering::Acquire) == 0 {
             let queued = s.queued.load(Ordering::Relaxed);
             return Err(Rejected { job, reason: RejectReason::NoWorkers, queued });
@@ -317,6 +327,9 @@ impl<J: Send + 'static> Pool<J> {
                 let n = s.locals.len();
                 let target = (0..n)
                     .map(|_| s.next.fetch_add(1, Ordering::Relaxed) % n)
+                    // ordering: Acquire on `worker_alive` pairs with the
+                    // Release store in `on_worker_death` (see there); both
+                    // run under the sleep lock, so the flag is also current.
                     .find(|&w| s.worker_alive[w].load(Ordering::Acquire));
                 match target {
                     Some(w) => s.locals[w].lock().push_back(job),
@@ -336,6 +349,8 @@ impl<J: Send + 'static> Pool<J> {
 
     /// Workers still running.
     pub fn alive(&self) -> usize {
+        // ordering: Acquire pairs with the AcqRel decrement in
+        // `on_worker_death`; a caller reading 0 sees the final drain.
         self.shared.alive.load(Ordering::Acquire)
     }
 
@@ -347,6 +362,9 @@ impl<J: Send + 'static> Pool<J> {
     /// Closes the pool: workers drain all queues, then exit; any job no
     /// worker can run goes to the orphan callback.
     pub fn shutdown(self) {
+        // ordering: Release pairs with the Acquire load in `worker_loop`'s
+        // park path — a worker that observes `closed` also observes every
+        // job dispatched before shutdown began.
         self.shared.closed.store(true, Ordering::Release);
         {
             let _g = self.shared.sleep.lock();
@@ -391,14 +409,17 @@ fn worker_loop<J: Send + 'static>(
                 }
             }
             None => {
-                let guard = shared.sleep.lock();
+                let mut guard = shared.sleep.lock();
                 if shared.has_claimable_work(w) {
                     continue;
                 }
+                // ordering: Acquire pairs with the Release store in
+                // `shutdown`; seeing `closed` here implies seeing every
+                // dispatch that preceded it.
                 if shared.closed.load(Ordering::Acquire) {
                     return;
                 }
-                drop(shared.cv.wait(guard));
+                shared.cv.wait(&mut guard);
             }
         }
     }

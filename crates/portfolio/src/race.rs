@@ -72,7 +72,7 @@ impl Default for Incumbent {
 impl Incumbent {
     /// An empty incumbent (bound starts at `u64::MAX`).
     pub fn new() -> Self {
-        Incumbent { best: Mutex::new(None), bound: AtomicU64::new(u64::MAX) }
+        Incumbent { best: Mutex::named("race.incumbent", None), bound: AtomicU64::new(u64::MAX) }
     }
 
     /// Publishes a result; keeps it iff it strictly improves. Returns
@@ -247,7 +247,8 @@ pub fn race_observed(
     }
     // Which solvers already improved the incumbent in this race, for the
     // time-to-first-incumbent histograms. Untouched when unobserved.
-    let first_incumbent: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let first_incumbent: Mutex<Vec<&'static str>> =
+        Mutex::named("race.first_incumbent", Vec::new());
     let incumbent = Incumbent::new();
     // The session floor (when re-solving) and the quality floor, both
     // published before any member starts.
@@ -266,7 +267,8 @@ pub fn race_observed(
         }
     }
     let cancel = CancelToken::with_deadline(cfg.budget);
-    let reports: Mutex<Vec<(usize, SolverReport)>> = Mutex::new(Vec::with_capacity(k));
+    let reports: Mutex<Vec<(usize, SolverReport)>> =
+        Mutex::named("race.reports", Vec::with_capacity(k));
     std::thread::scope(|scope| {
         for (slot, solver) in members.iter().enumerate() {
             let incumbent = &incumbent;
@@ -598,7 +600,7 @@ mod tests {
         let obs = RaceObserver { telemetry: &tel, id: 42 };
         let res = race_observed(&inst, &RaceConfig::default(), None, None, Some(obs));
         tel.close_trace();
-        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
         let count = |kind: &str| {
             text.lines().filter(|l| l.contains(&format!("\"event\": \"{kind}\""))).count()
         };

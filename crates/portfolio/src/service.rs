@@ -179,7 +179,7 @@ pub mod testing {
 
     /// A fresh shared buffer plus a writer over it.
     pub fn buffer_writer() -> (Arc<Mutex<Vec<u8>>>, SharedWriter) {
-        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let buffer = Arc::new(Mutex::named("service.capture.buffer", Vec::new()));
         let out = writer_to(&buffer);
         (buffer, out)
     }
@@ -187,7 +187,7 @@ pub mod testing {
     /// Another writer over an existing shared buffer (per-request writers
     /// feeding one capture).
     pub fn writer_to(buffer: &Arc<Mutex<Vec<u8>>>) -> SharedWriter {
-        Arc::new(Mutex::new(Box::new(BufWriter(Arc::clone(buffer)))))
+        Arc::new(Mutex::named("service.writer", Box::new(BufWriter(Arc::clone(buffer)))))
     }
 }
 
@@ -230,29 +230,29 @@ fn stage_lines(snap: &RegistrySnapshot) -> Vec<StageLine> {
 /// `solver.<name>.{improvements,wins,first_incumbent_us}` registry
 /// entries.
 fn solver_latency_lines(snap: &RegistrySnapshot) -> Vec<SolverLatencyLine> {
-    let mut by: std::collections::BTreeMap<String, SolverLatencyLine> =
-        std::collections::BTreeMap::new();
-    let row = |by: &mut std::collections::BTreeMap<String, SolverLatencyLine>, solver: &str| {
+    fn row<'a>(
+        by: &'a mut std::collections::BTreeMap<String, SolverLatencyLine>,
+        solver: &str,
+    ) -> &'a mut SolverLatencyLine {
         by.entry(solver.to_string()).or_insert_with(|| SolverLatencyLine {
             solver: solver.to_string(),
             ..SolverLatencyLine::default()
-        });
-    };
+        })
+    }
+    let mut by: std::collections::BTreeMap<String, SolverLatencyLine> =
+        std::collections::BTreeMap::new();
     for (name, value) in &snap.counters {
         let Some(rest) = name.strip_prefix("solver.") else { continue };
         if let Some(solver) = rest.strip_suffix(".improvements") {
-            row(&mut by, solver);
-            by.get_mut(solver).expect("just inserted").improvements = *value;
+            row(&mut by, solver).improvements = *value;
         } else if let Some(solver) = rest.strip_suffix(".wins") {
-            row(&mut by, solver);
-            by.get_mut(solver).expect("just inserted").wins = *value;
+            row(&mut by, solver).wins = *value;
         }
     }
     for (name, h) in &snap.histograms {
         let Some(rest) = name.strip_prefix("solver.") else { continue };
         let Some(solver) = rest.strip_suffix(".first_incumbent_us") else { continue };
-        row(&mut by, solver);
-        let line = by.get_mut(solver).expect("just inserted");
+        let line = row(&mut by, solver);
         line.first_p50_us = h.percentile(0.50);
         line.first_p99_us = h.percentile(0.99);
     }
@@ -647,6 +647,7 @@ impl Service {
     /// cannot be opened or recovered — use [`Service::try_start`] to
     /// handle that as an error (the CLI does).
     pub fn start(cfg: ServeConfig) -> Service {
+        // lint: allow(serve-unwrap) documented panic; try_start is the fallible path
         Service::try_start(cfg).expect("service start failed")
     }
 
@@ -963,7 +964,7 @@ fn flush_durable_store(sessions: &SessionStore) {
 /// the summary returns.
 pub fn serve_stdin(cfg: ServeConfig) -> std::io::Result<MetricsSummary> {
     let svc = Service::try_start(cfg)?;
-    let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    let out: SharedWriter = Arc::new(Mutex::named("service.writer", Box::new(std::io::stdout())));
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
         svc.dispatch(line, Arc::clone(&out));
@@ -987,7 +988,8 @@ pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
                 let svc = Arc::clone(&svc);
                 std::thread::spawn(move || {
                     let Ok(read_half) = stream.try_clone() else { return };
-                    let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+                    let out: SharedWriter =
+                        Arc::new(Mutex::named("service.writer", Box::new(stream)));
                     for line in std::io::BufReader::new(read_half).lines() {
                         let Ok(line) = line else { break };
                         svc.dispatch(line, Arc::clone(&out));
@@ -1118,7 +1120,7 @@ mod tests {
         assert!(improvements >= reqs.len() as u64, "baseline publishes alone improve");
         assert_eq!(summary.trace_dropped, 0);
         // The trace carries a complete span chain per request id.
-        let text = String::from_utf8(trace_buf.lock().unwrap().clone()).unwrap();
+        let text = String::from_utf8(trace_buf.lock().clone()).unwrap();
         for req in &reqs {
             let idtag = format!("\"id\": {}", req.id);
             for kind in ["enqueue", "dequeue", "race_start", "respond"] {

@@ -136,15 +136,18 @@ impl SessionStore {
     fn build(max_sessions: usize, persist: Option<Arc<DurableStore>>) -> Self {
         SessionStore {
             max: max_sessions.max(1),
-            inner: Mutex::new(Inner {
-                map: BTreeMap::new(),
-                clock: 0,
-                evicted: 0,
-                warm_hits: 0,
-                warm_misses: 0,
-                spills: 0,
-                cold_reloads: 0,
-            }),
+            inner: Mutex::named(
+                "session.store",
+                Inner {
+                    map: BTreeMap::new(),
+                    clock: 0,
+                    evicted: 0,
+                    warm_hits: 0,
+                    warm_misses: 0,
+                    spills: 0,
+                    cold_reloads: 0,
+                },
+            ),
             persist,
             telemetry: Telemetry::disabled(),
         }
