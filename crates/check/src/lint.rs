@@ -19,6 +19,11 @@
 //!   `// lint: allow(serve-unwrap) <why>` annotation.
 //! * **`thread-sleep`** — no `thread::sleep` outside tests: sleeping on
 //!   the serve path hides ordering bugs and wastes latency budget.
+//! * **`wire-alloc`** — no per-cell `collect::<Vec<…>>()` in *non-test*
+//!   code of the wire-codec files (`core/src/wire.rs`,
+//!   `portfolio/src/wire.rs`): frame decoding sits on the serve hot path
+//!   and must bulk-copy into preallocated buffers. Deliberate collects
+//!   carry an inline `// lint: allow(wire-alloc) <why>` annotation.
 //!
 //! Findings not covered by an inline `lint: allow(<rule>)` annotation or by
 //! the committed allowlist file (`lint.allow` at the workspace root; see
@@ -33,15 +38,21 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Rule identifiers, as used in annotations and the allowlist file.
-pub const RULES: [&str; 4] = ["std-sync", "ordering-comment", "serve-unwrap", "thread-sleep"];
+pub const RULES: [&str; 5] =
+    ["std-sync", "ordering-comment", "serve-unwrap", "thread-sleep", "wire-alloc"];
 
 /// Serve-path files where `serve-unwrap` applies (workspace-relative).
-const SERVE_PATH_FILES: [&str; 4] = [
+const SERVE_PATH_FILES: [&str; 5] = [
     "crates/portfolio/src/service.rs",
     "crates/portfolio/src/durable.rs",
     "crates/portfolio/src/pool.rs",
     "crates/portfolio/src/protocol.rs",
+    "crates/portfolio/src/wire.rs",
 ];
+
+/// Wire-codec files where `wire-alloc` applies (workspace-relative):
+/// frame decoding on the serve path must not allocate per cell.
+const WIRE_CODEC_FILES: [&str; 2] = ["crates/core/src/wire.rs", "crates/portfolio/src/wire.rs"];
 
 /// One rule violation at a specific line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -219,6 +230,7 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     let in_test_dir =
         rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/");
     let serve_path = SERVE_PATH_FILES.contains(&rel);
+    let wire_codec = WIRE_CODEC_FILES.contains(&rel);
 
     let non_relaxed = ["Acquire", "Release", "AcqRel", "SeqCst"];
     let sync_idents = ["Mutex", "MutexGuard", "Condvar", "RwLock"];
@@ -227,6 +239,7 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     let ordering_prefix = format!("{}::", "Ordering");
     let thread_prefix = format!("{}::", "thread");
     let allow_prefix = format!("{}: allow(", "lint");
+    let collect_pattern = format!("{}::<{}<", "collect", "Vec");
 
     let lines: Vec<&str> = text.lines().collect();
     let mut in_test = false;
@@ -314,6 +327,12 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
         // --- thread-sleep: non-test code anywhere.
         if !in_test_code && contains_path_use(code, &thread_prefix, &["sleep"]) {
             emit("thread-sleep");
+        }
+
+        // --- wire-alloc: non-test code of the wire-codec files. The
+        // pattern is assembled at runtime so this file never contains it.
+        if wire_codec && !in_test_code && code.contains(&collect_pattern) {
+            emit("wire-alloc");
         }
     }
 }
@@ -463,6 +482,25 @@ mod tests {
         let findings = lint_str("crates/portfolio/src/pool.rs", text);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].line, 8, "only the line after the test module");
+    }
+
+    #[test]
+    fn wire_alloc_flagged_in_codec_files_only() {
+        let bad = format!("let v = it.{}::<{}<u64>>();\n", "collect", "Vec");
+        assert_eq!(lint_str("crates/core/src/wire.rs", &bad).len(), 1);
+        assert_eq!(lint_str("crates/portfolio/src/wire.rs", &bad).len(), 1);
+        assert!(lint_str("crates/core/src/io.rs", &bad).is_empty());
+        let annotated = format!(
+            "// lint: allow(wire-alloc) one collect per frame, not per cell\n\
+             let v = it.{}::<{}<u64>>();\n",
+            "collect", "Vec"
+        );
+        assert!(lint_str("crates/core/src/wire.rs", &annotated).is_empty());
+        let in_tests = format!(
+            "#[cfg(test)]\nmod tests {{\n    let v = it.{}::<{}<u64>>();\n}}\n",
+            "collect", "Vec"
+        );
+        assert!(lint_str("crates/core/src/wire.rs", &in_tests).is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use sst_core::bounds::{uniform_lower_bound, unrelated_lower_bound};
 use sst_core::io;
 use sst_core::schedule::{uniform_makespan, unrelated_makespan, Schedule};
 use sst_core::timeline::{render_gantt, render_gantt_svg, Timeline};
+use sst_core::wire;
 use sst_gen::{SetupWeight, SpeedProfile, UniformParams, UnrelatedParams};
 
 /// A CLI failure with a user-facing message.
@@ -55,12 +56,25 @@ pub enum AnyInstance {
     Unrelated(sst_core::UnrelatedInstance),
 }
 
-/// Loads an instance file, sniffing its `kind` field. Splittable-kind
-/// files share the unrelated payload; the integral commands (solve,
-/// evaluate, info, …) treat them as unrelated data — the split *solution
-/// space* is served by `sst serve` (`instance.kind: "splittable"`).
+/// Loads an instance file, sniffing its format by the first byte (`S`
+/// of the frame magic = packed container, anything else = JSON with a
+/// `kind` field). Splittable-kind files share the unrelated payload; the
+/// integral commands (solve, evaluate, info, …) treat them as unrelated
+/// data — the split *solution space* is served by `sst serve`
+/// (`instance.kind: "splittable"`).
 pub fn load_instance(path: &str) -> Result<AnyInstance, CliError> {
-    let text = std::fs::read_to_string(path)?;
+    let bytes = std::fs::read(path)?;
+    if bytes.first() == Some(&wire::MAGIC[0]) {
+        return match wire::instance_from_container(&bytes)
+            .map_err(|e| CliError(format!("{path}: {e}")))?
+        {
+            wire::PackedInstance::Uniform(u) => Ok(AnyInstance::Uniform(u)),
+            wire::PackedInstance::Unrelated(u) | wire::PackedInstance::Splittable(u) => {
+                Ok(AnyInstance::Unrelated(u))
+            }
+        };
+    }
+    let text = String::from_utf8(bytes).map_err(|e| CliError(format!("{path}: {e}")))?;
     if text.contains("\"kind\": \"uniform\"") || text.contains("\"kind\":\"uniform\"") {
         Ok(AnyInstance::Uniform(io::uniform_from_json(&text)?))
     } else if text.contains("\"kind\": \"splittable\"") || text.contains("\"kind\":\"splittable\"")
@@ -71,13 +85,56 @@ pub fn load_instance(path: &str) -> Result<AnyInstance, CliError> {
     }
 }
 
+/// Parses JSON instance text into a kind-preserving [`wire::PackedInstance`].
+fn packed_from_json(text: &str) -> Result<wire::PackedInstance, CliError> {
+    if text.contains("\"kind\": \"uniform\"") || text.contains("\"kind\":\"uniform\"") {
+        Ok(wire::PackedInstance::Uniform(io::uniform_from_json(text)?))
+    } else if text.contains("\"kind\": \"splittable\"") || text.contains("\"kind\":\"splittable\"")
+    {
+        Ok(wire::PackedInstance::Splittable(io::splittable_from_json(text)?))
+    } else {
+        Ok(wire::PackedInstance::Unrelated(io::unrelated_from_json(text)?))
+    }
+}
+
+/// `sst pack <in.json> <out.sst>` — converts a JSON instance file to the
+/// packed container format, preserving the kind tag.
+pub fn pack(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let input = args.pos(0, "instance.json")?;
+    let output = args.pos(1, "out.sst")?;
+    let text = std::fs::read_to_string(input)?;
+    let inst = packed_from_json(&text)?;
+    let bytes = wire::instance_to_container(&inst);
+    std::fs::write(output, &bytes)?;
+    Ok(format!("packed {} instance {input} -> {output} ({} bytes)", inst.kind(), bytes.len()))
+}
+
+/// `sst unpack <in.sst> <out.json>` — converts a packed container back to
+/// the JSON instance schema, preserving the kind tag.
+pub fn unpack(args: &Args) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let input = args.pos(0, "in.sst")?;
+    let output = args.pos(1, "instance.json")?;
+    let bytes = std::fs::read(input)?;
+    let inst =
+        wire::instance_from_container(&bytes).map_err(|e| CliError(format!("{input}: {e}")))?;
+    let json = match &inst {
+        wire::PackedInstance::Uniform(u) => io::uniform_to_json(u),
+        wire::PackedInstance::Unrelated(u) => io::unrelated_to_json(u),
+        wire::PackedInstance::Splittable(u) => io::splittable_to_json(u),
+    };
+    std::fs::write(output, &json)?;
+    Ok(format!("unpacked {} instance {input} -> {output}", inst.kind()))
+}
+
 /// `sst help` — the usage text.
 pub fn help() -> String {
     "sst — scheduling with setup times (Jansen, Maack, Mäcker 2019)
 
 USAGE
   sst generate <family> --out FILE [--n N] [--m M] [--k K] [--seed S]
-               [--setups light|moderate|heavy]
+               [--setups light|moderate|heavy] [--format json|packed]
       families: uniform | identical | unrelated | ra | cupt |
                 production-line | compute-cluster | print-shop |
                 ci-build-farm | cdn-transcode | splittable-stress |
@@ -144,9 +201,16 @@ USAGE
       backpressure events are dropped and counted, never stalled on.
       --metrics-interval MS prints a one-line metrics digest to stderr
       every MS milliseconds.
+  sst pack <instance.json> <out.sst>
+  sst unpack <in.sst> <instance.json>
+      convert between the JSON instance schema and the packed binary
+      container (kind-preserving; every command that reads an instance
+      sniffs the format, so packed files work anywhere JSON does —
+      `sst serve` additionally speaks packed request frames on the same
+      socket as NDJSON, negotiated per message by the first byte)
   sst trace summarize <trace.ndjson>
       aggregates a --trace-out file into per-stage latency percentiles
-      (queue-wait, solver, total, journal-append, …), per-solver
+      (queue-wait, decode, solver, total, journal-append, …), per-solver
       standings (runs, outcomes, incumbent improvements, time to first
       incumbent) and the dropped-event count.
   sst lint [--root DIR] [--allowlist FILE]
@@ -377,6 +441,11 @@ fn trace_summarize(path: &str) -> Result<String, CliError> {
                     record("cancel", us);
                 }
             }
+            "decode" => {
+                if let Some(us) = uint(&map, "micros") {
+                    record("decode", us);
+                }
+            }
             "journal_append" => {
                 if let Some(us) = uint(&map, "micros") {
                     record("journal_append", us);
@@ -477,6 +546,7 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
         "base",
         "steps",
         "deltas-per-step",
+        "format",
     ])?;
     let family = args.pos(0, "family")?;
     let out = args.flag("out").ok_or_else(|| CliError("--out FILE is required".into()))?;
@@ -586,7 +656,20 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
         }
         other => return Err(CliError(format!("unknown family '{other}'; see `sst help`"))),
     };
-    std::fs::write(out, &json)?;
+    match args.flag("format").unwrap_or("json") {
+        "json" => std::fs::write(out, &json)?,
+        "packed" => {
+            if family == "dynamic-queue" {
+                return Err(CliError(
+                    "dynamic-queue writes a delta trace, which has no packed container; \
+                     use --format json"
+                        .into(),
+                ));
+            }
+            std::fs::write(out, wire::instance_to_container(&packed_from_json(&json)?))?;
+        }
+        other => return Err(CliError(format!("unknown --format '{other}' (json|packed)"))),
+    }
     Ok(format!("wrote {family} instance (n={n}, m={m}, K={k}, seed={seed}) to {out}"))
 }
 
@@ -1115,6 +1198,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "sweep" => sweep(args),
         "serve" => serve(args),
         "trace" => trace(args),
+        "pack" => pack(args),
+        "unpack" => unpack(args),
         "lint" => lint(args),
         other => Err(CliError(format!("unknown command '{other}'; see `sst help`"))),
     }
@@ -1152,6 +1237,75 @@ mod tests {
         assert!(s.contains("makespan:"), "{s}");
         let e = run(&parse(&toks(&["evaluate", &inst_path, &sched_path])).unwrap()).unwrap();
         assert!(e.contains("machine 0:"));
+    }
+
+    #[test]
+    fn packed_generate_pack_unpack_roundtrip() {
+        // generate --format packed produces a container every instance
+        // command can read directly.
+        let packed_path = tmp("p.sst");
+        let g = run(&parse(&toks(&[
+            "generate",
+            "uniform",
+            "--out",
+            &packed_path,
+            "--n",
+            "10",
+            "--m",
+            "3",
+            "--format",
+            "packed",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(g.contains("n=10"), "{g}");
+        assert_eq!(std::fs::read(&packed_path).unwrap()[..4], sst_core::wire::MAGIC);
+        let s = run(&parse(&toks(&["solve", &packed_path, "--algo", "lpt"])).unwrap()).unwrap();
+        assert!(s.contains("makespan:"), "{s}");
+
+        // unpack -> pack roundtrips bit-identically and preserves kind.
+        let json_path = tmp("p_unpacked.json");
+        let u = run(&parse(&toks(&["unpack", &packed_path, &json_path])).unwrap()).unwrap();
+        assert!(u.contains("uniform"), "{u}");
+        let repacked = tmp("p_repacked.sst");
+        run(&parse(&toks(&["pack", &json_path, &repacked])).unwrap()).unwrap();
+        assert_eq!(std::fs::read(&packed_path).unwrap(), std::fs::read(&repacked).unwrap());
+
+        // splittable kind survives the conversion cycle.
+        let sp_json = tmp("sp.json");
+        run(&parse(&toks(&[
+            "generate",
+            "splittable-stress",
+            "--out",
+            &sp_json,
+            "--n",
+            "12",
+            "--m",
+            "3",
+            "--k",
+            "4",
+        ]))
+        .unwrap())
+        .unwrap();
+        let sp_packed = tmp("sp.sst");
+        let p = run(&parse(&toks(&["pack", &sp_json, &sp_packed])).unwrap()).unwrap();
+        assert!(p.contains("splittable"), "{p}");
+        let sp_back = tmp("sp_back.json");
+        run(&parse(&toks(&["unpack", &sp_packed, &sp_back])).unwrap()).unwrap();
+        assert!(std::fs::read_to_string(&sp_back).unwrap().contains("\"splittable\""));
+
+        // dynamic-queue has no packed container.
+        let err = run(&parse(&toks(&[
+            "generate",
+            "dynamic-queue",
+            "--out",
+            &tmp("dq.sst"),
+            "--format",
+            "packed",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("dynamic-queue"), "{err}");
     }
 
     #[test]

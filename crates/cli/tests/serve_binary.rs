@@ -1,0 +1,301 @@
+//! End-to-end test of the binary wire protocol on `sst serve --tcp`:
+//! spawns the real binary on a loopback port and drives it with
+//!
+//! * pure binary-frame clients and pure NDJSON clients **concurrently on
+//!   the same listener** (per-message sniffing, responses in the caller's
+//!   framing, greedy floor asserted per response);
+//! * one connection that upgrades mid-stream (`{"upgrade": "binary"}`)
+//!   and keeps interleaving both framings afterwards;
+//! * the corrupt-frame matrix — bad magic, oversized claimed length,
+//!   flipped checksum byte, unknown frame type, payload truncated by EOF
+//!   — each answered with a structured error *frame* while the
+//!   connection stays alive for the next well-formed request.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use sst_core::wire::{encode_frame, FrameHeader, MAGIC, MAX_PAYLOAD};
+use sst_portfolio::protocol::{parse_response, request_to_json, Request, Response};
+use sst_portfolio::wire::{decode_response, encode_request, FT_RESPONSE_ERROR};
+use sst_portfolio::ProblemInstance;
+
+const CLIENTS: usize = 6; // half JSON, half binary
+const PER_CLIENT: usize = 6;
+
+fn instance_pool() -> Vec<ProblemInstance> {
+    let mut pool = Vec::new();
+    for seed in 0..3 {
+        pool.push(ProblemInstance::Uniform(sst_gen::uniform(&sst_gen::UniformParams {
+            n: 20,
+            m: 4,
+            k: 4,
+            seed,
+            ..Default::default()
+        })));
+        pool.push(ProblemInstance::Unrelated(sst_gen::unrelated(&sst_gen::UnrelatedParams {
+            n: 20,
+            m: 4,
+            k: 4,
+            seed,
+            ..Default::default()
+        })));
+    }
+    pool
+}
+
+fn spawn_server() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sst"))
+        .args(["serve", "--tcp", "127.0.0.1:0", "--workers", "4", "--budget-ms", "40"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sst serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("sst-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Reads one whole frame (header + verified payload) off the stream.
+fn read_frame<R: Read>(reader: &mut R) -> (u8, Vec<u8>) {
+    let mut header = [0u8; 20];
+    reader.read_exact(&mut header).expect("read frame header");
+    let parsed = FrameHeader::parse(&header).expect("valid response header");
+    let mut payload = vec![0u8; parsed.len as usize];
+    reader.read_exact(&mut payload).expect("read frame payload");
+    parsed.verify(&payload).expect("response checksum");
+    (parsed.frame_type, payload)
+}
+
+fn assert_ok_with_greedy_floor(resp: &Response, inst: &ProblemInstance, what: &str) {
+    let Response::Ok { makespan, solution, kind, .. } = resp else {
+        panic!("{what}: non-OK response: {resp:?}");
+    };
+    assert_eq!(kind, inst.kind(), "{what}");
+    let cost = inst.evaluate(solution).unwrap_or_else(|e| panic!("{what}: invalid solution: {e}"));
+    assert_eq!(&cost, makespan, "{what}: reported makespan mismatch");
+    let greedy = inst.greedy();
+    assert!(
+        !greedy.cost.better_than(&cost),
+        "{what}: response ({cost:?}) lost to greedy ({:?})",
+        greedy.cost
+    );
+}
+
+#[test]
+fn mixed_json_and_binary_clients_share_one_listener() {
+    let pool = Arc::new(instance_pool());
+    let (mut child, addr) = spawn_server();
+
+    let mut handles = Vec::new();
+    for client in 0..CLIENTS {
+        let pool = Arc::clone(&pool);
+        let addr = addr.clone();
+        let binary = client % 2 == 0;
+        handles.push(std::thread::spawn(move || -> Vec<(u64, Response)> {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            for i in 0..PER_CLIENT {
+                let id = (client * PER_CLIENT + i) as u64;
+                let req = Request {
+                    id,
+                    instance: pool[id as usize % pool.len()].clone(),
+                    budget_ms: Some(40),
+                    top_k: Some(2),
+                    seed: Some(id),
+                };
+                if binary {
+                    writer.write_all(&encode_request(&req)).expect("send frame");
+                } else {
+                    writeln!(writer, "{}", request_to_json(&req)).expect("send line");
+                }
+            }
+            writer.flush().expect("flush");
+            (0..PER_CLIENT)
+                .map(|_| {
+                    let resp = if binary {
+                        let (ft, payload) = read_frame(&mut reader);
+                        decode_response(ft, &payload).expect("response frame decodes")
+                    } else {
+                        let mut line = String::new();
+                        assert!(reader.read_line(&mut line).expect("read") > 0, "early EOF");
+                        parse_response(line.trim()).expect("response parses")
+                    };
+                    let Response::Ok { id, .. } = &resp else {
+                        panic!("non-OK response: {resp:?}");
+                    };
+                    (*id, resp)
+                })
+                .collect()
+        }));
+    }
+
+    let mut seen = std::collections::HashMap::new();
+    for h in handles {
+        for (id, resp) in h.join().expect("client thread") {
+            assert!(seen.insert(id, resp).is_none(), "duplicate id");
+        }
+    }
+    child.kill().expect("kill server");
+    let _ = child.wait();
+
+    assert_eq!(seen.len(), CLIENTS * PER_CLIENT);
+    for (id, resp) in &seen {
+        let inst = &pool[*id as usize % pool.len()];
+        assert_ok_with_greedy_floor(resp, inst, &format!("request {id}"));
+    }
+}
+
+#[test]
+fn upgrade_verb_switches_mid_stream_and_both_framings_keep_working() {
+    let pool = instance_pool();
+    let (mut child, addr) = spawn_server();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let req = |id: u64| Request {
+        id,
+        instance: pool[id as usize % pool.len()].clone(),
+        budget_ms: Some(40),
+        top_k: Some(2),
+        seed: Some(id),
+    };
+
+    // 1. Plain NDJSON before the upgrade.
+    writeln!(writer, "{}", request_to_json(&req(1))).expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let resp = parse_response(line.trim()).expect("parses");
+    assert_ok_with_greedy_floor(&resp, &pool[1 % pool.len()], "pre-upgrade json");
+
+    // 2. The upgrade handshake is acked in-order by the driver itself.
+    writeln!(writer, "{{\"upgrade\": \"binary\"}}").expect("send upgrade");
+    line.clear();
+    reader.read_line(&mut line).expect("read ack");
+    assert!(line.contains("\"upgrade\"") && line.contains("true"), "bad ack: {line:?}");
+
+    // 3. Binary frames after the upgrade, answered as frames.
+    writer.write_all(&encode_request(&req(2))).expect("send frame");
+    let (ft, payload) = read_frame(&mut reader);
+    let resp = decode_response(ft, &payload).expect("frame decodes");
+    assert_ok_with_greedy_floor(&resp, &pool[2 % pool.len()], "post-upgrade binary");
+
+    // 4. Sniffing is per-message: NDJSON still works on the same socket.
+    writeln!(writer, "{}", request_to_json(&req(3))).expect("send");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    let resp = parse_response(line.trim()).expect("parses");
+    assert_ok_with_greedy_floor(&resp, &pool[3 % pool.len()], "post-upgrade json");
+
+    child.kill().expect("kill server");
+    let _ = child.wait();
+}
+
+/// Expects the next frame to be a structured error frame.
+fn expect_error_frame<R: Read>(reader: &mut R, what: &str) {
+    let (ft, payload) = read_frame(reader);
+    assert_eq!(ft, FT_RESPONSE_ERROR, "{what}: expected an error frame");
+    let resp = decode_response(ft, &payload).expect("error frame decodes");
+    let Response::Error { message, .. } = resp else {
+        panic!("{what}: expected Response::Error, got {resp:?}");
+    };
+    assert!(!message.is_empty(), "{what}: empty error message");
+}
+
+#[test]
+fn corrupt_frames_answer_error_frames_and_keep_the_connection_alive() {
+    let pool = instance_pool();
+    let (mut child, addr) = spawn_server();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let good = encode_request(&Request {
+        id: 99,
+        instance: pool[0].clone(),
+        budget_ms: Some(40),
+        top_k: Some(2),
+        seed: Some(99),
+    });
+    let assert_still_alive =
+        |reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, what: &str| {
+            writer.write_all(&good).expect("send good frame");
+            let (ft, payload) = read_frame(reader);
+            let resp = decode_response(ft, &payload).expect("frame decodes");
+            assert_ok_with_greedy_floor(&resp, &pool[0], &format!("{what}: follow-up request"));
+        };
+
+    // --- Bad magic: first byte sniffs as a frame, rest of the magic is
+    // junk. Exactly the 20-byte header is consumed.
+    let mut bad_magic = [0u8; 20];
+    bad_magic[0] = MAGIC[0];
+    bad_magic[1..4].copy_from_slice(b"?!?");
+    writer.write_all(&bad_magic).expect("send bad magic");
+    expect_error_frame(&mut reader, "bad magic");
+    assert_still_alive(&mut reader, &mut writer, "bad magic");
+
+    // --- Oversized claimed length: rejected from the header alone; the
+    // absurd payload is never read or allocated.
+    let mut oversized = [0u8; 20];
+    oversized[..4].copy_from_slice(&MAGIC);
+    oversized[4] = 0x01;
+    oversized[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    writer.write_all(&oversized).expect("send oversized header");
+    expect_error_frame(&mut reader, "oversized length");
+    assert_still_alive(&mut reader, &mut writer, "oversized length");
+
+    // --- Flipped payload byte: checksum catches it; the whole frame was
+    // consumed so the stream stays aligned.
+    let mut flipped = good.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    writer.write_all(&flipped).expect("send corrupt frame");
+    expect_error_frame(&mut reader, "checksum mismatch");
+    assert_still_alive(&mut reader, &mut writer, "checksum mismatch");
+
+    // --- Unknown frame type: structurally valid, semantically not.
+    writer.write_all(&encode_frame(0x7e, b"mystery")).expect("send unknown type");
+    expect_error_frame(&mut reader, "unknown frame type");
+    assert_still_alive(&mut reader, &mut writer, "unknown frame type");
+
+    child.kill().expect("kill server");
+    let _ = child.wait();
+}
+
+#[test]
+fn truncated_payload_at_eof_answers_an_error_frame() {
+    let pool = instance_pool();
+    let (mut child, addr) = spawn_server();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    // A well-formed header whose payload is cut off by EOF: the server
+    // must answer an error frame and close, not hang waiting for bytes.
+    let frame = encode_request(&Request {
+        id: 1,
+        instance: pool[0].clone(),
+        budget_ms: Some(40),
+        top_k: Some(2),
+        seed: Some(1),
+    });
+    writer.write_all(&frame[..frame.len() / 2]).expect("send truncated frame");
+    writer.shutdown(std::net::Shutdown::Write).expect("half-close");
+    expect_error_frame(&mut reader, "truncated payload");
+    // EOF follows — the connection is done, not wedged.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read to eof");
+    assert!(rest.is_empty(), "unexpected trailing bytes: {rest:?}");
+
+    child.kill().expect("kill server");
+    let _ = child.wait();
+}

@@ -371,16 +371,23 @@ impl UnrelatedInstance {
             elig_machines: Vec::new(),
         };
         // Eligibility index: machines with finite p_ij AND finite s_{i,k_j}.
+        // Row slices instead of per-cell `cost(i, j)` calls: one bounds
+        // check per row, and the inner zip compiles to a straight sweep —
+        // this loop dominates packed-frame decode for large instances.
         let mut offsets = Vec::with_capacity(n + 1);
         let mut machines = Vec::new();
         offsets.push(0);
         for j in 0..n {
-            for i in 0..m {
-                if is_finite(inst.cost(i, j)) {
+            let prow = &inst.ptimes[j * m..(j + 1) * m];
+            let k = inst.job_class[j];
+            let srow = &inst.setups[k * m..(k + 1) * m];
+            let before = machines.len();
+            for (i, (&p, &s)) in prow.iter().zip(srow).enumerate() {
+                if is_finite(p) && is_finite(s) && is_finite(p.saturating_add(s)) {
                     machines.push(i);
                 }
             }
-            if machines.len() == *offsets.last().expect("non-empty") {
+            if machines.len() == before {
                 return Err(InstanceError::UnschedulableJob { job: j });
             }
             offsets.push(machines.len());

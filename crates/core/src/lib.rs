@@ -58,6 +58,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod timeline;
 pub mod tracker;
+pub mod wire;
 
 pub use cancel::CancelToken;
 pub use delta::{DeltaError, InstanceDelta};

@@ -241,6 +241,10 @@ pub mod stage {
     pub const RECOVERY_US: &str = "stage.recovery_us";
     /// Budget expiry → solver actually stopped (cancellation latency).
     pub const CANCEL_US: &str = "stage.cancel_us";
+    /// Request decode at parse time — JSON line parse or binary frame
+    /// decode — so ingest cost is visible per-stage instead of folded
+    /// into [`TOTAL_US`].
+    pub const DECODE_US: &str = "stage.decode_us";
 }
 
 /// Registry name of solver `name`'s time-to-first-incumbent histogram
@@ -279,6 +283,16 @@ pub enum TraceEvent {
         worker: u64,
         /// Dispatch accept → claim, in µs.
         queue_wait_us: u64,
+    },
+    /// Request `id`'s payload was decoded (JSON line parse or binary
+    /// frame decode) in `micros` µs.
+    Decode {
+        /// Request id.
+        id: u64,
+        /// `"json"` or `"binary"`.
+        codec: String,
+        /// Decode wall time, µs.
+        micros: u64,
     },
     /// The race for request `id` started with `members` portfolio members.
     RaceStart {
@@ -421,6 +435,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Enqueue { .. } => "enqueue",
             TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::Decode { .. } => "decode",
             TraceEvent::RaceStart { .. } => "race_start",
             TraceEvent::SolverStart { .. } => "solver_start",
             TraceEvent::SolverEnd { .. } => "solver_end",
@@ -454,6 +469,11 @@ impl TraceEvent {
                     out,
                     ", \"id\": {id}, \"worker\": {worker}, \"queue_wait_us\": {queue_wait_us}"
                 );
+            }
+            TraceEvent::Decode { id, codec, micros } => {
+                let _ = write!(out, ", \"id\": {id}, \"codec\": \"");
+                escape_into(out, codec);
+                let _ = write!(out, "\", \"micros\": {micros}");
             }
             TraceEvent::RaceStart { id, members } => {
                 let _ = write!(out, ", \"id\": {id}, \"members\": {members}");

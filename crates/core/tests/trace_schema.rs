@@ -51,6 +51,11 @@ fn golden() -> Vec<(TraceEvent, &'static str, Vec<&'static str>)> {
             vec!["event", "id", "queue_wait_us", "ts_us", "worker"],
         ),
         (
+            TraceEvent::Decode { id: 7, codec: "binary".into(), micros: 12 },
+            "decode",
+            vec!["codec", "event", "id", "micros", "ts_us"],
+        ),
+        (
             TraceEvent::RaceStart { id: 7, members: 3 },
             "race_start",
             vec!["event", "id", "members", "ts_us"],

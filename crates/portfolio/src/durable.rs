@@ -53,6 +53,7 @@ use sst_core::delta::{delta_to_json, deltas_from_value, InstanceDelta};
 use sst_core::io::json::{self, JsonValue};
 use sst_core::io::{self as core_io, IoError};
 use sst_core::telemetry::{stage, Telemetry, TraceEvent};
+use sst_core::wire::{self, fnv1a64, Cursor};
 
 use crate::model::Solution;
 use crate::protocol::{
@@ -141,16 +142,11 @@ impl RecordRef<'_> {
     }
 }
 
-/// FNV-1a 64 — the journal line checksum. Not cryptographic; it detects
-/// torn writes and bit rot, which is all replay needs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// The journal line checksum is FNV-1a-64 — not cryptographic; it detects
+// torn writes and bit rot, which is all replay needs. The implementation
+// is shared with the binary wire format (`sst_core::wire::fnv1a64`): one
+// checksum discipline guards journal lines, wire frames and packed
+// snapshots.
 
 fn record_payload(seq: u64, rec: &RecordRef<'_>) -> String {
     let mut out = String::new();
@@ -307,6 +303,71 @@ pub fn encode_snapshot(sid: u64, seq: u64, entry: &SessionEntry) -> String {
     out
 }
 
+/// Encodes a session snapshot as a packed [`wire::FT_SNAPSHOT`] frame:
+/// `sid u64, seq u64`, the kind-tagged packed instance, the cost, the
+/// incumbent solution, and an optional proxy schedule. The frame checksum
+/// gives packed snapshots the torn-write detection JSON snapshots get
+/// from the atomic rename alone; a corrupt file fails the checksum and
+/// recovery falls back to journal replay.
+pub fn encode_snapshot_packed(sid: u64, seq: u64, entry: &SessionEntry) -> Vec<u8> {
+    let mut payload = Vec::new();
+    wire::put_u64(&mut payload, sid);
+    wire::put_u64(&mut payload, seq);
+    crate::wire::write_problem_instance(&mut payload, &entry.instance);
+    crate::wire::write_cost(&mut payload, &entry.cost);
+    crate::wire::write_solution(&mut payload, &entry.incumbent);
+    match &entry.proxy {
+        None => wire::put_u8(&mut payload, 0),
+        Some(proxy) => {
+            wire::put_u8(&mut payload, 1);
+            wire::write_schedule(&mut payload, proxy);
+        }
+    }
+    wire::encode_frame(wire::FT_SNAPSHOT, &payload)
+}
+
+/// Parses a packed snapshot frame back into `(sid, seq, entry)`.
+pub fn parse_snapshot_packed(bytes: &[u8]) -> Result<(u64, u64, SessionEntry), IoError> {
+    let bad = |e: wire::WireError| IoError::Format(format!("packed snapshot: {e}"));
+    let (frame_type, payload) = wire::decode_frame(bytes).map_err(bad)?;
+    if frame_type != wire::FT_SNAPSHOT {
+        return Err(IoError::Format(format!(
+            "packed snapshot has frame type 0x{frame_type:02x}, expected 0x{:02x}",
+            wire::FT_SNAPSHOT
+        )));
+    }
+    let mut cur = Cursor::new(payload);
+    let inner = |cur: &mut Cursor<'_>| -> Result<(u64, u64, SessionEntry), wire::WireError> {
+        let sid = cur.u64()?;
+        let seq = cur.u64()?;
+        let instance = crate::wire::read_problem_instance(cur)?;
+        let cost = crate::wire::read_cost(cur)?;
+        let incumbent = crate::wire::read_solution(cur)?;
+        let proxy = match cur.u8()? {
+            0 => None,
+            1 => Some(wire::read_schedule(cur)?),
+            t => return Err(wire::WireError::Malformed(format!("bad proxy tag {t}"))),
+        };
+        cur.finish()?;
+        Ok((sid, seq, SessionEntry { instance: Arc::new(instance), incumbent, cost, proxy }))
+    };
+    inner(&mut cur).map_err(bad)
+}
+
+/// Parses a snapshot file of either format, sniffing the first byte: JSON
+/// snapshots open with `{`, packed ones with the frame magic — the same
+/// discipline as the serve socket. Old JSON snapshots stay readable for
+/// recovery compatibility.
+pub fn parse_snapshot_bytes(bytes: &[u8]) -> Result<(u64, u64, SessionEntry), IoError> {
+    if bytes.first() == Some(&b'{') {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| IoError::Format("snapshot is not UTF-8".into()))?;
+        parse_snapshot(text)
+    } else {
+        parse_snapshot_packed(bytes)
+    }
+}
+
 /// Parses a snapshot file back into `(sid, seq, entry)`.
 pub fn parse_snapshot(text: &str) -> Result<(u64, u64, SessionEntry), IoError> {
     let value = json::parse(text).map_err(IoError::Json)?;
@@ -411,12 +472,27 @@ struct JournalWriter {
     seq: u64,
 }
 
+/// On-disk encoding for per-session snapshot files. Reads always sniff
+/// the format byte ([`parse_snapshot_bytes`]), so stores of either
+/// setting recover each other's files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// Packed wire frame — the default: one bulk-copy decode on recovery
+    /// and spill-reload instead of a JSON parse of the whole instance.
+    #[default]
+    Packed,
+    /// The PR-6 JSON snapshot schema, kept writable for tooling that
+    /// inspects snapshots as text.
+    Json,
+}
+
 /// The on-disk half of the session tier: one append-only journal plus a
 /// directory of per-session snapshots under one `--data-dir`.
 pub struct DurableStore {
     sessions_dir: PathBuf,
     journal_path: PathBuf,
     durability: Durability,
+    snapshot_format: SnapshotFormat,
     snapshot_every: u64,
     journal: Mutex<JournalWriter>,
     journal_appends: AtomicU64,
@@ -440,6 +516,7 @@ impl DurableStore {
             sessions_dir,
             journal_path,
             durability,
+            snapshot_format: SnapshotFormat::default(),
             snapshot_every: 32,
             journal: Mutex::named(
                 "durable.journal",
@@ -457,6 +534,13 @@ impl DurableStore {
     /// between snapshots); builder-style, mainly for tests.
     pub fn with_snapshot_every(mut self, every: u64) -> DurableStore {
         self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// Sets the snapshot file encoding; builder-style. Reads are always
+    /// format-sniffing, so this only affects new writes.
+    pub fn with_snapshot_format(mut self, format: SnapshotFormat) -> DurableStore {
+        self.snapshot_format = format;
         self
     }
 
@@ -547,11 +631,14 @@ impl DurableStore {
     /// Writes session `sid`'s snapshot atomically (temp file + rename).
     pub fn write_snapshot(&self, sid: u64, seq: u64, entry: &SessionEntry) -> std::io::Result<()> {
         let t0 = std::time::Instant::now();
-        let text = encode_snapshot(sid, seq, entry);
+        let bytes = match self.snapshot_format {
+            SnapshotFormat::Packed => encode_snapshot_packed(sid, seq, entry),
+            SnapshotFormat::Json => encode_snapshot(sid, seq, entry).into_bytes(),
+        };
         let tmp = self.sessions_dir.join(format!("{sid}.snap.tmp"));
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
+            f.write_all(&bytes)?;
             if self.durability == Durability::Fsync {
                 f.sync_data()?;
             }
@@ -567,8 +654,8 @@ impl DurableStore {
     /// Loads (and sanitizes) session `sid`'s snapshot; `None` when absent
     /// or unusable.
     pub fn load_snapshot(&self, sid: u64) -> Option<(SessionEntry, u64)> {
-        let text = fs::read_to_string(self.snapshot_path(sid)).ok()?;
-        let (file_sid, seq, entry) = parse_snapshot(&text).ok()?;
+        let bytes = fs::read(self.snapshot_path(sid)).ok()?;
+        let (file_sid, seq, entry) = parse_snapshot_bytes(&bytes).ok()?;
         if file_sid != sid {
             return None;
         }
@@ -638,7 +725,7 @@ impl DurableStore {
                 snapshot_errors += 1;
                 continue;
             };
-            match fs::read_to_string(&path).ok().and_then(|t| parse_snapshot(&t).ok()) {
+            match fs::read(&path).ok().and_then(|b| parse_snapshot_bytes(&b).ok()) {
                 Some((file_sid, seq, entry)) if file_sid == sid => {
                     live.insert(sid, (seq, sanitize(entry)));
                     snapshots_loaded += 1;
@@ -843,6 +930,77 @@ mod tests {
         let (sid, seq, parsed) = parse_snapshot(&text).unwrap();
         assert_eq!((sid, seq), (3, 7));
         assert!(matches!(parsed.incumbent, Solution::Split(_)));
+    }
+
+    #[test]
+    fn packed_snapshot_roundtrips_and_sniffs_both_formats() {
+        let mut with_proxy = entry_of(uniform_instance(1));
+        with_proxy.proxy = Some(sst_core::schedule::Schedule::new(vec![0, 1, 0, 1, 0]));
+        let bytes = encode_snapshot_packed(9, 42, &with_proxy);
+        let (sid, seq, parsed) = parse_snapshot_bytes(&bytes).unwrap();
+        assert_eq!((sid, seq), (9, 42));
+        assert_eq!(parsed.instance.as_ref(), with_proxy.instance.as_ref());
+        assert_eq!(parsed.cost, with_proxy.cost);
+        assert_eq!(parsed.proxy, with_proxy.proxy);
+
+        let split_inst = ProblemInstance::Splittable(crate::model::SplittableInstance(
+            UnrelatedInstance::new(
+                2,
+                vec![0, 1],
+                vec![vec![3, 5], vec![6, 4]],
+                vec![vec![1, 1], vec![2, 2]],
+            )
+            .unwrap(),
+        ));
+        let split = entry_of(split_inst);
+        let bytes = encode_snapshot_packed(3, 7, &split);
+        let (sid, seq, parsed) = parse_snapshot_bytes(&bytes).unwrap();
+        assert_eq!((sid, seq), (3, 7));
+        assert!(matches!(parsed.incumbent, Solution::Split(_)));
+
+        // The sniffing reader still takes the PR-6 JSON schema.
+        let text = encode_snapshot(5, 11, &with_proxy);
+        let (sid, seq, _) = parse_snapshot_bytes(text.as_bytes()).unwrap();
+        assert_eq!((sid, seq), (5, 11));
+    }
+
+    #[test]
+    fn packed_snapshot_rejects_torn_and_corrupt_bytes() {
+        let entry = entry_of(uniform_instance(0));
+        let bytes = encode_snapshot_packed(1, 2, &entry);
+        // Torn tail: every strict prefix must fail, never panic.
+        for cut in 0..bytes.len() {
+            assert!(parse_snapshot_bytes(&bytes[..cut]).is_err(), "prefix of {cut} accepted");
+        }
+        // Any single flipped byte is caught by the frame checksum (or the
+        // header validators for the first 20 bytes).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(parse_snapshot_bytes(&bad).is_err(), "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn recover_reads_snapshots_of_either_format() {
+        let dir = tmp_dir("mixed-format");
+        // Write one packed (default) and one JSON snapshot, then recover
+        // with a fresh store: both must come back.
+        let store = DurableStore::open(&dir, Durability::Flush).unwrap();
+        store.write_snapshot(1, 0, &entry_of(uniform_instance(0))).unwrap();
+        drop(store);
+        let store = DurableStore::open(&dir, Durability::Flush)
+            .unwrap()
+            .with_snapshot_format(SnapshotFormat::Json);
+        store.write_snapshot(2, 0, &entry_of(uniform_instance(1))).unwrap();
+        drop(store);
+
+        let store = DurableStore::open(&dir, Durability::Flush).unwrap();
+        let rec = store.recover().unwrap();
+        let mut sids: Vec<u64> = rec.sessions.iter().map(|(sid, _, _)| *sid).collect();
+        sids.sort_unstable();
+        assert_eq!(sids, vec![1, 2]);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

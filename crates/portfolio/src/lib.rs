@@ -61,8 +61,9 @@ pub mod select;
 pub mod service;
 pub mod session;
 pub mod solver;
+pub mod wire;
 
-pub use durable::{Durability, DurableStore, JournalRecord, Recovery};
+pub use durable::{Durability, DurableStore, JournalRecord, Recovery, SnapshotFormat};
 pub use features::{extract_features, Features, ModelKind};
 pub use model::{EvalError, ModelOps, Repaired, Solution, SplittableInstance};
 pub use pool::{Pool, PoolConfig, PoolMode};

@@ -54,7 +54,7 @@
 //! `workers × top_k`. Responses can interleave across workers — clients
 //! correlate by `id`, which is why the protocol requires one.
 
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -191,12 +191,56 @@ pub mod testing {
     }
 }
 
+/// How a request arrived. Responses (including error responses for
+/// malformed payloads) always go back in the caller's framing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Codec {
+    Json,
+    Binary,
+}
+
+impl Codec {
+    fn name(self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+}
+
+/// A queued request body: one NDJSON line, or one binary frame whose
+/// header and checksum the connection driver already verified. Decoding
+/// either happens on the worker (`handle_job`), where it is timed as the
+/// `stage.decode_us` stage.
+enum Payload {
+    Line(String),
+    Frame { frame_type: u8, payload: Vec<u8> },
+}
+
 struct Job {
-    line: String,
+    payload: Payload,
     out: SharedWriter,
     /// Dispatch time: queue-wait (dequeue − enqueue) and total
     /// (enqueue → respond) latencies are measured from here.
     enqueued: Instant,
+}
+
+impl Job {
+    fn codec(&self) -> Codec {
+        match self.payload {
+            Payload::Line(_) => Codec::Json,
+            Payload::Frame { .. } => Codec::Binary,
+        }
+    }
+
+    /// The request id, pulled without a full decode: a substring scan on
+    /// JSON lines, a fixed-offset read on frames.
+    fn request_id(&self) -> Option<u64> {
+        match &self.payload {
+            Payload::Line(line) => crate::protocol::extract_request_id(line.trim()),
+            Payload::Frame { frame_type, payload } => crate::wire::request_id(*frame_type, payload),
+        }
+    }
 }
 
 /// The service's observability state: the unified telemetry registry (all
@@ -365,15 +409,33 @@ fn write_line(out: &SharedWriter, line: &str) {
     let _ = w.flush();
 }
 
-/// Writes an error response (echoing the id when the line carried one),
-/// counts it, and closes the request's trace span with a failed `respond`
-/// event.
+/// Writes one complete binary frame. Like [`write_line`], a single
+/// `write_all` so concurrently finishing workers never interleave bytes.
+fn write_frame(out: &SharedWriter, frame: &[u8]) {
+    let mut w = out.lock();
+    // A vanished client (closed connection) is not a service error.
+    let _ = w.write_all(frame);
+    let _ = w.flush();
+}
+
+/// Writes a response in the job's own framing: an NDJSON line for JSON
+/// callers, a packed frame for binary ones.
+fn write_response(job: &Job, resp: &Response) {
+    match job.codec() {
+        Codec::Json => write_line(&job.out, &response_to_json(resp)),
+        Codec::Binary => write_frame(&job.out, &crate::wire::encode_response(resp)),
+    }
+}
+
+/// Writes an error response (echoing the id when the payload carried
+/// one), counts it, and closes the request's trace span with a failed
+/// `respond` event.
 fn write_error(metrics: &Metrics, job: &Job, message: String) {
     metrics.telemetry.incr(REQUESTS_ERROR);
-    let id = crate::protocol::extract_request_id(job.line.trim());
+    let id = job.request_id();
     let total_us = job.enqueued.elapsed().as_micros() as u64;
     metrics.telemetry.emit(TraceEvent::Respond { id: id.unwrap_or(0), ok: false, total_us });
-    write_line(&job.out, &response_to_json(&Response::Error { id, message }));
+    write_response(job, &Response::Error { id, message });
 }
 
 /// Packages a race result as an OK response line.
@@ -465,7 +527,7 @@ fn handle_session(
                 live: live as u64,
                 makespan: Some(cost),
             };
-            write_line(&job.out, &response_to_json(&resp));
+            write_response(job, &resp);
         }
         SessionVerb::Delta { sid, deltas } => {
             let Some(entry) = sessions.snapshot(sid) else {
@@ -521,7 +583,7 @@ fn handle_session(
                     );
                     sessions.maybe_snapshot(sid);
                     record_ok(metrics, job, id, Some(micros));
-                    write_line(&job.out, &response_to_json(&resp));
+                    write_response(job, &resp);
                 }
             }
         }
@@ -556,7 +618,7 @@ fn handle_session(
             // greedy floor.
             sessions.update_incumbent(sid, updated);
             record_ok(metrics, job, id, Some(micros));
-            write_line(&job.out, &response_to_json(&resp));
+            write_response(job, &resp);
         }
         SessionVerb::Close { sid } => {
             if sessions.close(sid) {
@@ -573,7 +635,7 @@ fn handle_session(
                 let live = sessions.live() as u64;
                 let resp =
                     Response::Session { id, sid, verb: "close".into(), live, makespan: None };
-                write_line(&job.out, &response_to_json(&resp));
+                write_response(job, &resp);
             } else {
                 write_error(metrics, job, format!("unknown session {sid}"));
             }
@@ -589,21 +651,42 @@ fn handle_job(
     job: &Job,
     worker: u64,
 ) -> Directive {
-    let line = job.line.trim();
-    if line.is_empty() {
-        return Directive::Continue;
+    if let Payload::Line(line) = &job.payload {
+        if line.trim().is_empty() {
+            return Directive::Continue;
+        }
     }
     // The job just left the queue: queue-wait is a first-class stage.
     let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
     metrics.telemetry.record(stage::QUEUE_WAIT_US, queue_wait_us);
     if metrics.telemetry.trace().is_some() {
-        let id = crate::protocol::extract_request_id(line).unwrap_or(0);
+        let id = job.request_id().unwrap_or(0);
         metrics.telemetry.emit(TraceEvent::Dequeue { id, worker, queue_wait_us });
     }
-    match parse_incoming(line) {
+    // Decode at parse time, timed as its own stage for both codecs: the
+    // JSON line parse and the binary frame decode are the ingest cost the
+    // packed format exists to shrink, so it must be visible per-stage
+    // instead of folded into `total_us`.
+    let t_decode = Instant::now();
+    let parsed = match &job.payload {
+        Payload::Line(line) => parse_incoming(line.trim()).map_err(|e| e.to_string()),
+        Payload::Frame { frame_type, payload } => {
+            crate::wire::decode_incoming(*frame_type, payload).map_err(|e| e.to_string())
+        }
+    };
+    let decode_us = t_decode.elapsed().as_micros() as u64;
+    metrics.telemetry.record(stage::DECODE_US, decode_us);
+    if metrics.telemetry.trace().is_some() {
+        metrics.telemetry.emit(TraceEvent::Decode {
+            id: job.request_id().unwrap_or(0),
+            codec: job.codec().name().to_string(),
+            micros: decode_us,
+        });
+    }
+    match parsed {
         Ok(Incoming::Metrics) => {
             let summary = full_summary(metrics, sessions, tracker);
-            write_line(&job.out, &response_to_json(&Response::Metrics(summary)));
+            write_response(job, &Response::Metrics(summary));
         }
         Ok(Incoming::KillWorker) => {
             if cfg.fault_injection {
@@ -635,9 +718,9 @@ fn handle_job(
             let micros = t0.elapsed().as_micros() as u64;
             let resp = ok_response(req.id, req.instance.kind(), micros, result);
             record_ok(metrics, job, req.id, Some(micros));
-            write_line(&job.out, &response_to_json(&resp));
+            write_response(job, &resp);
         }
-        Err(e) => write_error(metrics, job, e.to_string()),
+        Err(e) => write_error(metrics, job, e),
     }
     Directive::Continue
 }
@@ -872,17 +955,69 @@ impl Service {
             let lane = Self::extract_sid(&line)
                 .map(|sid| Self::lane_of(sid, self.session_lanes.len()))
                 .unwrap_or(0);
-            let tx = &self.session_lanes[lane];
-            if let Err(e) = tx.try_send(Job { line, out, enqueued }) {
-                let (job, what) = match e {
-                    std::sync::mpsc::TrySendError::Full(job) => (job, "backlog full"),
-                    std::sync::mpsc::TrySendError::Disconnected(job) => (job, "lane closed"),
-                };
-                write_error(&self.metrics, &job, format!("overloaded: session {what}"));
-            }
+            self.dispatch_to_lane(lane, Job { payload: Payload::Line(line), out, enqueued });
             return;
         }
-        let result = self.pool.dispatch(Job { line, out, enqueued });
+        self.dispatch_to_pool(Job { payload: Payload::Line(line), out, enqueued });
+    }
+
+    /// Enqueues one verified binary frame (header and checksum already
+    /// checked by the connection driver); its response frame will be
+    /// written to `out`. Session frames route through the ordered lane
+    /// keyed by the sid at the frame's fixed offset — binary session
+    /// pipelines get the same per-session arrival order as NDJSON ones.
+    /// [`crate::wire::FT_JSON`] frames unwrap to their NDJSON line here
+    /// so framed JSON verbs share the line path's routing (and are, like
+    /// that path, answered in NDJSON).
+    pub fn dispatch_frame(&self, frame_type: u8, payload: Vec<u8>, out: SharedWriter) {
+        if frame_type == crate::wire::FT_JSON {
+            if let Ok(text) = String::from_utf8(payload) {
+                return self.dispatch(text, out);
+            }
+            // Not UTF-8: let the worker answer the decode error in-frame.
+            return self.dispatch_to_pool(Job {
+                payload: Payload::Frame { frame_type, payload: Vec::new() },
+                out,
+                enqueued: Instant::now(),
+            });
+        }
+        let telemetry = &self.metrics.telemetry;
+        if telemetry.trace().is_some() {
+            let id = crate::wire::request_id(frame_type, &payload).unwrap_or(0);
+            telemetry.emit(TraceEvent::Enqueue { id });
+        }
+        let enqueued = Instant::now();
+        if frame_type == crate::wire::FT_SESSION {
+            // Malformed session frames (too short for a sid) route to lane
+            // 0, whose handler answers with the decode error.
+            let lane = crate::wire::session_sid(frame_type, &payload)
+                .map(|sid| Self::lane_of(sid, self.session_lanes.len()))
+                .unwrap_or(0);
+            let job = Job { payload: Payload::Frame { frame_type, payload }, out, enqueued };
+            self.dispatch_to_lane(lane, job);
+            return;
+        }
+        self.dispatch_to_pool(Job {
+            payload: Payload::Frame { frame_type, payload },
+            out,
+            enqueued,
+        });
+    }
+
+    fn dispatch_to_lane(&self, lane: usize, job: Job) {
+        let tx = &self.session_lanes[lane];
+        if let Err(e) = tx.try_send(job) {
+            let (job, what) = match e {
+                std::sync::mpsc::TrySendError::Full(job) => (job, "backlog full"),
+                std::sync::mpsc::TrySendError::Disconnected(job) => (job, "lane closed"),
+            };
+            write_error(&self.metrics, &job, format!("overloaded: session {what}"));
+        }
+    }
+
+    fn dispatch_to_pool(&self, job: Job) {
+        let telemetry = &self.metrics.telemetry;
+        let result = self.pool.dispatch(job);
         telemetry.registry().gauge(POOL_QUEUED).set(self.pool.queued() as u64);
         telemetry.registry().gauge(POOL_WORKERS_ALIVE).set(self.pool.alive() as u64);
         if let Err(Rejected { job, reason, queued }) = result {
@@ -894,6 +1029,15 @@ impl Service {
             };
             write_error(&self.metrics, &job, message);
         }
+    }
+
+    /// Answers a malformed frame with a structured error frame and counts
+    /// it. Used by the connection driver for header/checksum failures
+    /// that never become jobs.
+    fn frame_error(&self, out: &SharedWriter, e: &sst_core::wire::WireError) {
+        self.metrics.telemetry.incr(REQUESTS_ERROR);
+        let resp = Response::Error { id: None, message: format!("bad frame: {e}") };
+        write_frame(out, &crate::wire::encode_response(&resp));
     }
 
     /// The running metrics summary (latency counters plus session stats
@@ -958,17 +1102,95 @@ fn flush_durable_store(sessions: &SessionStore) {
     }
 }
 
-/// Serves NDJSON requests from stdin to stdout until EOF; returns the
-/// final metrics summary. Stdin EOF is the graceful shutdown signal:
-/// in-flight work drains and every hot session is checkpointed before
-/// the summary returns.
+/// Drives one connection carrying mixed NDJSON and binary-frame traffic
+/// until EOF, sniffing each message by its first byte: `'S'` (the frame
+/// magic's first byte, which can never open a JSON value) starts a frame,
+/// anything else an NDJSON line. Responses always go back in the
+/// framing the request arrived in, so JSON and binary clients share one
+/// socket — and one connection may interleave both.
+///
+/// A JSON line `{"upgrade": "binary"}` is the in-band switch: the driver
+/// acks it with `{"upgrade": "binary", "ok": true}` (in order, ahead of
+/// nothing — the ack is written by the driver itself) after which the
+/// client starts sending frames. Since sniffing is per-message, the verb
+/// is a handshake confirming the server speaks the format, not a mode
+/// latch: NDJSON lines keep working after it.
+///
+/// Malformed frames answer a structured [`Response::Error`] frame and the
+/// connection stays alive: a bad magic or oversized length consumes only
+/// the 20-byte header, a checksum mismatch or unknown type consumes its
+/// frame, and a payload truncated by EOF is answered before the driver
+/// returns. Nothing panics; nothing hangs the client.
+pub fn drive_connection<R: std::io::BufRead>(
+    svc: &Service,
+    reader: &mut R,
+    out: &SharedWriter,
+) -> std::io::Result<()> {
+    use sst_core::wire::{FrameHeader, WireError, HEADER_LEN, MAGIC};
+    loop {
+        let first = {
+            let Ok(buf) = reader.fill_buf() else { return Ok(()) };
+            if buf.is_empty() {
+                return Ok(());
+            }
+            buf[0]
+        };
+        if first == MAGIC[0] {
+            let mut header = [0u8; HEADER_LEN];
+            if reader.read_exact(&mut header).is_err() {
+                // EOF (or a dead socket) inside a header: answer what can
+                // still be answered and end the connection.
+                svc.frame_error(out, &WireError::Truncated { needed: HEADER_LEN, got: 0 });
+                return Ok(());
+            }
+            let parsed = match FrameHeader::parse(&header) {
+                Ok(h) => h,
+                Err(e) => {
+                    // Bad magic / oversized length: only the header was
+                    // consumed — in particular an absurd claimed length is
+                    // never read, so a corrupt frame cannot stall the
+                    // connection or drive a huge allocation.
+                    svc.frame_error(out, &e);
+                    continue;
+                }
+            };
+            let mut payload = vec![0u8; parsed.len as usize];
+            if reader.read_exact(&mut payload).is_err() {
+                svc.frame_error(out, &WireError::Truncated { needed: parsed.len as usize, got: 0 });
+                return Ok(());
+            }
+            if let Err(e) = parsed.verify(&payload) {
+                // Checksum mismatch: the whole frame was consumed, so the
+                // stream is still aligned — answer and keep serving.
+                svc.frame_error(out, &e);
+                continue;
+            }
+            svc.dispatch_frame(parsed.frame_type, payload, Arc::clone(out));
+        } else {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return Ok(()),
+                Ok(_) => {}
+            }
+            let trimmed = line.trim();
+            if trimmed.starts_with('{') && trimmed.contains("\"upgrade\"") {
+                write_line(out, "{\"upgrade\": \"binary\", \"ok\": true}");
+                continue;
+            }
+            svc.dispatch(line, Arc::clone(out));
+        }
+    }
+}
+
+/// Serves NDJSON and binary-frame requests from stdin to stdout until
+/// EOF; returns the final metrics summary. Stdin EOF is the graceful
+/// shutdown signal: in-flight work drains and every hot session is
+/// checkpointed before the summary returns.
 pub fn serve_stdin(cfg: ServeConfig) -> std::io::Result<MetricsSummary> {
     let svc = Service::try_start(cfg)?;
     let out: SharedWriter = Arc::new(Mutex::named("service.writer", Box::new(std::io::stdout())));
-    for line in std::io::stdin().lock().lines() {
-        let Ok(line) = line else { break };
-        svc.dispatch(line, Arc::clone(&out));
-    }
+    let mut reader = std::io::stdin().lock();
+    drive_connection(&svc, &mut reader, &out)?;
     Ok(svc.shutdown())
 }
 
@@ -990,10 +1212,8 @@ pub fn serve_tcp(cfg: ServeConfig, addr: &str) -> std::io::Result<()> {
                     let Ok(read_half) = stream.try_clone() else { return };
                     let out: SharedWriter =
                         Arc::new(Mutex::named("service.writer", Box::new(stream)));
-                    for line in std::io::BufReader::new(read_half).lines() {
-                        let Ok(line) = line else { break };
-                        svc.dispatch(line, Arc::clone(&out));
-                    }
+                    let mut reader = std::io::BufReader::new(read_half);
+                    let _ = drive_connection(&svc, &mut reader, &out);
                 });
             }
             Err(e) => {
