@@ -368,3 +368,137 @@ fn close_without_notify_hangs_the_drainer() {
         other => panic!("expected a deadlock, got {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Model 5: group-commit journal handoff (durable.rs append_grouped /
+// committer_loop). Appenders enqueue a record, wake the committer and wait
+// until their seq is durable; the committer drains a batch, writes it
+// outside the state lock, then publishes durable_seq and notifies. Two
+// properties, each pinned by a deliberately broken variant:
+//   (1) write-ahead — no appender releases its response before its own
+//       record is durable (a single `if`-wait instead of the `while` loop
+//       releases on a foreign batch's wakeup);
+//   (2) shutdown drains — the committer must commit the in-flight batch
+//       before exiting (returning on `shutdown` with records still
+//       pending strands every waiter).
+// The last appender to enqueue raises `shutdown` *before* waiting, so the
+// flag always races the in-flight batch — the exact graceful-shutdown
+// scenario the serve path must survive.
+// ---------------------------------------------------------------------------
+
+struct CommitSt {
+    assigned: u64,
+    durable: u64,
+    pending: Vec<u64>,
+    shutdown: bool,
+}
+
+fn group_commit_model(
+    strategy: Strategy,
+    single_wait: bool,
+    drain_on_shutdown: bool,
+) -> Result<sst_check::sched::Stats, Box<sst_check::sched::Failure>> {
+    explore(strategy, move |run| {
+        let st = Arc::new(VMutex::new(CommitSt {
+            assigned: 0,
+            durable: 0,
+            pending: Vec::new(),
+            shutdown: false,
+        }));
+        let work = Arc::new(VCondvar::new()); // appender → committer
+        let done = Arc::new(VCondvar::new()); // committer → appenders
+
+        for name in ["appender-a", "appender-b"] {
+            let (st, work, done) = (Arc::clone(&st), Arc::clone(&work), Arc::clone(&done));
+            run.spawn(name, move || {
+                let mut g = st.lock();
+                g.assigned += 1;
+                let seq = g.assigned;
+                g.pending.push(seq);
+                if seq == 2 {
+                    // Shutdown races the in-flight batch.
+                    g.shutdown = true;
+                }
+                work.notify_all();
+                if single_wait {
+                    // Broken: a wakeup for someone else's batch releases us.
+                    if g.durable < seq {
+                        done.wait(&mut g);
+                    }
+                } else {
+                    while g.durable < seq {
+                        done.wait(&mut g);
+                    }
+                }
+                // The write-ahead contract, checked at response release.
+                assert!(g.durable >= seq, "response released before its record is durable");
+            });
+        }
+        {
+            let (st, work, done) = (Arc::clone(&st), Arc::clone(&work), Arc::clone(&done));
+            run.spawn("committer", move || loop {
+                let batch = {
+                    let mut g = st.lock();
+                    loop {
+                        if !drain_on_shutdown && g.shutdown {
+                            // Broken: exit on shutdown with records pending.
+                            return;
+                        }
+                        if !g.pending.is_empty() {
+                            break;
+                        }
+                        if g.shutdown {
+                            assert_eq!(g.durable, g.assigned, "shutdown drained every record");
+                            return;
+                        }
+                        work.wait(&mut g);
+                    }
+                    // Batch cap 1: each record commits alone, so one
+                    // appender's wakeup can precede the other's commit.
+                    vec![g.pending.remove(0)]
+                };
+                yield_now(); // the coalesced write + fsync, outside the lock
+                let mut g = st.lock();
+                g.durable = *batch.last().unwrap();
+                done.notify_all();
+            });
+        }
+    })
+}
+
+#[test]
+fn group_commit_releases_only_durable_responses() {
+    let stats = group_commit_model(Strategy::Exhaustive { max_executions: 500_000 }, false, true)
+        .expect("write-ahead + drain-on-shutdown hold in every schedule");
+    assert!(stats.complete, "exhaustive space must be fully enumerated");
+}
+
+#[test]
+fn group_commit_random_walks_for_ci() {
+    group_commit_model(Strategy::Random { seed: 0x5357, walks: 200 }, false, true)
+        .expect("seeded walks agree with the exhaustive pass");
+}
+
+#[test]
+fn single_wait_release_breaks_the_durable_contract() {
+    let failure = group_commit_model(Strategy::Exhaustive { max_executions: 500_000 }, true, true)
+        .expect_err("some schedule wakes an appender on a foreign batch");
+    assert!(
+        matches!(failure.kind, FailureKind::Panic { .. } | FailureKind::Deadlock { .. }),
+        "early release trips the release-time assert (or strands a waiter): {failure}"
+    );
+}
+
+#[test]
+fn committer_exit_without_drain_strands_appenders() {
+    let failure =
+        group_commit_model(Strategy::Exhaustive { max_executions: 500_000 }, false, false)
+            .expect_err("exiting with a non-empty batch must deadlock some schedule");
+    match &failure.kind {
+        FailureKind::Deadlock { blocked } => assert!(
+            blocked.iter().any(|t| t.starts_with("appender")),
+            "an appender waits forever on its lost record: {failure}"
+        ),
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}

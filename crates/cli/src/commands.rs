@@ -160,8 +160,8 @@ USAGE
             [--seed S] [--mode stealing|sharded] [--max-queue N]
             [--max-sessions N] [--fault-injection true]
             [--data-dir DIR] [--durability none|flush|fsync]
-            [--session-lanes N] [--trace-out FILE|stderr]
-            [--metrics-interval MS]
+            [--session-lanes N] [--journal-batch N] [--group-commit-us US]
+            [--trace-out FILE|stderr] [--metrics-interval MS]
       solver-portfolio service speaking NDJSON: one request object per
       line ({\"id\": .., \"instance\": {..}, \"budget_ms\": ..}), one
       response per line; instance.kind is uniform | unrelated |
@@ -185,7 +185,13 @@ USAGE
       instead of evicting them, and a restart with the same --data-dir
       recovers every live session by replay (--durability: none buffers
       until graceful exit, flush [default] pushes each append to the OS
-      — survives SIGKILL — and fsync also survives power loss).
+      — survives SIGKILL — and fsync also survives power loss). The
+      session store is sharded per lane with lock-free reads; journal
+      appends from concurrent lanes coalesce into group commits — one
+      write and one flush/fsync per batch of up to --journal-batch
+      records (default 64; 1 = synchronous appends), with an optional
+      --group-commit-us linger window to let a batch fill. Responses
+      still wait for their own record to be durable.
       Requests flow through a work-stealing worker pool (adaptive top-k:
       a scored win-rate × recency ranking demotes members whose score
       decays); --mode sharded keeps the round-robin baseline. Beyond
@@ -245,6 +251,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "data-dir",
         "durability",
         "session-lanes",
+        "journal-batch",
+        "group-commit-us",
         "trace-out",
         "metrics-interval",
     ])?;
@@ -290,6 +298,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         data_dir,
         durability,
         session_lanes: args.flag_parse("session-lanes", 4usize)?.max(1),
+        journal_batch: args.flag_parse("journal-batch", 64usize)?.max(1),
+        group_commit_us: args.flag_parse("group-commit-us", 0u64)?,
         trace,
         metrics_interval_ms: args.flag_parse("metrics-interval", 0u64)?,
     };
@@ -374,6 +384,8 @@ fn trace_summarize(path: &str) -> Result<String, CliError> {
     let mut recovered_sessions = 0u64;
     let mut spills = 0u64;
     let mut cold_reloads = 0u64;
+    let mut commits = 0u64;
+    let mut committed_records = 0u64;
     let mut dropped: Option<u64> = None;
 
     for line in text.lines() {
@@ -451,6 +463,13 @@ fn trace_summarize(path: &str) -> Result<String, CliError> {
                     record("journal_append", us);
                 }
             }
+            "journal_commit" => {
+                commits += 1;
+                committed_records += uint(&map, "batch").unwrap_or(0);
+                if let Some(us) = uint(&map, "micros") {
+                    record("journal_commit", us);
+                }
+            }
             "snapshot" => {
                 if let Some(us) = uint(&map, "micros") {
                     record("snapshot", us);
@@ -526,6 +545,8 @@ fn trace_summarize(path: &str) -> Result<String, CliError> {
         out,
         "requests: {ok} ok, {errors} errors; recoveries: {recoveries} ({recovered_sessions} sessions); spills: {spills}, cold reloads: {cold_reloads}"
     );
+    let _ =
+        writeln!(out, "group commits: {commits} batches ({committed_records} records coalesced)");
     let _ = match dropped {
         Some(n) => writeln!(out, "dropped events: {n}"),
         None => writeln!(out, "dropped events: unknown (no sink_close event; truncated trace?)"),
@@ -1597,18 +1618,23 @@ mod tests {
             r#"{"event": "solver_end", "id": 1, "solver": "exact-bb", "outcome": "cancelled", "micros": 400, "ts_us": 5}"#,
             r#"{"event": "respond", "id": 1, "ok": true, "total_us": 600, "ts_us": 6}"#,
             r#"{"event": "journal_append", "sid": 7, "bytes": 32, "micros": 80, "fsync": false, "ts_us": 7}"#,
+            r#"{"event": "journal_commit", "batch": 5, "bytes": 160, "micros": 240, "fsync": true, "ts_us": 7}"#,
+            r#"{"event": "journal_commit", "batch": 2, "bytes": 64, "micros": 150, "fsync": true, "ts_us": 8}"#,
             r#"{"event": "recovery", "sessions": 2, "snapshots_loaded": 1, "replayed": 3, "dropped_bytes": 0, "micros": 900, "ts_us": 8}"#,
             "not json",
             r#"{"event": "sink_close", "dropped": 4, "ts_us": 9}"#,
         ];
         std::fs::write(&path, lines.join("\n")).unwrap();
         let out = run(&parse(&toks(&["trace", "summarize", &path])).unwrap()).unwrap();
-        assert!(out.contains("11 events (1 unparseable"), "{out}");
-        for stage in ["queue_wait", "total", "solver", "journal_append", "recovery"] {
+        assert!(out.contains("13 events (1 unparseable"), "{out}");
+        for stage in
+            ["queue_wait", "total", "solver", "journal_append", "journal_commit", "recovery"]
+        {
             assert!(out.contains(stage), "missing stage '{stage}' in:\n{out}");
         }
         assert!(out.contains("lpt") && out.contains("exact-bb"), "{out}");
         assert!(out.contains("requests: 1 ok, 0 errors; recoveries: 1 (2 sessions)"), "{out}");
+        assert!(out.contains("group commits: 2 batches (7 records coalesced)"), "{out}");
         assert!(out.contains("dropped events: 4"), "{out}");
         // Unknown subcommands and missing files fail cleanly.
         assert!(run(&parse(&toks(&["trace", "tail", &path])).unwrap()).is_err());

@@ -26,6 +26,10 @@ use sst_portfolio::protocol::{
 use sst_portfolio::ProblemInstance;
 
 fn spawn_server(data_dir: &Path, max_sessions: &str) -> (Child, String) {
+    spawn_server_opts(data_dir, max_sessions, "flush")
+}
+
+fn spawn_server_opts(data_dir: &Path, max_sessions: &str, durability: &str) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_sst"))
         .args([
             "serve",
@@ -42,7 +46,7 @@ fn spawn_server(data_dir: &Path, max_sessions: &str) -> (Child, String) {
             "--data-dir",
             data_dir.to_str().expect("utf-8 temp path"),
             "--durability",
-            "flush",
+            durability,
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -217,6 +221,82 @@ fn crash_probe_aborts_the_process_and_the_journal_replays() {
     let (mut child, addr) = spawn_server(&dir, "8");
     let mut client = Client::connect(&addr);
     assert_recovered(&mut client, &replayed);
+    child.kill().expect("kill server");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The graceful-shutdown flush pin (SIGTERM-equivalent): stdin mode under
+/// `--durability fsync` with group commit enabled, closed by stdin EOF.
+/// Shutdown must drain the in-flight commit batch *before* the final
+/// checkpoint runs, so a restart recovers every session — a committer
+/// that discards its batch on exit would lose the last verbs and fail
+/// the replay assertions below.
+#[test]
+fn stdin_eof_shutdown_flushes_the_commit_batch_under_fsync() {
+    let dir = tmp_dir("stdin-eof");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sst"))
+        .args([
+            "serve",
+            "--workers",
+            "2",
+            "--budget-ms",
+            "40",
+            "--max-sessions",
+            "8",
+            "--data-dir",
+            dir.to_str().expect("utf-8 temp path"),
+            "--durability",
+            "fsync",
+            "--journal-batch",
+            "64",
+            "--group-commit-us",
+            "2000",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sst serve (stdin mode)");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    // create + delta for sids 1..=3, reading each response before the next
+    // verb (stdin mode answers in order on stdout).
+    let mut replayed = Vec::new();
+    for sid in 1..=3u64 {
+        let base = base_instance(sid);
+        let deltas = deltas_for(sid);
+        for (id, verb) in [
+            (
+                sid * 10,
+                SessionVerb::Create { sid, instance: ProblemInstance::Uniform(base.clone()) },
+            ),
+            (sid * 10 + 1, SessionVerb::Delta { sid, deltas: deltas.clone() }),
+        ] {
+            writeln!(stdin, "{}", session_request_to_json(&SessionRequest { id, verb }))
+                .expect("send verb");
+            stdin.flush().expect("flush stdin");
+            let mut resp = String::new();
+            assert!(stdout.read_line(&mut resp).expect("read response") > 0, "early EOF");
+            let resp = parse_response(resp.trim()).expect("parseable response");
+            assert!(matches!(resp, Response::Session { .. } | Response::Ok { .. }), "{resp:?}");
+        }
+        replayed.push((sid, apply(&base, &deltas)));
+    }
+
+    // EOF is the SIGTERM-equivalent: graceful shutdown — drain the commit
+    // batch, checkpoint, close the sink — then a clean exit.
+    drop(stdin);
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "graceful EOF shutdown must exit cleanly: {status:?}");
+
+    let (mut child, addr) = spawn_server_opts(&dir, "8", "fsync");
+    let mut client = Client::connect(&addr);
+    assert_recovered(&mut client, &replayed);
+    let metrics = client.roundtrip("{\"metrics\": true}");
+    let Response::Metrics(m) = metrics else { panic!("{metrics:?}") };
+    assert_eq!(m.sessions.recovered, 3, "every session survived the graceful shutdown");
     child.kill().expect("kill server");
     let _ = child.wait();
     let _ = std::fs::remove_dir_all(&dir);

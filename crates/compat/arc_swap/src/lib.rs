@@ -1,0 +1,200 @@
+//! Offline stand-in for the subset of the `arc-swap` crate this workspace
+//! uses: an [`ArcSwap<T>`] cell that publishes an `Arc<T>` snapshot which
+//! readers can [`load`](ArcSwap::load) without taking any lock.
+//!
+//! The real crate uses hazard-pointer-style debt slots; this stand-in uses
+//! the simplest scheme that is wait-free for readers and safe without any
+//! per-thread state: a single *reader-window* counter. A reader announces
+//! itself (`readers += 1`), reads the published pointer, bumps the Arc's
+//! strong count so it owns the value outright, and leaves the window
+//! (`readers -= 1`). A writer swaps the published pointer and may only
+//! free a swapped-out value after observing `readers == 0` *after* its
+//! swap — any window still open at that point may have read the old
+//! pointer, so the value is parked on a retired list and freed by a later
+//! store (or by `Drop`) once a zero window is observed.
+//!
+//! Writers therefore contend only with each other (on the retired-list
+//! mutex), never with readers; readers never write anything but the two
+//! counter bumps. That is exactly the shape the session store needs:
+//! metrics probes and entry lookups on the hot path stay lock-free while
+//! membership changes (create / close / spill) go through the shard lock.
+//!
+//! The counter protocol is the classic store-buffer (Dekker) pattern —
+//! reader: `readers += 1` then read `ptr`; writer: swap `ptr` then read
+//! `readers` — which is only sound under `SeqCst`: with acquire/release
+//! alone both sides may read the stale value and a writer could free a
+//! pointer a reader is about to bump.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cell holding an `Arc<T>` that can be read lock-free and replaced
+/// atomically. See the crate docs for the protocol.
+pub struct ArcSwap<T> {
+    /// Current published value, as a raw pointer owning one strong count.
+    ptr: AtomicPtr<T>,
+    /// Number of reader windows currently open across all threads.
+    readers: AtomicUsize,
+    /// Swapped-out values that could not be freed at swap time because a
+    /// reader window was open. Drained by later stores and by `Drop`.
+    /// A std mutex is fine here (compat crates are below the lockdep
+    /// layer, like parking_lot itself): it is only touched by writers.
+    retired: std::sync::Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: ArcSwap owns its values exactly like Arc<T> does — the raw
+// pointers in `ptr`/`retired` each carry one strong count — so it is
+// Send/Sync precisely when Arc<T> is.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+// SAFETY: see the Send impl above.
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell publishing `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            readers: AtomicUsize::new(0),
+            retired: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns the currently published value. Wait-free: two counter bumps
+    /// and one strong-count increment, no lock.
+    pub fn load(&self) -> Arc<T> {
+        // ordering: SeqCst — store-buffer pattern with `store`: the window
+        // open (fetch_add) must be globally ordered before the pointer
+        // read so that a writer which swapped first cannot also observe
+        // readers == 0; acquire/release alone permits exactly that.
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        // ordering: SeqCst — must order after the window open (see above).
+        let p = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: `p` came from Arc::into_raw and is still alive: a writer
+        // frees a swapped-out pointer only after observing readers == 0
+        // after its swap. Our window opened before the pointer read, so
+        // either we read the new pointer (still published) or the writer
+        // sees our open window and retires the old value instead of
+        // freeing it.
+        unsafe { Arc::increment_strong_count(p) };
+        // ordering: SeqCst — the strong-count bump must be visible to any
+        // writer that observes this window close before freeing.
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        // SAFETY: we own the strong count added above.
+        unsafe { Arc::from_raw(p) }
+    }
+
+    /// Publishes `value`, retiring the previous one. The old value is
+    /// freed immediately when no reader window is open, otherwise parked
+    /// and freed by a later `store` or by `Drop`.
+    pub fn store(&self, value: Arc<T>) {
+        let new = Arc::into_raw(value).cast_mut();
+        // ordering: SeqCst — store-buffer pattern with `load`: the swap
+        // must be globally ordered before the readers check below, so a
+        // reader that got the old pointer is guaranteed visible in it.
+        let old = self.ptr.swap(new, Ordering::SeqCst);
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        retired.push(old);
+        // ordering: SeqCst — a zero read here happens-after every reader
+        // window that could have seen any pointer on the retired list
+        // (all were swapped out before this check), and the SeqCst
+        // fetch_sub closing each window makes that window's strong-count
+        // bump visible before we drop our count.
+        if self.readers.load(Ordering::SeqCst) == 0 {
+            for p in retired.drain(..) {
+                // SAFETY: `p` is unreachable (swapped out of `ptr`) and no
+                // reader window overlapping its publication remains open;
+                // every handed-out Arc owns its own strong count, so
+                // releasing ours cannot free a value still in use.
+                unsafe { drop(Arc::from_raw(p)) };
+            }
+        }
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // &mut self: no reader window can be open, every pointer is ours.
+        let current = *self.ptr.get_mut();
+        // SAFETY: `current` owns the published strong count.
+        unsafe { drop(Arc::from_raw(current)) };
+        let retired = self.retired.get_mut().unwrap_or_else(|e| e.into_inner());
+        for p in retired.drain(..) {
+            // SAFETY: retired pointers each own one strong count.
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Weak;
+
+    #[test]
+    fn load_returns_the_published_value_and_store_replaces_it() {
+        let cell = ArcSwap::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        // A previously loaded Arc stays valid across stores.
+        let held = cell.load();
+        cell.store(Arc::new(3));
+        assert_eq!(*held, 2);
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn replaced_values_are_freed_not_leaked() {
+        let first = Arc::new(String::from("first"));
+        let weak_first: Weak<String> = Arc::downgrade(&first);
+        let cell = ArcSwap::new(first);
+        cell.store(Arc::new(String::from("second")));
+        // No reader window was open during the store: freed immediately.
+        assert!(weak_first.upgrade().is_none(), "replaced value must be dropped");
+
+        let second_weak = Weak::clone(&{
+            let live = cell.load();
+            let w = Arc::downgrade(&live);
+            drop(live);
+            w
+        });
+        drop(cell);
+        assert!(second_weak.upgrade().is_none(), "Drop must free the current value");
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_always_see_a_published_value() {
+        let cell = Arc::new(ArcSwap::new(Arc::new(0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let (cell, stop) = (Arc::clone(&cell), Arc::clone(&stop));
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = *cell.load();
+                        // The writer publishes monotonically increasing
+                        // values; a reader must never observe a rollback.
+                        assert!(v >= last, "saw {v} after {last}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=2000u64 {
+            cell.store(Arc::new(v));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+        assert_eq!(*cell.load(), 2000);
+    }
+}

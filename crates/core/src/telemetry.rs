@@ -245,6 +245,13 @@ pub mod stage {
     /// decode — so ingest cost is visible per-stage instead of folded
     /// into [`TOTAL_US`].
     pub const DECODE_US: &str = "stage.decode_us";
+    /// A lane's wait for the group committer's durability acknowledgement
+    /// (enqueue → its record's batch flushed/synced).
+    pub const COMMIT_WAIT_US: &str = "stage.commit_wait_us";
+    /// Records per coalesced group-commit batch. Deliberately *not*
+    /// `stage.`-prefixed: it counts records, not microseconds, so it must
+    /// not render as a latency stage row.
+    pub const JOURNAL_BATCH_LEN: &str = "journal_batch_len";
 }
 
 /// Registry name of solver `name`'s time-to-first-incumbent histogram
@@ -362,6 +369,18 @@ pub enum TraceEvent {
         /// Whether the policy synced the file (`--durability fsync`).
         fsync: bool,
     },
+    /// The group committer appended one coalesced batch of journal
+    /// records (one write + one flush/fsync for the whole batch).
+    JournalCommit {
+        /// Records in the batch.
+        batch: u64,
+        /// Coalesced bytes written.
+        bytes: u64,
+        /// Batch write wall time including flush/fsync, µs.
+        micros: u64,
+        /// Whether the policy synced the file (`--durability fsync`).
+        fsync: bool,
+    },
     /// A session snapshot file was written.
     Snapshot {
         /// Session id.
@@ -443,6 +462,7 @@ impl TraceEvent {
             TraceEvent::CancelLatency { .. } => "cancel",
             TraceEvent::Respond { .. } => "respond",
             TraceEvent::JournalAppend { .. } => "journal_append",
+            TraceEvent::JournalCommit { .. } => "journal_commit",
             TraceEvent::Snapshot { .. } => "snapshot",
             TraceEvent::Spill { .. } => "spill",
             TraceEvent::ColdReload { .. } => "cold_reload",
@@ -511,6 +531,13 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ", \"sid\": {sid}, \"bytes\": {bytes}, \"micros\": {micros}, \"fsync\": {fsync}"
+                );
+            }
+            TraceEvent::JournalCommit { batch, bytes, micros, fsync } => {
+                let _ = write!(
+                    out,
+                    ", \"batch\": {batch}, \"bytes\": {bytes}, \"micros\": {micros}, \
+                     \"fsync\": {fsync}"
                 );
             }
             TraceEvent::Snapshot { sid, micros } => {

@@ -97,6 +97,11 @@ fn golden() -> Vec<(TraceEvent, &'static str, Vec<&'static str>)> {
             vec!["bytes", "event", "fsync", "micros", "sid", "ts_us"],
         ),
         (
+            TraceEvent::JournalCommit { batch: 12, bytes: 3100, micros: 950, fsync: true },
+            "journal_commit",
+            vec!["batch", "bytes", "event", "fsync", "micros", "ts_us"],
+        ),
+        (
             TraceEvent::Snapshot { sid: 4, micros: 400 },
             "snapshot",
             vec!["event", "micros", "sid", "ts_us"],

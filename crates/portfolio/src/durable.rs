@@ -39,6 +39,24 @@
 //! record to the OS (survives process death — SIGKILL, abort — the CI
 //! kill-and-replay gate), `fsync` additionally syncs the file (survives
 //! power loss).
+//!
+//! **Group commit** ([`DurableStore::with_group_commit`], on by default):
+//! appending lanes do not write the file themselves — they encode their
+//! record, enqueue it on a bounded batch buffer with the next sequence
+//! number, and park until a dedicated *committer* thread has made it
+//! durable. The committer drains up to `--journal-batch` records at a
+//! time, appends them as **one** coalesced write, pays one flush/fsync
+//! for the whole batch, then wakes every waiting lane. The write-ahead
+//! contract is unchanged — an appender returns (and the service responds)
+//! only after its record is on storage at the configured durability — but
+//! the flush/fsync cost is amortized across every lane that joined the
+//! batch, which is what makes contended `fsync` traffic scale. Batches
+//! form naturally (records pile up while the committer is inside a
+//! flush); `--group-commit-us` optionally lets the committer linger for
+//! stragglers when a batch is not yet full. The on-disk format and the
+//! sequence numbering are byte-identical to the synchronous path
+//! (`--journal-batch 1`), so recovery is oblivious to batching — a
+//! property pinned by the differential proptests in `proptest_journal.rs`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -48,7 +66,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use sst_core::delta::{delta_to_json, deltas_from_value, InstanceDelta};
 use sst_core::io::json::{self, JsonValue};
 use sst_core::io::{self as core_io, IoError};
@@ -138,6 +156,17 @@ impl RecordRef<'_> {
             RecordRef::Create { sid, .. }
             | RecordRef::Delta { sid, .. }
             | RecordRef::Close { sid } => *sid,
+        }
+    }
+}
+
+impl JournalRecord {
+    /// The borrowed view the append path encodes from.
+    fn as_ref(&self) -> RecordRef<'_> {
+        match self {
+            JournalRecord::Create { sid, instance } => RecordRef::Create { sid: *sid, instance },
+            JournalRecord::Delta { sid, deltas } => RecordRef::Delta { sid: *sid, deltas },
+            JournalRecord::Close { sid } => RecordRef::Close { sid: *sid },
         }
     }
 }
@@ -472,6 +501,47 @@ struct JournalWriter {
     seq: u64,
 }
 
+/// An encoded record parked on the group-commit batch buffer.
+struct PendingRecord {
+    seq: u64,
+    line: String,
+}
+
+/// Sequence bookkeeping of the group-commit handoff. `durable_seq` and
+/// `failed_seq` partition assigned sequence numbers: an appender's record
+/// is acknowledged once `durable_seq` covers it and refused once
+/// `failed_seq` does (a failed batch write never advances `durable_seq`).
+struct CommitState {
+    /// Last sequence number handed to an enqueued record.
+    assigned_seq: u64,
+    /// Last sequence number durably on storage (at the configured
+    /// durability level).
+    durable_seq: u64,
+    /// Highest sequence number covered by a failed batch write.
+    failed_seq: u64,
+    /// The failed batch's error, repeated to every appender it covers.
+    failure: String,
+    /// Set by `Drop`; the committer drains `pending` and exits.
+    shutdown: bool,
+    /// Encoded records awaiting the committer, in sequence order.
+    pending: Vec<PendingRecord>,
+}
+
+/// State shared between appending lanes and the committer thread.
+struct CommitShared {
+    /// Guards [`CommitState`]; never held across IO and never nested with
+    /// `writer` (the committer drops it before taking the writer lock).
+    state: Mutex<CommitState>,
+    /// Appenders → committer: records are pending (or shutdown was set).
+    work: Condvar,
+    /// Committer → appenders: `durable_seq`/`failed_seq` advanced.
+    done: Condvar,
+    /// The journal file itself. Held by the committer for the coalesced
+    /// batch write; by `flush_journal`/`truncate_journal` at quiescent
+    /// points; and by the synchronous path when batching is off.
+    writer: Mutex<JournalWriter>,
+}
+
 /// On-disk encoding for per-session snapshot files. Reads always sniff
 /// the format byte ([`parse_snapshot_bytes`]), so stores of either
 /// setting recover each other's files.
@@ -494,7 +564,19 @@ pub struct DurableStore {
     durability: Durability,
     snapshot_format: SnapshotFormat,
     snapshot_every: u64,
-    journal: Mutex<JournalWriter>,
+    /// Records per coalesced commit batch; `<= 1` keeps the synchronous
+    /// per-record append path (no committer thread).
+    journal_batch: usize,
+    /// Extra time the committer may wait for stragglers on a non-full
+    /// batch; 0 = natural batching only.
+    group_commit_us: u64,
+    commit: Arc<CommitShared>,
+    /// The committer thread, spawned lazily on the first batched append
+    /// (after `set_telemetry` and the builders have run) and joined by
+    /// `Drop` once the batch buffer is drained.
+    committer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Fast-path flag mirroring `committer.is_some()`.
+    committer_up: std::sync::atomic::AtomicBool,
     journal_appends: AtomicU64,
     journal_bytes: AtomicU64,
     snapshots: AtomicU64,
@@ -518,16 +600,55 @@ impl DurableStore {
             durability,
             snapshot_format: SnapshotFormat::default(),
             snapshot_every: 32,
-            journal: Mutex::named(
-                "durable.journal",
-                JournalWriter { file: std::io::BufWriter::new(file), seq: 0 },
-            ),
+            journal_batch: 64,
+            group_commit_us: 0,
+            commit: Arc::new(CommitShared {
+                state: Mutex::named(
+                    "durable.commit",
+                    CommitState {
+                        assigned_seq: 0,
+                        durable_seq: 0,
+                        failed_seq: 0,
+                        failure: String::new(),
+                        shutdown: false,
+                        pending: Vec::new(),
+                    },
+                ),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                writer: Mutex::named(
+                    "durable.journal",
+                    JournalWriter { file: std::io::BufWriter::new(file), seq: 0 },
+                ),
+            }),
+            committer: Mutex::named("durable.committer", None),
+            committer_up: std::sync::atomic::AtomicBool::new(false),
             journal_appends: AtomicU64::new(0),
             journal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
             telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Configures the group-commit journal writer (builder-style; call
+    /// before the first append): lanes enqueue records into batches of at
+    /// most `batch` and a committer thread pays one flush/fsync per
+    /// batch. `batch <= 1` disables batching — every append writes and
+    /// syncs its own record synchronously (the pre-group-commit path,
+    /// kept as the bench baseline). `window_us > 0` lets the committer
+    /// wait that long for stragglers when a batch is not yet full;
+    /// 0 (the default) commits whatever piled up while the previous
+    /// batch was being written.
+    pub fn with_group_commit(mut self, batch: usize, window_us: u64) -> DurableStore {
+        self.journal_batch = batch.max(1);
+        self.group_commit_us = window_us;
+        self
+    }
+
+    /// The configured records-per-batch bound (1 = synchronous appends).
+    pub fn journal_batch(&self) -> usize {
+        self.journal_batch
     }
 
     /// Sets the periodic-snapshot threshold (journaled verbs per session
@@ -567,9 +688,18 @@ impl DurableStore {
     }
 
     fn append(&self, rec: RecordRef<'_>) -> std::io::Result<u64> {
+        if self.journal_batch <= 1 {
+            return self.append_direct(rec);
+        }
+        self.append_grouped(rec)
+    }
+
+    /// The synchronous path (`--journal-batch 1`): encode, write, flush
+    /// and sync one record under the writer lock.
+    fn append_direct(&self, rec: RecordRef<'_>) -> std::io::Result<u64> {
         let sid = rec.sid();
         let t0 = std::time::Instant::now();
-        let mut j = self.journal.lock();
+        let mut j = self.commit.writer.lock();
         let seq = j.seq + 1;
         let payload = record_payload(seq, &rec);
         let line = format!("{:016x} {payload}\n", fnv1a64(payload.as_bytes()));
@@ -606,6 +736,141 @@ impl DurableStore {
             fsync,
         });
         Ok(seq)
+    }
+
+    /// The group-commit path: encode + enqueue under the state lock, wake
+    /// the committer, park until `durable_seq` (or `failed_seq`) covers
+    /// our record. Returns — i.e. the verb gets acknowledged — only once
+    /// the record is on storage at the configured durability.
+    fn append_grouped(&self, rec: RecordRef<'_>) -> std::io::Result<u64> {
+        let sid = rec.sid();
+        let t0 = std::time::Instant::now();
+        self.ensure_committer();
+        let (seq, bytes, wait_us) = {
+            let mut st = self.commit.state.lock();
+            let seq = st.assigned_seq + 1;
+            st.assigned_seq = seq;
+            // Encoding under the state lock keeps `pending` in sequence
+            // order — the invariant that lets the committer write any
+            // prefix of the buffer as one contiguous byte range.
+            let payload = record_payload(seq, &rec);
+            let line = format!("{:016x} {payload}\n", fnv1a64(payload.as_bytes()));
+            let bytes = line.len() as u64;
+            st.pending.push(PendingRecord { seq, line });
+            self.commit.work.notify_one();
+            let wait_t0 = std::time::Instant::now();
+            while st.durable_seq < seq {
+                if st.failed_seq >= seq {
+                    return Err(std::io::Error::other(st.failure.clone()));
+                }
+                self.commit.done.wait(&mut st);
+            }
+            (seq, bytes, wait_t0.elapsed().as_micros() as u64)
+        };
+        let fsync = self.durability == Durability::Fsync;
+        let micros = t0.elapsed().as_micros() as u64;
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+        self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.telemetry.record(stage::JOURNAL_APPEND_US, micros);
+        self.telemetry.record(stage::COMMIT_WAIT_US, wait_us);
+        self.telemetry.emit(TraceEvent::JournalAppend { sid, bytes, micros, fsync });
+        Ok(seq)
+    }
+
+    /// Appends several records as one enqueue operation: they receive
+    /// consecutive sequence numbers with no interleaved foreign record,
+    /// and the call returns once the whole run is durable. With batching
+    /// off this degrades to sequential synchronous appends — the journal
+    /// bytes are identical either way. Returns the last sequence number
+    /// (0 when `recs` is empty).
+    pub fn append_coalesced(&self, recs: &[JournalRecord]) -> std::io::Result<u64> {
+        let mut last = 0u64;
+        if self.journal_batch <= 1 {
+            for rec in recs {
+                last = self.append_direct(rec.as_ref())?;
+            }
+            return Ok(last);
+        }
+        if recs.is_empty() {
+            return Ok(0);
+        }
+        let t0 = std::time::Instant::now();
+        self.ensure_committer();
+        let mut total_bytes = 0u64;
+        let (wait_us, sids_bytes) = {
+            let mut st = self.commit.state.lock();
+            let mut sids_bytes = Vec::with_capacity(recs.len());
+            for rec in recs {
+                let rec = rec.as_ref();
+                let seq = st.assigned_seq + 1;
+                st.assigned_seq = seq;
+                let payload = record_payload(seq, &rec);
+                let line = format!("{:016x} {payload}\n", fnv1a64(payload.as_bytes()));
+                total_bytes += line.len() as u64;
+                sids_bytes.push((rec.sid(), line.len() as u64));
+                st.pending.push(PendingRecord { seq, line });
+                last = seq;
+            }
+            self.commit.work.notify_one();
+            let wait_t0 = std::time::Instant::now();
+            while st.durable_seq < last {
+                if st.failed_seq >= last {
+                    return Err(std::io::Error::other(st.failure.clone()));
+                }
+                self.commit.done.wait(&mut st);
+            }
+            (wait_t0.elapsed().as_micros() as u64, sids_bytes)
+        };
+        let fsync = self.durability == Durability::Fsync;
+        let micros = t0.elapsed().as_micros() as u64;
+        self.journal_appends.fetch_add(sids_bytes.len() as u64, Ordering::Relaxed);
+        self.journal_bytes.fetch_add(total_bytes, Ordering::Relaxed);
+        self.telemetry.record(stage::JOURNAL_APPEND_US, micros);
+        self.telemetry.record(stage::COMMIT_WAIT_US, wait_us);
+        for (sid, bytes) in sids_bytes {
+            self.telemetry.emit(TraceEvent::JournalAppend { sid, bytes, micros, fsync });
+        }
+        Ok(last)
+    }
+
+    /// Spawns the committer thread on first use. Lazy so the builders and
+    /// `set_telemetry` have run by the time its configuration is cloned.
+    fn ensure_committer(&self) {
+        // ordering: Acquire pairs with the Release store below so a thread
+        // seeing `true` also sees the spawned committer's side effects;
+        // the slow path re-checks under the `durable.committer` lock.
+        if self.committer_up.load(Ordering::Acquire) {
+            return;
+        }
+        let mut slot = self.committer.lock();
+        if slot.is_none() {
+            let shared = Arc::clone(&self.commit);
+            let durability = self.durability;
+            let batch_cap = self.journal_batch;
+            let window = std::time::Duration::from_micros(self.group_commit_us);
+            let telemetry = self.telemetry.clone();
+            *slot = Some(std::thread::spawn(move || {
+                committer_loop(&shared, durability, batch_cap, window, &telemetry)
+            }));
+            // ordering: Release publishes the spawn to Acquire loads above.
+            self.committer_up.store(true, Ordering::Release);
+        }
+    }
+
+    /// Blocks until every enqueued record is resolved (durable or
+    /// failed). The flush/truncate/recover quiescent points call this so
+    /// the writer lock they take next covers a fully-drained journal.
+    fn drain_commits(&self) {
+        // ordering: Acquire pairs with the Release in `ensure_committer`;
+        // no committer means nothing was ever enqueued.
+        if self.journal_batch <= 1 || !self.committer_up.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.commit.state.lock();
+        while st.durable_seq.max(st.failed_seq) < st.assigned_seq {
+            self.commit.work.notify_one();
+            self.commit.done.wait(&mut st);
+        }
     }
 
     /// Journals an accepted `create`. Returns the record's sequence number.
@@ -668,9 +933,12 @@ impl DurableStore {
     }
 
     /// Flushes the journal to the OS (and syncs under `fsync`) — the
-    /// graceful-shutdown path for `--durability none`.
+    /// graceful-shutdown path for `--durability none`. Drains the commit
+    /// batch first: an in-flight batch must reach the file before the
+    /// final snapshots and the trace `sink_close` are written.
     pub fn flush_journal(&self) -> std::io::Result<()> {
-        let mut j = self.journal.lock();
+        self.drain_commits();
+        let mut j = self.commit.writer.lock();
         j.file.flush()?;
         if self.durability == Durability::Fsync {
             j.file.get_ref().sync_data()?;
@@ -680,10 +948,13 @@ impl DurableStore {
 
     /// Truncates the journal file. Only sound at quiescent points (after
     /// recovery, at graceful shutdown) once every live session has a
-    /// snapshot at least as new as every journal record. The sequence
-    /// counter keeps running — snapshot stamps stay comparable.
+    /// snapshot at least as new as every journal record. Drains the
+    /// commit batch first so no enqueued record straddles the
+    /// truncation. The sequence counter keeps running — snapshot stamps
+    /// stay comparable.
     pub fn truncate_journal(&self) -> std::io::Result<()> {
-        let mut j = self.journal.lock();
+        self.drain_commits();
+        let mut j = self.commit.writer.lock();
         j.file.flush()?;
         OpenOptions::new().write(true).truncate(true).open(&self.journal_path)?;
         let file = OpenOptions::new().append(true).open(&self.journal_path)?;
@@ -707,6 +978,9 @@ impl DurableStore {
     /// corrupt journal suffixes are dropped (reported in the returned
     /// [`Recovery`]), never fatal.
     pub fn recover(&self) -> std::io::Result<Recovery> {
+        // Recovery runs at quiescent points, but drain defensively so the
+        // journal read below cannot miss an enqueued record.
+        self.drain_commits();
         let mut live: BTreeMap<u64, (u64, SessionEntry)> = BTreeMap::new();
         let mut snapshots_loaded = 0u64;
         let mut snapshot_errors = 0u64;
@@ -811,8 +1085,15 @@ impl DurableStore {
         {
             // Never lower the counter: snapshots can carry seqs older than
             // records already appended this run.
-            let mut writer = self.journal.lock();
+            let mut writer = self.commit.writer.lock();
             writer.seq = writer.seq.max(max_seq);
+            let resumed = writer.seq;
+            drop(writer);
+            // Keep the group-commit numbering in step with the writer's:
+            // the next enqueued record continues past everything seen.
+            let mut st = self.commit.state.lock();
+            st.assigned_seq = st.assigned_seq.max(resumed);
+            st.durable_seq = st.durable_seq.max(resumed);
         }
         self.recovered.store(live.len() as u64, Ordering::Relaxed);
         Ok(Recovery {
@@ -823,6 +1104,109 @@ impl DurableStore {
             replay_errors,
             dropped,
         })
+    }
+}
+
+impl Drop for DurableStore {
+    /// Stops the committer: sets shutdown, wakes it, and joins. The
+    /// committer drains the batch buffer before exiting, so a gracefully
+    /// dropped store never leaves an enqueued record unwritten.
+    fn drop(&mut self) {
+        let handle = self.committer.lock().take();
+        if let Some(handle) = handle {
+            {
+                let mut st = self.commit.state.lock();
+                st.shutdown = true;
+            }
+            self.commit.work.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The committer thread: drain a batch from the buffer, append it as one
+/// coalesced write with one flush/fsync, publish the new durable horizon,
+/// wake every waiting lane; repeat. On shutdown the buffer is drained
+/// before exiting. The `state` lock is never held across the file IO and
+/// never nested with the `writer` lock.
+fn committer_loop(
+    shared: &CommitShared,
+    durability: Durability,
+    batch_cap: usize,
+    window: std::time::Duration,
+    telemetry: &Telemetry,
+) {
+    loop {
+        let batch: Vec<PendingRecord> = {
+            let mut st = shared.state.lock();
+            while st.pending.is_empty() {
+                if st.shutdown {
+                    return;
+                }
+                shared.work.wait(&mut st);
+            }
+            if !window.is_zero() && st.pending.len() < batch_cap && !st.shutdown {
+                // One bounded linger for stragglers; a spurious or early
+                // wakeup just commits a smaller batch.
+                shared.work.wait_timeout(&mut st, window);
+            }
+            let take = st.pending.len().min(batch_cap);
+            st.pending.drain(..take).collect()
+        };
+        let Some(last) = batch.last() else { continue };
+        let last_seq = last.seq;
+        let t0 = std::time::Instant::now();
+        let mut buf = String::new();
+        for rec in &batch {
+            buf.push_str(&rec.line);
+        }
+        let mut sync_us = 0u64;
+        let result: std::io::Result<()> = {
+            let mut writer = shared.writer.lock();
+            let wrote = (|| {
+                writer.file.write_all(buf.as_bytes())?;
+                let sync_t0 = std::time::Instant::now();
+                match durability {
+                    Durability::None => {}
+                    Durability::Flush => writer.file.flush()?,
+                    Durability::Fsync => {
+                        writer.file.flush()?;
+                        writer.file.get_ref().sync_data()?;
+                    }
+                }
+                sync_us = sync_t0.elapsed().as_micros() as u64;
+                Ok(())
+            })();
+            if wrote.is_ok() {
+                // As in the synchronous path: the writer's counter only
+                // advances past records actually on storage.
+                writer.seq = last_seq;
+            }
+            wrote
+        };
+        let micros = t0.elapsed().as_micros() as u64;
+        let fsync = durability == Durability::Fsync;
+        {
+            let mut st = shared.state.lock();
+            match &result {
+                Ok(()) => st.durable_seq = last_seq,
+                Err(e) => {
+                    st.failed_seq = last_seq;
+                    st.failure = format!("group commit: {e}");
+                }
+            }
+            shared.done.notify_all();
+        }
+        telemetry.record(stage::JOURNAL_BATCH_LEN, batch.len() as u64);
+        if fsync {
+            telemetry.record(stage::JOURNAL_FSYNC_US, sync_us);
+        }
+        telemetry.emit(TraceEvent::JournalCommit {
+            batch: batch.len() as u64,
+            bytes: buf.len() as u64,
+            micros,
+            fsync,
+        });
     }
 }
 

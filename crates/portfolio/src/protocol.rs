@@ -245,6 +245,13 @@ pub struct MetricsSummary {
     pub mean_us: u64,
     /// Session-store counters (live/evicted/warm-start hit rate).
     pub sessions: SessionStats,
+    /// Group-commit batches flushed by the journal committer (0 when the
+    /// store is non-durable or batching is off).
+    pub journal_batches: u64,
+    /// Median records per committed batch.
+    pub journal_batch_p50: u64,
+    /// Largest batch committed so far.
+    pub journal_batch_max: u64,
     /// Win-rate tracker standings, most-raced first (capped by the
     /// service).
     pub standings: Vec<StandingLine>,
@@ -685,6 +692,11 @@ pub fn response_to_json(resp: &Response) -> String {
                 s.live, s.evicted, s.warm_hits, s.warm_misses, s.spills, s.cold_reloads,
                 s.recovered, s.journal_appends, s.journal_bytes, s.snapshots
             );
+            let _ = write!(
+                out,
+                ", \"journal_batch\": {{\"batches\": {}, \"p50\": {}, \"max\": {}}}",
+                m.journal_batches, m.journal_batch_p50, m.journal_batch_max
+            );
             out.push_str(", \"standings\": [");
             for (i, s) in m.standings.iter().enumerate() {
                 if i > 0 {
@@ -850,6 +862,17 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
                 // Absent on lines from pre-session servers.
                 _ => SessionStats::default(),
             };
+            // Group-commit counters: absent on lines from pre-batching
+            // servers, so default rather than error.
+            let (journal_batches, journal_batch_p50, journal_batch_max) =
+                match map.get("journal_batch") {
+                    Some(JsonValue::Object(b)) => (
+                        opt_uint(b, "batches")?.unwrap_or(0),
+                        opt_uint(b, "p50")?.unwrap_or(0),
+                        opt_uint(b, "max")?.unwrap_or(0),
+                    ),
+                    _ => (0, 0, 0),
+                };
             let mut standings = Vec::new();
             if let Some(JsonValue::Array(items)) = map.get("standings") {
                 for item in items {
@@ -926,6 +949,9 @@ pub fn parse_response(line: &str) -> Result<Response, IoError> {
                 p99_us: g("p99_us")?,
                 mean_us: g("mean_us")?,
                 sessions,
+                journal_batches,
+                journal_batch_p50,
+                journal_batch_max,
                 standings,
                 stages,
                 solver_latency,
@@ -1099,6 +1125,9 @@ mod tests {
                 journal_bytes: 4096,
                 snapshots: 6,
             },
+            journal_batches: 5,
+            journal_batch_p50: 3,
+            journal_batch_max: 17,
             standings: vec![StandingLine {
                 family: "uniform|setup-light|mid".into(),
                 solver: "lpt".into(),
@@ -1143,6 +1172,8 @@ mod tests {
         assert!(parsed.stages.is_empty());
         assert!(parsed.solver_latency.is_empty());
         assert_eq!(parsed.trace_dropped, 0);
+        assert_eq!(parsed.journal_batches, 0);
+        assert_eq!(parsed.journal_batch_max, 0);
     }
 
     #[test]

@@ -115,8 +115,17 @@ pub struct ServeConfig {
     /// [`Self::data_dir`]).
     pub durability: Durability,
     /// Ordered session lanes (keyed by session-id hash): per-session verb
-    /// order is preserved, distinct sessions run in parallel.
+    /// order is preserved, distinct sessions run in parallel. The session
+    /// store is sharded with the same hash, one shard per lane, so lanes
+    /// never contend on a store lock either.
     pub session_lanes: usize,
+    /// Group-commit batch bound (`--journal-batch`): journal records from
+    /// all lanes coalesce into batches of at most this many records, one
+    /// flush/fsync per batch. `1` restores synchronous per-record appends.
+    pub journal_batch: usize,
+    /// Group-commit linger (`--group-commit-us`): extra time the committer
+    /// waits for stragglers on a non-full batch. `0` = natural batching.
+    pub group_commit_us: u64,
     /// Structured trace-event sink (`--trace-out`): every request's span
     /// chain (enqueue → dequeue → race → respond), incumbent improvements,
     /// and durability events stream to it as NDJSON. `None` disables
@@ -142,6 +151,8 @@ impl Default for ServeConfig {
             data_dir: None,
             durability: Durability::default(),
             session_lanes: 4,
+            journal_batch: 64,
+            group_commit_us: 0,
             trace: None,
             metrics_interval_ms: 0,
         }
@@ -325,7 +336,11 @@ impl Metrics {
         // histogram. Queue-wait and enqueue→respond totals are separate
         // stage rows.
         let race = snap.histogram(stage::RACE_US).cloned().unwrap_or_else(LatencyHistogram::new);
+        let batch = snap.histogram(sst_core::telemetry::stage::JOURNAL_BATCH_LEN);
         MetricsSummary {
+            journal_batches: batch.map_or(0, |h| h.count()),
+            journal_batch_p50: batch.map_or(0, |h| h.percentile(0.50)),
+            journal_batch_max: batch.map_or(0, |h| h.max()),
             count: ok,
             errors,
             uptime_ms,
@@ -745,10 +760,12 @@ impl Service {
         let tracker = Arc::new(WinRateTracker::new());
         let sessions = match &cfg.data_dir {
             Some(root) => {
-                let mut store = DurableStore::open(root, cfg.durability)?;
+                let mut store = DurableStore::open(root, cfg.durability)?
+                    .with_group_commit(cfg.journal_batch, cfg.group_commit_us);
                 store.set_telemetry(telemetry.clone());
                 let store = Arc::new(store);
-                let mut sessions = SessionStore::durable(cfg.max_sessions, Arc::clone(&store));
+                let mut sessions = SessionStore::durable(cfg.max_sessions, Arc::clone(&store))
+                    .with_shards(cfg.session_lanes.max(1));
                 sessions.set_telemetry(telemetry.clone());
                 let sessions = Arc::new(sessions);
                 let rec_t0 = Instant::now();
@@ -788,7 +805,8 @@ impl Service {
                 sessions
             }
             None => {
-                let mut sessions = SessionStore::new(cfg.max_sessions);
+                let mut sessions =
+                    SessionStore::new(cfg.max_sessions).with_shards(cfg.session_lanes.max(1));
                 sessions.set_telemetry(telemetry.clone());
                 Arc::new(sessions)
             }
@@ -895,13 +913,12 @@ impl Service {
 
     /// The lane a session id maps to: splitmix64 finalizer mod lane count.
     /// Every verb of one session hashes identically, so per-session order
-    /// holds; distinct sessions spread across lanes.
+    /// holds; distinct sessions spread across lanes. Delegates to
+    /// [`crate::session::shard_of`] so a lane and its store shard agree:
+    /// with `session_lanes == shard_count`, verbs on one lane only ever
+    /// take their own shard's lock, and cross-lane contention vanishes.
     fn lane_of(sid: u64, lanes: usize) -> usize {
-        let mut z = sid.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z % lanes as u64) as usize
+        crate::session::shard_of(sid, lanes)
     }
 
     /// Pulls the `"sid"` value out of a raw session line without a full
@@ -1888,6 +1905,10 @@ mod tests {
         assert_eq!(summary.errors, 0);
         assert!(summary.sessions.spills >= 1, "3 creates into a 2-slot store must spill");
         assert!(summary.sessions.journal_appends >= 4);
+        // Group commit is on by default: every append above went through
+        // the committer, so the batch histogram must surface in metrics.
+        assert!(summary.journal_batches >= 1, "committer flushed at least one batch");
+        assert!(summary.journal_batch_max >= 1, "batches contain records");
 
         // Same data dir: every session — hot at shutdown or spilled — must
         // come back and answer a solve.

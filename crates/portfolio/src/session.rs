@@ -22,11 +22,25 @@
 //!   it ([`SessionStore::snapshot`]). The LRU bounds memory, not session
 //!   lifetime; spills and cold reloads are separate metrics counters.
 //!
+//! **Sharding:** the map is split into per-lane shards keyed by the same
+//! splitmix64 hash ([`shard_of`]) the service uses to pick a session's
+//! FIFO lane, so verbs on distinct lanes never contend on a shard lock.
+//! Each shard publishes its member map through an
+//! [`ArcSwap`](arc_swap::ArcSwap) snapshot: hot-path *reads* — entry
+//! lookup, LRU touch, metrics probe, spill revalidation — are lock-free
+//! (load the published map, bump an atomic stamp, clone an `Arc`), while
+//! membership changes (create / close / spill / reload) and state
+//! write-backs take only that shard's `session.shard` lock. The LRU bound
+//! and every counter stay **global**: victim selection scans the published
+//! shard maps lock-free for the minimum stamp and revalidates under the
+//! victim's shard lock, so a concurrent touch or write-back can never lose
+//! state to a spill. No code path ever holds two shard locks at once, nor
+//! a shard lock across journal or snapshot IO.
+//!
 //! Entries are stored behind `Arc`s, so reads clone a pointer and writes
-//! swap one — the global mutex is held for pointer-sized work only;
-//! repairs, races and snapshot file writes run outside it on the shared
-//! snapshot. Two concurrent requests on the *same* session id are
-//! last-write-wins.
+//! swap one — a shard lock is held for pointer-sized work only; repairs,
+//! races and snapshot file writes run outside it on the shared snapshot.
+//! Two concurrent requests on the *same* session id are last-write-wins.
 //!
 //! **Ordering:** session verbs do not ride the work-stealing pool (which
 //! preserves no order for in-flight requests) — the service routes them
@@ -35,8 +49,10 @@
 //! distinct sessions run in parallel (see [`crate::service`]).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use arc_swap::ArcSwap;
 use parking_lot::Mutex;
 use sst_core::schedule::Schedule;
 use sst_core::telemetry::{Telemetry, TraceEvent};
@@ -44,6 +60,21 @@ use sst_core::telemetry::{Telemetry, TraceEvent};
 use crate::durable::DurableStore;
 use crate::model::Solution;
 use crate::solver::{Cost, ProblemInstance};
+
+/// Default shard count, matching the service's default `--session-lanes`.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Maps a session id to its shard index — the same splitmix64 mix the
+/// service uses to key its FIFO session lanes, so (at equal counts) a
+/// lane's sessions all live in one shard and distinct lanes never contend.
+pub fn shard_of(sid: u64, shards: usize) -> usize {
+    // splitmix64: adjacent sids land on unrelated shards.
+    let mut h = sid.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % shards.max(1) as u64) as usize
+}
 
 /// One live session: the current instance, the best-known solution with
 /// its exact cost, and the splittable model's integral proxy assignment.
@@ -89,10 +120,10 @@ pub struct SessionStats {
     pub snapshots: u64,
 }
 
+/// A session's current state, replaced wholesale on every write-back so
+/// lock-free readers always see a consistent (entry, seq, fresh) triple.
 struct Stamped {
     entry: Arc<SessionEntry>,
-    /// LRU recency stamp.
-    stamp: u64,
     /// Last journal sequence number folded into `entry` (0 = none).
     seq: u64,
     /// Journaled verbs applied since the last on-disk snapshot — the
@@ -100,21 +131,69 @@ struct Stamped {
     fresh: u64,
 }
 
-struct Inner {
-    map: BTreeMap<u64, Stamped>,
-    clock: u64,
-    evicted: u64,
-    warm_hits: u64,
-    warm_misses: u64,
-    spills: u64,
-    cold_reloads: u64,
+/// One member of a shard map. The slot itself is shared (`Arc`) between
+/// the published map snapshots, so a touch or write-back is visible to
+/// every reader without republishing the map.
+struct Slot {
+    /// LRU recency stamp, ticks of the store-global clock. Written
+    /// lock-free by touches; spills revalidate it under the shard lock.
+    stamp: AtomicU64,
+    /// The session's state; see [`Stamped`].
+    state: ArcSwap<Stamped>,
+}
+
+/// One shard: a published member-map snapshot plus the lock serializing
+/// writers. Readers never take the lock.
+struct Shard {
+    /// Serializes membership changes and write-backs within the shard.
+    /// Every shard's lock shares the `session.shard` lockdep name (one
+    /// graph node), so the no-two-shard-locks rule is machine-checked:
+    /// nesting any two would record a self-edge, i.e. a cycle.
+    guard: Mutex<()>,
+    /// The shard's members, published for lock-free reads. Mutated
+    /// copy-on-write under `guard` (membership is rare next to reads).
+    map: ArcSwap<BTreeMap<u64, Arc<Slot>>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            guard: Mutex::named("session.shard", ()),
+            map: ArcSwap::new(Arc::new(BTreeMap::new())),
+        }
+    }
+
+    /// Copy-on-write insert; the caller must hold `guard`.
+    fn insert(&self, sid: u64, slot: Arc<Slot>) {
+        let mut map = (*self.map.load()).clone();
+        map.insert(sid, slot);
+        self.map.store(Arc::new(map));
+    }
+
+    /// Copy-on-write remove; the caller must hold `guard`.
+    fn remove(&self, sid: u64) -> bool {
+        let mut map = (*self.map.load()).clone();
+        let found = map.remove(&sid).is_some();
+        if found {
+            self.map.store(Arc::new(map));
+        }
+        found
+    }
 }
 
 /// Thread-safe, LRU-bounded session store shared by all pool workers,
 /// optionally backed by a [`DurableStore`] (journal + snapshot spill).
+/// Sharded per lane with lock-free reads; see the module docs.
 pub struct SessionStore {
     max: usize,
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
+    /// Global LRU clock; touches stamp slots with its ticks.
+    clock: AtomicU64,
+    evicted: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_misses: AtomicU64,
+    spills: AtomicU64,
+    cold_reloads: AtomicU64,
     persist: Option<Arc<DurableStore>>,
     telemetry: Telemetry,
 }
@@ -136,21 +215,29 @@ impl SessionStore {
     fn build(max_sessions: usize, persist: Option<Arc<DurableStore>>) -> Self {
         SessionStore {
             max: max_sessions.max(1),
-            inner: Mutex::named(
-                "session.store",
-                Inner {
-                    map: BTreeMap::new(),
-                    clock: 0,
-                    evicted: 0,
-                    warm_hits: 0,
-                    warm_misses: 0,
-                    spills: 0,
-                    cold_reloads: 0,
-                },
-            ),
+            shards: (0..DEFAULT_SHARDS).map(|_| Shard::new()).collect(),
+            clock: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            warm_misses: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            cold_reloads: AtomicU64::new(0),
             persist,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Reconfigures the shard count — one per session lane is the intended
+    /// shape (`--session-lanes`). Only meaningful on an empty store; call
+    /// it right after construction.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = (0..shards.max(1)).map(|_| Shard::new()).collect();
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Installs the serving process's telemetry: capacity spills and cold
@@ -170,43 +257,119 @@ impl SessionStore {
         self.persist.as_ref()
     }
 
+    fn shard(&self, sid: u64) -> &Shard {
+        &self.shards[shard_of(sid, self.shards.len())]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Lock-free membership probe against the published shard map.
+    fn contains(&self, sid: u64) -> bool {
+        self.shard(sid).map.load().contains_key(&sid)
+    }
+
+    /// Lock-free global LRU scan: the minimum-stamp slot across every
+    /// published shard map, with the evidence (slot pointer + stamp) the
+    /// caller needs to revalidate under the victim's shard lock.
+    fn lru_victim(&self) -> Option<(u64, Arc<Slot>, u64)> {
+        let mut best: Option<(u64, Arc<Slot>, u64)> = None;
+        for shard in &self.shards {
+            let map = shard.map.load();
+            for (&sid, slot) in map.iter() {
+                let stamp = slot.stamp.load(Ordering::Relaxed);
+                if best.as_ref().is_none_or(|(_, _, b)| stamp < *b) {
+                    best = Some((sid, Arc::clone(slot), stamp));
+                }
+            }
+        }
+        best
+    }
+
     /// Spills the LRU victim's snapshot to disk and drops its hot entry,
-    /// making room for `incoming`. The snapshot is written **outside** the
+    /// making room for `incoming`. The snapshot is written **outside** any
     /// lock and the victim is only removed if it was neither touched nor
-    /// updated in between (stamp + pointer revalidation) — a concurrent
-    /// lane can never lose state to a spill. On persistent snapshot-write
-    /// failure the store runs over capacity rather than destroy state.
+    /// updated in between (stamp + state-pointer revalidation under the
+    /// victim's shard lock) — a concurrent lane can never lose state to a
+    /// spill. On persistent snapshot-write failure the store runs over
+    /// capacity rather than destroy state.
     fn spill_for_room(&self, incoming: u64) -> Option<u64> {
         let persist = self.persist.as_ref()?;
         for _ in 0..8 {
-            let victim = {
-                let inner = self.inner.lock();
-                if inner.map.contains_key(&incoming) || inner.map.len() < self.max {
-                    return None;
-                }
-                inner
-                    .map
-                    .iter()
-                    .min_by_key(|(_, s)| s.stamp)
-                    .map(|(&sid, s)| (sid, Arc::clone(&s.entry), s.seq, s.stamp))
-            };
-            let (vsid, ventry, vseq, vstamp) = victim?;
-            if persist.write_snapshot(vsid, vseq, &ventry).is_err() {
+            if self.contains(incoming) || self.live() < self.max {
                 return None;
             }
-            let mut inner = self.inner.lock();
-            match inner.map.get(&vsid) {
-                Some(s) if s.stamp == vstamp && Arc::ptr_eq(&s.entry, &ventry) => {
-                    inner.map.remove(&vsid);
-                    inner.spills += 1;
-                    drop(inner);
+            let (vsid, vslot, vstamp) = self.lru_victim()?;
+            let vstate = vslot.state.load();
+            if persist.write_snapshot(vsid, vstate.seq, &vstate.entry).is_err() {
+                return None;
+            }
+            let shard = self.shard(vsid);
+            let removed = {
+                let _guard = shard.guard.lock();
+                match shard.map.load().get(&vsid) {
+                    Some(slot)
+                        if Arc::ptr_eq(slot, &vslot)
+                            && slot.stamp.load(Ordering::Relaxed) == vstamp
+                            && Arc::ptr_eq(&slot.state.load(), &vstate) =>
+                    {
+                        shard.remove(vsid);
+                        Some(true)
+                    }
+                    // Victim closed meanwhile: there is room now.
+                    None => Some(false),
+                    // Touched or updated meanwhile: re-pick the LRU victim.
+                    Some(_) => None,
+                }
+            };
+            match removed {
+                Some(true) => {
+                    self.spills.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.emit(TraceEvent::Spill { sid: vsid });
                     return Some(vsid);
                 }
-                // Victim closed meanwhile: there is room now.
-                None => return None,
-                // Touched or updated meanwhile: re-pick the LRU victim.
-                Some(_) => {}
+                Some(false) => return None,
+                None => {}
+            }
+        }
+        None
+    }
+
+    /// Destroys the LRU victim to make room for `incoming` (in-memory
+    /// stores only; the durable path spills instead). Same lock-free
+    /// pick + shard-lock revalidate dance as [`Self::spill_for_room`].
+    fn evict_for_room(&self, incoming: u64) -> Option<u64> {
+        if self.persist.is_some() {
+            return None;
+        }
+        for _ in 0..8 {
+            if self.contains(incoming) || self.live() < self.max {
+                return None;
+            }
+            let (vsid, vslot, vstamp) = self.lru_victim()?;
+            let shard = self.shard(vsid);
+            let removed = {
+                let _guard = shard.guard.lock();
+                match shard.map.load().get(&vsid) {
+                    Some(slot)
+                        if Arc::ptr_eq(slot, &vslot)
+                            && slot.stamp.load(Ordering::Relaxed) == vstamp =>
+                    {
+                        shard.remove(vsid);
+                        Some(true)
+                    }
+                    None => Some(false),
+                    Some(_) => None,
+                }
+            };
+            match removed {
+                Some(true) => {
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                    return Some(vsid);
+                }
+                Some(false) => return None,
+                None => {}
             }
         }
         None
@@ -218,46 +381,36 @@ impl SessionStore {
     /// spilled to its snapshot (durable store) first. Returns the hot
     /// count and the displaced session id, if any.
     pub fn create(&self, sid: u64, entry: SessionEntry, seq: u64) -> (usize, Option<u64>) {
-        // Allocation outside the lock; the critical section swaps pointers.
+        // Allocation and room-making outside the lock; the critical
+        // section publishes one map snapshot.
         let entry = Arc::new(entry);
-        let spilled = self.spill_for_room(sid);
-        let dropped;
-        let result = {
-            let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let stamp = inner.clock;
-            let mut displaced = spilled;
-            if self.persist.is_none()
-                && !inner.map.contains_key(&sid)
-                && inner.map.len() >= self.max
-            {
-                if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, s)| s.stamp) {
-                    inner.map.remove(&victim);
-                    inner.evicted += 1;
-                    displaced = Some(victim);
-                }
-            }
+        let displaced = self.spill_for_room(sid).or_else(|| self.evict_for_room(sid));
+        let shard = self.shard(sid);
+        {
+            let _guard = shard.guard.lock();
+            let stamp = self.tick();
             let fresh = if seq > 0 { 1 } else { 0 };
-            dropped = inner.map.insert(sid, Stamped { entry, stamp, seq, fresh });
-            (inner.map.len(), displaced)
-        };
-        drop(dropped);
-        result
+            shard.insert(
+                sid,
+                Arc::new(Slot {
+                    stamp: AtomicU64::new(stamp),
+                    state: ArcSwap::new(Arc::new(Stamped { entry, seq, fresh })),
+                }),
+            );
+        }
+        (self.live(), displaced)
     }
 
     /// Shares session `sid`'s state out (touching its recency) — repairs
-    /// and races run on the shared snapshot, outside the store lock; the
-    /// lock itself only clones an `Arc`. A cold (spilled) session is
-    /// transparently reloaded from its on-disk snapshot.
+    /// and races run on the shared snapshot, outside any store lock; the
+    /// hot path takes none at all (published-map lookup + atomic stamp).
+    /// A cold (spilled) session is transparently reloaded from its
+    /// on-disk snapshot.
     pub fn snapshot(&self, sid: u64) -> Option<Arc<SessionEntry>> {
-        {
-            let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let stamp = inner.clock;
-            if let Some(stamped) = inner.map.get_mut(&sid) {
-                stamped.stamp = stamp;
-                return Some(Arc::clone(&stamped.entry));
-            }
+        let shard = self.shard(sid);
+        if let Some(slot) = shard.map.load().get(&sid) {
+            slot.stamp.store(self.tick(), Ordering::Relaxed);
+            return Some(Arc::clone(&slot.state.load().entry));
         }
         // Cold path: reload from disk, then insert hot (which may in turn
         // spill the new LRU victim).
@@ -266,20 +419,23 @@ impl SessionStore {
         let entry = Arc::new(entry);
         self.spill_for_room(sid);
         self.telemetry.emit(TraceEvent::ColdReload { sid });
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let stamp = inner.clock;
-        inner.cold_reloads += 1;
+        self.cold_reloads.fetch_add(1, Ordering::Relaxed);
+        let _guard = shard.guard.lock();
+        let stamp = self.tick();
         // A racing reload of the same sid keeps the first entry (both came
         // from the same snapshot).
-        let stamped = inner.map.entry(sid).or_insert(Stamped {
-            entry: Arc::clone(&entry),
-            stamp,
-            seq,
-            fresh: 0,
-        });
-        stamped.stamp = stamp;
-        Some(Arc::clone(&stamped.entry))
+        if let Some(slot) = shard.map.load().get(&sid) {
+            slot.stamp.store(stamp, Ordering::Relaxed);
+            return Some(Arc::clone(&slot.state.load().entry));
+        }
+        shard.insert(
+            sid,
+            Arc::new(Slot {
+                stamp: AtomicU64::new(stamp),
+                state: ArcSwap::new(Arc::new(Stamped { entry: Arc::clone(&entry), seq, fresh: 0 })),
+            }),
+        );
+        Some(entry)
     }
 
     /// Writes a session's state back after a journaled verb, advancing its
@@ -297,27 +453,31 @@ impl SessionStore {
 
     fn write_back(&self, sid: u64, entry: SessionEntry, seq: Option<u64>) -> bool {
         let entry = Arc::new(entry);
-        let mut dropped = None;
+        let shard = self.shard(sid);
+        // Keeps the replaced state alive past the guard so its (possibly
+        // large) entry deallocates outside the critical section.
+        let mut replaced = None;
         let found = {
-            let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let stamp = inner.clock;
-            match inner.map.get_mut(&sid) {
-                Some(stamped) => {
-                    dropped = Some(std::mem::replace(&mut stamped.entry, entry));
-                    stamped.stamp = stamp;
+            let _guard = shard.guard.lock();
+            match shard.map.load().get(&sid) {
+                Some(slot) => {
+                    slot.stamp.store(self.tick(), Ordering::Relaxed);
+                    let old = slot.state.load();
+                    let (mut next_seq, mut fresh) = (old.seq, old.fresh);
                     if let Some(seq) = seq {
-                        if seq > stamped.seq {
-                            stamped.seq = seq;
-                            stamped.fresh += 1;
+                        if seq > next_seq {
+                            next_seq = seq;
+                            fresh += 1;
                         }
                     }
+                    slot.state.store(Arc::new(Stamped { entry, seq: next_seq, fresh }));
+                    replaced = Some(old);
                     true
                 }
                 None => false,
             }
         };
-        drop(dropped);
+        drop(replaced);
         found
     }
 
@@ -327,22 +487,30 @@ impl SessionStore {
     /// are swallowed (replay just gets longer).
     pub fn maybe_snapshot(&self, sid: u64) {
         let Some(persist) = self.persist.as_ref() else { return };
-        let image = {
-            let inner = self.inner.lock();
-            match inner.map.get(&sid) {
-                Some(s) if s.fresh >= persist.snapshot_every() => {
-                    Some((Arc::clone(&s.entry), s.seq))
-                }
-                _ => None,
-            }
-        };
+        let shard = self.shard(sid);
+        let image = shard.map.load().get(&sid).and_then(|slot| {
+            let state = slot.state.load();
+            (state.fresh >= persist.snapshot_every()).then(|| (Arc::clone(&state.entry), state.seq))
+        });
         let Some((entry, seq)) = image else { return };
         if persist.write_snapshot(sid, seq, &entry).is_ok() {
-            let mut inner = self.inner.lock();
-            if let Some(stamped) = inner.map.get_mut(&sid) {
-                if stamped.seq == seq {
-                    stamped.fresh = 0;
-                }
+            self.reset_fresh(sid, seq);
+        }
+    }
+
+    /// Zeroes the periodic-snapshot counter of `sid` if its state still
+    /// sits at `seq` (no newer journaled verb raced the snapshot write).
+    fn reset_fresh(&self, sid: u64, seq: u64) {
+        let shard = self.shard(sid);
+        let _guard = shard.guard.lock();
+        if let Some(slot) = shard.map.load().get(&sid) {
+            let state = slot.state.load();
+            if state.seq == seq && state.fresh != 0 {
+                slot.state.store(Arc::new(Stamped {
+                    entry: Arc::clone(&state.entry),
+                    seq: state.seq,
+                    fresh: 0,
+                }));
             }
         }
     }
@@ -353,21 +521,20 @@ impl SessionStore {
     /// newer than the collected images could be truncated away.
     pub fn checkpoint(&self) -> std::io::Result<()> {
         let Some(persist) = self.persist.as_ref() else { return Ok(()) };
-        let hot: Vec<(u64, Arc<SessionEntry>, u64)> = {
-            let inner = self.inner.lock();
-            inner.map.iter().map(|(&sid, s)| (sid, Arc::clone(&s.entry), s.seq)).collect()
-        };
+        let mut hot: Vec<(u64, Arc<SessionEntry>, u64)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.load();
+            for (&sid, slot) in map.iter() {
+                let state = slot.state.load();
+                hot.push((sid, Arc::clone(&state.entry), state.seq));
+            }
+        }
         for (sid, entry, seq) in &hot {
             persist.write_snapshot(*sid, *seq, entry)?;
         }
         persist.truncate_journal()?;
-        let mut inner = self.inner.lock();
         for (sid, _, seq) in &hot {
-            if let Some(stamped) = inner.map.get_mut(sid) {
-                if stamped.seq == *seq {
-                    stamped.fresh = 0;
-                }
-            }
+            self.reset_fresh(*sid, *seq);
         }
         Ok(())
     }
@@ -376,44 +543,44 @@ impl SessionStore {
     /// on-disk snapshot. Returns whether either existed, so closing a
     /// cold (spilled) session works too.
     pub fn close(&self, sid: u64) -> bool {
+        let shard = self.shard(sid);
         let hot = {
-            let mut inner = self.inner.lock();
-            inner.map.remove(&sid)
+            let _guard = shard.guard.lock();
+            shard.remove(sid)
         };
         let cold = match self.persist.as_ref() {
             Some(persist) => persist.remove_snapshot(sid),
             None => false,
         };
-        hot.is_some() || cold
+        hot || cold
     }
 
-    /// Sessions currently hot.
+    /// Sessions currently hot. Lock-free: sums the published shard maps.
     pub fn live(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|shard| shard.map.load().len()).sum()
     }
 
     /// Records a warm re-solve outcome: `hit` when the repaired incumbent
     /// survived the race unbeaten.
     pub fn record_warm(&self, hit: bool) {
-        let mut inner = self.inner.lock();
         if hit {
-            inner.warm_hits += 1;
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            inner.warm_misses += 1;
+            self.warm_misses.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// The running counters, durability counters merged in.
+    /// The running counters, durability counters merged in. Lock-free —
+    /// safe to call from a metrics probe at any rate.
     pub fn stats(&self) -> SessionStats {
         let durable = self.persist.as_ref().map(|p| p.counters()).unwrap_or_default();
-        let inner = self.inner.lock();
         SessionStats {
-            live: inner.map.len() as u64,
-            evicted: inner.evicted,
-            warm_hits: inner.warm_hits,
-            warm_misses: inner.warm_misses,
-            spills: inner.spills,
-            cold_reloads: inner.cold_reloads,
+            live: self.live() as u64,
+            evicted: self.evicted.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_misses: self.warm_misses.load(Ordering::Relaxed),
+            spills: self.spills.load(Ordering::Relaxed),
+            cold_reloads: self.cold_reloads.load(Ordering::Relaxed),
             recovered: durable.recovered,
             journal_appends: durable.journal_appends,
             journal_bytes: durable.journal_bytes,
@@ -493,6 +660,75 @@ mod tests {
         store.record_warm(false);
         let stats = store.stats();
         assert_eq!((stats.warm_hits, stats.warm_misses), (2, 1));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for sid in 0..256u64 {
+            let s = shard_of(sid, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(sid, 4), "shard mapping is deterministic");
+        }
+        assert_eq!(shard_of(7, 1), 0, "single shard takes everything");
+        // 256 consecutive sids must spread over all 8 shards — the point
+        // of the mix is that adjacent ids do not pile onto one lane.
+        let mut seen = [false; 8];
+        for sid in 0..256u64 {
+            seen[shard_of(sid, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every shard owns some of 256 consecutive sids");
+    }
+
+    #[test]
+    fn sharded_membership_counters_and_lru_stay_global() {
+        let store = SessionStore::new(64).with_shards(8);
+        assert_eq!(store.shard_count(), 8);
+        for sid in 0..32 {
+            store.create(sid, entry(sid), 0);
+        }
+        assert_eq!(store.live(), 32);
+        for sid in 0..32 {
+            assert!(store.snapshot(sid).is_some(), "session {sid} lives in its shard");
+        }
+        for sid in (0..32).step_by(2) {
+            assert!(store.close(sid));
+        }
+        assert_eq!(store.live(), 16);
+        // LRU is global across shards: fill to capacity with 48 more,
+        // touching one old session so it survives the next eviction.
+        for sid in 100..148 {
+            store.create(sid, entry(sid), 0);
+        }
+        assert_eq!(store.live(), 64);
+        assert!(store.snapshot(1).is_some(), "touch keeps 1 recent");
+        let (live, displaced) = store.create(200, entry(200), 0);
+        assert_eq!(live, 64);
+        assert_eq!(displaced, Some(3), "the globally least-recent session is the victim");
+        assert!(store.snapshot(1).is_some(), "the touched session survived");
+    }
+
+    #[test]
+    fn concurrent_lanes_on_distinct_shards_keep_every_write() {
+        let store = Arc::new(SessionStore::new(256).with_shards(4));
+        let threads: Vec<_> = (0..4u64)
+            .map(|lane| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..32u64 {
+                        let sid = lane * 1000 + i;
+                        store.create(sid, entry(sid), 0);
+                        assert!(store.snapshot(sid).is_some());
+                        assert!(store.update_incumbent(sid, entry(sid + 1)));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("lane thread");
+        }
+        assert_eq!(store.live(), 128);
+        let stats = store.stats();
+        assert_eq!(stats.evicted, 0, "capacity 256 never evicts 128 sessions");
     }
 
     #[test]

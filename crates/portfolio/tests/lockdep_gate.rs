@@ -153,6 +153,47 @@ fn shutdown_closes_trace_after_final_checkpoint() {
     sst_check::lockdep::assert_acyclic();
 }
 
+/// Cross-shard traffic under the sharded store + group-commit committer:
+/// sessions spread over 4 lanes/shards with a tiny capacity, so spills
+/// pick LRU victims on *other* shards (shard-lock → snapshot IO → victim
+/// shard-lock revalidation) while every journal append funnels through
+/// the `durable.commit` / `durable.journal` committer locks under fsync.
+/// All shard guards share one lockdep name ("session.shard"), so holding
+/// two shard locks at once would record a self-edge — a cycle — and the
+/// gate would bite.
+#[test]
+fn cross_shard_spills_and_group_commit_keep_the_lock_graph_acyclic() {
+    let dir = tmp_dir("cross-shard");
+    let svc = Service::start(ServeConfig {
+        workers: 2,
+        session_lanes: 4, // 4 store shards too (shard-per-lane)
+        max_sessions: 3,  // far fewer slots than sessions: constant spills
+        data_dir: Some(dir.clone()),
+        durability: sst_portfolio::Durability::Fsync,
+        journal_batch: 8,
+        group_commit_us: 200,
+        ..Default::default()
+    });
+    let (buffer, _) = buffer_writer();
+    // 8 sids cover all 4 shards (splitmix64 spreads consecutive sids);
+    // interleave the lifecycles so victims are usually on foreign shards.
+    let sids: Vec<u64> = (1..=8).collect();
+    let lifecycles: Vec<Vec<SessionRequest>> =
+        sids.iter().map(|&sid| session_lifecycle(sid, 1000 + sid * 10)).collect();
+    for step in 0..3 {
+        for lc in &lifecycles {
+            svc.dispatch(session_request_to_json(&lc[step]), writer_to(&buffer));
+        }
+    }
+    svc.dispatch("{\"metrics\": true}".into(), writer_to(&buffer));
+    let summary = svc.shutdown();
+    assert_eq!(summary.errors, 0, "traffic must be clean for the gate to be meaningful");
+    assert!(summary.sessions.spills >= 5, "8 sessions into 3 slots must spill: {summary:?}");
+    assert!(summary.journal_batches >= 1, "group commit must have run: {summary:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+    sst_check::lockdep::assert_acyclic();
+}
+
 /// The worker-death path (`on_worker_death` re-queues the dead worker's
 /// backlog under the injector + sleep locks) holds the same global lock
 /// order as normal dispatch.

@@ -7,8 +7,39 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use sst_core::delta::InstanceDelta;
 use sst_core::instance::{Job, UniformInstance, UnrelatedInstance};
-use sst_portfolio::durable::{encode_journal_line, parse_journal_line, scan_journal};
-use sst_portfolio::{JournalRecord, ProblemInstance};
+use sst_portfolio::durable::{
+    encode_journal_line, encode_snapshot, parse_journal_line, scan_journal,
+};
+use sst_portfolio::{Durability, DurableStore, JournalRecord, ProblemInstance};
+
+/// A fresh scratch dir per proptest case (cases run interleaved, so the
+/// name needs both pid and a counter).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sst-prop-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn append_record(store: &DurableStore, rec: &JournalRecord) -> std::io::Result<u64> {
+    match rec {
+        JournalRecord::Create { sid, instance } => store.append_create(*sid, instance),
+        JournalRecord::Delta { sid, deltas } => store.append_delta(*sid, deltas),
+        JournalRecord::Close { sid } => store.append_close(*sid),
+    }
+}
+
+/// Canonical deep-comparable form of a recovery: the snapshot encoding is
+/// deterministic, so equal strings mean equal recovered state.
+fn recovered_state(store: &DurableStore) -> Vec<String> {
+    let rec = store.recover().expect("recover");
+    let mut lines: Vec<String> =
+        rec.sessions.iter().map(|(sid, seq, e)| encode_snapshot(*sid, *seq, e)).collect();
+    lines.sort();
+    lines
+}
 
 fn uniform_instance() -> impl Strategy<Value = ProblemInstance> {
     (vec(1u64..50, 1..4), vec(0u64..60, 1..4), vec((0usize..100, 1u64..200), 0..12)).prop_map(
@@ -129,5 +160,102 @@ proptest! {
         }
         let tail = tail.expect("corruption must be reported");
         prop_assert!(tail.dropped_bytes > 0);
+    }
+
+    /// The group-commit contract: batching changes *when* bytes reach the
+    /// file, never *which* bytes. The same verb sequence through a
+    /// synchronous store (batch 1) and a grouped store (batch 4, so real
+    /// multi-record batches form) must leave byte-identical journals and
+    /// recover to identical state.
+    #[test]
+    fn grouped_journal_is_byte_identical_to_synchronous_appends(
+        records in vec(any_record(), 1..7),
+    ) {
+        let (d1, d2) = (scratch("single"), scratch("grouped"));
+        let single = DurableStore::open(&d1, Durability::Flush).unwrap().with_group_commit(1, 0);
+        let grouped = DurableStore::open(&d2, Durability::Flush).unwrap().with_group_commit(4, 0);
+        for rec in &records {
+            let s1 = append_record(&single, rec).unwrap();
+            let s2 = append_record(&grouped, rec).unwrap();
+            prop_assert_eq!(s1, s2, "seq assignment must not depend on batching");
+        }
+        single.flush_journal().unwrap();
+        grouped.flush_journal().unwrap();
+        let j1 = std::fs::read(d1.join("journal.log")).unwrap();
+        let j2 = std::fs::read(d2.join("journal.log")).unwrap();
+        prop_assert_eq!(j1, j2, "on-disk journal must be bit-identical");
+        prop_assert_eq!(recovered_state(&single), recovered_state(&grouped));
+        drop(single);
+        drop(grouped);
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    /// Arbitrary interleavings modeled as an arbitrary partition of the
+    /// verb sequence into coalesced chunks: however lanes happen to gang
+    /// their records into batches, the journal is the one a per-verb
+    /// appender would have written.
+    #[test]
+    fn coalesced_chunks_match_per_verb_appends(
+        records in vec(any_record(), 1..8),
+        sizes in vec(1usize..4, 1..8),
+    ) {
+        let (d1, d2) = (scratch("perverb"), scratch("chunks"));
+        let per_verb = DurableStore::open(&d1, Durability::Flush).unwrap().with_group_commit(64, 0);
+        let chunked = DurableStore::open(&d2, Durability::Flush).unwrap().with_group_commit(64, 0);
+        for rec in &records {
+            append_record(&per_verb, rec).unwrap();
+        }
+        let mut rest: &[JournalRecord] = &records;
+        let mut size_iter = sizes.iter().cycle();
+        while !rest.is_empty() {
+            let take = (*size_iter.next().unwrap()).min(rest.len());
+            chunked.append_coalesced(&rest[..take]).unwrap();
+            rest = &rest[take..];
+        }
+        per_verb.flush_journal().unwrap();
+        chunked.flush_journal().unwrap();
+        let j1 = std::fs::read(d1.join("journal.log")).unwrap();
+        let j2 = std::fs::read(d2.join("journal.log")).unwrap();
+        prop_assert_eq!(j1, j2, "chunking must not change the journal bytes");
+        prop_assert_eq!(recovered_state(&per_verb), recovered_state(&chunked));
+        drop(per_verb);
+        drop(chunked);
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    /// A torn tail *inside* one coalesced write behaves exactly like a torn
+    /// single-record journal: the batch stays line-framed on disk, so the
+    /// scan keeps precisely the records whose lines survived.
+    #[test]
+    fn torn_tail_inside_a_coalesced_batch_keeps_the_intact_record_prefix(
+        records in vec(any_record(), 1..6),
+        cut in 1usize..200,
+    ) {
+        let dir = scratch("torn");
+        let store = DurableStore::open(&dir, Durability::Flush).unwrap().with_group_commit(64, 0);
+        // One append_coalesced call → one batch → one write_all on disk.
+        store.append_coalesced(&records).unwrap();
+        store.flush_journal().unwrap();
+        drop(store);
+        let text = std::fs::read_to_string(dir.join("journal.log")).unwrap();
+        let cut = cut.min(text.len());
+        let torn = &text[..text.len() - cut];
+        let (kept, tail) = scan_journal(torn);
+        for (i, (seq, rec)) in kept.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u64 + 1);
+            prop_assert_eq!(rec, &records[i]);
+        }
+        let on_boundary = torn.is_empty() || torn.ends_with('\n');
+        if on_boundary {
+            prop_assert!(tail.is_none(), "clean cut must not report a tear");
+            prop_assert_eq!(kept.len(), torn.lines().count());
+        } else {
+            let tail = tail.expect("mid-line cut must report the torn tail");
+            prop_assert!(tail.dropped_bytes > 0);
+            prop_assert!(kept.len() < records.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
